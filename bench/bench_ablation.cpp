@@ -1,0 +1,146 @@
+// Ablations of Magus's design choices (DESIGN.md §3):
+//   1. tilt model: the paper's single-delta-matrix approximation vs the
+//      faithful per-(sector, tilt) rebuild — recovery and build cost;
+//   2. search pruning: Algorithm 1's degraded-grid candidate filter vs
+//      evaluating every neighbor at every step (effect on probe count);
+//   3. grid resolution: recovery estimate stability at 100 m vs 200 m.
+#include <chrono>
+
+#include "bench_common.h"
+#include "core/power_search.h"
+#include "core/tilt_search.h"
+#include "util/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace magus;
+
+  util::ArgParser args{"Ablations: tilt approximation, pruning, resolution"};
+  bench::add_scale_flags(args);
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 1;
+  }
+  const bench::Scale scale = bench::scale_from(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const data::MarketParams params = bench::market_params(
+      data::Morphology::kSuburban, 0, scale, seed);
+
+  // --- Ablation 1: tilt-delta approximation vs faithful rebuild. ---
+  {
+    std::cout << "[1] Tilt model: paper's global delta matrix vs faithful "
+                 "per-tilt rebuild\n";
+    util::TablePrinter table(
+        {"tilt model", "tilt recovery", "wall-clock (s)"});
+
+    // Faithful: the experiment's BuildingProvider rebuilds per tilt.
+    {
+      const auto start = Clock::now();
+      data::Experiment experiment{params};
+      const auto outcome = bench::run_scenario(
+          experiment, data::UpgradeScenario::kSingleSector,
+          core::TuningMode::kTilt, core::Utility::performance());
+      table.add_row({"faithful rebuild",
+                     util::TablePrinter::percent(outcome.recovery),
+                     util::TablePrinter::num(seconds_since(start), 1)});
+    }
+    // Paper mode: ApproxTiltProvider wraps the tilt-0 matrices.
+    {
+      const auto start = Clock::now();
+      data::Experiment experiment{params};
+      pathloss::ApproxTiltProvider approx{
+          &experiment.provider(), &experiment.network(),
+          pathloss::TiltDeltaModel{
+              experiment.network().sector(0).antenna,
+              experiment.network().sector(0).height_m}};
+      model::AnalysisModel model{&experiment.network(), &approx};
+      core::Evaluator evaluator{&model, core::Utility::performance()};
+      core::PlannerOptions options;
+      options.mode = core::TuningMode::kTilt;
+      core::MagusPlanner planner{&evaluator, options};
+      const auto targets = data::upgrade_targets(
+          experiment.market(), data::UpgradeScenario::kSingleSector);
+      const auto plan = planner.plan_upgrade(targets);
+      table.add_row({"paper delta-matrix",
+                     util::TablePrinter::percent(plan.recovery),
+                     util::TablePrinter::num(seconds_since(start), 1)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- Ablation 2: degraded-grid pruning in Algorithm 1. ---
+  {
+    std::cout << "[2] Search pruning: Algorithm 1's candidate filter\n";
+    data::Experiment experiment{params};
+    const auto targets = data::upgrade_targets(
+        experiment.market(), data::UpgradeScenario::kSingleSector);
+
+    core::Evaluator evaluator{&experiment.model(),
+                              core::Utility::performance()};
+    core::MagusPlanner planner{&evaluator, core::PlannerOptions{}};
+    const auto involved = planner.involved_sectors(targets);
+
+    model::AnalysisModel& model = experiment.model();
+    model.set_configuration(model.network().default_configuration());
+    model.freeze_uniform_ue_density();
+    const auto baseline = core::capture_rates(model);
+    for (const net::SectorId t : targets) model.set_active(t, false);
+    const auto upgrade_snapshot = model.snapshot();
+
+    // Pruned (Algorithm 1 as in the paper).
+    const core::PowerSearch pruned{};
+    const auto with_pruning = pruned.run(evaluator, involved, baseline);
+
+    // Unpruned: an unreachable baseline rate everywhere makes every grid
+    // look degraded, so the candidate filter never removes anyone.
+    model.restore(upgrade_snapshot);
+    const std::vector<double> all_degraded(
+        static_cast<std::size_t>(model.cell_count()), 1e18);
+    const auto without_pruning =
+        pruned.run(evaluator, involved, all_degraded);
+
+    util::TablePrinter table({"variant", "utility", "accepted steps",
+                              "model evaluations"});
+    table.add_row({"with degraded-grid filter",
+                   util::TablePrinter::num(with_pruning.utility, 2),
+                   std::to_string(with_pruning.accepted_steps),
+                   std::to_string(with_pruning.candidate_evaluations)});
+    table.add_row({"without filter (all grids)",
+                   util::TablePrinter::num(without_pruning.utility, 2),
+                   std::to_string(without_pruning.accepted_steps),
+                   std::to_string(without_pruning.candidate_evaluations)});
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- Ablation 3: grid resolution. ---
+  {
+    std::cout << "[3] Grid resolution: recovery stability\n";
+    util::TablePrinter table({"cell size", "grids", "power recovery"});
+    for (const double cell_m : {100.0, 200.0}) {
+      data::MarketParams p = params;
+      p.cell_size_m = cell_m;
+      data::Experiment experiment{p};
+      const auto outcome = bench::run_scenario(
+          experiment, data::UpgradeScenario::kSingleSector,
+          core::TuningMode::kPower, core::Utility::performance());
+      table.add_row({util::TablePrinter::num(cell_m, 0) + " m",
+                     std::to_string(experiment.grid().cell_count()),
+                     util::TablePrinter::percent(outcome.recovery)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

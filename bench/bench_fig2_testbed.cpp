@@ -1,0 +1,99 @@
+// Figure 2: LTE-testbed demonstration of reconfiguration benefits.
+//
+// Reproduces both §3 scenarios: finds the optimal attenuations before and
+// after the target eNodeB goes down (exhaustive search, like the paper's
+// methodology), and prints the no-tuning / reactive / proactive utility
+// timelines around the upgrade.
+#include <iostream>
+#include <memory>
+
+#include "testbed/scenarios.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+void print_scenario(const magus::testbed::ScenarioTimelines& result,
+                    magus::util::CsvWriter* csv) {
+  using magus::util::TablePrinter;
+  std::cout << "=== " << result.name << " ===\n";
+  std::cout << "optimal attenuations before upgrade: [";
+  for (std::size_t i = 0; i < result.attenuation_before.size(); ++i) {
+    std::cout << (i ? ", " : "") << "L=" << result.attenuation_before[i];
+  }
+  std::cout << "]\noptimal attenuations after upgrade:  [";
+  for (std::size_t i = 0; i < result.attenuation_after.size(); ++i) {
+    std::cout << (i ? ", " : "") << "L=" << result.attenuation_after[i];
+  }
+  std::cout << "]\n";
+  std::cout << "f(C_before) = " << TablePrinter::num(result.f_before, 2)
+            << ", f(C_upgrade) = " << TablePrinter::num(result.f_upgrade, 2)
+            << ", f(C_after) = " << TablePrinter::num(result.f_after, 2)
+            << "\n\n";
+
+  TablePrinter table({"time", "no tuning", "reactive", "proactive"});
+  for (std::size_t i = 0; i < result.time_steps.size(); ++i) {
+    table.add_row({std::to_string(result.time_steps[i]),
+                   TablePrinter::num(result.no_tuning[i], 2),
+                   TablePrinter::num(result.reactive[i], 2),
+                   TablePrinter::num(result.proactive[i], 2)});
+    if (csv) {
+      csv->write_row({result.name, std::to_string(result.time_steps[i]),
+                      magus::util::CsvWriter::cell(result.no_tuning[i]),
+                      magus::util::CsvWriter::cell(result.reactive[i]),
+                      magus::util::CsvWriter::cell(result.proactive[i])});
+    }
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace magus;
+
+  util::ArgParser args{"Figure 2: testbed reconfiguration timelines"};
+  args.add_flag("seed", "7", "testbed emulation seed");
+  args.add_flag("csv", "", "optional CSV output path");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 1;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (const std::string path = args.get_string("csv"); !path.empty()) {
+    csv = std::make_unique<util::CsvWriter>(path);
+    csv->write_row({"scenario", "time", "no_tuning", "reactive",
+                    "proactive"});
+  }
+
+  std::cout << "Figure 2 reproduction (seed " << seed << ")\n"
+            << "Utility: sum of log10(TCP rate in Mb/s) over UEs\n\n";
+
+  testbed::ScenarioOptions options;
+  {
+    int target = -1;
+    testbed::Testbed bed = testbed::make_scenario1(seed, &target);
+    print_scenario(testbed::run_scenario(std::move(bed), target,
+                                         "Scenario 1 (2 eNodeBs)", options),
+                   csv.get());
+  }
+  {
+    int target = -1;
+    testbed::Testbed bed = testbed::make_scenario2(seed, &target);
+    print_scenario(testbed::run_scenario(std::move(bed), target,
+                                         "Scenario 2 (3 eNodeBs)", options),
+                   csv.get());
+  }
+
+  std::cout << "Paper shape check: proactive reaches f(C_after) at the\n"
+            << "upgrade instant, reactive converges over several steps, and\n"
+            << "no-tuning stays at f(C_upgrade). In Scenario 2, interference\n"
+            << "keeps at least one survivor below maximum power.\n";
+  return 0;
+}

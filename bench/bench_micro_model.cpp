@@ -1,0 +1,136 @@
+// Google-benchmark micro benchmarks of the hot paths: footprint
+// construction, full model rebuild, incremental power/tilt updates,
+// snapshot/restore, utility evaluation, and one Algorithm-1 probe.
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.h"
+#include "core/power_search.h"
+#include "data/experiment.h"
+#include "data/upgrade_scenarios.h"
+
+namespace {
+
+using namespace magus;
+
+[[nodiscard]] data::MarketParams bench_params(std::uint64_t seed = 3) {
+  data::MarketParams params;
+  params.morphology = data::Morphology::kSuburban;
+  params.seed = seed;
+  params.region_size_m = 10'000.0;
+  params.study_size_m = 4'000.0;
+  return params;
+}
+
+/// Shared experiment so construction cost is paid once per binary run.
+data::Experiment& shared_experiment() {
+  static data::Experiment experiment{bench_params()};
+  return experiment;
+}
+
+void BM_FootprintBuild(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  const terrain::TerrainGridCache cache{experiment.terrain(),
+                                        experiment.grid()};
+  const radio::PropagationModel propagation{&experiment.terrain(),
+                                            radio::SpmParams{}};
+  const pathloss::FootprintBuilder builder{&propagation, &cache, 12'000.0};
+  const net::Sector& sector = experiment.network().sector(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(sector, 0));
+  }
+}
+BENCHMARK(BM_FootprintBuild)->Unit(benchmark::kMillisecond);
+
+void BM_FullRebuild(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  const net::Configuration config = model.network().default_configuration();
+  for (auto _ : state) {
+    model.set_configuration(config);
+  }
+}
+BENCHMARK(BM_FullRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalPowerUp(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  model.set_configuration(model.network().default_configuration());
+  double power = 46.0;
+  for (auto _ : state) {
+    power = power >= 48.0 ? 40.0 : power + 1.0;
+    model.set_power(0, power);
+  }
+}
+BENCHMARK(BM_IncrementalPowerUp)->Unit(benchmark::kMillisecond);
+
+void BM_TiltSwap(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  model.set_configuration(model.network().default_configuration());
+  int tilt = 0;
+  for (auto _ : state) {
+    tilt = tilt == 0 ? -1 : 0;
+    model.set_tilt(0, tilt);
+  }
+}
+BENCHMARK(BM_TiltSwap)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  model.set_configuration(model.network().default_configuration());
+  const auto snapshot = model.snapshot();
+  for (auto _ : state) {
+    model.restore(snapshot);
+  }
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMillisecond);
+
+void BM_UtilityEvaluation(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  model.set_configuration(model.network().default_configuration());
+  model.freeze_uniform_ue_density();
+  core::Evaluator evaluator{&model, core::Utility::performance()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate());
+  }
+}
+BENCHMARK(BM_UtilityEvaluation)->Unit(benchmark::kMillisecond);
+
+void BM_ImprovesRateProbe(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  model.set_configuration(model.network().default_configuration());
+  geo::GridIndex g = 0;
+  for (auto _ : state) {
+    g = (g + 17) % model.cell_count();
+    benchmark::DoNotOptimize(model.power_delta_improves_rate(0, 2.0, g));
+  }
+}
+BENCHMARK(BM_ImprovesRateProbe);
+
+void BM_PowerSearchFull(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  core::Evaluator evaluator{&model, core::Utility::performance()};
+  const auto targets = data::upgrade_targets(
+      experiment.market(), data::UpgradeScenario::kSingleSector);
+  for (auto _ : state) {
+    state.PauseTiming();
+    model.set_configuration(model.network().default_configuration());
+    model.freeze_uniform_ue_density();
+    const auto baseline = core::capture_rates(model);
+    for (const net::SectorId t : targets) model.set_active(t, false);
+    const auto involved =
+        experiment.network().neighbors_of(targets, 5'000.0);
+    state.ResumeTiming();
+    const core::PowerSearch search{};
+    benchmark::DoNotOptimize(search.run(evaluator, involved, baseline));
+  }
+}
+BENCHMARK(BM_PowerSearchFull)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

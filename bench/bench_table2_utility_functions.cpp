@@ -1,0 +1,84 @@
+// Table 2: cross-utility recovery. Optimize the search under one utility
+// (performance or coverage), then measure the resulting configuration under
+// both. The paper's shape: each utility recovers well under itself, poorly
+// (possibly negatively) under the other.
+#include "bench_common.h"
+#include "core/recovery.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace magus;
+
+  util::ArgParser args{"Table 2: recovery under different utility functions"};
+  bench::add_scale_flags(args);
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 1;
+  }
+  const bench::Scale scale = bench::scale_from(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  // Paper setting: a suburban area with upgrade scenario (a).
+  data::Experiment experiment{bench::market_params(
+      data::Morphology::kSuburban, 0, scale, seed)};
+  const auto targets = data::upgrade_targets(
+      experiment.market(), data::UpgradeScenario::kSingleSector);
+
+  const std::vector<core::Utility> utilities = {
+      core::Utility::performance(), core::Utility::coverage()};
+
+  // For each optimization utility, find C_after; then measure the recovery
+  // of that C_after under every measurement utility.
+  std::vector<std::vector<double>> recovery(
+      utilities.size(), std::vector<double>(utilities.size(), 0.0));
+
+  for (std::size_t opt = 0; opt < utilities.size(); ++opt) {
+    core::Evaluator evaluator{&experiment.model(), utilities[opt]};
+    core::PlannerOptions options;
+    options.mode = core::TuningMode::kJoint;
+    core::MagusPlanner planner{&evaluator, options};
+    const core::MitigationPlan plan = planner.plan_upgrade(targets);
+
+    for (std::size_t measured = 0; measured < utilities.size(); ++measured) {
+      core::Evaluator meter{&experiment.model(), utilities[measured]};
+      model::AnalysisModel& model = experiment.model();
+      // Measure f_before / f_upgrade / f_after under the measurement
+      // utility with the same frozen UE density the planner used.
+      model.set_configuration(plan.c_before);
+      const double f_before = meter.evaluate();
+      net::Configuration upgrade = model.configuration();
+      for (const net::SectorId t : targets) {
+        upgrade = upgrade.with_sector_off(t);
+      }
+      const double f_upgrade = meter.evaluate_configuration(upgrade);
+      const double f_after =
+          meter.evaluate_configuration(plan.search.config);
+      recovery[opt][measured] =
+          core::recovery_ratio({f_before, f_upgrade, f_after});
+    }
+  }
+
+  std::cout << "Table 2 reproduction (suburban market, scenario (a))\n\n";
+  util::TablePrinter table({"Optimization \\ Measured", "u_performance",
+                            "u_coverage"});
+  table.add_row({"u_performance",
+                 util::TablePrinter::percent(recovery[0][0]),
+                 util::TablePrinter::percent(recovery[0][1])});
+  table.add_row({"u_coverage",
+                 util::TablePrinter::percent(recovery[1][0]),
+                 util::TablePrinter::percent(recovery[1][1])});
+  table.print(std::cout);
+
+  std::cout << "\nPaper: optimizing u_performance recovered 66.3% performance "
+               "but only 2.6% coverage;\noptimizing u_coverage recovered "
+               "14.4% coverage at the cost of performance (-29.3%).\n"
+            << "Shape check: diagonal dominates its column -> "
+            << ((recovery[0][0] >= recovery[1][0] &&
+                 recovery[1][1] >= recovery[0][1])
+                    ? "MATCHES paper"
+                    : "differs from paper")
+            << '\n';
+  return 0;
+}

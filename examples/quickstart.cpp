@@ -1,0 +1,114 @@
+// Quickstart: plan the mitigation for one sector's planned upgrade.
+//
+//   $ quickstart [--seed N] [--morphology suburban]
+//
+// Generates a synthetic market, takes the central sector off-air, runs
+// Magus's joint power+tilt search, and prints the recovery plus the
+// gradual migration schedule an operator would push.
+#include <iostream>
+
+#include "core/planner.h"
+#include "data/experiment.h"
+#include "data/upgrade_scenarios.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+magus::data::Morphology parse_morphology(const std::string& name) {
+  if (name == "rural") return magus::data::Morphology::kRural;
+  if (name == "urban") return magus::data::Morphology::kUrban;
+  return magus::data::Morphology::kSuburban;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace magus;
+
+  util::ArgParser args{"Magus quickstart: mitigation plan for one upgrade"};
+  args.add_flag("seed", "7", "market generation seed");
+  args.add_flag("morphology", "suburban", "rural | suburban | urban");
+  args.add_flag("region-km", "12", "analysis region edge in km");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 1;
+  }
+
+  data::MarketParams params;
+  params.morphology = parse_morphology(args.get_string("morphology"));
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  params.region_size_m = args.get_double("region-km") * 1000.0;
+  params.study_size_m = params.region_size_m / 3.0;
+
+  std::cout << "Generating " << data::morphology_name(params.morphology)
+            << " market (seed " << params.seed << ") ...\n";
+  data::Experiment experiment{params};
+  std::cout << "  sectors: " << experiment.network().sector_count()
+            << ", grid: " << experiment.grid().cols() << "x"
+            << experiment.grid().rows() << " cells of "
+            << experiment.grid().cell_size_m() << " m\n";
+
+  core::Evaluator evaluator{&experiment.model(),
+                            core::Utility::performance()};
+  core::PlannerOptions options;
+  options.mode = core::TuningMode::kJoint;
+  core::MagusPlanner planner{&evaluator, options};
+
+  const auto targets = data::upgrade_targets(
+      experiment.market(), data::UpgradeScenario::kSingleSector);
+  std::cout << "Planned upgrade: sector "
+            << experiment.network().sector(targets[0]).name
+            << " goes off-air.\n\n";
+
+  const core::MitigationPlan plan = planner.plan_upgrade(targets);
+
+  std::cout << "Utility (sum-log-rate):\n"
+            << "  f(C_before)  = " << plan.f_before << "\n"
+            << "  f(C_upgrade) = " << plan.f_upgrade << "  (no tuning)\n"
+            << "  f(C_after)   = " << plan.f_after << "  (Magus)\n"
+            << "  recovery     = "
+            << util::TablePrinter::percent(plan.recovery) << "\n\n";
+
+  std::cout << "Tuned neighbors (" << plan.search.trace.size()
+            << " accepted steps over " << plan.involved.size()
+            << " involved sectors):\n";
+  util::TablePrinter changes({"sector", "power (dBm)", "tilt (steps)"});
+  const auto c_before = experiment.network().default_configuration();
+  for (const net::SectorId id : plan.involved) {
+    const auto& before = c_before[id];
+    const auto& after = plan.search.config[id];
+    if (before == after) continue;
+    changes.add_row({experiment.network().sector(id).name,
+                     util::TablePrinter::num(before.power_dbm, 1) + " -> " +
+                         util::TablePrinter::num(after.power_dbm, 1),
+                     std::to_string(before.tilt) + " -> " +
+                         std::to_string(after.tilt)});
+  }
+  changes.print(std::cout);
+
+  std::cout << "\nGradual migration (" << plan.gradual.steps.size()
+            << " steps, floor utility " << plan.gradual.floor_utility
+            << "):\n";
+  util::TablePrinter steps({"step", "utility", "handover UEs", "notes"});
+  for (std::size_t i = 0; i < plan.gradual.steps.size(); ++i) {
+    const auto& step = plan.gradual.steps[i];
+    std::string notes;
+    if (step.compensations > 0) {
+      notes = std::to_string(step.compensations) + " compensations";
+    }
+    if (step.is_final) notes = "target off-air";
+    steps.add_row({std::to_string(i),
+                   util::TablePrinter::num(step.utility, 2),
+                   util::TablePrinter::num(step.handover_ues, 0), notes});
+  }
+  steps.print(std::cout);
+  std::cout << "\npeak simultaneous handovers: "
+            << plan.gradual.max_simultaneous_handover_ues()
+            << " UEs;  seamless: "
+            << util::TablePrinter::percent(plan.gradual.seamless_fraction())
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Upgrade-window advisor: given a site upgrade and the area's diurnal
+// traffic profile, rank every start hour of the week by expected service
+// disruption, with and without Magus's mitigation — including the paper's
+// airport case where no quiet window exists.
+//
+//   $ upgrade_window [--seed N] [--profile metropolitan] [--hours 5]
+#include <iostream>
+
+#include "core/planner.h"
+#include "data/experiment.h"
+#include "data/upgrade_scenarios.h"
+#include "traffic/window_planner.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+magus::traffic::TrafficProfile parse_profile(const std::string& name) {
+  using magus::traffic::TrafficProfile;
+  if (name == "airport") return TrafficProfile::always_busy();
+  if (name == "business") return TrafficProfile::business_district();
+  if (name == "flat") return TrafficProfile{};
+  return TrafficProfile::metropolitan();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace magus;
+
+  util::ArgParser args{"Rank upgrade windows by expected disruption"};
+  args.add_flag("seed", "7", "market generation seed");
+  args.add_flag("profile", "metropolitan",
+                "metropolitan | business | airport | flat");
+  args.add_flag("hours", "5", "upgrade duration (paper: 4-6 hours)");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 1;
+  }
+  const int hours = static_cast<int>(args.get_int("hours"));
+
+  data::MarketParams params;
+  params.morphology = data::Morphology::kSuburban;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  params.region_size_m = 9'000.0;
+  params.study_size_m = 3'000.0;
+  data::Experiment experiment{params};
+
+  core::Evaluator evaluator{&experiment.model(),
+                            core::Utility::performance()};
+  core::MagusPlanner planner{&evaluator};
+  const auto targets = data::upgrade_targets(
+      experiment.market(), data::UpgradeScenario::kFullSite);
+  std::cout << "Planning the mitigation once (site upgrade, " << hours
+            << " h)...\n";
+  const core::MitigationPlan plan = planner.plan_upgrade(targets);
+  std::cout << "  predicted recovery with Magus: "
+            << util::TablePrinter::percent(plan.recovery) << "\n\n";
+
+  const traffic::WindowPlanner window_planner{
+      parse_profile(args.get_string("profile"))};
+  const traffic::WindowPlan windows = window_planner.assess(plan, hours);
+
+  // Show a digest: best and worst few start hours by unmitigated risk.
+  auto sorted = windows.by_start_hour;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return a.disruption_unmitigated < b.disruption_unmitigated;
+            });
+  util::TablePrinter table({"start", "traffic", "disruption (no Magus)",
+                            "disruption (Magus)", "saving"});
+  const auto add = [&](const traffic::WindowAssessment& w) {
+    table.add_row({w.start.label(), util::TablePrinter::num(w.traffic_mean, 2),
+                   util::TablePrinter::num(w.disruption_unmitigated, 0),
+                   util::TablePrinter::num(w.disruption_mitigated, 0),
+                   util::TablePrinter::num(w.saving(), 0)});
+  };
+  for (std::size_t i = 0; i < 3 && i < sorted.size(); ++i) add(sorted[i]);
+  table.add_row({"...", "", "", "", ""});
+  for (std::size_t i = sorted.size() >= 3 ? sorted.size() - 3 : 0;
+       i < sorted.size(); ++i) {
+    add(sorted[i]);
+  }
+  table.print(std::cout);
+
+  const double window_spread =
+      windows.worst_window.disruption_unmitigated /
+      std::max(1e-9, windows.best_unmitigated.disruption_unmitigated);
+  std::cout << "\nrecommended start (no mitigation): "
+            << windows.best_unmitigated.start.label() << '\n'
+            << "worst window is " << util::TablePrinter::num(window_spread, 1)
+            << "x the best; with Magus the worst window's disruption drops "
+            << "to "
+            << util::TablePrinter::percent(
+                   windows.worst_window.disruption_mitigated /
+                   std::max(1e-9,
+                            windows.worst_window.disruption_unmitigated))
+            << " of its unmitigated level.\n";
+  if (args.get_string("profile") == "airport") {
+    std::cout << "Airport profile: the best and worst windows are within "
+              << util::TablePrinter::num(window_spread, 2)
+              << "x — there is no good time; proactive mitigation is the "
+                 "only lever.\n";
+  }
+  return 0;
+}

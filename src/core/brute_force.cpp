@@ -1,0 +1,65 @@
+#include "core/brute_force.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace magus::core {
+
+BruteForceSearch::BruteForceSearch(long max_combinations)
+    : max_combinations_(max_combinations) {}
+
+SearchResult BruteForceSearch::run(
+    Evaluator& evaluator, std::span<const BruteForceAxis> axes) const {
+  long combinations = 1;
+  for (const auto& axis : axes) {
+    if (axis.power_levels_dbm.empty() || axis.tilt_indices.empty()) {
+      throw std::invalid_argument("BruteForceSearch: empty axis");
+    }
+    combinations *= static_cast<long>(axis.power_levels_dbm.size()) *
+                    static_cast<long>(axis.tilt_indices.size());
+    if (combinations > max_combinations_) {
+      throw std::invalid_argument("BruteForceSearch: search space too large");
+    }
+  }
+
+  model::AnalysisModel& model = evaluator.model();
+  const auto base_snapshot = model.snapshot();
+
+  SearchResult result;
+  result.utility = -std::numeric_limits<double>::infinity();
+  net::Configuration best_config = model.configuration();
+
+  // Odometer over the axes.
+  std::vector<std::size_t> counter(axes.size() * 2, 0);  // power, tilt pairs
+  const auto advance = [&]() -> bool {
+    for (std::size_t d = 0; d < counter.size(); ++d) {
+      const auto& axis = axes[d / 2];
+      const std::size_t limit = (d % 2 == 0) ? axis.power_levels_dbm.size()
+                                             : axis.tilt_indices.size();
+      if (++counter[d] < limit) return true;
+      counter[d] = 0;
+    }
+    return false;
+  };
+
+  do {
+    model.restore(base_snapshot);
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const auto& axis = axes[a];
+      model.set_power(axis.sector, axis.power_levels_dbm[counter[a * 2]]);
+      model.set_tilt(axis.sector, axis.tilt_indices[counter[a * 2 + 1]]);
+    }
+    const double utility = evaluator.evaluate();
+    ++result.candidate_evaluations;
+    if (utility > result.utility) {
+      result.utility = utility;
+      best_config = model.configuration();
+    }
+  } while (advance());
+
+  model.set_configuration(best_config);
+  result.config = best_config;
+  return result;
+}
+
+}  // namespace magus::core

@@ -1,0 +1,40 @@
+// Exhaustive configuration search over explicit candidate grids.
+//
+// Only viable for small instances (the paper notes the full space is
+// astronomically large), but exact: tests use it as ground truth for the
+// heuristics, and the testbed harness uses it to find the optimal
+// attenuation settings of §3's 2- and 3-eNodeB scenarios.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/search_types.h"
+
+namespace magus::core {
+
+struct BruteForceAxis {
+  net::SectorId sector = net::kInvalidSector;
+  /// Absolute power levels to try for this sector.
+  std::vector<double> power_levels_dbm;
+  /// Tilt indices to try (defaults to just the current tilt).
+  std::vector<int> tilt_indices{0};
+};
+
+class BruteForceSearch {
+ public:
+  /// Caps the Cartesian-product size; run() throws std::invalid_argument
+  /// beyond it.
+  explicit BruteForceSearch(long max_combinations = 2'000'000);
+
+  /// Evaluates every combination of the axes applied on top of the model's
+  /// current configuration; returns the best and leaves the model there.
+  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+                                 std::span<const BruteForceAxis> axes) const;
+
+ private:
+  long max_combinations_;
+};
+
+}  // namespace magus::core

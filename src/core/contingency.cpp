@@ -1,0 +1,67 @@
+#include "core/contingency.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace magus::core {
+
+ContingencyTable::Key ContingencyTable::key_of(
+    std::span<const net::SectorId> sectors) {
+  Key key(sectors.begin(), sectors.end());
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  return key;
+}
+
+ContingencyTable ContingencyTable::build(
+    const MagusPlanner& planner,
+    std::span<const std::vector<net::SectorId>> outages) {
+  ContingencyTable table;
+  for (const auto& outage : outages) {
+    if (outage.empty()) continue;
+    table.plans_.insert_or_assign(key_of(outage),
+                                  planner.plan_upgrade(outage));
+  }
+  return table;
+}
+
+ContingencyTable ContingencyTable::build_per_sector(
+    const MagusPlanner& planner, const net::Network& network) {
+  std::vector<std::vector<net::SectorId>> outages;
+  outages.reserve(network.sector_count());
+  for (const auto& sector : network.sectors()) {
+    outages.push_back({sector.id});
+  }
+  return build(planner, outages);
+}
+
+const MitigationPlan* ContingencyTable::lookup(
+    std::span<const net::SectorId> failed) const {
+  const auto it = plans_.find(key_of(failed));
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+bool ContingencyTable::apply(model::AnalysisModel& model,
+                             std::span<const net::SectorId> failed) const {
+  const MitigationPlan* plan = lookup(failed);
+  if (plan == nullptr) return false;
+  model.set_configuration(plan->search.config);
+  return true;
+}
+
+double ContingencyTable::worst_recovery() const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& [key, plan] : plans_) {
+    worst = std::min(worst, plan.recovery);
+  }
+  return plans_.empty() ? 0.0 : worst;
+}
+
+double ContingencyTable::mean_recovery() const {
+  if (plans_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [key, plan] : plans_) total += plan.recovery;
+  return total / static_cast<double>(plans_.size());
+}
+
+}  // namespace magus::core

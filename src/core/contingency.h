@@ -1,0 +1,60 @@
+// Precomputed outage contingencies (paper §8, future work: "using Magus's
+// predictive model for unplanned outages ... pre-computing configurations
+// for different outages").
+//
+// For unplanned outages the proactive window doesn't exist, but the model
+// still beats pure feedback: precompute the mitigation plan for every
+// plausible outage (e.g., each sector, or each site) ahead of time, and on
+// failure push the stored C_after in one step — the reactive model-based
+// strategy of §2 with zero computation delay, and a warm start for any
+// subsequent feedback correction.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/planner.h"
+
+namespace magus::core {
+
+class ContingencyTable {
+ public:
+  /// Plans mitigation for every outage set in `outages` using `planner`.
+  /// Each entry is the set of sectors assumed to fail together. The
+  /// evaluator's model is left at the network default configuration.
+  [[nodiscard]] static ContingencyTable build(
+      const MagusPlanner& planner,
+      std::span<const std::vector<net::SectorId>> outages);
+
+  /// Convenience: one contingency per sector of the network.
+  [[nodiscard]] static ContingencyTable build_per_sector(
+      const MagusPlanner& planner, const net::Network& network);
+
+  [[nodiscard]] std::size_t size() const { return plans_.size(); }
+
+  /// The stored plan for exactly this outage set (order-insensitive), or
+  /// nullptr if none was precomputed.
+  [[nodiscard]] const MitigationPlan* lookup(
+      std::span<const net::SectorId> failed) const;
+
+  /// Applies a stored contingency: takes the failed sectors off-air and
+  /// pushes the precomputed C_after onto the model. Returns false (model
+  /// untouched) when no contingency matches.
+  bool apply(model::AnalysisModel& model,
+             std::span<const net::SectorId> failed) const;
+
+  /// Worst/average predicted recovery over all stored contingencies —
+  /// planning-time risk metrics for the operator.
+  [[nodiscard]] double worst_recovery() const;
+  [[nodiscard]] double mean_recovery() const;
+
+ private:
+  using Key = std::vector<net::SectorId>;  // sorted
+
+  [[nodiscard]] static Key key_of(std::span<const net::SectorId> sectors);
+
+  std::map<Key, MitigationPlan> plans_;
+};
+
+}  // namespace magus::core

@@ -1,0 +1,43 @@
+// The Evaluation component of Figure 6: computes f(U(C)) for the analysis
+// model's current configuration with a single fused pass over the grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/utility.h"
+#include "model/analysis_model.h"
+
+namespace magus::core {
+
+class Evaluator {
+ public:
+  /// `model` must outlive the evaluator.
+  Evaluator(model::AnalysisModel* model, Utility utility);
+
+  [[nodiscard]] const Utility& utility() const { return utility_; }
+  [[nodiscard]] model::AnalysisModel& model() const { return *model_; }
+
+  /// Overall utility of the model's *current* state: the UE-weighted sum
+  /// of per-UE utility over in-service grids (out-of-service UEs
+  /// contribute 0, the paper's r <= 0 branch).
+  [[nodiscard]] double evaluate() const;
+
+  /// Convenience: utility of an arbitrary configuration. Applies it,
+  /// evaluates, and restores the previous state via snapshot.
+  [[nodiscard]] double evaluate_configuration(const net::Configuration& c) const;
+
+  /// Number of evaluate() calls so far — the search-cost metric reported
+  /// by the convergence benches.
+  [[nodiscard]] long evaluation_count() const { return evaluations_; }
+
+ private:
+  model::AnalysisModel* model_;
+  Utility utility_;
+  mutable long evaluations_ = 0;
+  // Scratch buffers reused across evaluations to avoid per-call allocation.
+  mutable std::vector<std::int8_t> cqi_scratch_;
+  mutable std::vector<double> load_scratch_;
+};
+
+}  // namespace magus::core

@@ -1,0 +1,32 @@
+#include "core/joint_search.h"
+
+#include <utility>
+
+namespace magus::core {
+
+JointSearch::JointSearch(JointSearchOptions options)
+    : options_(std::move(options)) {}
+
+SearchResult JointSearch::run(
+    Evaluator& evaluator, std::span<const net::SectorId> involved,
+    std::span<const double> baseline_rates) const {
+  const TiltSearch tilt{options_.tilt};
+  SearchResult tilt_result = tilt.run(evaluator, involved);
+
+  const PowerSearch power{options_.power};
+  SearchResult power_result = power.run(evaluator, involved, baseline_rates);
+
+  SearchResult combined;
+  combined.config = power_result.config;
+  combined.utility = power_result.utility;
+  combined.accepted_steps =
+      tilt_result.accepted_steps + power_result.accepted_steps;
+  combined.candidate_evaluations =
+      tilt_result.candidate_evaluations + power_result.candidate_evaluations;
+  combined.trace = std::move(tilt_result.trace);
+  combined.trace.insert(combined.trace.end(), power_result.trace.begin(),
+                        power_result.trace.end());
+  return combined;
+}
+
+}  // namespace magus::core

@@ -1,0 +1,33 @@
+// Joint power + tilt tuning (paper §5, "Joint Tuning"): tilt-tuning first,
+// then power-tuning on top, which the paper reports roughly doubles the
+// recovery of power-tuning alone.
+#pragma once
+
+#include <span>
+
+#include "core/power_search.h"
+#include "core/tilt_search.h"
+
+namespace magus::core {
+
+struct JointSearchOptions {
+  TiltSearchOptions tilt;
+  PowerSearchOptions power;
+};
+
+class JointSearch {
+ public:
+  explicit JointSearch(JointSearchOptions options = {});
+
+  /// Runs the tilt pass, then the power pass. Inputs as in the individual
+  /// searches; the model is left at the returned configuration and the
+  /// trace concatenates both phases.
+  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+                                 std::span<const net::SectorId> involved,
+                                 std::span<const double> baseline_rates) const;
+
+ private:
+  JointSearchOptions options_;
+};
+
+}  // namespace magus::core

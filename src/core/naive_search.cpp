@@ -1,0 +1,40 @@
+#include "core/naive_search.h"
+
+namespace magus::core {
+
+NaiveSearch::NaiveSearch(NaiveSearchOptions options) : options_(options) {}
+
+SearchResult NaiveSearch::run(Evaluator& evaluator,
+                              std::span<const net::SectorId> involved) const {
+  model::AnalysisModel& model = evaluator.model();
+  SearchResult result;
+  double current_utility = evaluator.evaluate();
+  ++result.candidate_evaluations;
+
+  for (const net::SectorId b : involved) {
+    if (!model.configuration()[b].active) continue;
+    for (int step = 0; step < options_.max_steps_per_sector; ++step) {
+      const double before_power = model.configuration()[b].power_dbm;
+      const auto snapshot = model.snapshot();
+      model.set_power(b, before_power + options_.step_db);
+      if (model.configuration()[b].power_dbm == before_power) break;  // cap
+      const double utility = evaluator.evaluate();
+      ++result.candidate_evaluations;
+      if (utility > current_utility + options_.min_improvement) {
+        current_utility = utility;
+        ++result.accepted_steps;
+        result.trace.push_back(
+            TuningStep{b, options_.step_db, 0, utility});
+      } else {
+        model.restore(snapshot);
+        break;
+      }
+    }
+  }
+
+  result.config = model.configuration();
+  result.utility = current_utility;
+  return result;
+}
+
+}  // namespace magus::core

@@ -1,0 +1,35 @@
+// The naive power-tuning baseline of Figure 13.
+//
+// "It increases transmission power by 1 dB for the first neighbor at each
+// step until utility worsens, then does the same for the second neighbor
+// and so on" — i.e. the tilt-style greedy applied to power, with no
+// degraded-grid guidance and no candidate comparison.
+#pragma once
+
+#include <span>
+
+#include "core/evaluator.h"
+#include "core/search_types.h"
+
+namespace magus::core {
+
+struct NaiveSearchOptions {
+  double step_db = 1.0;
+  int max_steps_per_sector = 20;
+  double min_improvement = 1e-9;
+};
+
+class NaiveSearch {
+ public:
+  explicit NaiveSearch(NaiveSearchOptions options = {});
+
+  /// `involved` ordered by priority (nearest neighbor first). The model is
+  /// left at the returned configuration.
+  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+                                 std::span<const net::SectorId> involved) const;
+
+ private:
+  NaiveSearchOptions options_;
+};
+
+}  // namespace magus::core

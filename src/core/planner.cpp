@@ -1,0 +1,181 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/strategies.h"
+
+namespace magus::core {
+
+std::string tuning_mode_name(TuningMode mode) {
+  switch (mode) {
+    case TuningMode::kPower:
+      return "power";
+    case TuningMode::kTilt:
+      return "tilt";
+    case TuningMode::kJoint:
+      return "joint";
+    case TuningMode::kNaive:
+      return "naive";
+  }
+  return "?";
+}
+
+MagusPlanner::MagusPlanner(Evaluator* evaluator, PlannerOptions options)
+    : evaluator_(evaluator), options_(options) {
+  if (evaluator_ == nullptr) {
+    throw std::invalid_argument("MagusPlanner: evaluator must not be null");
+  }
+}
+
+std::vector<net::SectorId> MagusPlanner::involved_sectors(
+    std::span<const net::SectorId> targets) const {
+  const net::Network& network = evaluator_->model().network();
+  std::vector<net::SectorId> involved =
+      network.neighbors_of(targets, options_.neighbor_radius_m);
+
+  // Order nearest-first (minimum distance to any target's site); the tilt
+  // and naive greedy passes visit sectors in this order.
+  const auto distance_to_targets = [&](net::SectorId s) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const net::SectorId t : targets) {
+      best = std::min(best, geo::distance_m(network.sector(s).position,
+                                            network.sector(t).position));
+    }
+    return best;
+  };
+  std::sort(involved.begin(), involved.end(),
+            [&](net::SectorId a, net::SectorId b) {
+              return distance_to_targets(a) < distance_to_targets(b);
+            });
+  if (involved.size() > options_.max_neighbors) {
+    involved.resize(options_.max_neighbors);
+  }
+  return involved;
+}
+
+MitigationPlan MagusPlanner::plan_upgrade(
+    std::span<const net::SectorId> targets) const {
+  if (targets.empty()) {
+    throw std::invalid_argument("MagusPlanner: no target sectors");
+  }
+  model::AnalysisModel& model = evaluator_->model();
+
+  MitigationPlan plan;
+  plan.targets.assign(targets.begin(), targets.end());
+  plan.involved = involved_sectors(targets);
+
+  // C_before: the *planned* configuration. Starting from the deployment
+  // defaults, locally optimize the neighborhood (targets included — the
+  // planners tuned it with everything on-air), then freeze the UE density
+  // there.
+  model.set_configuration(model.network().default_configuration());
+  if (options_.pre_plan) {
+    std::vector<net::SectorId> neighborhood = plan.involved;
+    neighborhood.insert(neighborhood.end(), plan.targets.begin(),
+                        plan.targets.end());
+    model.freeze_uniform_ue_density();
+    (void)pre_plan_power(*evaluator_, neighborhood,
+                         options_.pre_plan_step_db,
+                         options_.pre_plan_sweeps);
+  }
+  plan.c_before = model.configuration();
+  model.freeze_uniform_ue_density();
+  plan.f_before = evaluator_->evaluate();
+  const std::vector<double> baseline_rates = capture_rates(model);
+
+  // C_upgrade: targets off-air, nothing tuned.
+  for (const net::SectorId t : targets) model.set_active(t, false);
+  plan.f_upgrade = evaluator_->evaluate();
+
+  // Search for C_after.
+  switch (options_.mode) {
+    case TuningMode::kPower: {
+      const PowerSearch search{options_.power};
+      plan.search = search.run(*evaluator_, plan.involved, baseline_rates);
+      break;
+    }
+    case TuningMode::kTilt: {
+      const TiltSearch search{options_.tilt};
+      plan.search = search.run(*evaluator_, plan.involved);
+      break;
+    }
+    case TuningMode::kJoint: {
+      const JointSearch search{
+          JointSearchOptions{options_.tilt, options_.power}};
+      plan.search = search.run(*evaluator_, plan.involved, baseline_rates);
+      break;
+    }
+    case TuningMode::kNaive: {
+      const NaiveSearch search{};
+      plan.search = search.run(*evaluator_, plan.involved);
+      break;
+    }
+  }
+  // §2's hybrid phase: a short feedback pass from C_so toward C_after.
+  // The move set matches the tuning mode so the Table-1 rows stay
+  // comparable; the naive baseline stays pure feedback.
+  if (options_.hybrid_polish && options_.mode != TuningMode::kNaive) {
+    FeedbackOptions polish_options;
+    polish_options.unit_db = options_.power.unit_db;
+    polish_options.allow_power = options_.mode != TuningMode::kTilt;
+    polish_options.allow_tilt = options_.mode != TuningMode::kPower;
+    polish_options.max_steps = options_.polish_max_steps;
+    const FeedbackRun polish =
+        run_feedback_search(*evaluator_, plan.involved, polish_options);
+    if (!polish.utility_per_step.empty()) {
+      plan.search.utility = polish.utility_per_step.back();
+      plan.search.config = polish.final_config;
+      plan.search.accepted_steps +=
+          static_cast<int>(polish.utility_per_step.size());
+    }
+    plan.search.candidate_evaluations += polish.probe_count;
+  }
+  plan.f_after = plan.search.utility;
+  plan.recovery =
+      recovery_ratio({plan.f_before, plan.f_upgrade, plan.f_after});
+
+  // Gradual migration schedule, starting again from C_before.
+  model.set_configuration(plan.c_before);
+  const GradualTuner tuner{options_.gradual};
+  plan.gradual = tuner.plan(*evaluator_, targets, plan.search.config);
+
+  return plan;
+}
+
+int pre_plan_power(Evaluator& evaluator,
+                   std::span<const net::SectorId> sectors, double step_db,
+                   int sweeps) {
+  model::AnalysisModel& model = evaluator.model();
+  int accepted = 0;
+  double current_utility = evaluator.evaluate();
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (const net::SectorId s : sectors) {
+      if (!model.configuration()[s].active) continue;
+      for (const double direction : {step_db, -step_db}) {
+        bool improved_any = false;
+        while (true) {
+          const double before = model.configuration()[s].power_dbm;
+          const auto snapshot = model.snapshot();
+          model.set_power(s, before + direction);
+          if (model.configuration()[s].power_dbm == before) break;  // cap
+          const double utility = evaluator.evaluate();
+          if (utility > current_utility + 1e-9) {
+            current_utility = utility;
+            ++accepted;
+            improved_any = true;
+          } else {
+            model.restore(snapshot);
+            break;
+          }
+        }
+        // If the first direction helped, don't immediately undo it by
+        // probing the other direction this sweep.
+        if (improved_any) break;
+      }
+    }
+  }
+  return accepted;
+}
+
+}  // namespace magus::core

@@ -1,0 +1,97 @@
+// MagusPlanner: the end-to-end facade tying Figure 6 together.
+//
+// Given an analysis model (network + path-loss provider) and a utility, the
+// planner takes a set of sectors scheduled for upgrade and produces the
+// full mitigation plan: the involved-neighbor set, C_after (via the chosen
+// search), the predicted recovery ratio, and the gradual migration
+// schedule. This is the public entry point the examples use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/gradual.h"
+#include "core/joint_search.h"
+#include "core/naive_search.h"
+#include "core/recovery.h"
+
+namespace magus::core {
+
+enum class TuningMode { kPower, kTilt, kJoint, kNaive };
+
+[[nodiscard]] std::string tuning_mode_name(TuningMode mode);
+
+struct PlannerOptions {
+  TuningMode mode = TuningMode::kJoint;
+  /// Locally optimize the neighborhood's powers *before* planning (the
+  /// paper's premise: "radio network planners attempt to maximize coverage
+  /// and minimize interference" — C_before is a planned configuration, not
+  /// an arbitrary one). Without this, any tuner can harvest generic
+  /// utility unrelated to the outage and recovery comparisons lose
+  /// meaning.
+  bool pre_plan = true;
+  int pre_plan_sweeps = 2;
+  double pre_plan_step_db = 1.0;
+  /// §2's hybrid: after the model-based search reaches C_so, a short
+  /// feedback phase (k << K steps) corrects residual model error and
+  /// captures gains outside Algorithm 1's degraded-grid focus. Disabled
+  /// for the naive baseline, which is already pure feedback.
+  bool hybrid_polish = true;
+  int polish_max_steps = 30;
+  /// Neighbor selection: sectors whose site is within this radius of any
+  /// target's site form the involved set B...
+  double neighbor_radius_m = 10'000.0;
+  /// ...capped to the closest `max_neighbors` (urban areas would otherwise
+  /// pull in hundreds).
+  std::size_t max_neighbors = 24;
+  PowerSearchOptions power;
+  TiltSearchOptions tilt;
+  GradualOptions gradual;
+};
+
+struct MitigationPlan {
+  std::vector<net::SectorId> targets;
+  std::vector<net::SectorId> involved;  ///< ordered nearest-first
+  /// The (pre-planned) configuration the network runs before the upgrade.
+  net::Configuration c_before;
+  double f_before = 0.0;
+  double f_upgrade = 0.0;
+  double f_after = 0.0;
+  double recovery = 0.0;  ///< Formula 7
+  SearchResult search;
+  GradualPlan gradual;
+};
+
+class MagusPlanner {
+ public:
+  /// `evaluator` must outlive the planner.
+  MagusPlanner(Evaluator* evaluator, PlannerOptions options = {});
+
+  /// Plans mitigation for taking `targets` off-air. On entry the model may
+  /// be in any configuration; the planner resets it to the network default
+  /// (C_before), freezes the UE density there, and leaves the model at the
+  /// final (C_after) state with the plan's gradual schedule computed.
+  [[nodiscard]] MitigationPlan plan_upgrade(
+      std::span<const net::SectorId> targets) const;
+
+  /// Neighbor selection used by plan_upgrade, exposed for benches that
+  /// drive the searches directly.
+  [[nodiscard]] std::vector<net::SectorId> involved_sectors(
+      std::span<const net::SectorId> targets) const;
+
+ private:
+  Evaluator* evaluator_;
+  PlannerOptions options_;
+};
+
+/// Local power planning: per-sector hill climbing (±step, best direction,
+/// until the utility stops improving), swept `sweeps` times over `sectors`
+/// in order. Models what the operator's planning process has already done
+/// to the neighborhood; also usable to "plan" custom networks. Returns the
+/// number of accepted steps; the model is left at the planned configuration.
+int pre_plan_power(Evaluator& evaluator,
+                   std::span<const net::SectorId> sectors,
+                   double step_db = 1.0, int sweeps = 2);
+
+}  // namespace magus::core

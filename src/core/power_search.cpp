@@ -1,0 +1,93 @@
+#include "core/power_search.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace magus::core {
+
+PowerSearch::PowerSearch(PowerSearchOptions options) : options_(options) {
+  if (options_.unit_db <= 0.0) {
+    throw std::invalid_argument("PowerSearch: unit must be positive");
+  }
+}
+
+SearchResult PowerSearch::run(
+    Evaluator& evaluator, std::span<const net::SectorId> involved,
+    std::span<const double> baseline_rates) const {
+  model::AnalysisModel& model = evaluator.model();
+  if (baseline_rates.size() != static_cast<std::size_t>(model.cell_count())) {
+    throw std::invalid_argument("PowerSearch: baseline size mismatch");
+  }
+
+  SearchResult result;
+  double current_utility = evaluator.evaluate();
+  ++result.candidate_evaluations;
+
+  // G: grids degraded relative to C_before (shrinks as tuning recovers
+  // them; per the paper it is never re-grown).
+  std::vector<geo::GridIndex> degraded =
+      degraded_grids(model, baseline_rates, all_grids(model));
+
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    if (degraded.empty()) break;  // all affected grids recovered
+
+    bool accepted = false;
+    for (int multiplier = 1;
+         multiplier <= options_.max_unit_multiplier && !accepted;
+         ++multiplier) {
+      const double delta_db = options_.unit_db * multiplier;
+
+      // Lines 2-8: β = sectors that can improve some degraded grid.
+      std::vector<net::SectorId> beta;
+      for (const net::SectorId b : involved) {
+        if (!model.configuration()[b].active) continue;
+        for (const geo::GridIndex g : degraded) {
+          if (model.power_delta_improves_rate(b, delta_db, g)) {
+            beta.push_back(b);
+            break;
+          }
+        }
+      }
+      if (beta.empty()) continue;  // increment T
+
+      // Line 9: pick the candidate with the best overall utility.
+      const auto snapshot = model.snapshot();
+      net::SectorId best_sector = net::kInvalidSector;
+      double best_utility = current_utility;
+      for (const net::SectorId b : beta) {
+        const double power = model.configuration()[b].power_dbm;
+        model.set_power(b, power + delta_db);
+        const double utility = evaluator.evaluate();
+        ++result.candidate_evaluations;
+        model.restore(snapshot);
+        if (utility > best_utility + options_.min_improvement) {
+          best_utility = utility;
+          best_sector = b;
+        }
+      }
+      if (best_sector == net::kInvalidSector) continue;  // increment T
+
+      // Line 10: apply the winning change.
+      const double power = model.configuration()[best_sector].power_dbm;
+      model.set_power(best_sector, power + delta_db);
+      current_utility = best_utility;
+      ++result.accepted_steps;
+      result.trace.push_back(
+          TuningStep{best_sector, delta_db, 0, current_utility});
+      accepted = true;
+
+      // Line 11: update G.
+      degraded = degraded_grids(model, baseline_rates, degraded);
+    }
+    if (!accepted) break;  // no sector improves f at any allowed T
+  }
+
+  result.config = model.configuration();
+  result.utility = current_utility;
+  util::log_debug() << "PowerSearch: " << result.accepted_steps
+                    << " steps, utility " << result.utility;
+  return result;
+}
+
+}  // namespace magus::core

@@ -1,0 +1,50 @@
+// Algorithm 1: Magus's heuristic power-tuning search.
+//
+// Starting from the current configuration (C_upgrade: targets already
+// off-air), the search repeatedly:
+//   1. computes the candidate set β — involved sectors whose power raised
+//      by T units would improve the max rate of at least one still-degraded
+//      grid (lines 2-8; the rate test is the O(1)
+//      AnalysisModel::power_delta_improves_rate probe),
+//   2. evaluates f(C ⊕ P_b(T)) for every b in β and applies the best
+//      (line 9-10),
+//   3. shrinks the degraded-grid set G and repeats, incrementing T when β
+//      is empty or no candidate improves the overall utility (line 12).
+//
+// Termination: G empties (all degraded grids recovered), no candidate
+// improves f at any allowed T, or the iteration cap is hit.
+#pragma once
+
+#include <span>
+
+#include "core/evaluator.h"
+#include "core/search_types.h"
+
+namespace magus::core {
+
+struct PowerSearchOptions {
+  double unit_db = 1.0;        ///< one power-tuning unit (paper: 1 dB)
+  int max_unit_multiplier = 6; ///< largest T tried before giving up
+  int max_iterations = 500;
+  double min_improvement = 1e-9;  ///< accept threshold on f
+};
+
+class PowerSearch {
+ public:
+  explicit PowerSearch(PowerSearchOptions options = {});
+
+  /// Runs Algorithm 1. The evaluator's model must already be at C_upgrade
+  /// with the UE density frozen at C_before. `involved` is the paper's B
+  /// (the neighbors of the upgraded sectors); `baseline_rates` the per-grid
+  /// actual rates at C_before (capture_rates before the targets go down).
+  /// The
+  /// model is left at the returned configuration.
+  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+                                 std::span<const net::SectorId> involved,
+                                 std::span<const double> baseline_rates) const;
+
+ private:
+  PowerSearchOptions options_;
+};
+
+}  // namespace magus::core

@@ -1,0 +1,13 @@
+#include "core/recovery.h"
+
+#include <cmath>
+
+namespace magus::core {
+
+double recovery_ratio(const RecoveryInputs& inputs) {
+  const double degradation = inputs.f_before - inputs.f_upgrade;
+  if (std::abs(degradation) < 1e-12) return 0.0;
+  return (inputs.f_after - inputs.f_upgrade) / degradation;
+}
+
+}  // namespace magus::core

@@ -1,0 +1,18 @@
+// Recovery-ratio metric (paper Formula 7).
+#pragma once
+
+namespace magus::core {
+
+struct RecoveryInputs {
+  double f_before = 0.0;   ///< f(C_before): utility with everything on-air
+  double f_upgrade = 0.0;  ///< f(C_upgrade): targets off, no tuning
+  double f_after = 0.0;    ///< f(C_after): targets off, neighbors tuned
+};
+
+/// (f_after - f_upgrade) / (f_before - f_upgrade): 1 = full recovery,
+/// 0 = no improvement; can be negative when tuning for one objective hurts
+/// another (Table 2). Returns 0 when the upgrade causes no degradation
+/// (denominator ~ 0), since there is nothing to recover.
+[[nodiscard]] double recovery_ratio(const RecoveryInputs& inputs);
+
+}  // namespace magus::core

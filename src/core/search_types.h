@@ -1,0 +1,50 @@
+// Shared types for the configuration-search algorithms (§5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/analysis_model.h"
+#include "net/configuration.h"
+
+namespace magus::core {
+
+/// One accepted tuning action.
+struct TuningStep {
+  net::SectorId sector = net::kInvalidSector;
+  double power_delta_db = 0.0;  ///< 0 for tilt-only steps
+  int tilt_delta = 0;           ///< 0 for power-only steps
+  double utility_after = 0.0;   ///< f(C) after applying this step
+};
+
+struct SearchResult {
+  net::Configuration config;  ///< the C_after found
+  double utility = 0.0;       ///< f(C_after)
+  int accepted_steps = 0;
+  /// Model evaluations performed — the cost a feedback-based approach
+  /// would pay in on-air measurement iterations (Figure 12's "realistic"
+  /// step count).
+  long candidate_evaluations = 0;
+  std::vector<TuningStep> trace;
+};
+
+/// Captures the per-grid *actual* rates r(g) (Formula 4, load included) of
+/// the model's current state; used as the baseline ("before") rates when
+/// computing the affected-grid set G. The paper's G is defined on actual
+/// rate, so grids suffering only from post-outage load imbalance count as
+/// degraded too.
+[[nodiscard]] std::vector<double> capture_rates(
+    const model::AnalysisModel& model);
+
+/// Grids of `universe` whose current actual rate is below `baseline` —
+/// the paper's degraded-grid set. Pass all grids as the universe initially.
+[[nodiscard]] std::vector<geo::GridIndex> degraded_grids(
+    const model::AnalysisModel& model, std::span<const double> baseline,
+    std::span<const geo::GridIndex> universe);
+
+/// All grid indices of the model (initial universe).
+[[nodiscard]] std::vector<geo::GridIndex> all_grids(
+    const model::AnalysisModel& model);
+
+}  // namespace magus::core

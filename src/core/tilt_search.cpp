@@ -1,0 +1,50 @@
+#include "core/tilt_search.h"
+
+#include "util/logging.h"
+
+namespace magus::core {
+
+TiltSearch::TiltSearch(TiltSearchOptions options) : options_(options) {}
+
+SearchResult TiltSearch::run(Evaluator& evaluator,
+                             std::span<const net::SectorId> involved) const {
+  model::AnalysisModel& model = evaluator.model();
+  SearchResult result;
+  double current_utility = evaluator.evaluate();
+  ++result.candidate_evaluations;
+
+  const auto try_direction = [&](net::SectorId b, int direction) {
+    // Step the sector's tilt in `direction` while the utility improves.
+    for (int step = 0; step < options_.max_steps_per_sector; ++step) {
+      const auto before_tilt = model.configuration()[b].tilt;
+      const auto snapshot = model.snapshot();
+      model.set_tilt(b, before_tilt + direction);
+      if (model.configuration()[b].tilt == before_tilt) break;  // clamped
+      const double utility = evaluator.evaluate();
+      ++result.candidate_evaluations;
+      if (utility > current_utility + options_.min_improvement) {
+        current_utility = utility;
+        ++result.accepted_steps;
+        result.trace.push_back(TuningStep{b, 0.0, direction, utility});
+      } else {
+        model.restore(snapshot);
+        break;
+      }
+    }
+  };
+
+  for (const net::SectorId b : involved) {
+    if (!model.configuration()[b].active) continue;
+    // Paper behaviour: uptilt only (tilt index decreases).
+    try_direction(b, -1);
+    if (options_.allow_downtilt) try_direction(b, +1);
+  }
+
+  result.config = model.configuration();
+  result.utility = current_utility;
+  util::log_debug() << "TiltSearch: " << result.accepted_steps
+                    << " steps, utility " << result.utility;
+  return result;
+}
+
+}  // namespace magus::core

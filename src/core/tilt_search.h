@@ -1,0 +1,37 @@
+// Greedy antenna-tilt tuning (paper §5, "Antenna Tilt Tuning").
+//
+// The paper's simple greedy: uptilt the first neighboring sector step by
+// step until the utility gets worse, then move to the second neighbor, and
+// so on. Uptilt (negative TiltIndex in our convention) extends a sector's
+// reach toward the grids the upgraded sector used to serve.
+#pragma once
+
+#include <span>
+
+#include "core/evaluator.h"
+#include "core/search_types.h"
+
+namespace magus::core {
+
+struct TiltSearchOptions {
+  int max_steps_per_sector = 8;   ///< bounded by the antenna's tilt range
+  bool allow_downtilt = false;    ///< extension: also try downtilt steps
+  double min_improvement = 1e-9;
+};
+
+class TiltSearch {
+ public:
+  explicit TiltSearch(TiltSearchOptions options = {});
+
+  /// Runs the greedy tilt pass. `involved` should be ordered by priority
+  /// (the planner orders by distance to the upgraded sectors, nearest
+  /// first). The evaluator's model must be at C_upgrade; it is left at the
+  /// returned configuration.
+  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+                                 std::span<const net::SectorId> involved) const;
+
+ private:
+  TiltSearchOptions options_;
+};
+
+}  // namespace magus::core

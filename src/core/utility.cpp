@@ -1,0 +1,31 @@
+#include "core/utility.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace magus::core {
+
+Utility::Utility(std::string name, std::function<double(double)> u)
+    : name_(std::move(name)), u_(std::move(u)) {
+  if (!u_) throw std::invalid_argument("Utility: empty function");
+}
+
+Utility Utility::performance() {
+  return Utility{"performance", [](double rate_bps) {
+                   return std::log(rate_bps);
+                 }};
+}
+
+Utility Utility::coverage() {
+  return Utility{"coverage", [](double) { return 1.0; }};
+}
+
+Utility Utility::rate_threshold(double min_rate_bps) {
+  return Utility{"rate>=" + std::to_string(min_rate_bps),
+                 [min_rate_bps](double rate_bps) {
+                   return rate_bps >= min_rate_bps ? 1.0 : 0.0;
+                 }};
+}
+
+}  // namespace magus::core

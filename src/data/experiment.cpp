@@ -1,0 +1,39 @@
+#include "data/experiment.h"
+
+#include "model/coverage_map.h"
+
+namespace magus::data {
+
+double Experiment::resolve_range(const MarketParams& params,
+                                 const ExperimentOptions& options) {
+  if (options.max_range_m > 0.0) return options.max_range_m;
+  switch (params.resolved().morphology) {
+    case Morphology::kRural:
+      return 25'000.0;
+    case Morphology::kSuburban:
+      return 12'000.0;
+    case Morphology::kUrban:
+      return 6'000.0;
+  }
+  return 12'000.0;
+}
+
+Experiment::Experiment(const MarketParams& params,
+                       const ExperimentOptions& options)
+    : market_(generate_market(params)),
+      terrain_(make_market_terrain(params)),
+      terrain_cache_(terrain_,
+                     geo::GridMap{market_.region, market_.params.cell_size_m}),
+      propagation_(&terrain_, options.spm),
+      provider_(&market_.network,
+                pathloss::FootprintBuilder{&propagation_, &terrain_cache_,
+                                           resolve_range(params, options)}),
+      model_(&market_.network, &provider_, options.model) {}
+
+int Experiment::study_interferer_count() {
+  return model::interfering_sector_count(provider_, market_.network,
+                                         market_.network.default_configuration(),
+                                         market_.study_area);
+}
+
+}  // namespace magus::data

@@ -1,0 +1,58 @@
+// Experiment: the RAII bundle that wires a generated market to a live
+// analysis model (terrain -> propagation -> path-loss provider -> model),
+// owning every piece in dependency order. This is what the benches,
+// examples and integration tests instantiate.
+#pragma once
+
+#include "data/market_generator.h"
+#include "model/analysis_model.h"
+#include "pathloss/database.h"
+#include "radio/propagation.h"
+
+namespace magus::data {
+
+struct ExperimentOptions {
+  model::ModelOptions model;
+  radio::SpmParams spm;
+  /// Per-sector footprint range cutoff; 0 = morphology default (rural
+  /// sectors reach far, urban sectors are interference-limited long before
+  /// their signal fades).
+  double max_range_m = 0.0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const MarketParams& params,
+                      const ExperimentOptions& options = {});
+
+  [[nodiscard]] const Market& market() const { return market_; }
+  [[nodiscard]] const net::Network& network() const {
+    return market_.network;
+  }
+  [[nodiscard]] const geo::Rect& study_area() const {
+    return market_.study_area;
+  }
+  [[nodiscard]] const geo::GridMap& grid() const {
+    return terrain_cache_.grid();
+  }
+  [[nodiscard]] const terrain::Terrain& terrain() const { return terrain_; }
+  [[nodiscard]] pathloss::PathLossProvider& provider() { return provider_; }
+  [[nodiscard]] model::AnalysisModel& model() { return model_; }
+
+  /// Sectors whose signal reaches the study area above the noise floor at
+  /// the default configuration (the paper's Figure 8 statistic).
+  [[nodiscard]] int study_interferer_count();
+
+ private:
+  [[nodiscard]] static double resolve_range(const MarketParams& params,
+                                            const ExperimentOptions& options);
+
+  Market market_;
+  terrain::Terrain terrain_;
+  terrain::TerrainGridCache terrain_cache_;
+  radio::PropagationModel propagation_;
+  pathloss::BuildingProvider provider_;
+  model::AnalysisModel model_;
+};
+
+}  // namespace magus::data

@@ -1,0 +1,182 @@
+#include "data/market_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "radio/antenna.h"
+#include "radio/propagation.h"
+#include "terrain/terrain.h"
+#include "util/rng.h"
+
+namespace magus::data {
+
+namespace {
+/// Mean clutter correction (dB) a planner would assume per morphology.
+[[nodiscard]] double mean_clutter_db(Morphology m) {
+  switch (m) {
+    case Morphology::kRural:
+      return 4.0;
+    case Morphology::kSuburban:
+      return 8.0;
+    case Morphology::kUrban:
+      return 14.0;
+  }
+  return 8.0;
+}
+}  // namespace
+
+double planned_power_dbm(const MarketParams& raw_params) {
+  const MarketParams params = raw_params.resolved();
+  const radio::SpmParams spm;
+  // Nominal cell radius of a hexagonal 3-sector layout.
+  const double edge_km =
+      params.inter_site_distance_m / std::sqrt(3.0) / 1000.0;
+  const double log_d = std::log10(edge_km);
+  const double log_h = std::log10(std::max(5.0, params.antenna_height_m));
+  const double mean_loss = spm.k1 + spm.k2 * log_d + spm.k3 * log_h +
+                           spm.k5 * log_d * log_h +
+                           spm.k6 * spm.rx_height_m +
+                           mean_clutter_db(params.morphology);
+  const radio::AntennaParams antenna;  // planners count the boresight gain
+  const double power = params.target_edge_rp_dbm + mean_loss -
+                       antenna.boresight_gain_dbi;
+  return std::clamp(power, params.min_power_dbm, params.max_power_dbm);
+}
+
+std::string_view morphology_name(Morphology m) {
+  switch (m) {
+    case Morphology::kRural:
+      return "rural";
+    case Morphology::kSuburban:
+      return "suburban";
+    case Morphology::kUrban:
+      return "urban";
+  }
+  return "?";
+}
+
+MarketParams MarketParams::resolved() const {
+  MarketParams p = *this;
+  switch (p.morphology) {
+    case Morphology::kRural:
+      if (p.inter_site_distance_m == 0.0) p.inter_site_distance_m = 7000.0;
+      if (p.antenna_height_m == 0.0) p.antenna_height_m = 45.0;
+      if (p.base_downtilt_deg == 0.0) p.base_downtilt_deg = 2.5;
+      if (p.max_power_dbm == 0.0) p.max_power_dbm = 49.0;
+      if (p.subscribers_per_sector_mean == 0.0) {
+        p.subscribers_per_sector_mean = 250.0;
+      }
+      break;
+    case Morphology::kSuburban:
+      if (p.inter_site_distance_m == 0.0) p.inter_site_distance_m = 3400.0;
+      if (p.antenna_height_m == 0.0) p.antenna_height_m = 30.0;
+      if (p.base_downtilt_deg == 0.0) p.base_downtilt_deg = 5.0;
+      if (p.max_power_dbm == 0.0) p.max_power_dbm = 49.0;
+      if (p.subscribers_per_sector_mean == 0.0) {
+        p.subscribers_per_sector_mean = 450.0;
+      }
+      break;
+    case Morphology::kUrban:
+      if (p.inter_site_distance_m == 0.0) p.inter_site_distance_m = 1400.0;
+      if (p.antenna_height_m == 0.0) p.antenna_height_m = 25.0;
+      if (p.base_downtilt_deg == 0.0) p.base_downtilt_deg = 6.0;
+      if (p.max_power_dbm == 0.0) p.max_power_dbm = 46.0;
+      if (p.subscribers_per_sector_mean == 0.0) {
+        p.subscribers_per_sector_mean = 700.0;
+      }
+      break;
+  }
+  return p;
+}
+
+Market generate_market(const MarketParams& raw_params) {
+  const MarketParams params = raw_params.resolved();
+  if (params.region_size_m < params.study_size_m) {
+    throw std::invalid_argument(
+        "generate_market: region smaller than study area");
+  }
+
+  Market market;
+  market.params = params;
+  market.region = geo::Rect{{0.0, 0.0},
+                            {params.region_size_m, params.region_size_m}};
+  const double margin = (params.region_size_m - params.study_size_m) / 2.0;
+  market.study_area =
+      geo::Rect{{margin, margin},
+                {margin + params.study_size_m, margin + params.study_size_m}};
+
+  util::Xoshiro256ss rng{params.seed};
+  auto placement_rng = rng.fork(0x504C4143);   // placement
+  auto subscriber_rng = rng.fork(0x53554253);  // subscriber draws
+
+  const double power_dbm = params.default_power_dbm != 0.0
+                               ? params.default_power_dbm
+                               : planned_power_dbm(params);
+
+  net::Network& network = market.network;
+
+  // Jittered hexagonal lattice covering the region (plus half an ISD of
+  // margin so edge coverage is realistic).
+  const double isd = params.inter_site_distance_m;
+  const double row_height = isd * std::sqrt(3.0) / 2.0;
+  const double jitter = params.site_jitter_fraction * isd;
+  net::SiteId site_id = 0;
+  for (double y = -isd / 2.0; y < params.region_size_m + isd / 2.0;
+       y += row_height) {
+    const bool odd_row =
+        static_cast<long>(std::floor((y + isd) / row_height)) % 2 == 1;
+    const double x0 = odd_row ? isd / 2.0 : 0.0;
+    for (double x = x0 - isd / 2.0; x < params.region_size_m + isd / 2.0;
+         x += isd) {
+      const geo::Point site{
+          x + placement_rng.uniform(-jitter, jitter),
+          y + placement_rng.uniform(-jitter, jitter)};
+      const double rotation = placement_rng.uniform(0.0, 360.0);
+      for (int s = 0; s < params.sectors_per_site; ++s) {
+        net::Sector sector;
+        sector.site = site_id;
+        sector.name = "S" + std::to_string(site_id) + "/" + std::to_string(s);
+        sector.position = site;
+        sector.azimuth_deg = std::fmod(
+            rotation + 360.0 * s / params.sectors_per_site, 360.0);
+        sector.height_m = params.antenna_height_m;
+        sector.antenna.base_downtilt_deg = params.base_downtilt_deg;
+        sector.default_power_dbm = power_dbm;
+        sector.max_power_dbm = params.max_power_dbm;
+        sector.min_power_dbm = params.min_power_dbm;
+        const net::SectorId id = network.add_sector(sector);
+        network.set_subscribers(
+            id, subscriber_rng.poisson(params.subscribers_per_sector_mean));
+      }
+      ++site_id;
+    }
+  }
+  return market;
+}
+
+terrain::Terrain make_market_terrain(const MarketParams& raw_params) {
+  const MarketParams params = raw_params.resolved();
+  terrain::TerrainParams tp;
+  const geo::Point center{params.region_size_m / 2.0,
+                          params.region_size_m / 2.0};
+  switch (params.morphology) {
+    case Morphology::kRural:
+      tp.elevation_range_m = 180.0;
+      tp.urban_core_radius_m = 0.0;  // countryside only
+      break;
+    case Morphology::kSuburban:
+      tp.elevation_range_m = 100.0;
+      tp.urban_core = center;
+      tp.urban_core_radius_m = 2500.0;  // a small town core
+      break;
+    case Morphology::kUrban:
+      tp.elevation_range_m = 60.0;
+      tp.urban_core = center;
+      tp.urban_core_radius_m = 9000.0;  // downtown dominates
+      break;
+  }
+  return terrain::Terrain{util::mix64(params.seed ^ 0x5445524EULL), tp};
+}
+
+}  // namespace magus::data

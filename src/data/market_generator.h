@@ -1,0 +1,84 @@
+// Synthetic market generation — the stand-in for the paper's operational
+// data (base-station locations, powers, tilts, subscriber estimates) from
+// three US markets.
+//
+// A market is a 30 km x 30 km analysis region with a central 10 km x 10 km
+// study area (the paper tunes inside the study area but models the larger
+// region "to avoid boundary effects", §6). Sites sit on a jittered
+// hexagonal lattice whose inter-site distance is calibrated per morphology
+// so the study-area interferer counts land near the paper's (~26 rural,
+// ~55 suburban, ~178 urban).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "geo/grid_map.h"
+#include "net/network.h"
+#include "terrain/terrain.h"
+
+namespace magus::data {
+
+enum class Morphology { kRural, kSuburban, kUrban };
+
+[[nodiscard]] std::string_view morphology_name(Morphology m);
+
+struct MarketParams {
+  Morphology morphology = Morphology::kSuburban;
+  std::uint64_t seed = 1;
+
+  double region_size_m = 30'000.0;  ///< square analysis region edge
+  double study_size_m = 10'000.0;   ///< central study area edge
+  double cell_size_m = 100.0;       ///< analysis grid resolution
+
+  // Deployment; zeros mean "use the morphology default".
+  double inter_site_distance_m = 0.0;
+  double site_jitter_fraction = 0.25;  ///< of the inter-site distance
+  int sectors_per_site = 3;
+  double antenna_height_m = 0.0;
+  /// Planned electrical downtilt at tilt index 0; 0 = morphology default
+  /// (urban small cells run much deeper downtilts to confine interference).
+  double base_downtilt_deg = 0.0;
+  /// Planned per-sector transmit power. 0 = plan automatically: pick the
+  /// power that lands `target_edge_rp_dbm` at the nominal cell edge
+  /// (ISD / sqrt(3)) under the mean SPM loss — what a radio planner does.
+  /// An unplanned (uniformly max) network would leave "free" utility that
+  /// any tuner could harvest even without an outage, which distorts the
+  /// recovery comparisons.
+  double default_power_dbm = 0.0;
+  double target_edge_rp_dbm = -80.0;
+  /// 0 = morphology default: rural macros run near the regulatory cap,
+  /// urban small cells are capped much lower to contain interference.
+  double max_power_dbm = 0.0;
+  /// Sectors can be attenuated deeply during migration (software
+  /// attenuators reach far below planned powers).
+  double min_power_dbm = 15.0;
+  double subscribers_per_sector_mean = 0.0;
+
+  /// Fills morphology-dependent zero fields with calibrated defaults.
+  [[nodiscard]] MarketParams resolved() const;
+};
+
+struct Market {
+  MarketParams params;
+  net::Network network;
+  geo::Rect region;      ///< the full analysis region
+  geo::Rect study_area;  ///< centered inside the region
+};
+
+/// Generates the deployment (deterministic in params.seed). Terrain is
+/// generated separately by make_market_terrain so the caller controls its
+/// lifetime relative to the propagation model.
+[[nodiscard]] Market generate_market(const MarketParams& params);
+
+/// Terrain matching the market's morphology (urban core in the study
+/// center for urban/suburban markets).
+[[nodiscard]] terrain::Terrain make_market_terrain(const MarketParams& params);
+
+/// The planner's power rule used when default_power_dbm is 0: transmit
+/// power (dBm, clamped to [min, max]) that reaches `target_edge_rp_dbm`
+/// at the nominal cell edge under the mean Standard-Propagation-Model loss
+/// for this morphology. Exposed for tests and for custom deployments.
+[[nodiscard]] double planned_power_dbm(const MarketParams& params);
+
+}  // namespace magus::data

@@ -1,0 +1,107 @@
+#include "data/plan_export.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace magus::data {
+
+namespace {
+
+/// Minimal JSON string escaping (names are ASCII identifiers, but be safe).
+[[nodiscard]] std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string number(double value) {
+  std::ostringstream s;
+  s.precision(10);
+  s << value;
+  return s.str();
+}
+
+void append_setting(std::ostringstream& out, const net::SectorSetting& s) {
+  out << "{\"power_dbm\":" << number(s.power_dbm)
+      << ",\"tilt\":" << static_cast<int>(s.tilt)
+      << ",\"active\":" << (s.active ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+std::string plan_to_json(const core::MitigationPlan& plan,
+                         const net::Network& network) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"targets\": [";
+  for (std::size_t i = 0; i < plan.targets.size(); ++i) {
+    out << (i ? "," : "") << "\""
+        << escape(network.sector(plan.targets[i]).name) << "\"";
+  }
+  out << "],\n";
+
+  out << "  \"utility\": {\"before\": " << number(plan.f_before)
+      << ", \"upgrade\": " << number(plan.f_upgrade)
+      << ", \"after\": " << number(plan.f_after)
+      << ", \"recovery\": " << number(plan.recovery) << "},\n";
+
+  // Per-sector changes from C_before to C_after.
+  out << "  \"changes\": [\n";
+  const auto changed = plan.c_before.diff(plan.search.config);
+  for (std::size_t i = 0; i < changed.size(); ++i) {
+    const net::SectorId id = changed[i];
+    out << "    {\"sector\": \"" << escape(network.sector(id).name)
+        << "\", \"from\": ";
+    append_setting(out, plan.c_before[id]);
+    out << ", \"to\": ";
+    append_setting(out, plan.search.config[id]);
+    out << "}" << (i + 1 < changed.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  // The gradual migration schedule.
+  out << "  \"gradual\": {\"floor_utility\": "
+      << number(plan.gradual.floor_utility) << ", \"steps\": [\n";
+  for (std::size_t i = 0; i < plan.gradual.steps.size(); ++i) {
+    const auto& step = plan.gradual.steps[i];
+    out << "    {\"utility\": " << number(step.utility)
+        << ", \"handover_ues\": " << number(step.handover_ues)
+        << ", \"hard_handover_ues\": " << number(step.hard_handover_ues)
+        << ", \"compensations\": " << step.compensations
+        << ", \"final\": " << (step.is_final ? "true" : "false") << "}"
+        << (i + 1 < plan.gradual.steps.size() ? "," : "") << "\n";
+  }
+  out << "  ]},\n";
+
+  out << "  \"search\": {\"accepted_steps\": " << plan.search.accepted_steps
+      << ", \"model_evaluations\": " << plan.search.candidate_evaluations
+      << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+void write_plan_json(const core::MitigationPlan& plan,
+                     const net::Network& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_plan_json: cannot open " + path);
+  out << plan_to_json(plan, network);
+  if (!out) throw std::runtime_error("write_plan_json: write failed");
+}
+
+}  // namespace magus::data

@@ -1,0 +1,25 @@
+// Operator-facing export of mitigation plans.
+//
+// A MitigationPlan is what an operations team pushes through their
+// configuration-management pipeline; this module serializes it to JSON
+// (self-contained, no external library): the targets, the per-sector
+// configuration changes, the gradual migration schedule, and the predicted
+// recovery — everything a change-request ticket needs.
+#pragma once
+
+#include <string>
+
+#include "core/planner.h"
+#include "net/network.h"
+
+namespace magus::data {
+
+/// JSON document describing the plan. Sector names come from the network.
+[[nodiscard]] std::string plan_to_json(const core::MitigationPlan& plan,
+                                       const net::Network& network);
+
+/// Writes plan_to_json to a file; throws std::runtime_error on I/O errors.
+void write_plan_json(const core::MitigationPlan& plan,
+                     const net::Network& network, const std::string& path);
+
+}  // namespace magus::data

@@ -1,0 +1,121 @@
+#include "data/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace magus::data {
+
+namespace {
+
+void open_or_throw(std::ofstream& out, const std::string& path) {
+  if (!out) throw std::runtime_error("render: cannot open " + path);
+}
+
+/// Maps a value in [lo, hi] to a byte, clamping.
+[[nodiscard]] unsigned char to_byte(double value, double lo, double hi) {
+  const double t = std::clamp((value - lo) / (hi - lo), 0.0, 1.0);
+  return static_cast<unsigned char>(std::lround(t * 255.0));
+}
+
+void write_pgm(const geo::GridMap& grid, std::span<const unsigned char> pixels,
+               const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  open_or_throw(out, path);
+  out << "P5\n" << grid.cols() << ' ' << grid.rows() << "\n255\n";
+  // Image rows top-to-bottom = grid rows north-to-south.
+  for (std::int32_t row = grid.rows() - 1; row >= 0; --row) {
+    out.write(reinterpret_cast<const char*>(
+                  pixels.data() + static_cast<std::size_t>(row) * grid.cols()),
+              grid.cols());
+  }
+}
+
+void write_ppm(const geo::GridMap& grid, std::span<const unsigned char> rgb,
+               const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  open_or_throw(out, path);
+  out << "P6\n" << grid.cols() << ' ' << grid.rows() << "\n255\n";
+  for (std::int32_t row = grid.rows() - 1; row >= 0; --row) {
+    out.write(reinterpret_cast<const char*>(
+                  rgb.data() +
+                  static_cast<std::size_t>(row) * grid.cols() * 3),
+              static_cast<std::streamsize>(grid.cols()) * 3);
+  }
+}
+
+}  // namespace
+
+void render_pathloss_pgm(const pathloss::SectorFootprint& footprint,
+                         const geo::GridMap& grid, const std::string& path) {
+  std::vector<unsigned char> pixels(
+      static_cast<std::size_t>(grid.cell_count()), 0);
+  footprint.for_each_covered([&](geo::GridIndex g, float gain) {
+    // Paper range: about -200 dB (edge) to -20 dB (close-in).
+    pixels[static_cast<std::size_t>(g)] = to_byte(gain, -170.0, -50.0);
+  });
+  write_pgm(grid, pixels, path);
+}
+
+void render_sinr_pgm(const model::AnalysisModel& model,
+                     const std::string& path, double min_sinr_db,
+                     double max_sinr_db) {
+  const auto& grid = model.grid();
+  std::vector<unsigned char> pixels(
+      static_cast<std::size_t>(grid.cell_count()), 0);
+  for (geo::GridIndex g = 0; g < grid.cell_count(); ++g) {
+    const double sinr = model.sinr_db(g);
+    if (sinr < min_sinr_db) continue;  // black: out of service
+    pixels[static_cast<std::size_t>(g)] =
+        std::max<unsigned char>(32, to_byte(sinr, min_sinr_db, max_sinr_db));
+  }
+  write_pgm(grid, pixels, path);
+}
+
+void render_service_ppm(const model::AnalysisModel& model,
+                        const std::string& path) {
+  const auto& grid = model.grid();
+  std::vector<unsigned char> rgb(
+      static_cast<std::size_t>(grid.cell_count()) * 3, 0);
+  for (geo::GridIndex g = 0; g < grid.cell_count(); ++g) {
+    if (!model.in_service(g)) continue;  // black
+    const auto s = static_cast<std::uint64_t>(model.serving_sector(g));
+    // Stable bright color per sector.
+    const std::uint64_t h = util::mix64(s * 0x9E3779B97F4A7C15ULL + 1);
+    const auto base = static_cast<std::size_t>(g) * 3;
+    rgb[base + 0] = static_cast<unsigned char>(64 + (h & 0xBF));
+    rgb[base + 1] = static_cast<unsigned char>(64 + ((h >> 8) & 0xBF));
+    rgb[base + 2] = static_cast<unsigned char>(64 + ((h >> 16) & 0xBF));
+  }
+  write_ppm(grid, rgb, path);
+}
+
+void render_sinr_delta_pgm(std::span<const double> before,
+                           std::span<const double> after,
+                           const geo::GridMap& grid, const std::string& path,
+                           double full_scale_db) {
+  if (before.size() != after.size() ||
+      before.size() != static_cast<std::size_t>(grid.cell_count())) {
+    throw std::invalid_argument("render_sinr_delta_pgm: size mismatch");
+  }
+  std::vector<unsigned char> pixels(before.size(), 128);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const bool had = std::isfinite(before[i]);
+    const bool has = std::isfinite(after[i]);
+    double delta = 0.0;
+    if (had && has) {
+      delta = after[i] - before[i];
+    } else if (!had && has) {
+      delta = full_scale_db;  // gained coverage
+    } else if (had && !has) {
+      delta = -full_scale_db;  // lost coverage
+    }
+    pixels[i] = to_byte(delta, -full_scale_db, full_scale_db);
+  }
+  write_pgm(grid, pixels, path);
+}
+
+}  // namespace magus::data

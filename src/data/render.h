@@ -1,0 +1,37 @@
+// Map renderers for the paper's visualization figures (3, 4, 5, 8, 10):
+// PGM (grayscale) and PPM (color) images of path loss, SINR, and
+// best-server maps.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "model/analysis_model.h"
+#include "pathloss/footprint.h"
+
+namespace magus::data {
+
+/// Writes a grayscale map of one sector's path-loss matrix (Figure 3 style:
+/// brighter = lower loss). Uncovered cells are black.
+void render_pathloss_pgm(const pathloss::SectorFootprint& footprint,
+                         const geo::GridMap& grid, const std::string& path);
+
+/// Writes a grayscale SINR map: black below `min_sinr_db`, brighter =
+/// higher SINR, saturating at `max_sinr_db`.
+void render_sinr_pgm(const model::AnalysisModel& model,
+                     const std::string& path, double min_sinr_db = -6.7,
+                     double max_sinr_db = 25.0);
+
+/// Writes a color best-server map (Figure 4 style): each sector gets a
+/// stable pseudo-random color; out-of-service cells are black.
+void render_service_ppm(const model::AnalysisModel& model,
+                        const std::string& path);
+
+/// Writes a grayscale per-grid difference map of two SINR snapshots
+/// (Figure 10 style): mid-gray = unchanged, brighter = improved.
+void render_sinr_delta_pgm(std::span<const double> before,
+                           std::span<const double> after,
+                           const geo::GridMap& grid, const std::string& path,
+                           double full_scale_db = 15.0);
+
+}  // namespace magus::data

@@ -1,0 +1,68 @@
+#include "data/upgrade_scenarios.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace magus::data {
+
+std::string_view scenario_name(UpgradeScenario s) {
+  switch (s) {
+    case UpgradeScenario::kSingleSector:
+      return "(a) single sector";
+    case UpgradeScenario::kFullSite:
+      return "(b) full site";
+    case UpgradeScenario::kFourCorners:
+      return "(c) four corners";
+  }
+  return "?";
+}
+
+std::vector<UpgradeScenario> all_scenarios() {
+  return {UpgradeScenario::kSingleSector, UpgradeScenario::kFullSite,
+          UpgradeScenario::kFourCorners};
+}
+
+namespace {
+/// Nearest sector to a point; used as the seed of site-based selections.
+[[nodiscard]] net::SectorId nearest_sector(const net::Network& network,
+                                           geo::Point p) {
+  const auto ids = network.nearest_sectors(p, 1);
+  if (ids.empty()) {
+    throw std::invalid_argument("upgrade_targets: empty network");
+  }
+  return ids.front();
+}
+}  // namespace
+
+std::vector<net::SectorId> upgrade_targets(const Market& market,
+                                           UpgradeScenario scenario) {
+  const net::Network& network = market.network;
+  const geo::Point center = market.study_area.center();
+
+  switch (scenario) {
+    case UpgradeScenario::kSingleSector: {
+      return {nearest_sector(network, center)};
+    }
+    case UpgradeScenario::kFullSite: {
+      const net::SectorId seed = nearest_sector(network, center);
+      return network.sectors_at_site(network.sector(seed).site);
+    }
+    case UpgradeScenario::kFourCorners: {
+      const geo::Rect& area = market.study_area;
+      const geo::Point corners[4] = {
+          area.min,
+          {area.max.x_m, area.min.y_m},
+          area.max,
+          {area.min.x_m, area.max.y_m}};
+      std::set<net::SectorId> unique;
+      for (const geo::Point corner : corners) {
+        unique.insert(nearest_sector(network, corner));
+      }
+      return {unique.begin(), unique.end()};
+    }
+  }
+  throw std::invalid_argument("upgrade_targets: unknown scenario");
+}
+
+}  // namespace magus::data

@@ -1,0 +1,28 @@
+// The three planned-upgrade scenarios of Figure 9:
+//   (a) one sector at a centrally located base station,
+//   (b) all sectors of that central base station,
+//   (c) one sector at each of the four corners of the study area
+//       (a multi-sector concurrent upgrade).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "data/market_generator.h"
+
+namespace magus::data {
+
+enum class UpgradeScenario { kSingleSector, kFullSite, kFourCorners };
+
+[[nodiscard]] std::string_view scenario_name(UpgradeScenario s);
+
+/// All three scenarios, in (a), (b), (c) order.
+[[nodiscard]] std::vector<UpgradeScenario> all_scenarios();
+
+/// Target sectors for a scenario on this market. Deterministic: (a)/(b)
+/// use the site nearest the study-area center; (c) picks, for each study
+/// corner, one sector of the nearest site (deduplicated).
+[[nodiscard]] std::vector<net::SectorId> upgrade_targets(
+    const Market& market, UpgradeScenario scenario);
+
+}  // namespace magus::data

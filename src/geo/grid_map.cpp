@@ -1,0 +1,76 @@
+#include "geo/grid_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace magus::geo {
+
+GridMap::GridMap(Rect area, double cell_size_m)
+    : area_(area), cell_size_m_(cell_size_m) {
+  if (cell_size_m <= 0.0) {
+    throw std::invalid_argument("GridMap: cell size must be positive");
+  }
+  if (area.width_m() <= 0.0 || area.height_m() <= 0.0) {
+    throw std::invalid_argument("GridMap: area must have positive extent");
+  }
+  cols_ = static_cast<std::int32_t>(std::ceil(area.width_m() / cell_size_m));
+  rows_ = static_cast<std::int32_t>(std::ceil(area.height_m() / cell_size_m));
+  area_.max = {area_.min.x_m + cols_ * cell_size_m_,
+               area_.min.y_m + rows_ * cell_size_m_};
+}
+
+GridIndex GridMap::index_of(Point p) const {
+  if (!area_.contains(p)) return kInvalidGrid;
+  const auto col =
+      static_cast<std::int32_t>((p.x_m - area_.min.x_m) / cell_size_m_);
+  const auto row =
+      static_cast<std::int32_t>((p.y_m - area_.min.y_m) / cell_size_m_);
+  // Guard against floating-point edge cases on the max boundary.
+  if (col < 0 || col >= cols_ || row < 0 || row >= rows_) return kInvalidGrid;
+  return at(col, row);
+}
+
+Point GridMap::center_of(GridIndex g) const {
+  const auto col = col_of(g);
+  const auto row = row_of(g);
+  return {area_.min.x_m + (col + 0.5) * cell_size_m_,
+          area_.min.y_m + (row + 0.5) * cell_size_m_};
+}
+
+std::vector<GridIndex> GridMap::cells_in(const Rect& rect) const {
+  std::vector<GridIndex> cells;
+  const auto col_lo = std::max<std::int32_t>(
+      0, static_cast<std::int32_t>(
+             std::floor((rect.min.x_m - area_.min.x_m) / cell_size_m_)));
+  const auto col_hi = std::min<std::int32_t>(
+      cols_ - 1, static_cast<std::int32_t>(
+                     std::floor((rect.max.x_m - area_.min.x_m) / cell_size_m_)));
+  const auto row_lo = std::max<std::int32_t>(
+      0, static_cast<std::int32_t>(
+             std::floor((rect.min.y_m - area_.min.y_m) / cell_size_m_)));
+  const auto row_hi = std::min<std::int32_t>(
+      rows_ - 1, static_cast<std::int32_t>(
+                     std::floor((rect.max.y_m - area_.min.y_m) / cell_size_m_)));
+  for (std::int32_t row = row_lo; row <= row_hi; ++row) {
+    for (std::int32_t col = col_lo; col <= col_hi; ++col) {
+      const GridIndex g = at(col, row);
+      if (rect.contains(center_of(g))) cells.push_back(g);
+    }
+  }
+  return cells;
+}
+
+std::vector<GridIndex> GridMap::cells_within(Point center,
+                                             double radius_m) const {
+  std::vector<GridIndex> cells;
+  const Rect box{{center.x_m - radius_m, center.y_m - radius_m},
+                 {center.x_m + radius_m, center.y_m + radius_m}};
+  const double r2 = radius_m * radius_m;
+  for (const GridIndex g : cells_in(box)) {
+    if (squared_distance_m2(center_of(g), center) <= r2) cells.push_back(g);
+  }
+  return cells;
+}
+
+}  // namespace magus::geo

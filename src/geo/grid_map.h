@@ -1,0 +1,64 @@
+// Rectangular analysis grid over a planar region.
+//
+// The paper divides the area into 100 m x 100 m grids and treats every user
+// inside a grid identically (§4.1). GridMap owns the geometry <-> index
+// mapping; all per-grid state elsewhere in the library is stored in flat
+// vectors indexed by GridIndex.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace magus::geo {
+
+/// Flat index of a grid cell; grids are numbered row-major from the
+/// south-west corner.
+using GridIndex = std::int32_t;
+
+inline constexpr GridIndex kInvalidGrid = -1;
+
+class GridMap {
+ public:
+  /// Covers `area` with square cells of `cell_size_m`. The area's width and
+  /// height are rounded up to whole cells. Throws std::invalid_argument on
+  /// non-positive sizes.
+  GridMap(Rect area, double cell_size_m);
+
+  [[nodiscard]] std::int32_t cols() const { return cols_; }
+  [[nodiscard]] std::int32_t rows() const { return rows_; }
+  [[nodiscard]] std::int32_t cell_count() const { return cols_ * rows_; }
+  [[nodiscard]] double cell_size_m() const { return cell_size_m_; }
+  [[nodiscard]] const Rect& area() const { return area_; }
+
+  /// Index of the cell containing `p`, or kInvalidGrid if outside the area.
+  [[nodiscard]] GridIndex index_of(Point p) const;
+
+  /// Center point of cell `g`. Requires a valid index.
+  [[nodiscard]] Point center_of(GridIndex g) const;
+
+  [[nodiscard]] std::int32_t col_of(GridIndex g) const { return g % cols_; }
+  [[nodiscard]] std::int32_t row_of(GridIndex g) const { return g / cols_; }
+  [[nodiscard]] GridIndex at(std::int32_t col, std::int32_t row) const {
+    return row * cols_ + col;
+  }
+  [[nodiscard]] bool valid(GridIndex g) const {
+    return g >= 0 && g < cell_count();
+  }
+
+  /// All cell indices whose centers lie inside `rect` (clipped to the map).
+  [[nodiscard]] std::vector<GridIndex> cells_in(const Rect& rect) const;
+
+  /// All cell indices whose centers lie within `radius_m` of `center`.
+  [[nodiscard]] std::vector<GridIndex> cells_within(Point center,
+                                                    double radius_m) const;
+
+ private:
+  Rect area_;
+  double cell_size_m_;
+  std::int32_t cols_;
+  std::int32_t rows_;
+};
+
+}  // namespace magus::geo

@@ -1,0 +1,85 @@
+// Planar geometry in meters.
+//
+// The library works in a local tangent plane: x grows east, y grows north.
+// At market scale (tens of km) the flat-earth approximation error is far
+// below the 100 m grid resolution.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace magus::geo {
+
+struct Point {
+  double x_m = 0.0;
+  double y_m = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x_m + b.x_m, a.y_m + b.y_m};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x_m - b.x_m, a.y_m - b.y_m};
+  }
+  friend constexpr Point operator*(Point p, double s) {
+    return {p.x_m * s, p.y_m * s};
+  }
+  friend constexpr bool operator==(Point a, Point b) {
+    return a.x_m == b.x_m && a.y_m == b.y_m;
+  }
+};
+
+[[nodiscard]] inline double distance_m(Point a, Point b) {
+  return std::hypot(a.x_m - b.x_m, a.y_m - b.y_m);
+}
+
+[[nodiscard]] inline double squared_distance_m2(Point a, Point b) {
+  const double dx = a.x_m - b.x_m;
+  const double dy = a.y_m - b.y_m;
+  return dx * dx + dy * dy;
+}
+
+/// Compass bearing from `from` to `to` in degrees: 0 = north, 90 = east.
+[[nodiscard]] inline double bearing_deg(Point from, Point to) {
+  const double deg = std::atan2(to.x_m - from.x_m, to.y_m - from.y_m) * 180.0 /
+                     std::numbers::pi;
+  return deg < 0.0 ? deg + 360.0 : deg;
+}
+
+/// Normalizes an angular difference to (-180, 180] degrees.
+[[nodiscard]] inline double wrap_angle_deg(double angle_deg) {
+  double a = std::fmod(angle_deg, 360.0);
+  if (a > 180.0) a -= 360.0;
+  if (a <= -180.0) a += 360.0;
+  return a;
+}
+
+/// Point at the given bearing/distance from the origin point.
+[[nodiscard]] inline Point offset(Point from, double bearing_degrees,
+                                  double distance_meters) {
+  const double rad = bearing_degrees * std::numbers::pi / 180.0;
+  return {from.x_m + distance_meters * std::sin(rad),
+          from.y_m + distance_meters * std::cos(rad)};
+}
+
+/// Axis-aligned rectangle, inclusive of min edge, exclusive of max edge.
+struct Rect {
+  Point min;
+  Point max;
+
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x_m >= min.x_m && p.x_m < max.x_m && p.y_m >= min.y_m &&
+           p.y_m < max.y_m;
+  }
+  [[nodiscard]] constexpr double width_m() const { return max.x_m - min.x_m; }
+  [[nodiscard]] constexpr double height_m() const { return max.y_m - min.y_m; }
+  [[nodiscard]] constexpr Point center() const {
+    return {(min.x_m + max.x_m) / 2.0, (min.y_m + max.y_m) / 2.0};
+  }
+  /// Rectangle grown by `margin_m` on every side.
+  [[nodiscard]] constexpr Rect expanded(double margin_m) const {
+    return {{min.x_m - margin_m, min.y_m - margin_m},
+            {max.x_m + margin_m, max.y_m + margin_m}};
+  }
+};
+
+}  // namespace magus::geo

@@ -1,0 +1,77 @@
+#include "lte/amc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace magus::lte {
+
+const std::array<double, kCqiLevels>& cqi_sinr_thresholds_db() {
+  // Widely used CQI switching points for 10% BLER (e.g. Vienna LTE
+  // simulator calibration).
+  static const std::array<double, kCqiLevels> kThresholds = {
+      -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1,
+      10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7};
+  return kThresholds;
+}
+
+const std::array<double, kCqiLevels>& cqi_efficiency() {
+  // TS 36.213 Table 7.2.3-1 (normative), bit/s/Hz.
+  static const std::array<double, kCqiLevels> kEff = {
+      0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141,
+      2.4063, 2.7305, 3.3223, 3.9023, 4.5234, 5.1152, 5.5547};
+  return kEff;
+}
+
+const std::array<int, kCqiLevels>& cqi_to_mcs() {
+  // Standard simulator mapping: highest MCS whose efficiency does not
+  // exceed the CQI's.
+  static const std::array<int, kCqiLevels> kMcs = {
+      0, 2, 4, 6, 8, 11, 13, 15, 18, 20, 22, 24, 26, 28, 28};
+  return kMcs;
+}
+
+int mcs_to_itbs(int mcs) {
+  // TS 36.213 Table 7.1.7.1-1 (downlink): MCS 0..9 -> I_TBS 0..9 (QPSK),
+  // 10..16 -> 9..15 (16QAM), 17..28 -> 15..26 (64QAM).
+  if (mcs < 0 || mcs > 28) {
+    throw std::invalid_argument("mcs_to_itbs: MCS out of range");
+  }
+  if (mcs <= 9) return mcs;
+  if (mcs <= 16) return mcs - 1;
+  return mcs - 2;
+}
+
+Cqi sinr_to_cqi(double sinr_db) {
+  const auto& thresholds = cqi_sinr_thresholds_db();
+  Cqi cqi = 0;
+  for (int i = 0; i < kCqiLevels; ++i) {
+    if (sinr_db >= thresholds[i]) cqi = i + 1;
+  }
+  return cqi;
+}
+
+double min_service_sinr_db() { return cqi_sinr_thresholds_db().front(); }
+
+long transport_block_bits(Cqi cqi, int prb) {
+  if (cqi <= 0) return 0;
+  if (cqi > kCqiLevels) {
+    throw std::invalid_argument("transport_block_bits: CQI out of range");
+  }
+  if (prb <= 0) return 0;
+  // Structural TBS reproduction: efficiency x PRB bandwidth x 1 ms TTI,
+  // rounded down to whole bytes (the spec's sizes are byte-aligned).
+  const double bits = cqi_efficiency()[cqi - 1] * prb * 180e3 * 1e-3;
+  const long bytes = static_cast<long>(bits / 8.0);
+  return bytes * 8;
+}
+
+double max_rate_bps(double sinr_db, Bandwidth bw) {
+  return max_rate_bps_for_cqi(sinr_to_cqi(sinr_db), bw);
+}
+
+double max_rate_bps_for_cqi(Cqi cqi, Bandwidth bw) {
+  // One transport block per 1 ms TTI.
+  return static_cast<double>(transport_block_bits(cqi, prb_count(bw))) * 1e3;
+}
+
+}  // namespace magus::lte

@@ -1,0 +1,63 @@
+// Adaptive modulation and coding: SINR -> CQI -> MCS -> transport block
+// size -> rate.
+//
+// The paper (§4.1) maps grid SINR to a rate via the TS 36.213 MCS / TBS
+// tables. We implement the same pipeline:
+//
+//   1. SINR -> CQI using the link-level CQI switching thresholds commonly
+//      used in LTE system simulators (10% BLER targets).
+//   2. CQI -> spectral efficiency from TS 36.213 Table 7.2.3-1 (the 4-bit
+//      CQI table; these 15 efficiencies are normative 3GPP values).
+//   3. CQI -> MCS index and TBS index (I_TBS) via the standard simulator
+//      mapping (highest MCS whose code rate does not exceed the CQI's).
+//   4. I_TBS x PRB -> transport block bits per 1 ms TTI. The normative TBS
+//      table is reproduced *structurally*: bits = efficiency x PRB x 180 kHz
+//      x 1 ms, quantized to the byte-aligned sizes the spec uses. DESIGN.md
+//      documents this substitution (absolute rates track the real table to
+//      within a few percent, which is well inside the noise of the study).
+//
+// Below SINRmin (the CQI-1 threshold, default -6.7 dB) a grid is out of
+// service and the rate is zero, exactly as in the paper.
+#pragma once
+
+#include <array>
+
+#include "lte/bandwidth.h"
+
+namespace magus::lte {
+
+/// 4-bit channel quality indicator, 0 = out of range, 1..15 usable.
+using Cqi = int;
+
+inline constexpr int kCqiLevels = 15;
+
+/// CQI SINR switching thresholds (dB) for 10% BLER, CQI 1..15.
+[[nodiscard]] const std::array<double, kCqiLevels>& cqi_sinr_thresholds_db();
+
+/// Spectral efficiency (bit/s/Hz) per CQI 1..15, TS 36.213 Table 7.2.3-1.
+[[nodiscard]] const std::array<double, kCqiLevels>& cqi_efficiency();
+
+/// MCS index (0..28) used for each CQI 1..15.
+[[nodiscard]] const std::array<int, kCqiLevels>& cqi_to_mcs();
+
+/// TBS index I_TBS (0..26) for an MCS index (TS 36.213 Table 7.1.7.1-1).
+[[nodiscard]] int mcs_to_itbs(int mcs);
+
+/// Highest CQI whose threshold is <= sinr_db; 0 if below the lowest.
+[[nodiscard]] Cqi sinr_to_cqi(double sinr_db);
+
+/// SINR below which service is unavailable (the CQI-1 threshold).
+[[nodiscard]] double min_service_sinr_db();
+
+/// Transport block size in bits for one 1 ms TTI at the given CQI across
+/// `prb` resource blocks. Returns 0 for CQI 0. Byte-aligned like the spec.
+[[nodiscard]] long transport_block_bits(Cqi cqi, int prb);
+
+/// Peak PHY rate in bit/s for a UE alone on the carrier at `sinr_db`
+/// (r_max(g) in the paper). Zero below the service threshold.
+[[nodiscard]] double max_rate_bps(double sinr_db, Bandwidth bw);
+
+/// max_rate_bps for a precomputed CQI (hot path in the analysis model).
+[[nodiscard]] double max_rate_bps_for_cqi(Cqi cqi, Bandwidth bw);
+
+}  // namespace magus::lte

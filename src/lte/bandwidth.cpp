@@ -1,0 +1,4 @@
+#include "lte/bandwidth.h"
+
+// All definitions are constexpr in the header; this TU anchors the module.
+namespace magus::lte {}

@@ -1,0 +1,62 @@
+// LTE channel bandwidth configurations (3GPP TS 36.101 Table 5.6-1).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace magus::lte {
+
+/// Standard LTE channel bandwidths and their downlink resource-block counts.
+enum class Bandwidth : std::uint8_t {
+  kMhz1_4 = 0,
+  kMhz3 = 1,
+  kMhz5 = 2,
+  kMhz10 = 3,
+  kMhz15 = 4,
+  kMhz20 = 5,
+};
+
+/// Number of downlink physical resource blocks (PRBs).
+[[nodiscard]] constexpr int prb_count(Bandwidth bw) {
+  switch (bw) {
+    case Bandwidth::kMhz1_4:
+      return 6;
+    case Bandwidth::kMhz3:
+      return 15;
+    case Bandwidth::kMhz5:
+      return 25;
+    case Bandwidth::kMhz10:
+      return 50;
+    case Bandwidth::kMhz15:
+      return 75;
+    case Bandwidth::kMhz20:
+      return 100;
+  }
+  throw std::invalid_argument("prb_count: unknown bandwidth");
+}
+
+/// Channel bandwidth in MHz.
+[[nodiscard]] constexpr double channel_mhz(Bandwidth bw) {
+  switch (bw) {
+    case Bandwidth::kMhz1_4:
+      return 1.4;
+    case Bandwidth::kMhz3:
+      return 3.0;
+    case Bandwidth::kMhz5:
+      return 5.0;
+    case Bandwidth::kMhz10:
+      return 10.0;
+    case Bandwidth::kMhz15:
+      return 15.0;
+    case Bandwidth::kMhz20:
+      return 20.0;
+  }
+  throw std::invalid_argument("channel_mhz: unknown bandwidth");
+}
+
+/// Occupied (PRB) bandwidth in Hz: PRBs x 180 kHz.
+[[nodiscard]] constexpr double occupied_hz(Bandwidth bw) {
+  return prb_count(bw) * 180e3;
+}
+
+}  // namespace magus::lte

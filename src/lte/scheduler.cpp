@@ -1,0 +1,18 @@
+#include "lte/scheduler.h"
+
+#include <algorithm>
+
+namespace magus::lte {
+
+double SchedulerModel::shared_rate_bps(double max_rate_bps,
+                                       double attached_ues) const {
+  if (max_rate_bps <= 0.0 || attached_ues <= 0.0) return 0.0;
+  double usable = 1.0 - fixed_overhead;
+  if (kind == SchedulerKind::kOverheadAware) {
+    usable -= per_ue_overhead * attached_ues;
+  }
+  usable = std::max(usable, 0.0);
+  return max_rate_bps * usable / attached_ues;
+}
+
+}  // namespace magus::lte

@@ -1,0 +1,35 @@
+// Capacity-sharing models for a loaded sector.
+//
+// The paper assumes round-robin or long-term proportional-fair scheduling,
+// under which every attached UE receives an equal share of the sector's
+// airtime, so r(g) = r_max(g) / N (Formula 4). We expose that model plus a
+// weighted variant used for sensitivity analysis, behind a small interface
+// so the analysis model stays scheduler-agnostic.
+#pragma once
+
+#include <cstdint>
+
+namespace magus::lte {
+
+enum class SchedulerKind : std::uint8_t {
+  kEqualShare = 0,   ///< round-robin / long-term PF (the paper's model)
+  kOverheadAware = 1,  ///< equal share minus a per-UE signaling overhead
+};
+
+struct SchedulerModel {
+  SchedulerKind kind = SchedulerKind::kEqualShare;
+  /// Fraction of sector airtime lost per additional attached UE
+  /// (kOverheadAware only), modeling control-channel overhead.
+  double per_ue_overhead = 0.002;
+  /// Airtime fraction never available to user traffic (reference signals,
+  /// PDCCH, ...). The paper assumes no overhead; default keeps that.
+  double fixed_overhead = 0.0;
+
+  /// Rate of one UE whose peak rate is `max_rate_bps`, sharing the sector
+  /// with `attached_ues` total UEs (including itself). Zero if either input
+  /// is non-positive.
+  [[nodiscard]] double shared_rate_bps(double max_rate_bps,
+                                       double attached_ues) const;
+};
+
+}  // namespace magus::lte

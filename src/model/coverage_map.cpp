@@ -1,0 +1,65 @@
+#include "model/coverage_map.h"
+
+#include <cmath>
+#include <set>
+
+namespace magus::model {
+
+CoverageStats coverage_stats(const AnalysisModel& model) {
+  CoverageStats stats;
+  const auto cells = model.cell_count();
+  const auto ue = model.ue_density();
+  std::set<net::SectorId> servers;
+  long covered = 0;
+  double sinr_sum = 0.0;
+  double rate_sum = 0.0;
+  for (geo::GridIndex g = 0; g < cells; ++g) {
+    const auto i = static_cast<std::size_t>(g);
+    stats.total_ue_count += ue[i];
+    if (!model.in_service(g)) continue;
+    ++covered;
+    servers.insert(model.serving_sector(g));
+    sinr_sum += model.sinr_db(g);
+    stats.covered_ue_count += ue[i];
+    rate_sum += ue[i] * model.rate_bps(g);
+  }
+  stats.covered_grid_fraction =
+      cells > 0 ? static_cast<double>(covered) / cells : 0.0;
+  stats.mean_sinr_db = covered > 0 ? sinr_sum / covered : 0.0;
+  stats.mean_rate_bps =
+      stats.covered_ue_count > 0 ? rate_sum / stats.covered_ue_count : 0.0;
+  stats.serving_sector_count = static_cast<int>(servers.size());
+  return stats;
+}
+
+std::vector<double> sinr_map(const AnalysisModel& model) {
+  std::vector<double> map(static_cast<std::size_t>(model.cell_count()));
+  for (geo::GridIndex g = 0; g < model.cell_count(); ++g) {
+    map[static_cast<std::size_t>(g)] = model.sinr_db(g);
+  }
+  return map;
+}
+
+int interfering_sector_count(pathloss::PathLossProvider& provider,
+                             const net::Network& network,
+                             const net::Configuration& config,
+                             const geo::Rect& study_area) {
+  const double noise_dbm = network.noise_floor_dbm();
+  const auto study_cells = provider.grid().cells_in(study_area);
+  int count = 0;
+  for (const auto& sector : network.sectors()) {
+    const auto& setting = config[sector.id];
+    if (!setting.active) continue;
+    const auto& fp = provider.footprint(sector.id, setting.tilt);
+    for (const geo::GridIndex g : study_cells) {
+      if (!fp.covers(g)) continue;
+      if (setting.power_dbm + fp.gain_db(g) > noise_dbm) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace magus::model

@@ -1,0 +1,33 @@
+// Coverage statistics and map extraction from the analysis model
+// (the data behind the paper's Figures 4, 5, 8 and 10).
+#pragma once
+
+#include <vector>
+
+#include "model/analysis_model.h"
+
+namespace magus::model {
+
+struct CoverageStats {
+  double covered_grid_fraction = 0.0;  ///< grids with SINR >= SINRmin
+  double covered_ue_count = 0.0;       ///< UEs in covered grids
+  double total_ue_count = 0.0;
+  double mean_sinr_db = 0.0;           ///< over covered grids
+  double mean_rate_bps = 0.0;          ///< UE-weighted actual rate
+  int serving_sector_count = 0;        ///< sectors serving at least one grid
+};
+
+[[nodiscard]] CoverageStats coverage_stats(const AnalysisModel& model);
+
+/// Per-grid SINR values (dB; -inf where no server). Row-major like GridMap.
+[[nodiscard]] std::vector<double> sinr_map(const AnalysisModel& model);
+
+/// Number of active sectors whose signal lands above the noise floor in at
+/// least one grid of `study_area` — the paper's "interfering sectors" count
+/// used to characterize rural/suburban/urban areas (§6: ~26 / ~55 / ~178).
+[[nodiscard]] int interfering_sector_count(pathloss::PathLossProvider& provider,
+                                           const net::Network& network,
+                                           const net::Configuration& config,
+                                           const geo::Rect& study_area);
+
+}  // namespace magus::model

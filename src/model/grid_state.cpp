@@ -1,0 +1,4 @@
+#include "model/grid_state.h"
+
+// GridState is a plain aggregate; this TU anchors the module.
+namespace magus::model {}

@@ -1,0 +1,44 @@
+// Per-grid radio state maintained by the analysis model.
+//
+// For every grid cell we track the total received power from all active
+// sectors plus the two strongest servers. Keeping the runner-up lets power
+// *increases* and new-server promotions update in O(1) per cell; only
+// demotions (a serving signal dropping) fall back to a scan over sectors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geo/grid_map.h"
+#include "net/sector.h"
+
+namespace magus::model {
+
+inline constexpr float kNoSignalDbm = -std::numeric_limits<float>::infinity();
+
+struct GridState {
+  /// Sum of received powers (mW) from all active covering sectors.
+  std::vector<double> total_mw;
+  /// Strongest server per cell (kInvalidSector = none).
+  std::vector<net::SectorId> best;
+  std::vector<float> best_rp_dbm;
+  /// Runner-up per cell (kInvalidSector = none).
+  std::vector<net::SectorId> second;
+  std::vector<float> second_rp_dbm;
+
+  GridState() = default;
+  explicit GridState(std::size_t cells) { reset(cells); }
+
+  void reset(std::size_t cells) {
+    total_mw.assign(cells, 0.0);
+    best.assign(cells, net::kInvalidSector);
+    best_rp_dbm.assign(cells, kNoSignalDbm);
+    second.assign(cells, net::kInvalidSector);
+    second_rp_dbm.assign(cells, kNoSignalDbm);
+  }
+
+  [[nodiscard]] std::size_t cells() const { return total_mw.size(); }
+};
+
+}  // namespace magus::model

@@ -1,0 +1,38 @@
+#include "model/handover_delta.h"
+
+#include <stdexcept>
+
+namespace magus::model {
+
+HandoverDelta handover_delta(std::span<const net::SectorId> before,
+                             std::span<const net::SectorId> after,
+                             std::span<const double> ue_density,
+                             const std::vector<bool>& source_on_air) {
+  if (before.size() != after.size() || before.size() != ue_density.size()) {
+    throw std::invalid_argument("handover_delta: size mismatch");
+  }
+  HandoverDelta delta;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const net::SectorId src = before[i];
+    const net::SectorId dst = after[i];
+    if (src == dst) continue;
+    if (src == net::kInvalidSector) continue;  // gaining service: attach,
+                                               // not a handover
+    const double ues = ue_density[i];
+    if (ues <= 0.0) continue;
+    ++delta.changed_cells;
+    const bool src_alive = static_cast<std::size_t>(src) < source_on_air.size()
+                               ? source_on_air[static_cast<std::size_t>(src)]
+                               : false;
+    if (dst == net::kInvalidSector) {
+      delta.lost_service_ues += ues;
+    } else if (src_alive) {
+      delta.seamless_ues += ues;
+    } else {
+      delta.hard_ues += ues;
+    }
+  }
+  return delta;
+}
+
+}  // namespace magus::model

@@ -1,0 +1,44 @@
+// Handover accounting between two service maps.
+//
+// When tuning moves the network from one configuration to another, every UE
+// whose serving sector changes must perform a handover. The gradual-tuning
+// analysis (paper §6, Figure 11) counts how many of those happen
+// simultaneously at each step and whether each is seamless (source sector
+// still on-air) or hard (source already off-air, forcing reattachment).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/grid_map.h"
+#include "net/sector.h"
+
+namespace magus::model {
+
+struct HandoverDelta {
+  /// UEs that changed serving sector with the source still on-air.
+  double seamless_ues = 0.0;
+  /// UEs that reattached to a new sector after their source went dark
+  /// (radio-link failure first, then reattach).
+  double hard_ues = 0.0;
+  /// UEs that lost service entirely (no new server). Not handovers — this
+  /// is the service denial the utility function accounts for.
+  double lost_service_ues = 0.0;
+  /// Grid cells whose server changed (including losses).
+  long changed_cells = 0;
+
+  /// Handover count (lost-service UEs excluded, as in the paper's
+  /// seamless-percentage accounting).
+  [[nodiscard]] double total_ues() const { return seamless_ues + hard_ues; }
+};
+
+/// Compares service maps `before` and `after` (kInvalidSector = no service),
+/// weighting each changed cell by its UE density. `source_on_air[s]` tells
+/// whether sector s is still transmitting when the change happens; a UE is
+/// seamless iff its *previous* server is on-air and it has a new server.
+/// Cells gaining service from none are attaches, not handovers.
+[[nodiscard]] HandoverDelta handover_delta(
+    std::span<const net::SectorId> before, std::span<const net::SectorId> after,
+    std::span<const double> ue_density, const std::vector<bool>& source_on_air);
+
+}  // namespace magus::model

@@ -1,0 +1,108 @@
+#include "model/uplink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lte/amc.h"
+#include "util/units.h"
+
+namespace magus::model {
+
+UplinkModel::UplinkModel(const AnalysisModel* downlink, UplinkParams params)
+    : downlink_(downlink), params_(params) {
+  if (downlink_ == nullptr) {
+    throw std::invalid_argument("UplinkModel: downlink model must not be null");
+  }
+  if (params_.alpha < 0.0 || params_.alpha > 1.0) {
+    throw std::invalid_argument("UplinkModel: alpha must be in [0, 1]");
+  }
+}
+
+double UplinkModel::path_loss_db(geo::GridIndex g) const {
+  const net::SectorId s = downlink_->serving_sector(g);
+  if (s == net::kInvalidSector) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // RP = P_tx + L  =>  PL = P_tx - RP (positive; uplink reciprocity).
+  const double tx = downlink_->configuration()[s].power_dbm;
+  return tx - downlink_->best_rp_dbm(g);
+}
+
+double UplinkModel::ue_tx_power_dbm(geo::GridIndex g) const {
+  const double pl = path_loss_db(g);
+  if (!std::isfinite(pl)) return params_.ue_max_power_dbm;
+  return std::min(params_.ue_max_power_dbm,
+                  params_.p0_dbm + params_.alpha * pl);
+}
+
+bool UplinkModel::power_limited(geo::GridIndex g) const {
+  const double pl = path_loss_db(g);
+  if (!std::isfinite(pl)) return true;
+  return params_.p0_dbm + params_.alpha * pl >= params_.ue_max_power_dbm;
+}
+
+double UplinkModel::interference_plus_noise_mw(net::SectorId sector) const {
+  const double noise_mw = downlink_->noise_mw();
+  const auto& loads = downlink_->sector_loads();
+  double total_load = 0.0;
+  int active = 0;
+  for (const double load : loads) {
+    if (load > 0.0) {
+      total_load += load;
+      ++active;
+    }
+  }
+  if (active == 0) return noise_mw;
+  const double mean_load = total_load / active;
+  const double relative =
+      mean_load > 0.0
+          ? loads[static_cast<std::size_t>(sector)] > 0.0
+                ? loads[static_cast<std::size_t>(sector)] / mean_load
+                : 0.0
+          : 0.0;
+  // IoT scales linearly (in mW) with the sector's relative load; at the
+  // mean load the rise equals iot_at_mean_load_db.
+  const double iot_linear_at_mean =
+      util::db_to_linear(params_.iot_at_mean_load_db) - 1.0;
+  return noise_mw * (1.0 + iot_linear_at_mean * relative);
+}
+
+double UplinkModel::sinr_db(geo::GridIndex g) const {
+  const net::SectorId s = downlink_->serving_sector(g);
+  if (s == net::kInvalidSector) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double received_dbm = ue_tx_power_dbm(g) - path_loss_db(g);
+  return received_dbm - util::mw_to_dbm(interference_plus_noise_mw(s));
+}
+
+double UplinkModel::max_rate_bps(geo::GridIndex g) const {
+  const double sinr = sinr_db(g);
+  if (sinr < downlink_->options().min_service_sinr_db) return 0.0;
+  return lte::max_rate_bps(sinr, downlink_->network().carrier().bandwidth);
+}
+
+double UplinkModel::rate_bps(geo::GridIndex g) const {
+  const net::SectorId s = downlink_->serving_sector(g);
+  if (s == net::kInvalidSector) return 0.0;
+  const double peak = max_rate_bps(g);
+  if (peak <= 0.0) return 0.0;
+  return downlink_->options().scheduler.shared_rate_bps(
+      peak, downlink_->sector_loads()[static_cast<std::size_t>(s)]);
+}
+
+double UplinkModel::performance_utility() const {
+  const auto ue = downlink_->ue_density();
+  double total = 0.0;
+  for (geo::GridIndex g = 0; g < downlink_->cell_count(); ++g) {
+    const double ues = ue[static_cast<std::size_t>(g)];
+    if (ues <= 0.0) continue;
+    const double rate = rate_bps(g);
+    if (rate > 0.0) total += ues * std::log(rate);
+  }
+  return total;
+}
+
+}  // namespace magus::model

@@ -1,0 +1,81 @@
+// Uplink coverage/capacity layer (paper §4: "we focus on downlink rates,
+// although our methodology can also be used for uplink performance").
+//
+// The uplink rides on the downlink analysis model's geometry: each grid's
+// path loss to its serving sector is recovered from the stored received
+// power (L = RP - P_tx), and the UE transmit power follows LTE open-loop
+// fractional power control,
+//
+//   P_ue = min(P_max, P0 + alpha * PL),
+//
+// so cell-edge UEs run out of power headroom exactly where the paper's
+// rural story plays out. Uplink interference is modeled as a
+// rise-over-thermal (IoT) proportional to the mean sector load — the
+// standard system-level simplification when per-UE scheduling is not
+// simulated. Rates reuse the TS 36.213 pipeline and the equal-share
+// scheduler.
+//
+// The layer is read-only with respect to the downlink model: mitigation
+// plans computed on the downlink utility can be *assessed* on the uplink
+// (bench/ablation use), without perturbing the calibrated downlink paths.
+#pragma once
+
+#include "model/analysis_model.h"
+
+namespace magus::model {
+
+struct UplinkParams {
+  double ue_max_power_dbm = 23.0;  ///< LTE power class 3
+  /// Open-loop target (dBm): full-carrier-equivalent received power the
+  /// UE aims to land at the sector when path loss is fully compensated
+  /// (the per-PRB P0 of the spec, scaled to the carrier this model works
+  /// in; must sit sufficiently above the full-band noise floor).
+  double p0_dbm = -78.0;
+  double alpha = 0.8;  ///< fractional path-loss compensation
+  /// Rise-over-thermal at a sector carrying the network's mean load;
+  /// scales linearly (in mW) with relative load.
+  double iot_at_mean_load_db = 3.0;
+};
+
+class UplinkModel {
+ public:
+  /// `downlink` must outlive the uplink view.
+  explicit UplinkModel(const AnalysisModel* downlink, UplinkParams params = {});
+
+  [[nodiscard]] const UplinkParams& params() const { return params_; }
+
+  /// Path loss (positive dB) from grid g to its serving sector, recovered
+  /// from the downlink state. Returns +infinity when g has no server.
+  [[nodiscard]] double path_loss_db(geo::GridIndex g) const;
+
+  /// Open-loop UE transmit power; capped at the power class.
+  [[nodiscard]] double ue_tx_power_dbm(geo::GridIndex g) const;
+
+  /// True when the UE hit its power cap (no headroom left — the uplink
+  /// analogue of the rural power limit).
+  [[nodiscard]] bool power_limited(geo::GridIndex g) const;
+
+  /// Uplink SINR at the serving sector; -inf when g has no server.
+  [[nodiscard]] double sinr_db(geo::GridIndex g) const;
+
+  /// Peak uplink rate (alone on the carrier), TS 36.213 pipeline.
+  [[nodiscard]] double max_rate_bps(geo::GridIndex g) const;
+
+  /// Shared uplink rate, dividing the serving sector among its attached
+  /// UEs like the downlink does (Formula 4 applied uplink).
+  [[nodiscard]] double rate_bps(geo::GridIndex g) const;
+
+  /// Sum over grids of UE-weighted log uplink rate — the uplink
+  /// counterpart of the performance utility, for assessing a downlink-
+  /// optimized plan on the uplink.
+  [[nodiscard]] double performance_utility() const;
+
+ private:
+  /// Interference-plus-noise at the serving sector, in mW.
+  [[nodiscard]] double interference_plus_noise_mw(net::SectorId sector) const;
+
+  const AnalysisModel* downlink_;
+  UplinkParams params_;
+};
+
+}  // namespace magus::model

@@ -1,0 +1,64 @@
+#include "net/configuration.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace magus::net {
+
+Configuration Configuration::with_power_delta(const Sector& sector,
+                                              double delta_db) const {
+  Configuration next = *this;
+  auto& setting = next[sector.id];
+  setting.power_dbm = sector.clamp_power(setting.power_dbm + delta_db);
+  return next;
+}
+
+Configuration Configuration::with_tilt_delta(const Sector& sector,
+                                             int delta_steps) const {
+  Configuration next = *this;
+  auto& setting = next[sector.id];
+  setting.tilt = sector.clamp_tilt(setting.tilt + delta_steps);
+  return next;
+}
+
+Configuration Configuration::with_sector_off(SectorId id) const {
+  Configuration next = *this;
+  next[id].active = false;
+  return next;
+}
+
+Configuration Configuration::with_sector_on(SectorId id) const {
+  Configuration next = *this;
+  next[id].active = true;
+  return next;
+}
+
+std::vector<SectorId> Configuration::diff(const Configuration& other) const {
+  if (size() != other.size()) {
+    throw std::invalid_argument("Configuration::diff: size mismatch");
+  }
+  std::vector<SectorId> changed;
+  for (std::size_t i = 0; i < settings_.size(); ++i) {
+    const auto id = static_cast<SectorId>(i);
+    if (!((*this)[id] == other[id])) changed.push_back(id);
+  }
+  return changed;
+}
+
+double Configuration::change_magnitude(const Configuration& other) const {
+  if (size() != other.size()) {
+    throw std::invalid_argument(
+        "Configuration::change_magnitude: size mismatch");
+  }
+  double magnitude = 0.0;
+  for (std::size_t i = 0; i < settings_.size(); ++i) {
+    const auto id = static_cast<SectorId>(i);
+    magnitude += std::abs((*this)[id].power_dbm - other[id].power_dbm);
+    magnitude += std::abs(static_cast<double>((*this)[id].tilt) -
+                          static_cast<double>(other[id].tilt));
+    if ((*this)[id].active != other[id].active) magnitude += 1.0;
+  }
+  return magnitude;
+}
+
+}  // namespace magus::net

@@ -1,0 +1,69 @@
+// Network configuration: the collective parameter settings of all sectors.
+//
+// The paper's C is the vector of per-sector (power, tilt, on/off) settings;
+// tuning takes the network from C1 to C2 via deltas (the paper's C ⊕ P_b(Δ)
+// notation). Configuration is a plain value type: copies are cheap relative
+// to model evaluation, and the search algorithms rely on value semantics
+// for backtracking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/sector.h"
+
+namespace magus::net {
+
+struct SectorSetting {
+  double power_dbm = 46.0;
+  radio::TiltIndex tilt = 0;
+  bool active = true;
+
+  friend bool operator==(const SectorSetting&, const SectorSetting&) = default;
+};
+
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::size_t sector_count)
+      : settings_(sector_count) {}
+
+  [[nodiscard]] std::size_t size() const { return settings_.size(); }
+
+  [[nodiscard]] const SectorSetting& operator[](SectorId id) const {
+    return settings_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] SectorSetting& operator[](SectorId id) {
+    return settings_[static_cast<std::size_t>(id)];
+  }
+
+  /// The paper's C ⊕ P_b(Δ): a copy with sector b's power changed by
+  /// delta_db, clamped to the sector's supported range.
+  [[nodiscard]] Configuration with_power_delta(const Sector& sector,
+                                               double delta_db) const;
+
+  /// A copy with sector b's tilt changed by delta_steps, clamped.
+  [[nodiscard]] Configuration with_tilt_delta(const Sector& sector,
+                                              int delta_steps) const;
+
+  /// A copy with the given sector taken off-air (the planned upgrade).
+  [[nodiscard]] Configuration with_sector_off(SectorId id) const;
+
+  /// A copy with the given sector restored to service.
+  [[nodiscard]] Configuration with_sector_on(SectorId id) const;
+
+  /// Sector ids whose settings differ between the two configurations.
+  /// Requires equal sizes.
+  [[nodiscard]] std::vector<SectorId> diff(const Configuration& other) const;
+
+  /// Total absolute power change in dB plus tilt steps vs `other`;
+  /// a proxy for the operational cost of a reconfiguration push.
+  [[nodiscard]] double change_magnitude(const Configuration& other) const;
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+
+ private:
+  std::vector<SectorSetting> settings_;
+};
+
+}  // namespace magus::net

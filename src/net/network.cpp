@@ -1,0 +1,97 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "radio/noise_floor.h"
+
+namespace magus::net {
+
+Network::Network(CarrierParams carrier) : carrier_(carrier) {}
+
+SectorId Network::add_sector(Sector sector) {
+  const auto id = static_cast<SectorId>(sectors_.size());
+  sector.id = id;
+  if (sector.min_power_dbm > sector.max_power_dbm) {
+    throw std::invalid_argument("Network::add_sector: empty power range");
+  }
+  site_index_.emplace(sector.site, id);
+  sectors_.push_back(std::move(sector));
+  subscribers_.push_back(0.0);
+  return id;
+}
+
+double Network::noise_floor_dbm() const {
+  return radio::noise_floor_dbm(lte::occupied_hz(carrier_.bandwidth),
+                                carrier_.noise_figure_db);
+}
+
+std::vector<SectorId> Network::sectors_at_site(SiteId site) const {
+  std::vector<SectorId> result;
+  const auto [lo, hi] = site_index_.equal_range(site);
+  for (auto it = lo; it != hi; ++it) result.push_back(it->second);
+  return result;
+}
+
+std::vector<SiteId> Network::sites() const {
+  std::set<SiteId> unique;
+  for (const auto& s : sectors_) unique.insert(s.site);
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<SectorId> Network::neighbors_of(std::span<const SectorId> targets,
+                                            double radius_m) const {
+  std::set<SectorId> excluded(targets.begin(), targets.end());
+  std::set<SectorId> result;
+  for (const SectorId target : targets) {
+    const geo::Point origin = sector(target).position;
+    for (const auto& candidate : sectors_) {
+      if (excluded.contains(candidate.id)) continue;
+      if (geo::distance_m(origin, candidate.position) <= radius_m) {
+        result.insert(candidate.id);
+      }
+    }
+  }
+  return {result.begin(), result.end()};
+}
+
+std::vector<SectorId> Network::nearest_sectors(geo::Point p,
+                                               std::size_t k) const {
+  std::vector<SectorId> ids(sectors_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<SectorId>(i);
+  }
+  const std::size_t take = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&](SectorId a, SectorId b) {
+                      return geo::squared_distance_m2(sector(a).position, p) <
+                             geo::squared_distance_m2(sector(b).position, p);
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+Configuration Network::default_configuration() const {
+  Configuration config(sectors_.size());
+  for (const auto& s : sectors_) {
+    config[s.id] = SectorSetting{s.default_power_dbm, 0, true};
+  }
+  return config;
+}
+
+void Network::set_subscribers(SectorId id, double count) {
+  subscribers_[static_cast<std::size_t>(id)] = count;
+}
+
+double Network::subscribers(SectorId id) const {
+  return subscribers_[static_cast<std::size_t>(id)];
+}
+
+double Network::total_subscribers() const {
+  double total = 0.0;
+  for (const double s : subscribers_) total += s;
+  return total;
+}
+
+}  // namespace magus::net

@@ -1,0 +1,70 @@
+// Radio access network topology: sectors, sites, carrier parameters,
+// neighbor relations, and per-sector subscriber totals.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+#include "lte/bandwidth.h"
+#include "net/configuration.h"
+#include "net/sector.h"
+
+namespace magus::net {
+
+struct CarrierParams {
+  lte::Bandwidth bandwidth = lte::Bandwidth::kMhz10;
+  double noise_figure_db = 7.0;  ///< UE receiver noise figure
+};
+
+class Network {
+ public:
+  explicit Network(CarrierParams carrier = {});
+
+  /// Adds a sector; assigns and returns its id. Sector ids are dense
+  /// indices in insertion order.
+  SectorId add_sector(Sector sector);
+
+  [[nodiscard]] std::size_t sector_count() const { return sectors_.size(); }
+  [[nodiscard]] const Sector& sector(SectorId id) const {
+    return sectors_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::span<const Sector> sectors() const { return sectors_; }
+  [[nodiscard]] const CarrierParams& carrier() const { return carrier_; }
+
+  /// Thermal noise floor at the UE for this carrier, in dBm.
+  [[nodiscard]] double noise_floor_dbm() const;
+
+  /// All sectors co-located at the given site.
+  [[nodiscard]] std::vector<SectorId> sectors_at_site(SiteId site) const;
+  [[nodiscard]] std::vector<SiteId> sites() const;
+
+  /// Sector ids (excluding `targets` themselves) whose sites are within
+  /// `radius_m` of any target's site: the paper's "involved sectors B".
+  [[nodiscard]] std::vector<SectorId> neighbors_of(
+      std::span<const SectorId> targets, double radius_m) const;
+
+  /// The `k` sectors nearest to `p` (by site distance), all sectors if
+  /// fewer exist.
+  [[nodiscard]] std::vector<SectorId> nearest_sectors(geo::Point p,
+                                                      std::size_t k) const;
+
+  /// The default configuration: every sector active at its planned power
+  /// and tilt 0 (the paper's C_before).
+  [[nodiscard]] Configuration default_configuration() const;
+
+  /// Per-sector subscriber totals used to build UE densities. Defaults
+  /// to 0; populated by the market generator or by the user.
+  void set_subscribers(SectorId id, double count);
+  [[nodiscard]] double subscribers(SectorId id) const;
+  [[nodiscard]] double total_subscribers() const;
+
+ private:
+  CarrierParams carrier_;
+  std::vector<Sector> sectors_;
+  std::vector<double> subscribers_;
+  std::multimap<SiteId, SectorId> site_index_;
+};
+
+}  // namespace magus::net

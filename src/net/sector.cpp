@@ -1,0 +1,17 @@
+#include "net/sector.h"
+
+#include <algorithm>
+
+namespace magus::net {
+
+double Sector::clamp_power(double power_dbm) const {
+  return std::clamp(power_dbm, min_power_dbm, max_power_dbm);
+}
+
+radio::TiltIndex Sector::clamp_tilt(int tilt_index) const {
+  const int lo = antenna.min_tilt_index;
+  const int hi = antenna.max_tilt_index;
+  return static_cast<radio::TiltIndex>(std::clamp(tilt_index, lo, hi));
+}
+
+}  // namespace magus::net

@@ -1,0 +1,44 @@
+// Sector (cell) and base-station site descriptions.
+//
+// A base station (site) hosts one or more sectors facing different azimuths
+// (typically 3, per the paper's footnote 5). Planned upgrades take whole
+// sites or individual sectors off-air; tuning acts on sector transmit power
+// and antenna tilt.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/point.h"
+#include "radio/antenna.h"
+
+namespace magus::net {
+
+using SectorId = std::int32_t;
+using SiteId = std::int32_t;
+
+inline constexpr SectorId kInvalidSector = -1;
+
+struct Sector {
+  SectorId id = kInvalidSector;
+  SiteId site = -1;
+  std::string name;  ///< human-readable, e.g. "S12/2"
+
+  geo::Point position;        ///< site coordinates
+  double azimuth_deg = 0.0;   ///< antenna boresight compass bearing
+  double height_m = 30.0;     ///< antenna height above ground
+
+  double default_power_dbm = 46.0;  ///< planned transmit power
+  double min_power_dbm = 30.0;      ///< hardware/regulatory lower bound
+  double max_power_dbm = 49.0;      ///< hardware/regulatory upper bound
+
+  radio::AntennaParams antenna;  ///< pattern and tilt range
+
+  /// Clamps a requested power to this sector's supported range.
+  [[nodiscard]] double clamp_power(double power_dbm) const;
+
+  /// Clamps a requested tilt index to this sector's supported range.
+  [[nodiscard]] radio::TiltIndex clamp_tilt(int tilt_index) const;
+};
+
+}  // namespace magus::net

@@ -1,0 +1,59 @@
+#include "net/ue_distribution.h"
+
+#include <stdexcept>
+
+namespace magus::net {
+
+std::vector<double> UeDistribution::uniform_per_sector(
+    const Network& network, std::span<const SectorId> serving_sector) {
+  std::vector<double> served_grids(network.sector_count(), 0.0);
+  for (const SectorId s : serving_sector) {
+    if (s != kInvalidSector) served_grids[static_cast<std::size_t>(s)] += 1.0;
+  }
+  std::vector<double> density(serving_sector.size(), 0.0);
+  for (std::size_t g = 0; g < serving_sector.size(); ++g) {
+    const SectorId s = serving_sector[g];
+    if (s == kInvalidSector) continue;
+    const double grids = served_grids[static_cast<std::size_t>(s)];
+    if (grids > 0.0) density[g] = network.subscribers(s) / grids;
+  }
+  return density;
+}
+
+std::vector<double> UeDistribution::with_hotspots(
+    const Network& network, const geo::GridMap& grid,
+    std::span<const SectorId> serving_sector,
+    std::span<const Hotspot> hotspots) {
+  if (static_cast<std::int32_t>(serving_sector.size()) != grid.cell_count()) {
+    throw std::invalid_argument(
+        "UeDistribution::with_hotspots: serving map size mismatch");
+  }
+  // Start from per-grid weights of 1, boost grids inside hotspots, then
+  // distribute each sector's subscriber total proportionally to weight.
+  std::vector<double> weight(serving_sector.size(), 1.0);
+  for (const auto& hotspot : hotspots) {
+    for (const geo::GridIndex g :
+         grid.cells_within(hotspot.center, hotspot.radius_m)) {
+      weight[static_cast<std::size_t>(g)] *= hotspot.weight;
+    }
+  }
+  std::vector<double> sector_weight(network.sector_count(), 0.0);
+  for (std::size_t g = 0; g < serving_sector.size(); ++g) {
+    const SectorId s = serving_sector[g];
+    if (s != kInvalidSector) {
+      sector_weight[static_cast<std::size_t>(s)] += weight[g];
+    }
+  }
+  std::vector<double> density(serving_sector.size(), 0.0);
+  for (std::size_t g = 0; g < serving_sector.size(); ++g) {
+    const SectorId s = serving_sector[g];
+    if (s == kInvalidSector) continue;
+    const double total_weight = sector_weight[static_cast<std::size_t>(s)];
+    if (total_weight > 0.0) {
+      density[g] = network.subscribers(s) * weight[g] / total_weight;
+    }
+  }
+  return density;
+}
+
+}  // namespace magus::net

@@ -1,0 +1,45 @@
+// UE density assignment over the analysis grid.
+//
+// The paper (§4.2) lacks fine-grained UE location data and assumes a
+// uniform distribution at the sector level: every grid served by a sector
+// holds subscribers(sector) / served_grid_count UEs. We implement that as
+// the default and add a hotspot variant (extra mass near configurable
+// points) for the extension experiments, since the paper explicitly notes
+// finer-grained distributions "could easily be incorporated".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/grid_map.h"
+#include "net/network.h"
+
+namespace magus::net {
+
+struct Hotspot {
+  geo::Point center;
+  double radius_m = 500.0;
+  /// Multiplier applied to the density of grids inside the hotspot before
+  /// renormalizing the sector total.
+  double weight = 5.0;
+};
+
+class UeDistribution {
+ public:
+  /// Uniform-per-sector density (the paper's assumption). `serving_sector`
+  /// maps every grid to its serving sector id (kInvalidSector = no service);
+  /// the result assigns network.subscribers(s) UEs evenly across the grids
+  /// served by s. Grids with no service get zero UEs.
+  [[nodiscard]] static std::vector<double> uniform_per_sector(
+      const Network& network, std::span<const SectorId> serving_sector);
+
+  /// Uniform-per-sector with hotspot re-weighting; each sector's total is
+  /// preserved.
+  [[nodiscard]] static std::vector<double> with_hotspots(
+      const Network& network, const geo::GridMap& grid,
+      std::span<const SectorId> serving_sector,
+      std::span<const Hotspot> hotspots);
+};
+
+}  // namespace magus::net

@@ -1,0 +1,44 @@
+#include "pathloss/builder.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "radio/antenna.h"
+
+namespace magus::pathloss {
+
+FootprintBuilder::FootprintBuilder(const radio::PropagationModel* model,
+                                   const terrain::TerrainGridCache* cache,
+                                   double max_range_m)
+    : model_(model), cache_(cache), max_range_m_(max_range_m) {
+  if (model_ == nullptr || cache_ == nullptr) {
+    throw std::invalid_argument(
+        "FootprintBuilder: model and cache must not be null");
+  }
+  if (max_range_m_ <= 0.0) {
+    throw std::invalid_argument("FootprintBuilder: range must be positive");
+  }
+}
+
+SectorFootprint FootprintBuilder::build(const net::Sector& sector,
+                                        radio::TiltIndex tilt) const {
+  const geo::GridMap& map = grid();
+  const auto nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> gains(static_cast<std::size_t>(map.cell_count()), nan);
+
+  const radio::AntennaPattern pattern{sector.antenna};
+  const radio::TransmitterSite site{sector.position, sector.height_m,
+                                    sector.azimuth_deg};
+  // Only cells within range can be covered; iterate just those.
+  for (const geo::GridIndex g :
+       map.cells_within(sector.position, max_range_m_)) {
+    const double gain =
+        model_->path_gain_db_cached(site, pattern, tilt, g, *cache_);
+    if (gain > SectorFootprint::kFloorDb) {
+      gains[static_cast<std::size_t>(g)] = static_cast<float>(gain);
+    }
+  }
+  return SectorFootprint{std::move(gains), map.cols(), map.rows()};
+}
+
+}  // namespace magus::pathloss

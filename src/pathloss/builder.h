@@ -1,0 +1,37 @@
+// Builds per-sector footprints from the propagation model — the synthetic
+// stand-in for the Atoll path-loss feed.
+#pragma once
+
+#include "geo/grid_map.h"
+#include "net/sector.h"
+#include "pathloss/footprint.h"
+#include "radio/propagation.h"
+#include "terrain/terrain.h"
+
+namespace magus::pathloss {
+
+class FootprintBuilder {
+ public:
+  /// `model` and `cache` must outlive the builder; the cache's grid defines
+  /// the analysis grid. `max_range_m` bounds each sector's reach: cells
+  /// farther than that from the site are skipped outright (their loss is
+  /// far past the floor), which also bounds footprint memory.
+  FootprintBuilder(const radio::PropagationModel* model,
+                   const terrain::TerrainGridCache* cache,
+                   double max_range_m = 30'000.0);
+
+  [[nodiscard]] const geo::GridMap& grid() const { return cache_->grid(); }
+  [[nodiscard]] double max_range_m() const { return max_range_m_; }
+
+  /// Evaluates the propagation model at every in-range grid cell for this
+  /// sector and tilt.
+  [[nodiscard]] SectorFootprint build(const net::Sector& sector,
+                                      radio::TiltIndex tilt) const;
+
+ private:
+  const radio::PropagationModel* model_;
+  const terrain::TerrainGridCache* cache_;
+  double max_range_m_;
+};
+
+}  // namespace magus::pathloss

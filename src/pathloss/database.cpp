@@ -1,0 +1,195 @@
+#include "pathloss/database.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace magus::pathloss {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4D41475553504C31ULL;  // "MAGUSPL1"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("PathLossDatabase: truncated file");
+}
+}  // namespace
+
+PathLossDatabase::PathLossDatabase(geo::GridMap grid)
+    : grid_(std::move(grid)) {}
+
+void PathLossDatabase::insert(net::SectorId sector, radio::TiltIndex tilt,
+                              SectorFootprint footprint) {
+  if (footprint.cell_count() !=
+      static_cast<std::size_t>(grid_.cell_count())) {
+    throw std::invalid_argument(
+        "PathLossDatabase::insert: footprint does not match grid");
+  }
+  entries_.insert_or_assign(Key{sector, tilt}, std::move(footprint));
+}
+
+bool PathLossDatabase::contains(net::SectorId sector,
+                                radio::TiltIndex tilt) const {
+  return entries_.contains(Key{sector, tilt});
+}
+
+const SectorFootprint& PathLossDatabase::footprint(net::SectorId sector,
+                                                   radio::TiltIndex tilt) {
+  const auto it = entries_.find(Key{sector, tilt});
+  if (it == entries_.end()) {
+    throw std::out_of_range("PathLossDatabase: missing matrix for sector " +
+                            std::to_string(sector) + " tilt " +
+                            std::to_string(tilt));
+  }
+  return it->second;
+}
+
+void PathLossDatabase::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("PathLossDatabase: cannot open " + path);
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, grid_.area().min.x_m);
+  write_pod(out, grid_.area().min.y_m);
+  write_pod(out, grid_.cell_size_m());
+  write_pod(out, grid_.cols());
+  write_pod(out, grid_.rows());
+  write_pod(out, static_cast<std::uint64_t>(entries_.size()));
+  for (const auto& [key, footprint] : entries_) {
+    write_pod(out, key.first);
+    write_pod(out, key.second);
+    write_pod(out, footprint.col0());
+    write_pod(out, footprint.row0());
+    write_pod(out, footprint.window_cols());
+    write_pod(out, footprint.window_rows());
+    const auto window = footprint.window();
+    out.write(reinterpret_cast<const char*>(window.data()),
+              static_cast<std::streamsize>(window.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("PathLossDatabase: write failed");
+}
+
+PathLossDatabase PathLossDatabase::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PathLossDatabase: cannot open " + path);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  read_pod(in, magic);
+  read_pod(in, version);
+  if (magic != kMagic) {
+    throw std::runtime_error("PathLossDatabase: bad magic in " + path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("PathLossDatabase: unsupported version");
+  }
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double cell = 0.0;
+  std::int32_t cols = 0;
+  std::int32_t rows = 0;
+  read_pod(in, min_x);
+  read_pod(in, min_y);
+  read_pod(in, cell);
+  read_pod(in, cols);
+  read_pod(in, rows);
+  const geo::Rect area{{min_x, min_y},
+                       {min_x + cols * cell, min_y + rows * cell}};
+  PathLossDatabase db{geo::GridMap{area, cell}};
+  std::uint64_t entry_count = 0;
+  read_pod(in, entry_count);
+  for (std::uint64_t e = 0; e < entry_count; ++e) {
+    std::int32_t sector = 0;
+    std::int32_t tilt = 0;
+    std::int32_t col0 = 0;
+    std::int32_t row0 = 0;
+    std::int32_t window_cols = 0;
+    std::int32_t window_rows = 0;
+    read_pod(in, sector);
+    read_pod(in, tilt);
+    read_pod(in, col0);
+    read_pod(in, row0);
+    read_pod(in, window_cols);
+    read_pod(in, window_rows);
+    if (window_cols < 0 || window_rows < 0) {
+      throw std::runtime_error("PathLossDatabase: negative window");
+    }
+    std::vector<float> window(static_cast<std::size_t>(window_cols) *
+                              static_cast<std::size_t>(window_rows));
+    in.read(reinterpret_cast<char*>(window.data()),
+            static_cast<std::streamsize>(window.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("PathLossDatabase: truncated file");
+    db.entries_.insert_or_assign(
+        Key{sector, tilt},
+        SectorFootprint{db.grid_.cols(), db.grid_.rows(), col0, row0,
+                        window_cols, window_rows, std::move(window)});
+  }
+  return db;
+}
+
+BuildingProvider::BuildingProvider(const net::Network* network,
+                                   FootprintBuilder builder)
+    : network_(network), builder_(std::move(builder)) {
+  if (network_ == nullptr) {
+    throw std::invalid_argument("BuildingProvider: network must not be null");
+  }
+}
+
+const SectorFootprint& BuildingProvider::footprint(net::SectorId sector,
+                                                   radio::TiltIndex tilt) {
+  const std::pair<std::int32_t, std::int32_t> key{sector, tilt};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto [inserted, _] =
+      cache_.emplace(key, builder_.build(network_->sector(sector), tilt));
+  return inserted->second;
+}
+
+ApproxTiltProvider::ApproxTiltProvider(PathLossProvider* inner,
+                                       const net::Network* network,
+                                       TiltDeltaModel delta_model)
+    : inner_(inner), network_(network), delta_model_(delta_model) {
+  if (inner_ == nullptr || network_ == nullptr) {
+    throw std::invalid_argument(
+        "ApproxTiltProvider: inner provider and network must not be null");
+  }
+}
+
+const SectorFootprint& ApproxTiltProvider::footprint(net::SectorId sector,
+                                                     radio::TiltIndex tilt) {
+  if (tilt == 0) return inner_->footprint(sector, 0);
+  const std::pair<std::int32_t, std::int32_t> key{sector, tilt};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const SectorFootprint& base = inner_->footprint(sector, 0);
+  const geo::Point site = network_->sector(sector).position;
+  const geo::GridMap& map = grid();
+  std::vector<float> window(base.window().begin(), base.window().end());
+  for (std::int32_t row = 0; row < base.window_rows(); ++row) {
+    for (std::int32_t col = 0; col < base.window_cols(); ++col) {
+      auto& value =
+          window[static_cast<std::size_t>(row) * base.window_cols() + col];
+      if (std::isnan(value)) continue;
+      const geo::GridIndex g =
+          map.at(base.col0() + col, base.row0() + row);
+      const double d = geo::distance_m(map.center_of(g), site);
+      value += static_cast<float>(delta_model_.delta_db(d, 0, tilt));
+    }
+  }
+  auto [inserted, _] = cache_.emplace(
+      key, SectorFootprint{base.grid_cols(), base.grid_rows(), base.col0(),
+                           base.row0(), base.window_cols(), base.window_rows(),
+                           std::move(window)});
+  return inserted->second;
+}
+
+}  // namespace magus::pathloss

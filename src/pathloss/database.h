@@ -1,0 +1,109 @@
+// Path-loss providers: the interface the analysis model consumes, plus an
+// in-memory database with a versioned binary file format (our stand-in for
+// the operator's Atoll feed, which is "refreshed periodically" — §4.2) and
+// two computing providers (faithful per-tilt rebuild vs the paper's
+// tilt-delta approximation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "geo/grid_map.h"
+#include "net/network.h"
+#include "pathloss/builder.h"
+#include "pathloss/footprint.h"
+#include "pathloss/tilt_delta.h"
+
+namespace magus::pathloss {
+
+/// Source of L_b(T, g) matrices. Implementations may build lazily, so the
+/// accessor is non-const; returned references stay valid for the provider's
+/// lifetime.
+class PathLossProvider {
+ public:
+  virtual ~PathLossProvider() = default;
+
+  [[nodiscard]] virtual const SectorFootprint& footprint(
+      net::SectorId sector, radio::TiltIndex tilt) = 0;
+  [[nodiscard]] virtual const geo::GridMap& grid() const = 0;
+};
+
+/// Fully materialized database, e.g. loaded from disk.
+class PathLossDatabase final : public PathLossProvider {
+ public:
+  explicit PathLossDatabase(geo::GridMap grid);
+
+  /// Inserts or replaces the matrix for (sector, tilt). Throws
+  /// std::invalid_argument if the footprint's cell count mismatches the grid.
+  void insert(net::SectorId sector, radio::TiltIndex tilt,
+              SectorFootprint footprint);
+
+  [[nodiscard]] bool contains(net::SectorId sector,
+                              radio::TiltIndex tilt) const;
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  /// Throws std::out_of_range when the matrix is missing.
+  [[nodiscard]] const SectorFootprint& footprint(
+      net::SectorId sector, radio::TiltIndex tilt) override;
+
+  [[nodiscard]] const geo::GridMap& grid() const override { return grid_; }
+
+  /// Binary serialization (versioned, sparse). Throws std::runtime_error on
+  /// I/O errors or format mismatches.
+  void save(const std::string& path) const;
+  [[nodiscard]] static PathLossDatabase load(const std::string& path);
+
+ private:
+  using Key = std::pair<std::int32_t, std::int32_t>;
+
+  geo::GridMap grid_;
+  std::map<Key, SectorFootprint> entries_;
+};
+
+/// Computes matrices on demand from the propagation model and caches them.
+/// Faithful tilt handling: each (sector, tilt) gets a full rebuild.
+class BuildingProvider final : public PathLossProvider {
+ public:
+  /// `network` must outlive the provider; `builder` is copied.
+  BuildingProvider(const net::Network* network, FootprintBuilder builder);
+
+  [[nodiscard]] const SectorFootprint& footprint(
+      net::SectorId sector, radio::TiltIndex tilt) override;
+  [[nodiscard]] const geo::GridMap& grid() const override {
+    return builder_.grid();
+  }
+
+  /// Number of matrices built so far (for the ablation bench's cost story).
+  [[nodiscard]] std::size_t built_count() const { return cache_.size(); }
+
+ private:
+  const net::Network* network_;
+  FootprintBuilder builder_;
+  std::map<std::pair<std::int32_t, std::int32_t>, SectorFootprint> cache_;
+};
+
+/// Paper-mode tilt approximation: tilt 0 comes from the inner provider;
+/// other tilts are derived by applying one global distance-indexed delta
+/// (§5). Much cheaper than per-tilt rebuilds, slightly less accurate.
+class ApproxTiltProvider final : public PathLossProvider {
+ public:
+  /// `inner` and `network` must outlive the provider.
+  ApproxTiltProvider(PathLossProvider* inner, const net::Network* network,
+                     TiltDeltaModel delta_model);
+
+  [[nodiscard]] const SectorFootprint& footprint(
+      net::SectorId sector, radio::TiltIndex tilt) override;
+  [[nodiscard]] const geo::GridMap& grid() const override {
+    return inner_->grid();
+  }
+
+ private:
+  PathLossProvider* inner_;
+  const net::Network* network_;
+  TiltDeltaModel delta_model_;
+  std::map<std::pair<std::int32_t, std::int32_t>, SectorFootprint> cache_;
+};
+
+}  // namespace magus::pathloss

@@ -1,0 +1,92 @@
+#include "pathloss/footprint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace magus::pathloss {
+
+SectorFootprint::SectorFootprint(std::vector<float> full_dense,
+                                 std::int32_t grid_cols,
+                                 std::int32_t grid_rows)
+    : grid_cols_(grid_cols), grid_rows_(grid_rows) {
+  if (full_dense.size() != static_cast<std::size_t>(grid_cols) *
+                               static_cast<std::size_t>(grid_rows)) {
+    throw std::invalid_argument("SectorFootprint: dense size mismatch");
+  }
+  // Find the bounding window of covered cells.
+  std::int32_t min_col = grid_cols;
+  std::int32_t max_col = -1;
+  std::int32_t min_row = grid_rows;
+  std::int32_t max_row = -1;
+  for (std::int32_t row = 0; row < grid_rows; ++row) {
+    for (std::int32_t col = 0; col < grid_cols; ++col) {
+      const float v =
+          full_dense[static_cast<std::size_t>(row) * grid_cols + col];
+      if (std::isnan(v) || v <= kFloorDb) continue;
+      min_col = std::min(min_col, col);
+      max_col = std::max(max_col, col);
+      min_row = std::min(min_row, row);
+      max_row = std::max(max_row, row);
+    }
+  }
+  if (max_col < min_col) {  // empty footprint
+    col0_ = row0_ = 0;
+    window_cols_ = window_rows_ = 0;
+    return;
+  }
+  col0_ = min_col;
+  row0_ = min_row;
+  window_cols_ = max_col - min_col + 1;
+  window_rows_ = max_row - min_row + 1;
+  window_.resize(static_cast<std::size_t>(window_cols_) * window_rows_);
+  for (std::int32_t row = 0; row < window_rows_; ++row) {
+    const auto* src = full_dense.data() +
+                      static_cast<std::size_t>(row0_ + row) * grid_cols +
+                      col0_;
+    std::copy(src, src + window_cols_,
+              window_.begin() + static_cast<std::size_t>(row) * window_cols_);
+  }
+  apply_floor_and_count();
+}
+
+SectorFootprint::SectorFootprint(std::int32_t grid_cols,
+                                 std::int32_t grid_rows, std::int32_t col0,
+                                 std::int32_t row0, std::int32_t window_cols,
+                                 std::int32_t window_rows,
+                                 std::vector<float> window)
+    : grid_cols_(grid_cols),
+      grid_rows_(grid_rows),
+      col0_(col0),
+      row0_(row0),
+      window_cols_(window_cols),
+      window_rows_(window_rows),
+      window_(std::move(window)) {
+  if (window_.size() != static_cast<std::size_t>(window_cols_) *
+                            static_cast<std::size_t>(window_rows_)) {
+    throw std::invalid_argument("SectorFootprint: window size mismatch");
+  }
+  if (col0_ < 0 || row0_ < 0 || col0_ + window_cols_ > grid_cols_ ||
+      row0_ + window_rows_ > grid_rows_) {
+    throw std::invalid_argument("SectorFootprint: window outside grid");
+  }
+  apply_floor_and_count();
+}
+
+void SectorFootprint::apply_floor_and_count() {
+  const auto nan = std::numeric_limits<float>::quiet_NaN();
+  covered_count_ = 0;
+  for (auto& v : window_) {
+    if (!std::isnan(v) && v <= kFloorDb) v = nan;
+    if (!std::isnan(v)) ++covered_count_;
+  }
+}
+
+double SectorFootprint::peak_gain_db() const {
+  double peak = -std::numeric_limits<double>::infinity();
+  for_each_covered([&](geo::GridIndex, float gain) {
+    peak = std::max(peak, static_cast<double>(gain));
+  });
+  return peak;
+}
+
+}  // namespace magus::pathloss

@@ -1,0 +1,118 @@
+// Per-sector path-loss matrix over the analysis grid.
+//
+// This is the in-memory form of one Atoll-style path-loss matrix L_b(T, g)
+// (paper §4.2): one value per grid cell, in dB of *gain* (negative; received
+// power = transmit power + gain). Cells whose gain falls below a floor are
+// treated as uncovered — at the floor the strongest permissible transmit
+// power still lands far under the noise floor, so such cells can affect
+// neither signal nor interference.
+//
+// Storage is *windowed dense*: a footprint keeps only the bounding window
+// of its covered cells (a sector's reach is bounded by its range cutoff,
+// while the analysis grid spans the whole market), with NaN marking
+// uncovered cells inside the window. Lookups stay O(1) and memory scales
+// with sector reach instead of market size — essential for urban markets
+// with >1000 sectors.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geo/grid_map.h"
+
+namespace magus::pathloss {
+
+class SectorFootprint {
+ public:
+  /// Gains at or below this are treated as "no coverage".
+  static constexpr float kFloorDb = -170.0f;
+
+  SectorFootprint() = default;
+
+  /// Builds from a dense gain vector covering the *whole* grid
+  /// (grid_cols x grid_rows entries, row-major; NaN or <= kFloorDb =
+  /// uncovered). The covered bounding window is extracted automatically.
+  SectorFootprint(std::vector<float> full_dense, std::int32_t grid_cols,
+                  std::int32_t grid_rows);
+
+  /// Deserialization constructor: an explicit window placed at
+  /// (col0, row0) within a grid_cols x grid_rows grid.
+  SectorFootprint(std::int32_t grid_cols, std::int32_t grid_rows,
+                  std::int32_t col0, std::int32_t row0,
+                  std::int32_t window_cols, std::int32_t window_rows,
+                  std::vector<float> window);
+
+  /// Total cells of the underlying grid (not the window).
+  [[nodiscard]] std::size_t cell_count() const {
+    return static_cast<std::size_t>(grid_cols_) *
+           static_cast<std::size_t>(grid_rows_);
+  }
+
+  [[nodiscard]] bool covers(geo::GridIndex g) const {
+    const std::int32_t col = g % grid_cols_ - col0_;
+    const std::int32_t row = g / grid_cols_ - row0_;
+    if (col < 0 || col >= window_cols_ || row < 0 || row >= window_rows_) {
+      return false;
+    }
+    return !std::isnan(window_[static_cast<std::size_t>(row) * window_cols_ +
+                               col]);
+  }
+
+  /// Path gain (negative dB). Requires covers(g).
+  [[nodiscard]] float gain_db(geo::GridIndex g) const {
+    const std::int32_t col = g % grid_cols_ - col0_;
+    const std::int32_t row = g / grid_cols_ - row0_;
+    return window_[static_cast<std::size_t>(row) * window_cols_ + col];
+  }
+
+  /// Gain, or -infinity when uncovered (convenient for max comparisons).
+  [[nodiscard]] double gain_or_ninf_db(geo::GridIndex g) const {
+    if (!covers(g)) return -std::numeric_limits<double>::infinity();
+    return gain_db(g);
+  }
+
+  /// Calls f(grid_index, gain_db) for every covered cell. The analysis
+  /// model's hot loop.
+  template <typename F>
+  void for_each_covered(F&& f) const {
+    for (std::int32_t row = 0; row < window_rows_; ++row) {
+      const geo::GridIndex base = (row0_ + row) * grid_cols_ + col0_;
+      const float* line =
+          window_.data() + static_cast<std::size_t>(row) * window_cols_;
+      for (std::int32_t col = 0; col < window_cols_; ++col) {
+        if (!std::isnan(line[col])) f(base + col, line[col]);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t covered_count() const { return covered_count_; }
+
+  /// Strongest gain in the footprint, or -infinity if empty.
+  [[nodiscard]] double peak_gain_db() const;
+
+  // Window geometry + raw storage, for serialization.
+  [[nodiscard]] std::int32_t grid_cols() const { return grid_cols_; }
+  [[nodiscard]] std::int32_t grid_rows() const { return grid_rows_; }
+  [[nodiscard]] std::int32_t col0() const { return col0_; }
+  [[nodiscard]] std::int32_t row0() const { return row0_; }
+  [[nodiscard]] std::int32_t window_cols() const { return window_cols_; }
+  [[nodiscard]] std::int32_t window_rows() const { return window_rows_; }
+  [[nodiscard]] std::span<const float> window() const { return window_; }
+
+ private:
+  void apply_floor_and_count();
+
+  std::int32_t grid_cols_ = 0;
+  std::int32_t grid_rows_ = 0;
+  std::int32_t col0_ = 0;
+  std::int32_t row0_ = 0;
+  std::int32_t window_cols_ = 0;
+  std::int32_t window_rows_ = 0;
+  std::size_t covered_count_ = 0;
+  std::vector<float> window_;
+};
+
+}  // namespace magus::pathloss

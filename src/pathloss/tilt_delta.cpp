@@ -1,0 +1,28 @@
+#include "pathloss/tilt_delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace magus::pathloss {
+
+TiltDeltaModel::TiltDeltaModel(radio::AntennaParams reference,
+                               double reference_height_m)
+    : pattern_(reference), reference_height_m_(reference_height_m) {}
+
+double TiltDeltaModel::delta_db(double distance_m, radio::TiltIndex from,
+                                radio::TiltIndex to) const {
+  if (from == to) return 0.0;
+  const double d = std::max(distance_m, 1.0);
+  // Elevation of a ground UE as seen from the reference antenna height
+  // (negative: below the horizon).
+  const double elevation_deg =
+      std::atan2(-reference_height_m_, d) * 180.0 / std::numbers::pi;
+  // On-boresight horizontal cut: the delta captures only the vertical
+  // pattern shift, matching the paper's single change matrix.
+  const double gain_from = pattern_.gain_dbi(0.0, elevation_deg, from);
+  const double gain_to = pattern_.gain_dbi(0.0, elevation_deg, to);
+  return gain_to - gain_from;
+}
+
+}  // namespace magus::pathloss

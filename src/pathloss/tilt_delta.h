@@ -1,0 +1,38 @@
+// The paper's tilt approximation (§5, "Antenna Tilt Tuning").
+//
+// Computing one path-loss matrix per (sector, tilt) pair is expensive, so
+// the paper assumes "the change to a path loss matrix caused by a specific
+// uptilt or downtilt is the same across all sectors" and uses one *change
+// matrix* per tilt step, indexed by position relative to the sector. We
+// implement that change function analytically from the vertical antenna
+// pattern at a reference geometry: the delta depends only on distance from
+// the site (which fixes the elevation angle at reference height) and the
+// tilt settings, not on the particular sector's terrain.
+//
+// The faithful alternative (rebuilding the footprint per tilt via
+// FootprintBuilder) is also available; bench_ablation compares the two.
+#pragma once
+
+#include "radio/antenna.h"
+
+namespace magus::pathloss {
+
+class TiltDeltaModel {
+ public:
+  /// `reference` describes the antenna pattern and tilt geometry shared by
+  /// all sectors; `reference_height_m` is the assumed antenna height above
+  /// the UE plane.
+  TiltDeltaModel(radio::AntennaParams reference,
+                 double reference_height_m = 30.0);
+
+  /// Gain change (dB) at a point `distance_m` from the site when the tilt
+  /// moves from `from` to `to`. Positive = stronger signal.
+  [[nodiscard]] double delta_db(double distance_m, radio::TiltIndex from,
+                                radio::TiltIndex to) const;
+
+ private:
+  radio::AntennaPattern pattern_;
+  double reference_height_m_;
+};
+
+}  // namespace magus::pathloss

@@ -1,0 +1,44 @@
+#include "radio/antenna.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace magus::radio {
+
+AntennaPattern::AntennaPattern(AntennaParams params) : params_(params) {
+  if (params_.horizontal_beamwidth_deg <= 0.0 ||
+      params_.vertical_beamwidth_deg <= 0.0) {
+    throw std::invalid_argument("AntennaPattern: beamwidths must be positive");
+  }
+  if (params_.min_tilt_index > params_.max_tilt_index) {
+    throw std::invalid_argument("AntennaPattern: empty tilt range");
+  }
+}
+
+double AntennaPattern::downtilt_deg(TiltIndex tilt) const {
+  return params_.base_downtilt_deg + params_.tilt_step_deg * tilt;
+}
+
+double AntennaPattern::gain_dbi(double azimuth_off_boresight_deg,
+                                double elevation_deg, TiltIndex tilt) const {
+  const double phi = azimuth_off_boresight_deg;
+  const double horizontal_loss =
+      std::min(12.0 * (phi / params_.horizontal_beamwidth_deg) *
+                   (phi / params_.horizontal_beamwidth_deg),
+               params_.front_back_ratio_db);
+
+  // The beam points `downtilt` degrees below the horizon; elevation_deg is
+  // measured from the horizon (negative = below).
+  const double theta_off_beam = elevation_deg + downtilt_deg(tilt);
+  const double vertical_loss =
+      std::min(12.0 * (theta_off_beam / params_.vertical_beamwidth_deg) *
+                   (theta_off_beam / params_.vertical_beamwidth_deg),
+               params_.side_lobe_limit_db);
+
+  const double total_loss =
+      std::min(horizontal_loss + vertical_loss, params_.front_back_ratio_db);
+  return params_.boresight_gain_dbi - total_loss;
+}
+
+}  // namespace magus::radio

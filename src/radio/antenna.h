@@ -1,0 +1,61 @@
+// Directional sector antenna model with electrical downtilt.
+//
+// Follows the 3GPP TR 36.814 parametrization used in LTE system studies:
+//
+//   A_h(phi)   = -min(12 (phi / phi_3dB)^2,  A_max)          horizontal cut
+//   A_v(theta) = -min(12 ((theta - theta_tilt)/theta_3dB)^2, SLA_v)
+//   A(phi, theta) = -min(-(A_h + A_v), A_max)
+//
+// plus a peak boresight gain in dBi. Tilt is configured in discrete steps
+// (TiltIndex) like the paper's Atoll data, which ships one path-loss matrix
+// per tilt setting (16 settings besides the normal case).
+#pragma once
+
+#include <cstdint>
+
+namespace magus::radio {
+
+/// Discrete electrical tilt setting. 0 is the planned (default) tilt; each
+/// step changes the physical downtilt angle by AntennaPattern::tilt_step_deg.
+/// Positive index = more downtilt (shrinks coverage), negative = uptilt
+/// (extends coverage), matching the paper's up/downtilt terminology.
+using TiltIndex = std::int8_t;
+
+struct AntennaParams {
+  double boresight_gain_dbi = 15.0;
+  double horizontal_beamwidth_deg = 65.0;  ///< 3 dB beamwidth, horizontal cut
+  double vertical_beamwidth_deg = 10.0;    ///< 3 dB beamwidth, vertical cut
+  double front_back_ratio_db = 25.0;       ///< A_max: max horizontal loss
+  double side_lobe_limit_db = 20.0;        ///< SLA_v: max vertical loss
+  double base_downtilt_deg = 4.0;          ///< physical downtilt at index 0
+  double tilt_step_deg = 1.0;              ///< degrees per TiltIndex step
+  TiltIndex min_tilt_index = -8;           ///< deepest uptilt setting
+  TiltIndex max_tilt_index = 8;            ///< deepest downtilt setting
+};
+
+class AntennaPattern {
+ public:
+  explicit AntennaPattern(AntennaParams params);
+
+  [[nodiscard]] const AntennaParams& params() const { return params_; }
+
+  /// Antenna gain (dBi, can be negative off-beam) toward a target at
+  /// `azimuth_off_boresight_deg` horizontally and `elevation_deg` vertically
+  /// (negative elevation = below the antenna horizon, the usual case for a
+  /// ground UE), with electrical tilt `tilt`.
+  [[nodiscard]] double gain_dbi(double azimuth_off_boresight_deg,
+                                double elevation_deg, TiltIndex tilt) const;
+
+  /// Effective downtilt angle (degrees below horizon) at a tilt setting.
+  [[nodiscard]] double downtilt_deg(TiltIndex tilt) const;
+
+  /// Number of supported tilt settings (inclusive range).
+  [[nodiscard]] int tilt_setting_count() const {
+    return params_.max_tilt_index - params_.min_tilt_index + 1;
+  }
+
+ private:
+  AntennaParams params_;
+};
+
+}  // namespace magus::radio

@@ -1,0 +1,25 @@
+#include "radio/noise_floor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace magus::radio {
+
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) {
+  if (bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("noise_floor_dbm: bandwidth must be positive");
+  }
+  return util::kThermalNoiseDbmPerHz + 10.0 * std::log10(bandwidth_hz) +
+         noise_figure_db;
+}
+
+double lte_noise_floor_dbm(double channel_mhz, double noise_figure_db) {
+  // Occupied bandwidth: LTE uses 90% of the channel, e.g. 10 MHz -> 50 PRB
+  // x 180 kHz = 9 MHz.
+  const double occupied_hz = channel_mhz * 1e6 * 0.9;
+  return noise_floor_dbm(occupied_hz, noise_figure_db);
+}
+
+}  // namespace magus::radio

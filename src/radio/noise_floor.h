@@ -1,0 +1,16 @@
+// Receiver thermal-noise floor.
+#pragma once
+
+namespace magus::radio {
+
+/// Thermal noise power over `bandwidth_hz` with the given receiver noise
+/// figure, in dBm: -174 + 10 log10(BW) + NF.
+[[nodiscard]] double noise_floor_dbm(double bandwidth_hz,
+                                     double noise_figure_db);
+
+/// Convenience for LTE channel bandwidths given in MHz (uses the occupied
+/// bandwidth, i.e. PRB count x 180 kHz).
+[[nodiscard]] double lte_noise_floor_dbm(double channel_mhz,
+                                         double noise_figure_db = 7.0);
+
+}  // namespace magus::radio

@@ -1,0 +1,121 @@
+#include "radio/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace magus::radio {
+
+PropagationModel::PropagationModel(const terrain::Terrain* terrain,
+                                   SpmParams params)
+    : terrain_(terrain), params_(params) {
+  if (terrain_ == nullptr) {
+    throw std::invalid_argument("PropagationModel: terrain must not be null");
+  }
+}
+
+double PropagationModel::isotropic_gain_from(const TransmitterSite& tx,
+                                             double tx_ground_m, geo::Point rx,
+                                             const RxEnvironment& env) const {
+  const double distance_m =
+      std::max(geo::distance_m(tx.position, rx), params_.min_distance_m);
+  const double distance_km = distance_m / 1000.0;
+  const double log_d = std::log10(distance_km);
+
+  // Effective TX height: antenna height plus terrain advantage over the RX.
+  const double h_eff =
+      std::max(5.0, tx.height_m + tx_ground_m - env.elevation_m);
+  const double log_h = std::log10(h_eff);
+
+  const double spm_loss =
+      params_.k1 + params_.k2 * log_d + params_.k3 * log_h +
+      params_.k4 * env.diffraction_loss_db + params_.k5 * log_d * log_h +
+      params_.k6 * params_.rx_height_m;
+
+  // Free-space at 2.1 GHz bounds how *small* the loss can get; the Hata
+  // form misbehaves at very short range.
+  const double floor_loss =
+      32.45 + 20.0 * std::log10(distance_km) + 20.0 * std::log10(2100.0);
+  const double loss = std::max(spm_loss, floor_loss) + env.clutter_loss_db -
+                      env.shadowing_db;
+  return -loss;
+}
+
+double PropagationModel::pattern_gain_dbi(const TransmitterSite& tx,
+                                          double tx_ground_m,
+                                          const AntennaPattern& antenna,
+                                          TiltIndex tilt, geo::Point rx,
+                                          double rx_ground_m) const {
+  const double bearing = geo::bearing_deg(tx.position, rx);
+  const double azimuth_off = geo::wrap_angle_deg(bearing - tx.azimuth_deg);
+  const double distance_m =
+      std::max(geo::distance_m(tx.position, rx), params_.min_distance_m);
+  const double tx_total = tx_ground_m + tx.height_m;
+  const double rx_total = rx_ground_m + params_.rx_height_m;
+  const double elevation_deg =
+      std::atan2(rx_total - tx_total, distance_m) * 180.0 / std::numbers::pi;
+  return antenna.gain_dbi(azimuth_off, elevation_deg, tilt);
+}
+
+double PropagationModel::isotropic_path_gain_db(const TransmitterSite& tx,
+                                                geo::Point rx) const {
+  RxEnvironment env;
+  env.elevation_m = terrain_->elevation_m(rx);
+  env.clutter_loss_db =
+      terrain::clutter_loss_db(terrain_->clutter_at(rx));
+  env.shadowing_db = terrain_->shadowing_db(rx);
+  env.diffraction_loss_db = terrain_->diffraction_loss_db(
+      tx.position, tx.height_m, rx, params_.rx_height_m);
+  return isotropic_gain_from(tx, terrain_->elevation_m(tx.position), rx, env);
+}
+
+double PropagationModel::path_gain_db(const TransmitterSite& tx,
+                                      const AntennaPattern& antenna,
+                                      TiltIndex tilt, geo::Point rx) const {
+  return isotropic_path_gain_db(tx, rx) +
+         pattern_gain_dbi(tx, terrain_->elevation_m(tx.position), antenna,
+                          tilt, rx, terrain_->elevation_m(rx));
+}
+
+double PropagationModel::diffraction_from_profile(
+    geo::Point a, double elev_a_m, geo::Point b, double elev_b_m,
+    const terrain::TerrainGridCache& cache) const {
+  const double total_distance = geo::distance_m(a, b);
+  if (total_distance < 1.0) return 0.0;
+  const int samples =
+      std::clamp(static_cast<int>(total_distance / 400.0), 4,
+                 params_.max_diffraction_samples);
+  double worst_obstruction_m = 0.0;
+  for (int i = 1; i < samples; ++i) {
+    const double t = static_cast<double>(i) / samples;
+    const geo::Point p{a.x_m + (b.x_m - a.x_m) * t,
+                       a.y_m + (b.y_m - a.y_m) * t};
+    const double ray_height = elev_a_m + (elev_b_m - elev_a_m) * t;
+    const double obstruction = cache.elevation_at(p) - ray_height;
+    worst_obstruction_m = std::max(worst_obstruction_m, obstruction);
+  }
+  if (worst_obstruction_m <= 0.0) return 0.0;
+  const double loss = 6.0 + 8.0 * std::log2(1.0 + worst_obstruction_m / 10.0);
+  return std::min(loss, 30.0);
+}
+
+double PropagationModel::path_gain_db_cached(
+    const TransmitterSite& tx, const AntennaPattern& antenna, TiltIndex tilt,
+    geo::GridIndex g, const terrain::TerrainGridCache& cache) const {
+  const geo::Point rx = cache.grid().center_of(g);
+  const double tx_ground = cache.elevation_at(tx.position);
+
+  RxEnvironment env;
+  env.elevation_m = cache.elevation_of(g);
+  env.clutter_loss_db = cache.clutter_loss_of(g);
+  env.shadowing_db = cache.shadowing_of(g);
+  env.diffraction_loss_db = diffraction_from_profile(
+      tx.position, tx_ground + tx.height_m, rx,
+      env.elevation_m + params_.rx_height_m, cache);
+
+  return isotropic_gain_from(tx, tx_ground, rx, env) +
+         pattern_gain_dbi(tx, tx_ground, antenna, tilt, rx, env.elevation_m);
+}
+
+}  // namespace magus::radio

@@ -1,0 +1,105 @@
+// Standard Propagation Model (SPM) over procedural terrain.
+//
+// The paper's path-loss matrices come from Atoll, whose Standard Propagation
+// Model is a tuned Hata-style model:
+//
+//   PL = K1 + K2 log10(d) + K3 log10(h_tx_eff) + K4 * diffraction
+//      + K5 log10(d) log10(h_tx_eff) + K6 h_rx + K_clutter
+//
+// with per-clutter empirical corrections. We implement that structure and
+// add the terrain diffraction and correlated shadowing terms from
+// magus::terrain, producing the irregular contours of the paper's Figure 3.
+//
+// Convention: this module returns *negative gain* L in dB (RP = P + L,
+// paper Formula 1), so typical values run from about -60 near the site to
+// -200 at 30 km, matching the paper's reported range.
+//
+// Two evaluation paths exist: a direct one querying the terrain noise
+// fields per call (exact, used in tests and one-off queries), and a cached
+// one fed by a TerrainGridCache (used by the footprint builder, where the
+// per-call noise evaluation would dominate construction time).
+#pragma once
+
+#include "geo/grid_map.h"
+#include "geo/point.h"
+#include "radio/antenna.h"
+#include "terrain/terrain.h"
+
+namespace magus::radio {
+
+struct SpmParams {
+  // COST231-Hata-flavored constants at ~2.1 GHz (K1 absorbs the frequency
+  // term: 46.3 + 33.9 log10(2100) ~ 158.9, minus the mobile-antenna
+  // correction), matching Atoll's SPM defaults for macro deployments.
+  double k1 = 138.5;   ///< constant offset incl. frequency term (dB)
+  double k2 = 44.9;    ///< distance slope (dB/decade), d in km
+  double k3 = -13.82;  ///< effective TX height gain (dB/decade), h in m
+  double k4 = 0.8;     ///< diffraction multiplier (dimensionless)
+  double k5 = -6.55;   ///< distance x height cross term
+  double k6 = -0.1;    ///< RX height correction (dB/m)
+  double rx_height_m = 1.5;
+  double min_distance_m = 25.0;  ///< clamp to avoid the near-field singularity
+  int max_diffraction_samples = 16;
+};
+
+/// Transmitter-side description needed by the propagation model.
+struct TransmitterSite {
+  geo::Point position;
+  double height_m = 30.0;    ///< antenna height above ground
+  double azimuth_deg = 0.0;  ///< boresight compass bearing
+};
+
+class PropagationModel {
+ public:
+  /// `terrain` must outlive the model.
+  PropagationModel(const terrain::Terrain* terrain, SpmParams params);
+
+  /// Total path "gain" L(T, g) in dB (negative), antenna pattern included:
+  ///   L = -(SPM path loss) + antenna_gain(azimuth, elevation, tilt)
+  ///       - clutter loss + shadowing
+  /// so that received power is simply P_tx_dbm + L. Queries the terrain
+  /// directly (exact but slow in bulk).
+  [[nodiscard]] double path_gain_db(const TransmitterSite& tx,
+                                    const AntennaPattern& antenna,
+                                    TiltIndex tilt, geo::Point rx) const;
+
+  /// Same quantity for a grid cell, served from the cache (fast path for
+  /// footprint construction). The cache must cover the cell's grid.
+  [[nodiscard]] double path_gain_db_cached(
+      const TransmitterSite& tx, const AntennaPattern& antenna, TiltIndex tilt,
+      geo::GridIndex g, const terrain::TerrainGridCache& cache) const;
+
+  /// The isotropic part only (no antenna pattern): SPM + clutter +
+  /// diffraction + shadowing. Exposed for testing and for omni antennas.
+  [[nodiscard]] double isotropic_path_gain_db(const TransmitterSite& tx,
+                                              geo::Point rx) const;
+
+  [[nodiscard]] const SpmParams& params() const { return params_; }
+
+ private:
+  /// Per-receiver terrain inputs, however they were obtained.
+  struct RxEnvironment {
+    double elevation_m = 0.0;
+    double clutter_loss_db = 0.0;
+    double shadowing_db = 0.0;
+    double diffraction_loss_db = 0.0;
+  };
+
+  [[nodiscard]] double isotropic_gain_from(const TransmitterSite& tx,
+                                           double tx_ground_m, geo::Point rx,
+                                           const RxEnvironment& env) const;
+  [[nodiscard]] double pattern_gain_dbi(const TransmitterSite& tx,
+                                        double tx_ground_m,
+                                        const AntennaPattern& antenna,
+                                        TiltIndex tilt, geo::Point rx,
+                                        double rx_ground_m) const;
+  /// Knife-edge diffraction from a sampled elevation profile.
+  [[nodiscard]] double diffraction_from_profile(
+      geo::Point a, double elev_a_m, geo::Point b, double elev_b_m,
+      const terrain::TerrainGridCache& cache) const;
+
+  const terrain::Terrain* terrain_;
+  SpmParams params_;
+};
+
+}  // namespace magus::radio

@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace magus::sim {
+
+void EventQueue::schedule_at(SimTime t, Handler handler) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  events_.push(Event{t, next_sequence_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(double delay, Handler handler) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // Copy out before pop: the handler may schedule more events.
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.time;
+  event.handler();
+  return true;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::size_t EventQueue::run_until(SimTime t) {
+  std::size_t count = 0;
+  while (!events_.empty() && events_.top().time <= t) {
+    step();
+    ++count;
+  }
+  now_ = std::max(now_, t);
+  return count;
+}
+
+}  // namespace magus::sim

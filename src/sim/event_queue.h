@@ -1,0 +1,59 @@
+// Discrete-event simulation engine.
+//
+// A minimal calendar queue: handlers scheduled at absolute or relative
+// simulated times, executed in time order (FIFO among equal timestamps).
+// Used by the handover signaling simulator to play out UE migrations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace magus::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+  /// Schedules `handler` at absolute time `t`. Requires t >= now().
+  void schedule_at(SimTime t, Handler handler);
+
+  /// Schedules `handler` `delay` seconds from now. Requires delay >= 0.
+  void schedule_in(double delay, Handler handler);
+
+  /// Runs the earliest event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue drains; returns how many ran.
+  std::size_t run();
+
+  /// Runs events with time <= `t`, then advances the clock to `t`.
+  std::size_t run_until(SimTime t);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace magus::sim

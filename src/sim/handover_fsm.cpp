@@ -1,0 +1,81 @@
+#include "sim/handover_fsm.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace magus::sim {
+
+SignalingCounters& SignalingCounters::operator+=(
+    const SignalingCounters& other) {
+  measurement_reports += other.measurement_reports;
+  handover_requests += other.handover_requests;
+  handover_acks += other.handover_acks;
+  rrc_messages += other.rrc_messages;
+  path_switches += other.path_switches;
+  reattach_attempts += other.reattach_attempts;
+  return *this;
+}
+
+HandoverProcedure::HandoverProcedure(HandoverTimings timings)
+    : timings_(timings) {}
+
+double HandoverProcedure::duration_s(HandoverKind kind) const {
+  if (kind == HandoverKind::kSeamless) {
+    return timings_.measurement_report_s + timings_.handover_request_s +
+           timings_.rrc_reconfiguration_s + timings_.path_switch_s;
+  }
+  return timings_.rlf_detection_s + timings_.reattach_s +
+         timings_.rrc_reconfiguration_s + timings_.path_switch_s;
+}
+
+void HandoverProcedure::start(EventQueue& queue, HandoverKind kind,
+                              double ue_weight, SignalingCounters* counters,
+                              std::vector<HandoverOutcome>* outcomes) const {
+  if (counters == nullptr || outcomes == nullptr) {
+    throw std::invalid_argument("HandoverProcedure: null output sinks");
+  }
+  if (ue_weight <= 0.0) return;
+  const SimTime started = queue.now();
+  const HandoverTimings t = timings_;
+
+  if (kind == HandoverKind::kSeamless) {
+    // measurement report -> HO request/ack -> RRC reconfig -> path switch.
+    queue.schedule_in(t.measurement_report_s, [=, &queue] {
+      counters->measurement_reports += ue_weight;
+      queue.schedule_in(t.handover_request_s, [=, &queue] {
+        counters->handover_requests += ue_weight;
+        counters->handover_acks += ue_weight;
+        queue.schedule_in(t.rrc_reconfiguration_s, [=, &queue] {
+          counters->rrc_messages += ue_weight;
+          queue.schedule_in(t.path_switch_s, [=, &queue] {
+            counters->path_switches += ue_weight;
+            outcomes->push_back(HandoverOutcome{
+                HandoverKind::kSeamless, ue_weight, started, queue.now(),
+                0.0});
+          });
+        });
+      });
+    });
+    return;
+  }
+
+  // Hard handover: radio link failure -> reattach -> RRC -> path switch.
+  // The UE is in outage from the moment the source went dark until the
+  // reattach completes.
+  queue.schedule_in(t.rlf_detection_s, [=, &queue] {
+    queue.schedule_in(t.reattach_s, [=, &queue] {
+      counters->reattach_attempts += ue_weight;
+      queue.schedule_in(t.rrc_reconfiguration_s, [=, &queue] {
+        counters->rrc_messages += ue_weight;
+        queue.schedule_in(t.path_switch_s, [=, &queue] {
+          counters->path_switches += ue_weight;
+          const SimTime done = queue.now();
+          outcomes->push_back(HandoverOutcome{HandoverKind::kHard, ue_weight,
+                                              started, done, done - started});
+        });
+      });
+    });
+  });
+}
+
+}  // namespace magus::sim

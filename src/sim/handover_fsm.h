@@ -1,0 +1,77 @@
+// LTE X2 handover procedure state machine with signaling accounting.
+//
+// A seamless handover (source eNodeB still on-air) walks the standard X2
+// phases: measurement report -> handover request/ack -> RRC connection
+// reconfiguration -> path switch -> complete. A hard handover (source
+// already off-air, as happens to UEs still attached when the upgrade
+// starts) first burns a radio-link-failure timer, then performs a full
+// reattach (RRC re-establishment + attach signaling), which costs more
+// messages and a service gap. Weights are fractional UE counts, so one
+// procedure instance can represent all UEs of a grid cell.
+#pragma once
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace magus::sim {
+
+struct HandoverTimings {
+  double measurement_report_s = 0.05;
+  double handover_request_s = 0.02;  ///< X2 request + admission control
+  double rrc_reconfiguration_s = 0.03;
+  double path_switch_s = 0.02;
+  double rlf_detection_s = 0.5;  ///< hard HO: radio-link-failure timer
+  double reattach_s = 0.3;       ///< hard HO: RRC re-establishment + attach
+};
+
+/// Weighted signaling-message counters (UE-weighted: one UE contributes
+/// 1.0 to each message it sends/receives).
+struct SignalingCounters {
+  double measurement_reports = 0.0;
+  double handover_requests = 0.0;
+  double handover_acks = 0.0;
+  double rrc_messages = 0.0;
+  double path_switches = 0.0;
+  double reattach_attempts = 0.0;
+
+  [[nodiscard]] double total() const {
+    return measurement_reports + handover_requests + handover_acks +
+           rrc_messages + path_switches + reattach_attempts;
+  }
+
+  SignalingCounters& operator+=(const SignalingCounters& other);
+};
+
+enum class HandoverKind { kSeamless, kHard };
+
+struct HandoverOutcome {
+  HandoverKind kind = HandoverKind::kSeamless;
+  double ue_weight = 0.0;
+  SimTime started_at = 0.0;
+  SimTime completed_at = 0.0;
+  /// Time the UEs had no service (zero for seamless handovers).
+  double outage_s = 0.0;
+};
+
+class HandoverProcedure {
+ public:
+  explicit HandoverProcedure(HandoverTimings timings = {});
+
+  /// Schedules a weighted handover starting at queue.now(); `counters` and
+  /// `outcomes` accumulate results when the queue runs. Both must outlive
+  /// the queue run.
+  void start(EventQueue& queue, HandoverKind kind, double ue_weight,
+             SignalingCounters* counters,
+             std::vector<HandoverOutcome>* outcomes) const;
+
+  /// Total latency of one procedure of the given kind.
+  [[nodiscard]] double duration_s(HandoverKind kind) const;
+
+  [[nodiscard]] const HandoverTimings& timings() const { return timings_; }
+
+ private:
+  HandoverTimings timings_;
+};
+
+}  // namespace magus::sim

@@ -1,0 +1,65 @@
+// Plays a sequence of network configurations through the handover signaling
+// simulator, producing the per-step handover counts and signaling load of
+// the paper's Figure 11.
+//
+// Input: an ordered list of service snapshots (the serving map, the on-air
+// flags, and the model utility at each point of the tuning schedule). The
+// simulator diffs consecutive snapshots, schedules one weighted handover
+// procedure per changed grid cell, and reports simultaneity and signaling
+// totals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/handover_delta.h"
+#include "sim/handover_fsm.h"
+
+namespace magus::sim {
+
+struct ServiceSnapshot {
+  std::vector<net::SectorId> service_map;
+  std::vector<bool> on_air;  ///< per sector, at the moment of the transition
+  double utility = 0.0;
+};
+
+struct MigrationStepTrace {
+  SimTime start_s = 0.0;
+  double utility = 0.0;  ///< utility reached after this transition
+  /// UEs forced to change servers at this transition ("simultaneous"
+  /// handovers in the paper's terminology).
+  double simultaneous_ues = 0.0;
+  double seamless_ues = 0.0;
+  double hard_ues = 0.0;
+  /// UEs that lost service entirely at this transition (not handovers).
+  double lost_service_ues = 0.0;
+  SignalingCounters signaling;
+};
+
+struct MigrationSimResult {
+  std::vector<MigrationStepTrace> steps;
+  SignalingCounters total_signaling;
+  double total_handover_ues = 0.0;
+  double max_simultaneous_ues = 0.0;
+  double seamless_fraction = 0.0;  ///< of all handover UEs
+  double total_outage_ue_seconds = 0.0;
+  SimTime makespan_s = 0.0;
+};
+
+class MigrationSimulator {
+ public:
+  explicit MigrationSimulator(HandoverTimings timings = {});
+
+  /// `snapshots.front()` is the starting state; each later snapshot is one
+  /// tuning step, applied `step_interval_s` apart. `ue_density` is the
+  /// frozen per-grid UE density. Requires >= 1 snapshot with consistent
+  /// sizes.
+  [[nodiscard]] MigrationSimResult simulate(
+      std::span<const ServiceSnapshot> snapshots,
+      std::span<const double> ue_density, double step_interval_s) const;
+
+ private:
+  HandoverProcedure procedure_;
+};
+
+}  // namespace magus::sim

@@ -1,0 +1,54 @@
+#include "terrain/noise.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace magus::terrain {
+
+namespace {
+/// Quintic smoothstep (Perlin's fade curve): C2-continuous interpolation.
+[[nodiscard]] double fade(double t) {
+  return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+
+[[nodiscard]] double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+}  // namespace
+
+double ValueNoise::lattice(std::int64_t ix, std::int64_t iy) const {
+  return util::hash_to_unit_double(util::hash_coords(seed_, ix, iy));
+}
+
+double ValueNoise::sample(double x, double y) const {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const double tx = fade(x - fx);
+  const double ty = fade(y - fy);
+  const double v00 = lattice(ix, iy);
+  const double v10 = lattice(ix + 1, iy);
+  const double v01 = lattice(ix, iy + 1);
+  const double v11 = lattice(ix + 1, iy + 1);
+  return lerp(lerp(v00, v10, tx), lerp(v01, v11, tx), ty);
+}
+
+double ValueNoise::fbm(double x, double y, int octaves) const {
+  double amplitude = 1.0;
+  double frequency = 1.0;
+  double total = 0.0;
+  double normalizer = 0.0;
+  for (int i = 0; i < octaves; ++i) {
+    // Offset each octave so lattice artifacts do not align across octaves.
+    const double offset = 31.7 * i;
+    total += amplitude * sample(x * frequency + offset, y * frequency - offset);
+    normalizer += amplitude;
+    amplitude *= 0.5;
+    frequency *= 2.0;
+  }
+  return normalizer > 0.0 ? total / normalizer : 0.0;
+}
+
+}  // namespace magus::terrain

@@ -1,0 +1,31 @@
+// Deterministic 2-D value noise with fractal Brownian motion.
+//
+// Used to synthesize terrain elevation, clutter layouts, and correlated
+// shadowing fields that stand in for the Atoll terrain database (DESIGN.md
+// §1). Every sample is a pure function of (seed, x, y): evaluation order
+// never affects results.
+#pragma once
+
+#include <cstdint>
+
+namespace magus::terrain {
+
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint64_t seed) : seed_(seed) {}
+
+  /// Smooth noise in [0, 1] at feature scale 1.0 (lattice spacing).
+  [[nodiscard]] double sample(double x, double y) const;
+
+  /// Fractal Brownian motion: `octaves` layers, each doubling frequency and
+  /// halving amplitude. Output normalized to [0, 1].
+  [[nodiscard]] double fbm(double x, double y, int octaves) const;
+
+ private:
+  /// Lattice value in [0, 1] at integer coordinates.
+  [[nodiscard]] double lattice(std::int64_t ix, std::int64_t iy) const;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace magus::terrain

@@ -1,0 +1,117 @@
+// Procedural terrain and land-use (clutter) model.
+//
+// Substitutes for the Atoll terrain/clutter database that drives the paper's
+// operational path-loss matrices. Three deterministic fields are exposed,
+// each a pure function of (seed, location):
+//
+//   - elevation_m:   rolling terrain from fBm noise,
+//   - clutter class: water / open / forest / residential / urban / dense
+//                    urban, derived from noise fields plus an "urban core"
+//                    density gradient so that markets have downtowns,
+//   - shadowing_db:  spatially correlated log-normal shadowing (the grid-
+//                    to-grid irregularity visible in the paper's Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "geo/grid_map.h"
+#include "geo/point.h"
+#include "terrain/noise.h"
+
+namespace magus::terrain {
+
+enum class ClutterClass : std::uint8_t {
+  kWater = 0,
+  kOpen = 1,
+  kForest = 2,
+  kResidential = 3,
+  kUrban = 4,
+  kDenseUrban = 5,
+};
+
+[[nodiscard]] std::string_view clutter_name(ClutterClass c);
+
+/// Additional path loss (dB, non-negative) a link suffers when its endpoint
+/// sits in the given clutter class. Values follow the usual ordering of
+/// empirical corrections (open < forest < residential < urban < dense urban).
+[[nodiscard]] double clutter_loss_db(ClutterClass c);
+
+struct TerrainParams {
+  double elevation_range_m = 120.0;   ///< peak-to-valley amplitude
+  double elevation_scale_m = 4000.0;  ///< feature size of hills
+  double clutter_scale_m = 900.0;     ///< feature size of land-use patches
+  double shadowing_stddev_db = 6.0;   ///< log-normal shadowing sigma
+  double shadowing_scale_m = 250.0;   ///< shadowing decorrelation distance
+  /// Center of the market's dense-urban core; clutter densifies toward it.
+  geo::Point urban_core{0.0, 0.0};
+  /// Radius within which dense-urban / urban clutter dominates (0 disables
+  /// the core gradient, giving homogeneous countryside).
+  double urban_core_radius_m = 0.0;
+};
+
+class Terrain {
+ public:
+  Terrain(std::uint64_t seed, TerrainParams params);
+
+  [[nodiscard]] const TerrainParams& params() const { return params_; }
+
+  /// Ground elevation above the reference plane, in meters.
+  [[nodiscard]] double elevation_m(geo::Point p) const;
+
+  [[nodiscard]] ClutterClass clutter_at(geo::Point p) const;
+
+  /// Zero-mean correlated shadowing term in dB (sigma = params.shadowing_
+  /// stddev_db). Positive values mean *less* loss (constructive).
+  [[nodiscard]] double shadowing_db(geo::Point p) const;
+
+  /// Terrain-profile obstruction between two points: a crude knife-edge
+  /// check sampling the straight-line profile. Returns extra loss in dB
+  /// (non-negative), zero when the first Fresnel zone is clear.
+  [[nodiscard]] double diffraction_loss_db(geo::Point a, double height_a_m,
+                                           geo::Point b,
+                                           double height_b_m) const;
+
+ private:
+  TerrainParams params_;
+  ValueNoise elevation_noise_;
+  ValueNoise clutter_noise_;
+  ValueNoise urbanization_noise_;
+  ValueNoise shadow_noise_;
+};
+
+/// Precomputed terrain fields over an analysis grid.
+//
+/// Evaluating the noise fields per (sector, cell) pair during path-loss
+/// matrix construction is the dominant cost at market scale; the cache
+/// samples each field once per cell and serves lookups from flat arrays.
+/// Elevation supports bilinear interpolation at arbitrary points (used by
+/// the diffraction profile sampler).
+class TerrainGridCache {
+ public:
+  TerrainGridCache(const Terrain& terrain, const geo::GridMap& grid);
+
+  [[nodiscard]] const geo::GridMap& grid() const { return grid_; }
+
+  [[nodiscard]] double elevation_of(geo::GridIndex g) const {
+    return elevation_[static_cast<std::size_t>(g)];
+  }
+  [[nodiscard]] double clutter_loss_of(geo::GridIndex g) const {
+    return clutter_loss_[static_cast<std::size_t>(g)];
+  }
+  [[nodiscard]] double shadowing_of(geo::GridIndex g) const {
+    return shadowing_[static_cast<std::size_t>(g)];
+  }
+
+  /// Bilinear elevation at an arbitrary point, clamped to the grid.
+  [[nodiscard]] double elevation_at(geo::Point p) const;
+
+ private:
+  geo::GridMap grid_;
+  std::vector<float> elevation_;
+  std::vector<float> clutter_loss_;
+  std::vector<float> shadowing_;
+};
+
+}  // namespace magus::terrain

@@ -1,0 +1,36 @@
+#include "testbed/indoor_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace magus::testbed {
+
+IndoorPropagation::IndoorPropagation(IndoorParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+double IndoorPropagation::path_gain_db(geo::Point a, geo::Point b,
+                                       std::uint64_t link_id) const {
+  const double distance_m =
+      std::max(geo::distance_m(a, b), params_.min_distance_m);
+  const double log_distance_loss =
+      params_.reference_loss_db +
+      10.0 * params_.path_loss_exponent * std::log10(distance_m);
+  const double walls = std::floor(distance_m / params_.wall_spacing_m);
+  const double wall_loss = walls * params_.wall_loss_db;
+
+  // Deterministic zero-mean multipath term per link: map two independent
+  // uniform hashes through a crude normal approximation (sum of uniforms).
+  const std::uint64_t h1 = util::hash_coords(seed_, 0x6C696E6B,
+                                             static_cast<std::int64_t>(link_id));
+  const std::uint64_t h2 = util::hash_coords(seed_ ^ 0x5A5A5A5A, 0x70617468,
+                                             static_cast<std::int64_t>(link_id));
+  const double u =
+      util::hash_to_unit_double(h1) + util::hash_to_unit_double(h2) - 1.0;
+  const double multipath = u * params_.multipath_stddev_db * 2.45;  // ~N(0,s)
+
+  return -(log_distance_loss + wall_loss) + multipath;
+}
+
+}  // namespace magus::testbed

@@ -1,0 +1,123 @@
+#include "testbed/scenarios.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace magus::testbed {
+
+namespace {
+/// All attenuation unit levels [1, 30].
+[[nodiscard]] std::vector<int> full_levels() {
+  std::vector<int> levels(30);
+  std::iota(levels.begin(), levels.end(), 1);
+  return levels;
+}
+
+/// eNodeB ids other than the target.
+[[nodiscard]] std::vector<int> survivors(const Testbed& testbed, int target) {
+  std::vector<int> ids;
+  for (int b = 0; b < testbed.enodeb_count(); ++b) {
+    if (b != target) ids.push_back(b);
+  }
+  return ids;
+}
+
+[[nodiscard]] std::vector<int> current_attenuations(const Testbed& testbed) {
+  std::vector<int> atts(static_cast<std::size_t>(testbed.enodeb_count()));
+  for (int b = 0; b < testbed.enodeb_count(); ++b) {
+    atts[static_cast<std::size_t>(b)] = testbed.attenuation(b);
+  }
+  return atts;
+}
+}  // namespace
+
+Testbed make_scenario1(std::uint64_t seed, int* target) {
+  // One floor, ~40 m x 25 m. eNodeB-1 west, eNodeB-2 east; UE-1 near
+  // eNodeB-1, UE-3 central, UE-4 near eNodeB-2 (paper's sketch).
+  Testbed testbed{TestbedParams{}, seed};
+  testbed.add_enodeb({5.0, 12.0});   // eNodeB-1
+  testbed.add_enodeb({35.0, 12.0});  // eNodeB-2 (target)
+  testbed.add_ue({8.0, 10.0});       // UE-1
+  testbed.add_ue({21.0, 14.0});      // UE-3
+  testbed.add_ue({32.0, 9.0});       // UE-4
+  *target = 1;
+  return testbed;
+}
+
+Testbed make_scenario2(std::uint64_t seed, int* target) {
+  // Three eNodeBs in a row; the middle one goes down. Five UEs spread over
+  // the floor (paper: UE-1, UE-3, UE-5, UE-6, UE-8).
+  Testbed testbed{TestbedParams{}, seed};
+  testbed.add_enodeb({5.0, 12.0});   // eNodeB-1
+  testbed.add_enodeb({22.0, 14.0});  // eNodeB-2 (target)
+  testbed.add_enodeb({40.0, 12.0});  // eNodeB-3
+  testbed.add_ue({7.0, 8.0});        // UE-1
+  testbed.add_ue({15.0, 16.0});      // UE-3
+  testbed.add_ue({22.0, 10.0});      // UE-5
+  testbed.add_ue({30.0, 15.0});      // UE-6
+  testbed.add_ue({38.0, 9.0});       // UE-8
+  *target = 1;
+  return testbed;
+}
+
+ScenarioTimelines run_scenario(Testbed testbed, int target,
+                               const std::string& name,
+                               const ScenarioOptions& options) {
+  const std::vector<int> levels =
+      options.levels.empty() ? full_levels() : options.levels;
+
+  ScenarioTimelines out;
+  out.name = name;
+
+  // Optimal C_before: tune everyone, everything online.
+  std::vector<int> all_enbs(static_cast<std::size_t>(testbed.enodeb_count()));
+  std::iota(all_enbs.begin(), all_enbs.end(), 0);
+  const auto before = testbed.exhaustive_best(all_enbs, levels);
+  out.f_before = before.utility;
+  out.attenuation_before = before.attenuations;
+
+  // f(C_upgrade): target off, survivors still at C_before settings.
+  testbed.set_online(target, false);
+  out.f_upgrade = testbed.utility();
+
+  // Optimal C_after: tune the survivors with the target off.
+  const auto surviving = survivors(testbed, target);
+  const auto after = testbed.exhaustive_best(surviving, levels);
+  out.f_after = after.utility;
+  out.attenuation_after = after.attenuations;
+
+  // Timelines.
+  for (int s = -options.pre_steps; s <= options.post_steps; ++s) {
+    out.time_steps.push_back(s);
+    out.no_tuning.push_back(s < 0 ? out.f_before : out.f_upgrade);
+    out.proactive.push_back(s < 0 ? out.f_before : out.f_after);
+  }
+
+  // Reactive: after the upgrade, walk the survivors' attenuations toward
+  // the optimum a few units per step (progressive power increase).
+  testbed.set_online(target, true);
+  testbed.utility_for(out.attenuation_before);
+  testbed.set_online(target, false);
+  std::vector<int> atts = current_attenuations(testbed);
+  for (int s = -options.pre_steps; s <= options.post_steps; ++s) {
+    if (s < 0) {
+      out.reactive.push_back(out.f_before);
+      continue;
+    }
+    if (s > 0) {
+      for (const int b : surviving) {
+        const auto i = static_cast<std::size_t>(b);
+        const int goal = out.attenuation_after[i];
+        const int delta = std::clamp(goal - atts[i],
+                                     -options.reactive_units_per_step,
+                                     options.reactive_units_per_step);
+        atts[i] += delta;
+      }
+    }
+    out.reactive.push_back(testbed.utility_for(atts));
+  }
+
+  return out;
+}
+
+}  // namespace magus::testbed

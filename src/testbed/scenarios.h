@@ -1,0 +1,59 @@
+// The two §3 measurement scenarios and the Figure 2 strategy timelines.
+//
+// Scenario 1: 2 eNodeBs, 3 UEs; eNodeB-2 is taken offline. With no
+// interferer left, the optimum is simply maximum power on the survivor.
+//
+// Scenario 2: 3 eNodeBs, 5 UEs; eNodeB-2 (the middle one) is taken
+// offline. Interference between the survivors makes the optimal
+// attenuations non-trivial.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.h"
+
+namespace magus::testbed {
+
+struct ScenarioTimelines {
+  std::string name;
+  std::vector<int> time_steps;        ///< e.g. -3..+3, upgrade at 0
+  std::vector<double> no_tuning;      ///< utility per step
+  std::vector<double> reactive;
+  std::vector<double> proactive;
+  double f_before = 0.0;
+  double f_upgrade = 0.0;
+  double f_after = 0.0;
+  std::vector<int> attenuation_before;  ///< optimal C_before
+  std::vector<int> attenuation_after;   ///< optimal C_after (target off)
+};
+
+struct ScenarioOptions {
+  std::uint64_t seed = 7;
+  /// Attenuation levels enumerated when optimizing (full [1,30] in unit
+  /// steps by default).
+  std::vector<int> levels;
+  /// Attenuation units a reactive tuner moves per time step after the
+  /// upgrade (the paper's "progressive" power increase).
+  int reactive_units_per_step = 10;
+  int pre_steps = 3;
+  int post_steps = 3;
+};
+
+/// Builds the 2-eNodeB testbed of Scenario 1. Returns the testbed with
+/// eNodeBs {0, 1} and UEs laid out as in the paper's sketch; `target` is
+/// set to the eNodeB to take offline (eNodeB-2, id 1).
+[[nodiscard]] Testbed make_scenario1(std::uint64_t seed, int* target);
+
+/// Builds the 3-eNodeB testbed of Scenario 2; the target is the middle
+/// eNodeB (id 1).
+[[nodiscard]] Testbed make_scenario2(std::uint64_t seed, int* target);
+
+/// Runs the full §3 methodology on a scenario: find optimal C_before by
+/// exhaustive search, take the target offline, find optimal C_after, and
+/// produce the no-tuning / reactive / proactive utility timelines.
+[[nodiscard]] ScenarioTimelines run_scenario(Testbed testbed, int target,
+                                             const std::string& name,
+                                             const ScenarioOptions& options);
+
+}  // namespace magus::testbed

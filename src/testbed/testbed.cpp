@@ -1,0 +1,174 @@
+#include "testbed/testbed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lte/amc.h"
+#include "radio/noise_floor.h"
+#include "util/units.h"
+
+namespace magus::testbed {
+
+Testbed::Testbed(TestbedParams params, std::uint64_t seed)
+    : params_(params), propagation_(params.indoor, seed) {
+  noise_mw_ = util::dbm_to_mw(radio::noise_floor_dbm(
+      lte::occupied_hz(params_.bandwidth), params_.noise_figure_db));
+}
+
+int Testbed::add_enodeb(geo::Point position) {
+  enodebs_.push_back(EnodeB{position, params_.max_attenuation, true});
+  return static_cast<int>(enodebs_.size()) - 1;
+}
+
+int Testbed::add_ue(geo::Point position) {
+  ues_.push_back(position);
+  return static_cast<int>(ues_.size()) - 1;
+}
+
+int Testbed::enodeb_count() const { return static_cast<int>(enodebs_.size()); }
+
+int Testbed::ue_count() const { return static_cast<int>(ues_.size()); }
+
+void Testbed::set_attenuation(int enodeb, int level) {
+  enodebs_.at(static_cast<std::size_t>(enodeb)).attenuation =
+      std::clamp(level, params_.min_attenuation, params_.max_attenuation);
+}
+
+int Testbed::attenuation(int enodeb) const {
+  return enodebs_.at(static_cast<std::size_t>(enodeb)).attenuation;
+}
+
+void Testbed::set_online(int enodeb, bool online) {
+  enodebs_.at(static_cast<std::size_t>(enodeb)).online = online;
+}
+
+bool Testbed::online(int enodeb) const {
+  return enodebs_.at(static_cast<std::size_t>(enodeb)).online;
+}
+
+double Testbed::tx_power_dbm(int enodeb) const {
+  const auto& enb = enodebs_.at(static_cast<std::size_t>(enodeb));
+  // L = 1 -> full power; each unit above 1 attenuates one step.
+  return params_.max_tx_power_dbm -
+         (enb.attenuation - params_.min_attenuation) *
+             params_.attenuation_step_db;
+}
+
+std::uint64_t Testbed::link_id(int enodeb, int ue) const {
+  return static_cast<std::uint64_t>(enodeb) * 1000 +
+         static_cast<std::uint64_t>(ue);
+}
+
+double Testbed::rsrp_dbm(int enodeb, int ue) const {
+  const auto& enb = enodebs_.at(static_cast<std::size_t>(enodeb));
+  const geo::Point ue_pos = ues_.at(static_cast<std::size_t>(ue));
+  return tx_power_dbm(enodeb) +
+         propagation_.path_gain_db(enb.position, ue_pos, link_id(enodeb, ue));
+}
+
+int Testbed::serving_enodeb(int ue) const {
+  int best = -1;
+  double best_rsrp = params_.attach_rsrp_dbm;
+  for (int b = 0; b < enodeb_count(); ++b) {
+    if (!enodebs_[static_cast<std::size_t>(b)].online) continue;
+    const double rsrp = rsrp_dbm(b, ue);
+    if (rsrp > best_rsrp) {
+      best_rsrp = rsrp;
+      best = b;
+    }
+  }
+  return best;
+}
+
+double Testbed::sinr_db(int ue) const {
+  const int serving = serving_enodeb(ue);
+  if (serving < 0) return -std::numeric_limits<double>::infinity();
+  double interference_mw = 0.0;
+  double signal_dbm = 0.0;
+  for (int b = 0; b < enodeb_count(); ++b) {
+    if (!enodebs_[static_cast<std::size_t>(b)].online) continue;
+    const double rsrp = rsrp_dbm(b, ue);
+    if (b == serving) {
+      signal_dbm = rsrp;
+    } else {
+      interference_mw += util::dbm_to_mw(rsrp);
+    }
+  }
+  return signal_dbm - util::mw_to_dbm(noise_mw_ + interference_mw);
+}
+
+double Testbed::tcp_throughput_mbps(int ue) const {
+  const int serving = serving_enodeb(ue);
+  if (serving < 0) return 0.0;
+  const double phy_bps = lte::max_rate_bps(sinr_db(ue), params_.bandwidth);
+  if (phy_bps <= 0.0) return 0.0;
+  // Equal sharing among the UEs attached to the same cell (§3: simultaneous
+  // iperf sessions; PF scheduling shares airtime evenly in the long run).
+  int attached = 0;
+  for (int u = 0; u < ue_count(); ++u) {
+    if (serving_enodeb(u) == serving) ++attached;
+  }
+  return phy_bps * params_.tcp_efficiency / attached / 1e6;
+}
+
+double Testbed::utility() const {
+  double total = 0.0;
+  for (int u = 0; u < ue_count(); ++u) {
+    const double rate = tcp_throughput_mbps(u);
+    if (rate > 0.0) total += std::log10(rate);
+  }
+  return total;
+}
+
+double Testbed::utility_for(std::span<const int> attenuations) {
+  if (attenuations.size() != enodebs_.size()) {
+    throw std::invalid_argument("Testbed::utility_for: size mismatch");
+  }
+  for (std::size_t b = 0; b < enodebs_.size(); ++b) {
+    set_attenuation(static_cast<int>(b), attenuations[b]);
+  }
+  return utility();
+}
+
+Testbed::BestConfig Testbed::exhaustive_best(std::span<const int> tunable,
+                                             std::span<const int> levels) {
+  if (tunable.empty() || levels.empty()) {
+    throw std::invalid_argument("Testbed::exhaustive_best: empty inputs");
+  }
+  BestConfig best;
+  best.utility = -std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> counter(tunable.size(), 0);
+  const auto advance = [&]() -> bool {
+    for (auto& c : counter) {
+      if (++c < levels.size()) return true;
+      c = 0;
+    }
+    return false;
+  };
+
+  do {
+    for (std::size_t i = 0; i < tunable.size(); ++i) {
+      set_attenuation(tunable[i], levels[counter[i]]);
+    }
+    const double value = utility();
+    ++best.combinations;
+    if (value > best.utility) {
+      best.utility = value;
+      best.attenuations.assign(enodebs_.size(), 0);
+      for (std::size_t b = 0; b < enodebs_.size(); ++b) {
+        best.attenuations[b] = enodebs_[b].attenuation;
+      }
+    }
+  } while (advance());
+
+  // Leave the testbed at the winning configuration.
+  for (std::size_t b = 0; b < enodebs_.size(); ++b) {
+    set_attenuation(static_cast<int>(b), best.attenuations[b]);
+  }
+  return best;
+}
+
+}  // namespace magus::testbed

@@ -1,0 +1,96 @@
+// Emulation of the paper's §3 LTE testbed: re-programmable small-cell
+// eNodeBs with software attenuators (L in [1, 30]; 30 = max attenuation /
+// min power, 1 = max power, tunable in steps of 1), omni antennas, 10 MHz
+// band-7 carrier, and iperf-style downlink TCP throughput per UE.
+//
+// Utility is the paper's §3 metric: f(C) = sum over UEs of log10 of the
+// downlink TCP rate in Mbit/s (sum-log-rate; Mbps + log10 reproduce the
+// paper's utility magnitudes of ~2-5 for a handful of UEs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lte/bandwidth.h"
+#include "testbed/indoor_propagation.h"
+
+namespace magus::testbed {
+
+struct TestbedParams {
+  double max_tx_power_dbm = 21.0;     ///< ~125 mW (Cavium daughterboard)
+  double attenuation_step_db = 1.0;   ///< dB per attenuation unit
+  int min_attenuation = 1;
+  int max_attenuation = 30;
+  lte::Bandwidth bandwidth = lte::Bandwidth::kMhz10;
+  double noise_figure_db = 7.0;
+  double tcp_efficiency = 0.88;       ///< TCP goodput / PHY rate
+  double attach_rsrp_dbm = -115.0;    ///< below this a UE has no service
+  IndoorParams indoor;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedParams params = {}, std::uint64_t seed = 1);
+
+  /// Adds an eNodeB at max attenuation (min power), online; returns its id.
+  int add_enodeb(geo::Point position);
+  /// Adds a UE; returns its id.
+  int add_ue(geo::Point position);
+
+  [[nodiscard]] int enodeb_count() const;
+  [[nodiscard]] int ue_count() const;
+
+  /// Sets the software attenuator (clamped to [min, max]).
+  void set_attenuation(int enodeb, int level);
+  [[nodiscard]] int attenuation(int enodeb) const;
+  void set_online(int enodeb, bool online);
+  [[nodiscard]] bool online(int enodeb) const;
+
+  /// Transmit power implied by the current attenuation setting.
+  [[nodiscard]] double tx_power_dbm(int enodeb) const;
+
+  /// Received power at a UE from an eNodeB (dBm).
+  [[nodiscard]] double rsrp_dbm(int enodeb, int ue) const;
+  /// Serving eNodeB (strongest online RSRP above the attach threshold),
+  /// or -1 when the UE has no service.
+  [[nodiscard]] int serving_enodeb(int ue) const;
+  [[nodiscard]] double sinr_db(int ue) const;
+  /// Downlink TCP throughput, sharing the serving cell equally among its
+  /// attached UEs (Mbit/s; 0 when out of service).
+  [[nodiscard]] double tcp_throughput_mbps(int ue) const;
+
+  /// f(C): sum of log10(rate_mbps) over UEs with positive rate.
+  [[nodiscard]] double utility() const;
+
+  /// Applies one attenuation level per eNodeB (size must match), then
+  /// returns utility(). Offline eNodeBs keep their setting but stay dark.
+  double utility_for(std::span<const int> attenuations);
+
+  struct BestConfig {
+    std::vector<int> attenuations;
+    double utility = 0.0;
+    long combinations = 0;
+  };
+  /// Exhaustively tries every combination of `levels` on the eNodeBs in
+  /// `tunable` (others keep their settings); applies and returns the best.
+  BestConfig exhaustive_best(std::span<const int> tunable,
+                             std::span<const int> levels);
+
+ private:
+  struct EnodeB {
+    geo::Point position;
+    int attenuation;
+    bool online = true;
+  };
+
+  [[nodiscard]] std::uint64_t link_id(int enodeb, int ue) const;
+
+  TestbedParams params_;
+  IndoorPropagation propagation_;
+  std::vector<EnodeB> enodebs_;
+  std::vector<geo::Point> ues_;
+  double noise_mw_;
+};
+
+}  // namespace magus::testbed

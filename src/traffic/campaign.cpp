@@ -1,0 +1,71 @@
+#include "traffic/campaign.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace magus::traffic {
+
+bool upgrades_conflict(const PlannedUpgrade& a, const PlannedUpgrade& b) {
+  std::set<net::SectorId> sectors_a(a.targets.begin(), a.targets.end());
+  sectors_a.insert(a.involved.begin(), a.involved.end());
+  const auto touches = [&](net::SectorId s) { return sectors_a.contains(s); };
+  return std::any_of(b.targets.begin(), b.targets.end(), touches) ||
+         std::any_of(b.involved.begin(), b.involved.end(), touches);
+}
+
+CampaignSchedule schedule_campaign(std::span<const PlannedUpgrade> upgrades,
+                                   std::size_t max_windows) {
+  const std::size_t n = upgrades.size();
+  CampaignSchedule result;
+
+  // Conflict graph.
+  std::vector<std::vector<std::size_t>> adjacency(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (upgrades_conflict(upgrades[i], upgrades[j])) {
+        adjacency[i].push_back(j);
+        adjacency[j].push_back(i);
+        result.conflicts.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Largest-degree-first greedy coloring (ties by index: deterministic).
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (adjacency[a].size() != adjacency[b].size()) {
+      return adjacency[a].size() > adjacency[b].size();
+    }
+    return a < b;
+  });
+
+  std::vector<int> color(n, -1);
+  int colors_used = 0;
+  for (const std::size_t u : order) {
+    std::set<int> taken;
+    for (const std::size_t v : adjacency[u]) {
+      if (color[v] >= 0) taken.insert(color[v]);
+    }
+    int c = 0;
+    while (taken.contains(c)) ++c;
+    color[u] = c;
+    colors_used = std::max(colors_used, c + 1);
+  }
+  if (max_windows != 0 &&
+      static_cast<std::size_t>(colors_used) > max_windows) {
+    throw std::runtime_error(
+        "schedule_campaign: conflict structure needs " +
+        std::to_string(colors_used) + " windows, only " +
+        std::to_string(max_windows) + " allowed");
+  }
+
+  result.windows.assign(static_cast<std::size_t>(colors_used), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    result.windows[static_cast<std::size_t>(color[i])].push_back(i);
+  }
+  return result;
+}
+
+}  // namespace magus::traffic

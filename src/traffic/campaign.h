@@ -1,0 +1,48 @@
+// Campaign scheduling: assigning many planned upgrades to maintenance
+// windows so that no two concurrent upgrades interact.
+//
+// Magus tunes a target's *neighbors*; two upgrades whose neighborhoods
+// overlap cannot run in the same window (one upgrade's mitigation would
+// tune sectors the other is taking down or also tuning). This is a
+// graph-coloring problem on the conflict graph; the scheduler uses the
+// classic largest-degree-first greedy, which is deterministic and within
+// one color of optimal on interval-like conflict structures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/sector.h"
+
+namespace magus::traffic {
+
+struct PlannedUpgrade {
+  /// Sectors going off-air.
+  std::vector<net::SectorId> targets;
+  /// Sectors Magus will tune for it (MitigationPlan::involved).
+  std::vector<net::SectorId> involved;
+  int duration_hours = 5;
+};
+
+struct CampaignSchedule {
+  /// window index -> indices into the input upgrade list.
+  std::vector<std::vector<std::size_t>> windows;
+  /// Pairs of upgrade indices that conflict (touch shared sectors).
+  std::vector<std::pair<std::size_t, std::size_t>> conflicts;
+
+  [[nodiscard]] std::size_t window_count() const { return windows.size(); }
+};
+
+/// True when the two upgrades share any sector (target or tuned neighbor).
+[[nodiscard]] bool upgrades_conflict(const PlannedUpgrade& a,
+                                     const PlannedUpgrade& b);
+
+/// Greedy conflict-free assignment. Every upgrade lands in exactly one
+/// window; upgrades that conflict never share a window. The number of
+/// windows is determined by the conflict structure (max_windows = 0 means
+/// unbounded; otherwise throws std::runtime_error if the bound cannot be
+/// met).
+[[nodiscard]] CampaignSchedule schedule_campaign(
+    std::span<const PlannedUpgrade> upgrades, std::size_t max_windows = 0);
+
+}  // namespace magus::traffic

@@ -1,0 +1,117 @@
+#include "traffic/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace magus::traffic {
+
+std::string HourOfWeek::label() const {
+  static constexpr const char* kDays[] = {"Mon", "Tue", "Wed", "Thu",
+                                          "Fri", "Sat", "Sun"};
+  return std::string(kDays[day()]) + " " +
+         (hour_of_day() < 10 ? "0" : "") + std::to_string(hour_of_day()) +
+         ":00";
+}
+
+TrafficProfile::TrafficProfile() { multipliers_.fill(1.0); }
+
+TrafficProfile::TrafficProfile(std::vector<double> multipliers) {
+  if (multipliers.size() != static_cast<std::size_t>(kHoursPerWeek)) {
+    throw std::invalid_argument("TrafficProfile: need 168 hourly values");
+  }
+  double sum = 0.0;
+  for (const double m : multipliers) {
+    if (m <= 0.0) {
+      throw std::invalid_argument("TrafficProfile: multipliers must be > 0");
+    }
+    sum += m;
+  }
+  const double mean = sum / kHoursPerWeek;
+  for (int h = 0; h < kHoursPerWeek; ++h) {
+    multipliers_[static_cast<std::size_t>(h)] = multipliers[h] / mean;
+  }
+}
+
+namespace {
+/// Smooth bump centered at `center` (hours) with the given width.
+[[nodiscard]] double bump(double hour, double center, double width) {
+  const double d = (hour - center) / width;
+  return std::exp(-d * d);
+}
+}  // namespace
+
+TrafficProfile TrafficProfile::metropolitan() {
+  std::vector<double> m(kHoursPerWeek);
+  for (int h = 0; h < kHoursPerWeek; ++h) {
+    const int day = h / kHoursPerDay;
+    const double hod = h % kHoursPerDay;
+    const bool weekend = day >= 5;
+    double level = 0.25;  // night floor
+    if (weekend) {
+      level += 0.9 * bump(hod, 14.0, 5.5);  // one broad afternoon hump
+    } else {
+      level += 1.1 * bump(hod, 9.5, 2.5);   // morning commute + office
+      level += 1.3 * bump(hod, 19.0, 3.5);  // evening peak
+      level += 0.6 * bump(hod, 13.0, 2.0);  // lunch
+    }
+    m[static_cast<std::size_t>(h)] = level;
+  }
+  return TrafficProfile{std::move(m)};
+}
+
+TrafficProfile TrafficProfile::always_busy() {
+  std::vector<double> m(kHoursPerWeek);
+  for (int h = 0; h < kHoursPerWeek; ++h) {
+    const double hod = h % kHoursPerDay;
+    // Shallow sinusoidal dip at night; identical every day.
+    m[static_cast<std::size_t>(h)] =
+        1.0 + 0.15 * std::sin((hod - 9.0) / 24.0 * 2.0 * std::numbers::pi);
+  }
+  return TrafficProfile{std::move(m)};
+}
+
+TrafficProfile TrafficProfile::business_district() {
+  std::vector<double> m(kHoursPerWeek);
+  for (int h = 0; h < kHoursPerWeek; ++h) {
+    const int day = h / kHoursPerDay;
+    const double hod = h % kHoursPerDay;
+    const bool weekend = day >= 5;
+    double level = 0.12;
+    if (!weekend && hod >= 8.0 && hod < 19.0) {
+      level = 1.0 + 0.5 * bump(hod, 11.0, 2.0) + 0.5 * bump(hod, 15.0, 2.5);
+    }
+    m[static_cast<std::size_t>(h)] = level;
+  }
+  return TrafficProfile{std::move(m)};
+}
+
+double TrafficProfile::mean_over(HourOfWeek start, int duration_hours) const {
+  if (duration_hours <= 0) {
+    throw std::invalid_argument("TrafficProfile: non-positive duration");
+  }
+  double sum = 0.0;
+  HourOfWeek hour = start;
+  for (int i = 0; i < duration_hours; ++i) {
+    sum += multiplier(hour);
+    hour = hour.next();
+  }
+  return sum / duration_hours;
+}
+
+HourOfWeek TrafficProfile::quietest_window(int duration_hours) const {
+  HourOfWeek best{0};
+  double best_mean = mean_over(best, duration_hours);
+  for (int h = 1; h < kHoursPerWeek; ++h) {
+    const HourOfWeek candidate{h};
+    const double mean = mean_over(candidate, duration_hours);
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace magus::traffic

@@ -1,0 +1,74 @@
+// Diurnal traffic profiles.
+//
+// The paper's motivation (§1): upgrades are scheduled "during the off-peak
+// hours and low-impact days, when possible", but often spill into or must
+// run during business hours, and some locations (airports) have no quiet
+// window at all. This module models the time dimension: a TrafficProfile
+// scales the frozen UE density by hour-of-week, letting the window planner
+// quantify the expected disruption of an upgrade at any start time — with
+// and without Magus's mitigation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace magus::traffic {
+
+inline constexpr int kHoursPerDay = 24;
+inline constexpr int kHoursPerWeek = 7 * kHoursPerDay;
+
+/// Hour-of-week index: 0 = Monday 00:00-01:00, 167 = Sunday 23:00-24:00.
+struct HourOfWeek {
+  int value = 0;
+
+  [[nodiscard]] int day() const { return value / kHoursPerDay; }        // 0=Mon
+  [[nodiscard]] int hour_of_day() const { return value % kHoursPerDay; }
+  [[nodiscard]] HourOfWeek next() const {
+    return HourOfWeek{(value + 1) % kHoursPerWeek};
+  }
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(HourOfWeek, HourOfWeek) = default;
+};
+
+/// Relative traffic intensity per hour of week; 1.0 = the weekly mean.
+class TrafficProfile {
+ public:
+  /// Flat profile (every hour at 1.0).
+  TrafficProfile();
+
+  /// Builds from explicit multipliers (size kHoursPerWeek), normalized so
+  /// the weekly mean is 1. Throws std::invalid_argument on size mismatch
+  /// or non-positive entries.
+  explicit TrafficProfile(std::vector<double> multipliers);
+
+  /// A typical mixed residential/business cell: weekday double-hump
+  /// (morning + evening), quiet nights, flatter weekends.
+  [[nodiscard]] static TrafficProfile metropolitan();
+
+  /// A 24/7 location (the paper's airport example): shallow night dip,
+  /// no weekday/weekend distinction — no good upgrade window exists.
+  [[nodiscard]] static TrafficProfile always_busy();
+
+  /// Business district: tall weekday business-hours plateau, dead nights
+  /// and weekends.
+  [[nodiscard]] static TrafficProfile business_district();
+
+  [[nodiscard]] double multiplier(HourOfWeek hour) const {
+    return multipliers_[static_cast<std::size_t>(hour.value)];
+  }
+
+  /// Mean multiplier over [start, start + duration_hours).
+  [[nodiscard]] double mean_over(HourOfWeek start, int duration_hours) const;
+
+  /// The hour at which a window of `duration_hours` has the smallest mean
+  /// multiplier — the naive scheduler's choice.
+  [[nodiscard]] HourOfWeek quietest_window(int duration_hours) const;
+
+ private:
+  std::array<double, kHoursPerWeek> multipliers_;
+};
+
+}  // namespace magus::traffic

@@ -1,0 +1,51 @@
+#include "traffic/window_planner.h"
+
+#include <stdexcept>
+
+namespace magus::traffic {
+
+WindowPlanner::WindowPlanner(TrafficProfile profile)
+    : profile_(std::move(profile)) {}
+
+WindowPlan WindowPlanner::assess(const core::MitigationPlan& plan,
+                                 int duration_hours) const {
+  if (duration_hours <= 0) {
+    throw std::invalid_argument("WindowPlanner: non-positive duration");
+  }
+  const double loss_unmitigated = plan.f_before - plan.f_upgrade;
+  const double loss_mitigated = plan.f_before - plan.f_after;
+
+  WindowPlan result;
+  result.by_start_hour.reserve(kHoursPerWeek);
+  for (int h = 0; h < kHoursPerWeek; ++h) {
+    WindowAssessment w;
+    w.start = HourOfWeek{h};
+    w.traffic_mean = profile_.mean_over(w.start, duration_hours);
+    // Disruption scales with how many UEs are actually on-air during the
+    // window relative to the reference density the plan was computed at.
+    const double weight = w.traffic_mean * duration_hours;
+    w.disruption_unmitigated = loss_unmitigated * weight;
+    w.disruption_mitigated = loss_mitigated * weight;
+    result.by_start_hour.push_back(w);
+  }
+
+  result.best_unmitigated = result.by_start_hour.front();
+  result.best_mitigated = result.by_start_hour.front();
+  result.worst_window = result.by_start_hour.front();
+  for (const auto& w : result.by_start_hour) {
+    if (w.disruption_unmitigated <
+        result.best_unmitigated.disruption_unmitigated) {
+      result.best_unmitigated = w;
+    }
+    if (w.disruption_mitigated < result.best_mitigated.disruption_mitigated) {
+      result.best_mitigated = w;
+    }
+    if (w.disruption_unmitigated >
+        result.worst_window.disruption_unmitigated) {
+      result.worst_window = w;
+    }
+  }
+  return result;
+}
+
+}  // namespace magus::traffic

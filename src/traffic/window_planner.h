@@ -1,0 +1,60 @@
+// Upgrade-window planning: when should a 4-6 hour upgrade start, and how
+// much does Magus's mitigation buy at each candidate time?
+//
+// Expected disruption of an upgrade window = (per-hour utility loss at the
+// frozen reference density) x (traffic multiplier of each hour in the
+// window), summed over the window. The utility loss is f(C_before) -
+// f(C_upgrade) without mitigation and f(C_before) - f(C_after) with Magus;
+// both come from one MitigationPlan, so ranking every start hour is pure
+// arithmetic after a single planning run.
+//
+// This quantifies the paper's motivating claims: upgrades "last 4-6 hours",
+// are often forced into business hours, and some sites (airports) have no
+// quiet window at all — exactly where proactive mitigation matters most.
+#pragma once
+
+#include <vector>
+
+#include "core/planner.h"
+#include "traffic/profile.h"
+
+namespace magus::traffic {
+
+struct WindowAssessment {
+  HourOfWeek start;
+  double traffic_mean = 0.0;  ///< mean multiplier over the window
+  /// Expected disruption (utility-loss x hours, traffic weighted).
+  double disruption_unmitigated = 0.0;
+  double disruption_mitigated = 0.0;
+
+  [[nodiscard]] double saving() const {
+    return disruption_unmitigated - disruption_mitigated;
+  }
+};
+
+struct WindowPlan {
+  std::vector<WindowAssessment> by_start_hour;  ///< all 168 starts
+  WindowAssessment best_unmitigated;  ///< naive scheduler's pick
+  WindowAssessment best_mitigated;    ///< best start given Magus runs
+  /// Disruption of the *worst* window with mitigation vs without: how much
+  /// Magus de-risks a forced (vendor-dictated) business-hours slot.
+  WindowAssessment worst_window;
+};
+
+class WindowPlanner {
+ public:
+  explicit WindowPlanner(TrafficProfile profile);
+
+  /// Assesses every start hour for an upgrade of `duration_hours` whose
+  /// mitigation plan is `plan`. Requires f_before >= f_after >= f_upgrade
+  /// ordering from a planner run.
+  [[nodiscard]] WindowPlan assess(const core::MitigationPlan& plan,
+                                  int duration_hours) const;
+
+  [[nodiscard]] const TrafficProfile& profile() const { return profile_; }
+
+ private:
+  TrafficProfile profile_;
+};
+
+}  // namespace magus::traffic

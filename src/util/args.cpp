@@ -1,0 +1,103 @@
+#include "util/args.h"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace magus::util {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_flag("help", "false", "print this help and exit");
+}
+
+void ArgParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  if (flags_.contains(name)) {
+    throw std::runtime_error("ArgParser: duplicate flag --" + name);
+  }
+  flags_[name] = Flag{default_value, default_value, help};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::runtime_error("ArgParser: expected --flag, got '" + token +
+                               "'\n" + usage());
+    }
+    token.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.erase(eq);
+      has_value = true;
+    }
+    auto it = flags_.find(token);
+    if (it == flags_.end()) {
+      throw std::runtime_error("ArgParser: unknown flag --" + token + "\n" +
+                               usage());
+    }
+    if (!has_value) {
+      const bool is_bool_flag =
+          it->second.default_value == "true" ||
+          it->second.default_value == "false";
+      if (is_bool_flag &&
+          (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          throw std::runtime_error("ArgParser: missing value for --" + token);
+        }
+        value = argv[++i];
+      }
+    }
+    it->second.value = value;
+  }
+  if (get_bool("help")) {
+    std::cout << usage();
+    return false;
+  }
+  return true;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  return find(name).value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(find(name).value);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::stoll(find(name).value);
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string& v = find(name).value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& flag = flags_.at(name);
+    out << "  --" << name << " (default: " << flag.default_value << ")\n"
+        << "      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::runtime_error("ArgParser: flag --" + name + " not registered");
+  }
+  return it->second;
+}
+
+}  // namespace magus::util

@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches
+// ("--verbose"). Unknown flags raise an error listing known flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace magus::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program_description);
+
+  /// Registers a flag with a default value (all values are strings
+  /// internally; typed getters parse on demand).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws std::runtime_error on unknown flags or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace magus::util

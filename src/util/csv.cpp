@@ -1,0 +1,60 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace magus::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> cells) {
+  bool first = true;
+  for (const auto cell : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    write_escaped(cell);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    write_escaped(cell);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::cell(double value) {
+  std::ostringstream s;
+  s.precision(6);
+  s << value;
+  return s.str();
+}
+
+std::string CsvWriter::cell(long long value) { return std::to_string(value); }
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+void CsvWriter::write_escaped(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    out_ << cell;
+    return;
+  }
+  out_ << '"';
+  for (const char c : cell) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+}  // namespace magus::util

@@ -1,0 +1,36 @@
+// Minimal CSV writer for exporting bench results.
+//
+// Values containing commas, quotes, or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace magus::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row. Each cell is escaped as needed.
+  void write_row(std::initializer_list<std::string_view> cells);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  [[nodiscard]] static std::string cell(double value);
+  [[nodiscard]] static std::string cell(long long value);
+
+  /// Flushes and closes. Also performed by the destructor.
+  void close();
+
+ private:
+  void write_escaped(std::string_view cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace magus::util

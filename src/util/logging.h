@@ -1,0 +1,55 @@
+// Lightweight leveled logging to stderr.
+//
+// The library itself logs sparingly (search progress at Debug level); the
+// bench harnesses raise the level for timing visibility. Not thread-safe
+// beyond what stderr provides; the library is single-threaded by design.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace magus::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line: "[LEVEL] message".
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_debug() {
+  return detail::LogLine{LogLevel::kDebug};
+}
+[[nodiscard]] inline detail::LogLine log_info() {
+  return detail::LogLine{LogLevel::kInfo};
+}
+[[nodiscard]] inline detail::LogLine log_warn() {
+  return detail::LogLine{LogLevel::kWarn};
+}
+[[nodiscard]] inline detail::LogLine log_error() {
+  return detail::LogLine{LogLevel::kError};
+}
+
+}  // namespace magus::util

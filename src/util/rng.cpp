@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace magus::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) {
+  std::uint64_t state = value;
+  return splitmix64(state);
+}
+
+std::uint64_t hash_coords(std::uint64_t seed, std::int64_t x, std::int64_t y) {
+  std::uint64_t h = seed;
+  h = mix64(h ^ (static_cast<std::uint64_t>(x) * 0x9E3779B97F4A7C15ULL));
+  h = mix64(h ^ (static_cast<std::uint64_t>(y) * 0xC2B2AE3D27D4EB4FULL));
+  return h;
+}
+
+double hash_to_unit_double(std::uint64_t hash) {
+  // Take the top 53 bits: exactly representable as a double in [0, 1).
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Xoshiro256ss::result_type Xoshiro256ss::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256ss::uniform() { return hash_to_unit_double((*this)()); }
+
+double Xoshiro256ss::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Xoshiro256ss::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Xoshiro256ss::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256ss::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+int Xoshiro256ss::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 60.0) {
+    // Normal approximation with continuity correction.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<int>(draw + 0.5);
+  }
+  const double threshold = std::exp(-mean);
+  int count = 0;
+  double product = uniform();
+  while (product > threshold) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+Xoshiro256ss Xoshiro256ss::fork(std::uint64_t stream_id) const {
+  return Xoshiro256ss{mix64(state_[0] ^ mix64(stream_id))};
+}
+
+}  // namespace magus::util

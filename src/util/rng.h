@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows from explicit 64-bit seeds so that
+// every experiment is exactly reproducible. Two generators are provided:
+//
+//   - SplitMix64: used for seeding and for stateless coordinate hashing
+//     (terrain/clutter fields need a reproducible pseudo-random value per
+//     grid cell that does not depend on evaluation order).
+//   - Xoshiro256ss (xoshiro256**): the general-purpose stream generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace magus::util {
+
+/// SplitMix64 step: advances the state and returns the next 64-bit value.
+/// Also usable as a stateless mixing function (hash of the input).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mix of a single 64-bit value (SplitMix64 finalizer).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t value);
+
+/// Combines a seed with coordinates into a reproducible per-cell hash.
+[[nodiscard]] std::uint64_t hash_coords(std::uint64_t seed, std::int64_t x,
+                                        std::int64_t y);
+
+/// Maps a 64-bit hash to a double in [0, 1).
+[[nodiscard]] double hash_to_unit_double(std::uint64_t hash);
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 as the authors recommend.
+  explicit Xoshiro256ss(std::uint64_t seed);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() {
+    return ~static_cast<result_type>(0);
+  }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state simple).
+  [[nodiscard]] double normal();
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx above 60).
+  [[nodiscard]] int poisson(double mean);
+
+  /// Creates an independent generator for a named sub-stream.
+  [[nodiscard]] Xoshiro256ss fork(std::uint64_t stream_id) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace magus::util

@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace magus::util {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double percentile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const double position = clamped * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double weight = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - weight) + sorted[lower + 1] * weight;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  const auto total = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) / total});
+  }
+  return cdf;
+}
+
+double fraction_at_least(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const double v : values) {
+    if (v >= threshold) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+double mean_of(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::string summarize(std::span<const double> values) {
+  std::ostringstream out;
+  if (values.empty()) {
+    out << "n=0";
+    return out.str();
+  }
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  out.precision(4);
+  out << "n=" << stats.count() << " mean=" << stats.mean()
+      << " min=" << stats.min() << " p50=" << percentile(values, 0.5)
+      << " max=" << stats.max();
+  return out.str();
+}
+
+}  // namespace magus::util

@@ -1,0 +1,58 @@
+// Descriptive statistics helpers used by the evaluation harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace magus::util {
+
+/// Welford-style running summary: mean/variance/min/max without storing data.
+class RunningStats {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation between order statistics.
+/// `q` in [0, 1]. Requires a non-empty span. Does not need sorted input.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Empirical CDF: sorted (value, cumulative fraction) points, fraction in
+/// (0, 1], suitable for plotting or table output.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(
+    std::span<const double> values);
+
+/// Fraction of values satisfying value >= threshold.
+[[nodiscard]] double fraction_at_least(std::span<const double> values,
+                                       double threshold);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> values);
+
+/// Renders a compact "mean=.. min=.. p50=.. max=.." summary string.
+[[nodiscard]] std::string summarize(std::span<const double> values);
+
+}  // namespace magus::util

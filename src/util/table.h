@@ -1,0 +1,31 @@
+// Fixed-width console table printer used by the bench harnesses to emit
+// paper-style tables (e.g. Table 1 of the Magus paper).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace magus::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats `value` as a percentage with one decimal, e.g. "56.5%".
+  [[nodiscard]] static std::string percent(double fraction);
+
+  /// Formats a double with the given number of decimals.
+  [[nodiscard]] static std::string num(double value, int decimals = 2);
+
+  /// Writes the table with column-aligned cells and a header separator.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace magus::util

@@ -1,0 +1,19 @@
+#include "util/units.h"
+
+#include <limits>
+
+namespace magus::util {
+
+double sum_powers_dbm(std::span<const double> dbm_values) {
+  double total_mw = 0.0;
+  for (const double dbm : dbm_values) total_mw += dbm_to_mw(dbm);
+  if (total_mw <= 0.0) return -std::numeric_limits<double>::infinity();
+  return mw_to_dbm(total_mw);
+}
+
+bool near_db(double a, double b, double tolerance_db) {
+  if (std::isinf(a) && std::isinf(b)) return (a < 0) == (b < 0);
+  return std::abs(a - b) <= tolerance_db;
+}
+
+}  // namespace magus::util

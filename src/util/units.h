@@ -1,0 +1,60 @@
+// Unit conversions for radio engineering quantities.
+//
+// Conventions used throughout the library:
+//   - Absolute power is expressed in dBm ("_dbm" suffix) or milliwatts
+//     ("_mw" suffix).
+//   - Relative gain/loss is expressed in dB ("_db" suffix). Path loss is a
+//     *negative* gain, matching the paper's Formula 1 (RP = P + L with
+//     L in [-200, -20] dB).
+//   - Linear power ratios have a "_linear" suffix.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+namespace magus::util {
+
+/// Boltzmann thermal noise density at 290 K, in dBm per Hz.
+inline constexpr double kThermalNoiseDbmPerHz = -174.0;
+
+/// Converts a power ratio in dB to a linear ratio.
+[[nodiscard]] inline double db_to_linear(double db) {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Converts a linear power ratio to dB. Requires linear > 0.
+[[nodiscard]] inline double linear_to_db(double linear) {
+  return 10.0 * std::log10(linear);
+}
+
+/// Converts absolute power in dBm to milliwatts.
+[[nodiscard]] inline double dbm_to_mw(double dbm) { return db_to_linear(dbm); }
+
+/// Converts absolute power in milliwatts to dBm. Requires mw > 0.
+[[nodiscard]] inline double mw_to_dbm(double mw) { return linear_to_db(mw); }
+
+/// Converts watts to dBm. Requires watts > 0.
+[[nodiscard]] inline double watts_to_dbm(double watts) {
+  return mw_to_dbm(watts * 1e3);
+}
+
+/// Converts dBm to watts.
+[[nodiscard]] inline double dbm_to_watts(double dbm) {
+  return dbm_to_mw(dbm) / 1e3;
+}
+
+/// Sum of absolute powers given in dBm, returned in dBm.
+/// Returns -infinity for an empty span (zero power).
+[[nodiscard]] double sum_powers_dbm(std::span<const double> dbm_values);
+
+/// Ratio of two absolute powers (numerator over denominator), in dB.
+[[nodiscard]] inline double power_ratio_db(double numerator_dbm,
+                                           double denominator_dbm) {
+  return numerator_dbm - denominator_dbm;
+}
+
+/// True if |a - b| <= tolerance_db when both are finite; also true when both
+/// are -infinity (i.e. both represent zero power).
+[[nodiscard]] bool near_db(double a, double b, double tolerance_db);
+
+}  // namespace magus::util

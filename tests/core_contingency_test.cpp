@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/contingency.h"
+#include "test_helpers.h"
+
+namespace magus::core {
+namespace {
+
+using magus::testing::LineWorld;
+
+class ContingencyTest : public ::testing::Test {
+ protected:
+  ContingencyTest()
+      : world_(10, 9.0),
+        model_(&world_.network, world_.provider.get()),
+        evaluator_(&model_, Utility::performance()) {
+    model_.freeze_uniform_ue_density();
+    PlannerOptions options;
+    options.mode = TuningMode::kPower;
+    options.neighbor_radius_m = 2'000.0;
+    planner_ = std::make_unique<MagusPlanner>(&evaluator_, options);
+  }
+
+  LineWorld world_;
+  model::AnalysisModel model_;
+  Evaluator evaluator_;
+  std::unique_ptr<MagusPlanner> planner_;
+};
+
+TEST_F(ContingencyTest, BuildPerSectorCoversEverySector) {
+  const auto table =
+      ContingencyTable::build_per_sector(*planner_, world_.network);
+  EXPECT_EQ(table.size(), world_.network.sector_count());
+  for (const auto& sector : world_.network.sectors()) {
+    const net::SectorId failed[] = {sector.id};
+    const MitigationPlan* plan = table.lookup(failed);
+    ASSERT_NE(plan, nullptr);
+    EXPECT_FALSE(plan->search.config[sector.id].active);
+  }
+}
+
+TEST_F(ContingencyTest, LookupIsOrderInsensitiveAndDeduplicated) {
+  const std::vector<std::vector<net::SectorId>> outages = {
+      {world_.west, world_.east},
+  };
+  const auto table = ContingencyTable::build(*planner_, outages);
+  EXPECT_EQ(table.size(), 1u);
+  const net::SectorId reversed[] = {world_.east, world_.west};
+  EXPECT_NE(table.lookup(reversed), nullptr);
+  const net::SectorId duplicated[] = {world_.west, world_.east, world_.west};
+  EXPECT_NE(table.lookup(duplicated), nullptr);
+  const net::SectorId other[] = {world_.west};
+  EXPECT_EQ(table.lookup(other), nullptr);
+}
+
+TEST_F(ContingencyTest, ApplyPushesStoredConfiguration) {
+  const auto table =
+      ContingencyTable::build_per_sector(*planner_, world_.network);
+  const net::SectorId failed[] = {world_.east};
+  ASSERT_TRUE(table.apply(model_, failed));
+  EXPECT_FALSE(model_.configuration()[world_.east].active);
+  const MitigationPlan* plan = table.lookup(failed);
+  EXPECT_TRUE(model_.configuration() == plan->search.config);
+  // The applied configuration delivers the precomputed utility.
+  EXPECT_NEAR(evaluator_.evaluate(), plan->f_after,
+              std::abs(plan->f_after) * 1e-9);
+}
+
+TEST_F(ContingencyTest, ApplyRefusesUnknownOutage) {
+  const auto table = ContingencyTable::build(*planner_, {});
+  EXPECT_EQ(table.size(), 0u);
+  const net::Configuration before = model_.configuration();
+  const net::SectorId failed[] = {world_.west};
+  EXPECT_FALSE(table.apply(model_, failed));
+  EXPECT_TRUE(model_.configuration() == before);
+  EXPECT_DOUBLE_EQ(table.worst_recovery(), 0.0);
+  EXPECT_DOUBLE_EQ(table.mean_recovery(), 0.0);
+}
+
+TEST_F(ContingencyTest, RecoveryRiskMetrics) {
+  const auto table =
+      ContingencyTable::build_per_sector(*planner_, world_.network);
+  EXPECT_LE(table.worst_recovery(), table.mean_recovery() + 1e-12);
+  EXPECT_GE(table.mean_recovery(), 0.0);
+  EXPECT_LE(table.mean_recovery(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace magus::core

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/gradual.h"
+#include "core/planner.h"
+#include "core/power_search.h"
+#include "test_helpers.h"
+
+namespace magus::core {
+namespace {
+
+using magus::testing::LineWorld;
+
+class GradualTest : public ::testing::Test {
+ protected:
+  GradualTest()
+      : world_(10, 9.0),
+        model_(&world_.network, world_.provider.get()),
+        evaluator_(&model_, Utility::performance()) {
+    model_.freeze_uniform_ue_density();
+    baseline_rates_ = capture_rates(model_);
+
+    // Find C_after with the east sector down.
+    model_.set_active(world_.east, false);
+    const PowerSearch search{};
+    const std::vector<net::SectorId> involved = {world_.west};
+    c_after_ = search.run(evaluator_, involved, baseline_rates_).config;
+
+    // Back to C_before for planning.
+    model_.set_configuration(world_.network.default_configuration());
+  }
+
+  LineWorld world_;
+  model::AnalysisModel model_;
+  Evaluator evaluator_;
+  std::vector<double> baseline_rates_;
+  net::Configuration c_after_;
+};
+
+TEST_F(GradualTest, UtilityNeverDipsBelowFloor) {
+  const GradualTuner tuner{};
+  const std::vector<net::SectorId> targets = {world_.east};
+  const GradualPlan plan = tuner.plan(evaluator_, targets, c_after_);
+  ASSERT_GE(plan.steps.size(), 2u);
+  for (const auto& step : plan.steps) {
+    EXPECT_GE(step.utility, plan.floor_utility - 1e-9);
+  }
+  // The last step is the upgrade itself at exactly the floor.
+  EXPECT_TRUE(plan.steps.back().is_final);
+  EXPECT_NEAR(plan.steps.back().utility, plan.floor_utility, 1e-9);
+  EXPECT_FALSE(plan.steps.back().config[world_.east].active);
+}
+
+TEST_F(GradualTest, GradualBeatsDirectOnPeakHandovers) {
+  const std::vector<net::SectorId> targets = {world_.east};
+  const GradualTuner tuner{};
+  const GradualPlan gradual = tuner.plan(evaluator_, targets, c_after_);
+
+  model_.set_configuration(world_.network.default_configuration());
+  const GradualPlan direct =
+      direct_switch_plan(evaluator_, targets, c_after_);
+
+  EXPECT_NEAR(gradual.total_handover_ues(), direct.total_handover_ues(),
+              direct.total_handover_ues() * 0.5 + 1e-9);
+  EXPECT_LE(gradual.max_simultaneous_handover_ues(),
+            direct.max_simultaneous_handover_ues() + 1e-9);
+  // Everything that moves before the final step is seamless.
+  EXPECT_GE(gradual.seamless_fraction(), direct.seamless_fraction());
+}
+
+TEST_F(GradualTest, SnapshotsAlignWithSteps) {
+  const std::vector<net::SectorId> targets = {world_.east};
+  const GradualTuner tuner{};
+  const GradualPlan plan = tuner.plan(evaluator_, targets, c_after_);
+  ASSERT_EQ(plan.snapshots.size(), plan.steps.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_NEAR(plan.snapshots[i].utility, plan.steps[i].utility, 1e-9);
+    EXPECT_EQ(plan.snapshots[i].service_map.size(),
+              static_cast<std::size_t>(model_.cell_count()));
+  }
+  // First snapshot: everything on-air; last: target off.
+  EXPECT_TRUE(plan.snapshots.front().on_air[static_cast<std::size_t>(
+      world_.east)]);
+  EXPECT_FALSE(plan.snapshots.back().on_air[static_cast<std::size_t>(
+      world_.east)]);
+}
+
+TEST_F(GradualTest, TargetPowerDecreasesMonotonically) {
+  const std::vector<net::SectorId> targets = {world_.east};
+  const GradualTuner tuner{};
+  const GradualPlan plan = tuner.plan(evaluator_, targets, c_after_);
+  double previous = world_.network.sector(world_.east).default_power_dbm;
+  for (std::size_t i = 1; i + 1 < plan.steps.size(); ++i) {
+    const double power = plan.steps[i].config[world_.east].power_dbm;
+    EXPECT_LE(power, previous + 1e-9);
+    previous = power;
+  }
+}
+
+TEST_F(GradualTest, RejectsBadOptions) {
+  EXPECT_THROW(GradualTuner(GradualOptions{.target_step_db = 0.0}),
+               std::invalid_argument);
+}
+
+TEST_F(GradualTest, PlannerEndToEnd) {
+  PlannerOptions options;
+  options.mode = TuningMode::kPower;
+  options.neighbor_radius_m = 2'000.0;
+  MagusPlanner planner{&evaluator_, options};
+  const std::vector<net::SectorId> targets = {world_.east};
+  const MitigationPlan plan = planner.plan_upgrade(targets);
+  EXPECT_EQ(plan.targets, targets);
+  EXPECT_EQ(plan.involved, std::vector<net::SectorId>{world_.west});
+  EXPECT_LT(plan.f_upgrade, plan.f_before);
+  EXPECT_GE(plan.f_after, plan.f_upgrade);
+  EXPECT_GE(plan.recovery, 0.0);
+  EXPECT_LE(plan.recovery, 1.0 + 1e-9);
+  EXPECT_FALSE(plan.gradual.steps.empty());
+}
+
+TEST_F(GradualTest, PlannerValidation) {
+  MagusPlanner planner{&evaluator_};
+  EXPECT_THROW((void)planner.plan_upgrade({}), std::invalid_argument);
+  EXPECT_THROW(MagusPlanner(nullptr), std::invalid_argument);
+}
+
+TEST_F(GradualTest, TuningModeNames) {
+  EXPECT_EQ(tuning_mode_name(TuningMode::kPower), "power");
+  EXPECT_EQ(tuning_mode_name(TuningMode::kTilt), "tilt");
+  EXPECT_EQ(tuning_mode_name(TuningMode::kJoint), "joint");
+  EXPECT_EQ(tuning_mode_name(TuningMode::kNaive), "naive");
+}
+
+}  // namespace
+}  // namespace magus::core

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "core/strategies.h"
+#include "test_helpers.h"
+
+namespace magus::core {
+namespace {
+
+using magus::testing::LineWorld;
+
+class PrePlanTest : public ::testing::Test {
+ protected:
+  PrePlanTest()
+      : world_(10, 9.0),
+        model_(&world_.network, world_.provider.get()),
+        evaluator_(&model_, Utility::performance()) {
+    model_.freeze_uniform_ue_density();
+  }
+
+  LineWorld world_;
+  model::AnalysisModel model_;
+  Evaluator evaluator_;
+};
+
+TEST_F(PrePlanTest, NeverDecreasesUtility) {
+  const double before = evaluator_.evaluate();
+  const std::vector<net::SectorId> sectors = {world_.west, world_.east};
+  const int accepted = pre_plan_power(evaluator_, sectors);
+  EXPECT_GE(accepted, 0);
+  EXPECT_GE(evaluator_.evaluate(), before - 1e-9);
+}
+
+TEST_F(PrePlanTest, ReachesLocalOptimumForItsMoveSet) {
+  const std::vector<net::SectorId> sectors = {world_.west, world_.east};
+  (void)pre_plan_power(evaluator_, sectors, 1.0, 3);
+  const double planned = evaluator_.evaluate();
+  // No single +-1 dB move on any planned sector improves the utility.
+  for (const net::SectorId s : sectors) {
+    for (const double delta : {1.0, -1.0}) {
+      const double before_power = model_.configuration()[s].power_dbm;
+      const auto snapshot = model_.snapshot();
+      model_.set_power(s, before_power + delta);
+      if (model_.configuration()[s].power_dbm != before_power) {
+        EXPECT_LE(evaluator_.evaluate(), planned + 1e-9)
+            << "sector " << s << " delta " << delta;
+      }
+      model_.restore(snapshot);
+    }
+  }
+}
+
+TEST_F(PrePlanTest, SkipsInactiveSectors) {
+  model_.set_active(world_.east, false);
+  const std::vector<net::SectorId> sectors = {world_.east};
+  EXPECT_EQ(pre_plan_power(evaluator_, sectors), 0);
+  EXPECT_FALSE(model_.configuration()[world_.east].active);
+}
+
+TEST_F(PrePlanTest, PlannerRecordsCBefore) {
+  PlannerOptions options;
+  options.mode = TuningMode::kPower;
+  options.neighbor_radius_m = 2'000.0;
+  MagusPlanner planner{&evaluator_, options};
+  const std::vector<net::SectorId> targets = {world_.east};
+  const MitigationPlan plan = planner.plan_upgrade(targets);
+  // c_before is what f_before was measured on, and the target is on-air
+  // in it.
+  EXPECT_TRUE(plan.c_before[world_.east].active);
+  const double f_c_before =
+      evaluator_.evaluate_configuration(plan.c_before);
+  EXPECT_NEAR(f_c_before, plan.f_before, std::abs(plan.f_before) * 1e-9);
+}
+
+TEST_F(PrePlanTest, HybridPolishNeverHurts) {
+  const std::vector<net::SectorId> targets = {world_.east};
+
+  PlannerOptions no_polish;
+  no_polish.mode = TuningMode::kPower;
+  no_polish.neighbor_radius_m = 2'000.0;
+  no_polish.hybrid_polish = false;
+  const MitigationPlan raw =
+      MagusPlanner{&evaluator_, no_polish}.plan_upgrade(targets);
+
+  PlannerOptions with_polish = no_polish;
+  with_polish.hybrid_polish = true;
+  const MitigationPlan polished =
+      MagusPlanner{&evaluator_, with_polish}.plan_upgrade(targets);
+
+  EXPECT_GE(polished.f_after, raw.f_after - 1e-9);
+  EXPECT_GE(polished.recovery, raw.recovery - 1e-9);
+}
+
+TEST_F(PrePlanTest, PolishRespectsModeMoveSet) {
+  // Power mode must not change tilts; tilt mode must not change powers.
+  const std::vector<net::SectorId> targets = {world_.east};
+
+  PlannerOptions options;
+  options.neighbor_radius_m = 2'000.0;
+  options.mode = TuningMode::kPower;
+  const auto power_plan =
+      MagusPlanner{&evaluator_, options}.plan_upgrade(targets);
+  for (std::size_t i = 0; i < power_plan.search.config.size(); ++i) {
+    const auto id = static_cast<net::SectorId>(i);
+    EXPECT_EQ(power_plan.search.config[id].tilt, power_plan.c_before[id].tilt);
+  }
+
+  options.mode = TuningMode::kTilt;
+  const auto tilt_plan =
+      MagusPlanner{&evaluator_, options}.plan_upgrade(targets);
+  for (std::size_t i = 0; i < tilt_plan.search.config.size(); ++i) {
+    const auto id = static_cast<net::SectorId>(i);
+    if (id == world_.east) continue;  // the target only goes off-air
+    EXPECT_DOUBLE_EQ(tilt_plan.search.config[id].power_dbm,
+                     tilt_plan.c_before[id].power_dbm);
+  }
+}
+
+TEST_F(PrePlanTest, FeedbackRespectsMoveSetFlags) {
+  model_.set_active(world_.east, false);
+  const std::vector<net::SectorId> involved = {world_.west};
+
+  FeedbackOptions tilt_only;
+  tilt_only.allow_power = false;
+  const double power_before = model_.configuration()[world_.west].power_dbm;
+  const FeedbackRun run = run_feedback_search(evaluator_, involved, tilt_only);
+  EXPECT_DOUBLE_EQ(run.final_config[world_.west].power_dbm, power_before);
+
+  FeedbackOptions nothing;
+  nothing.allow_power = false;
+  nothing.allow_tilt = false;
+  const FeedbackRun idle = run_feedback_search(evaluator_, involved, nothing);
+  EXPECT_TRUE(idle.utility_per_step.empty());
+}
+
+}  // namespace
+}  // namespace magus::core

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/joint_search.h"
+#include "core/naive_search.h"
+#include "core/planner.h"
+#include "core/power_search.h"
+#include "core/strategies.h"
+#include "core/tilt_search.h"
+#include "test_helpers.h"
+
+namespace magus::core {
+namespace {
+
+using magus::testing::LineWorld;
+
+/// Fixture: line world at C_before, then the east sector goes down.
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest()
+      : world_(10, 9.0),
+        model_(&world_.network, world_.provider.get()),
+        evaluator_(&model_, Utility::performance()) {
+    model_.freeze_uniform_ue_density();
+    f_before_ = evaluator_.evaluate();
+    baseline_rates_ = capture_rates(model_);
+    model_.set_active(world_.east, false);
+    f_upgrade_ = evaluator_.evaluate();
+    involved_ = {world_.west};
+  }
+
+  LineWorld world_;
+  model::AnalysisModel model_;
+  Evaluator evaluator_;
+  double f_before_ = 0.0;
+  double f_upgrade_ = 0.0;
+  std::vector<double> baseline_rates_;
+  std::vector<net::SectorId> involved_;
+};
+
+TEST_F(SearchTest, PowerSearchImprovesUtility) {
+  const PowerSearch search{};
+  const SearchResult result = search.run(evaluator_, involved_, baseline_rates_);
+  EXPECT_GT(result.utility, f_upgrade_);
+  EXPECT_LE(result.utility, f_before_ + 1e-9);
+  EXPECT_GT(result.accepted_steps, 0);
+  // The survivor's power went up (no interferer left: more power is free).
+  EXPECT_GT(result.config[world_.west].power_dbm, 40.0);
+  // Model left at the result configuration.
+  EXPECT_TRUE(model_.configuration() == result.config);
+  EXPECT_NEAR(evaluator_.evaluate(), result.utility, 1e-9);
+}
+
+TEST_F(SearchTest, PowerSearchTraceIsMonotone) {
+  const PowerSearch search{};
+  const SearchResult result = search.run(evaluator_, involved_, baseline_rates_);
+  double previous = f_upgrade_;
+  for (const TuningStep& step : result.trace) {
+    EXPECT_GT(step.utility_after, previous);
+    previous = step.utility_after;
+    EXPECT_EQ(step.sector, world_.west);
+    EXPECT_GT(step.power_delta_db, 0.0);
+    EXPECT_EQ(step.tilt_delta, 0);
+  }
+}
+
+TEST_F(SearchTest, PowerSearchMatchesBruteForceOnTinyInstance) {
+  const PowerSearch search{};
+  const SearchResult heuristic =
+      search.run(evaluator_, involved_, baseline_rates_);
+
+  // Reset to C_upgrade and brute-force the survivor's power in 1 dB steps.
+  net::Configuration upgrade =
+      world_.network.default_configuration().with_sector_off(world_.east);
+  model_.set_configuration(upgrade);
+  BruteForceAxis axis;
+  axis.sector = world_.west;
+  for (double p = 20.0; p <= 46.0; p += 1.0) {
+    axis.power_levels_dbm.push_back(p);
+  }
+  const BruteForceSearch brute{};
+  const SearchResult exact = brute.run(evaluator_, std::span{&axis, 1});
+  // On this 1-sector search space the heuristic must find the optimum.
+  EXPECT_NEAR(heuristic.utility, exact.utility, 1e-6);
+}
+
+TEST_F(SearchTest, PowerSearchValidatesBaselineSize) {
+  const PowerSearch search{};
+  const std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW((void)search.run(evaluator_, involved_, wrong),
+               std::invalid_argument);
+  EXPECT_THROW(PowerSearch(PowerSearchOptions{.unit_db = 0.0}),
+               std::invalid_argument);
+}
+
+TEST_F(SearchTest, TiltSearchOnlyAcceptsImprovements) {
+  const TiltSearch search{};
+  const SearchResult result = search.run(evaluator_, involved_);
+  EXPECT_GE(result.utility, f_upgrade_ - 1e-9);
+  double previous = f_upgrade_;
+  for (const TuningStep& step : result.trace) {
+    EXPECT_GT(step.utility_after, previous);
+    previous = step.utility_after;
+    EXPECT_EQ(step.tilt_delta, -1);  // paper: uptilt only
+  }
+}
+
+TEST_F(SearchTest, NaiveSearchImprovesButNeverWorsens) {
+  const NaiveSearch search{};
+  const SearchResult result = search.run(evaluator_, involved_);
+  EXPECT_GE(result.utility, f_upgrade_ - 1e-9);
+  EXPECT_TRUE(model_.configuration() == result.config);
+}
+
+TEST_F(SearchTest, JointCombinesTraces) {
+  const JointSearch search{};
+  const SearchResult joint = search.run(evaluator_, involved_, baseline_rates_);
+  EXPECT_GE(joint.utility, f_upgrade_ - 1e-9);
+  EXPECT_EQ(joint.accepted_steps, static_cast<int>(joint.trace.size()));
+  // Joint must not be worse than what a pure power pass achieves from the
+  // same start.
+  model_.set_configuration(
+      world_.network.default_configuration().with_sector_off(world_.east));
+  const PowerSearch power{};
+  const SearchResult power_only =
+      power.run(evaluator_, involved_, baseline_rates_);
+  EXPECT_GE(joint.utility, power_only.utility - 1e-6);
+}
+
+TEST_F(SearchTest, BruteForceValidation) {
+  const BruteForceSearch brute{10};
+  BruteForceAxis axis;
+  axis.sector = world_.west;
+  for (double p = 20.0; p <= 46.0; p += 1.0) {
+    axis.power_levels_dbm.push_back(p);
+  }
+  // 27 power levels > 10 combination cap.
+  EXPECT_THROW((void)brute.run(evaluator_, std::span{&axis, 1}),
+               std::invalid_argument);
+  BruteForceAxis empty;
+  empty.sector = world_.west;
+  const BruteForceSearch ok{};
+  EXPECT_THROW((void)ok.run(evaluator_, std::span{&empty, 1}),
+               std::invalid_argument);
+}
+
+TEST_F(SearchTest, DegradedGridHelpers) {
+  // After the east sector went down, the eastern cells are degraded.
+  const auto universe = all_grids(model_);
+  EXPECT_EQ(universe.size(), 10u);
+  const auto degraded = degraded_grids(model_, baseline_rates_, universe);
+  EXPECT_FALSE(degraded.empty());
+  for (const geo::GridIndex g : degraded) {
+    EXPECT_LT(model_.rate_bps(g),
+              baseline_rates_[static_cast<std::size_t>(g)]);
+  }
+}
+
+// Property sweep: on random small markets, the Algorithm-1 result is never
+// (meaningfully) worse than naive, and recovery lies in a sane range.
+class SearchPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SearchPropertyTest, MagusVsNaiveAndBounds) {
+  magus::data::MarketParams params = magus::testing::small_market_params();
+  params.seed = GetParam();
+  magus::data::Experiment experiment{params};
+  model::AnalysisModel& model = experiment.model();
+  Evaluator evaluator{&model, Utility::performance()};
+  model.freeze_uniform_ue_density();
+
+  // Take down the sector nearest the study center.
+  const net::SectorId target =
+      experiment.network().nearest_sectors(experiment.study_area().center(),
+                                           1)[0];
+  const std::vector<net::SectorId> targets = {target};
+  const auto involved = experiment.network().neighbors_of(targets, 3'000.0);
+  ASSERT_FALSE(involved.empty());
+
+  // The operator planned this neighborhood (see PlannerOptions::pre_plan):
+  // C_before is locally optimal for single-sector power moves, so recovery
+  // gains are attributable to the outage rather than leftover slack.
+  std::vector<net::SectorId> neighborhood = involved;
+  neighborhood.push_back(target);
+  (void)pre_plan_power(evaluator, neighborhood);
+  model.freeze_uniform_ue_density();
+  const double f_before = evaluator.evaluate();
+  const auto baseline = capture_rates(model);
+
+  model.set_active(target, false);
+  const double f_upgrade = evaluator.evaluate();
+  ASSERT_LT(f_upgrade, f_before);
+  const auto upgrade_snapshot = model.snapshot();
+
+  const PowerSearch power{};
+  const SearchResult magus_result =
+      power.run(evaluator, involved, baseline);
+
+  // The hybrid phase of §2: a short feedback polish from C_so.
+  FeedbackOptions polish_options;
+  polish_options.allow_tilt = false;
+  polish_options.max_steps = 30;
+  const FeedbackRun polish =
+      run_feedback_search(evaluator, involved, polish_options);
+  const double magus_utility = polish.utility_per_step.empty()
+                                   ? magus_result.utility
+                                   : polish.utility_per_step.back();
+
+  model.restore(upgrade_snapshot);
+  const NaiveSearch naive{};
+  const SearchResult naive_result = naive.run(evaluator, involved);
+
+  // Both improve; Magus (model search + short polish) is never materially
+  // worse than naive (paper Figure 13: ratio never below 0.9).
+  const double magus_gain = magus_utility - f_upgrade;
+  const double naive_gain = naive_result.utility - f_upgrade;
+  EXPECT_GE(magus_gain, 0.0);
+  EXPECT_GE(naive_gain, 0.0);
+  EXPECT_GE(magus_gain, 0.9 * naive_gain - 1e-6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchPropertyTest,
+                         ::testing::Values(11, 12, 13));
+
+}  // namespace
+}  // namespace magus::core

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/power_search.h"
+#include "core/strategies.h"
+#include "test_helpers.h"
+
+namespace magus::core {
+namespace {
+
+using magus::testing::LineWorld;
+
+class StrategiesTest : public ::testing::Test {
+ protected:
+  StrategiesTest()
+      : world_(10, 9.0),
+        model_(&world_.network, world_.provider.get()),
+        evaluator_(&model_, Utility::performance()) {
+    model_.freeze_uniform_ue_density();
+    const auto baseline = capture_rates(model_);
+    model_.set_active(world_.east, false);
+    const PowerSearch search{};
+    const std::vector<net::SectorId> involved = {world_.west};
+    c_after_ = search.run(evaluator_, involved, baseline).config;
+    model_.set_configuration(world_.network.default_configuration());
+  }
+
+  [[nodiscard]] const StrategyTimeline& find(
+      const std::vector<StrategyTimeline>& timelines,
+      StrategyKind kind) const {
+    for (const auto& t : timelines) {
+      if (t.kind == kind) return t;
+    }
+    throw std::logic_error("missing timeline");
+  }
+
+  LineWorld world_;
+  model::AnalysisModel model_;
+  Evaluator evaluator_;
+  net::Configuration c_after_;
+};
+
+TEST_F(StrategiesTest, ProducesAllFourStrategies) {
+  const std::vector<net::SectorId> targets = {world_.east};
+  const std::vector<net::SectorId> involved = {world_.west};
+  const auto timelines =
+      build_strategy_timelines(evaluator_, targets, involved, c_after_);
+  ASSERT_EQ(timelines.size(), 4u);
+  for (const auto kind :
+       {StrategyKind::kNoTuning, StrategyKind::kReactiveModel,
+        StrategyKind::kProactiveModel, StrategyKind::kReactiveFeedback}) {
+    EXPECT_NO_THROW((void)find(timelines, kind));
+  }
+  // Model restored to C_before.
+  EXPECT_TRUE(model_.configuration() ==
+              world_.network.default_configuration());
+}
+
+TEST_F(StrategiesTest, OrderingOfFinalUtilities) {
+  const std::vector<net::SectorId> targets = {world_.east};
+  const std::vector<net::SectorId> involved = {world_.west};
+  const auto timelines =
+      build_strategy_timelines(evaluator_, targets, involved, c_after_);
+  const auto& none = find(timelines, StrategyKind::kNoTuning);
+  const auto& proactive = find(timelines, StrategyKind::kProactiveModel);
+  const auto& reactive = find(timelines, StrategyKind::kReactiveModel);
+  const auto& feedback = find(timelines, StrategyKind::kReactiveFeedback);
+
+  EXPECT_GT(proactive.final_utility, none.final_utility);
+  EXPECT_DOUBLE_EQ(proactive.final_utility, reactive.final_utility);
+  EXPECT_GE(feedback.final_utility, none.final_utility);
+
+  // Proactive never dips below its final value after the upgrade.
+  for (const auto& point : proactive.series) {
+    if (point.step >= 0) {
+      EXPECT_GE(point.utility, proactive.final_utility - 1e-9);
+    }
+  }
+  // Reactive model passes through the degraded state at step 0.
+  EXPECT_DOUBLE_EQ(reactive.series[5].utility, none.final_utility);
+}
+
+TEST_F(StrategiesTest, FeedbackIsSlowerThanModelBased) {
+  const std::vector<net::SectorId> targets = {world_.east};
+  const std::vector<net::SectorId> involved = {world_.west};
+  const auto timelines =
+      build_strategy_timelines(evaluator_, targets, involved, c_after_);
+  const auto& reactive = find(timelines, StrategyKind::kReactiveModel);
+  const auto& feedback = find(timelines, StrategyKind::kReactiveFeedback);
+  EXPECT_EQ(reactive.convergence_steps, 1);
+  EXPECT_GT(feedback.convergence_steps, reactive.convergence_steps);
+  // "Realistic" probe count exceeds the accepted-step count (each step
+  // trials many candidates on-air).
+  EXPECT_GT(feedback.probe_count, feedback.convergence_steps);
+}
+
+TEST_F(StrategiesTest, FeedbackClimbsMonotonically) {
+  model_.set_active(world_.east, false);
+  const std::vector<net::SectorId> involved = {world_.west};
+  const FeedbackRun run =
+      run_feedback_search(evaluator_, involved, FeedbackOptions{});
+  double previous = -1e300;
+  for (const double u : run.utility_per_step) {
+    EXPECT_GT(u, previous);
+    previous = u;
+  }
+  EXPECT_GT(run.probe_count, 0);
+}
+
+TEST_F(StrategiesTest, StrategyNames) {
+  EXPECT_EQ(strategy_name(StrategyKind::kNoTuning), "no-tuning");
+  EXPECT_EQ(strategy_name(StrategyKind::kReactiveFeedback),
+            "reactive-feedback");
+  EXPECT_EQ(strategy_name(StrategyKind::kReactiveModel), "reactive-model");
+  EXPECT_EQ(strategy_name(StrategyKind::kProactiveModel), "proactive-model");
+}
+
+}  // namespace
+}  // namespace magus::core

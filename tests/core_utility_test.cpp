@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluator.h"
+#include "core/recovery.h"
+#include "core/utility.h"
+#include "model/analysis_model.h"
+#include "test_helpers.h"
+
+namespace magus::core {
+namespace {
+
+using magus::testing::LineWorld;
+
+TEST(Utility, PerformanceIsLogRate) {
+  const Utility u = Utility::performance();
+  EXPECT_DOUBLE_EQ(u.per_ue(1.0), 0.0);
+  EXPECT_NEAR(u.per_ue(std::exp(1.0)), 1.0, 1e-12);
+  EXPECT_GT(u.per_ue(10e6), u.per_ue(1e6));
+  EXPECT_EQ(u.name(), "performance");
+}
+
+TEST(Utility, CoverageCountsUes) {
+  const Utility u = Utility::coverage();
+  EXPECT_DOUBLE_EQ(u.per_ue(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.per_ue(100e6), 1.0);
+}
+
+TEST(Utility, RateThreshold) {
+  const Utility u = Utility::rate_threshold(5e6);
+  EXPECT_DOUBLE_EQ(u.per_ue(4e6), 0.0);
+  EXPECT_DOUBLE_EQ(u.per_ue(5e6), 1.0);
+}
+
+TEST(Utility, CustomAndValidation) {
+  const Utility u{"sqrt", [](double r) { return std::sqrt(r); }};
+  EXPECT_DOUBLE_EQ(u.per_ue(4.0), 2.0);
+  EXPECT_THROW(Utility("bad", nullptr), std::invalid_argument);
+}
+
+TEST(Recovery, Formula7) {
+  // f_before=10, f_upgrade=4, f_after=7 -> (7-4)/(10-4) = 0.5.
+  EXPECT_DOUBLE_EQ(recovery_ratio({10.0, 4.0, 7.0}), 0.5);
+  EXPECT_DOUBLE_EQ(recovery_ratio({10.0, 4.0, 10.0}), 1.0);
+  EXPECT_DOUBLE_EQ(recovery_ratio({10.0, 4.0, 4.0}), 0.0);
+  // Cross-utility regressions can be negative (Table 2).
+  EXPECT_LT(recovery_ratio({10.0, 4.0, 2.0}), 0.0);
+  // No degradation -> nothing to recover.
+  EXPECT_DOUBLE_EQ(recovery_ratio({10.0, 10.0, 10.0}), 0.0);
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest()
+      : world_(10, 9.0),
+        model_(&world_.network, world_.provider.get()),
+        evaluator_(&model_, Utility::performance()) {
+    model_.freeze_uniform_ue_density();
+  }
+
+  LineWorld world_;
+  model::AnalysisModel model_;
+  Evaluator evaluator_;
+};
+
+TEST_F(EvaluatorTest, MatchesHandComputedSum) {
+  // Independently compute sum over grids of UE(g) * ln(rate(g)).
+  double expected = 0.0;
+  for (geo::GridIndex g = 0; g < model_.cell_count(); ++g) {
+    const double rate = model_.rate_bps(g);
+    if (rate > 0.0) {
+      expected += model_.ue_density()[static_cast<std::size_t>(g)] *
+                  std::log(rate);
+    }
+  }
+  EXPECT_NEAR(evaluator_.evaluate(), expected, 1e-9);
+}
+
+TEST_F(EvaluatorTest, CoverageUtilityCountsCoveredUes) {
+  Evaluator coverage{&model_, Utility::coverage()};
+  double covered_ues = 0.0;
+  for (geo::GridIndex g = 0; g < model_.cell_count(); ++g) {
+    if (model_.in_service(g)) {
+      covered_ues += model_.ue_density()[static_cast<std::size_t>(g)];
+    }
+  }
+  EXPECT_NEAR(coverage.evaluate(), covered_ues, 1e-9);
+}
+
+TEST_F(EvaluatorTest, UpgradeDegradesUtility) {
+  const double before = evaluator_.evaluate();
+  model_.set_active(world_.east, false);
+  const double upgrade = evaluator_.evaluate();
+  EXPECT_LT(upgrade, before);
+}
+
+TEST_F(EvaluatorTest, EvaluateConfigurationRestoresState) {
+  const double before = evaluator_.evaluate();
+  const net::Configuration off =
+      model_.configuration().with_sector_off(world_.east);
+  const double f_off = evaluator_.evaluate_configuration(off);
+  EXPECT_LT(f_off, before);
+  // The model must be back at the original state.
+  EXPECT_NEAR(evaluator_.evaluate(), before, 1e-9);
+  EXPECT_TRUE(model_.configuration()[world_.east].active);
+}
+
+TEST_F(EvaluatorTest, CountsEvaluations) {
+  const long start = evaluator_.evaluation_count();
+  (void)evaluator_.evaluate();
+  (void)evaluator_.evaluate();
+  EXPECT_EQ(evaluator_.evaluation_count(), start + 2);
+}
+
+TEST(Evaluator, RejectsNullModel) {
+  EXPECT_THROW(Evaluator(nullptr, Utility::performance()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magus::core

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/plan_export.h"
+#include "test_helpers.h"
+
+namespace magus::data {
+namespace {
+
+using magus::testing::LineWorld;
+
+class PlanExportTest : public ::testing::Test {
+ protected:
+  PlanExportTest()
+      : world_(10, 9.0),
+        model_(&world_.network, world_.provider.get()),
+        evaluator_(&model_, core::Utility::performance()) {
+    model_.freeze_uniform_ue_density();
+    core::PlannerOptions options;
+    options.mode = core::TuningMode::kPower;
+    options.neighbor_radius_m = 2'000.0;
+    core::MagusPlanner planner{&evaluator_, options};
+    const std::vector<net::SectorId> targets = {world_.east};
+    plan_ = planner.plan_upgrade(targets);
+  }
+
+  LineWorld world_;
+  model::AnalysisModel model_;
+  core::Evaluator evaluator_;
+  core::MitigationPlan plan_;
+};
+
+/// Structural sanity: braces/brackets balance and stay properly nested.
+void expect_balanced_json(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(PlanExportTest, ContainsAllSections) {
+  const std::string json = plan_to_json(plan_, world_.network);
+  expect_balanced_json(json);
+  for (const char* key :
+       {"\"targets\"", "\"utility\"", "\"recovery\"", "\"changes\"",
+        "\"gradual\"", "\"floor_utility\"", "\"steps\"", "\"search\"",
+        "\"model_evaluations\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The target's name appears, and the final gradual step is marked.
+  EXPECT_NE(json.find(world_.network.sector(world_.east).name),
+            std::string::npos);
+  EXPECT_NE(json.find("\"final\": true"), std::string::npos);
+}
+
+TEST_F(PlanExportTest, ChangesReflectConfigDiff) {
+  const std::string json = plan_to_json(plan_, world_.network);
+  const auto changed = plan_.c_before.diff(plan_.search.config);
+  // Every changed sector's name shows up in the changes section.
+  for (const net::SectorId id : changed) {
+    EXPECT_NE(json.find(world_.network.sector(id).name), std::string::npos);
+  }
+}
+
+TEST_F(PlanExportTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/magus_plan.json";
+  write_plan_json(plan_, world_.network, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), plan_to_json(plan_, world_.network));
+  std::remove(path.c_str());
+  EXPECT_THROW(
+      write_plan_json(plan_, world_.network, "/nonexistent/dir/x.json"),
+      std::runtime_error);
+}
+
+TEST(PlanExportEscaping, EscapesSpecialCharactersInNames) {
+  LineWorld world{4, 9.0};
+  // Force a quote into a sector name (hostile inventory data).
+  net::Network& network = world.network;
+  model::AnalysisModel model{&network, world.provider.get()};
+  model.freeze_uniform_ue_density();
+  core::Evaluator evaluator{&model, core::Utility::performance()};
+  core::PlannerOptions options;
+  options.mode = core::TuningMode::kPower;
+  options.neighbor_radius_m = 2'000.0;
+  core::MagusPlanner planner{&evaluator, options};
+  const std::vector<net::SectorId> targets = {world.east};
+  core::MitigationPlan plan = planner.plan_upgrade(targets);
+
+  net::Network hostile;  // same ids, hostile names
+  for (const auto& s : network.sectors()) {
+    net::Sector copy = s;
+    copy.name = "evil\"name\\" + std::to_string(s.id);
+    hostile.add_sector(copy);
+  }
+  const std::string json = plan_to_json(plan, hostile);
+  EXPECT_NE(json.find("evil\\\"name\\\\"), std::string::npos);
+  expect_balanced_json(json);
+}
+
+}  // namespace
+}  // namespace magus::data

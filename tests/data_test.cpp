@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/experiment.h"
+#include "data/market_generator.h"
+#include "data/render.h"
+#include "data/upgrade_scenarios.h"
+#include "test_helpers.h"
+
+namespace magus::data {
+namespace {
+
+TEST(MarketParams, ResolvedFillsMorphologyDefaults) {
+  MarketParams params;
+  params.morphology = Morphology::kRural;
+  const MarketParams rural = params.resolved();
+  EXPECT_GT(rural.inter_site_distance_m, 0.0);
+  params.morphology = Morphology::kUrban;
+  const MarketParams urban = params.resolved();
+  EXPECT_LT(urban.inter_site_distance_m, rural.inter_site_distance_m);
+  EXPECT_GT(urban.subscribers_per_sector_mean,
+            rural.subscribers_per_sector_mean);
+  // Explicit values are preserved.
+  params.inter_site_distance_m = 1234.0;
+  EXPECT_DOUBLE_EQ(params.resolved().inter_site_distance_m, 1234.0);
+}
+
+TEST(MarketGenerator, DeterministicInSeed) {
+  const MarketParams params = magus::testing::small_market_params();
+  const Market a = generate_market(params);
+  const Market b = generate_market(params);
+  ASSERT_EQ(a.network.sector_count(), b.network.sector_count());
+  for (net::SectorId id = 0;
+       id < static_cast<net::SectorId>(a.network.sector_count()); ++id) {
+    EXPECT_EQ(a.network.sector(id).position, b.network.sector(id).position);
+    EXPECT_DOUBLE_EQ(a.network.subscribers(id), b.network.subscribers(id));
+  }
+  MarketParams other = params;
+  other.seed = params.seed + 1;
+  const Market c = generate_market(other);
+  bool any_diff = false;
+  for (net::SectorId id = 0;
+       id < static_cast<net::SectorId>(std::min(a.network.sector_count(),
+                                                c.network.sector_count()));
+       ++id) {
+    any_diff |= !(a.network.sector(id).position ==
+                  c.network.sector(id).position);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MarketGenerator, DensityOrderingAcrossMorphologies) {
+  MarketParams params;
+  params.region_size_m = 12'000.0;
+  params.study_size_m = 4'000.0;
+  params.seed = 5;
+  params.morphology = Morphology::kRural;
+  const auto rural = generate_market(params);
+  params.morphology = Morphology::kSuburban;
+  const auto suburban = generate_market(params);
+  params.morphology = Morphology::kUrban;
+  const auto urban = generate_market(params);
+  EXPECT_LT(rural.network.sector_count(), suburban.network.sector_count());
+  EXPECT_LT(suburban.network.sector_count(), urban.network.sector_count());
+}
+
+TEST(MarketGenerator, SectorsPerSiteAndGeometry) {
+  const MarketParams params = magus::testing::small_market_params();
+  const Market market = generate_market(params);
+  EXPECT_GT(market.network.sector_count(), 0u);
+  for (const net::SiteId site : market.network.sites()) {
+    const auto sectors = market.network.sectors_at_site(site);
+    EXPECT_EQ(sectors.size(), 3u);
+    // Co-located, azimuths 120 degrees apart.
+    const auto& s0 = market.network.sector(sectors[0]);
+    const auto& s1 = market.network.sector(sectors[1]);
+    EXPECT_EQ(s0.position, s1.position);
+    const double gap =
+        std::abs(geo::wrap_angle_deg(s1.azimuth_deg - s0.azimuth_deg));
+    EXPECT_NEAR(gap, 120.0, 1.0);
+  }
+  // Study area centered in the region.
+  EXPECT_NEAR(market.study_area.center().x_m, market.region.center().x_m,
+              1e-9);
+}
+
+TEST(MarketGenerator, RejectsBadGeometry) {
+  MarketParams params;
+  params.region_size_m = 1000.0;
+  params.study_size_m = 2000.0;
+  EXPECT_THROW((void)generate_market(params), std::invalid_argument);
+}
+
+TEST(UpgradeScenarios, TargetsAreSane) {
+  const Market market =
+      generate_market(magus::testing::small_market_params());
+  const auto single = upgrade_targets(market, UpgradeScenario::kSingleSector);
+  ASSERT_EQ(single.size(), 1u);
+
+  const auto site = upgrade_targets(market, UpgradeScenario::kFullSite);
+  EXPECT_EQ(site.size(), 3u);
+  for (const auto id : site) {
+    EXPECT_EQ(market.network.sector(id).site,
+              market.network.sector(site[0]).site);
+  }
+  // (a)'s sector belongs to (b)'s site.
+  EXPECT_EQ(market.network.sector(single[0]).site,
+            market.network.sector(site[0]).site);
+
+  const auto corners = upgrade_targets(market, UpgradeScenario::kFourCorners);
+  EXPECT_GE(corners.size(), 1u);
+  EXPECT_LE(corners.size(), 4u);
+  EXPECT_EQ(all_scenarios().size(), 3u);
+  EXPECT_EQ(scenario_name(UpgradeScenario::kFullSite), "(b) full site");
+}
+
+TEST(Experiment, BuildsWorkingModel) {
+  Experiment experiment{magus::testing::small_market_params()};
+  model::AnalysisModel& model = experiment.model();
+  EXPECT_GT(model.cell_count(), 0);
+  model.freeze_uniform_ue_density();
+  // Most of the study area should be covered at C_before.
+  const auto cells = experiment.grid().cells_in(experiment.study_area());
+  int covered = 0;
+  for (const geo::GridIndex g : cells) {
+    covered += model.in_service(g) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(covered) / cells.size(), 0.7);
+  EXPECT_GT(experiment.study_interferer_count(), 3);
+}
+
+TEST(Render, WritesValidImageFiles) {
+  Experiment experiment{magus::testing::small_market_params()};
+  model::AnalysisModel& model = experiment.model();
+  const std::string dir = ::testing::TempDir();
+
+  const std::string sinr_path = dir + "/magus_sinr.pgm";
+  render_sinr_pgm(model, sinr_path);
+  const std::string service_path = dir + "/magus_service.ppm";
+  render_service_ppm(model, service_path);
+  const std::string pl_path = dir + "/magus_pl.pgm";
+  render_pathloss_pgm(experiment.provider().footprint(0, 0),
+                      experiment.grid(), pl_path);
+
+  const auto check_header = [](const std::string& path,
+                               const std::string& magic) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    std::string header;
+    in >> header;
+    EXPECT_EQ(header, magic) << path;
+    in.seekg(0, std::ios::end);
+    EXPECT_GT(in.tellg(), 100) << path;
+  };
+  check_header(sinr_path, "P5");
+  check_header(service_path, "P6");
+  check_header(pl_path, "P5");
+  std::remove(sinr_path.c_str());
+  std::remove(service_path.c_str());
+  std::remove(pl_path.c_str());
+}
+
+TEST(Render, SinrDeltaValidatesSizes) {
+  const geo::GridMap grid{geo::Rect{{0, 0}, {300, 300}}, 100.0};
+  const std::vector<double> nine(9, 0.0);
+  const std::vector<double> four(4, 0.0);
+  EXPECT_THROW(
+      render_sinr_delta_pgm(nine, four, grid, "/tmp/never_written.pgm"),
+      std::invalid_argument);
+}
+
+TEST(MorphologyNames, AllNamed) {
+  EXPECT_EQ(morphology_name(Morphology::kRural), "rural");
+  EXPECT_EQ(morphology_name(Morphology::kSuburban), "suburban");
+  EXPECT_EQ(morphology_name(Morphology::kUrban), "urban");
+}
+
+}  // namespace
+}  // namespace magus::data

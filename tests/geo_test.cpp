@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "geo/grid_map.h"
+#include "geo/point.h"
+
+namespace magus::geo {
+namespace {
+
+TEST(Point, DistanceAndBearing) {
+  EXPECT_DOUBLE_EQ(distance_m({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance_m2({0, 0}, {3, 4}), 25.0);
+  EXPECT_NEAR(bearing_deg({0, 0}, {0, 10}), 0.0, 1e-9);    // north
+  EXPECT_NEAR(bearing_deg({0, 0}, {10, 0}), 90.0, 1e-9);   // east
+  EXPECT_NEAR(bearing_deg({0, 0}, {0, -10}), 180.0, 1e-9); // south
+  EXPECT_NEAR(bearing_deg({0, 0}, {-10, 0}), 270.0, 1e-9); // west
+}
+
+TEST(Point, WrapAngle) {
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(540.0), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(180.0), 180.0);
+}
+
+TEST(Point, Offset) {
+  const Point p = offset({100, 100}, 90.0, 50.0);
+  EXPECT_NEAR(p.x_m, 150.0, 1e-9);
+  EXPECT_NEAR(p.y_m, 100.0, 1e-9);
+  const Point n = offset({0, 0}, 0.0, 10.0);
+  EXPECT_NEAR(n.y_m, 10.0, 1e-9);
+}
+
+TEST(Rect, ContainsAndGeometry) {
+  const Rect r{{0, 0}, {100, 50}};
+  EXPECT_TRUE(r.contains({0, 0}));       // min edge inclusive
+  EXPECT_FALSE(r.contains({100, 25}));   // max edge exclusive
+  EXPECT_TRUE(r.contains({99.9, 49.9}));
+  EXPECT_DOUBLE_EQ(r.width_m(), 100.0);
+  EXPECT_DOUBLE_EQ(r.height_m(), 50.0);
+  EXPECT_DOUBLE_EQ(r.center().x_m, 50.0);
+  const Rect e = r.expanded(10.0);
+  EXPECT_DOUBLE_EQ(e.min.x_m, -10.0);
+  EXPECT_DOUBLE_EQ(e.max.y_m, 60.0);
+}
+
+TEST(GridMap, IndexRoundTrip) {
+  const GridMap grid{Rect{{0, 0}, {1000, 500}}, 100.0};
+  EXPECT_EQ(grid.cols(), 10);
+  EXPECT_EQ(grid.rows(), 5);
+  EXPECT_EQ(grid.cell_count(), 50);
+  for (GridIndex g = 0; g < grid.cell_count(); ++g) {
+    EXPECT_EQ(grid.index_of(grid.center_of(g)), g);
+  }
+}
+
+TEST(GridMap, OutsideReturnsInvalid) {
+  const GridMap grid{Rect{{0, 0}, {1000, 500}}, 100.0};
+  EXPECT_EQ(grid.index_of({-1, 10}), kInvalidGrid);
+  EXPECT_EQ(grid.index_of({1000, 10}), kInvalidGrid);
+  EXPECT_EQ(grid.index_of({10, 500}), kInvalidGrid);
+  EXPECT_TRUE(grid.valid(0));
+  EXPECT_FALSE(grid.valid(-1));
+  EXPECT_FALSE(grid.valid(50));
+}
+
+TEST(GridMap, RoundsUpToWholeCells) {
+  const GridMap grid{Rect{{0, 0}, {950, 450}}, 100.0};
+  EXPECT_EQ(grid.cols(), 10);
+  EXPECT_EQ(grid.rows(), 5);
+  EXPECT_DOUBLE_EQ(grid.area().max.x_m, 1000.0);
+}
+
+TEST(GridMap, RowColConversions) {
+  const GridMap grid{Rect{{0, 0}, {1000, 500}}, 100.0};
+  const GridIndex g = grid.at(3, 2);
+  EXPECT_EQ(grid.col_of(g), 3);
+  EXPECT_EQ(grid.row_of(g), 2);
+  const geo::Point c = grid.center_of(g);
+  EXPECT_DOUBLE_EQ(c.x_m, 350.0);
+  EXPECT_DOUBLE_EQ(c.y_m, 250.0);
+}
+
+TEST(GridMap, CellsInRect) {
+  const GridMap grid{Rect{{0, 0}, {1000, 1000}}, 100.0};
+  const auto cells = grid.cells_in(Rect{{200, 200}, {500, 400}});
+  // Centers at x in {250, 350, 450}, y in {250, 350}: 6 cells.
+  EXPECT_EQ(cells.size(), 6u);
+  for (const GridIndex g : cells) {
+    const Point c = grid.center_of(g);
+    EXPECT_GE(c.x_m, 200.0);
+    EXPECT_LT(c.x_m, 500.0);
+    EXPECT_GE(c.y_m, 200.0);
+    EXPECT_LT(c.y_m, 400.0);
+  }
+}
+
+TEST(GridMap, CellsWithinRadius) {
+  const GridMap grid{Rect{{0, 0}, {1000, 1000}}, 100.0};
+  const Point center{550, 550};
+  const auto cells = grid.cells_within(center, 150.0);
+  EXPECT_FALSE(cells.empty());
+  for (const GridIndex g : cells) {
+    EXPECT_LE(distance_m(grid.center_of(g), center), 150.0);
+  }
+  // The center's own cell must be included.
+  EXPECT_NE(std::find(cells.begin(), cells.end(), grid.index_of(center)),
+            cells.end());
+}
+
+TEST(GridMap, InvalidConstruction) {
+  EXPECT_THROW((GridMap{Rect{{0, 0}, {100, 100}}, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((GridMap{Rect{{0, 0}, {0, 100}}, 10.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magus::geo

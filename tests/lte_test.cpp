@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "lte/amc.h"
+#include "lte/bandwidth.h"
+#include "lte/scheduler.h"
+
+namespace magus::lte {
+namespace {
+
+TEST(Bandwidth, PrbCounts) {
+  // TS 36.101 Table 5.6-1.
+  EXPECT_EQ(prb_count(Bandwidth::kMhz1_4), 6);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz3), 15);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz5), 25);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz10), 50);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz15), 75);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz20), 100);
+}
+
+TEST(Bandwidth, OccupiedHz) {
+  EXPECT_DOUBLE_EQ(occupied_hz(Bandwidth::kMhz10), 50 * 180e3);
+  EXPECT_DOUBLE_EQ(channel_mhz(Bandwidth::kMhz20), 20.0);
+}
+
+TEST(Amc, CqiEfficiencyIsNormative) {
+  // Spot-check TS 36.213 Table 7.2.3-1 endpoints and QPSK/16QAM boundary.
+  const auto& eff = cqi_efficiency();
+  EXPECT_DOUBLE_EQ(eff[0], 0.1523);   // CQI 1
+  EXPECT_DOUBLE_EQ(eff[6], 1.4766);   // CQI 7 (last QPSK)
+  EXPECT_DOUBLE_EQ(eff[14], 5.5547);  // CQI 15
+  for (int i = 1; i < kCqiLevels; ++i) EXPECT_GT(eff[i], eff[i - 1]);
+}
+
+TEST(Amc, ThresholdsMonotone) {
+  const auto& thresholds = cqi_sinr_thresholds_db();
+  for (int i = 1; i < kCqiLevels; ++i) {
+    EXPECT_GT(thresholds[i], thresholds[i - 1]);
+  }
+}
+
+TEST(Amc, SinrToCqiBoundaries) {
+  EXPECT_EQ(sinr_to_cqi(-100.0), 0);
+  EXPECT_EQ(sinr_to_cqi(-6.7), 1);   // exactly at the first threshold
+  EXPECT_EQ(sinr_to_cqi(-6.71), 0);  // just below
+  EXPECT_EQ(sinr_to_cqi(0.2), 4);
+  EXPECT_EQ(sinr_to_cqi(22.7), 15);
+  EXPECT_EQ(sinr_to_cqi(50.0), 15);
+  EXPECT_DOUBLE_EQ(min_service_sinr_db(), -6.7);
+}
+
+TEST(Amc, McsToItbsTable) {
+  // TS 36.213 Table 7.1.7.1-1 structure.
+  EXPECT_EQ(mcs_to_itbs(0), 0);
+  EXPECT_EQ(mcs_to_itbs(9), 9);
+  EXPECT_EQ(mcs_to_itbs(10), 9);   // modulation switch duplicates I_TBS
+  EXPECT_EQ(mcs_to_itbs(16), 15);
+  EXPECT_EQ(mcs_to_itbs(17), 15);
+  EXPECT_EQ(mcs_to_itbs(28), 26);
+  EXPECT_THROW((void)mcs_to_itbs(29), std::invalid_argument);
+  EXPECT_THROW((void)mcs_to_itbs(-1), std::invalid_argument);
+}
+
+TEST(Amc, CqiToMcsMonotone) {
+  const auto& mcs = cqi_to_mcs();
+  for (int i = 1; i < kCqiLevels; ++i) EXPECT_GE(mcs[i], mcs[i - 1]);
+  EXPECT_EQ(mcs[0], 0);
+  EXPECT_EQ(mcs[14], 28);
+}
+
+TEST(Amc, TransportBlockScalesWithPrbAndCqi) {
+  EXPECT_EQ(transport_block_bits(0, 50), 0);
+  EXPECT_EQ(transport_block_bits(1, 0), 0);
+  // Byte-aligned.
+  EXPECT_EQ(transport_block_bits(7, 50) % 8, 0);
+  // Monotone in both axes.
+  for (Cqi cqi = 2; cqi <= 15; ++cqi) {
+    EXPECT_GT(transport_block_bits(cqi, 50),
+              transport_block_bits(cqi - 1, 50));
+  }
+  EXPECT_GT(transport_block_bits(10, 100), transport_block_bits(10, 50));
+  EXPECT_THROW((void)transport_block_bits(16, 50), std::invalid_argument);
+}
+
+TEST(Amc, PeakRateMagnitudes) {
+  // CQI 15 on 20 MHz: ~5.55 b/s/Hz x 18 MHz ~ 100 Mb/s (SISO).
+  const double peak = max_rate_bps(30.0, Bandwidth::kMhz20);
+  EXPECT_NEAR(peak, 100e6, 5e6);
+  // CQI 1 on 10 MHz: ~0.15 x 9 MHz ~ 1.37 Mb/s.
+  const double floor_rate = max_rate_bps(-6.5, Bandwidth::kMhz10);
+  EXPECT_NEAR(floor_rate, 1.37e6, 0.1e6);
+  // Below SINRmin: out of service.
+  EXPECT_DOUBLE_EQ(max_rate_bps(-7.0, Bandwidth::kMhz10), 0.0);
+}
+
+TEST(Amc, RateForCqiConsistent) {
+  for (Cqi cqi = 0; cqi <= 15; ++cqi) {
+    const double direct = max_rate_bps_for_cqi(cqi, Bandwidth::kMhz10);
+    EXPECT_DOUBLE_EQ(
+        direct,
+        static_cast<double>(transport_block_bits(cqi, 50)) * 1e3);
+  }
+}
+
+TEST(Scheduler, EqualShareDividesEvenly) {
+  const SchedulerModel scheduler{};
+  EXPECT_DOUBLE_EQ(scheduler.shared_rate_bps(10e6, 1.0), 10e6);
+  EXPECT_DOUBLE_EQ(scheduler.shared_rate_bps(10e6, 4.0), 2.5e6);
+  EXPECT_DOUBLE_EQ(scheduler.shared_rate_bps(10e6, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(scheduler.shared_rate_bps(0.0, 4.0), 0.0);
+}
+
+TEST(Scheduler, OverheadAwareReducesRate) {
+  SchedulerModel scheduler;
+  scheduler.kind = SchedulerKind::kOverheadAware;
+  scheduler.per_ue_overhead = 0.01;
+  const double with_overhead = scheduler.shared_rate_bps(10e6, 10.0);
+  EXPECT_LT(with_overhead, 1e6);
+  EXPECT_NEAR(with_overhead, 10e6 * 0.9 / 10.0, 1e-6);
+  // Overhead can never push the rate negative.
+  EXPECT_DOUBLE_EQ(scheduler.shared_rate_bps(10e6, 200.0), 0.0);
+}
+
+TEST(Scheduler, FixedOverhead) {
+  SchedulerModel scheduler;
+  scheduler.fixed_overhead = 0.25;
+  EXPECT_DOUBLE_EQ(scheduler.shared_rate_bps(8e6, 2.0), 3e6);
+}
+
+
+// Property sweep: across every channel bandwidth, the SINR -> rate pipeline
+// must be monotone, bounded by the CQI-15 peak, and consistent with the
+// PRB scaling.
+class AmcBandwidthSweep : public ::testing::TestWithParam<Bandwidth> {};
+
+TEST_P(AmcBandwidthSweep, RateMonotoneInSinr) {
+  const Bandwidth bw = GetParam();
+  double previous = -1.0;
+  for (double sinr = -10.0; sinr <= 30.0; sinr += 0.25) {
+    const double rate = max_rate_bps(sinr, bw);
+    EXPECT_GE(rate, previous) << "sinr " << sinr;
+    previous = rate;
+  }
+}
+
+TEST_P(AmcBandwidthSweep, PeakMatchesSpectralEfficiency) {
+  const Bandwidth bw = GetParam();
+  const double peak = max_rate_bps(40.0, bw);
+  const double expected = cqi_efficiency().back() * occupied_hz(bw);
+  EXPECT_NEAR(peak, expected, expected * 0.01);
+}
+
+TEST_P(AmcBandwidthSweep, ZeroBelowServiceThreshold) {
+  const Bandwidth bw = GetParam();
+  EXPECT_DOUBLE_EQ(max_rate_bps(min_service_sinr_db() - 0.01, bw), 0.0);
+  EXPECT_GT(max_rate_bps(min_service_sinr_db(), bw), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBandwidths, AmcBandwidthSweep,
+                         ::testing::Values(Bandwidth::kMhz1_4,
+                                           Bandwidth::kMhz3, Bandwidth::kMhz5,
+                                           Bandwidth::kMhz10,
+                                           Bandwidth::kMhz15,
+                                           Bandwidth::kMhz20));
+
+}  // namespace
+}  // namespace magus::lte

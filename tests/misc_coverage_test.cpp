@@ -1,0 +1,150 @@
+// Cross-cutting coverage: scheduler variants through the evaluator, hotspot
+// densities through the model, planner option enforcement, and small
+// utility behaviours not covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "net/ue_distribution.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace magus {
+namespace {
+
+using magus::testing::LineWorld;
+
+TEST(Logging, LevelGatekeeping) {
+  const util::LogLevel original = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  // Below-threshold messages are dropped (no observable side effect to
+  // assert beyond not crashing; the gate itself is the contract).
+  util::log_debug() << "dropped";
+  util::set_log_level(util::LogLevel::kDebug);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kDebug);
+  util::set_log_level(original);
+}
+
+TEST(EvaluatorScheduler, OverheadAwareLowersUtility) {
+  LineWorld world{10, 9.0};
+
+  model::ModelOptions plain;
+  model::AnalysisModel baseline{&world.network, world.provider.get(), plain};
+  baseline.freeze_uniform_ue_density();
+  core::Evaluator baseline_eval{&baseline, core::Utility::performance()};
+
+  model::ModelOptions overhead;
+  overhead.scheduler.kind = lte::SchedulerKind::kOverheadAware;
+  overhead.scheduler.per_ue_overhead = 0.01;
+  model::AnalysisModel loaded{&world.network, world.provider.get(), overhead};
+  loaded.freeze_uniform_ue_density();
+  core::Evaluator loaded_eval{&loaded, core::Utility::performance()};
+
+  EXPECT_LT(loaded_eval.evaluate(), baseline_eval.evaluate());
+}
+
+TEST(HotspotDensity, FeedsTheModel) {
+  LineWorld world{10, 9.0};
+  model::AnalysisModel model{&world.network, world.provider.get()};
+
+  // Build a hotspot on the west sector's first cell and feed the density
+  // into the model: loads shift but totals are preserved.
+  const auto serving = model.service_map();
+  const net::Hotspot hotspot{{50.0, 50.0}, 80.0, 10.0};
+  const auto density = net::UeDistribution::with_hotspots(
+      world.network, model.grid(), serving, std::span{&hotspot, 1});
+  model.set_ue_density(std::vector<double>(density));
+
+  const auto& loads = model.sector_loads();
+  double total = 0.0;
+  for (const double l : loads) total += l;
+  EXPECT_NEAR(total, world.network.total_subscribers(), 1e-6);
+  // The hotspot cell carries more UEs than its neighbor cell.
+  EXPECT_GT(model.ue_density()[0], model.ue_density()[1]);
+}
+
+TEST(PlannerOptions, MaxNeighborsCapsInvolvedSet) {
+  magus::data::Experiment experiment{magus::testing::small_market_params()};
+  core::Evaluator evaluator{&experiment.model(),
+                            core::Utility::performance()};
+  core::PlannerOptions options;
+  options.neighbor_radius_m = 10'000.0;  // everyone qualifies by distance
+  options.max_neighbors = 5;
+  core::MagusPlanner planner{&evaluator, options};
+  const auto targets = experiment.network().nearest_sectors(
+      experiment.study_area().center(), 1);
+  const auto involved = planner.involved_sectors(targets);
+  EXPECT_EQ(involved.size(), 5u);
+  // Nearest-first ordering.
+  const geo::Point target_pos =
+      experiment.network().sector(targets[0]).position;
+  double previous = 0.0;
+  for (const net::SectorId s : involved) {
+    const double d =
+        geo::distance_m(experiment.network().sector(s).position, target_pos);
+    EXPECT_GE(d, previous - 1e-9);
+    previous = d;
+  }
+}
+
+TEST(ExperimentOptions, ExplicitRangeOverridesMorphologyDefault) {
+  data::MarketParams params = magus::testing::small_market_params();
+  data::ExperimentOptions options;
+  options.max_range_m = 1'000.0;  // very short reach
+  data::Experiment experiment{params, options};
+  // With a 1 km range cutoff, a sector's footprint never exceeds ~314
+  // cells (pi r^2 / cell area).
+  const auto& fp = experiment.provider().footprint(0, 0);
+  EXPECT_LE(fp.covered_count(), 350u);
+}
+
+TEST(GridMapEdge, TinyRadiusContainsOnlyOwnCell) {
+  const geo::GridMap grid{geo::Rect{{0, 0}, {1000, 1000}}, 100.0};
+  const geo::Point center = grid.center_of(grid.at(3, 3));
+  // A degenerate zero-radius query selects nothing (the bounding box is
+  // half-open); any positive radius picks up the own cell first.
+  EXPECT_TRUE(grid.cells_within(center, 0.0).empty());
+  const auto cells = grid.cells_within(center, 1.0);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], grid.at(3, 3));
+}
+
+TEST(RunningStatsEdge, SingleValue) {
+  util::RunningStats stats;
+  stats.add(42.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 42.0);
+}
+
+TEST(ConfigurationEdge, SelfDiffIsEmpty) {
+  LineWorld world{4, 9.0};
+  const net::Configuration c = world.network.default_configuration();
+  EXPECT_TRUE(c.diff(c).empty());
+  EXPECT_DOUBLE_EQ(c.change_magnitude(c), 0.0);
+}
+
+TEST(ModelEdge, EmptyUeDensityGivesZeroUtility) {
+  LineWorld world{10, 9.0};
+  model::AnalysisModel model{&world.network, world.provider.get()};
+  // No freeze: density stays all-zero.
+  core::Evaluator evaluator{&model, core::Utility::performance()};
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(), 0.0);
+  const auto& loads = model.sector_loads();
+  for (const double l : loads) EXPECT_DOUBLE_EQ(l, 0.0);
+}
+
+TEST(ModelEdge, ReactivatingRestoresState) {
+  LineWorld world{10, 9.0};
+  model::AnalysisModel model{&world.network, world.provider.get()};
+  const auto sinr_before = model.sinr_db(7);
+  model.set_active(world.east, false);
+  model.set_active(world.east, true);
+  EXPECT_NEAR(model.sinr_db(7), sinr_before, 1e-6);
+  EXPECT_EQ(model.serving_sector(7), world.east);
+}
+
+}  // namespace
+}  // namespace magus

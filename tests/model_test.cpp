@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/analysis_model.h"
+#include "model/coverage_map.h"
+#include "model/handover_delta.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace magus::model {
+namespace {
+
+using magus::testing::LineWorld;
+
+class LineModelTest : public ::testing::Test {
+ protected:
+  LineModelTest() : world_(10, 9.0), model_(&world_.network,
+                                            world_.provider.get()) {}
+
+  LineWorld world_;
+  AnalysisModel model_;
+};
+
+TEST_F(LineModelTest, BestServerSplitsTheLine) {
+  // Symmetric world: west serves the left half, east the right half.
+  for (geo::GridIndex g = 0; g < 5; ++g) {
+    EXPECT_EQ(model_.serving_sector(g), world_.west) << "cell " << g;
+  }
+  for (geo::GridIndex g = 5; g < 10; ++g) {
+    EXPECT_EQ(model_.serving_sector(g), world_.east) << "cell " << g;
+  }
+}
+
+TEST_F(LineModelTest, ReceivedPowerMatchesFormula1) {
+  // RP = P + L (paper Formula 1): cell 0 is 0.5 cells from west at
+  // 40 dBm power and gain -60 - 9*0.5 = -64.5 dB.
+  EXPECT_NEAR(model_.best_rp_dbm(0), 40.0 - 64.5, 1e-4);
+}
+
+TEST_F(LineModelTest, SinrMatchesFormula2) {
+  // Hand-compute Formula 2 for cell 0.
+  const double rp_west = 40.0 - 64.5;
+  const double rp_east = 40.0 - 60.0 - 9.0 * 9.5 - 18.0;  // beyond range
+  const double noise_mw = util::dbm_to_mw(model_.network().noise_floor_dbm());
+  const double expected =
+      rp_west - util::mw_to_dbm(noise_mw + util::dbm_to_mw(rp_east));
+  EXPECT_NEAR(model_.sinr_db(0), expected, 1e-6);
+}
+
+TEST_F(LineModelTest, LoadsFollowFormula3) {
+  model_.freeze_uniform_ue_density();
+  const auto& loads = model_.sector_loads();
+  // 10 subscribers per sector spread over its 5 served cells.
+  EXPECT_NEAR(loads[static_cast<std::size_t>(world_.west)], 10.0, 1e-9);
+  EXPECT_NEAR(loads[static_cast<std::size_t>(world_.east)], 10.0, 1e-9);
+  EXPECT_NEAR(model_.ue_density()[0], 2.0, 1e-9);
+}
+
+TEST_F(LineModelTest, SharedRateMatchesFormula4) {
+  model_.freeze_uniform_ue_density();
+  const double r_max = model_.max_rate_bps(0);
+  ASSERT_GT(r_max, 0.0);
+  EXPECT_NEAR(model_.rate_bps(0), r_max / 10.0, 1e-6);
+}
+
+TEST_F(LineModelTest, TakingSectorDownShiftsService) {
+  model_.set_active(world_.east, false);
+  for (geo::GridIndex g = 0; g < 10; ++g) {
+    const auto serving = model_.serving_sector(g);
+    EXPECT_TRUE(serving == world_.west || serving == net::kInvalidSector);
+  }
+  // Western cells keep service; the far-east cell may fall below SINRmin.
+  EXPECT_TRUE(model_.in_service(0));
+  // With the interferer gone, near-west SINR improves.
+  AnalysisModel fresh{&world_.network, world_.provider.get()};
+  EXPECT_GT(model_.sinr_db(0), fresh.sinr_db(0));
+}
+
+TEST_F(LineModelTest, PowerChangePropagatesToConfiguration) {
+  model_.set_power(world_.west, 43.0);
+  EXPECT_DOUBLE_EQ(model_.configuration()[world_.west].power_dbm, 43.0);
+  // Clamping applies.
+  model_.set_power(world_.west, 100.0);
+  EXPECT_DOUBLE_EQ(model_.configuration()[world_.west].power_dbm, 46.0);
+}
+
+TEST_F(LineModelTest, ServiceMapMarksOutOfService) {
+  model_.set_active(world_.west, false);
+  model_.set_active(world_.east, false);
+  const auto map = model_.service_map();
+  for (const auto s : map) EXPECT_EQ(s, net::kInvalidSector);
+}
+
+TEST_F(LineModelTest, SnapshotRestoreRoundTrip) {
+  model_.freeze_uniform_ue_density();
+  const auto before_sinr = sinr_map(model_);
+  const auto snapshot = model_.snapshot();
+  model_.set_power(world_.west, 30.0);
+  model_.set_tilt(world_.east, -1);
+  model_.set_active(world_.west, false);
+  model_.restore(snapshot);
+  const auto after_sinr = sinr_map(model_);
+  ASSERT_EQ(before_sinr.size(), after_sinr.size());
+  for (std::size_t i = 0; i < before_sinr.size(); ++i) {
+    EXPECT_NEAR(before_sinr[i], after_sinr[i], 1e-9);
+  }
+  EXPECT_TRUE(model_.configuration() ==
+              model_.network().default_configuration());
+}
+
+TEST_F(LineModelTest, PowerProbeDetectsCoverageRecovery) {
+  model_.freeze_uniform_ue_density();
+  model_.set_active(world_.east, false);
+  // Cell 7 (7.5 cells from west, beyond the service range) sits below
+  // SINRmin at 40 dBm; +6 dB brings it back into service.
+  ASSERT_FALSE(model_.in_service(7));
+  EXPECT_TRUE(model_.power_delta_improves_rate(world_.west, 6.0, 7));
+  // +1 dB is not enough for cell 7 (8 dB short of the threshold)...
+  EXPECT_FALSE(model_.power_delta_improves_rate(world_.west, 1.0, 7));
+  // ...and cell 0 is already at top CQI with the same server and load.
+  EXPECT_FALSE(model_.power_delta_improves_rate(world_.west, 1.0, 0));
+  // Probing an off-air sector never qualifies.
+  EXPECT_FALSE(model_.power_delta_improves_rate(world_.east, 6.0, 7));
+  // A clamped-away delta never qualifies.
+  model_.set_power(world_.west, 46.0);
+  EXPECT_FALSE(model_.power_delta_improves_rate(world_.west, 1.0, 7));
+}
+
+TEST_F(LineModelTest, TiltProbeDetectsFarGain) {
+  model_.freeze_uniform_ue_density();
+  model_.set_active(world_.east, false);
+  // Uptilt adds 3 dB beyond half range: cell 7 moves from SINR ~ -8 dB to
+  // ~ -5 dB, crossing the service threshold.
+  ASSERT_FALSE(model_.in_service(7));
+  EXPECT_TRUE(model_.tilt_improves_rate(world_.west, -1, 7));
+  // Near cell 0 loses 3 dB but stays at top CQI: no rate change.
+  EXPECT_FALSE(model_.tilt_improves_rate(world_.west, -1, 0));
+  // Unchanged tilt never qualifies.
+  EXPECT_FALSE(model_.tilt_improves_rate(world_.west, 0, 7));
+}
+
+TEST_F(LineModelTest, UeDensityValidation) {
+  EXPECT_THROW(model_.set_ue_density(std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(AnalysisModel, RejectsNulls) {
+  LineWorld world{4, 3.0};
+  EXPECT_THROW(AnalysisModel(nullptr, world.provider.get()),
+               std::invalid_argument);
+  EXPECT_THROW(AnalysisModel(&world.network, nullptr), std::invalid_argument);
+}
+
+// Property test: a random sequence of incremental mutations must leave the
+// model in exactly the state a full rebuild computes.
+class IncrementalEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IncrementalEquivalence, MatchesFullRebuild) {
+  magus::data::MarketParams params = magus::testing::small_market_params();
+  params.seed = GetParam();
+  magus::data::Experiment experiment{params};
+  AnalysisModel& incremental = experiment.model();
+  incremental.freeze_uniform_ue_density();
+
+  util::Xoshiro256ss rng{GetParam() * 977 + 3};
+  const auto sector_count =
+      static_cast<std::int64_t>(experiment.network().sector_count());
+  for (int step = 0; step < 40; ++step) {
+    const auto sector =
+        static_cast<net::SectorId>(rng.uniform_int(0, sector_count - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        incremental.set_power(sector, rng.uniform(30.0, 49.0));
+        break;
+      case 1:
+        incremental.set_tilt(
+            sector, static_cast<int>(rng.uniform_int(-3, 3)));
+        break;
+      case 2:
+        incremental.set_active(sector, false);
+        break;
+      default:
+        incremental.set_active(sector, true);
+        break;
+    }
+  }
+
+  // Rebuild from scratch at the same configuration and compare.
+  AnalysisModel rebuilt{&experiment.market().network, &experiment.provider()};
+  rebuilt.set_configuration(incremental.configuration());
+  for (geo::GridIndex g = 0; g < incremental.cell_count(); ++g) {
+    EXPECT_EQ(incremental.serving_sector(g), rebuilt.serving_sector(g))
+        << "cell " << g;
+    const double a = incremental.sinr_db(g);
+    const double b = rebuilt.sinr_db(g);
+    if (std::isfinite(a) || std::isfinite(b)) {
+      // Incremental interference sums accumulate tiny floating-point
+      // drift; 1e-3 dB is far below any physically meaningful difference.
+      EXPECT_NEAR(a, b, 1e-3) << "cell " << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CoverageMap, StatsOnLineWorld) {
+  LineWorld world{10, 9.0};
+  AnalysisModel model{&world.network, world.provider.get()};
+  model.freeze_uniform_ue_density();
+  const CoverageStats stats = coverage_stats(model);
+  EXPECT_GT(stats.covered_grid_fraction, 0.0);
+  EXPECT_LE(stats.covered_grid_fraction, 1.0);
+  EXPECT_NEAR(stats.total_ue_count, 20.0, 1e-9);
+  EXPECT_EQ(stats.serving_sector_count, 2);
+  EXPECT_GT(stats.mean_rate_bps, 0.0);
+}
+
+TEST(HandoverDelta, CountsAndClassifies) {
+  const std::vector<net::SectorId> before = {0, 0, 1, 1, net::kInvalidSector};
+  const std::vector<net::SectorId> after = {0, 1, 1, net::kInvalidSector, 0};
+  const std::vector<double> ues = {5.0, 5.0, 5.0, 5.0, 5.0};
+  // Sector 0 on-air, sector 1 off-air at transition time.
+  const std::vector<bool> on_air = {true, false};
+  const HandoverDelta delta = handover_delta(before, after, ues, on_air);
+  // Cell 1: 0 -> 1, source 0 alive -> seamless.
+  // Cell 3: 1 -> none: lost service (a denial, not a handover).
+  // Cell 4: none -> 0: attach, not a handover.
+  EXPECT_DOUBLE_EQ(delta.seamless_ues, 5.0);
+  EXPECT_DOUBLE_EQ(delta.hard_ues, 0.0);
+  EXPECT_DOUBLE_EQ(delta.lost_service_ues, 5.0);
+  EXPECT_EQ(delta.changed_cells, 2);
+  EXPECT_DOUBLE_EQ(delta.total_ues(), 5.0);
+}
+
+TEST(HandoverDelta, SizeMismatchThrows) {
+  const std::vector<net::SectorId> a = {0};
+  const std::vector<net::SectorId> b = {0, 1};
+  const std::vector<double> ues = {1.0};
+  EXPECT_THROW((void)handover_delta(a, b, ues, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magus::model

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "net/configuration.h"
+#include "net/network.h"
+#include "net/ue_distribution.h"
+
+namespace magus::net {
+namespace {
+
+[[nodiscard]] Network three_site_network() {
+  Network network;
+  for (int site = 0; site < 3; ++site) {
+    for (int s = 0; s < 2; ++s) {
+      Sector sector;
+      sector.site = site;
+      sector.position = {site * 1000.0, 0.0};
+      sector.azimuth_deg = s * 180.0;
+      network.add_sector(sector);
+    }
+  }
+  return network;
+}
+
+TEST(Sector, ClampPowerAndTilt) {
+  Sector sector;
+  sector.min_power_dbm = 30.0;
+  sector.max_power_dbm = 49.0;
+  EXPECT_DOUBLE_EQ(sector.clamp_power(52.0), 49.0);
+  EXPECT_DOUBLE_EQ(sector.clamp_power(10.0), 30.0);
+  EXPECT_DOUBLE_EQ(sector.clamp_power(40.0), 40.0);
+  EXPECT_EQ(sector.clamp_tilt(100), sector.antenna.max_tilt_index);
+  EXPECT_EQ(sector.clamp_tilt(-100), sector.antenna.min_tilt_index);
+  EXPECT_EQ(sector.clamp_tilt(2), 2);
+}
+
+TEST(Network, AddAssignsDenseIds) {
+  const Network network = three_site_network();
+  EXPECT_EQ(network.sector_count(), 6u);
+  for (SectorId id = 0; id < 6; ++id) {
+    EXPECT_EQ(network.sector(id).id, id);
+  }
+}
+
+TEST(Network, SiteGrouping) {
+  const Network network = three_site_network();
+  EXPECT_EQ(network.sites().size(), 3u);
+  const auto at_site1 = network.sectors_at_site(1);
+  ASSERT_EQ(at_site1.size(), 2u);
+  for (const SectorId id : at_site1) {
+    EXPECT_EQ(network.sector(id).site, 1);
+  }
+}
+
+TEST(Network, NeighborsExcludeTargets) {
+  const Network network = three_site_network();
+  const SectorId targets[] = {0};
+  const auto neighbors = network.neighbors_of(targets, 1500.0);
+  // Site 0's co-located sector plus both of site 1's (1000 m away).
+  EXPECT_EQ(neighbors.size(), 3u);
+  for (const SectorId id : neighbors) EXPECT_NE(id, 0);
+}
+
+TEST(Network, NearestSectors) {
+  const Network network = three_site_network();
+  const auto nearest = network.nearest_sectors({2100.0, 0.0}, 2);
+  ASSERT_EQ(nearest.size(), 2u);
+  EXPECT_EQ(network.sector(nearest[0]).site, 2);
+  EXPECT_EQ(network.sector(nearest[1]).site, 2);
+  // Asking for more than exist returns all.
+  EXPECT_EQ(network.nearest_sectors({0, 0}, 100).size(), 6u);
+}
+
+TEST(Network, DefaultConfiguration) {
+  const Network network = three_site_network();
+  const Configuration config = network.default_configuration();
+  EXPECT_EQ(config.size(), 6u);
+  for (SectorId id = 0; id < 6; ++id) {
+    EXPECT_TRUE(config[id].active);
+    EXPECT_DOUBLE_EQ(config[id].power_dbm,
+                     network.sector(id).default_power_dbm);
+    EXPECT_EQ(config[id].tilt, 0);
+  }
+}
+
+TEST(Network, Subscribers) {
+  Network network = three_site_network();
+  network.set_subscribers(0, 100.0);
+  network.set_subscribers(5, 50.0);
+  EXPECT_DOUBLE_EQ(network.subscribers(0), 100.0);
+  EXPECT_DOUBLE_EQ(network.subscribers(1), 0.0);
+  EXPECT_DOUBLE_EQ(network.total_subscribers(), 150.0);
+}
+
+TEST(Network, NoiseFloorUsesCarrier) {
+  Network network{CarrierParams{lte::Bandwidth::kMhz10, 7.0}};
+  EXPECT_NEAR(network.noise_floor_dbm(), -97.46, 0.05);
+}
+
+TEST(Configuration, PowerDeltaClamps) {
+  const Network network = three_site_network();
+  const Configuration base = network.default_configuration();
+  const Sector& sector = network.sector(0);
+  const Configuration up = base.with_power_delta(sector, 100.0);
+  EXPECT_DOUBLE_EQ(up[0].power_dbm, sector.max_power_dbm);
+  const Configuration down = base.with_power_delta(sector, -100.0);
+  EXPECT_DOUBLE_EQ(down[0].power_dbm, sector.min_power_dbm);
+  // Other sectors untouched.
+  EXPECT_EQ(up[1], base[1]);
+}
+
+TEST(Configuration, TiltDeltaAndOnOff) {
+  const Network network = three_site_network();
+  const Configuration base = network.default_configuration();
+  const Configuration tilted = base.with_tilt_delta(network.sector(2), -3);
+  EXPECT_EQ(tilted[2].tilt, -3);
+  const Configuration off = base.with_sector_off(4);
+  EXPECT_FALSE(off[4].active);
+  const Configuration on = off.with_sector_on(4);
+  EXPECT_EQ(on, base);
+}
+
+TEST(Configuration, DiffAndMagnitude) {
+  const Network network = three_site_network();
+  const Configuration base = network.default_configuration();
+  Configuration other = base.with_power_delta(network.sector(1), 2.0);
+  other = other.with_sector_off(3);
+  const auto changed = base.diff(other);
+  ASSERT_EQ(changed.size(), 2u);
+  EXPECT_EQ(changed[0], 1);
+  EXPECT_EQ(changed[1], 3);
+  EXPECT_DOUBLE_EQ(base.change_magnitude(other), 3.0);  // 2 dB + 1 on/off
+  Configuration wrong_size{3};
+  EXPECT_THROW((void)base.diff(wrong_size), std::invalid_argument);
+}
+
+TEST(UeDistribution, UniformPerSector) {
+  Network network = three_site_network();
+  network.set_subscribers(0, 30.0);
+  network.set_subscribers(1, 10.0);
+  // 6 grids: first three served by sector 0, one by sector 1, two unserved.
+  const std::vector<SectorId> serving = {0, 0, 0, 1, kInvalidSector,
+                                         kInvalidSector};
+  const auto density = UeDistribution::uniform_per_sector(network, serving);
+  ASSERT_EQ(density.size(), 6u);
+  EXPECT_DOUBLE_EQ(density[0], 10.0);
+  EXPECT_DOUBLE_EQ(density[1], 10.0);
+  EXPECT_DOUBLE_EQ(density[2], 10.0);
+  EXPECT_DOUBLE_EQ(density[3], 10.0);
+  EXPECT_DOUBLE_EQ(density[4], 0.0);
+  EXPECT_DOUBLE_EQ(density[5], 0.0);
+}
+
+TEST(UeDistribution, HotspotsPreserveSectorTotals) {
+  Network network = three_site_network();
+  network.set_subscribers(0, 40.0);
+  const geo::GridMap grid{geo::Rect{{0, 0}, {400, 100}}, 100.0};
+  const std::vector<SectorId> serving = {0, 0, 0, 0};
+  const Hotspot hotspot{{50.0, 50.0}, 60.0, 5.0};  // first cell only
+  const auto density = UeDistribution::with_hotspots(
+      network, grid, serving, std::span{&hotspot, 1});
+  ASSERT_EQ(density.size(), 4u);
+  double total = 0.0;
+  for (const double d : density) total += d;
+  EXPECT_NEAR(total, 40.0, 1e-9);
+  // The hotspot cell holds 5x the weight of each other cell.
+  EXPECT_NEAR(density[0], 5.0 * density[1], 1e-9);
+}
+
+}  // namespace
+}  // namespace magus::net

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "radio/antenna.h"
+#include "radio/noise_floor.h"
+#include "radio/propagation.h"
+#include "terrain/terrain.h"
+
+namespace magus::radio {
+namespace {
+
+TEST(Antenna, BoresightPeakGain) {
+  const AntennaPattern pattern{AntennaParams{}};
+  // On boresight at the downtilt elevation the gain is the full 15 dBi.
+  const double tilt_elevation = -pattern.downtilt_deg(0);
+  EXPECT_NEAR(pattern.gain_dbi(0.0, tilt_elevation, 0), 15.0, 1e-9);
+}
+
+TEST(Antenna, HorizontalRollOff) {
+  const AntennaPattern pattern{AntennaParams{}};
+  const double el = -pattern.downtilt_deg(0);
+  const double on = pattern.gain_dbi(0.0, el, 0);
+  const double off30 = pattern.gain_dbi(30.0, el, 0);
+  const double off90 = pattern.gain_dbi(90.0, el, 0);
+  EXPECT_GT(on, off30);
+  EXPECT_GT(off30, off90);
+  // At the 3 dB beamwidth edge (32.5 deg), the loss is ~3 dB.
+  EXPECT_NEAR(pattern.gain_dbi(32.5, el, 0), on - 3.0, 0.1);
+  // Back lobe is bounded by the front-to-back ratio.
+  EXPECT_GE(pattern.gain_dbi(180.0, el, 0), 15.0 - 25.0 - 1e-9);
+}
+
+TEST(Antenna, VerticalRollOffAndSla) {
+  const AntennaPattern pattern{AntennaParams{}};
+  const double beam_el = -pattern.downtilt_deg(0);
+  const double on = pattern.gain_dbi(0.0, beam_el, 0);
+  const double off = pattern.gain_dbi(0.0, beam_el - 5.0, 0);  // 5 deg off
+  EXPECT_NEAR(on - off, 3.0, 0.1);  // half the 10-deg beamwidth -> 3 dB
+  // Far off-beam vertically, the loss saturates at SLA_v (20 dB).
+  const double deep = pattern.gain_dbi(0.0, beam_el - 60.0, 0);
+  EXPECT_NEAR(deep, 15.0 - 20.0, 1e-9);
+}
+
+TEST(Antenna, TiltShiftsTheBeam) {
+  const AntennaPattern pattern{AntennaParams{}};
+  // Uptilt (negative index) reduces downtilt: the beam points higher.
+  EXPECT_LT(pattern.downtilt_deg(-2), pattern.downtilt_deg(0));
+  EXPECT_GT(pattern.downtilt_deg(+2), pattern.downtilt_deg(0));
+  // A far grid (elevation ~ -0.5 deg) gains from uptilt when the base
+  // downtilt is 4 deg.
+  const double far_el = -0.5;
+  EXPECT_GT(pattern.gain_dbi(0.0, far_el, -2),
+            pattern.gain_dbi(0.0, far_el, 0));
+  // A close grid (elevation steeply below) loses from uptilt.
+  const double close_el = -15.0;
+  EXPECT_LT(pattern.gain_dbi(0.0, close_el, -2),
+            pattern.gain_dbi(0.0, close_el, 0));
+}
+
+TEST(Antenna, TiltSettingCount) {
+  AntennaParams params;
+  params.min_tilt_index = -8;
+  params.max_tilt_index = 8;
+  const AntennaPattern pattern{params};
+  // 16 settings besides the normal case, like the paper's Atoll data.
+  EXPECT_EQ(pattern.tilt_setting_count(), 17);
+}
+
+TEST(Antenna, RejectsBadParams) {
+  AntennaParams params;
+  params.horizontal_beamwidth_deg = 0.0;
+  EXPECT_THROW(AntennaPattern{params}, std::invalid_argument);
+  AntennaParams params2;
+  params2.min_tilt_index = 3;
+  params2.max_tilt_index = -3;
+  EXPECT_THROW(AntennaPattern{params2}, std::invalid_argument);
+}
+
+TEST(NoiseFloor, KnownValues) {
+  // 9 MHz occupied (10 MHz LTE), NF 7: -174 + 69.54 + 7 = -97.46 dBm.
+  EXPECT_NEAR(noise_floor_dbm(9e6, 7.0), -97.46, 0.05);
+  EXPECT_NEAR(lte_noise_floor_dbm(10.0), -97.46, 0.05);
+  EXPECT_THROW((void)noise_floor_dbm(0.0, 7.0), std::invalid_argument);
+}
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  PropagationTest()
+      : terrain_(1, flat_params()), model_(&terrain_, SpmParams{}) {}
+
+  static terrain::TerrainParams flat_params() {
+    terrain::TerrainParams params;
+    params.elevation_range_m = 0.0;     // flat
+    params.shadowing_stddev_db = 0.0;   // deterministic
+    params.urban_core_radius_m = 0.0;
+    return params;
+  }
+
+  terrain::Terrain terrain_;
+  PropagationModel model_;
+};
+
+TEST_F(PropagationTest, LossGrowsWithDistance) {
+  const TransmitterSite tx{{0, 0}, 30.0, 0.0};
+  double previous = 0.0;
+  bool first = true;
+  for (double d = 200.0; d <= 20000.0; d *= 2.0) {
+    const double gain = model_.isotropic_path_gain_db(tx, {0.0, d});
+    EXPECT_LT(gain, -60.0);
+    if (!first) {
+      EXPECT_LT(gain, previous);
+    }
+    previous = gain;
+    first = false;
+  }
+}
+
+TEST_F(PropagationTest, PaperMagnitudeRange) {
+  // The paper reports path loss from about -20 dB close in to -200 dB at
+  // the 30 km boundary; our gains must live in that envelope.
+  const TransmitterSite tx{{0, 0}, 30.0, 0.0};
+  const double near = model_.isotropic_path_gain_db(tx, {0.0, 100.0});
+  const double far = model_.isotropic_path_gain_db(tx, {0.0, 30000.0});
+  EXPECT_GT(near, -110.0);
+  EXPECT_LT(near, -20.0);
+  EXPECT_LT(far, -130.0);
+  EXPECT_GT(far, -210.0);
+}
+
+TEST_F(PropagationTest, DirectionalGainFollowsAzimuth) {
+  const TransmitterSite tx{{0, 0}, 30.0, 0.0};  // boresight north
+  const AntennaPattern antenna{AntennaParams{}};
+  const double ahead =
+      model_.path_gain_db(tx, antenna, 0, {0.0, 2000.0});
+  const double behind =
+      model_.path_gain_db(tx, antenna, 0, {0.0, -2000.0});
+  EXPECT_GT(ahead, behind + 15.0);  // front-to-back dominates
+}
+
+TEST_F(PropagationTest, CachedPathMatchesDirectOnFlatTerrain) {
+  const geo::GridMap grid{geo::Rect{{0, 0}, {3000, 3000}}, 100.0};
+  const terrain::TerrainGridCache cache{terrain_, grid};
+  const TransmitterSite tx{{1500, 1500}, 30.0, 45.0};
+  const AntennaPattern antenna{AntennaParams{}};
+  for (geo::GridIndex g = 0; g < grid.cell_count(); g += 53) {
+    const double direct =
+        model_.path_gain_db(tx, antenna, 0, grid.center_of(g));
+    const double cached = model_.path_gain_db_cached(tx, antenna, 0, g, cache);
+    EXPECT_NEAR(direct, cached, 0.2);  // flat terrain: only sampling differs
+  }
+}
+
+TEST_F(PropagationTest, RejectsNullTerrain) {
+  EXPECT_THROW(PropagationModel(nullptr, SpmParams{}), std::invalid_argument);
+}
+
+TEST(PropagationShadowed, ShadowingPerturbsGains) {
+  terrain::TerrainParams params;
+  params.elevation_range_m = 0.0;
+  params.shadowing_stddev_db = 8.0;
+  const terrain::Terrain terrain{5, params};
+  const PropagationModel model{&terrain, SpmParams{}};
+  const TransmitterSite tx{{0, 0}, 30.0, 0.0};
+  // Two receivers at the same distance but different locations must see
+  // different gains (the irregular contours of Figure 3).
+  const double g1 = model.isotropic_path_gain_db(tx, {0.0, 5000.0});
+  const double g2 = model.isotropic_path_gain_db(tx, {5000.0, 0.0});
+  EXPECT_GT(std::abs(g1 - g2), 0.5);
+}
+
+}  // namespace
+}  // namespace magus::radio

@@ -1,0 +1,102 @@
+// Property sweeps on the discrete-event layer: conservation of UEs through
+// the migration simulator across randomized plans, and signaling totals
+// matching the per-kind message budget exactly.
+#include <gtest/gtest.h>
+
+#include "sim/migration_sim.h"
+#include "util/rng.h"
+
+namespace magus::sim {
+namespace {
+
+/// Random sequence of service maps over `cells` cells and `sectors`
+/// sectors, with the last snapshot turning sector 0 off.
+[[nodiscard]] std::vector<ServiceSnapshot> random_snapshots(
+    std::uint64_t seed, int cells, int sectors, int steps) {
+  util::Xoshiro256ss rng{seed};
+  std::vector<ServiceSnapshot> snapshots;
+  std::vector<net::SectorId> map(static_cast<std::size_t>(cells));
+  for (auto& s : map) {
+    s = static_cast<net::SectorId>(rng.uniform_int(0, sectors - 1));
+  }
+  for (int step = 0; step <= steps; ++step) {
+    const bool final_step = step == steps;
+    ServiceSnapshot snap;
+    snap.on_air.assign(static_cast<std::size_t>(sectors), true);
+    if (final_step) snap.on_air[0] = false;
+    if (step > 0) {
+      // Mutate a few cells: move them to another sector or drop service.
+      for (int k = 0; k < cells / 4; ++k) {
+        const auto cell =
+            static_cast<std::size_t>(rng.uniform_int(0, cells - 1));
+        const auto draw = rng.uniform_int(0, sectors);
+        map[cell] = draw == sectors
+                        ? net::kInvalidSector
+                        : static_cast<net::SectorId>(draw);
+      }
+      if (final_step) {
+        // Sector 0's remaining cells must land somewhere else or nowhere.
+        for (auto& s : map) {
+          if (s == 0) {
+            s = rng.uniform() < 0.7
+                    ? static_cast<net::SectorId>(
+                          rng.uniform_int(1, sectors - 1))
+                    : net::kInvalidSector;
+          }
+        }
+      }
+    }
+    snap.service_map = map;
+    snap.utility = 100.0 - step;
+    snapshots.push_back(std::move(snap));
+  }
+  return snapshots;
+}
+
+class MigrationProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationProperties, UeConservationAndSignalingBudget) {
+  const int cells = 40;
+  const std::vector<double> ues(cells, 2.5);
+  const auto snapshots = random_snapshots(GetParam(), cells, 4, 6);
+
+  const MigrationSimulator sim;
+  const auto result = sim.simulate(snapshots, ues, 30.0);
+  ASSERT_EQ(result.steps.size(), snapshots.size() - 1);
+
+  // Per-step classification adds up, and the totals match the steps.
+  double seamless = 0.0;
+  double hard = 0.0;
+  for (const auto& step : result.steps) {
+    EXPECT_NEAR(step.simultaneous_ues, step.seamless_ues + step.hard_ues,
+                1e-9);
+    seamless += step.seamless_ues;
+    hard += step.hard_ues;
+  }
+  EXPECT_NEAR(result.total_handover_ues, seamless + hard, 1e-9);
+  if (result.total_handover_ues > 0.0) {
+    EXPECT_NEAR(result.seamless_fraction,
+                seamless / result.total_handover_ues, 1e-9);
+  }
+
+  // Signaling budget: every seamless UE contributes exactly 5 messages
+  // (measurement, request, ack, RRC, path switch); every hard UE exactly 3
+  // (reattach, RRC, path switch).
+  EXPECT_NEAR(result.total_signaling.total(), 5.0 * seamless + 3.0 * hard,
+              1e-6);
+  EXPECT_NEAR(result.total_signaling.measurement_reports, seamless, 1e-6);
+  EXPECT_NEAR(result.total_signaling.reattach_attempts, hard, 1e-6);
+
+  // Outage only from hard handovers.
+  if (hard == 0.0) {
+    EXPECT_DOUBLE_EQ(result.total_outage_ue_seconds, 0.0);
+  } else {
+    EXPECT_GT(result.total_outage_ue_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationProperties,
+                         ::testing::Values(31, 32, 33, 34, 35, 36));
+
+}  // namespace
+}  // namespace magus::sim

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/handover_fsm.h"
+#include "sim/migration_sim.h"
+
+namespace magus::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] {
+    ++fired;
+    queue.schedule_in(0.5, [&] { ++fired; });
+  });
+  EXPECT_EQ(queue.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 1.5);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RejectsPastAndNegative) {
+  EventQueue queue;
+  queue.schedule_at(2.0, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule_in(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(HandoverFsm, SeamlessMessageAccounting) {
+  EventQueue queue;
+  SignalingCounters counters;
+  std::vector<HandoverOutcome> outcomes;
+  const HandoverProcedure procedure;
+  procedure.start(queue, HandoverKind::kSeamless, 3.0, &counters, &outcomes);
+  queue.run();
+  EXPECT_DOUBLE_EQ(counters.measurement_reports, 3.0);
+  EXPECT_DOUBLE_EQ(counters.handover_requests, 3.0);
+  EXPECT_DOUBLE_EQ(counters.handover_acks, 3.0);
+  EXPECT_DOUBLE_EQ(counters.rrc_messages, 3.0);
+  EXPECT_DOUBLE_EQ(counters.path_switches, 3.0);
+  EXPECT_DOUBLE_EQ(counters.reattach_attempts, 0.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, HandoverKind::kSeamless);
+  EXPECT_DOUBLE_EQ(outcomes[0].outage_s, 0.0);
+  EXPECT_NEAR(outcomes[0].completed_at - outcomes[0].started_at,
+              procedure.duration_s(HandoverKind::kSeamless), 1e-9);
+}
+
+TEST(HandoverFsm, HardHandoverCostsOutage) {
+  EventQueue queue;
+  SignalingCounters counters;
+  std::vector<HandoverOutcome> outcomes;
+  const HandoverProcedure procedure;
+  procedure.start(queue, HandoverKind::kHard, 2.0, &counters, &outcomes);
+  queue.run();
+  EXPECT_DOUBLE_EQ(counters.measurement_reports, 0.0);
+  EXPECT_DOUBLE_EQ(counters.reattach_attempts, 2.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_GT(outcomes[0].outage_s, 0.5);  // at least the RLF timer
+  EXPECT_GT(procedure.duration_s(HandoverKind::kHard),
+            procedure.duration_s(HandoverKind::kSeamless));
+}
+
+TEST(HandoverFsm, ZeroWeightIsNoOp) {
+  EventQueue queue;
+  SignalingCounters counters;
+  std::vector<HandoverOutcome> outcomes;
+  HandoverProcedure{}.start(queue, HandoverKind::kSeamless, 0.0, &counters,
+                            &outcomes);
+  EXPECT_EQ(queue.run(), 0u);
+  EXPECT_TRUE(outcomes.empty());
+}
+
+TEST(HandoverFsm, CountersAccumulate) {
+  SignalingCounters a;
+  a.rrc_messages = 2.0;
+  SignalingCounters b;
+  b.rrc_messages = 3.0;
+  b.path_switches = 1.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.rrc_messages, 5.0);
+  EXPECT_DOUBLE_EQ(a.total(), 6.0);
+}
+
+class MigrationSimTest : public ::testing::Test {
+ protected:
+  /// Two sectors, four cells; snapshots move cells from sector 0 to 1.
+  static ServiceSnapshot snapshot(std::vector<net::SectorId> map,
+                                  std::vector<bool> on_air, double utility) {
+    return ServiceSnapshot{std::move(map), std::move(on_air), utility};
+  }
+};
+
+TEST_F(MigrationSimTest, GradualSpreadsHandovers) {
+  const std::vector<double> ues = {10.0, 10.0, 10.0, 10.0};
+  // Direct: all four cells move at once (source still on-air).
+  const std::vector<ServiceSnapshot> direct = {
+      snapshot({0, 0, 0, 0}, {true, true}, 5.0),
+      snapshot({1, 1, 1, 1}, {true, true}, 4.0),
+  };
+  // Gradual: one cell per step.
+  const std::vector<ServiceSnapshot> gradual = {
+      snapshot({0, 0, 0, 0}, {true, true}, 5.0),
+      snapshot({1, 0, 0, 0}, {true, true}, 4.8),
+      snapshot({1, 1, 0, 0}, {true, true}, 4.6),
+      snapshot({1, 1, 1, 0}, {true, true}, 4.4),
+      snapshot({1, 1, 1, 1}, {true, true}, 4.0),
+  };
+  const MigrationSimulator sim;
+  const auto direct_result = sim.simulate(direct, ues, 60.0);
+  const auto gradual_result = sim.simulate(gradual, ues, 60.0);
+
+  EXPECT_DOUBLE_EQ(direct_result.max_simultaneous_ues, 40.0);
+  EXPECT_DOUBLE_EQ(gradual_result.max_simultaneous_ues, 10.0);
+  EXPECT_DOUBLE_EQ(direct_result.total_handover_ues,
+                   gradual_result.total_handover_ues);
+  EXPECT_DOUBLE_EQ(gradual_result.seamless_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(gradual_result.total_outage_ue_seconds, 0.0);
+  // Same signaling total either way: the same UEs move.
+  EXPECT_NEAR(direct_result.total_signaling.total(),
+              gradual_result.total_signaling.total(), 1e-9);
+}
+
+TEST_F(MigrationSimTest, DeadSourceForcesHardHandovers) {
+  const std::vector<double> ues = {10.0, 10.0};
+  const std::vector<ServiceSnapshot> snaps = {
+      snapshot({0, 0}, {true, true}, 5.0),
+      snapshot({1, 1}, {false, true}, 4.0),  // sector 0 already dark
+  };
+  const MigrationSimulator sim;
+  const auto result = sim.simulate(snaps, ues, 60.0);
+  EXPECT_DOUBLE_EQ(result.seamless_fraction, 0.0);
+  EXPECT_GT(result.total_outage_ue_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.total_signaling.reattach_attempts, 20.0);
+}
+
+TEST_F(MigrationSimTest, ValidatesInput) {
+  const MigrationSimulator sim;
+  EXPECT_THROW((void)sim.simulate({}, {}, 1.0), std::invalid_argument);
+  const std::vector<double> ues = {1.0};
+  const std::vector<ServiceSnapshot> bad = {
+      snapshot({0, 1}, {true, true}, 1.0),
+      snapshot({1, 0}, {true, true}, 1.0),
+  };
+  EXPECT_THROW((void)sim.simulate(bad, ues, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magus::sim

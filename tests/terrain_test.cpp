@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "terrain/noise.h"
+#include "terrain/terrain.h"
+#include "util/stats.h"
+
+namespace magus::terrain {
+namespace {
+
+TEST(ValueNoise, DeterministicAndBounded) {
+  const ValueNoise a{7};
+  const ValueNoise b{7};
+  const ValueNoise c{8};
+  bool any_diff = false;
+  for (double x = 0.0; x < 5.0; x += 0.37) {
+    for (double y = 0.0; y < 5.0; y += 0.41) {
+      const double v = a.sample(x, y);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, b.sample(x, y));
+      any_diff |= std::abs(v - c.sample(x, y)) > 1e-9;
+    }
+  }
+  EXPECT_TRUE(any_diff);  // different seeds give different fields
+}
+
+TEST(ValueNoise, SmoothBetweenLatticePoints) {
+  const ValueNoise noise{3};
+  // Sampling two nearby points should give nearby values (continuity).
+  const double v1 = noise.sample(2.500, 3.500);
+  const double v2 = noise.sample(2.501, 3.500);
+  EXPECT_NEAR(v1, v2, 0.01);
+}
+
+TEST(ValueNoise, FbmBoundedAndDeterministic) {
+  const ValueNoise noise{5};
+  for (double x = 0.0; x < 3.0; x += 0.5) {
+    const double v = noise.fbm(x, 1.3, 4);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    EXPECT_DOUBLE_EQ(v, noise.fbm(x, 1.3, 4));
+  }
+}
+
+TEST(Clutter, LossOrdering) {
+  EXPECT_LT(clutter_loss_db(ClutterClass::kWater),
+            clutter_loss_db(ClutterClass::kOpen) + 1e-9);
+  EXPECT_LT(clutter_loss_db(ClutterClass::kOpen),
+            clutter_loss_db(ClutterClass::kResidential));
+  EXPECT_LT(clutter_loss_db(ClutterClass::kResidential),
+            clutter_loss_db(ClutterClass::kUrban));
+  EXPECT_LT(clutter_loss_db(ClutterClass::kUrban),
+            clutter_loss_db(ClutterClass::kDenseUrban));
+  EXPECT_EQ(clutter_name(ClutterClass::kForest), "forest");
+}
+
+TEST(Terrain, ElevationWithinRange) {
+  TerrainParams params;
+  params.elevation_range_m = 100.0;
+  const Terrain terrain{42, params};
+  for (double x = 0.0; x < 20000.0; x += 1700.0) {
+    const double e = terrain.elevation_m({x, x / 2.0});
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 100.0);
+  }
+}
+
+TEST(Terrain, UrbanCoreDensifiesClutter) {
+  TerrainParams params;
+  params.urban_core = {15000.0, 15000.0};
+  params.urban_core_radius_m = 8000.0;
+  const Terrain terrain{1, params};
+  // At the very center, clutter should be urban-ish; far away it must not
+  // be dense urban.
+  const ClutterClass center = terrain.clutter_at({15000.0, 15000.0});
+  EXPECT_GE(static_cast<int>(center),
+            static_cast<int>(ClutterClass::kResidential));
+  const ClutterClass far = terrain.clutter_at({100000.0, 100000.0});
+  EXPECT_LT(static_cast<int>(far), static_cast<int>(ClutterClass::kUrban));
+}
+
+TEST(Terrain, ShadowingRoughlyZeroMeanWithConfiguredSpread) {
+  TerrainParams params;
+  params.shadowing_stddev_db = 6.0;
+  const Terrain terrain{9, params};
+  util::RunningStats stats;
+  for (double x = 0.0; x < 30000.0; x += 97.0) {
+    for (double y = 0.0; y < 3000.0; y += 331.0) {
+      stats.add(terrain.shadowing_db({x, y}));
+    }
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 1.0);
+  EXPECT_NEAR(stats.stddev(), 6.0, 2.5);
+}
+
+TEST(Terrain, DiffractionZeroOverFlatGround) {
+  TerrainParams params;
+  params.elevation_range_m = 0.0;  // flat world
+  const Terrain terrain{3, params};
+  EXPECT_DOUBLE_EQ(
+      terrain.diffraction_loss_db({0, 0}, 30.0, {5000, 0}, 1.5), 0.0);
+}
+
+TEST(Terrain, DiffractionNonNegativeAndCapped) {
+  TerrainParams params;
+  params.elevation_range_m = 300.0;
+  const Terrain terrain{4, params};
+  for (double x = 1000.0; x < 20000.0; x += 2000.0) {
+    const double d =
+        terrain.diffraction_loss_db({0, 0}, 30.0, {x, x / 3.0}, 1.5);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 30.0);
+  }
+}
+
+TEST(TerrainGridCache, MatchesDirectSamples) {
+  TerrainParams params;
+  const Terrain terrain{11, params};
+  const geo::GridMap grid{geo::Rect{{0, 0}, {2000, 2000}}, 100.0};
+  const TerrainGridCache cache{terrain, grid};
+  for (geo::GridIndex g = 0; g < grid.cell_count(); g += 37) {
+    const geo::Point c = grid.center_of(g);
+    EXPECT_NEAR(cache.elevation_of(g), terrain.elevation_m(c), 1e-3);
+    EXPECT_NEAR(cache.clutter_loss_of(g),
+                clutter_loss_db(terrain.clutter_at(c)), 1e-3);
+    EXPECT_NEAR(cache.shadowing_of(g), terrain.shadowing_db(c), 1e-3);
+  }
+}
+
+TEST(TerrainGridCache, BilinearInterpolatesAtCenters) {
+  TerrainParams params;
+  const Terrain terrain{13, params};
+  const geo::GridMap grid{geo::Rect{{0, 0}, {2000, 2000}}, 100.0};
+  const TerrainGridCache cache{terrain, grid};
+  // At a cell center, elevation_at must equal the cached cell value.
+  const geo::GridIndex g = grid.at(5, 7);
+  EXPECT_NEAR(cache.elevation_at(grid.center_of(g)), cache.elevation_of(g),
+              1e-6);
+  // Between two centers, the value must lie between them.
+  const geo::GridIndex g2 = grid.at(6, 7);
+  const double mid = cache.elevation_at({650.0, 750.0});
+  const double lo = std::min(cache.elevation_of(g), cache.elevation_of(g2));
+  const double hi = std::max(cache.elevation_of(g), cache.elevation_of(g2));
+  EXPECT_GE(mid, lo - 1e-9);
+  EXPECT_LE(mid, hi + 1e-9);
+}
+
+}  // namespace
+}  // namespace magus::terrain

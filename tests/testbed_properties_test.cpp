@@ -1,0 +1,80 @@
+// Property sweeps on the §3 testbed emulation: the Figure 2 methodology
+// must produce the paper's orderings for any emulation seed, not just the
+// one the bench prints.
+#include <gtest/gtest.h>
+
+#include "testbed/scenarios.h"
+
+namespace magus::testbed {
+namespace {
+
+class ScenarioSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static ScenarioOptions fast_options() {
+    ScenarioOptions options;
+    options.levels = {1, 5, 10, 15, 20, 25, 30};  // coarse grid for speed
+    return options;
+  }
+};
+
+TEST_P(ScenarioSeedSweep, Scenario1OrderingHoldsForAnySeed) {
+  int target = -1;
+  Testbed bed = make_scenario1(GetParam(), &target);
+  const auto result =
+      run_scenario(std::move(bed), target, "sweep1", fast_options());
+  // The §2 inequality chain: f(C_before) > f(C_after) >= f(C_upgrade).
+  EXPECT_GT(result.f_before, result.f_upgrade) << "seed " << GetParam();
+  EXPECT_GE(result.f_after, result.f_upgrade) << "seed " << GetParam();
+  EXPECT_GE(result.f_before, result.f_after) << "seed " << GetParam();
+  // Proactive dominates reactive dominates no-tuning pointwise after the
+  // upgrade instant.
+  for (std::size_t i = 0; i < result.time_steps.size(); ++i) {
+    if (result.time_steps[i] < 0) continue;
+    EXPECT_GE(result.proactive[i] + 1e-9, result.reactive[i]);
+    EXPECT_GE(result.reactive[i] + 1e-9, result.no_tuning[i]);
+  }
+  // Reactive converges to the tuned configuration.
+  EXPECT_NEAR(result.reactive.back(), result.f_after, 1e-9);
+}
+
+TEST_P(ScenarioSeedSweep, Scenario2SurvivorBalanceHoldsForAnySeed) {
+  int target = -1;
+  Testbed bed = make_scenario2(GetParam(), &target);
+  const auto result =
+      run_scenario(std::move(bed), target, "sweep2", fast_options());
+  EXPECT_GT(result.f_before, result.f_upgrade);
+  EXPECT_GE(result.f_after, result.f_upgrade);
+  // Tuning helps: the optimal C_after beats the stale C_before settings.
+  EXPECT_GT(result.f_after, result.f_upgrade - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioSeedSweep,
+                         ::testing::Values(7, 8, 9, 10, 11));
+
+TEST(TestbedDeterminism, SameSeedSameUtility) {
+  int t1 = -1;
+  int t2 = -1;
+  Testbed a = make_scenario2(5, &t1);
+  Testbed b = make_scenario2(5, &t2);
+  EXPECT_DOUBLE_EQ(a.utility(), b.utility());
+  a.set_attenuation(0, 10);
+  b.set_attenuation(0, 10);
+  EXPECT_DOUBLE_EQ(a.utility(), b.utility());
+}
+
+TEST(TestbedMonotonicity, RemovingInterferenceNeverHurtsIsolatedUe) {
+  // One eNodeB + its UE, plus a far interferer: turning the interferer off
+  // can only raise the UE's SINR.
+  Testbed bed{TestbedParams{}, 3};
+  const int serving = bed.add_enodeb({0, 10});
+  const int interferer = bed.add_enodeb({45, 10});
+  const int ue = bed.add_ue({4, 10});
+  bed.set_attenuation(serving, 1);
+  bed.set_attenuation(interferer, 1);
+  const double with_interference = bed.sinr_db(ue);
+  bed.set_online(interferer, false);
+  EXPECT_GE(bed.sinr_db(ue), with_interference);
+}
+
+}  // namespace
+}  // namespace magus::testbed

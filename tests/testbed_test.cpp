@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testbed/scenarios.h"
+#include "testbed/testbed.h"
+
+namespace magus::testbed {
+namespace {
+
+TEST(IndoorPropagation, LossGrowsWithDistance) {
+  const IndoorPropagation prop{IndoorParams{}, 1};
+  const double near = prop.path_gain_db({0, 0}, {2, 0}, 1);
+  const double far = prop.path_gain_db({0, 0}, {40, 0}, 1);
+  EXPECT_GT(near, far + 20.0);
+  EXPECT_LT(near, 0.0);
+}
+
+TEST(IndoorPropagation, DeterministicPerLink) {
+  const IndoorPropagation a{IndoorParams{}, 1};
+  const IndoorPropagation b{IndoorParams{}, 1};
+  EXPECT_DOUBLE_EQ(a.path_gain_db({0, 0}, {10, 5}, 7),
+                   b.path_gain_db({0, 0}, {10, 5}, 7));
+  // Different links at the same geometry differ by multipath.
+  EXPECT_NE(a.path_gain_db({0, 0}, {10, 5}, 7),
+            a.path_gain_db({0, 0}, {10, 5}, 8));
+}
+
+TEST(Testbed, AttenuatorMapsToPower) {
+  Testbed testbed;
+  const int enb = testbed.add_enodeb({0, 0});
+  testbed.set_attenuation(enb, 1);
+  EXPECT_DOUBLE_EQ(testbed.tx_power_dbm(enb), 21.0);  // max power ~125 mW
+  testbed.set_attenuation(enb, 30);
+  EXPECT_DOUBLE_EQ(testbed.tx_power_dbm(enb), 21.0 - 29.0);
+  testbed.set_attenuation(enb, 99);  // clamped
+  EXPECT_EQ(testbed.attenuation(enb), 30);
+  testbed.set_attenuation(enb, 0);
+  EXPECT_EQ(testbed.attenuation(enb), 1);
+}
+
+TEST(Testbed, UesAttachToStrongestOnlineCell) {
+  Testbed testbed;
+  const int a = testbed.add_enodeb({0, 10});
+  const int b = testbed.add_enodeb({40, 10});
+  const int ue = testbed.add_ue({5, 10});  // near a
+  testbed.set_attenuation(a, 1);
+  testbed.set_attenuation(b, 1);
+  EXPECT_EQ(testbed.serving_enodeb(ue), a);
+  testbed.set_online(a, false);
+  EXPECT_EQ(testbed.serving_enodeb(ue), b);
+  testbed.set_online(b, false);
+  EXPECT_EQ(testbed.serving_enodeb(ue), -1);
+  EXPECT_DOUBLE_EQ(testbed.tcp_throughput_mbps(ue), 0.0);
+}
+
+TEST(Testbed, ThroughputSharedAmongAttachedUes) {
+  Testbed testbed;
+  const int a = testbed.add_enodeb({0, 10});
+  testbed.set_attenuation(a, 1);
+  const int u1 = testbed.add_ue({3, 10});
+  const double alone = testbed.tcp_throughput_mbps(u1);
+  ASSERT_GT(alone, 0.0);
+  const int u2 = testbed.add_ue({4, 11});
+  (void)u2;
+  const double shared = testbed.tcp_throughput_mbps(u1);
+  EXPECT_NEAR(shared, alone / 2.0, alone * 0.3);
+}
+
+TEST(Testbed, UtilityIsSumLog10Mbps) {
+  Testbed testbed;
+  const int a = testbed.add_enodeb({0, 10});
+  testbed.set_attenuation(a, 1);
+  const int u1 = testbed.add_ue({3, 10});
+  const int u2 = testbed.add_ue({10, 10});
+  const double expected = std::log10(testbed.tcp_throughput_mbps(u1)) +
+                          std::log10(testbed.tcp_throughput_mbps(u2));
+  EXPECT_NEAR(testbed.utility(), expected, 1e-9);
+}
+
+TEST(Testbed, ExhaustiveBestFindsSingleCellOptimum) {
+  // One cell, no interference: minimum attenuation (max power) must win.
+  Testbed testbed;
+  const int a = testbed.add_enodeb({0, 10});
+  testbed.add_ue({25, 10});  // far enough that power matters
+  const int tunable[] = {a};
+  const int levels[] = {1, 10, 20, 30};
+  const auto best = testbed.exhaustive_best(tunable, levels);
+  EXPECT_EQ(best.combinations, 4);
+  EXPECT_EQ(best.attenuations[static_cast<std::size_t>(a)], 1);
+}
+
+TEST(Testbed, UtilityForValidatesSize) {
+  Testbed testbed;
+  testbed.add_enodeb({0, 0});
+  const std::vector<int> wrong = {1, 2};
+  EXPECT_THROW((void)testbed.utility_for(wrong), std::invalid_argument);
+}
+
+TEST(Scenarios, Scenario1ShapeMatchesPaper) {
+  int target = -1;
+  Testbed testbed = make_scenario1(7, &target);
+  EXPECT_EQ(testbed.enodeb_count(), 2);
+  EXPECT_EQ(testbed.ue_count(), 3);
+  ASSERT_EQ(target, 1);
+
+  ScenarioOptions options;
+  options.levels = {1, 5, 10, 15, 20, 25, 30};  // coarse for speed
+  const auto result = run_scenario(std::move(testbed), target, "sc1", options);
+
+  // The paper's ordering: f_before > f_after >= f_upgrade.
+  EXPECT_GT(result.f_before, result.f_after);
+  EXPECT_GE(result.f_after, result.f_upgrade);
+  // With the only interferer gone, the survivor should run at (near) max
+  // power in C_after.
+  EXPECT_LE(result.attenuation_after[0], 5);
+
+  // Timeline invariants.
+  ASSERT_EQ(result.time_steps.size(), result.no_tuning.size());
+  ASSERT_EQ(result.time_steps.size(), result.proactive.size());
+  ASSERT_EQ(result.time_steps.size(), result.reactive.size());
+  for (std::size_t i = 0; i < result.time_steps.size(); ++i) {
+    if (result.time_steps[i] >= 0) {
+      // Proactive is at f_after from the upgrade moment on; reactive and
+      // no-tuning never beat it on the way.
+      EXPECT_GE(result.proactive[i] + 1e-9, result.reactive[i]);
+      EXPECT_GE(result.reactive[i] + 1e-9, result.no_tuning[i]);
+    }
+  }
+  // Reactive eventually converges to f_after.
+  EXPECT_NEAR(result.reactive.back(), result.f_after, 1e-9);
+}
+
+TEST(Scenarios, Scenario2InterferenceMakesTuningNontrivial) {
+  int target = -1;
+  Testbed testbed = make_scenario2(7, &target);
+  EXPECT_EQ(testbed.enodeb_count(), 3);
+  EXPECT_EQ(testbed.ue_count(), 5);
+
+  ScenarioOptions options;
+  options.levels = {1, 5, 10, 15, 20, 25, 30};
+  const auto result = run_scenario(std::move(testbed), target, "sc2", options);
+  EXPECT_GT(result.f_before, result.f_upgrade);
+  EXPECT_GT(result.f_after, result.f_upgrade);
+  // With interference between the survivors, at least one of them should
+  // NOT sit at maximum power (paper Scenario 2's key observation). Check
+  // that the pair isn't (1, 1).
+  const int att1 = result.attenuation_after[0];
+  const int att3 = result.attenuation_after[2];
+  EXPECT_TRUE(att1 > 1 || att3 > 1)
+      << "att1=" << att1 << " att3=" << att3;
+}
+
+}  // namespace
+}  // namespace magus::testbed

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "traffic/campaign.h"
+#include "traffic/profile.h"
+#include "traffic/window_planner.h"
+
+namespace magus::traffic {
+namespace {
+
+TEST(HourOfWeek, DayHourAndLabels) {
+  EXPECT_EQ(HourOfWeek{0}.day(), 0);
+  EXPECT_EQ(HourOfWeek{0}.label(), "Mon 00:00");
+  EXPECT_EQ(HourOfWeek{26}.day(), 1);
+  EXPECT_EQ(HourOfWeek{26}.hour_of_day(), 2);
+  EXPECT_EQ(HourOfWeek{167}.label(), "Sun 23:00");
+  EXPECT_EQ(HourOfWeek{167}.next(), HourOfWeek{0});  // wraps
+}
+
+TEST(TrafficProfile, FlatDefault) {
+  const TrafficProfile flat;
+  for (int h = 0; h < kHoursPerWeek; h += 13) {
+    EXPECT_DOUBLE_EQ(flat.multiplier(HourOfWeek{h}), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(flat.mean_over(HourOfWeek{100}, 6), 1.0);
+}
+
+TEST(TrafficProfile, NormalizedToUnitMean) {
+  for (const TrafficProfile& profile :
+       {TrafficProfile::metropolitan(), TrafficProfile::always_busy(),
+        TrafficProfile::business_district()}) {
+    double sum = 0.0;
+    for (int h = 0; h < kHoursPerWeek; ++h) {
+      const double m = profile.multiplier(HourOfWeek{h});
+      EXPECT_GT(m, 0.0);
+      sum += m;
+    }
+    EXPECT_NEAR(sum / kHoursPerWeek, 1.0, 1e-9);
+  }
+}
+
+TEST(TrafficProfile, MetropolitanShape) {
+  const TrafficProfile metro = TrafficProfile::metropolitan();
+  // Tuesday 19:00 (evening peak) is far busier than Tuesday 03:00.
+  const HourOfWeek tue_evening{kHoursPerDay + 19};
+  const HourOfWeek tue_night{kHoursPerDay + 3};
+  EXPECT_GT(metro.multiplier(tue_evening),
+            3.0 * metro.multiplier(tue_night));
+  // The quietest 5-hour window is at night.
+  const HourOfWeek window = metro.quietest_window(5);
+  EXPECT_TRUE(window.hour_of_day() >= 22 || window.hour_of_day() <= 4)
+      << window.label();
+}
+
+TEST(TrafficProfile, AlwaysBusyHasNoDeepDip) {
+  const TrafficProfile airport = TrafficProfile::always_busy();
+  double lo = 1e9;
+  double hi = 0.0;
+  for (int h = 0; h < kHoursPerWeek; ++h) {
+    const double m = airport.multiplier(HourOfWeek{h});
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GT(lo / hi, 0.6);  // paper's airport: no preferred time
+}
+
+TEST(TrafficProfile, BusinessDistrictDeadWeekend) {
+  const TrafficProfile biz = TrafficProfile::business_district();
+  const HourOfWeek wed_noon{2 * kHoursPerDay + 12};
+  const HourOfWeek sat_noon{5 * kHoursPerDay + 12};
+  EXPECT_GT(biz.multiplier(wed_noon), 5.0 * biz.multiplier(sat_noon));
+}
+
+TEST(TrafficProfile, Validation) {
+  EXPECT_THROW(TrafficProfile(std::vector<double>(10, 1.0)),
+               std::invalid_argument);
+  std::vector<double> with_zero(kHoursPerWeek, 1.0);
+  with_zero[3] = 0.0;
+  EXPECT_THROW(TrafficProfile(std::move(with_zero)), std::invalid_argument);
+  EXPECT_THROW((void)TrafficProfile().mean_over(HourOfWeek{0}, 0),
+               std::invalid_argument);
+}
+
+TEST(WindowPlanner, RanksWindowsByTrafficAndMitigation) {
+  // Synthetic plan: before 100, upgrade 40, after 85.
+  core::MitigationPlan plan;
+  plan.f_before = 100.0;
+  plan.f_upgrade = 40.0;
+  plan.f_after = 85.0;
+
+  const WindowPlanner planner{TrafficProfile::metropolitan()};
+  const WindowPlan result = planner.assess(plan, 5);
+  ASSERT_EQ(result.by_start_hour.size(),
+            static_cast<std::size_t>(kHoursPerWeek));
+
+  // Mitigated disruption is always (100-85)/(100-40) = 25% of unmitigated.
+  for (const auto& w : result.by_start_hour) {
+    EXPECT_NEAR(w.disruption_mitigated, 0.25 * w.disruption_unmitigated,
+                1e-9);
+    EXPECT_GE(w.saving(), 0.0);
+  }
+  // The best window is the quietest one.
+  EXPECT_EQ(result.best_unmitigated.start.value,
+            planner.profile().quietest_window(5).value);
+  // Magus in the *worst* window beats no-Magus there by 4x.
+  EXPECT_NEAR(result.worst_window.disruption_mitigated * 4.0,
+              result.worst_window.disruption_unmitigated, 1e-9);
+  EXPECT_THROW((void)planner.assess(plan, 0), std::invalid_argument);
+}
+
+TEST(WindowPlanner, FlatProfileMakesAllWindowsEqual) {
+  core::MitigationPlan plan;
+  plan.f_before = 10.0;
+  plan.f_upgrade = 6.0;
+  plan.f_after = 9.0;
+  const WindowPlanner planner{TrafficProfile{}};
+  const WindowPlan result = planner.assess(plan, 4);
+  for (const auto& w : result.by_start_hour) {
+    EXPECT_NEAR(w.disruption_unmitigated,
+                result.by_start_hour.front().disruption_unmitigated, 1e-9);
+  }
+}
+
+TEST(Campaign, ConflictDetection) {
+  const PlannedUpgrade a{{0}, {1, 2}, 5};
+  const PlannedUpgrade b{{3}, {2, 4}, 5};  // shares tuned sector 2
+  const PlannedUpgrade c{{5}, {6}, 5};
+  EXPECT_TRUE(upgrades_conflict(a, b));
+  EXPECT_FALSE(upgrades_conflict(a, c));
+  const PlannedUpgrade d{{1}, {9}, 5};  // d's target is a's tuned neighbor
+  EXPECT_TRUE(upgrades_conflict(a, d));
+}
+
+TEST(Campaign, SchedulesConflictFreeWindows) {
+  const std::vector<PlannedUpgrade> upgrades = {
+      {{0}, {1, 2}, 5},   // conflicts with 1 and 3
+      {{3}, {2, 4}, 5},   // conflicts with 0
+      {{10}, {11}, 5},    // independent
+      {{1}, {20}, 5},     // conflicts with 0
+  };
+  const CampaignSchedule schedule = schedule_campaign(upgrades);
+  EXPECT_GE(schedule.window_count(), 2u);
+
+  // Every upgrade appears exactly once.
+  std::vector<int> seen(upgrades.size(), 0);
+  for (const auto& window : schedule.windows) {
+    for (const std::size_t u : window) ++seen[u];
+    // No conflicting pair shares a window.
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      for (std::size_t j = i + 1; j < window.size(); ++j) {
+        EXPECT_FALSE(
+            upgrades_conflict(upgrades[window[i]], upgrades[window[j]]));
+      }
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+  // Conflicts: (0,1) share sector 2; (0,3) share sector 1.
+  EXPECT_EQ(schedule.conflicts.size(), 2u);
+}
+
+TEST(Campaign, IndependentUpgradesShareOneWindow) {
+  const std::vector<PlannedUpgrade> upgrades = {
+      {{0}, {1}, 4}, {{2}, {3}, 4}, {{4}, {5}, 4}};
+  const CampaignSchedule schedule = schedule_campaign(upgrades);
+  EXPECT_EQ(schedule.window_count(), 1u);
+  EXPECT_TRUE(schedule.conflicts.empty());
+}
+
+TEST(Campaign, RespectsWindowBound) {
+  // A triangle of conflicts needs 3 windows.
+  const std::vector<PlannedUpgrade> upgrades = {
+      {{0}, {1}, 4}, {{1}, {2}, 4}, {{2}, {0}, 4}};
+  EXPECT_NO_THROW((void)schedule_campaign(upgrades, 3));
+  EXPECT_THROW((void)schedule_campaign(upgrades, 2), std::runtime_error);
+  const auto schedule = schedule_campaign(upgrades);
+  EXPECT_EQ(schedule.window_count(), 3u);
+}
+
+TEST(Campaign, EmptyInput) {
+  const CampaignSchedule schedule = schedule_campaign({});
+  EXPECT_EQ(schedule.window_count(), 0u);
+  EXPECT_TRUE(schedule.conflicts.empty());
+}
+
+}  // namespace
+}  // namespace magus::traffic

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace magus::util {
+namespace {
+
+TEST(Units, DbLinearRoundTrip) {
+  for (const double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 46.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, KnownConversions) {
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9953, 1e-3);
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(30.0), 1000.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(46.0), 39.81, 0.01);
+}
+
+TEST(Units, SumPowersDbm) {
+  // Two equal powers add 3.01 dB.
+  const double values[] = {10.0, 10.0};
+  EXPECT_NEAR(sum_powers_dbm(values), 13.0103, 1e-3);
+  EXPECT_TRUE(std::isinf(sum_powers_dbm({})));
+  EXPECT_LT(sum_powers_dbm({}), 0.0);
+}
+
+TEST(Units, NearDb) {
+  EXPECT_TRUE(near_db(10.0, 10.05, 0.1));
+  EXPECT_FALSE(near_db(10.0, 10.2, 0.1));
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(near_db(ninf, ninf, 0.1));
+  EXPECT_FALSE(near_db(ninf, 0.0, 1000.0));
+}
+
+TEST(Rng, SplitMixDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);  // advances equally
+}
+
+TEST(Rng, HashCoordsIsPure) {
+  EXPECT_EQ(hash_coords(1, 2, 3), hash_coords(1, 2, 3));
+  EXPECT_NE(hash_coords(1, 2, 3), hash_coords(1, 3, 2));
+  EXPECT_NE(hash_coords(1, 2, 3), hash_coords(2, 2, 3));
+}
+
+TEST(Rng, UnitDoubleRange) {
+  std::uint64_t state = 7;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = hash_to_unit_double(splitmix64(state));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, XoshiroReproducible) {
+  Xoshiro256ss a{123};
+  Xoshiro256ss b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Xoshiro256ss c{124};
+  EXPECT_NE(a(), c());
+}
+
+TEST(Rng, UniformIntBounds) {
+  Xoshiro256ss rng{5};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256ss rng{9};
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMean) {
+  Xoshiro256ss rng{11};
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 20000; ++i) {
+    small.add(rng.poisson(3.5));
+    large.add(rng.poisson(200.0));  // normal-approximation branch
+  }
+  EXPECT_NEAR(small.mean(), 3.5, 0.1);
+  EXPECT_NEAR(large.mean(), 200.0, 2.0);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Xoshiro256ss a{1};
+  Xoshiro256ss b{1};
+  auto fa = a.fork(7);
+  auto fb = b.fork(7);
+  EXPECT_EQ(fa(), fb());
+  auto fc = a.fork(8);
+  EXPECT_NE(fa(), fc());
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.sum(), 40.0);
+}
+
+TEST(Stats, Percentile) {
+  const double values[] = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.25), 2.0);
+  const double one[] = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.9), 7.0);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  const double values[] = {3.0, 1.0, 2.0};
+  const auto cdf = empirical_cdf(values);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Stats, FractionAtLeast) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fraction_at_least(values, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_least(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_at_least({}, 1.0), 0.0);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "/magus_csv_test.csv";
+  {
+    CsvWriter csv{path};
+    csv.write_row({"a", "b,c", "d\"e", "f\ng"});
+    csv.write_row({CsvWriter::cell(1.5), CsvWriter::cell(2LL)});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,\"b,c\",\"d\"\"e\",\"f\ng\"\n1.5,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, FormatsAlignedOutput) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", TablePrinter::percent(0.565)});
+  table.add_row({"b", TablePrinter::num(1.234, 1)});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("56.5%"), std::string::npos);
+  EXPECT_NE(text.find("1.2"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+}
+
+TEST(Args, ParsesFlagsAndDefaults) {
+  ArgParser parser{"test"};
+  parser.add_flag("count", "5", "a count");
+  parser.add_flag("name", "x", "a name");
+  parser.add_flag("verbose", "false", "a switch");
+  const char* argv[] = {"prog", "--count", "7", "--name=yy", "--verbose"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("count"), 7);
+  EXPECT_EQ(parser.get_string("name"), "yy");
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(Args, RejectsUnknownFlag) {
+  ArgParser parser{"test"};
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(parser.parse(3, argv), std::runtime_error);
+}
+
+TEST(Args, HelpReturnsFalse) {
+  ArgParser parser{"test"};
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+}  // namespace
+}  // namespace magus::util
