@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification: regular build + tests, then the same suite under
+# ASan+UBSan (the Sanitize build type / "sanitize" CMake preset).
+#
+#   scripts/verify.sh            # both passes
+#   scripts/verify.sh --fast     # regular pass only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "==> Regular build + tests (RelWithDebInfo)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==> Skipping sanitizer pass (--fast)"
+  exit 0
+fi
+
+echo "==> Sanitizer build + tests (ASan + UBSan)"
+cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
+cmake --build build-sanitize -j "$jobs"
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+
+echo "==> verify OK"

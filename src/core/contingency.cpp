@@ -1,6 +1,7 @@
 #include "core/contingency.h"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 
 namespace magus::core {
@@ -41,11 +42,54 @@ const MitigationPlan* ContingencyTable::lookup(
   return it == plans_.end() ? nullptr : &it->second;
 }
 
+ContingencyTable::NearestMatch ContingencyTable::lookup_nearest(
+    std::span<const net::SectorId> failed) const {
+  const Key wanted = key_of(failed);
+  NearestMatch match;
+  if (const auto it = plans_.find(wanted); it != plans_.end()) {
+    match.plan = &it->second;
+    match.covered = wanted;
+    return match;
+  }
+  // Largest stored subset of the failed set; ties go to the plan with the
+  // better predicted recovery, then to map (key) order for determinism.
+  const Key* best_key = nullptr;
+  for (const auto& [key, plan] : plans_) {
+    if (!std::includes(wanted.begin(), wanted.end(), key.begin(), key.end())) {
+      continue;
+    }
+    if (match.plan == nullptr || key.size() > best_key->size() ||
+        (key.size() == best_key->size() &&
+         plan.recovery > match.plan->recovery)) {
+      match.plan = &plan;
+      best_key = &key;
+    }
+  }
+  if (match.plan == nullptr) {
+    match.uncovered = wanted;
+    return match;
+  }
+  match.covered = *best_key;
+  std::set_difference(wanted.begin(), wanted.end(), best_key->begin(),
+                      best_key->end(), std::back_inserter(match.uncovered));
+  return match;
+}
+
 bool ContingencyTable::apply(model::AnalysisModel& model,
-                             std::span<const net::SectorId> failed) const {
-  const MitigationPlan* plan = lookup(failed);
-  if (plan == nullptr) return false;
-  model.set_configuration(plan->search.config);
+                             std::span<const net::SectorId> failed,
+                             bool allow_nearest) const {
+  if (!allow_nearest) {
+    const MitigationPlan* plan = lookup(failed);
+    if (plan == nullptr) return false;
+    model.set_configuration(plan->search.config);
+    return true;
+  }
+  const NearestMatch match = lookup_nearest(failed);
+  if (match.plan == nullptr) return false;
+  model.set_configuration(match.plan->search.config);
+  // The stored plan only knows about its own outage set; the rest of the
+  // failure still has to come off-air.
+  for (const net::SectorId s : match.uncovered) model.set_active(s, false);
   return true;
 }
 

@@ -38,11 +38,36 @@ class ContingencyTable {
   [[nodiscard]] const MitigationPlan* lookup(
       std::span<const net::SectorId> failed) const;
 
+  /// Nearest-match result: the chosen stored plan plus which failed
+  /// sectors it does and does not account for.
+  struct NearestMatch {
+    const MitigationPlan* plan = nullptr;
+    std::vector<net::SectorId> covered;    ///< failed sectors the plan handles
+    std::vector<net::SectorId> uncovered;  ///< failed sectors it does not
+    [[nodiscard]] bool exact() const {
+      return plan != nullptr && uncovered.empty();
+    }
+  };
+
+  /// Graceful-degradation lookup: exact match when available; otherwise
+  /// the *largest* precomputed outage set that is a subset of `failed`
+  /// (ties broken by higher predicted recovery, then by key order, so the
+  /// result is deterministic). A multi-sector failure thus degrades to the
+  /// best partial contingency instead of returning nothing; the caller
+  /// must still take the `uncovered` sectors off-air itself (apply() with
+  /// allow_nearest does exactly that). plan == nullptr only when no stored
+  /// outage set is a subset of `failed`.
+  [[nodiscard]] NearestMatch lookup_nearest(
+      std::span<const net::SectorId> failed) const;
+
   /// Applies a stored contingency: takes the failed sectors off-air and
-  /// pushes the precomputed C_after onto the model. Returns false (model
-  /// untouched) when no contingency matches.
+  /// pushes the precomputed C_after onto the model. With `allow_nearest`,
+  /// falls back to lookup_nearest() and additionally forces the uncovered
+  /// failed sectors off-air on top of the stored configuration. Returns
+  /// false (model untouched) when nothing matches.
   bool apply(model::AnalysisModel& model,
-             std::span<const net::SectorId> failed) const;
+             std::span<const net::SectorId> failed,
+             bool allow_nearest = false) const;
 
   /// Worst/average predicted recovery over all stored contingencies —
   /// planning-time risk metrics for the operator.

@@ -143,6 +143,73 @@ MitigationPlan MagusPlanner::plan_upgrade(
   return plan;
 }
 
+MitigationPlan MagusPlanner::replan_from_current(
+    std::span<const net::SectorId> targets,
+    std::span<const double> baseline_rates) const {
+  if (targets.empty()) {
+    throw std::invalid_argument("MagusPlanner: no target sectors");
+  }
+  model::AnalysisModel& model = evaluator_->model();
+
+  MitigationPlan plan;
+  plan.targets.assign(targets.begin(), targets.end());
+  plan.involved = involved_sectors(targets);
+  plan.c_before = model.configuration();
+  plan.f_before = evaluator_->evaluate();
+
+  const std::vector<double> baseline =
+      baseline_rates.empty()
+          ? capture_rates(model)
+          : std::vector<double>(baseline_rates.begin(), baseline_rates.end());
+
+  for (const net::SectorId t : targets) model.set_active(t, false);
+  plan.f_upgrade = evaluator_->evaluate();
+
+  switch (options_.mode) {
+    case TuningMode::kPower: {
+      const PowerSearch search{options_.power};
+      plan.search = search.run(*evaluator_, plan.involved, baseline);
+      break;
+    }
+    case TuningMode::kTilt: {
+      const TiltSearch search{options_.tilt};
+      plan.search = search.run(*evaluator_, plan.involved);
+      break;
+    }
+    case TuningMode::kJoint: {
+      const JointSearch search{
+          JointSearchOptions{options_.tilt, options_.power}};
+      plan.search = search.run(*evaluator_, plan.involved, baseline);
+      break;
+    }
+    case TuningMode::kNaive: {
+      const NaiveSearch search{};
+      plan.search = search.run(*evaluator_, plan.involved);
+      break;
+    }
+  }
+  if (options_.hybrid_polish && options_.mode != TuningMode::kNaive) {
+    FeedbackOptions polish_options;
+    polish_options.unit_db = options_.power.unit_db;
+    polish_options.allow_power = options_.mode != TuningMode::kTilt;
+    polish_options.allow_tilt = options_.mode != TuningMode::kPower;
+    polish_options.max_steps = options_.polish_max_steps;
+    const FeedbackRun polish =
+        run_feedback_search(*evaluator_, plan.involved, polish_options);
+    if (!polish.utility_per_step.empty()) {
+      plan.search.utility = polish.utility_per_step.back();
+      plan.search.config = polish.final_config;
+      plan.search.accepted_steps +=
+          static_cast<int>(polish.utility_per_step.size());
+    }
+    plan.search.candidate_evaluations += polish.probe_count;
+  }
+  plan.f_after = plan.search.utility;
+  plan.recovery =
+      recovery_ratio({plan.f_before, plan.f_upgrade, plan.f_after});
+  return plan;
+}
+
 int pre_plan_power(Evaluator& evaluator,
                    std::span<const net::SectorId> sectors, double step_db,
                    int sweeps) {

@@ -75,6 +75,24 @@ class MagusPlanner {
   [[nodiscard]] MitigationPlan plan_upgrade(
       std::span<const net::SectorId> targets) const;
 
+  /// Emergency re-plan from the model's *current* (possibly faulted)
+  /// state, the entry point the fault-aware executor escalates to when an
+  /// unplanned outage invalidates a precomputed schedule mid-migration.
+  /// Unlike plan_upgrade it does NOT reset to the network default, does
+  /// not re-run pre-planning and does not re-freeze the UE density: the
+  /// configuration as found *is* C_before, `targets` are taken off-air
+  /// (no-ops for sectors already down), and the search tunes their
+  /// neighbors from there. `baseline_rates`, when non-empty, supplies the
+  /// healthy per-grid rates that define the degraded set (capture them
+  /// before the fault); when empty the current rates are captured, which
+  /// makes the power search see no degradation of its own — pass real
+  /// baselines for meaningful recovery. No gradual schedule is computed:
+  /// the result is a single emergency push. The model is left at the
+  /// re-planned configuration.
+  [[nodiscard]] MitigationPlan replan_from_current(
+      std::span<const net::SectorId> targets,
+      std::span<const double> baseline_rates = {}) const;
+
   /// Neighbor selection used by plan_upgrade, exposed for benches that
   /// drive the searches directly.
   [[nodiscard]] std::vector<net::SectorId> involved_sectors(

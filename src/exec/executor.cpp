@@ -1,0 +1,347 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/search_types.h"
+#include "sim/event_queue.h"
+
+namespace magus::exec {
+
+namespace {
+
+[[nodiscard]] double band(double reference, double tolerance) {
+  return tolerance * std::max(std::abs(reference), 1e-9);
+}
+
+/// The step configuration with every known-failed sector forced off-air:
+/// plan steps were computed before the fault and would otherwise resurrect
+/// a dead sector on the next push.
+[[nodiscard]] net::Configuration masked(
+    net::Configuration config, std::span<const net::SectorId> failed) {
+  for (const net::SectorId s : failed) {
+    config[s].active = false;
+  }
+  return config;
+}
+
+void sort_unique(std::vector<net::SectorId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
+const char* recovery_action_name(RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kRetry:
+      return "retry";
+    case RecoveryAction::kContingency:
+      return "contingency";
+    case RecoveryAction::kReplan:
+      return "replan";
+    case RecoveryAction::kRollback:
+      return "rollback";
+  }
+  return "?";
+}
+
+MigrationExecutor::MigrationExecutor(core::Evaluator* evaluator,
+                                     ExecutorOptions options)
+    : evaluator_(evaluator), options_(options) {
+  if (evaluator_ == nullptr) {
+    throw std::invalid_argument("MigrationExecutor: evaluator must not be null");
+  }
+  if (options_.utility_tolerance < 0.0) {
+    throw std::invalid_argument("MigrationExecutor: negative tolerance");
+  }
+  if (options_.step_interval_s <= 0.0) {
+    throw std::invalid_argument("MigrationExecutor: step interval must be > 0");
+  }
+}
+
+ExecutionTrace MigrationExecutor::execute(
+    const core::GradualPlan& plan, std::span<const net::SectorId> targets,
+    std::uint64_t seed, FaultInjector* injector,
+    const core::ContingencyTable* contingencies,
+    const core::MagusPlanner* replanner) const {
+  if (plan.steps.empty()) {
+    throw std::invalid_argument("MigrationExecutor: empty plan");
+  }
+  model::AnalysisModel& model = evaluator_->model();
+  const double tol = options_.utility_tolerance;
+
+  ExecutionTrace trace;
+  trace.floor_utility = plan.floor_utility;
+
+  // Entry state: the plan's C_before. The planner leaves the model at
+  // C_after, so re-arm it explicitly; the UE density stays as frozen.
+  model.set_configuration(plan.steps.front().config);
+  const std::vector<double> baseline_rates = core::capture_rates(model);
+  std::vector<net::SectorId> prev_service = model.service_map();
+  net::Configuration last_safe = plan.steps.front().config;
+
+  util::Xoshiro256ss rng{seed};
+  std::vector<net::SectorId> failed;  // unplanned outages so far, sorted
+  double clock_s = 0.0;
+  // After a successful contingency apply the remaining ramp is stale; the
+  // executor switches to finish mode and completes with one masked push of
+  // the stored configuration. effective_floor is the rebased expectation.
+  bool finish_mode = false;
+  bool completion_pending = false;
+  double effective_floor = plan.floor_utility;
+  bool aborted = false;
+  bool replanned = false;
+
+  const std::size_t n = plan.steps.size();
+  for (std::size_t k = 1; k < n && !aborted && !replanned; ++k) {
+    StepRecord rec;
+    rec.step = static_cast<int>(k);
+    rec.planned_utility = plan.steps[k].utility;
+
+    // ---- Faults striking this step ----
+    double storm_probability = 0.0;
+    int rejects_remaining = 0;
+    if (injector != nullptr) {
+      for (const FaultEvent& event :
+           injector->faults_for_step(static_cast<int>(k))) {
+        rec.faults.push_back(event);
+        trace.fault_events.push_back(event);
+        switch (event.kind) {
+          case FaultKind::kSectorOutage:
+            if (event.sector != net::kInvalidSector &&
+                !std::binary_search(failed.begin(), failed.end(),
+                                    event.sector)) {
+              model.set_active(event.sector, false);
+              failed.push_back(event.sector);
+              sort_unique(failed);
+            }
+            break;
+          case FaultKind::kHandoverFailure:
+            storm_probability = std::max(
+                storm_probability, event.handover_failure_probability);
+            break;
+          case FaultKind::kConfigPushReject:
+            rejects_remaining += std::max(1, event.reject_attempts);
+            break;
+        }
+      }
+    }
+    const bool structural = !failed.empty();
+
+    // ---- Configuration push (with backoff against OSS rejects) ----
+    net::Configuration intended;
+    if (finish_mode) {
+      // Completion push: hold the contingency configuration, take the
+      // migration targets (and everything failed) off-air.
+      intended = model.configuration();
+      for (const net::SectorId t : targets) intended[t].active = false;
+      intended = masked(std::move(intended), failed);
+    } else {
+      intended = masked(plan.steps[k].config, failed);
+    }
+    bool pushed = false;
+    for (int attempt = 0; attempt < options_.push_backoff.max_attempts;
+         ++attempt) {
+      const double wait =
+          options_.push_backoff.delay_before_attempt_s(attempt);
+      rec.backoff_wait_s += wait;
+      clock_s += wait;
+      rec.push_attempts = attempt + 1;
+      if (rejects_remaining > 0) {
+        --rejects_remaining;
+        continue;
+      }
+      model.set_configuration(intended);
+      pushed = true;
+      break;
+    }
+    if (rec.push_attempts > 1) {
+      // The backoff loop itself is the first ladder rung in action.
+      rec.actions.push_back(RecoveryAction::kRetry);
+      ++trace.retries;
+    }
+
+    // ---- Handover signaling for this transition ----
+    const std::vector<net::SectorId> cur_service = model.service_map();
+    const net::Configuration& live = model.configuration();
+    sim::HandoverTimings timings = options_.handover;
+    timings.failure_probability =
+        std::max(timings.failure_probability, storm_probability);
+    const sim::HandoverProcedure procedure{timings};
+    sim::EventQueue queue;
+    sim::SignalingCounters counters;
+    std::vector<sim::HandoverOutcome> outcomes;
+    const std::span<const double> density = model.ue_density();
+    for (std::size_t i = 0; i < prev_service.size(); ++i) {
+      const net::SectorId src = prev_service[i];
+      const net::SectorId dst = cur_service[i];
+      if (src == dst || src == net::kInvalidSector) continue;
+      const double ues = density.empty() ? 0.0 : density[i];
+      if (ues <= 0.0) continue;
+      if (dst == net::kInvalidSector) {
+        rec.lost_service_ues += ues;
+        continue;
+      }
+      const bool src_alive = live[src].active;
+      const sim::HandoverKind kind = src_alive ? sim::HandoverKind::kSeamless
+                                               : sim::HandoverKind::kHard;
+      if (src_alive) {
+        rec.seamless_ues += ues;
+      } else {
+        rec.hard_ues += ues;
+      }
+      procedure.start(queue, kind, ues, &counters, &outcomes, &rng);
+    }
+    queue.run();
+    rec.handover_failures = counters.failed_procedures;
+    rec.handover_retries = counters.retried_procedures;
+    if (counters.retried_procedures > 0.0) {
+      // FSM-level retry/backoff absorbed handover failures: record it as
+      // a recovery action so storms are visible in the trace.
+      if (rec.actions.empty() ||
+          rec.actions.back() != RecoveryAction::kRetry) {
+        rec.actions.push_back(RecoveryAction::kRetry);
+      }
+      ++trace.retries;
+    }
+    trace.signaling += counters;
+    double outage_ue_seconds = 0.0;
+    for (const sim::HandoverOutcome& outcome : outcomes) {
+      outage_ue_seconds += outcome.ue_weight * outcome.outage_s;
+    }
+    // UEs pushed out of service stay dark at least until the next push.
+    rec.lost_service_ue_seconds =
+        rec.lost_service_ues * options_.step_interval_s + outage_ue_seconds;
+    clock_s += options_.step_interval_s;
+
+    // ---- Utility monitoring and the degradation ladder ----
+    double realized = evaluator_->evaluate();
+    rec.realized_utility = realized;
+    // The plan's per-step utility is the expectation — it is what makes a
+    // fault *detectable*. Only in finish mode (the ramp already superseded
+    // by a contingency) does the rebased floor replace it.
+    const double expectation =
+        finish_mode ? effective_floor : rec.planned_utility;
+    const double bar = expectation - band(expectation, tol);
+    // The completion push's utility cost is intrinsic — the targets go
+    // off-air in a faulted network, and no precomputed expectation covers
+    // that state. Only a failed push (or, when a re-planner is armed, a
+    // result below the rebased floor) counts as divergence there.
+    bool diverged = finish_mode
+                        ? (!pushed || (options_.allow_replan &&
+                                       replanner != nullptr && realized < bar))
+                        : (!pushed || realized < bar);
+    bool recovered = !diverged;
+
+    if (diverged && options_.allow_retry && !recovered) {
+      // Rung 1: one more push of the intended configuration. Cheap, and
+      // the only rung transient faults need.
+      const double wait = options_.push_backoff.delay_before_attempt_s(1);
+      rec.backoff_wait_s += wait;
+      clock_s += wait;
+      ++rec.push_attempts;
+      if (rejects_remaining > 0) {
+        --rejects_remaining;
+      } else {
+        model.set_configuration(intended);
+        pushed = true;
+      }
+      rec.actions.push_back(RecoveryAction::kRetry);
+      ++trace.retries;
+      realized = evaluator_->evaluate();
+      recovered = pushed && realized >= bar;
+    }
+
+    if (diverged && !recovered && !finish_mode && options_.allow_contingency &&
+        contingencies != nullptr && structural) {
+      // Rung 2: precomputed contingency, exact or nearest-match.
+      const core::ContingencyTable::NearestMatch match =
+          contingencies->lookup_nearest(failed);
+      if (match.plan != nullptr &&
+          contingencies->apply(model, failed, /*allow_nearest=*/true)) {
+        rec.actions.push_back(RecoveryAction::kContingency);
+        ++trace.contingency_applies;
+        realized = evaluator_->evaluate();
+        const double promised = match.plan->f_after;
+        if (realized >= promised - band(promised, tol) || realized >= bar) {
+          recovered = true;
+          finish_mode = true;
+          completion_pending = true;
+          effective_floor = std::min(effective_floor, realized);
+          pushed = true;
+        }
+      }
+    }
+
+    if (diverged && !recovered && options_.allow_replan &&
+        replanner != nullptr) {
+      // Rung 3: bounded local re-plan from the faulted state. Completes
+      // the migration in one emergency push (targets and failures off).
+      std::vector<net::SectorId> replan_targets(targets.begin(),
+                                                targets.end());
+      replan_targets.insert(replan_targets.end(), failed.begin(),
+                            failed.end());
+      sort_unique(replan_targets);
+      const core::MitigationPlan rplan =
+          replanner->replan_from_current(replan_targets, baseline_rates);
+      rec.actions.push_back(RecoveryAction::kReplan);
+      ++trace.replans;
+      realized = evaluator_->evaluate();
+      // Accept unless the re-plan somehow made things worse than doing
+      // nothing from the faulted state.
+      if (realized >= rplan.f_upgrade - band(rplan.f_upgrade, tol)) {
+        recovered = true;
+        replanned = true;
+        pushed = true;
+      }
+    }
+
+    if (diverged && !recovered) {
+      // Rung 4: roll back to the last configuration that was in
+      // tolerance and abort the window.
+      model.set_configuration(masked(last_safe, failed));
+      rec.actions.push_back(RecoveryAction::kRollback);
+      ++trace.rollbacks;
+      realized = evaluator_->evaluate();
+      aborted = true;
+    }
+
+    rec.utility_after_recovery = realized;
+    rec.floor_violated =
+        realized < plan.floor_utility - band(plan.floor_utility, tol);
+    if (rec.floor_violated) ++trace.floor_violations;
+    if (aborted) {
+      rec.status = StepStatus::kRolledBack;
+    } else if (replanned) {
+      rec.status = StepStatus::kReplanned;
+    } else if (diverged) {
+      rec.status = StepStatus::kRecovered;
+    } else {
+      rec.status = StepStatus::kApplied;
+    }
+    if (!diverged && !finish_mode) last_safe = intended;
+    prev_service = model.service_map();
+    trace.steps.push_back(std::move(rec));
+
+    // A stale ramp is not worth walking: the next iteration (re-)runs the
+    // final step index as the completion push, then the loop exits.
+    if (completion_pending && !aborted && !replanned) {
+      completion_pending = false;
+      k = n - 2;
+    }
+  }
+
+  trace.failed_sectors = failed;
+  trace.rolled_back = aborted;
+  trace.completed = !aborted;
+  trace.final_utility = evaluator_->evaluate();
+  trace.makespan_s = clock_s;
+  for (const StepRecord& rec : trace.steps) {
+    trace.total_lost_service_ue_seconds += rec.lost_service_ue_seconds;
+  }
+  return trace;
+}
+
+}  // namespace magus::exec

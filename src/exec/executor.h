@@ -1,0 +1,141 @@
+// Fault-aware migration executor.
+//
+// The planner's GradualPlan is a schedule, not a guarantee: the seed code
+// simply replayed it through the signaling simulator and assumed every
+// step landed. MigrationExecutor instead *plays* the plan step-by-step
+// against the live AnalysisModel while a pluggable FaultInjector knocks
+// sectors off-air, storms the handover plane, or rejects configuration
+// pushes. After every step the realized utility is compared against the
+// plan's expectation; on divergence past the configured tolerance the
+// executor escalates through a graceful-degradation ladder:
+//
+//   1. retry       — re-push the intended configuration under the capped
+//                    exponential backoff (absorbs transient OSS rejects).
+//   2. contingency — on an unplanned outage, push the matching (or
+//                    nearest-match) precomputed ContingencyTable entry:
+//                    the paper's §8 reactive model-based response with
+//                    zero computation delay. A success supersedes the now
+//                    stale ramp; the executor completes the upgrade with
+//                    one final push of the stored configuration with the
+//                    migration targets (and all failed sectors) off-air.
+//   3. re-plan     — MagusPlanner::replan_from_current: a bounded local
+//                    search from the *faulted* state that completes the
+//                    migration in one emergency push.
+//   4. rollback    — restore the last configuration that was within
+//                    tolerance (C_before if none) and abort the window.
+//
+// Everything is recorded in a structured ExecutionTrace (per-step outcome,
+// fault events, recovery actions, utility-floor violations, signaling and
+// lost-service accounting) which bench_fault_recovery consumes to extend
+// the paper's Table 1 story to faults *during* the migration window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/contingency.h"
+#include "core/evaluator.h"
+#include "core/gradual.h"
+#include "core/planner.h"
+#include "exec/fault_injector.h"
+#include "sim/handover_fsm.h"
+#include "util/backoff.h"
+
+namespace magus::exec {
+
+enum class RecoveryAction { kRetry, kContingency, kReplan, kRollback };
+
+[[nodiscard]] const char* recovery_action_name(RecoveryAction action);
+
+enum class StepStatus {
+  kApplied,     ///< landed within tolerance, no recovery needed
+  kRecovered,   ///< diverged, but a ladder rung restored the utility
+  kReplanned,   ///< completed early via an emergency re-plan
+  kRolledBack,  ///< unrecoverable; the window was aborted
+};
+
+struct StepRecord {
+  int step = -1;  ///< index into GradualPlan::steps (1 = first transition)
+  StepStatus status = StepStatus::kApplied;
+  std::vector<FaultEvent> faults;            ///< faults that struck this step
+  std::vector<RecoveryAction> actions;       ///< ladder rungs taken, in order
+  double planned_utility = 0.0;              ///< what the plan promised
+  double realized_utility = 0.0;             ///< measured after the push
+  double utility_after_recovery = 0.0;       ///< measured after the ladder
+  bool floor_violated = false;  ///< ended below floor - tolerance band
+  int push_attempts = 1;        ///< OSS pushes spent (retries via backoff)
+  double backoff_wait_s = 0.0;  ///< wall-clock spent waiting between pushes
+  double seamless_ues = 0.0;
+  double hard_ues = 0.0;
+  double lost_service_ues = 0.0;  ///< UEs with no server after this step
+  double handover_failures = 0.0;
+  double handover_retries = 0.0;
+  double lost_service_ue_seconds = 0.0;
+};
+
+struct ExecutionTrace {
+  std::vector<StepRecord> steps;
+  std::vector<FaultEvent> fault_events;  ///< all faults, flattened
+  std::vector<net::SectorId> failed_sectors;  ///< unplanned outages (sorted)
+  sim::SignalingCounters signaling;
+  int retries = 0;
+  int contingency_applies = 0;
+  int replans = 0;
+  int rollbacks = 0;
+  int floor_violations = 0;
+  bool completed = false;    ///< the targets ended off-air as intended
+  bool rolled_back = false;  ///< the window was aborted
+  double floor_utility = 0.0;  ///< the plan's guaranteed floor f(C_after)
+  double final_utility = 0.0;
+  double total_lost_service_ue_seconds = 0.0;
+  double makespan_s = 0.0;
+
+  [[nodiscard]] int recovery_action_count() const {
+    return retries + contingency_applies + replans + rollbacks;
+  }
+};
+
+struct ExecutorOptions {
+  /// Relative divergence band: a step diverges when the realized utility
+  /// falls more than tolerance * |expectation| below the expectation (the
+  /// per-step planned utility, or the rebased floor after a structural
+  /// fault). The same band bounds acceptable utility-floor violations.
+  double utility_tolerance = 0.05;
+  double step_interval_s = 60.0;  ///< wall-clock between plan steps
+  util::BackoffPolicy push_backoff;  ///< OSS configuration-push retries
+  sim::HandoverTimings handover;     ///< includes FSM failure/retry policy
+  bool allow_retry = true;
+  bool allow_contingency = true;
+  bool allow_replan = true;
+};
+
+class MigrationExecutor {
+ public:
+  /// `evaluator` must outlive the executor; its model is the live network
+  /// the plan is executed against.
+  explicit MigrationExecutor(core::Evaluator* evaluator,
+                             ExecutorOptions options = {});
+
+  /// Plays `plan` (targets ramping down toward off-air) on the live
+  /// model. The model is reset to the plan's first-step configuration on
+  /// entry; the UE density must already be frozen (plan_upgrade leaves it
+  /// so). `seed` drives all stochastic fault outcomes (handover failures)
+  /// deterministically. `injector` may be null for a fault-free run;
+  /// `contingencies` and `replanner` arm ladder rungs 2 and 3 — a null
+  /// pointer (or the corresponding allow_* option) disables the rung and
+  /// the ladder skips to the next one.
+  [[nodiscard]] ExecutionTrace execute(
+      const core::GradualPlan& plan, std::span<const net::SectorId> targets,
+      std::uint64_t seed, FaultInjector* injector = nullptr,
+      const core::ContingencyTable* contingencies = nullptr,
+      const core::MagusPlanner* replanner = nullptr) const;
+
+  [[nodiscard]] const ExecutorOptions& options() const { return options_; }
+
+ private:
+  core::Evaluator* evaluator_;
+  ExecutorOptions options_;
+};
+
+}  // namespace magus::exec

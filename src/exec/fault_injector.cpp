@@ -1,0 +1,77 @@
+#include "exec/fault_injector.h"
+
+#include <stdexcept>
+
+namespace magus::exec {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSectorOutage:
+      return "sector-outage";
+    case FaultKind::kHandoverFailure:
+      return "handover-failure";
+    case FaultKind::kConfigPushReject:
+      return "config-push-reject";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> ScriptedFaultInjector::faults_for_step(int step) {
+  std::vector<FaultEvent> hits;
+  for (const FaultEvent& event : events_) {
+    if (event.step == step) hits.push_back(event);
+  }
+  return hits;
+}
+
+RandomFaultInjector::RandomFaultInjector(std::uint64_t seed,
+                                         RandomFaultOptions options)
+    : rng_(seed), options_(std::move(options)) {
+  const auto check_probability = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument(std::string("RandomFaultInjector: ") + name +
+                                  " outside [0, 1]");
+    }
+  };
+  check_probability(options_.outage_probability_per_step,
+                    "outage_probability_per_step");
+  check_probability(options_.storm_probability_per_step,
+                    "storm_probability_per_step");
+  check_probability(options_.push_reject_probability_per_step,
+                    "push_reject_probability_per_step");
+  check_probability(options_.storm_failure_probability,
+                    "storm_failure_probability");
+}
+
+std::vector<FaultEvent> RandomFaultInjector::faults_for_step(int step) {
+  std::vector<FaultEvent> hits;
+  if (!options_.outage_candidates.empty() &&
+      rng_.uniform() < options_.outage_probability_per_step) {
+    FaultEvent event;
+    event.kind = FaultKind::kSectorOutage;
+    event.step = step;
+    event.sector = options_.outage_candidates[static_cast<std::size_t>(
+        rng_.uniform_int(0,
+                         static_cast<std::int64_t>(
+                             options_.outage_candidates.size()) -
+                             1))];
+    hits.push_back(event);
+  }
+  if (rng_.uniform() < options_.storm_probability_per_step) {
+    FaultEvent event;
+    event.kind = FaultKind::kHandoverFailure;
+    event.step = step;
+    event.handover_failure_probability = options_.storm_failure_probability;
+    hits.push_back(event);
+  }
+  if (rng_.uniform() < options_.push_reject_probability_per_step) {
+    FaultEvent event;
+    event.kind = FaultKind::kConfigPushReject;
+    event.step = step;
+    event.reject_attempts = options_.reject_attempts;
+    hits.push_back(event);
+  }
+  return hits;
+}
+
+}  // namespace magus::exec

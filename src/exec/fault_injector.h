@@ -1,0 +1,93 @@
+// Fault taxonomy and pluggable injectors for the migration executor.
+//
+// The planner assumes every step of a GradualPlan lands perfectly; real
+// migration windows do not (paper §8: unplanned outages handled via
+// precomputed contingencies). Three fault classes cover the failure modes
+// the execution layer must survive:
+//
+//   kSectorOutage      — a sector (typically a neighbor the plan relies
+//                        on) drops off-air unplanned and stays down.
+//   kHandoverFailure   — a signaling storm: handover procedures fail with
+//                        elevated probability during one step, absorbed by
+//                        the FSM's retry/backoff machinery.
+//   kConfigPushReject  — the OSS rejects the step's configuration push
+//                        (stale write); the push is re-attempted under a
+//                        capped exponential backoff.
+//
+// Injectors are polled once per plan step. ScriptedFaultInjector replays
+// an exact fault list (tests, benches); RandomFaultInjector draws faults
+// from a seeded util::rng stream so soak runs stay reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/sector.h"
+#include "util/rng.h"
+
+namespace magus::exec {
+
+enum class FaultKind {
+  kSectorOutage,
+  kHandoverFailure,
+  kConfigPushReject,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSectorOutage;
+  int step = -1;  ///< plan step index (1-based transition) the fault hits
+  /// kSectorOutage: the sector that goes dark.
+  net::SectorId sector = net::kInvalidSector;
+  /// kHandoverFailure: per-attempt failure probability during this step.
+  double handover_failure_probability = 0.0;
+  /// kConfigPushReject: how many consecutive push attempts the OSS
+  /// rejects before accepting (a transiently stale write).
+  int reject_attempts = 1;
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Faults that strike just before the executor applies `step`.
+  [[nodiscard]] virtual std::vector<FaultEvent> faults_for_step(int step) = 0;
+};
+
+/// Replays a fixed fault list — the deterministic backbone of exec_test
+/// and the recovery bench.
+class ScriptedFaultInjector final : public FaultInjector {
+ public:
+  void add(FaultEvent event) { events_.push_back(event); }
+
+  [[nodiscard]] std::vector<FaultEvent> faults_for_step(int step) override;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+struct RandomFaultOptions {
+  double outage_probability_per_step = 0.0;
+  double storm_probability_per_step = 0.0;
+  double push_reject_probability_per_step = 0.0;
+  double storm_failure_probability = 0.5;
+  int reject_attempts = 1;
+  /// Sectors eligible to drop (usually the plan's involved set). Empty
+  /// disables outage injection regardless of the probability.
+  std::vector<net::SectorId> outage_candidates;
+};
+
+/// Draws faults independently per step from a seeded xoshiro stream.
+class RandomFaultInjector final : public FaultInjector {
+ public:
+  RandomFaultInjector(std::uint64_t seed, RandomFaultOptions options);
+
+  [[nodiscard]] std::vector<FaultEvent> faults_for_step(int step) override;
+
+ private:
+  util::Xoshiro256ss rng_;
+  RandomFaultOptions options_;
+};
+
+}  // namespace magus::exec

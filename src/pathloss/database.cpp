@@ -10,7 +10,7 @@ namespace magus::pathloss {
 
 namespace {
 constexpr std::uint64_t kMagic = 0x4D41475553504C31ULL;  // "MAGUSPL1"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;  // v2 adds per-entry checksums
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
@@ -18,9 +18,36 @@ void write_pod(std::ofstream& out, const T& value) {
 }
 
 template <typename T>
-void read_pod(std::ifstream& in, T& value) {
+void read_pod(std::ifstream& in, T& value, const std::string& context) {
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("PathLossDatabase: truncated file");
+  if (!in) throw std::runtime_error("PathLossDatabase: " + context);
+}
+
+/// FNV-1a over a byte range, chainable via `hash`.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                                  std::uint64_t hash = 0xCBF29CE484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Checksum of one database entry: geometry ints then raw gain bytes, so a
+/// flipped bit anywhere in the entry is caught.
+[[nodiscard]] std::uint64_t entry_checksum(std::int32_t sector,
+                                           std::int32_t tilt,
+                                           const SectorFootprint& footprint) {
+  const std::int32_t geometry[] = {sector,
+                                   tilt,
+                                   footprint.col0(),
+                                   footprint.row0(),
+                                   footprint.window_cols(),
+                                   footprint.window_rows()};
+  std::uint64_t hash = fnv1a(geometry, sizeof(geometry));
+  const auto window = footprint.window();
+  return fnv1a(window.data(), window.size() * sizeof(float), hash);
 }
 }  // namespace
 
@@ -71,6 +98,7 @@ void PathLossDatabase::save(const std::string& path) const {
     write_pod(out, footprint.row0());
     write_pod(out, footprint.window_cols());
     write_pod(out, footprint.window_rows());
+    write_pod(out, entry_checksum(key.first, key.second, footprint));
     const auto window = footprint.window();
     out.write(reinterpret_cast<const char*>(window.data()),
               static_cast<std::streamsize>(window.size() * sizeof(float)));
@@ -83,54 +111,133 @@ PathLossDatabase PathLossDatabase::load(const std::string& path) {
   if (!in) throw std::runtime_error("PathLossDatabase: cannot open " + path);
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
-  read_pod(in, magic);
-  read_pod(in, version);
+  read_pod(in, magic, "truncated header in " + path);
+  read_pod(in, version, "truncated header in " + path);
   if (magic != kMagic) {
     throw std::runtime_error("PathLossDatabase: bad magic in " + path);
   }
   if (version != kVersion) {
-    throw std::runtime_error("PathLossDatabase: unsupported version");
+    throw std::runtime_error("PathLossDatabase: unsupported version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kVersion) + ") in " + path);
   }
   double min_x = 0.0;
   double min_y = 0.0;
   double cell = 0.0;
   std::int32_t cols = 0;
   std::int32_t rows = 0;
-  read_pod(in, min_x);
-  read_pod(in, min_y);
-  read_pod(in, cell);
-  read_pod(in, cols);
-  read_pod(in, rows);
+  read_pod(in, min_x, "truncated header in " + path);
+  read_pod(in, min_y, "truncated header in " + path);
+  read_pod(in, cell, "truncated header in " + path);
+  read_pod(in, cols, "truncated header in " + path);
+  read_pod(in, rows, "truncated header in " + path);
+  if (!(cell > 0.0) || cols <= 0 || rows <= 0) {
+    throw std::runtime_error("PathLossDatabase: invalid grid geometry in " +
+                             path);
+  }
   const geo::Rect area{{min_x, min_y},
                        {min_x + cols * cell, min_y + rows * cell}};
   PathLossDatabase db{geo::GridMap{area, cell}};
   std::uint64_t entry_count = 0;
-  read_pod(in, entry_count);
+  read_pod(in, entry_count, "truncated header in " + path);
   for (std::uint64_t e = 0; e < entry_count; ++e) {
+    const std::string entry_context =
+        "entry " + std::to_string(e) + " of " + std::to_string(entry_count);
     std::int32_t sector = 0;
     std::int32_t tilt = 0;
     std::int32_t col0 = 0;
     std::int32_t row0 = 0;
     std::int32_t window_cols = 0;
     std::int32_t window_rows = 0;
-    read_pod(in, sector);
-    read_pod(in, tilt);
-    read_pod(in, col0);
-    read_pod(in, row0);
-    read_pod(in, window_cols);
-    read_pod(in, window_rows);
-    if (window_cols < 0 || window_rows < 0) {
-      throw std::runtime_error("PathLossDatabase: negative window");
+    std::uint64_t stored_checksum = 0;
+    read_pod(in, sector, "truncated " + entry_context + " in " + path);
+    read_pod(in, tilt, "truncated " + entry_context + " in " + path);
+    read_pod(in, col0, "truncated " + entry_context + " in " + path);
+    read_pod(in, row0, "truncated " + entry_context + " in " + path);
+    read_pod(in, window_cols, "truncated " + entry_context + " in " + path);
+    read_pod(in, window_rows, "truncated " + entry_context + " in " + path);
+    read_pod(in, stored_checksum,
+             "truncated " + entry_context + " in " + path);
+    // Bound the window before allocating: a corrupted size field must not
+    // turn into a multi-gigabyte allocation or a silent overlap.
+    if (window_cols < 0 || window_rows < 0 || window_cols > cols ||
+        window_rows > rows) {
+      throw std::runtime_error("PathLossDatabase: oversized window (" +
+                               entry_context + ") in " + path);
     }
     std::vector<float> window(static_cast<std::size_t>(window_cols) *
                               static_cast<std::size_t>(window_rows));
     in.read(reinterpret_cast<char*>(window.data()),
             static_cast<std::streamsize>(window.size() * sizeof(float)));
-    if (!in) throw std::runtime_error("PathLossDatabase: truncated file");
-    db.entries_.insert_or_assign(
-        Key{sector, tilt},
-        SectorFootprint{db.grid_.cols(), db.grid_.rows(), col0, row0,
-                        window_cols, window_rows, std::move(window)});
+    if (!in) {
+      throw std::runtime_error("PathLossDatabase: truncated " + entry_context +
+                               " in " + path);
+    }
+    SectorFootprint footprint;
+    try {
+      footprint = SectorFootprint{cols,        rows,        col0,
+                                  row0,        window_cols, window_rows,
+                                  std::move(window)};
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("PathLossDatabase: " + entry_context +
+                               " does not fit the grid in " + path);
+    }
+    if (entry_checksum(sector, tilt, footprint) != stored_checksum) {
+      throw std::runtime_error(
+          "PathLossDatabase: checksum mismatch (" + entry_context +
+          ", sector " + std::to_string(sector) + " tilt " +
+          std::to_string(tilt) + ") in " + path);
+    }
+    db.entries_.insert_or_assign(Key{sector, tilt}, std::move(footprint));
+  }
+  // The header promised exactly entry_count entries; anything further is
+  // corruption (e.g. a concatenated or doubly-written file).
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw std::runtime_error("PathLossDatabase: trailing bytes after " +
+                             std::to_string(entry_count) + " entries in " +
+                             path);
+  }
+  return db;
+}
+
+PathLossDatabase PathLossDatabase::load_or_rebuild(
+    const std::string& path, PathLossProvider& fallback,
+    std::span<const net::SectorId> sectors,
+    std::span<const radio::TiltIndex> tilts, LoadReport* report) {
+  LoadReport local;
+  LoadReport& out = report != nullptr ? *report : local;
+  out = LoadReport{};
+  try {
+    PathLossDatabase db = load(path);
+    const geo::GridMap& expected = fallback.grid();
+    if (db.grid_.cols() != expected.cols() ||
+        db.grid_.rows() != expected.rows() ||
+        db.grid_.cell_size_m() != expected.cell_size_m()) {
+      throw std::runtime_error(
+          "PathLossDatabase: grid mismatch (file " +
+          std::to_string(db.grid_.cols()) + "x" +
+          std::to_string(db.grid_.rows()) + " @ " +
+          std::to_string(db.grid_.cell_size_m()) + " m, expected " +
+          std::to_string(expected.cols()) + "x" +
+          std::to_string(expected.rows()) + " @ " +
+          std::to_string(expected.cell_size_m()) + " m) in " + path);
+    }
+    return db;
+  } catch (const std::runtime_error& error) {
+    out.rebuilt = true;
+    out.error = error.what();
+  }
+  PathLossDatabase db{fallback.grid()};
+  for (const net::SectorId sector : sectors) {
+    for (const radio::TiltIndex tilt : tilts) {
+      db.insert(sector, tilt, fallback.footprint(sector, tilt));
+    }
+  }
+  try {
+    db.save(path);
+    out.resaved = true;
+  } catch (const std::runtime_error&) {
+    out.resaved = false;  // a read-only location is fine; stay in memory
   }
   return db;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -50,10 +51,34 @@ class PathLossDatabase final : public PathLossProvider {
 
   [[nodiscard]] const geo::GridMap& grid() const override { return grid_; }
 
-  /// Binary serialization (versioned, sparse). Throws std::runtime_error on
-  /// I/O errors or format mismatches.
+  /// Binary serialization (versioned, sparse, integrity-checked). The v2
+  /// format carries a total entry count in the header and a per-entry
+  /// FNV-1a checksum over the entry's geometry and gain bytes, so a
+  /// truncated, bit-flipped or oversized file is rejected with a specific
+  /// std::runtime_error message ("truncated header", "bad magic",
+  /// "unsupported version", "oversized window", "checksum mismatch",
+  /// "entry does not fit the grid", "truncated entry", "trailing bytes")
+  /// instead of being silently mis-read into the model.
   void save(const std::string& path) const;
   [[nodiscard]] static PathLossDatabase load(const std::string& path);
+
+  /// Outcome report for load_or_rebuild.
+  struct LoadReport {
+    bool rebuilt = false;    ///< true when the file was unusable
+    bool resaved = false;    ///< true when the rebuilt db was written back
+    std::string error;       ///< the load failure message, when rebuilt
+  };
+
+  /// Loads `path`; when the file is missing/corrupted/mismatched, falls
+  /// back to recomputing every (sector, tilt) pair from `fallback` (e.g. a
+  /// BuildingProvider over the propagation model) and best-effort re-saves
+  /// the repaired database to `path`. A loaded file whose grid disagrees
+  /// with `fallback.grid()` counts as mismatched and triggers the rebuild
+  /// too. `report`, when non-null, says what happened.
+  [[nodiscard]] static PathLossDatabase load_or_rebuild(
+      const std::string& path, PathLossProvider& fallback,
+      std::span<const net::SectorId> sectors,
+      std::span<const radio::TiltIndex> tilts, LoadReport* report = nullptr);
 
  private:
   using Key = std::pair<std::int32_t, std::int32_t>;

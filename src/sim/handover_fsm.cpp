@@ -4,6 +4,111 @@
 #include <vector>
 
 namespace magus::sim {
+namespace {
+
+// The continuation chain below captures the timings by value and never the
+// procedure object: callers routinely start() from a temporary, and the
+// scheduled events outlive it.
+bool attempt_fails(const HandoverTimings& t, util::Xoshiro256ss* rng) {
+  if (rng == nullptr || t.failure_probability <= 0.0) return false;
+  return rng->uniform() < t.failure_probability;
+}
+
+void attempt_hard(HandoverTimings t, EventQueue& queue, double ue_weight,
+                  SimTime started, int attempt, int prior_attempts,
+                  SignalingCounters* counters,
+                  std::vector<HandoverOutcome>* outcomes,
+                  util::Xoshiro256ss* rng);
+
+void attempt_seamless(HandoverTimings t, EventQueue& queue, double ue_weight,
+                      SimTime started, int attempt,
+                      SignalingCounters* counters,
+                      std::vector<HandoverOutcome>* outcomes,
+                      util::Xoshiro256ss* rng) {
+  // measurement report -> HO request/ack -> RRC reconfig -> path switch.
+  queue.schedule_in(t.measurement_report_s, [=, &queue] {
+    counters->measurement_reports += ue_weight;
+    queue.schedule_in(t.handover_request_s, [=, &queue] {
+      counters->handover_requests += ue_weight;
+      if (attempt_fails(t, rng)) {
+        // Admission denied / X2 timeout: no ack. Retry after the timeout,
+        // or drop to a radio-link failure once attempts run out.
+        counters->failed_procedures += ue_weight;
+        if (attempt < t.max_attempts) {
+          queue.schedule_in(t.retry_timeout_s, [=, &queue] {
+            counters->retried_procedures += ue_weight;
+            attempt_seamless(t, queue, ue_weight, started, attempt + 1,
+                             counters, outcomes, rng);
+          });
+        } else {
+          queue.schedule_in(t.retry_timeout_s, [=, &queue] {
+            attempt_hard(t, queue, ue_weight, started, 1, attempt, counters,
+                         outcomes, rng);
+          });
+        }
+        return;
+      }
+      counters->handover_acks += ue_weight;
+      queue.schedule_in(t.rrc_reconfiguration_s, [=, &queue] {
+        counters->rrc_messages += ue_weight;
+        queue.schedule_in(t.path_switch_s, [=, &queue] {
+          counters->path_switches += ue_weight;
+          outcomes->push_back(HandoverOutcome{HandoverKind::kSeamless,
+                                              ue_weight, started, queue.now(),
+                                              0.0, attempt, false});
+        });
+      });
+    });
+  });
+}
+
+void attempt_hard(HandoverTimings t, EventQueue& queue, double ue_weight,
+                  SimTime started, int attempt, int prior_attempts,
+                  SignalingCounters* counters,
+                  std::vector<HandoverOutcome>* outcomes,
+                  util::Xoshiro256ss* rng) {
+  // Radio link failure -> reattach -> RRC -> path switch. The UE is in
+  // outage from the moment the source went dark (or the seamless attempts
+  // gave out) until the reattach completes. The RLF timer burns only on
+  // the first attempt; retries go straight back to reattach.
+  const double lead_in = attempt == 1 ? t.rlf_detection_s : 0.0;
+  queue.schedule_in(lead_in, [=, &queue] {
+    queue.schedule_in(t.reattach_s, [=, &queue] {
+      counters->reattach_attempts += ue_weight;
+      if (attempt_fails(t, rng)) {
+        counters->failed_procedures += ue_weight;
+        if (attempt < t.max_attempts) {
+          queue.schedule_in(t.retry_timeout_s, [=, &queue] {
+            counters->retried_procedures += ue_weight;
+            attempt_hard(t, queue, ue_weight, started, attempt + 1,
+                         prior_attempts, counters, outcomes, rng);
+          });
+        } else {
+          // All reattach attempts failed: abandon to idle-mode reselection.
+          queue.schedule_in(t.retry_timeout_s, [=, &queue] {
+            const SimTime done = queue.now();
+            outcomes->push_back(HandoverOutcome{
+                HandoverKind::kHard, ue_weight, started, done, done - started,
+                prior_attempts + attempt, true});
+          });
+        }
+        return;
+      }
+      queue.schedule_in(t.rrc_reconfiguration_s, [=, &queue] {
+        counters->rrc_messages += ue_weight;
+        queue.schedule_in(t.path_switch_s, [=, &queue] {
+          counters->path_switches += ue_weight;
+          const SimTime done = queue.now();
+          outcomes->push_back(HandoverOutcome{
+              HandoverKind::kHard, ue_weight, started, done, done - started,
+              prior_attempts + attempt, false});
+        });
+      });
+    });
+  });
+}
+
+}  // namespace
 
 SignalingCounters& SignalingCounters::operator+=(
     const SignalingCounters& other) {
@@ -13,11 +118,22 @@ SignalingCounters& SignalingCounters::operator+=(
   rrc_messages += other.rrc_messages;
   path_switches += other.path_switches;
   reattach_attempts += other.reattach_attempts;
+  failed_procedures += other.failed_procedures;
+  retried_procedures += other.retried_procedures;
   return *this;
 }
 
 HandoverProcedure::HandoverProcedure(HandoverTimings timings)
-    : timings_(timings) {}
+    : timings_(timings) {
+  if (timings_.max_attempts < 1) {
+    throw std::invalid_argument("HandoverProcedure: max_attempts must be >= 1");
+  }
+  if (timings_.failure_probability < 0.0 ||
+      timings_.failure_probability > 1.0) {
+    throw std::invalid_argument(
+        "HandoverProcedure: failure_probability outside [0, 1]");
+  }
+}
 
 double HandoverProcedure::duration_s(HandoverKind kind) const {
   if (kind == HandoverKind::kSeamless) {
@@ -30,52 +146,19 @@ double HandoverProcedure::duration_s(HandoverKind kind) const {
 
 void HandoverProcedure::start(EventQueue& queue, HandoverKind kind,
                               double ue_weight, SignalingCounters* counters,
-                              std::vector<HandoverOutcome>* outcomes) const {
+                              std::vector<HandoverOutcome>* outcomes,
+                              util::Xoshiro256ss* rng) const {
   if (counters == nullptr || outcomes == nullptr) {
     throw std::invalid_argument("HandoverProcedure: null output sinks");
   }
   if (ue_weight <= 0.0) return;
-  const SimTime started = queue.now();
-  const HandoverTimings t = timings_;
-
   if (kind == HandoverKind::kSeamless) {
-    // measurement report -> HO request/ack -> RRC reconfig -> path switch.
-    queue.schedule_in(t.measurement_report_s, [=, &queue] {
-      counters->measurement_reports += ue_weight;
-      queue.schedule_in(t.handover_request_s, [=, &queue] {
-        counters->handover_requests += ue_weight;
-        counters->handover_acks += ue_weight;
-        queue.schedule_in(t.rrc_reconfiguration_s, [=, &queue] {
-          counters->rrc_messages += ue_weight;
-          queue.schedule_in(t.path_switch_s, [=, &queue] {
-            counters->path_switches += ue_weight;
-            outcomes->push_back(HandoverOutcome{
-                HandoverKind::kSeamless, ue_weight, started, queue.now(),
-                0.0});
-          });
-        });
-      });
-    });
-    return;
+    attempt_seamless(timings_, queue, ue_weight, queue.now(), 1, counters,
+                     outcomes, rng);
+  } else {
+    attempt_hard(timings_, queue, ue_weight, queue.now(), 1, 0, counters,
+                 outcomes, rng);
   }
-
-  // Hard handover: radio link failure -> reattach -> RRC -> path switch.
-  // The UE is in outage from the moment the source went dark until the
-  // reattach completes.
-  queue.schedule_in(t.rlf_detection_s, [=, &queue] {
-    queue.schedule_in(t.reattach_s, [=, &queue] {
-      counters->reattach_attempts += ue_weight;
-      queue.schedule_in(t.rrc_reconfiguration_s, [=, &queue] {
-        counters->rrc_messages += ue_weight;
-        queue.schedule_in(t.path_switch_s, [=, &queue] {
-          counters->path_switches += ue_weight;
-          const SimTime done = queue.now();
-          outcomes->push_back(HandoverOutcome{HandoverKind::kHard, ue_weight,
-                                              started, done, done - started});
-        });
-      });
-    });
-  });
 }
 
 }  // namespace magus::sim

@@ -8,11 +8,21 @@
 // reattach (RRC re-establishment + attach signaling), which costs more
 // messages and a service gap. Weights are fractional UE counts, so one
 // procedure instance can represent all UEs of a grid cell.
+//
+// Procedures can fail: when an RNG stream is supplied and
+// HandoverTimings::failure_probability is positive, each attempt's
+// request/reattach phase may be rejected (admission-control denial, X2
+// timeout). Failed seamless attempts are re-tried after retry_timeout_s up
+// to max_attempts total; once seamless attempts are exhausted the UE drops
+// to a radio-link failure and completes via the hard-handover path, whose
+// reattach retries on the same policy. Failure and retry totals land in
+// SignalingCounters so storms are visible to the execution layer.
 #pragma once
 
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "util/rng.h"
 
 namespace magus::sim {
 
@@ -23,6 +33,12 @@ struct HandoverTimings {
   double path_switch_s = 0.02;
   double rlf_detection_s = 0.5;  ///< hard HO: radio-link-failure timer
   double reattach_s = 0.3;       ///< hard HO: RRC re-establishment + attach
+  /// Probability that one attempt's request/reattach phase fails. Only
+  /// consulted when an RNG is passed to HandoverProcedure::start; 0 keeps
+  /// the procedure fully deterministic.
+  double failure_probability = 0.0;
+  double retry_timeout_s = 0.2;  ///< wait before re-attempting after a failure
+  int max_attempts = 3;          ///< total attempts per phase, including the first
 };
 
 /// Weighted signaling-message counters (UE-weighted: one UE contributes
@@ -34,6 +50,10 @@ struct SignalingCounters {
   double rrc_messages = 0.0;
   double path_switches = 0.0;
   double reattach_attempts = 0.0;
+  /// UE-weighted procedure attempts that failed / were re-tried. Not part
+  /// of total(): they count procedures, not messages on the wire.
+  double failed_procedures = 0.0;
+  double retried_procedures = 0.0;
 
   [[nodiscard]] double total() const {
     return measurement_reports + handover_requests + handover_acks +
@@ -52,6 +72,12 @@ struct HandoverOutcome {
   SimTime completed_at = 0.0;
   /// Time the UEs had no service (zero for seamless handovers).
   double outage_s = 0.0;
+  /// Procedure attempts spent (1 = first try succeeded).
+  int attempts = 1;
+  /// True when every allowed attempt failed and the UEs were abandoned to
+  /// idle-mode reselection (service restored out-of-band; the full window
+  /// still counts as outage).
+  bool gave_up = false;
 };
 
 class HandoverProcedure {
@@ -59,13 +85,18 @@ class HandoverProcedure {
   explicit HandoverProcedure(HandoverTimings timings = {});
 
   /// Schedules a weighted handover starting at queue.now(); `counters` and
-  /// `outcomes` accumulate results when the queue runs. Both must outlive
-  /// the queue run.
+  /// `outcomes` accumulate results when the queue runs, and `rng` (when
+  /// non-null) must stay alive through it — the scheduled events hold
+  /// copies of the timings, so the procedure object itself need not.
+  /// `rng` enables failure injection per
+  /// HandoverTimings::failure_probability; with nullptr (the default) the
+  /// procedure never fails and behaves exactly as before.
   void start(EventQueue& queue, HandoverKind kind, double ue_weight,
              SignalingCounters* counters,
-             std::vector<HandoverOutcome>* outcomes) const;
+             std::vector<HandoverOutcome>* outcomes,
+             util::Xoshiro256ss* rng = nullptr) const;
 
-  /// Total latency of one procedure of the given kind.
+  /// Total latency of one fault-free procedure of the given kind.
   [[nodiscard]] double duration_s(HandoverKind kind) const;
 
   [[nodiscard]] const HandoverTimings& timings() const { return timings_; }

@@ -1,0 +1,25 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace magus::util {
+
+double BackoffPolicy::delay_before_attempt_s(int attempt) const {
+  if (attempt < 0) {
+    throw std::invalid_argument("BackoffPolicy: negative attempt index");
+  }
+  if (attempt == 0) return 0.0;
+  const double raw =
+      initial_delay_s * std::pow(multiplier, static_cast<double>(attempt - 1));
+  return std::clamp(raw, 0.0, max_delay_s);
+}
+
+double BackoffPolicy::worst_case_total_delay_s() const {
+  double total = 0.0;
+  for (int a = 0; a < max_attempts; ++a) total += delay_before_attempt_s(a);
+  return total;
+}
+
+}  // namespace magus::util

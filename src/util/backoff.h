@@ -1,0 +1,34 @@
+// Capped exponential backoff policy.
+//
+// Shared by every retry loop in the execution layer (OSS configuration
+// pushes, handover-procedure re-attempts): attempt 0 runs immediately,
+// attempt k waits initial_delay_s * multiplier^(k-1), capped at
+// max_delay_s, until max_attempts attempts have been spent. Purely
+// deterministic — jitter, where needed, is the caller's responsibility so
+// that all randomness keeps flowing from explicit seeds.
+#pragma once
+
+namespace magus::util {
+
+struct BackoffPolicy {
+  double initial_delay_s = 0.5;
+  double multiplier = 2.0;
+  double max_delay_s = 8.0;
+  int max_attempts = 4;  ///< total attempts, including the first
+
+  /// Delay to wait *before* the given attempt (0-based). Attempt 0 is
+  /// immediate; later attempts grow geometrically up to the cap.
+  [[nodiscard]] double delay_before_attempt_s(int attempt) const;
+
+  /// True when `attempts_made` attempts have been spent and no further
+  /// retry is allowed.
+  [[nodiscard]] bool exhausted(int attempts_made) const {
+    return attempts_made >= max_attempts;
+  }
+
+  /// Total wait accumulated by a full run through all attempts — the
+  /// worst-case latency a retry loop adds before giving up.
+  [[nodiscard]] double worst_case_total_delay_s() const;
+};
+
+}  // namespace magus::util

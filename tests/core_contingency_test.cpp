@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/contingency.h"
 #include "test_helpers.h"
 
@@ -75,6 +77,61 @@ TEST_F(ContingencyTest, ApplyRefusesUnknownOutage) {
   EXPECT_TRUE(model_.configuration() == before);
   EXPECT_DOUBLE_EQ(table.worst_recovery(), 0.0);
   EXPECT_DOUBLE_EQ(table.mean_recovery(), 0.0);
+}
+
+TEST_F(ContingencyTest, LookupNearestPrefersExactMatch) {
+  const auto table =
+      ContingencyTable::build_per_sector(*planner_, world_.network);
+  const net::SectorId failed[] = {world_.east};
+  const auto match = table.lookup_nearest(failed);
+  ASSERT_NE(match.plan, nullptr);
+  EXPECT_TRUE(match.exact());
+  EXPECT_EQ(match.plan, table.lookup(failed));
+  EXPECT_EQ(match.covered, (std::vector<net::SectorId>{world_.east}));
+  EXPECT_TRUE(match.uncovered.empty());
+}
+
+TEST_F(ContingencyTest, LookupNearestDegradesToLargestSubset) {
+  // Only single-sector contingencies exist; a double failure degrades to
+  // the best partial plan, reporting what it does not account for.
+  const auto table =
+      ContingencyTable::build_per_sector(*planner_, world_.network);
+  const net::SectorId failed[] = {world_.west, world_.east};
+  const auto match = table.lookup_nearest(failed);
+  ASSERT_NE(match.plan, nullptr);
+  EXPECT_FALSE(match.exact());
+  EXPECT_EQ(match.covered.size(), 1u);
+  EXPECT_EQ(match.uncovered.size(), 1u);
+  // covered + uncovered partition the failed set.
+  std::vector<net::SectorId> all = match.covered;
+  all.insert(all.end(), match.uncovered.begin(), match.uncovered.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<net::SectorId>{world_.west, world_.east}));
+}
+
+TEST_F(ContingencyTest, LookupNearestReturnsNothingWithoutSubset) {
+  const std::vector<std::vector<net::SectorId>> outages = {
+      {world_.west, world_.east},  // only the joint outage is stored
+  };
+  const auto table = ContingencyTable::build(*planner_, outages);
+  const net::SectorId failed[] = {world_.west};
+  const auto match = table.lookup_nearest(failed);
+  EXPECT_EQ(match.plan, nullptr);  // {west,east} is not a subset of {west}
+  EXPECT_FALSE(match.exact());
+  EXPECT_FALSE(table.apply(model_, failed, /*allow_nearest=*/true));
+}
+
+TEST_F(ContingencyTest, ApplyNearestForcesUncoveredOff) {
+  const auto table =
+      ContingencyTable::build_per_sector(*planner_, world_.network);
+  const net::SectorId failed[] = {world_.west, world_.east};
+  // Strict apply refuses the unknown double outage...
+  EXPECT_FALSE(table.apply(model_, failed));
+  // ...nearest-match apply pushes the partial plan and still takes every
+  // failed sector off-air.
+  ASSERT_TRUE(table.apply(model_, failed, /*allow_nearest=*/true));
+  EXPECT_FALSE(model_.configuration()[world_.west].active);
+  EXPECT_FALSE(model_.configuration()[world_.east].active);
 }
 
 TEST_F(ContingencyTest, RecoveryRiskMetrics) {

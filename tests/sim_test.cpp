@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "sim/event_queue.h"
 #include "sim/handover_fsm.h"
 #include "sim/migration_sim.h"
@@ -106,14 +109,123 @@ TEST(HandoverFsm, ZeroWeightIsNoOp) {
   EXPECT_TRUE(outcomes.empty());
 }
 
+TEST(HandoverFsm, TimingsValidation) {
+  HandoverTimings bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(HandoverProcedure{bad}, std::invalid_argument);
+  bad = HandoverTimings{};
+  bad.failure_probability = 1.5;
+  EXPECT_THROW(HandoverProcedure{bad}, std::invalid_argument);
+  bad.failure_probability = -0.1;
+  EXPECT_THROW(HandoverProcedure{bad}, std::invalid_argument);
+}
+
+TEST(HandoverFsm, NullRngNeverFails) {
+  // Without an RNG the procedure is fully deterministic even when the
+  // configured failure probability is 1: legacy callers are unaffected.
+  HandoverTimings timings;
+  timings.failure_probability = 1.0;
+  EventQueue queue;
+  SignalingCounters counters;
+  std::vector<HandoverOutcome> outcomes;
+  HandoverProcedure{timings}.start(queue, HandoverKind::kSeamless, 2.0,
+                                   &counters, &outcomes);
+  queue.run();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].gave_up);
+  EXPECT_EQ(outcomes[0].attempts, 1);
+  EXPECT_DOUBLE_EQ(counters.failed_procedures, 0.0);
+  EXPECT_DOUBLE_EQ(counters.retried_procedures, 0.0);
+}
+
+TEST(HandoverFsm, CertainFailureExhaustsRetriesAndGivesUp) {
+  // p = 1 makes every attempt fail deterministically: two seamless tries,
+  // then the drop to hard, whose two reattach tries also fail. The UEs end
+  // abandoned to idle-mode reselection with the full window as outage.
+  HandoverTimings timings;
+  timings.failure_probability = 1.0;
+  timings.max_attempts = 2;
+  EventQueue queue;
+  SignalingCounters counters;
+  std::vector<HandoverOutcome> outcomes;
+  util::Xoshiro256ss rng{42};
+  HandoverProcedure{timings}.start(queue, HandoverKind::kSeamless, 1.0,
+                                   &counters, &outcomes, &rng);
+  queue.run();
+  EXPECT_DOUBLE_EQ(counters.measurement_reports, 2.0);  // one per attempt
+  EXPECT_DOUBLE_EQ(counters.handover_requests, 2.0);
+  EXPECT_DOUBLE_EQ(counters.handover_acks, 0.0);  // never admitted
+  EXPECT_DOUBLE_EQ(counters.reattach_attempts, 2.0);
+  EXPECT_DOUBLE_EQ(counters.path_switches, 0.0);
+  EXPECT_DOUBLE_EQ(counters.failed_procedures, 4.0);   // 2 seamless + 2 hard
+  EXPECT_DOUBLE_EQ(counters.retried_procedures, 2.0);  // 1 per phase
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, HandoverKind::kHard);
+  EXPECT_TRUE(outcomes[0].gave_up);
+  EXPECT_EQ(outcomes[0].attempts, 4);
+  EXPECT_GT(outcomes[0].outage_s, timings.rlf_detection_s);
+}
+
+TEST(HandoverFsm, ZeroProbabilityWithRngMatchesBaseline) {
+  EventQueue queue;
+  SignalingCounters counters;
+  std::vector<HandoverOutcome> outcomes;
+  util::Xoshiro256ss rng{1};
+  const HandoverProcedure procedure;
+  procedure.start(queue, HandoverKind::kSeamless, 3.0, &counters, &outcomes,
+                  &rng);
+  queue.run();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].attempts, 1);
+  EXPECT_DOUBLE_EQ(counters.failed_procedures, 0.0);
+  EXPECT_NEAR(outcomes[0].completed_at - outcomes[0].started_at,
+              procedure.duration_s(HandoverKind::kSeamless), 1e-9);
+}
+
+TEST(HandoverFsm, PartialFailureIsSeedDeterministic) {
+  HandoverTimings timings;
+  timings.failure_probability = 0.4;
+  timings.max_attempts = 4;
+  const auto run_once = [&](std::uint64_t seed) {
+    EventQueue queue;
+    SignalingCounters counters;
+    std::vector<HandoverOutcome> outcomes;
+    util::Xoshiro256ss rng{seed};
+    const HandoverProcedure procedure{timings};
+    for (int i = 0; i < 30; ++i) {
+      procedure.start(queue, HandoverKind::kSeamless, 1.0, &counters,
+                      &outcomes, &rng);
+    }
+    queue.run();
+    return std::pair{counters, outcomes.size()};
+  };
+  const auto [counters_a, n_a] = run_once(7);
+  const auto [counters_b, n_b] = run_once(7);
+  EXPECT_EQ(n_a, n_b);
+  EXPECT_DOUBLE_EQ(counters_a.failed_procedures, counters_b.failed_procedures);
+  EXPECT_DOUBLE_EQ(counters_a.retried_procedures,
+                   counters_b.retried_procedures);
+  EXPECT_DOUBLE_EQ(counters_a.total(), counters_b.total());
+  // At p = 0.4 over 30 procedures some failures must occur, and every
+  // retry follows a failure.
+  EXPECT_GT(counters_a.failed_procedures, 0.0);
+  EXPECT_LE(counters_a.retried_procedures, counters_a.failed_procedures);
+}
+
 TEST(HandoverFsm, CountersAccumulate) {
   SignalingCounters a;
   a.rrc_messages = 2.0;
+  a.failed_procedures = 1.0;
   SignalingCounters b;
   b.rrc_messages = 3.0;
   b.path_switches = 1.0;
+  b.failed_procedures = 2.0;
+  b.retried_procedures = 1.5;
   a += b;
   EXPECT_DOUBLE_EQ(a.rrc_messages, 5.0);
+  EXPECT_DOUBLE_EQ(a.failed_procedures, 3.0);
+  EXPECT_DOUBLE_EQ(a.retried_procedures, 1.5);
+  // Procedure-level counters are bookkeeping, not messages on the wire.
   EXPECT_DOUBLE_EQ(a.total(), 6.0);
 }
 
