@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bench::Scale scale = bench::scale_from(args);
+  const std::size_t threads = util::threads_from(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const data::MarketParams params = bench::market_params(
       data::Morphology::kSuburban, 0, scale, seed);
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
       data::Experiment experiment{params};
       const auto outcome = bench::run_scenario(
           experiment, data::UpgradeScenario::kSingleSector,
-          core::TuningMode::kTilt, core::Utility::performance());
+          core::TuningMode::kTilt, core::Utility::performance(), threads);
       table.add_row({"faithful rebuild",
                      util::TablePrinter::percent(outcome.recovery),
                      util::TablePrinter::num(seconds_since(start), 1)});
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
       core::Evaluator evaluator{&model, core::Utility::performance()};
       core::PlannerOptions options;
       options.mode = core::TuningMode::kTilt;
+      options.threads = threads;
       core::MagusPlanner planner{&evaluator, options};
       const auto targets = data::upgrade_targets(
           experiment.market(), data::UpgradeScenario::kSingleSector);
@@ -89,6 +91,8 @@ int main(int argc, char** argv) {
 
     core::Evaluator evaluator{&experiment.model(),
                               core::Utility::performance()};
+    core::ParallelEvaluator parallel{&experiment.model(),
+                                     core::Utility::performance(), threads};
     core::MagusPlanner planner{&evaluator, core::PlannerOptions{}};
     const auto involved = planner.involved_sectors(targets);
 
@@ -101,7 +105,7 @@ int main(int argc, char** argv) {
 
     // Pruned (Algorithm 1 as in the paper).
     const core::PowerSearch pruned{};
-    const auto with_pruning = pruned.run(evaluator, involved, baseline);
+    const auto with_pruning = pruned.run(parallel, involved, baseline);
 
     // Unpruned: an unreachable baseline rate everywhere makes every grid
     // look degraded, so the candidate filter never removes anyone.
@@ -109,7 +113,7 @@ int main(int argc, char** argv) {
     const std::vector<double> all_degraded(
         static_cast<std::size_t>(model.cell_count()), 1e18);
     const auto without_pruning =
-        pruned.run(evaluator, involved, all_degraded);
+        pruned.run(parallel, involved, all_degraded);
 
     util::TablePrinter table({"variant", "utility", "accepted steps",
                               "model evaluations"});
@@ -135,7 +139,7 @@ int main(int argc, char** argv) {
       data::Experiment experiment{p};
       const auto outcome = bench::run_scenario(
           experiment, data::UpgradeScenario::kSingleSector,
-          core::TuningMode::kPower, core::Utility::performance());
+          core::TuningMode::kPower, core::Utility::performance(), threads);
       table.add_row({util::TablePrinter::num(cell_m, 0) + " m",
                      std::to_string(experiment.grid().cell_count()),
                      util::TablePrinter::percent(outcome.recovery)});

@@ -29,6 +29,7 @@ inline void add_scale_flags(util::ArgParser& args) {
   args.add_flag("paper-scale", "false",
                 "use the paper's 30 km region / 10 km study area");
   args.add_flag("seed", "1", "base seed for market generation");
+  util::add_threads_flag(args);
 }
 
 [[nodiscard]] inline Scale scale_from(const util::ArgParser& args) {
@@ -69,10 +70,12 @@ struct ScenarioOutcome {
 
 [[nodiscard]] inline ScenarioOutcome run_scenario(
     data::Experiment& experiment, data::UpgradeScenario scenario,
-    core::TuningMode mode, const core::Utility& utility) {
+    core::TuningMode mode, const core::Utility& utility,
+    std::size_t threads = 0) {
   core::Evaluator evaluator{&experiment.model(), utility};
   core::PlannerOptions options;
   options.mode = mode;
+  options.threads = threads;
   core::MagusPlanner planner{&evaluator, options};
   const auto targets = data::upgrade_targets(experiment.market(), scenario);
 

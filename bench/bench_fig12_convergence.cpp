@@ -3,9 +3,12 @@
 // reactive feedback-based, and no tuning, plus the idealized / realistic
 // feedback step counts (paper: 27 idealized, ~310 realistic, vs 1 step for
 // model-based approaches).
+#include <chrono>
+
 #include "bench_common.h"
 #include "core/strategies.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -15,6 +18,7 @@ int main(int argc, char** argv) {
   bench::add_scale_flags(args);
   args.add_flag("post-steps", "40", "steps plotted after the upgrade");
   args.add_flag("csv", "", "optional CSV output path");
+  args.add_flag("json", "", "optional JSON summary path (timing + speedup)");
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
@@ -23,14 +27,53 @@ int main(int argc, char** argv) {
   }
   const bench::Scale scale = bench::scale_from(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const std::size_t threads = util::threads_from(args);
 
   data::Experiment experiment{bench::market_params(
       data::Morphology::kSuburban, 0, scale, seed)};
 
   // Find C_after first (joint tuning), then build the strategy timelines.
-  const auto outcome = bench::run_scenario(
-      experiment, data::UpgradeScenario::kSingleSector,
-      core::TuningMode::kJoint, core::Utility::performance());
+  // The planning run is timed so --json can report evaluation throughput;
+  // every run starts from the same initial configuration, so the plan is
+  // identical for any thread count.
+  const net::Configuration initial = experiment.model().configuration();
+  const auto timed_scenario = [&](std::size_t run_threads) {
+    experiment.model().set_configuration(initial);
+    const auto start = std::chrono::steady_clock::now();
+    bench::ScenarioOutcome run = bench::run_scenario(
+        experiment, data::UpgradeScenario::kSingleSector,
+        core::TuningMode::kJoint, core::Utility::performance(), run_threads);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    return std::pair{run, wall.count()};
+  };
+  const auto [outcome, wall_s] = timed_scenario(threads);
+
+  if (const std::string json_path = args.get_string("json");
+      !json_path.empty()) {
+    // Reference run at one thread for the speedup + identical-result check.
+    const auto [reference, wall_1] =
+        threads == 1 ? std::pair{outcome, wall_s} : timed_scenario(1);
+    const bool identical =
+        reference.plan.search.config == outcome.plan.search.config &&
+        reference.plan.search.utility == outcome.plan.search.utility &&
+        reference.candidate_evaluations == outcome.candidate_evaluations;
+    util::JsonObject summary;
+    summary.set("bench", "fig12_convergence");
+    summary.set("threads", static_cast<std::int64_t>(threads));
+    summary.set("candidate_evaluations",
+                static_cast<std::int64_t>(outcome.candidate_evaluations));
+    summary.set("wall_s_1_thread", wall_1);
+    summary.set("wall_s", wall_s);
+    summary.set("evals_per_sec_1_thread",
+                static_cast<double>(reference.candidate_evaluations) / wall_1);
+    summary.set("evals_per_sec",
+                static_cast<double>(outcome.candidate_evaluations) / wall_s);
+    summary.set("speedup_vs_1_thread", wall_1 / wall_s);
+    summary.set("identical_result", identical);
+    summary.write_file(json_path);
+    std::cout << "JSON summary written to " << json_path << '\n';
+  }
 
   core::Evaluator evaluator{&experiment.model(),
                             core::Utility::performance()};

@@ -1,16 +1,39 @@
 // Google-benchmark micro benchmarks of the hot paths: footprint
 // construction, full model rebuild, incremental power/tilt updates,
-// snapshot/restore, utility evaluation, and one Algorithm-1 probe.
+// snapshot/restore, utility evaluation, batch candidate scoring, and one
+// Algorithm-1 probe.
+//
+// Beyond the google-benchmark flags, the binary accepts:
+//   --threads N   worker threads for the parallel-scoring benchmarks
+//                 (0 = hardware concurrency; peeled before benchmark init)
+//   --json PATH   write a machine-readable summary of the batch-scoring
+//                 throughput (evaluations/sec, wall time, speedup vs 1
+//                 thread) to PATH
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "core/evaluator.h"
+#include "core/parallel_evaluator.h"
 #include "core/power_search.h"
 #include "data/experiment.h"
 #include "data/upgrade_scenarios.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace magus;
+
+std::size_t g_threads = 1;  ///< --threads (resolved)
+
+[[nodiscard]] std::size_t micro_threads() { return g_threads; }
 
 [[nodiscard]] data::MarketParams bench_params(std::uint64_t seed = 3) {
   data::MarketParams params;
@@ -113,7 +136,8 @@ BENCHMARK(BM_ImprovesRateProbe);
 void BM_PowerSearchFull(benchmark::State& state) {
   data::Experiment& experiment = shared_experiment();
   model::AnalysisModel& model = experiment.model();
-  core::Evaluator evaluator{&model, core::Utility::performance()};
+  core::ParallelEvaluator evaluator{&model, core::Utility::performance(),
+                                    micro_threads()};
   const auto targets = data::upgrade_targets(
       experiment.market(), data::UpgradeScenario::kSingleSector);
   for (auto _ : state) {
@@ -131,6 +155,108 @@ void BM_PowerSearchFull(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerSearchFull)->Unit(benchmark::kMillisecond);
 
+void BM_BatchScore(benchmark::State& state) {
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  model.set_configuration(model.network().default_configuration());
+  model.freeze_uniform_ue_density();
+  core::ParallelEvaluator evaluator{
+      &model, core::Utility::performance(),
+      static_cast<std::size_t>(state.range(0))};
+  core::CandidateBatch batch;
+  for (int s = 0; s < model.network().sector_count(); ++s) {
+    batch.push_back(core::Candidate::single(core::Mutation::power(
+        static_cast<net::SectorId>(s),
+        model.configuration()[static_cast<net::SectorId>(s)].power_dbm +
+            2.0)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.score(batch));
+  }
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(evaluator.evaluation_count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchScore)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// Timed batch-scoring sweep for the --json artifact: same work at 1 thread
+/// and at --threads, reporting throughput and the measured speedup.
+void write_json_summary(const std::string& path) {
+  using Clock = std::chrono::steady_clock;
+  data::Experiment& experiment = shared_experiment();
+  model::AnalysisModel& model = experiment.model();
+  model.set_configuration(model.network().default_configuration());
+  model.freeze_uniform_ue_density();
+
+  core::CandidateBatch batch;
+  for (int s = 0; s < model.network().sector_count(); ++s) {
+    batch.push_back(core::Candidate::single(core::Mutation::power(
+        static_cast<net::SectorId>(s),
+        model.configuration()[static_cast<net::SectorId>(s)].power_dbm +
+            2.0)));
+  }
+  constexpr int kRounds = 20;
+  const auto timed_run = [&](std::size_t threads) {
+    core::ParallelEvaluator evaluator{&model, core::Utility::performance(),
+                                      threads};
+    (void)evaluator.score(batch);  // warm up worker clones
+    const auto start = Clock::now();
+    for (int round = 0; round < kRounds; ++round) {
+      benchmark::DoNotOptimize(evaluator.score(batch));
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  const double serial_s = timed_run(1);
+  const double parallel_s = timed_run(g_threads);
+  const auto evals = static_cast<double>(batch.size()) * kRounds;
+
+  util::JsonObject summary;
+  summary.set("bench", "bench_micro_model")
+      .set("batch_size", static_cast<std::int64_t>(batch.size()))
+      .set("rounds", static_cast<std::int64_t>(kRounds))
+      .set("threads", static_cast<std::int64_t>(g_threads))
+      .set("wall_s_1_thread", serial_s)
+      .set("wall_s", parallel_s)
+      .set("evals_per_sec_1_thread", evals / serial_s)
+      .set("evals_per_sec", evals / parallel_s)
+      .set("speedup_vs_1_thread", serial_s / parallel_s);
+  summary.write_file(path);
+  std::cout << "wrote " << path << '\n';
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel our flags; everything else goes to google-benchmark.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const auto take_value = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+      if (argv[i][len] == '=') return argv[i] + len + 1;
+      if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = take_value("--threads")) {
+      g_threads = util::resolve_thread_count(
+          static_cast<std::size_t>(std::max(0L, std::strtol(v, nullptr, 10))));
+    } else if (const char* v = take_value("--json")) {
+      json_path = v;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_json_summary(json_path);
+  return 0;
+}

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   args.add_flag("seed", "3", "market generation seed");
   args.add_flag("step-db", "2", "per-step power-down on the target (dB)");
   args.add_flag("interval-s", "120", "seconds between tuning steps");
+  util::add_threads_flag(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   core::PlannerOptions options;
   options.mode = core::TuningMode::kJoint;
   options.gradual.target_step_db = args.get_double("step-db");
+  options.threads = util::threads_from(args);
   core::MagusPlanner planner{&evaluator, options};
 
   const auto targets = data::upgrade_targets(

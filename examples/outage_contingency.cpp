@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   util::ArgParser args{"Precompute per-sector outage contingencies"};
   args.add_flag("seed", "5", "market generation seed");
   args.add_flag("max-sectors", "12", "cap on precomputed contingencies");
+  util::add_threads_flag(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
                             core::Utility::performance()};
   core::PlannerOptions options;
   options.mode = core::TuningMode::kPower;
+  options.threads = util::threads_from(args);
   core::MagusPlanner planner{&evaluator, options};
 
   // Precompute a contingency for every sector inside the study area.

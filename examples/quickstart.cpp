@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   args.add_flag("seed", "7", "market generation seed");
   args.add_flag("morphology", "suburban", "rural | suburban | urban");
   args.add_flag("region-km", "12", "analysis region edge in km");
+  util::add_threads_flag(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
                             core::Utility::performance()};
   core::PlannerOptions options;
   options.mode = core::TuningMode::kJoint;
+  options.threads = util::threads_from(args);
   core::MagusPlanner planner{&evaluator, options};
 
   const auto targets = data::upgrade_targets(

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   args.add_flag("mode", "joint", "power | tilt | joint | naive");
   args.add_flag("csv", "", "optional path for CSV export");
   args.add_flag("max-sites", "6", "cap on the number of sites planned");
+  util::add_threads_flag(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
                             core::Utility::performance()};
   core::PlannerOptions options;
   options.mode = parse_mode(args.get_string("mode"));
+  options.threads = util::threads_from(args);
   core::MagusPlanner planner{&evaluator, options};
 
   std::cout << "Campaign over " << sites.size() << " sites ("

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Full verification: regular build + tests, then the same suite under
-# ASan+UBSan (the Sanitize build type / "sanitize" CMake preset).
+# Full verification: regular build + tests, the same suite under ASan+UBSan
+# (the Sanitize build type / "sanitize" CMake preset), and the thread-pool /
+# parallel-evaluation tests under ThreadSanitizer (the Tsan build type /
+# "tsan" preset; TSan cannot be combined with ASan, hence its own tree).
 #
-#   scripts/verify.sh            # both passes
+#   scripts/verify.sh            # all three passes
 #   scripts/verify.sh --fast     # regular pass only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,5 +27,11 @@ cmake --build build-sanitize -j "$jobs"
 ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
   ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+
+echo "==> ThreadSanitizer build + parallel tests (TSan)"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan >/dev/null
+cmake --build build-tsan -j "$jobs" --target magus_parallel_tests
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tests/magus_parallel_tests
 
 echo "==> verify OK"

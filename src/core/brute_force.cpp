@@ -9,7 +9,7 @@ BruteForceSearch::BruteForceSearch(long max_combinations)
     : max_combinations_(max_combinations) {}
 
 SearchResult BruteForceSearch::run(
-    Evaluator& evaluator, std::span<const BruteForceAxis> axes) const {
+    ParallelEvaluator& evaluator, std::span<const BruteForceAxis> axes) const {
   long combinations = 1;
   for (const auto& axis : axes) {
     if (axis.power_levels_dbm.empty() || axis.tilt_indices.empty()) {
@@ -27,9 +27,10 @@ SearchResult BruteForceSearch::run(
 
   SearchResult result;
   result.utility = -std::numeric_limits<double>::infinity();
-  net::Configuration best_config = model.configuration();
+  Candidate best;
 
-  // Odometer over the axes.
+  // Odometer over the axes, materialized and scored chunk by chunk (the
+  // full product would not fit in memory for the larger testbed sweeps).
   std::vector<std::size_t> counter(axes.size() * 2, 0);  // power, tilt pairs
   const auto advance = [&]() -> bool {
     for (std::size_t d = 0; d < counter.size(); ++d) {
@@ -41,24 +42,42 @@ SearchResult BruteForceSearch::run(
     }
     return false;
   };
-
-  do {
-    model.restore(base_snapshot);
+  const auto current_candidate = [&]() {
+    Candidate c;
+    c.mutations.reserve(axes.size() * 2);
     for (std::size_t a = 0; a < axes.size(); ++a) {
       const auto& axis = axes[a];
-      model.set_power(axis.sector, axis.power_levels_dbm[counter[a * 2]]);
-      model.set_tilt(axis.sector, axis.tilt_indices[counter[a * 2 + 1]]);
+      c.mutations.push_back(Mutation::power(
+          axis.sector, axis.power_levels_dbm[counter[a * 2]]));
+      c.mutations.push_back(Mutation::tilt_to(
+          axis.sector, axis.tilt_indices[counter[a * 2 + 1]]));
     }
-    const double utility = evaluator.evaluate();
-    ++result.candidate_evaluations;
-    if (utility > result.utility) {
-      result.utility = utility;
-      best_config = model.configuration();
-    }
-  } while (advance());
+    return c;
+  };
 
-  model.set_configuration(best_config);
-  result.config = best_config;
+  constexpr std::size_t kChunk = 1024;
+  bool more = true;
+  CandidateBatch chunk;
+  while (more) {
+    chunk.clear();
+    do {
+      chunk.push_back(current_candidate());
+      more = advance();
+    } while (more && chunk.size() < kChunk);
+
+    const std::vector<double> utilities = evaluator.score(chunk);
+    result.candidate_evaluations += static_cast<long>(chunk.size());
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      if (utilities[i] > result.utility) {  // strict: earliest optimum wins
+        result.utility = utilities[i];
+        best = chunk[i];
+      }
+    }
+  }
+
+  model.restore(base_snapshot);
+  apply_candidate(model, best);
+  result.config = model.configuration();
   return result;
 }
 

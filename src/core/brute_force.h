@@ -4,12 +4,17 @@
 // astronomically large), but exact: tests use it as ground truth for the
 // heuristics, and the testbed harness uses it to find the optimal
 // attenuation settings of §3's 2- and 3-eNodeB scenarios.
+//
+// Combinations are enumerated in odometer order and scored in fixed-size
+// chunks through the ParallelEvaluator; the running best uses strict
+// greater-than in enumeration order, so the earliest optimum wins exactly
+// as in a serial sweep, for any thread count.
 #pragma once
 
 #include <span>
 #include <vector>
 
-#include "core/evaluator.h"
+#include "core/parallel_evaluator.h"
 #include "core/search_types.h"
 
 namespace magus::core {
@@ -30,7 +35,7 @@ class BruteForceSearch {
 
   /// Evaluates every combination of the axes applied on top of the model's
   /// current configuration; returns the best and leaves the model there.
-  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+  [[nodiscard]] SearchResult run(ParallelEvaluator& evaluator,
                                  std::span<const BruteForceAxis> axes) const;
 
  private:

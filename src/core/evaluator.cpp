@@ -6,6 +6,43 @@
 
 namespace magus::core {
 
+double evaluate_utility(const model::EvalContext& context,
+                        const Utility& utility, EvalScratch& scratch) {
+  const auto cells = static_cast<std::size_t>(context.cell_count());
+  const auto ue = context.ue_density();
+  const auto sectors = context.network().sector_count();
+  const auto bandwidth = context.network().carrier().bandwidth;
+  const auto& scheduler = context.options().scheduler;
+
+  scratch.cqi.assign(cells, 0);
+  scratch.load.assign(sectors, 0.0);
+
+  // Pass 1: per-grid CQI and per-sector attached-UE loads (Formula 3).
+  for (std::size_t i = 0; i < cells; ++i) {
+    const auto g = static_cast<geo::GridIndex>(i);
+    const lte::Cqi cqi = context.cqi(g);
+    scratch.cqi[i] = static_cast<std::int8_t>(cqi);
+    if (cqi > 0 && ue[i] > 0.0) {
+      const net::SectorId s = context.serving_sector(g);
+      scratch.load[static_cast<std::size_t>(s)] += ue[i];
+    }
+  }
+
+  // Pass 2: UE-weighted utility with shared rates (Formula 4).
+  double total = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (scratch.cqi[i] <= 0 || ue[i] <= 0.0) continue;
+    const auto g = static_cast<geo::GridIndex>(i);
+    const net::SectorId s = context.serving_sector(g);
+    const double max_rate =
+        lte::max_rate_bps_for_cqi(scratch.cqi[i], bandwidth);
+    const double rate = scheduler.shared_rate_bps(
+        max_rate, scratch.load[static_cast<std::size_t>(s)]);
+    if (rate > 0.0) total += ue[i] * utility.per_ue(rate);
+  }
+  return total;
+}
+
 Evaluator::Evaluator(model::AnalysisModel* model, Utility utility)
     : model_(model), utility_(std::move(utility)) {
   if (model_ == nullptr) {
@@ -15,40 +52,7 @@ Evaluator::Evaluator(model::AnalysisModel* model, Utility utility)
 
 double Evaluator::evaluate() const {
   ++evaluations_;
-  const auto& model = *model_;
-  const auto cells = static_cast<std::size_t>(model.cell_count());
-  const auto ue = model.ue_density();
-  const auto sectors = model.network().sector_count();
-  const auto bandwidth = model.network().carrier().bandwidth;
-  const auto& scheduler = model.options().scheduler;
-
-  cqi_scratch_.assign(cells, 0);
-  load_scratch_.assign(sectors, 0.0);
-
-  // Pass 1: per-grid CQI and per-sector attached-UE loads (Formula 3).
-  for (std::size_t i = 0; i < cells; ++i) {
-    const auto g = static_cast<geo::GridIndex>(i);
-    const lte::Cqi cqi = model.cqi(g);
-    cqi_scratch_[i] = static_cast<std::int8_t>(cqi);
-    if (cqi > 0 && ue[i] > 0.0) {
-      const net::SectorId s = model.serving_sector(g);
-      load_scratch_[static_cast<std::size_t>(s)] += ue[i];
-    }
-  }
-
-  // Pass 2: UE-weighted utility with shared rates (Formula 4).
-  double total = 0.0;
-  for (std::size_t i = 0; i < cells; ++i) {
-    if (cqi_scratch_[i] <= 0 || ue[i] <= 0.0) continue;
-    const auto g = static_cast<geo::GridIndex>(i);
-    const net::SectorId s = model.serving_sector(g);
-    const double max_rate =
-        lte::max_rate_bps_for_cqi(cqi_scratch_[i], bandwidth);
-    const double rate = scheduler.shared_rate_bps(
-        max_rate, load_scratch_[static_cast<std::size_t>(s)]);
-    if (rate > 0.0) total += ue[i] * utility_.per_ue(rate);
-  }
-  return total;
+  return evaluate_utility(*model_, utility_, scratch_);
 }
 
 double Evaluator::evaluate_configuration(const net::Configuration& c) const {

@@ -1,5 +1,11 @@
-// The Evaluation component of Figure 6: computes f(U(C)) for the analysis
-// model's current configuration with a single fused pass over the grid.
+// The Evaluation component of Figure 6: computes f(U(C)) for an eval
+// context's current configuration with a single fused pass over the grid.
+//
+// The pass itself is the free function evaluate_utility(), which scores any
+// model::EvalContext — the driver's model or a worker thread's clone — with
+// caller-owned scratch buffers, so the parallel evaluator can run it
+// concurrently on per-worker contexts. Evaluator is the serial wrapper that
+// binds a model, a utility and its own scratch/counter.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,21 @@
 
 namespace magus::core {
 
+/// Reusable buffers for evaluate_utility (avoids per-call allocation).
+/// One instance per thread; never share across concurrent evaluations.
+struct EvalScratch {
+  std::vector<std::int8_t> cqi;
+  std::vector<double> load;
+};
+
+/// Overall utility of the context's *current* state: the UE-weighted sum
+/// of per-UE utility over in-service grids (out-of-service UEs contribute
+/// 0, the paper's r <= 0 branch). Thread-safe as long as `context` and
+/// `scratch` are owned by the calling thread.
+[[nodiscard]] double evaluate_utility(const model::EvalContext& context,
+                                      const Utility& utility,
+                                      EvalScratch& scratch);
+
 class Evaluator {
  public:
   /// `model` must outlive the evaluator.
@@ -18,9 +39,7 @@ class Evaluator {
   [[nodiscard]] const Utility& utility() const { return utility_; }
   [[nodiscard]] model::AnalysisModel& model() const { return *model_; }
 
-  /// Overall utility of the model's *current* state: the UE-weighted sum
-  /// of per-UE utility over in-service grids (out-of-service UEs
-  /// contribute 0, the paper's r <= 0 branch).
+  /// f of the model's current state (see evaluate_utility).
   [[nodiscard]] double evaluate() const;
 
   /// Convenience: utility of an arbitrary configuration. Applies it,
@@ -28,16 +47,16 @@ class Evaluator {
   [[nodiscard]] double evaluate_configuration(const net::Configuration& c) const;
 
   /// Number of evaluate() calls so far — the search-cost metric reported
-  /// by the convergence benches.
+  /// by the convergence benches. Counts only *this* evaluator's serial
+  /// calls; ParallelEvaluator::evaluation_count() aggregates across its
+  /// workers.
   [[nodiscard]] long evaluation_count() const { return evaluations_; }
 
  private:
   model::AnalysisModel* model_;
   Utility utility_;
   mutable long evaluations_ = 0;
-  // Scratch buffers reused across evaluations to avoid per-call allocation.
-  mutable std::vector<std::int8_t> cqi_scratch_;
-  mutable std::vector<double> load_scratch_;
+  mutable EvalScratch scratch_;
 };
 
 }  // namespace magus::core

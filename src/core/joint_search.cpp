@@ -8,7 +8,7 @@ JointSearch::JointSearch(JointSearchOptions options)
     : options_(std::move(options)) {}
 
 SearchResult JointSearch::run(
-    Evaluator& evaluator, std::span<const net::SectorId> involved,
+    ParallelEvaluator& evaluator, std::span<const net::SectorId> involved,
     std::span<const double> baseline_rates) const {
   const TiltSearch tilt{options_.tilt};
   SearchResult tilt_result = tilt.run(evaluator, involved);

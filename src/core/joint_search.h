@@ -22,7 +22,7 @@ class JointSearch {
   /// Runs the tilt pass, then the power pass. Inputs as in the individual
   /// searches; the model is left at the returned configuration and the
   /// trace concatenates both phases.
-  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+  [[nodiscard]] SearchResult run(ParallelEvaluator& evaluator,
                                  std::span<const net::SectorId> involved,
                                  std::span<const double> baseline_rates) const;
 

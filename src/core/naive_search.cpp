@@ -4,7 +4,7 @@ namespace magus::core {
 
 NaiveSearch::NaiveSearch(NaiveSearchOptions options) : options_(options) {}
 
-SearchResult NaiveSearch::run(Evaluator& evaluator,
+SearchResult NaiveSearch::run(ParallelEvaluator& evaluator,
                               std::span<const net::SectorId> involved) const {
   model::AnalysisModel& model = evaluator.model();
   SearchResult result;
@@ -13,23 +13,39 @@ SearchResult NaiveSearch::run(Evaluator& evaluator,
 
   for (const net::SectorId b : involved) {
     if (!model.configuration()[b].active) continue;
-    for (int step = 0; step < options_.max_steps_per_sector; ++step) {
-      const double before_power = model.configuration()[b].power_dbm;
-      const auto snapshot = model.snapshot();
-      model.set_power(b, before_power + options_.step_db);
-      if (model.configuration()[b].power_dbm == before_power) break;  // cap
-      const double utility = evaluator.evaluate();
-      ++result.candidate_evaluations;
-      if (utility > current_utility + options_.min_improvement) {
-        current_utility = utility;
-        ++result.accepted_steps;
-        result.trace.push_back(
-            TuningStep{b, options_.step_db, 0, utility});
-      } else {
-        model.restore(snapshot);
-        break;
-      }
+
+    // Speculative ladder of absolute power jumps, truncated at the
+    // sector's power cap (the serial walk stops at the first capped step
+    // without evaluating).
+    const net::Sector& meta = model.network().sector(b);
+    const double base_power = model.configuration()[b].power_dbm;
+    CandidateBatch ladder;
+    double previous = base_power;
+    for (int step = 1; step <= options_.max_steps_per_sector; ++step) {
+      const double target = base_power + step * options_.step_db;
+      if (meta.clamp_power(target) == previous) break;  // capped
+      previous = meta.clamp_power(target);
+      ladder.push_back(Candidate::single(Mutation::power(b, target)));
     }
+    if (ladder.empty()) continue;
+
+    const std::vector<double> utilities = evaluator.score(ladder);
+    result.candidate_evaluations += static_cast<long>(ladder.size());
+
+    // Longest improving prefix == the serial accept-or-stop rule.
+    int steps = 0;
+    double utility = current_utility;
+    for (std::size_t i = 0; i < utilities.size(); ++i) {
+      if (utilities[i] <= utility + options_.min_improvement) break;
+      utility = utilities[i];
+      ++steps;
+      result.trace.push_back(
+          TuningStep{b, options_.step_db, 0, utility});
+    }
+    if (steps == 0) continue;
+    model.set_power(b, base_power + steps * options_.step_db);
+    current_utility = utility;
+    result.accepted_steps += steps;
   }
 
   result.config = model.configuration();

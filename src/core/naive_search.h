@@ -3,12 +3,14 @@
 // "It increases transmission power by 1 dB for the first neighbor at each
 // step until utility worsens, then does the same for the second neighbor
 // and so on" — i.e. the tilt-style greedy applied to power, with no
-// degraded-grid guidance and no candidate comparison.
+// degraded-grid guidance and no candidate comparison. Parallelized the
+// same way as TiltSearch: each sector's walk becomes a speculative ladder
+// of absolute power jumps, and the longest improving prefix is accepted.
 #pragma once
 
 #include <span>
 
-#include "core/evaluator.h"
+#include "core/parallel_evaluator.h"
 #include "core/search_types.h"
 
 namespace magus::core {
@@ -25,7 +27,7 @@ class NaiveSearch {
 
   /// `involved` ordered by priority (nearest neighbor first). The model is
   /// left at the returned configuration.
-  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+  [[nodiscard]] SearchResult run(ParallelEvaluator& evaluator,
                                  std::span<const net::SectorId> involved) const;
 
  private:

@@ -1,0 +1,43 @@
+#include "core/parallel_evaluator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace magus::core {
+
+ParallelEvaluator::ParallelEvaluator(model::AnalysisModel* model,
+                                     Utility utility, std::size_t threads)
+    : model_(model), utility_(std::move(utility)), pool_(threads) {
+  if (model_ == nullptr) {
+    throw std::invalid_argument("ParallelEvaluator: model must not be null");
+  }
+  workers_.resize(pool_.size());
+}
+
+double ParallelEvaluator::evaluate() {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return evaluate_utility(*model_, utility_, scratch_);
+}
+
+std::vector<double> ParallelEvaluator::score(std::span<const Candidate> batch) {
+  std::vector<double> utilities(batch.size());
+  if (batch.empty()) return utilities;
+
+  const model::EvalContext::Snapshot base = model_->snapshot();
+  pool_.run(batch.size(), [&](std::size_t worker, std::size_t task) {
+    Worker& w = workers_[worker];
+    if (!w.context) {
+      // First use: clone the driver model's context. The model is not
+      // mutated while score() runs, so concurrent clones only read it.
+      w.context = std::make_unique<model::EvalContext>(*model_);
+    }
+    w.context->restore(base);
+    apply_candidate(*w.context, batch[task]);
+    utilities[task] = evaluate_utility(*w.context, utility_, w.scratch);
+  });
+  evaluations_.fetch_add(static_cast<long>(batch.size()),
+                         std::memory_order_relaxed);
+  return utilities;
+}
+
+}  // namespace magus::core

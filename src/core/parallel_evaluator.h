@@ -1,0 +1,74 @@
+// ParallelEvaluator: scores candidate batches across worker threads.
+//
+// Owns one EvalContext clone (plus scratch buffers) per worker. score()
+// snapshots the driver model's current state once, then every candidate is
+// evaluated from that identical base: the worker restores its clone to the
+// base, applies the candidate's mutations incrementally, and runs the same
+// fused utility pass the serial Evaluator uses. A candidate's utility
+// therefore depends only on (base state, candidate) — never on which worker
+// scored it, in what order, or how many threads exist — so search drivers
+// built on batches return bit-identical results for any thread count,
+// including 1 (where the pool runs inline with zero synchronization).
+//
+// Thread-safety: the driver model is read (snapshot/clone) but never
+// mutated during score(); worker clones are single-owner per worker; the
+// shared MarketContext is immutable during evaluation (see
+// model/market_context.h). The evaluation counter aggregates across
+// workers atomically.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/search_types.h"
+#include "util/thread_pool.h"
+
+namespace magus::core {
+
+class ParallelEvaluator {
+ public:
+  /// `model` must outlive the evaluator. `threads == 0` resolves to the
+  /// hardware concurrency; 1 gives the exact serial path.
+  ParallelEvaluator(model::AnalysisModel* model, Utility utility,
+                    std::size_t threads = 1);
+
+  [[nodiscard]] model::AnalysisModel& model() const { return *model_; }
+  [[nodiscard]] const Utility& utility() const { return utility_; }
+  [[nodiscard]] std::size_t thread_count() const { return pool_.size(); }
+
+  /// f of the driver model's current state (serial, on the calling
+  /// thread). Counts as one evaluation.
+  [[nodiscard]] double evaluate();
+
+  /// Scores every candidate applied on top of the model's *current* state;
+  /// returns the utilities in candidate order. The model itself is left
+  /// untouched. Counts batch.size() evaluations.
+  [[nodiscard]] std::vector<double> score(std::span<const Candidate> batch);
+
+  /// Evaluations performed so far, aggregated across all workers. Replaces
+  /// Evaluator::evaluation_count() as the search-cost metric on the
+  /// parallel path; the total is deterministic (it counts candidates, not
+  /// per-thread work shares).
+  [[nodiscard]] long evaluation_count() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::unique_ptr<model::EvalContext> context;  ///< lazily cloned
+    EvalScratch scratch;
+  };
+
+  model::AnalysisModel* model_;
+  Utility utility_;
+  util::ThreadPool pool_;
+  std::vector<Worker> workers_;
+  EvalScratch scratch_;  ///< for the serial evaluate()
+  std::atomic<long> evaluations_{0};
+};
+
+}  // namespace magus::core

@@ -26,6 +26,51 @@ MagusPlanner::MagusPlanner(Evaluator* evaluator, PlannerOptions options)
   if (evaluator_ == nullptr) {
     throw std::invalid_argument("MagusPlanner: evaluator must not be null");
   }
+  parallel_ = std::make_unique<ParallelEvaluator>(
+      &evaluator_->model(), evaluator_->utility(), options_.threads);
+}
+
+SearchResult MagusPlanner::run_search(
+    std::span<const net::SectorId> involved,
+    std::span<const double> baseline_rates) const {
+  switch (options_.mode) {
+    case TuningMode::kPower: {
+      const PowerSearch search{options_.power};
+      return search.run(*parallel_, involved, baseline_rates);
+    }
+    case TuningMode::kTilt: {
+      const TiltSearch search{options_.tilt};
+      return search.run(*parallel_, involved);
+    }
+    case TuningMode::kJoint: {
+      const JointSearch search{JointSearchOptions{options_.tilt,
+                                                  options_.power}};
+      return search.run(*parallel_, involved, baseline_rates);
+    }
+    case TuningMode::kNaive: {
+      const NaiveSearch search{};
+      return search.run(*parallel_, involved);
+    }
+  }
+  throw std::logic_error("MagusPlanner: unknown tuning mode");
+}
+
+void MagusPlanner::polish(MitigationPlan& plan) const {
+  if (!options_.hybrid_polish || options_.mode == TuningMode::kNaive) return;
+  FeedbackOptions polish_options;
+  polish_options.unit_db = options_.power.unit_db;
+  polish_options.allow_power = options_.mode != TuningMode::kTilt;
+  polish_options.allow_tilt = options_.mode != TuningMode::kPower;
+  polish_options.max_steps = options_.polish_max_steps;
+  const FeedbackRun result =
+      run_feedback_search(*evaluator_, plan.involved, polish_options);
+  if (!result.utility_per_step.empty()) {
+    plan.search.utility = result.utility_per_step.back();
+    plan.search.config = result.final_config;
+    plan.search.accepted_steps +=
+        static_cast<int>(result.utility_per_step.size());
+  }
+  plan.search.candidate_evaluations += result.probe_count;
 }
 
 std::vector<net::SectorId> MagusPlanner::involved_sectors(
@@ -88,49 +133,11 @@ MitigationPlan MagusPlanner::plan_upgrade(
   for (const net::SectorId t : targets) model.set_active(t, false);
   plan.f_upgrade = evaluator_->evaluate();
 
-  // Search for C_after.
-  switch (options_.mode) {
-    case TuningMode::kPower: {
-      const PowerSearch search{options_.power};
-      plan.search = search.run(*evaluator_, plan.involved, baseline_rates);
-      break;
-    }
-    case TuningMode::kTilt: {
-      const TiltSearch search{options_.tilt};
-      plan.search = search.run(*evaluator_, plan.involved);
-      break;
-    }
-    case TuningMode::kJoint: {
-      const JointSearch search{
-          JointSearchOptions{options_.tilt, options_.power}};
-      plan.search = search.run(*evaluator_, plan.involved, baseline_rates);
-      break;
-    }
-    case TuningMode::kNaive: {
-      const NaiveSearch search{};
-      plan.search = search.run(*evaluator_, plan.involved);
-      break;
-    }
-  }
-  // §2's hybrid phase: a short feedback pass from C_so toward C_after.
-  // The move set matches the tuning mode so the Table-1 rows stay
-  // comparable; the naive baseline stays pure feedback.
-  if (options_.hybrid_polish && options_.mode != TuningMode::kNaive) {
-    FeedbackOptions polish_options;
-    polish_options.unit_db = options_.power.unit_db;
-    polish_options.allow_power = options_.mode != TuningMode::kTilt;
-    polish_options.allow_tilt = options_.mode != TuningMode::kPower;
-    polish_options.max_steps = options_.polish_max_steps;
-    const FeedbackRun polish =
-        run_feedback_search(*evaluator_, plan.involved, polish_options);
-    if (!polish.utility_per_step.empty()) {
-      plan.search.utility = polish.utility_per_step.back();
-      plan.search.config = polish.final_config;
-      plan.search.accepted_steps +=
-          static_cast<int>(polish.utility_per_step.size());
-    }
-    plan.search.candidate_evaluations += polish.probe_count;
-  }
+  // Search for C_after (candidate batches scored across the worker pool).
+  plan.search = run_search(plan.involved, baseline_rates);
+  // The hybrid phase's move set matches the tuning mode so the Table-1
+  // rows stay comparable.
+  polish(plan);
   plan.f_after = plan.search.utility;
   plan.recovery =
       recovery_ratio({plan.f_before, plan.f_upgrade, plan.f_after});
@@ -165,45 +172,8 @@ MitigationPlan MagusPlanner::replan_from_current(
   for (const net::SectorId t : targets) model.set_active(t, false);
   plan.f_upgrade = evaluator_->evaluate();
 
-  switch (options_.mode) {
-    case TuningMode::kPower: {
-      const PowerSearch search{options_.power};
-      plan.search = search.run(*evaluator_, plan.involved, baseline);
-      break;
-    }
-    case TuningMode::kTilt: {
-      const TiltSearch search{options_.tilt};
-      plan.search = search.run(*evaluator_, plan.involved);
-      break;
-    }
-    case TuningMode::kJoint: {
-      const JointSearch search{
-          JointSearchOptions{options_.tilt, options_.power}};
-      plan.search = search.run(*evaluator_, plan.involved, baseline);
-      break;
-    }
-    case TuningMode::kNaive: {
-      const NaiveSearch search{};
-      plan.search = search.run(*evaluator_, plan.involved);
-      break;
-    }
-  }
-  if (options_.hybrid_polish && options_.mode != TuningMode::kNaive) {
-    FeedbackOptions polish_options;
-    polish_options.unit_db = options_.power.unit_db;
-    polish_options.allow_power = options_.mode != TuningMode::kTilt;
-    polish_options.allow_tilt = options_.mode != TuningMode::kPower;
-    polish_options.max_steps = options_.polish_max_steps;
-    const FeedbackRun polish =
-        run_feedback_search(*evaluator_, plan.involved, polish_options);
-    if (!polish.utility_per_step.empty()) {
-      plan.search.utility = polish.utility_per_step.back();
-      plan.search.config = polish.final_config;
-      plan.search.accepted_steps +=
-          static_cast<int>(polish.utility_per_step.size());
-    }
-    plan.search.candidate_evaluations += polish.probe_count;
-  }
+  plan.search = run_search(plan.involved, baseline);
+  polish(plan);
   plan.f_after = plan.search.utility;
   plan.recovery =
       recovery_ratio({plan.f_before, plan.f_upgrade, plan.f_after});

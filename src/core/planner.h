@@ -10,10 +10,13 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "core/evaluator.h"
 #include "core/gradual.h"
 #include "core/joint_search.h"
 #include "core/naive_search.h"
+#include "core/parallel_evaluator.h"
 #include "core/recovery.h"
 
 namespace magus::core {
@@ -24,6 +27,10 @@ enum class TuningMode { kPower, kTilt, kJoint, kNaive };
 
 struct PlannerOptions {
   TuningMode mode = TuningMode::kJoint;
+  /// Worker threads for candidate-batch scoring (0 = hardware
+  /// concurrency). The search results are bit-identical for any value —
+  /// see core/parallel_evaluator.h — so this is purely a speed knob.
+  std::size_t threads = 0;
   /// Locally optimize the neighborhood's powers *before* planning (the
   /// paper's premise: "radio network planners attempt to maximize coverage
   /// and minimize interference" — C_before is a planned configuration, not
@@ -98,9 +105,28 @@ class MagusPlanner {
   [[nodiscard]] std::vector<net::SectorId> involved_sectors(
       std::span<const net::SectorId> targets) const;
 
+  /// The batch evaluator the search drivers run on; exposed so callers
+  /// (benches) can read the aggregated evaluation count.
+  [[nodiscard]] ParallelEvaluator& parallel_evaluator() const {
+    return *parallel_;
+  }
+
  private:
+  /// Runs the configured tuning mode on the parallel evaluator.
+  [[nodiscard]] SearchResult run_search(
+      std::span<const net::SectorId> involved,
+      std::span<const double> baseline_rates) const;
+  /// §2's hybrid phase: a short feedback pass from C_so toward C_after
+  /// (serial; skipped for the naive baseline, which is already pure
+  /// feedback).
+  void polish(MitigationPlan& plan) const;
+
   Evaluator* evaluator_;
   PlannerOptions options_;
+  /// Owns the worker pool + per-worker eval contexts for the drivers. The
+  /// serial phases (pre-planning, feedback polish, gradual scheduling)
+  /// stay on evaluator_.
+  std::unique_ptr<ParallelEvaluator> parallel_;
 };
 
 /// Local power planning: per-sector hill climbing (±step, best direction,

@@ -13,7 +13,7 @@ PowerSearch::PowerSearch(PowerSearchOptions options) : options_(options) {
 }
 
 SearchResult PowerSearch::run(
-    Evaluator& evaluator, std::span<const net::SectorId> involved,
+    ParallelEvaluator& evaluator, std::span<const net::SectorId> involved,
     std::span<const double> baseline_rates) const {
   model::AnalysisModel& model = evaluator.model();
   if (baseline_rates.size() != static_cast<std::size_t>(model.cell_count())) {
@@ -51,19 +51,24 @@ SearchResult PowerSearch::run(
       }
       if (beta.empty()) continue;  // increment T
 
-      // Line 9: pick the candidate with the best overall utility.
-      const auto snapshot = model.snapshot();
+      // Line 9: score f(C ⊕ P_b(T)) for every b in β as one batch.
+      CandidateBatch batch;
+      batch.reserve(beta.size());
+      for (const net::SectorId b : beta) {
+        batch.push_back(Candidate::single(Mutation::power(
+            b, model.configuration()[b].power_dbm + delta_db)));
+      }
+      const std::vector<double> utilities = evaluator.score(batch);
+      result.candidate_evaluations += static_cast<long>(batch.size());
+
+      // Serial scan in candidate order: same winner as evaluating the
+      // candidates one by one (earlier sector wins a near-tie).
       net::SectorId best_sector = net::kInvalidSector;
       double best_utility = current_utility;
-      for (const net::SectorId b : beta) {
-        const double power = model.configuration()[b].power_dbm;
-        model.set_power(b, power + delta_db);
-        const double utility = evaluator.evaluate();
-        ++result.candidate_evaluations;
-        model.restore(snapshot);
-        if (utility > best_utility + options_.min_improvement) {
-          best_utility = utility;
-          best_sector = b;
+      for (std::size_t i = 0; i < beta.size(); ++i) {
+        if (utilities[i] > best_utility + options_.min_improvement) {
+          best_utility = utilities[i];
+          best_sector = beta[i];
         }
       }
       if (best_sector == net::kInvalidSector) continue;  // increment T

@@ -5,19 +5,23 @@
 //   1. computes the candidate set β — involved sectors whose power raised
 //      by T units would improve the max rate of at least one still-degraded
 //      grid (lines 2-8; the rate test is the O(1)
-//      AnalysisModel::power_delta_improves_rate probe),
-//   2. evaluates f(C ⊕ P_b(T)) for every b in β and applies the best
-//      (line 9-10),
+//      EvalContext::power_delta_improves_rate probe),
+//   2. evaluates f(C ⊕ P_b(T)) for every b in β — the candidates are
+//      independent, so the batch is scored by the ParallelEvaluator across
+//      its workers — and applies the best (line 9-10),
 //   3. shrinks the degraded-grid set G and repeats, incrementing T when β
 //      is empty or no candidate improves the overall utility (line 12).
 //
 // Termination: G empties (all degraded grids recovered), no candidate
-// improves f at any allowed T, or the iteration cap is hit.
+// improves f at any allowed T, or the iteration cap is hit. Results are
+// bit-identical for any evaluator thread count: candidate utilities depend
+// only on the iteration's base state, and the winner is picked by a serial
+// scan in candidate order.
 #pragma once
 
 #include <span>
 
-#include "core/evaluator.h"
+#include "core/parallel_evaluator.h"
 #include "core/search_types.h"
 
 namespace magus::core {
@@ -37,9 +41,8 @@ class PowerSearch {
   /// with the UE density frozen at C_before. `involved` is the paper's B
   /// (the neighbors of the upgraded sectors); `baseline_rates` the per-grid
   /// actual rates at C_before (capture_rates before the targets go down).
-  /// The
-  /// model is left at the returned configuration.
-  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+  /// The model is left at the returned configuration.
+  [[nodiscard]] SearchResult run(ParallelEvaluator& evaluator,
                                  std::span<const net::SectorId> involved,
                                  std::span<const double> baseline_rates) const;
 

@@ -2,31 +2,47 @@
 
 namespace magus::core {
 
-std::vector<double> capture_rates(const model::AnalysisModel& model) {
-  std::vector<double> rates(static_cast<std::size_t>(model.cell_count()));
-  for (geo::GridIndex g = 0; g < model.cell_count(); ++g) {
-    rates[static_cast<std::size_t>(g)] = model.rate_bps(g);
+void apply_candidate(model::EvalContext& context, const Candidate& candidate) {
+  for (const Mutation& m : candidate.mutations) {
+    switch (m.kind) {
+      case Mutation::Kind::kPower:
+        context.set_power(m.sector, m.power_dbm);
+        break;
+      case Mutation::Kind::kTilt:
+        context.set_tilt(m.sector, m.tilt);
+        break;
+      case Mutation::Kind::kActive:
+        context.set_active(m.sector, m.active);
+        break;
+    }
+  }
+}
+
+std::vector<double> capture_rates(const model::EvalContext& context) {
+  std::vector<double> rates(static_cast<std::size_t>(context.cell_count()));
+  for (geo::GridIndex g = 0; g < context.cell_count(); ++g) {
+    rates[static_cast<std::size_t>(g)] = context.rate_bps(g);
   }
   return rates;
 }
 
 std::vector<geo::GridIndex> degraded_grids(
-    const model::AnalysisModel& model, std::span<const double> baseline,
+    const model::EvalContext& context, std::span<const double> baseline,
     std::span<const geo::GridIndex> universe) {
   std::vector<geo::GridIndex> degraded;
   for (const geo::GridIndex g : universe) {
     const double before = baseline[static_cast<std::size_t>(g)];
-    if (model.rate_bps(g) < before * (1.0 - 1e-9)) {
+    if (context.rate_bps(g) < before * (1.0 - 1e-9)) {
       degraded.push_back(g);
     }
   }
   return degraded;
 }
 
-std::vector<geo::GridIndex> all_grids(const model::AnalysisModel& model) {
+std::vector<geo::GridIndex> all_grids(const model::EvalContext& context) {
   std::vector<geo::GridIndex> grids(
-      static_cast<std::size_t>(model.cell_count()));
-  for (geo::GridIndex g = 0; g < model.cell_count(); ++g) {
+      static_cast<std::size_t>(context.cell_count()));
+  for (geo::GridIndex g = 0; g < context.cell_count(); ++g) {
     grids[static_cast<std::size_t>(g)] = g;
   }
   return grids;

@@ -29,22 +29,78 @@ struct SearchResult {
   std::vector<TuningStep> trace;
 };
 
+/// One absolute setting change within a candidate. Values are absolute
+/// (not deltas) so a mutation applies identically to any context at the
+/// batch's base state, regardless of which worker scores it.
+struct Mutation {
+  enum class Kind : std::uint8_t { kPower, kTilt, kActive };
+
+  net::SectorId sector = net::kInvalidSector;
+  Kind kind = Kind::kPower;
+  double power_dbm = 0.0;  ///< target power, for kPower
+  int tilt = 0;            ///< target tilt index, for kTilt
+  bool active = true;      ///< target on/off state, for kActive
+
+  [[nodiscard]] static Mutation power(net::SectorId s, double dbm) {
+    Mutation m;
+    m.sector = s;
+    m.kind = Kind::kPower;
+    m.power_dbm = dbm;
+    return m;
+  }
+  [[nodiscard]] static Mutation tilt_to(net::SectorId s, int tilt_index) {
+    Mutation m;
+    m.sector = s;
+    m.kind = Kind::kTilt;
+    m.tilt = tilt_index;
+    return m;
+  }
+  [[nodiscard]] static Mutation active_state(net::SectorId s, bool on) {
+    Mutation m;
+    m.sector = s;
+    m.kind = Kind::kActive;
+    m.active = on;
+    return m;
+  }
+};
+
+/// An independent configuration to score: a set of mutations applied on top
+/// of the batch's base state. Candidates within a batch never depend on each
+/// other, which is what lets ParallelEvaluator score them on any number of
+/// worker threads with bit-identical results.
+struct Candidate {
+  std::vector<Mutation> mutations;
+
+  [[nodiscard]] static Candidate single(Mutation m) {
+    Candidate c;
+    c.mutations.push_back(m);
+    return c;
+  }
+};
+
+/// A batch of independent candidates (one search iteration's frontier).
+using CandidateBatch = std::vector<Candidate>;
+
+/// Applies every mutation of `candidate` to `context` (incrementally; the
+/// context must be at the batch's base state).
+void apply_candidate(model::EvalContext& context, const Candidate& candidate);
+
 /// Captures the per-grid *actual* rates r(g) (Formula 4, load included) of
-/// the model's current state; used as the baseline ("before") rates when
+/// the context's current state; used as the baseline ("before") rates when
 /// computing the affected-grid set G. The paper's G is defined on actual
 /// rate, so grids suffering only from post-outage load imbalance count as
 /// degraded too.
 [[nodiscard]] std::vector<double> capture_rates(
-    const model::AnalysisModel& model);
+    const model::EvalContext& context);
 
 /// Grids of `universe` whose current actual rate is below `baseline` —
 /// the paper's degraded-grid set. Pass all grids as the universe initially.
 [[nodiscard]] std::vector<geo::GridIndex> degraded_grids(
-    const model::AnalysisModel& model, std::span<const double> baseline,
+    const model::EvalContext& context, std::span<const double> baseline,
     std::span<const geo::GridIndex> universe);
 
-/// All grid indices of the model (initial universe).
+/// All grid indices of the context (initial universe).
 [[nodiscard]] std::vector<geo::GridIndex> all_grids(
-    const model::AnalysisModel& model);
+    const model::EvalContext& context);
 
 }  // namespace magus::core

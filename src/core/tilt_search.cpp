@@ -6,7 +6,7 @@ namespace magus::core {
 
 TiltSearch::TiltSearch(TiltSearchOptions options) : options_(options) {}
 
-SearchResult TiltSearch::run(Evaluator& evaluator,
+SearchResult TiltSearch::run(ParallelEvaluator& evaluator,
                              std::span<const net::SectorId> involved) const {
   model::AnalysisModel& model = evaluator.model();
   SearchResult result;
@@ -14,23 +14,38 @@ SearchResult TiltSearch::run(Evaluator& evaluator,
   ++result.candidate_evaluations;
 
   const auto try_direction = [&](net::SectorId b, int direction) {
-    // Step the sector's tilt in `direction` while the utility improves.
-    for (int step = 0; step < options_.max_steps_per_sector; ++step) {
-      const auto before_tilt = model.configuration()[b].tilt;
-      const auto snapshot = model.snapshot();
-      model.set_tilt(b, before_tilt + direction);
-      if (model.configuration()[b].tilt == before_tilt) break;  // clamped
-      const double utility = evaluator.evaluate();
-      ++result.candidate_evaluations;
-      if (utility > current_utility + options_.min_improvement) {
-        current_utility = utility;
-        ++result.accepted_steps;
-        result.trace.push_back(TuningStep{b, 0.0, direction, utility});
-      } else {
-        model.restore(snapshot);
-        break;
-      }
+    // Speculative ladder: candidate i is the absolute jump to
+    // base_tilt + i * direction, truncated where the antenna range clamps
+    // (the serial walk stops at the first clamped step without evaluating).
+    const net::Sector& meta = model.network().sector(b);
+    const int base_tilt = model.configuration()[b].tilt;
+    CandidateBatch ladder;
+    int previous = base_tilt;
+    for (int step = 1; step <= options_.max_steps_per_sector; ++step) {
+      const int target = base_tilt + step * direction;
+      if (meta.clamp_tilt(target) == previous) break;  // clamped
+      previous = meta.clamp_tilt(target);
+      ladder.push_back(Candidate::single(Mutation::tilt_to(b, target)));
     }
+    if (ladder.empty()) return;
+
+    const std::vector<double> utilities = evaluator.score(ladder);
+    result.candidate_evaluations += static_cast<long>(ladder.size());
+
+    // Accept the longest prefix in which every rung beats its predecessor
+    // (the serial walk's accept-or-stop rule).
+    int steps = 0;
+    double utility = current_utility;
+    for (std::size_t i = 0; i < utilities.size(); ++i) {
+      if (utilities[i] <= utility + options_.min_improvement) break;
+      utility = utilities[i];
+      ++steps;
+      result.trace.push_back(TuningStep{b, 0.0, direction, utility});
+    }
+    if (steps == 0) return;
+    model.set_tilt(b, base_tilt + steps * direction);
+    current_utility = utility;
+    result.accepted_steps += steps;
   };
 
   for (const net::SectorId b : involved) {

@@ -4,11 +4,20 @@
 // step until the utility gets worse, then move to the second neighbor, and
 // so on. Uptilt (negative TiltIndex in our convention) extends a sector's
 // reach toward the grids the upgraded sector used to serve.
+//
+// Parallelization: the per-sector walk is inherently sequential, so each
+// (sector, direction) walk is speculated as a ladder batch — candidate i
+// jumps straight to `base tilt ± i` — scored in parallel, after which the
+// longest strictly-improving prefix is accepted (u_i must beat u_{i-1} by
+// min_improvement, exactly the serial walk's accept rule). Accepted steps,
+// trace and final configuration match the step-by-step walk; the ladder
+// also evaluates the speculative tail the serial walk would have skipped,
+// which is the price of scoring the whole ladder at once.
 #pragma once
 
 #include <span>
 
-#include "core/evaluator.h"
+#include "core/parallel_evaluator.h"
 #include "core/search_types.h"
 
 namespace magus::core {
@@ -27,7 +36,7 @@ class TiltSearch {
   /// (the planner orders by distance to the upgraded sectors, nearest
   /// first). The evaluator's model must be at C_upgrade; it is left at the
   /// returned configuration.
-  [[nodiscard]] SearchResult run(Evaluator& evaluator,
+  [[nodiscard]] SearchResult run(ParallelEvaluator& evaluator,
                                  std::span<const net::SectorId> involved) const;
 
  private:

@@ -1,362 +1,24 @@
 #include "model/analysis_model.h"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
 #include "net/ue_distribution.h"
-#include "util/units.h"
 
 namespace magus::model {
-
-namespace {
-/// Strict server ordering with a deterministic tie-break: stronger signal
-/// wins; at exactly equal received power the lower sector id wins, so the
-/// incremental updates and a full rebuild always agree (co-sited sectors
-/// can tie exactly when both land on the same pattern-loss cap).
-[[nodiscard]] bool beats(float rp_a, net::SectorId a, float rp_b,
-                         net::SectorId b) {
-  if (rp_a != rp_b) return rp_a > rp_b;
-  return a < b;
-}
-}  // namespace
 
 AnalysisModel::AnalysisModel(const net::Network* network,
                              pathloss::PathLossProvider* provider,
                              ModelOptions options)
-    : network_(network), provider_(provider), options_(options) {
-  if (network_ == nullptr || provider_ == nullptr) {
-    throw std::invalid_argument(
-        "AnalysisModel: network and provider must not be null");
-  }
-  noise_mw_ = util::dbm_to_mw(network_->noise_floor_dbm());
-  config_ = network_->default_configuration();
-  ue_density_.assign(static_cast<std::size_t>(cell_count()), 0.0);
-  rebuild();
-}
-
-void AnalysisModel::set_configuration(const net::Configuration& config) {
-  if (config.size() != network_->sector_count()) {
-    throw std::invalid_argument(
-        "AnalysisModel::set_configuration: size mismatch");
-  }
-  config_ = config;
-  rebuild();
-}
-
-void AnalysisModel::rebuild() {
-  state_.reset(static_cast<std::size_t>(cell_count()));
-  current_footprint_.assign(network_->sector_count(), nullptr);
-  for (const auto& sector : network_->sectors()) {
-    const auto& setting = config_[sector.id];
-    current_footprint_[static_cast<std::size_t>(sector.id)] =
-        &provider_->footprint(sector.id, setting.tilt);
-    if (setting.active) {
-      add_contribution(sector.id, footprint_of(sector.id), setting.power_dbm);
-    }
-  }
-  invalidate_loads();
-}
-
-void AnalysisModel::offer_candidate(geo::GridIndex g, net::SectorId sector,
-                                    float rp_dbm) {
-  const auto i = static_cast<std::size_t>(g);
-  if (beats(rp_dbm, sector, state_.best_rp_dbm[i], state_.best[i])) {
-    state_.second[i] = state_.best[i];
-    state_.second_rp_dbm[i] = state_.best_rp_dbm[i];
-    state_.best[i] = sector;
-    state_.best_rp_dbm[i] = rp_dbm;
-  } else if (beats(rp_dbm, sector, state_.second_rp_dbm[i],
-                   state_.second[i])) {
-    state_.second[i] = sector;
-    state_.second_rp_dbm[i] = rp_dbm;
-  }
-}
-
-void AnalysisModel::add_contribution(
-    net::SectorId sector, const pathloss::SectorFootprint& footprint,
-    double power_dbm) {
-  footprint.for_each_covered([&](geo::GridIndex g, float gain) {
-    const auto i = static_cast<std::size_t>(g);
-    const auto rp = static_cast<float>(power_dbm + gain);
-    state_.total_mw[i] += util::dbm_to_mw(rp);
-    offer_candidate(g, sector, rp);
-  });
-  invalidate_loads();
-}
-
-void AnalysisModel::remove_contribution(
-    net::SectorId sector, const pathloss::SectorFootprint& footprint,
-    double power_dbm) {
-  footprint.for_each_covered([&](geo::GridIndex g, float gain) {
-    const auto i = static_cast<std::size_t>(g);
-    const auto rp = static_cast<float>(power_dbm + gain);
-    state_.total_mw[i] =
-        std::max(0.0, state_.total_mw[i] - util::dbm_to_mw(rp));
-    if (state_.best[i] == sector || state_.second[i] == sector) {
-      recompute_top2(g);
-    }
-  });
-  invalidate_loads();
-}
-
-void AnalysisModel::recompute_top2(geo::GridIndex g) {
-  const auto i = static_cast<std::size_t>(g);
-  state_.best[i] = net::kInvalidSector;
-  state_.best_rp_dbm[i] = kNoSignalDbm;
-  state_.second[i] = net::kInvalidSector;
-  state_.second_rp_dbm[i] = kNoSignalDbm;
-  for (const auto& sector : network_->sectors()) {
-    const auto& setting = config_[sector.id];
-    if (!setting.active) continue;
-    const auto& fp = footprint_of(sector.id);
-    if (!fp.covers(g)) continue;
-    const auto rp = static_cast<float>(setting.power_dbm + fp.gain_db(g));
-    offer_candidate(g, sector.id, rp);
-  }
-}
-
-void AnalysisModel::set_power(net::SectorId sector, double power_dbm) {
-  const net::Sector& meta = network_->sector(sector);
-  const double clamped = meta.clamp_power(power_dbm);
-  auto& setting = config_[sector];
-  const double old_power = setting.power_dbm;
-  if (clamped == old_power) return;
-  setting.power_dbm = clamped;
-  if (!setting.active) return;  // config changed; no radio contribution
-
-  const auto& fp = footprint_of(sector);
-  const double delta_db = clamped - old_power;
-  const bool decreasing = delta_db < 0.0;
-  fp.for_each_covered([&](geo::GridIndex g, float gain) {
-    const auto i = static_cast<std::size_t>(g);
-    const double old_rp = old_power + gain;
-    const auto new_rp = static_cast<float>(old_rp + delta_db);
-    state_.total_mw[i] = std::max(
-        0.0, state_.total_mw[i] + util::dbm_to_mw(new_rp) -
-                 util::dbm_to_mw(old_rp));
-    if (state_.best[i] == sector) {
-      state_.best_rp_dbm[i] = new_rp;
-      if (decreasing && beats(state_.second_rp_dbm[i], state_.second[i],
-                              new_rp, sector)) {
-        recompute_top2(g);
-      }
-    } else if (state_.second[i] == sector) {
-      state_.second_rp_dbm[i] = new_rp;
-      if (decreasing) {
-        // A third sector may now outrank the runner-up.
-        recompute_top2(g);
-      } else if (beats(new_rp, sector, state_.best_rp_dbm[i],
-                       state_.best[i])) {
-        std::swap(state_.best[i], state_.second[i]);
-        std::swap(state_.best_rp_dbm[i], state_.second_rp_dbm[i]);
-      }
-    } else {
-      offer_candidate(g, sector, new_rp);
-    }
-  });
-  invalidate_loads();
-}
-
-void AnalysisModel::set_active(net::SectorId sector, bool active) {
-  auto& setting = config_[sector];
-  if (setting.active == active) return;
-  setting.active = active;
-  const auto& fp = footprint_of(sector);
-  if (active) {
-    add_contribution(sector, fp, setting.power_dbm);
-  } else {
-    remove_contribution(sector, fp, setting.power_dbm);
-  }
-}
-
-void AnalysisModel::set_tilt(net::SectorId sector, int tilt_index) {
-  const net::Sector& meta = network_->sector(sector);
-  const radio::TiltIndex clamped = meta.clamp_tilt(tilt_index);
-  auto& setting = config_[sector];
-  if (clamped == setting.tilt) return;
-  const pathloss::SectorFootprint& old_fp = footprint_of(sector);
-  const pathloss::SectorFootprint& new_fp =
-      provider_->footprint(sector, clamped);
-  // Mark the sector inactive while its old contribution is removed:
-  // recompute_top2 must not re-offer the stale footprint.
-  const bool was_active = setting.active;
-  if (was_active) {
-    setting.active = false;
-    remove_contribution(sector, old_fp, setting.power_dbm);
-  }
-  setting.tilt = clamped;
-  current_footprint_[static_cast<std::size_t>(sector)] = &new_fp;
-  if (was_active) {
-    setting.active = true;
-    add_contribution(sector, new_fp, setting.power_dbm);
-  }
-}
+    : internal::MarketHolder(
+          std::make_unique<MarketContext>(network, provider, options)),
+      EvalContext(owned_market.get()) {}
 
 void AnalysisModel::set_ue_density(std::vector<double> density) {
-  if (density.size() != static_cast<std::size_t>(cell_count())) {
-    throw std::invalid_argument("AnalysisModel::set_ue_density: size");
-  }
-  ue_density_ = std::move(density);
+  owned_market->set_ue_density(std::move(density));
   invalidate_loads();
 }
 
 void AnalysisModel::freeze_uniform_ue_density() {
   set_ue_density(
-      net::UeDistribution::uniform_per_sector(*network_, service_map()));
-}
-
-void AnalysisModel::restore(const Snapshot& snapshot) {
-  state_ = snapshot.state;
-  config_ = snapshot.config;
-  // Footprint pointers depend on per-sector tilt; refresh them (provider
-  // caches keep previously returned references valid).
-  for (const auto& sector : network_->sectors()) {
-    current_footprint_[static_cast<std::size_t>(sector.id)] =
-        &provider_->footprint(sector.id, config_[sector.id].tilt);
-  }
-  invalidate_loads();
-}
-
-double AnalysisModel::sinr_from(double rp_dbm, double rp_mw,
-                                double total_mw) const {
-  const double interference_mw = std::max(0.0, total_mw - rp_mw);
-  return rp_dbm - util::mw_to_dbm(noise_mw_ + interference_mw);
-}
-
-double AnalysisModel::sinr_db(geo::GridIndex g) const {
-  const auto i = static_cast<std::size_t>(g);
-  const double rp_dbm = state_.best_rp_dbm[i];
-  if (state_.best[i] == net::kInvalidSector) return rp_dbm;  // -inf
-  return sinr_from(rp_dbm, util::dbm_to_mw(rp_dbm), state_.total_mw[i]);
-}
-
-lte::Cqi AnalysisModel::cqi(geo::GridIndex g) const {
-  const double sinr = sinr_db(g);
-  if (sinr < options_.min_service_sinr_db) return 0;
-  return lte::sinr_to_cqi(sinr);
-}
-
-bool AnalysisModel::in_service(geo::GridIndex g) const { return cqi(g) > 0; }
-
-double AnalysisModel::max_rate_bps(geo::GridIndex g) const {
-  return lte::max_rate_bps_for_cqi(cqi(g), network_->carrier().bandwidth);
-}
-
-double AnalysisModel::rate_bps(geo::GridIndex g) const {
-  const net::SectorId s = serving_sector(g);
-  if (s == net::kInvalidSector) return 0.0;
-  const double max_rate = max_rate_bps(g);
-  if (max_rate <= 0.0) return 0.0;
-  return options_.scheduler.shared_rate_bps(
-      max_rate, sector_loads()[static_cast<std::size_t>(s)]);
-}
-
-std::vector<net::SectorId> AnalysisModel::service_map() const {
-  std::vector<net::SectorId> map(static_cast<std::size_t>(cell_count()),
-                                 net::kInvalidSector);
-  for (geo::GridIndex g = 0; g < cell_count(); ++g) {
-    if (in_service(g)) map[static_cast<std::size_t>(g)] = serving_sector(g);
-  }
-  return map;
-}
-
-const std::vector<double>& AnalysisModel::sector_loads() const {
-  if (!loads_valid_) {
-    sector_loads_.assign(network_->sector_count(), 0.0);
-    for (geo::GridIndex g = 0; g < cell_count(); ++g) {
-      const auto i = static_cast<std::size_t>(g);
-      const net::SectorId s = state_.best[i];
-      if (s == net::kInvalidSector || ue_density_[i] <= 0.0) continue;
-      if (!in_service(g)) continue;
-      sector_loads_[static_cast<std::size_t>(s)] += ue_density_[i];
-    }
-    loads_valid_ = true;
-  }
-  return sector_loads_;
-}
-
-double AnalysisModel::probe_rate_bps(net::SectorId changed, double changed_rp,
-                                     double new_total_mw,
-                                     geo::GridIndex g) const {
-  const auto i = static_cast<std::size_t>(g);
-  double other_best_rp;
-  net::SectorId other_best;
-  if (state_.best[i] == changed) {
-    other_best_rp = state_.second_rp_dbm[i];
-    other_best = state_.second[i];
-  } else {
-    other_best_rp = state_.best_rp_dbm[i];
-    other_best = state_.best[i];
-  }
-  net::SectorId server;
-  double serving_rp;
-  if (changed_rp >= other_best_rp) {
-    server = changed;
-    serving_rp = changed_rp;
-  } else {
-    server = other_best;
-    serving_rp = other_best_rp;
-  }
-  if (server == net::kInvalidSector || !std::isfinite(serving_rp)) return 0.0;
-
-  const double sinr =
-      sinr_from(serving_rp, util::dbm_to_mw(serving_rp), new_total_mw);
-  if (sinr < options_.min_service_sinr_db) return 0.0;
-  const double max_rate = lte::max_rate_bps_for_cqi(
-      lte::sinr_to_cqi(sinr), network_->carrier().bandwidth);
-  // Approximate the post-change load with the current one (floored at one
-  // UE: an idle sector taking over g serves at least g's own UEs).
-  const double load =
-      std::max(1.0, sector_loads()[static_cast<std::size_t>(server)]);
-  return options_.scheduler.shared_rate_bps(max_rate, load);
-}
-
-bool AnalysisModel::power_delta_improves_rate(net::SectorId b, double delta_db,
-                                              geo::GridIndex g) const {
-  const auto i = static_cast<std::size_t>(g);
-  const auto& setting = config_[b];
-  if (!setting.active) return false;
-  const auto& fp = footprint_of(b);
-  if (!fp.covers(g)) return false;
-
-  const net::Sector& meta = network_->sector(b);
-  const double new_power = meta.clamp_power(setting.power_dbm + delta_db);
-  if (new_power == setting.power_dbm) return false;  // clamped away
-
-  const double old_rp = setting.power_dbm + fp.gain_db(g);
-  const double new_rp = new_power + fp.gain_db(g);
-  const double new_total = std::max(
-      0.0,
-      state_.total_mw[i] - util::dbm_to_mw(old_rp) + util::dbm_to_mw(new_rp));
-
-  return probe_rate_bps(b, new_rp, new_total, g) >
-         rate_bps(g) * (1.0 + 1e-9);
-}
-
-bool AnalysisModel::tilt_improves_rate(net::SectorId b, int tilt,
-                                       geo::GridIndex g) {
-  const auto i = static_cast<std::size_t>(g);
-  const auto& setting = config_[b];
-  if (!setting.active) return false;
-  const net::Sector& meta = network_->sector(b);
-  const radio::TiltIndex clamped = meta.clamp_tilt(tilt);
-  if (clamped == setting.tilt) return false;
-
-  const auto& old_fp = footprint_of(b);
-  const auto& new_fp = provider_->footprint(b, clamped);
-  const double old_rp_or_ninf =
-      setting.power_dbm + old_fp.gain_or_ninf_db(g);
-  const double new_rp_or_ninf =
-      setting.power_dbm + new_fp.gain_or_ninf_db(g);
-  const double old_mw =
-      std::isfinite(old_rp_or_ninf) ? util::dbm_to_mw(old_rp_or_ninf) : 0.0;
-  const double new_mw =
-      std::isfinite(new_rp_or_ninf) ? util::dbm_to_mw(new_rp_or_ninf) : 0.0;
-  const double new_total = std::max(0.0, state_.total_mw[i] - old_mw + new_mw);
-
-  return probe_rate_bps(b, new_rp_or_ninf, new_total, g) >
-         rate_bps(g) * (1.0 + 1e-9);
+      net::UeDistribution::uniform_per_sector(network(), service_map()));
 }
 
 }  // namespace magus::model

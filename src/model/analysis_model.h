@@ -1,173 +1,65 @@
-// The Analysis Model of Figure 6: given a network, a path-loss provider and
-// a configuration, computes per-grid best server, SINR, rates and per-sector
-// loads (paper §4.1, Formulas 1-4).
+// The Analysis Model of Figure 6, now split into its two halves:
 //
-// The model is *incremental*: power and tilt changes update only the grids
-// inside the changed sector's footprint, which is what makes the search
-// algorithm's hundreds of candidate evaluations tractable at market scale.
-// Snapshots (cheap vector copies) give the search O(1)-complexity
-// backtracking.
+//   - MarketContext (market_context.h): the immutable, shareable inputs —
+//     topology, path-loss provider, AMC/scheduler tables, frozen UE
+//     density. Shared read-only by every evaluation thread.
+//   - EvalContext (eval_context.h): the mutable per-evaluation state —
+//     GridState + Configuration — cheap to clone per worker thread, with
+//     the incremental-mutation and snapshot API.
+//
+// AnalysisModel is the convenience bundle that owns one MarketContext and
+// *is* the driver thread's EvalContext (public inheritance), so the whole
+// pre-split API keeps working: construction from (network, provider),
+// incremental mutations, snapshots, per-grid queries, and the UE-density
+// freezing that writes to the shared market half. Parallel evaluators
+// clone additional EvalContexts from it (slicing off exactly the mutable
+// half) and share its market.
 #pragma once
 
-#include <span>
+#include <memory>
 #include <vector>
 
-#include "lte/amc.h"
-#include "lte/scheduler.h"
-#include "model/grid_state.h"
-#include "net/configuration.h"
-#include "net/network.h"
-#include "pathloss/database.h"
+#include "model/eval_context.h"
+#include "model/market_context.h"
 
 namespace magus::model {
 
-struct ModelOptions {
-  lte::SchedulerModel scheduler;
-  /// Minimum SINR for service; below it r_max = 0 (paper's SINRmin).
-  /// Defaults to the CQI-1 switching threshold.
-  double min_service_sinr_db = -6.7;
+namespace internal {
+/// Base-from-member holder: the MarketContext must be constructed before
+/// the EvalContext base class that points at it.
+struct MarketHolder {
+  explicit MarketHolder(std::unique_ptr<MarketContext> m)
+      : owned_market(std::move(m)) {}
+  std::unique_ptr<MarketContext> owned_market;
 };
+}  // namespace internal
 
-class AnalysisModel {
+class AnalysisModel : private internal::MarketHolder, public EvalContext {
  public:
   /// `network` and `provider` must outlive the model. Builds the state for
   /// the network's default configuration.
   AnalysisModel(const net::Network* network,
                 pathloss::PathLossProvider* provider, ModelOptions options = {});
 
-  [[nodiscard]] const net::Network& network() const { return *network_; }
-  [[nodiscard]] const geo::GridMap& grid() const { return provider_->grid(); }
-  [[nodiscard]] const net::Configuration& configuration() const {
-    return config_;
+  // Owns the market half; clones of the *eval* half are made by copying
+  // the EvalContext base (see ParallelEvaluator), not the model itself.
+  AnalysisModel(const AnalysisModel&) = delete;
+  AnalysisModel& operator=(const AnalysisModel&) = delete;
+
+  /// The shared, read-only half (mutable only for UE-density freezing).
+  [[nodiscard]] MarketContext& market_context() { return *owned_market; }
+  [[nodiscard]] const MarketContext& market_context() const {
+    return *owned_market;
   }
-  [[nodiscard]] const ModelOptions& options() const { return options_; }
-  [[nodiscard]] std::int32_t cell_count() const {
-    return grid().cell_count();
-  }
 
-  /// Replaces the whole configuration (full rebuild).
-  void set_configuration(const net::Configuration& config);
-
-  // ---- Incremental mutations (keep configuration() in sync) ----
-
-  /// Sets sector transmit power (clamped to the sector's range).
-  void set_power(net::SectorId sector, double power_dbm);
-  /// Takes a sector off-air / restores it.
-  void set_active(net::SectorId sector, bool active);
-  /// Changes electrical tilt (clamped; swaps the sector's footprint).
-  void set_tilt(net::SectorId sector, int tilt_index);
-
-  // ---- UE density ----
+  // ---- UE density (writes the shared market half; driver thread only,
+  //      never while a parallel evaluation is in flight) ----
 
   /// Explicit per-grid UE density (size must equal cell_count()).
   void set_ue_density(std::vector<double> density);
   /// The paper's default: freezes a uniform-per-sector density from the
   /// *current* serving map (call at C_before).
   void freeze_uniform_ue_density();
-  [[nodiscard]] std::span<const double> ue_density() const {
-    return ue_density_;
-  }
-
-  // ---- Snapshots for search backtracking ----
-
-  struct Snapshot {
-    GridState state;
-    net::Configuration config;
-  };
-  [[nodiscard]] Snapshot snapshot() const { return {state_, config_}; }
-  /// Restores a snapshot (copy-assign, so one snapshot can back multiple
-  /// candidate probes in a search loop).
-  void restore(const Snapshot& snapshot);
-
-  // ---- Per-grid queries ----
-
-  [[nodiscard]] net::SectorId serving_sector(geo::GridIndex g) const {
-    return state_.best[static_cast<std::size_t>(g)];
-  }
-  /// Received power from the serving sector (dBm; -inf when none).
-  [[nodiscard]] double best_rp_dbm(geo::GridIndex g) const {
-    return state_.best_rp_dbm[static_cast<std::size_t>(g)];
-  }
-  /// SINR per Formula 2; -inf when the grid has no server.
-  [[nodiscard]] double sinr_db(geo::GridIndex g) const;
-  [[nodiscard]] lte::Cqi cqi(geo::GridIndex g) const;
-  /// True when SINR >= min_service_sinr_db (rate would be positive).
-  [[nodiscard]] bool in_service(geo::GridIndex g) const;
-  /// r_max(g): rate with the sector to itself (Formula per §4.1).
-  [[nodiscard]] double max_rate_bps(geo::GridIndex g) const;
-  /// Actual shared rate r(g) = r_max(g) / N (Formula 4), using the
-  /// scheduler model. Zero out of service.
-  [[nodiscard]] double rate_bps(geo::GridIndex g) const;
-
-  /// Serving map snapshot (kInvalidSector where out of service: a grid
-  /// attached to a server below SINRmin counts as unserved, like the
-  /// paper's r_max = 0 rule).
-  [[nodiscard]] std::vector<net::SectorId> service_map() const;
-
-  /// N(s): UEs attached per sector (in-service grids only; Formula 3).
-  /// Computed lazily and cached until the next mutation.
-  [[nodiscard]] const std::vector<double>& sector_loads() const;
-
-  /// Low-level state access for the evaluator's fused utility pass.
-  [[nodiscard]] const GridState& state() const { return state_; }
-  [[nodiscard]] double noise_mw() const { return noise_mw_; }
-
-  // ---- Candidate probing (Algorithm 1 line 4) ----
-
-  /// Would changing sector b's power by delta_db improve grid g's *actual*
-  /// rate r(g) (Formula 4)? The new rate is approximated with the current
-  /// per-sector loads (the true loads after the change are only known once
-  /// it is applied; the evaluation step decides for real). O(1); does not
-  /// mutate the model. Accounts for b becoming/ceasing to be the best
-  /// server of g — including takeovers that merely move g's UEs to a less
-  /// loaded sector, which is how tuning relieves post-outage congestion.
-  [[nodiscard]] bool power_delta_improves_rate(net::SectorId b,
-                                               double delta_db,
-                                               geo::GridIndex g) const;
-
-  /// Same question for a tilt change of sector b to absolute index `tilt`.
-  /// O(1) per call after the footprint for `tilt` is materialized.
-  [[nodiscard]] bool tilt_improves_rate(net::SectorId b, int tilt,
-                                        geo::GridIndex g);
-
- private:
-  void rebuild();
-  /// Approximate post-change actual rate of grid g when sector `changed`
-  /// would be received at `changed_rp` and the cell's total received power
-  /// becomes `new_total_mw` (shared probe core for power/tilt candidates).
-  [[nodiscard]] double probe_rate_bps(net::SectorId changed, double changed_rp,
-                                      double new_total_mw,
-                                      geo::GridIndex g) const;
-  void add_contribution(net::SectorId sector,
-                        const pathloss::SectorFootprint& footprint,
-                        double power_dbm);
-  void remove_contribution(net::SectorId sector,
-                           const pathloss::SectorFootprint& footprint,
-                           double power_dbm);
-  /// Re-ranks the top-2 servers of one grid by scanning active sectors.
-  void recompute_top2(geo::GridIndex g);
-  /// Offers (sector, rp) as a candidate server for g; O(1) promotion.
-  void offer_candidate(geo::GridIndex g, net::SectorId sector, float rp_dbm);
-  [[nodiscard]] double sinr_from(double rp_dbm, double rp_mw,
-                                 double total_mw) const;
-  [[nodiscard]] const pathloss::SectorFootprint& footprint_of(
-      net::SectorId sector) const {
-    return *current_footprint_[static_cast<std::size_t>(sector)];
-  }
-  void invalidate_loads() { loads_valid_ = false; }
-
-  const net::Network* network_;
-  pathloss::PathLossProvider* provider_;
-  ModelOptions options_;
-  net::Configuration config_;
-  GridState state_;
-  /// Footprint in effect per sector (at its current tilt).
-  std::vector<const pathloss::SectorFootprint*> current_footprint_;
-  std::vector<double> ue_density_;
-  double noise_mw_ = 0.0;
-
-  mutable std::vector<double> sector_loads_;
-  mutable bool loads_valid_ = false;
 };
 
 }  // namespace magus::model

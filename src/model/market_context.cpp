@@ -1,0 +1,28 @@
+#include "model/market_context.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace magus::model {
+
+MarketContext::MarketContext(const net::Network* network,
+                             pathloss::PathLossProvider* provider,
+                             ModelOptions options)
+    : network_(network), provider_(provider), options_(options) {
+  if (network_ == nullptr || provider_ == nullptr) {
+    throw std::invalid_argument(
+        "MarketContext: network and provider must not be null");
+  }
+  noise_mw_ = util::dbm_to_mw(network_->noise_floor_dbm());
+  ue_density_.assign(static_cast<std::size_t>(cell_count()), 0.0);
+}
+
+void MarketContext::set_ue_density(std::vector<double> density) {
+  if (density.size() != static_cast<std::size_t>(cell_count())) {
+    throw std::invalid_argument("MarketContext::set_ue_density: size");
+  }
+  ue_density_ = std::move(density);
+}
+
+}  // namespace magus::model

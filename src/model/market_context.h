@@ -1,0 +1,69 @@
+// MarketContext: the immutable, shareable half of the analysis model.
+//
+// Everything the evaluation of a candidate configuration *reads* but never
+// *writes* lives here: the network topology, the path-loss provider, the
+// AMC/scheduler options, the noise floor and the frozen UE density. One
+// MarketContext is shared read-only by every per-thread EvalContext, which
+// is what lets candidate evaluation fan out across cores without copying
+// the market-scale inputs.
+//
+// Thread-safety contract: all accessors are safe to call concurrently once
+// the context is constructed and the UE density is frozen. set_ue_density()
+// is the one mutator; it must only be called from the driver thread while
+// no parallel evaluation is in flight (the planner freezes the density at
+// C_before, before any search runs). The path-loss provider is shared too:
+// provider().footprint() is internally synchronized (see
+// pathloss::PathLossProvider).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lte/amc.h"
+#include "lte/scheduler.h"
+#include "net/network.h"
+#include "pathloss/database.h"
+
+namespace magus::model {
+
+struct ModelOptions {
+  lte::SchedulerModel scheduler;
+  /// Minimum SINR for service; below it r_max = 0 (paper's SINRmin).
+  /// Defaults to the CQI-1 switching threshold.
+  double min_service_sinr_db = -6.7;
+};
+
+class MarketContext {
+ public:
+  /// `network` and `provider` must outlive the context.
+  MarketContext(const net::Network* network,
+                pathloss::PathLossProvider* provider, ModelOptions options);
+
+  [[nodiscard]] const net::Network& network() const { return *network_; }
+  /// Shared by all eval contexts; footprint() is internally synchronized.
+  [[nodiscard]] pathloss::PathLossProvider& provider() const {
+    return *provider_;
+  }
+  [[nodiscard]] const geo::GridMap& grid() const { return provider_->grid(); }
+  [[nodiscard]] const ModelOptions& options() const { return options_; }
+  [[nodiscard]] std::int32_t cell_count() const {
+    return grid().cell_count();
+  }
+  [[nodiscard]] double noise_mw() const { return noise_mw_; }
+
+  [[nodiscard]] std::span<const double> ue_density() const {
+    return ue_density_;
+  }
+  /// Driver-thread only; must not race with parallel evaluation.
+  void set_ue_density(std::vector<double> density);
+
+ private:
+  const net::Network* network_;
+  pathloss::PathLossProvider* provider_;
+  ModelOptions options_;
+  std::vector<double> ue_density_;
+  double noise_mw_ = 0.0;
+};
+
+}  // namespace magus::model

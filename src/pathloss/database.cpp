@@ -252,6 +252,11 @@ BuildingProvider::BuildingProvider(const net::Network* network,
 
 const SectorFootprint& BuildingProvider::footprint(net::SectorId sector,
                                                    radio::TiltIndex tilt) {
+  // Serializes concurrent callers (worker threads share this provider).
+  // A miss builds the matrix while holding the lock: footprints for a
+  // given (sector, tilt) are deterministic, so which thread builds one
+  // does not matter, only that it is built exactly once.
+  const std::lock_guard lock{mutex_};
   const std::pair<std::int32_t, std::int32_t> key{sector, tilt};
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
@@ -273,6 +278,9 @@ ApproxTiltProvider::ApproxTiltProvider(PathLossProvider* inner,
 const SectorFootprint& ApproxTiltProvider::footprint(net::SectorId sector,
                                                      radio::TiltIndex tilt) {
   if (tilt == 0) return inner_->footprint(sector, 0);
+  // Serializes concurrent cache access; the inner provider has its own
+  // lock, taken strictly after this one (no cycle).
+  const std::lock_guard lock{mutex_};
   const std::pair<std::int32_t, std::int32_t> key{sector, tilt};
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;

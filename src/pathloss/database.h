@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -21,7 +22,9 @@ namespace magus::pathloss {
 
 /// Source of L_b(T, g) matrices. Implementations may build lazily, so the
 /// accessor is non-const; returned references stay valid for the provider's
-/// lifetime.
+/// lifetime. footprint() must be safe to call concurrently: a provider is
+/// shared (via model::MarketContext) by every evaluation thread, so the
+/// lazily-caching implementations serialize cache access internally.
 class PathLossProvider {
  public:
   virtual ~PathLossProvider() = default;
@@ -106,6 +109,9 @@ class BuildingProvider final : public PathLossProvider {
  private:
   const net::Network* network_;
   FootprintBuilder builder_;
+  /// Guards cache_; std::map node stability keeps returned references
+  /// valid across later insertions.
+  std::mutex mutex_;
   std::map<std::pair<std::int32_t, std::int32_t>, SectorFootprint> cache_;
 };
 
@@ -128,6 +134,7 @@ class ApproxTiltProvider final : public PathLossProvider {
   PathLossProvider* inner_;
   const net::Network* network_;
   TiltDeltaModel delta_model_;
+  std::mutex mutex_;
   std::map<std::pair<std::int32_t, std::int32_t>, SectorFootprint> cache_;
 };
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace magus::util {
 
 ArgParser::ArgParser(std::string program_description)
@@ -90,6 +92,17 @@ std::string ArgParser::usage() const {
         << "      " << flag.help << "\n";
   }
   return out.str();
+}
+
+void add_threads_flag(ArgParser& parser) {
+  parser.add_flag("threads", "0",
+                  "worker threads for candidate evaluation "
+                  "(0 = hardware concurrency)");
+}
+
+std::size_t threads_from(const ArgParser& parser) {
+  const std::int64_t raw = parser.get_int("threads");
+  return resolve_thread_count(raw > 0 ? static_cast<std::size_t>(raw) : 0);
 }
 
 const ArgParser::Flag& ArgParser::find(const std::string& name) const {

@@ -4,6 +4,7 @@
 // ("--verbose"). Unknown flags raise an error listing known flags.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -44,5 +45,12 @@ class ArgParser {
   std::map<std::string, Flag> flags_;
   std::vector<std::string> order_;
 };
+
+/// Registers the standard "--threads" flag (0 = hardware concurrency).
+void add_threads_flag(ArgParser& parser);
+
+/// Reads "--threads" and resolves 0 / negative values to the hardware
+/// concurrency; always returns >= 1.
+[[nodiscard]] std::size_t threads_from(const ArgParser& parser);
 
 }  // namespace magus::util

@@ -1,0 +1,152 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace magus::util {
+
+namespace {
+
+void append_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  Value v;
+  v.kind = Value::Kind::kNumber;
+  v.number = value;
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, std::int64_t value) {
+  Value v;
+  v.kind = Value::Kind::kInteger;
+  v.integer = value;
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  Value v;
+  v.kind = Value::Kind::kBool;
+  v.boolean = value;
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  Value v;
+  v.kind = Value::Kind::kString;
+  v.string = value;
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const char* value) {
+  return set(key, std::string{value});
+}
+
+JsonObject& JsonObject::set(const std::string& key, JsonObject value) {
+  Value v;
+  v.kind = Value::Kind::kObject;
+  v.object = std::make_shared<JsonObject>(std::move(value));
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+void JsonObject::append(std::ostream& out, int indent) const {
+  if (members_.empty()) {
+    out << "{}";
+    return;
+  }
+  const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+  out << "{\n";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const auto& [key, value] = members_[i];
+    out << pad;
+    append_escaped(out, key);
+    out << ": ";
+    switch (value.kind) {
+      case Value::Kind::kNumber:
+        if (std::isfinite(value.number)) {
+          std::ostringstream num;
+          num.precision(std::numeric_limits<double>::max_digits10);
+          num << value.number;
+          out << num.str();
+        } else {
+          out << "null";
+        }
+        break;
+      case Value::Kind::kInteger:
+        out << value.integer;
+        break;
+      case Value::Kind::kBool:
+        out << (value.boolean ? "true" : "false");
+        break;
+      case Value::Kind::kString:
+        append_escaped(out, value.string);
+        break;
+      case Value::Kind::kObject:
+        value.object->append(out, indent + 2);
+        break;
+    }
+    out << (i + 1 < members_.size() ? ",\n" : "\n");
+  }
+  out << std::string(static_cast<std::size_t>(indent), ' ') << '}';
+}
+
+std::string JsonObject::dump() const {
+  std::ostringstream out;
+  append(out, 0);
+  out << '\n';
+  return out.str();
+}
+
+void JsonObject::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("JsonObject: cannot open " + path);
+  }
+  out << dump();
+  if (!out) {
+    throw std::runtime_error("JsonObject: write failed for " + path);
+  }
+}
+
+}  // namespace magus::util

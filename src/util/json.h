@@ -1,0 +1,52 @@
+// Minimal JSON writer for machine-readable bench output.
+//
+// Emits one object with insertion-ordered keys; values are numbers,
+// booleans, strings or nested objects. Write-only on purpose: the benches
+// need a well-formed, stable artifact for scripts to consume, not a parser.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace magus::util {
+
+class JsonObject {
+ public:
+  JsonObject() = default;
+
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::int64_t value);
+  JsonObject& set(const std::string& key, bool value);
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value);
+  JsonObject& set(const std::string& key, JsonObject value);
+
+  /// Serializes with 2-space indentation and a trailing newline. Doubles
+  /// round-trip (max_digits10); NaN/inf become null (JSON has no literals
+  /// for them).
+  [[nodiscard]] std::string dump() const;
+
+  /// dump() to `path`; throws std::runtime_error when the file cannot be
+  /// written.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Value {
+    enum class Kind { kNumber, kInteger, kBool, kString, kObject } kind;
+    double number = 0.0;
+    std::int64_t integer = 0;
+    bool boolean = false;
+    std::string string;
+    std::shared_ptr<JsonObject> object;  ///< shared: Value must be copyable
+  };
+
+  void append(std::ostream& out, int indent) const;
+
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace magus::util

@@ -1,0 +1,65 @@
+// A small fixed-size worker pool for data-parallel batch work.
+//
+// The pool is built once and reused across batches (spawning threads per
+// candidate batch would dwarf the evaluation cost). run() executes a job of
+// `count` independent tasks, handing out task indices through one atomic
+// counter so fast workers steal the tail from slow ones. The calling thread
+// participates as worker 0: a pool of size 1 spawns no threads at all and
+// runs every task inline, which keeps the single-threaded path free of any
+// synchronization cost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace magus::util {
+
+/// `threads == 0` resolves to the hardware concurrency (at least 1).
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t threads);
+
+class ThreadPool {
+ public:
+  /// fn(worker, task): `worker` in [0, size()), `task` in [0, count).
+  using Task = std::function<void(std::size_t worker, std::size_t task)>;
+
+  /// Spawns size()-1 threads; the caller of run() is worker 0.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, calling thread included; always >= 1.
+  [[nodiscard]] std::size_t size() const { return threads_.size() + 1; }
+
+  /// Runs fn for every task index in [0, count) and returns when all are
+  /// done. Task order and worker assignment are unspecified; tasks must be
+  /// independent. The first exception thrown by any task is rethrown here
+  /// (remaining tasks are abandoned). Not reentrant.
+  void run(std::size_t count, const Task& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+  /// Pulls task indices until the job is drained; records the first error.
+  void drain(std::size_t worker, const Task& fn, std::size_t count);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const Task* job_ = nullptr;      ///< current job (guarded by mutex_)
+  std::size_t job_count_ = 0;      ///< tasks in the current job
+  std::uint64_t generation_ = 0;   ///< bumped per job; workers wait on it
+  std::size_t active_ = 0;         ///< spawned workers still in the job
+  std::exception_ptr error_;       ///< first task failure of the job
+  bool stop_ = false;
+  std::atomic<std::size_t> next_task_{0};
+};
+
+}  // namespace magus::util

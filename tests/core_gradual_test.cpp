@@ -15,7 +15,8 @@ class GradualTest : public ::testing::Test {
   GradualTest()
       : world_(10, 9.0),
         model_(&world_.network, world_.provider.get()),
-        evaluator_(&model_, Utility::performance()) {
+        evaluator_(&model_, Utility::performance()),
+        parallel_(&model_, Utility::performance(), 2) {
     model_.freeze_uniform_ue_density();
     baseline_rates_ = capture_rates(model_);
 
@@ -23,7 +24,7 @@ class GradualTest : public ::testing::Test {
     model_.set_active(world_.east, false);
     const PowerSearch search{};
     const std::vector<net::SectorId> involved = {world_.west};
-    c_after_ = search.run(evaluator_, involved, baseline_rates_).config;
+    c_after_ = search.run(parallel_, involved, baseline_rates_).config;
 
     // Back to C_before for planning.
     model_.set_configuration(world_.network.default_configuration());
@@ -32,6 +33,7 @@ class GradualTest : public ::testing::Test {
   LineWorld world_;
   model::AnalysisModel model_;
   Evaluator evaluator_;
+  ParallelEvaluator parallel_;
   std::vector<double> baseline_rates_;
   net::Configuration c_after_;
 };

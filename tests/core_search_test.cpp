@@ -20,7 +20,8 @@ class SearchTest : public ::testing::Test {
   SearchTest()
       : world_(10, 9.0),
         model_(&world_.network, world_.provider.get()),
-        evaluator_(&model_, Utility::performance()) {
+        evaluator_(&model_, Utility::performance()),
+        parallel_(&model_, Utility::performance(), 2) {
     model_.freeze_uniform_ue_density();
     f_before_ = evaluator_.evaluate();
     baseline_rates_ = capture_rates(model_);
@@ -32,6 +33,7 @@ class SearchTest : public ::testing::Test {
   LineWorld world_;
   model::AnalysisModel model_;
   Evaluator evaluator_;
+  ParallelEvaluator parallel_;
   double f_before_ = 0.0;
   double f_upgrade_ = 0.0;
   std::vector<double> baseline_rates_;
@@ -40,7 +42,7 @@ class SearchTest : public ::testing::Test {
 
 TEST_F(SearchTest, PowerSearchImprovesUtility) {
   const PowerSearch search{};
-  const SearchResult result = search.run(evaluator_, involved_, baseline_rates_);
+  const SearchResult result = search.run(parallel_, involved_, baseline_rates_);
   EXPECT_GT(result.utility, f_upgrade_);
   EXPECT_LE(result.utility, f_before_ + 1e-9);
   EXPECT_GT(result.accepted_steps, 0);
@@ -53,7 +55,7 @@ TEST_F(SearchTest, PowerSearchImprovesUtility) {
 
 TEST_F(SearchTest, PowerSearchTraceIsMonotone) {
   const PowerSearch search{};
-  const SearchResult result = search.run(evaluator_, involved_, baseline_rates_);
+  const SearchResult result = search.run(parallel_, involved_, baseline_rates_);
   double previous = f_upgrade_;
   for (const TuningStep& step : result.trace) {
     EXPECT_GT(step.utility_after, previous);
@@ -67,7 +69,7 @@ TEST_F(SearchTest, PowerSearchTraceIsMonotone) {
 TEST_F(SearchTest, PowerSearchMatchesBruteForceOnTinyInstance) {
   const PowerSearch search{};
   const SearchResult heuristic =
-      search.run(evaluator_, involved_, baseline_rates_);
+      search.run(parallel_, involved_, baseline_rates_);
 
   // Reset to C_upgrade and brute-force the survivor's power in 1 dB steps.
   net::Configuration upgrade =
@@ -79,7 +81,7 @@ TEST_F(SearchTest, PowerSearchMatchesBruteForceOnTinyInstance) {
     axis.power_levels_dbm.push_back(p);
   }
   const BruteForceSearch brute{};
-  const SearchResult exact = brute.run(evaluator_, std::span{&axis, 1});
+  const SearchResult exact = brute.run(parallel_, std::span{&axis, 1});
   // On this 1-sector search space the heuristic must find the optimum.
   EXPECT_NEAR(heuristic.utility, exact.utility, 1e-6);
 }
@@ -87,7 +89,7 @@ TEST_F(SearchTest, PowerSearchMatchesBruteForceOnTinyInstance) {
 TEST_F(SearchTest, PowerSearchValidatesBaselineSize) {
   const PowerSearch search{};
   const std::vector<double> wrong(3, 0.0);
-  EXPECT_THROW((void)search.run(evaluator_, involved_, wrong),
+  EXPECT_THROW((void)search.run(parallel_, involved_, wrong),
                std::invalid_argument);
   EXPECT_THROW(PowerSearch(PowerSearchOptions{.unit_db = 0.0}),
                std::invalid_argument);
@@ -95,7 +97,7 @@ TEST_F(SearchTest, PowerSearchValidatesBaselineSize) {
 
 TEST_F(SearchTest, TiltSearchOnlyAcceptsImprovements) {
   const TiltSearch search{};
-  const SearchResult result = search.run(evaluator_, involved_);
+  const SearchResult result = search.run(parallel_, involved_);
   EXPECT_GE(result.utility, f_upgrade_ - 1e-9);
   double previous = f_upgrade_;
   for (const TuningStep& step : result.trace) {
@@ -107,14 +109,14 @@ TEST_F(SearchTest, TiltSearchOnlyAcceptsImprovements) {
 
 TEST_F(SearchTest, NaiveSearchImprovesButNeverWorsens) {
   const NaiveSearch search{};
-  const SearchResult result = search.run(evaluator_, involved_);
+  const SearchResult result = search.run(parallel_, involved_);
   EXPECT_GE(result.utility, f_upgrade_ - 1e-9);
   EXPECT_TRUE(model_.configuration() == result.config);
 }
 
 TEST_F(SearchTest, JointCombinesTraces) {
   const JointSearch search{};
-  const SearchResult joint = search.run(evaluator_, involved_, baseline_rates_);
+  const SearchResult joint = search.run(parallel_, involved_, baseline_rates_);
   EXPECT_GE(joint.utility, f_upgrade_ - 1e-9);
   EXPECT_EQ(joint.accepted_steps, static_cast<int>(joint.trace.size()));
   // Joint must not be worse than what a pure power pass achieves from the
@@ -123,7 +125,7 @@ TEST_F(SearchTest, JointCombinesTraces) {
       world_.network.default_configuration().with_sector_off(world_.east));
   const PowerSearch power{};
   const SearchResult power_only =
-      power.run(evaluator_, involved_, baseline_rates_);
+      power.run(parallel_, involved_, baseline_rates_);
   EXPECT_GE(joint.utility, power_only.utility - 1e-6);
 }
 
@@ -135,12 +137,12 @@ TEST_F(SearchTest, BruteForceValidation) {
     axis.power_levels_dbm.push_back(p);
   }
   // 27 power levels > 10 combination cap.
-  EXPECT_THROW((void)brute.run(evaluator_, std::span{&axis, 1}),
+  EXPECT_THROW((void)brute.run(parallel_, std::span{&axis, 1}),
                std::invalid_argument);
   BruteForceAxis empty;
   empty.sector = world_.west;
   const BruteForceSearch ok{};
-  EXPECT_THROW((void)ok.run(evaluator_, std::span{&empty, 1}),
+  EXPECT_THROW((void)ok.run(parallel_, std::span{&empty, 1}),
                std::invalid_argument);
 }
 
@@ -166,6 +168,7 @@ TEST_P(SearchPropertyTest, MagusVsNaiveAndBounds) {
   magus::data::Experiment experiment{params};
   model::AnalysisModel& model = experiment.model();
   Evaluator evaluator{&model, Utility::performance()};
+  ParallelEvaluator parallel{&model, Utility::performance(), 2};
   model.freeze_uniform_ue_density();
 
   // Take down the sector nearest the study center.
@@ -193,7 +196,7 @@ TEST_P(SearchPropertyTest, MagusVsNaiveAndBounds) {
 
   const PowerSearch power{};
   const SearchResult magus_result =
-      power.run(evaluator, involved, baseline);
+      power.run(parallel, involved, baseline);
 
   // The hybrid phase of §2: a short feedback polish from C_so.
   FeedbackOptions polish_options;
@@ -207,7 +210,7 @@ TEST_P(SearchPropertyTest, MagusVsNaiveAndBounds) {
 
   model.restore(upgrade_snapshot);
   const NaiveSearch naive{};
-  const SearchResult naive_result = naive.run(evaluator, involved);
+  const SearchResult naive_result = naive.run(parallel, involved);
 
   // Both improve; Magus (model search + short polish) is never materially
   // worse than naive (paper Figure 13: ratio never below 0.9).

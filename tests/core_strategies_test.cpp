@@ -14,13 +14,14 @@ class StrategiesTest : public ::testing::Test {
   StrategiesTest()
       : world_(10, 9.0),
         model_(&world_.network, world_.provider.get()),
-        evaluator_(&model_, Utility::performance()) {
+        evaluator_(&model_, Utility::performance()),
+        parallel_(&model_, Utility::performance(), 2) {
     model_.freeze_uniform_ue_density();
     const auto baseline = capture_rates(model_);
     model_.set_active(world_.east, false);
     const PowerSearch search{};
     const std::vector<net::SectorId> involved = {world_.west};
-    c_after_ = search.run(evaluator_, involved, baseline).config;
+    c_after_ = search.run(parallel_, involved, baseline).config;
     model_.set_configuration(world_.network.default_configuration());
   }
 
@@ -36,6 +37,7 @@ class StrategiesTest : public ::testing::Test {
   LineWorld world_;
   model::AnalysisModel model_;
   Evaluator evaluator_;
+  ParallelEvaluator parallel_;
   net::Configuration c_after_;
 };
 

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <fstream>
 #include <sstream>
 
 #include "util/args.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -215,6 +217,67 @@ TEST(Args, HelpReturnsFalse) {
   ArgParser parser{"test"};
   const char* argv[] = {"prog", "--help"};
   EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(Args, ThreadsFlagDefaultsToHardwareConcurrency) {
+  ArgParser parser{"test"};
+  add_threads_flag(parser);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_GE(threads_from(parser), 1u);  // 0 resolves to the host's cores
+}
+
+TEST(Args, ThreadsFlagExplicitValue) {
+  ArgParser parser{"test"};
+  add_threads_flag(parser);
+  const char* argv[] = {"prog", "--threads", "3"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(threads_from(parser), 3u);
+}
+
+TEST(Json, OrderedKeysAndScalarTypes) {
+  JsonObject object;
+  object.set("name", "fig12").set("threads", std::int64_t{8});
+  object.set("speedup", 3.25).set("identical", true);
+  EXPECT_EQ(object.dump(),
+            "{\n"
+            "  \"name\": \"fig12\",\n"
+            "  \"threads\": 8,\n"
+            "  \"speedup\": 3.25,\n"
+            "  \"identical\": true\n"
+            "}\n");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonObject object;
+  object.set("nan", std::nan(""));
+  object.set("inf", std::numeric_limits<double>::infinity());
+  const std::string text = object.dump();
+  EXPECT_NE(text.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"inf\": null"), std::string::npos);
+}
+
+TEST(Json, EscapesStringsAndNestsObjects) {
+  JsonObject inner;
+  inner.set("label", "a \"quoted\"\nline");
+  JsonObject outer;
+  outer.set("inner", std::move(inner));
+  const std::string text = outer.dump();
+  EXPECT_NE(text.find("\\\"quoted\\\"\\n"), std::string::npos);
+  EXPECT_NE(text.find("\"inner\": {"), std::string::npos);
+}
+
+TEST(Json, WriteFileRoundTripAndFailure) {
+  JsonObject object;
+  object.set("value", std::int64_t{42});
+  const std::string path = "util_json_test.json";
+  object.write_file(path);
+  std::ifstream in{path};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), object.dump());
+  std::remove(path.c_str());
+  EXPECT_THROW(object.write_file("no_such_dir/x.json"), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace magus::util {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+}
+
+TEST(ThreadPoolTest, SizeIncludesCaller) {
+  ThreadPool one{1};
+  EXPECT_EQ(one.size(), 1u);
+  ThreadPool four{4};
+  EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsEveryTaskInlineAsWorkerZero) {
+  ThreadPool pool{1};
+  std::vector<int> hits(100, 0);
+  pool.run(hits.size(), [&](std::size_t worker, std::size_t task) {
+    EXPECT_EQ(worker, 0u);
+    ++hits[task];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnceAcrossWorkers) {
+  ThreadPool pool{4};
+  constexpr std::size_t kTasks = 5000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](std::size_t worker, std::size_t task) {
+    EXPECT_LT(worker, pool.size());
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool{3};
+  for (int job = 0; job < 20; ++job) {
+    std::atomic<int> count{0};
+    pool.run(17, [&](std::size_t, std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 17);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyJobIsNoOp) {
+  ThreadPool pool{2};
+  bool ran = false;
+  pool.run(0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, JobWithFewerTasksThanWorkers) {
+  ThreadPool pool{4};
+  std::atomic<int> count{0};
+  pool.run(2, [&](std::size_t, std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, RethrowsFirstTaskException) {
+  ThreadPool pool{2};
+  EXPECT_THROW(
+      pool.run(10,
+               [&](std::size_t, std::size_t task) {
+                 if (task == 3) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool stays usable after a failed job.
+  std::atomic<int> count{0};
+  pool.run(5, [&](std::size_t, std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPoolTest, SingleThreadExceptionPropagates) {
+  ThreadPool pool{1};
+  EXPECT_THROW(pool.run(3,
+                        [&](std::size_t, std::size_t) {
+                          throw std::invalid_argument("inline");
+                        }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magus::util
