@@ -9,6 +9,7 @@
 #include "core/planner.h"
 #include "data/experiment.h"
 #include "data/upgrade_scenarios.h"
+#include "obs/session.h"
 #include "util/args.h"
 
 namespace magus::bench {
@@ -30,6 +31,7 @@ inline void add_scale_flags(util::ArgParser& args) {
                 "use the paper's 30 km region / 10 km study area");
   args.add_flag("seed", "1", "base seed for market generation");
   util::add_threads_flag(args);
+  util::add_obs_flags(args);
 }
 
 [[nodiscard]] inline Scale scale_from(const util::ArgParser& args) {

@@ -16,6 +16,7 @@
 #include "exec/executor.h"
 #include "exec/fault_injector.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace {
@@ -53,6 +54,8 @@ int main(int argc, char** argv) {
   bench::add_scale_flags(args);
   args.add_flag("window-s", "60", "live measurement window per feedback probe");
   args.add_flag("csv", "", "optional CSV output path");
+  args.add_flag("exec-json", "",
+                "optional path for the structured ExecutionTrace JSON");
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bench::Scale scale = bench::scale_from(args);
+  const obs::ObsSession obs_session{args};
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const double window_s = args.get_double("window-s");
 
@@ -73,6 +77,20 @@ int main(int argc, char** argv) {
 
   util::TablePrinter table{{"market", "strategy", "recovery_s", "lost_ue_s",
                             "final_utility", "completed", "actions"}};
+
+  // Full per-run ExecutionTrace export (--exec-json): one record per
+  // (market, strategy) with the complete step-by-step recovery story.
+  const std::string exec_json_path = args.get_string("exec-json");
+  util::JsonArray exec_runs;
+  const auto record_trace = [&](int market, const char* strategy,
+                                const exec::ExecutionTrace& trace) {
+    if (exec_json_path.empty()) return;
+    util::JsonObject entry;
+    entry.set("market", static_cast<std::int64_t>(market));
+    entry.set("strategy", strategy);
+    entry.set("trace", trace.to_json());
+    exec_runs.push_back(std::move(entry));
+  };
 
   for (int market = 0; market < scale.markets; ++market) {
     data::Experiment experiment{bench::market_params(
@@ -129,6 +147,7 @@ int main(int argc, char** argv) {
     // computation delay; recovery costs one configuration push.
     {
       const exec::ExecutionTrace trace = run(&contingencies, nullptr);
+      record_trace(market, "contingency", trace);
       rows.push_back({"contingency", options.push_backoff.initial_delay_s,
                       trace.total_lost_service_ue_seconds,
                       trace.final_utility, trace.completed,
@@ -142,6 +161,7 @@ int main(int argc, char** argv) {
       const exec::ExecutionTrace trace = run(nullptr, &planner);
       const double compute_s =
           std::chrono::duration<double>(Clock::now() - start).count();
+      record_trace(market, "replan", trace);
       rows.push_back({"replan", compute_s,
                       trace.total_lost_service_ue_seconds,
                       trace.final_utility, trace.completed,
@@ -153,6 +173,7 @@ int main(int argc, char** argv) {
     // a live measurement window during which the outage cells stay dark.
     {
       const exec::ExecutionTrace trace = run(nullptr, nullptr);
+      record_trace(market, "feedback", trace);
       const auto service = experiment.model().service_map();
       const auto density = experiment.model().ue_density();
       double dark_ues = 0.0;
@@ -192,6 +213,14 @@ int main(int argc, char** argv) {
                         std::to_string(row.actions)});
       }
     }
+  }
+
+  if (!exec_json_path.empty()) {
+    util::JsonObject exec_json;
+    exec_json.set("bench", "fault_recovery");
+    exec_json.set("runs", std::move(exec_runs));
+    exec_json.write_file(exec_json_path);
+    std::cout << "ExecutionTrace JSON written to " << exec_json_path << "\n\n";
   }
 
   std::cout << "Mid-migration neighbor outage: recovery by strategy\n"

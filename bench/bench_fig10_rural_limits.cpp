@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   bench::Scale scale = bench::scale_from(args);
+  const obs::ObsSession obs_session{args};
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   data::MarketParams params =

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <memory>
 
+#include "obs/session.h"
 #include "testbed/scenarios.h"
 #include "util/args.h"
 #include "util/csv.h"
@@ -57,12 +58,14 @@ int main(int argc, char** argv) {
   util::ArgParser args{"Figure 2: testbed reconfiguration timelines"};
   args.add_flag("seed", "7", "testbed emulation seed");
   args.add_flag("csv", "", "optional CSV output path");
+  util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
     std::cerr << error.what() << '\n';
     return 1;
   }
+  const obs::ObsSession obs_session{args};
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   std::unique_ptr<util::CsvWriter> csv;

@@ -9,6 +9,8 @@
 //   --json PATH   write a machine-readable summary of the batch-scoring
 //                 throughput (evaluations/sec, wall time, speedup vs 1
 //                 thread) to PATH
+//   --metrics PATH  write the metrics-registry snapshot (JSON) to PATH
+//   --trace PATH    record spans and write a Chrome trace-event file
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -24,6 +26,7 @@
 #include "core/power_search.h"
 #include "data/experiment.h"
 #include "data/upgrade_scenarios.h"
+#include "obs/session.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
 
@@ -230,6 +233,8 @@ void write_json_summary(const std::string& path) {
 int main(int argc, char** argv) {
   // Peel our flags; everything else goes to google-benchmark.
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -245,10 +250,15 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::max(0L, std::strtol(v, nullptr, 10))));
     } else if (const char* v = take_value("--json")) {
       json_path = v;
+    } else if (const char* v = take_value("--metrics")) {
+      metrics_path = v;
+    } else if (const char* v = take_value("--trace")) {
+      trace_path = v;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
+  obs::ObsSession obs_session{metrics_path, trace_path};
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc,

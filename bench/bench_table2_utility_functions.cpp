@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bench::Scale scale = bench::scale_from(args);
+  const obs::ObsSession obs_session{args};
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   // Paper setting: a suburban area with upgrade scenario (a).

@@ -9,6 +9,7 @@
 #include "data/experiment.h"
 #include "data/render.h"
 #include "model/coverage_map.h"
+#include "obs/session.h"
 #include "util/args.h"
 
 int main(int argc, char** argv) {
@@ -22,12 +23,14 @@ int main(int argc, char** argv) {
   args.add_flag("power", "0", "override power in dBm (with --sector)");
   args.add_flag("tilt", "0", "override tilt index (with --sector)");
   args.add_flag("off", "false", "take the override sector off-air instead");
+  util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
     std::cerr << error.what() << '\n';
     return 1;
   }
+  const obs::ObsSession obs_session{args};
 
   data::MarketParams params;
   const std::string morph = args.get_string("morphology");

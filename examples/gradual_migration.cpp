@@ -8,6 +8,7 @@
 #include "core/planner.h"
 #include "data/experiment.h"
 #include "data/upgrade_scenarios.h"
+#include "obs/session.h"
 #include "sim/migration_sim.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -20,12 +21,14 @@ int main(int argc, char** argv) {
   args.add_flag("step-db", "2", "per-step power-down on the target (dB)");
   args.add_flag("interval-s", "120", "seconds between tuning steps");
   util::add_threads_flag(args);
+  util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
     std::cerr << error.what() << '\n';
     return 1;
   }
+  const obs::ObsSession obs_session{args};
 
   data::MarketParams params;
   params.morphology = data::Morphology::kSuburban;

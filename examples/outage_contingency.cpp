@@ -9,6 +9,7 @@
 
 #include "core/contingency.h"
 #include "data/experiment.h"
+#include "obs/session.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -19,12 +20,14 @@ int main(int argc, char** argv) {
   args.add_flag("seed", "5", "market generation seed");
   args.add_flag("max-sectors", "12", "cap on precomputed contingencies");
   util::add_threads_flag(args);
+  util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
     std::cerr << error.what() << '\n';
     return 1;
   }
+  const obs::ObsSession obs_session{args};
 
   data::MarketParams params;
   params.morphology = data::Morphology::kSuburban;

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "data/experiment.h"
+#include "obs/session.h"
 #include "pathloss/database.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -55,12 +56,14 @@ int main(int argc, char** argv) {
   args.add_flag("seed", "17", "market generation seed");
   args.add_flag("region-km", "9", "analysis region edge in km");
   args.add_flag("tilts", "1", "tilt settings on each side of 0");
+  util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
     std::cerr << error.what() << '\n';
     return 1;
   }
+  const obs::ObsSession obs_session{args};
   const std::string mode = args.get_string("mode");
   const std::string path = args.get_string("db");
   const int tilts = static_cast<int>(args.get_int("tilts"));

@@ -10,6 +10,7 @@
 #include "core/planner.h"
 #include "data/experiment.h"
 #include "data/upgrade_scenarios.h"
+#include "obs/session.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -31,12 +32,14 @@ int main(int argc, char** argv) {
   args.add_flag("morphology", "suburban", "rural | suburban | urban");
   args.add_flag("region-km", "12", "analysis region edge in km");
   util::add_threads_flag(args);
+  util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
     std::cerr << error.what() << '\n';
     return 1;
   }
+  const obs::ObsSession obs_session{args};
 
   data::MarketParams params;
   params.morphology = parse_morphology(args.get_string("morphology"));

@@ -8,6 +8,7 @@
 
 #include "core/planner.h"
 #include "data/experiment.h"
+#include "obs/session.h"
 #include "util/args.h"
 #include "util/csv.h"
 #include "util/stats.h"
@@ -33,12 +34,14 @@ int main(int argc, char** argv) {
   args.add_flag("csv", "", "optional path for CSV export");
   args.add_flag("max-sites", "6", "cap on the number of sites planned");
   util::add_threads_flag(args);
+  util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
     std::cerr << error.what() << '\n';
     return 1;
   }
+  const obs::ObsSession obs_session{args};
 
   data::MarketParams params;
   params.morphology = data::Morphology::kSuburban;

@@ -9,6 +9,7 @@
 #include "core/planner.h"
 #include "data/experiment.h"
 #include "data/upgrade_scenarios.h"
+#include "obs/session.h"
 #include "traffic/window_planner.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -33,12 +34,14 @@ int main(int argc, char** argv) {
   args.add_flag("profile", "metropolitan",
                 "metropolitan | business | airport | flat");
   args.add_flag("hours", "5", "upgrade duration (paper: 4-6 hours)");
+  util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
     std::cerr << error.what() << '\n';
     return 1;
   }
+  const obs::ObsSession obs_session{args};
   const int hours = static_cast<int>(args.get_int("hours"));
 
   data::MarketParams params;

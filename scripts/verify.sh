@@ -16,6 +16,31 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "==> Observability artifacts (--json --metrics --trace)"
+artifacts=$(mktemp -d)
+trap 'rm -rf "$artifacts"' EXIT
+./build/bench/bench_fig12_convergence --threads 2 \
+  --json "$artifacts/summary.json" \
+  --metrics "$artifacts/metrics.json" \
+  --trace "$artifacts/trace.json" >/dev/null
+python3 - "$artifacts" <<'EOF'
+import json, sys
+d = sys.argv[1]
+summary = json.load(open(f"{d}/summary.json"))
+assert summary["candidate_evaluations"] > 0, "empty bench summary"
+metrics = json.load(open(f"{d}/metrics.json"))
+assert metrics["counters"]["evaluator.evals"] > 0, "no evaluator metrics"
+assert any(k.startswith("evaluator.worker.") for k in metrics["counters"]), \
+    "no per-worker counters"
+trace = json.load(open(f"{d}/trace.json"))
+events = trace["traceEvents"]
+assert events, "empty trace"
+cats = {e["cat"] for e in events}
+assert {"planner", "evaluator", "model"} <= cats, f"missing subsystems: {cats}"
+print(f"artifacts OK: {len(events)} trace events, "
+      f"{len(metrics['counters'])} counters")
+EOF
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> Skipping sanitizer pass (--fast)"
   exit 0

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace magus::core {
 
 BruteForceSearch::BruteForceSearch(long max_combinations)
@@ -23,6 +25,8 @@ SearchResult BruteForceSearch::run(
   }
 
   model::AnalysisModel& model = evaluator.model();
+  MAGUS_TRACE_SPAN("search.brute_force", "planner");
+  SearchMetrics metrics{"brute_force"};
   const auto base_snapshot = model.snapshot();
 
   SearchResult result;
@@ -67,6 +71,7 @@ SearchResult BruteForceSearch::run(
 
     const std::vector<double> utilities = evaluator.score(chunk);
     result.candidate_evaluations += static_cast<long>(chunk.size());
+    metrics.batch(chunk.size());
     for (std::size_t i = 0; i < chunk.size(); ++i) {
       if (utilities[i] > result.utility) {  // strict: earliest optimum wins
         result.utility = utilities[i];
@@ -74,6 +79,11 @@ SearchResult BruteForceSearch::run(
       }
     }
   }
+
+  // Exhaustive sweep: exactly one winner out of everything scored.
+  metrics.accept(1);
+  metrics.reject(
+      static_cast<std::uint64_t>(result.candidate_evaluations) - 1);
 
   model.restore(base_snapshot);
   apply_candidate(model, best);

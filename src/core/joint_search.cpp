@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace magus::core {
 
 JointSearch::JointSearch(JointSearchOptions options)
@@ -10,6 +12,7 @@ JointSearch::JointSearch(JointSearchOptions options)
 SearchResult JointSearch::run(
     ParallelEvaluator& evaluator, std::span<const net::SectorId> involved,
     std::span<const double> baseline_rates) const {
+  MAGUS_TRACE_SPAN("search.joint", "planner");
   const TiltSearch tilt{options_.tilt};
   SearchResult tilt_result = tilt.run(evaluator, involved);
 

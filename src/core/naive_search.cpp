@@ -1,5 +1,7 @@
 #include "core/naive_search.h"
 
+#include "obs/trace.h"
+
 namespace magus::core {
 
 NaiveSearch::NaiveSearch(NaiveSearchOptions options) : options_(options) {}
@@ -7,6 +9,8 @@ NaiveSearch::NaiveSearch(NaiveSearchOptions options) : options_(options) {}
 SearchResult NaiveSearch::run(ParallelEvaluator& evaluator,
                               std::span<const net::SectorId> involved) const {
   model::AnalysisModel& model = evaluator.model();
+  MAGUS_TRACE_SPAN("search.naive", "planner");
+  SearchMetrics metrics{"naive"};
   SearchResult result;
   double current_utility = evaluator.evaluate();
   ++result.candidate_evaluations;
@@ -31,6 +35,7 @@ SearchResult NaiveSearch::run(ParallelEvaluator& evaluator,
 
     const std::vector<double> utilities = evaluator.score(ladder);
     result.candidate_evaluations += static_cast<long>(ladder.size());
+    metrics.batch(ladder.size());
 
     // Longest improving prefix == the serial accept-or-stop rule.
     int steps = 0;
@@ -42,6 +47,9 @@ SearchResult NaiveSearch::run(ParallelEvaluator& evaluator,
       result.trace.push_back(
           TuningStep{b, options_.step_db, 0, utility});
     }
+    metrics.ladder_prefix(static_cast<std::size_t>(steps));
+    metrics.accept(static_cast<std::uint64_t>(steps));
+    metrics.reject(ladder.size() - static_cast<std::size_t>(steps));
     if (steps == 0) continue;
     model.set_power(b, base_power + steps * options_.step_db);
     current_utility = utility;

@@ -25,6 +25,7 @@
 
 #include "core/evaluator.h"
 #include "core/search_types.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace magus::core {
@@ -61,6 +62,11 @@ class ParallelEvaluator {
   struct Worker {
     std::unique_ptr<model::EvalContext> context;  ///< lazily cloned
     EvalScratch scratch;
+    /// "evaluator.worker.<i>.evals" in the global registry; the per-worker
+    /// counts always sum to evaluation_count() (the serial-equivalent
+    /// total), which is the invariant the metrics artifact exposes.
+    obs::Counter* evals = nullptr;
+    bool measured_wait = false;  ///< first-task queue wait taken this batch
   };
 
   model::AnalysisModel* model_;

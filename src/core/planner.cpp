@@ -4,8 +4,35 @@
 #include <stdexcept>
 
 #include "core/strategies.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace magus::core {
+
+namespace {
+
+struct PlannerMetrics {
+  obs::Counter& plans;
+  obs::Counter& replans;
+  obs::Counter& pre_plan_steps;
+  obs::Counter& polish_steps;
+  obs::Histogram& plan_latency_us;
+
+  [[nodiscard]] static PlannerMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static PlannerMetrics metrics{
+        registry.counter("planner.plans"),
+        registry.counter("planner.replans"),
+        registry.counter("planner.pre_plan_steps"),
+        registry.counter("planner.polish_steps"),
+        registry.histogram("planner.plan_latency_us",
+                           obs::exponential_bounds(1'000.0, 4.0, 12)),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string tuning_mode_name(TuningMode mode) {
   switch (mode) {
@@ -57,6 +84,7 @@ SearchResult MagusPlanner::run_search(
 
 void MagusPlanner::polish(MitigationPlan& plan) const {
   if (!options_.hybrid_polish || options_.mode == TuningMode::kNaive) return;
+  MAGUS_TRACE_SPAN("planner.polish", "planner");
   FeedbackOptions polish_options;
   polish_options.unit_db = options_.power.unit_db;
   polish_options.allow_power = options_.mode != TuningMode::kTilt;
@@ -69,6 +97,7 @@ void MagusPlanner::polish(MitigationPlan& plan) const {
     plan.search.config = result.final_config;
     plan.search.accepted_steps +=
         static_cast<int>(result.utility_per_step.size());
+    PlannerMetrics::get().polish_steps.add(result.utility_per_step.size());
   }
   plan.search.candidate_evaluations += result.probe_count;
 }
@@ -104,6 +133,10 @@ MitigationPlan MagusPlanner::plan_upgrade(
   if (targets.empty()) {
     throw std::invalid_argument("MagusPlanner: no target sectors");
   }
+  MAGUS_TRACE_SPAN("planner.plan_upgrade", "planner");
+  PlannerMetrics& metrics = PlannerMetrics::get();
+  metrics.plans.add(1);
+  const obs::ScopedTimerUs plan_timer{metrics.plan_latency_us};
   model::AnalysisModel& model = evaluator_->model();
 
   MitigationPlan plan;
@@ -116,13 +149,14 @@ MitigationPlan MagusPlanner::plan_upgrade(
   // there.
   model.set_configuration(model.network().default_configuration());
   if (options_.pre_plan) {
+    MAGUS_TRACE_SPAN("planner.pre_plan", "planner");
     std::vector<net::SectorId> neighborhood = plan.involved;
     neighborhood.insert(neighborhood.end(), plan.targets.begin(),
                         plan.targets.end());
     model.freeze_uniform_ue_density();
-    (void)pre_plan_power(*evaluator_, neighborhood,
-                         options_.pre_plan_step_db,
-                         options_.pre_plan_sweeps);
+    metrics.pre_plan_steps.add(static_cast<std::uint64_t>(
+        pre_plan_power(*evaluator_, neighborhood, options_.pre_plan_step_db,
+                       options_.pre_plan_sweeps)));
   }
   plan.c_before = model.configuration();
   model.freeze_uniform_ue_density();
@@ -134,7 +168,10 @@ MitigationPlan MagusPlanner::plan_upgrade(
   plan.f_upgrade = evaluator_->evaluate();
 
   // Search for C_after (candidate batches scored across the worker pool).
-  plan.search = run_search(plan.involved, baseline_rates);
+  {
+    MAGUS_TRACE_SPAN("planner.search", "planner");
+    plan.search = run_search(plan.involved, baseline_rates);
+  }
   // The hybrid phase's move set matches the tuning mode so the Table-1
   // rows stay comparable.
   polish(plan);
@@ -143,6 +180,7 @@ MitigationPlan MagusPlanner::plan_upgrade(
       recovery_ratio({plan.f_before, plan.f_upgrade, plan.f_after});
 
   // Gradual migration schedule, starting again from C_before.
+  MAGUS_TRACE_SPAN("planner.gradual", "planner");
   model.set_configuration(plan.c_before);
   const GradualTuner tuner{options_.gradual};
   plan.gradual = tuner.plan(*evaluator_, targets, plan.search.config);
@@ -156,6 +194,8 @@ MitigationPlan MagusPlanner::replan_from_current(
   if (targets.empty()) {
     throw std::invalid_argument("MagusPlanner: no target sectors");
   }
+  MAGUS_TRACE_SPAN("planner.replan_from_current", "planner");
+  PlannerMetrics::get().replans.add(1);
   model::AnalysisModel& model = evaluator_->model();
 
   MitigationPlan plan;

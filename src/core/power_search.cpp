@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace magus::core {
@@ -19,6 +20,8 @@ SearchResult PowerSearch::run(
   if (baseline_rates.size() != static_cast<std::size_t>(model.cell_count())) {
     throw std::invalid_argument("PowerSearch: baseline size mismatch");
   }
+  MAGUS_TRACE_SPAN("search.power", "planner");
+  SearchMetrics metrics{"power"};
 
   SearchResult result;
   double current_utility = evaluator.evaluate();
@@ -60,6 +63,7 @@ SearchResult PowerSearch::run(
       }
       const std::vector<double> utilities = evaluator.score(batch);
       result.candidate_evaluations += static_cast<long>(batch.size());
+      metrics.batch(batch.size());
 
       // Serial scan in candidate order: same winner as evaluating the
       // candidates one by one (earlier sector wins a near-tie).
@@ -71,7 +75,12 @@ SearchResult PowerSearch::run(
           best_sector = beta[i];
         }
       }
-      if (best_sector == net::kInvalidSector) continue;  // increment T
+      if (best_sector == net::kInvalidSector) {
+        metrics.reject(batch.size());
+        continue;  // increment T
+      }
+      metrics.accept(1);
+      metrics.reject(batch.size() - 1);
 
       // Line 10: apply the winning change.
       const double power = model.configuration()[best_sector].power_dbm;

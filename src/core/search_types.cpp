@@ -1,6 +1,40 @@
 #include "core/search_types.h"
 
+#include <string>
+
 namespace magus::core {
+
+SearchMetrics::SearchMetrics(const char* driver)
+    : batches_(obs::MetricsRegistry::global().counter(
+          std::string("search.") + driver + ".batches")),
+      candidates_(obs::MetricsRegistry::global().counter(
+          std::string("search.") + driver + ".candidates")),
+      accepted_(obs::MetricsRegistry::global().counter(
+          std::string("search.") + driver + ".accepted")),
+      rejected_(obs::MetricsRegistry::global().counter(
+          std::string("search.") + driver + ".rejected")),
+      batch_size_(obs::MetricsRegistry::global().histogram(
+          "search.batch_size", obs::exponential_bounds(1.0, 2.0, 14))),
+      ladder_prefix_(obs::MetricsRegistry::global().histogram(
+          "search.ladder_prefix", obs::exponential_bounds(1.0, 2.0, 8))) {}
+
+void SearchMetrics::batch(std::size_t size) {
+  batches_.add(1);
+  candidates_.add(size);
+  batch_size_.observe(static_cast<double>(size));
+}
+
+void SearchMetrics::accept(std::uint64_t candidates) {
+  accepted_.add(candidates);
+}
+
+void SearchMetrics::reject(std::uint64_t candidates) {
+  rejected_.add(candidates);
+}
+
+void SearchMetrics::ladder_prefix(std::size_t accepted_rungs) {
+  ladder_prefix_.observe(static_cast<double>(accepted_rungs));
+}
 
 void apply_candidate(model::EvalContext& context, const Candidate& candidate) {
   for (const Mutation& m : candidate.mutations) {

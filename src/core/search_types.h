@@ -7,8 +7,33 @@
 
 #include "model/analysis_model.h"
 #include "net/configuration.h"
+#include "obs/metrics.h"
 
 namespace magus::core {
+
+/// Per-driver instrumentation bundle: "search.<driver>.*" counters plus the
+/// batch-size and ladder-prefix histograms (DESIGN.md §9). Constructed once
+/// per run() call (registry lookups are mutex-guarded); recording is
+/// lock-free.
+class SearchMetrics {
+ public:
+  explicit SearchMetrics(const char* driver);
+
+  /// One candidate batch submitted for scoring.
+  void batch(std::size_t size);
+  void accept(std::uint64_t candidates = 1);
+  void reject(std::uint64_t candidates);
+  /// Accepted-prefix length of one speculative ladder (tilt/naive).
+  void ladder_prefix(std::size_t accepted_rungs);
+
+ private:
+  obs::Counter& batches_;
+  obs::Counter& candidates_;
+  obs::Counter& accepted_;
+  obs::Counter& rejected_;
+  obs::Histogram& batch_size_;
+  obs::Histogram& ladder_prefix_;
+};
 
 /// One accepted tuning action.
 struct TuningStep {

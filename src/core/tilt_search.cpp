@@ -1,5 +1,6 @@
 #include "core/tilt_search.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace magus::core {
@@ -9,6 +10,8 @@ TiltSearch::TiltSearch(TiltSearchOptions options) : options_(options) {}
 SearchResult TiltSearch::run(ParallelEvaluator& evaluator,
                              std::span<const net::SectorId> involved) const {
   model::AnalysisModel& model = evaluator.model();
+  MAGUS_TRACE_SPAN("search.tilt", "planner");
+  SearchMetrics metrics{"tilt"};
   SearchResult result;
   double current_utility = evaluator.evaluate();
   ++result.candidate_evaluations;
@@ -31,6 +34,7 @@ SearchResult TiltSearch::run(ParallelEvaluator& evaluator,
 
     const std::vector<double> utilities = evaluator.score(ladder);
     result.candidate_evaluations += static_cast<long>(ladder.size());
+    metrics.batch(ladder.size());
 
     // Accept the longest prefix in which every rung beats its predecessor
     // (the serial walk's accept-or-stop rule).
@@ -42,6 +46,9 @@ SearchResult TiltSearch::run(ParallelEvaluator& evaluator,
       ++steps;
       result.trace.push_back(TuningStep{b, 0.0, direction, utility});
     }
+    metrics.ladder_prefix(static_cast<std::size_t>(steps));
+    metrics.accept(static_cast<std::uint64_t>(steps));
+    metrics.reject(ladder.size() - static_cast<std::size_t>(steps));
     if (steps == 0) return;
     model.set_tilt(b, base_tilt + steps * direction);
     current_utility = utility;

@@ -5,11 +5,45 @@
 #include <stdexcept>
 
 #include "core/search_types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace magus::exec {
 
 namespace {
+
+struct ExecMetrics {
+  obs::Counter& windows;
+  obs::Counter& steps;
+  obs::Counter& retries;
+  obs::Counter& contingency_applies;
+  obs::Counter& replans;
+  obs::Counter& rollbacks;
+  obs::Counter& fault_injections;
+  obs::Counter& floor_violations;
+  obs::Histogram& step_duration_s;  ///< simulated wall-clock per step
+  obs::Histogram& push_attempts;
+
+  [[nodiscard]] static ExecMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static ExecMetrics metrics{
+        registry.counter("exec.windows"),
+        registry.counter("exec.steps"),
+        registry.counter("exec.retries"),
+        registry.counter("exec.contingency_applies"),
+        registry.counter("exec.replans"),
+        registry.counter("exec.rollbacks"),
+        registry.counter("exec.fault_injections"),
+        registry.counter("exec.floor_violations"),
+        registry.histogram("exec.step_duration_s",
+                           obs::exponential_bounds(1.0, 2.0, 12)),
+        registry.histogram("exec.push_attempts",
+                           obs::exponential_bounds(1.0, 2.0, 6)),
+    };
+    return metrics;
+  }
+};
 
 [[nodiscard]] double band(double reference, double tolerance) {
   return tolerance * std::max(std::abs(reference), 1e-9);
@@ -31,6 +65,36 @@ void sort_unique(std::vector<net::SectorId>& ids) {
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 }
 
+[[nodiscard]] util::JsonObject fault_json(const FaultEvent& event) {
+  util::JsonObject out;
+  out.set("kind", fault_kind_name(event.kind));
+  out.set("step", static_cast<std::int64_t>(event.step));
+  out.set("sector", static_cast<std::int64_t>(event.sector));
+  if (event.kind == FaultKind::kHandoverFailure) {
+    out.set("handover_failure_probability",
+            event.handover_failure_probability);
+  }
+  if (event.kind == FaultKind::kConfigPushReject) {
+    out.set("reject_attempts", static_cast<std::int64_t>(event.reject_attempts));
+  }
+  return out;
+}
+
+[[nodiscard]] util::JsonObject signaling_json(
+    const sim::SignalingCounters& counters) {
+  util::JsonObject out;
+  out.set("measurement_reports", counters.measurement_reports);
+  out.set("handover_requests", counters.handover_requests);
+  out.set("handover_acks", counters.handover_acks);
+  out.set("rrc_messages", counters.rrc_messages);
+  out.set("path_switches", counters.path_switches);
+  out.set("reattach_attempts", counters.reattach_attempts);
+  out.set("failed_procedures", counters.failed_procedures);
+  out.set("retried_procedures", counters.retried_procedures);
+  out.set("total", counters.total());
+  return out;
+}
+
 }  // namespace
 
 const char* recovery_action_name(RecoveryAction action) {
@@ -45,6 +109,83 @@ const char* recovery_action_name(RecoveryAction action) {
       return "rollback";
   }
   return "?";
+}
+
+const char* step_status_name(StepStatus status) {
+  switch (status) {
+    case StepStatus::kApplied:
+      return "applied";
+    case StepStatus::kRecovered:
+      return "recovered";
+    case StepStatus::kReplanned:
+      return "replanned";
+    case StepStatus::kRolledBack:
+      return "rolled_back";
+  }
+  return "?";
+}
+
+util::JsonObject ExecutionTrace::to_json() const {
+  util::JsonObject out;
+  out.set("completed", completed);
+  out.set("rolled_back", rolled_back);
+  out.set("floor_utility", floor_utility);
+  out.set("final_utility", final_utility);
+  out.set("total_lost_service_ue_seconds", total_lost_service_ue_seconds);
+  out.set("makespan_s", makespan_s);
+  out.set("retries", static_cast<std::int64_t>(retries));
+  out.set("contingency_applies", static_cast<std::int64_t>(contingency_applies));
+  out.set("replans", static_cast<std::int64_t>(replans));
+  out.set("rollbacks", static_cast<std::int64_t>(rollbacks));
+  out.set("floor_violations", static_cast<std::int64_t>(floor_violations));
+  out.set("recovery_action_count",
+          static_cast<std::int64_t>(recovery_action_count()));
+
+  util::JsonArray failed;
+  for (const net::SectorId s : failed_sectors) {
+    failed.push_back(static_cast<std::int64_t>(s));
+  }
+  out.set("failed_sectors", std::move(failed));
+
+  util::JsonArray faults;
+  for (const FaultEvent& event : fault_events) {
+    faults.push_back(fault_json(event));
+  }
+  out.set("fault_events", std::move(faults));
+
+  out.set("signaling", signaling_json(signaling));
+
+  util::JsonArray step_records;
+  for (const StepRecord& rec : steps) {
+    util::JsonObject step;
+    step.set("step", static_cast<std::int64_t>(rec.step));
+    step.set("status", step_status_name(rec.status));
+    util::JsonArray step_faults;
+    for (const FaultEvent& event : rec.faults) {
+      step_faults.push_back(fault_json(event));
+    }
+    step.set("faults", std::move(step_faults));
+    util::JsonArray actions;
+    for (const RecoveryAction action : rec.actions) {
+      actions.push_back(recovery_action_name(action));
+    }
+    step.set("actions", std::move(actions));
+    step.set("planned_utility", rec.planned_utility);
+    step.set("realized_utility", rec.realized_utility);
+    step.set("utility_after_recovery", rec.utility_after_recovery);
+    step.set("floor_violated", rec.floor_violated);
+    step.set("push_attempts", static_cast<std::int64_t>(rec.push_attempts));
+    step.set("backoff_wait_s", rec.backoff_wait_s);
+    step.set("seamless_ues", rec.seamless_ues);
+    step.set("hard_ues", rec.hard_ues);
+    step.set("lost_service_ues", rec.lost_service_ues);
+    step.set("handover_failures", rec.handover_failures);
+    step.set("handover_retries", rec.handover_retries);
+    step.set("lost_service_ue_seconds", rec.lost_service_ue_seconds);
+    step_records.push_back(std::move(step));
+  }
+  out.set("steps", std::move(step_records));
+  return out;
 }
 
 MigrationExecutor::MigrationExecutor(core::Evaluator* evaluator,
@@ -69,6 +210,9 @@ ExecutionTrace MigrationExecutor::execute(
   if (plan.steps.empty()) {
     throw std::invalid_argument("MigrationExecutor: empty plan");
   }
+  MAGUS_TRACE_SPAN("exec.execute", "exec");
+  ExecMetrics& metrics = ExecMetrics::get();
+  metrics.windows.add(1);
   model::AnalysisModel& model = evaluator_->model();
   const double tol = options_.utility_tolerance;
 
@@ -96,6 +240,9 @@ ExecutionTrace MigrationExecutor::execute(
 
   const std::size_t n = plan.steps.size();
   for (std::size_t k = 1; k < n && !aborted && !replanned; ++k) {
+    MAGUS_TRACE_SPAN("exec.step", "exec");
+    metrics.steps.add(1);
+    const double step_clock_start = clock_s;
     StepRecord rec;
     rec.step = static_cast<int>(k);
     rec.planned_utility = plan.steps[k].utility;
@@ -323,6 +470,8 @@ ExecutionTrace MigrationExecutor::execute(
     }
     if (!diverged && !finish_mode) last_safe = intended;
     prev_service = model.service_map();
+    metrics.step_duration_s.observe(clock_s - step_clock_start);
+    metrics.push_attempts.observe(rec.push_attempts);
     trace.steps.push_back(std::move(rec));
 
     // A stale ramp is not worth walking: the next iteration (re-)runs the
@@ -341,6 +490,14 @@ ExecutionTrace MigrationExecutor::execute(
   for (const StepRecord& rec : trace.steps) {
     trace.total_lost_service_ue_seconds += rec.lost_service_ue_seconds;
   }
+  metrics.retries.add(static_cast<std::uint64_t>(trace.retries));
+  metrics.contingency_applies.add(
+      static_cast<std::uint64_t>(trace.contingency_applies));
+  metrics.replans.add(static_cast<std::uint64_t>(trace.replans));
+  metrics.rollbacks.add(static_cast<std::uint64_t>(trace.rollbacks));
+  metrics.floor_violations.add(
+      static_cast<std::uint64_t>(trace.floor_violations));
+  metrics.fault_injections.add(trace.fault_events.size());
   return trace;
 }
 

@@ -41,6 +41,7 @@
 #include "exec/fault_injector.h"
 #include "sim/handover_fsm.h"
 #include "util/backoff.h"
+#include "util/json.h"
 
 namespace magus::exec {
 
@@ -54,6 +55,8 @@ enum class StepStatus {
   kReplanned,   ///< completed early via an emergency re-plan
   kRolledBack,  ///< unrecoverable; the window was aborted
 };
+
+[[nodiscard]] const char* step_status_name(StepStatus status);
 
 struct StepRecord {
   int step = -1;  ///< index into GradualPlan::steps (1 = first transition)
@@ -94,6 +97,12 @@ struct ExecutionTrace {
   [[nodiscard]] int recovery_action_count() const {
     return retries + contingency_applies + replans + rollbacks;
   }
+
+  /// Full structured export: window outcome + counters, the flattened
+  /// fault list, and one record per step (status, faults, ladder actions,
+  /// utilities, signaling). The machine-readable form of the recovery
+  /// story — bench_fault_recovery emits it and exec_test asserts on it.
+  [[nodiscard]] util::JsonObject to_json() const;
 };
 
 struct ExecutorOptions {

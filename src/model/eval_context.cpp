@@ -6,6 +6,8 @@
 
 #include "lte/amc.h"
 #include "lte/bandwidth.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/units.h"
 
 namespace magus::model {
@@ -40,6 +42,13 @@ void EvalContext::set_configuration(const net::Configuration& config) {
 }
 
 void EvalContext::rebuild() {
+  // Full rebuilds are the expensive model operation (every sector's
+  // footprint re-applied); incremental set_power/set_tilt paths stay
+  // uninstrumented — they are the per-candidate hot path.
+  MAGUS_TRACE_SPAN("model.rebuild", "model");
+  static obs::Counter& rebuilds =
+      obs::MetricsRegistry::global().counter("model.rebuilds");
+  rebuilds.add(1);
   state_.reset(static_cast<std::size_t>(cell_count()));
   current_footprint_.assign(network().sector_count(), nullptr);
   for (const auto& sector : network().sectors()) {

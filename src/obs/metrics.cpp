@@ -1,0 +1,290 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace magus::obs {
+
+namespace {
+
+/// Dense thread ids for shard selection; assigned on first use per thread.
+[[nodiscard]] std::size_t next_thread_index() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t this_thread_metric_slot() {
+  thread_local const std::size_t slot =
+      next_thread_index() & (kMetricShards - 1);
+  return slot;
+}
+
+std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::add(double delta) noexcept { atomic_add_double(value_, delta); }
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow = size()
+  Shard& shard = shards_[this_thread_metric_slot()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(shard.sum, value);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    const double reached = static_cast<double>(cumulative + in_bucket);
+    if (reached >= target) {
+      if (b >= bounds.size()) return bounds.back();  // overflow bucket
+      const double upper = bounds[b];
+      const double lower = b == 0 ? std::min(0.0, upper) : bounds[b - 1];
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+util::JsonObject MetricsSnapshot::to_json() const {
+  util::JsonObject counters_json;
+  for (const auto& [name, value] : counters) {
+    counters_json.set(name, static_cast<std::int64_t>(value));
+  }
+  util::JsonObject gauges_json;
+  for (const auto& [name, value] : gauges) {
+    gauges_json.set(name, value);
+  }
+  util::JsonObject histograms_json;
+  for (const auto& [name, h] : histograms) {
+    util::JsonArray bounds;
+    for (const double edge : h.bounds) bounds.push_back(edge);
+    util::JsonArray buckets;
+    for (const std::uint64_t b : h.buckets) {
+      buckets.push_back(static_cast<std::int64_t>(b));
+    }
+    util::JsonObject entry;
+    entry.set("bounds", std::move(bounds))
+        .set("buckets", std::move(buckets))
+        .set("count", static_cast<std::int64_t>(h.count))
+        .set("sum", h.sum)
+        .set("mean", h.mean())
+        .set("p50", h.quantile(0.50))
+        .set("p95", h.quantile(0.95))
+        .set("p99", h.quantile(0.99));
+    histograms_json.set(name, std::move(entry));
+  }
+  util::JsonObject out;
+  out.set("counters", std::move(counters_json))
+      .set("gauges", std::move(gauges_json))
+      .set("histograms", std::move(histograms_json));
+  return out;
+}
+
+std::string MetricsSnapshot::to_table() const {
+  std::ostringstream out;
+  if (!counters.empty()) {
+    out << "counters:\n";
+    util::TablePrinter table({"name", "value"});
+    for (const auto& [name, value] : counters) {
+      table.add_row({name, std::to_string(value)});
+    }
+    table.print(out);
+  }
+  if (!gauges.empty()) {
+    out << "gauges:\n";
+    util::TablePrinter table({"name", "value"});
+    for (const auto& [name, value] : gauges) {
+      table.add_row({name, util::TablePrinter::num(value, 4)});
+    }
+    table.print(out);
+  }
+  if (!histograms.empty()) {
+    out << "histograms:\n";
+    util::TablePrinter table({"name", "count", "mean", "p50", "p95", "p99"});
+    for (const auto& [name, h] : histograms) {
+      table.add_row({name, std::to_string(h.count),
+                     util::TablePrinter::num(h.mean(), 3),
+                     util::TablePrinter::num(h.quantile(0.50), 3),
+                     util::TablePrinter::num(h.quantile(0.95), 3),
+                     util::TablePrinter::num(h.quantile(0.99), 3)});
+    }
+    table.print(out);
+  }
+  return out.str();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name) {
+  for (auto& [n, entry] : entries_) {
+    if (n == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = find(name)) {
+    if (!entry->counter) {
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " exists with a different kind");
+    }
+    return *entry->counter;
+  }
+  Entry entry;
+  entry.counter = std::make_unique<Counter>();
+  entries_.emplace_back(name, std::move(entry));
+  return *entries_.back().second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = find(name)) {
+    if (!entry->gauge) {
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " exists with a different kind");
+    }
+    return *entry->gauge;
+  }
+  Entry entry;
+  entry.gauge = std::make_unique<Gauge>();
+  entries_.emplace_back(name, std::move(entry));
+  return *entries_.back().second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::span<const double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = find(name)) {
+    if (!entry->histogram) {
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " exists with a different kind");
+    }
+    if (!std::equal(bounds.begin(), bounds.end(),
+                    entry->histogram->bounds().begin(),
+                    entry->histogram->bounds().end())) {
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " exists with different bounds");
+    }
+    return *entry->histogram;
+  }
+  Entry entry;
+  entry.histogram = std::make_unique<Histogram>(bounds);
+  entries_.emplace_back(name, std::move(entry));
+  return *entries_.back().second.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter) {
+      snap.counters.emplace_back(name, entry.counter->value());
+    } else if (entry.gauge) {
+      snap.gauges.emplace_back(name, entry.gauge->value());
+    } else if (entry.histogram) {
+      HistogramSnapshot h;
+      h.bounds = entry.histogram->bounds();
+      h.buckets.assign(h.bounds.size() + 1, 0);
+      for (const Histogram::Shard& shard : entry.histogram->shards_) {
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+          h.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+        }
+        h.count += shard.count.load(std::memory_order_relaxed);
+        h.sum += shard.sum.load(std::memory_order_relaxed);
+      }
+      snap.histograms.emplace_back(name, std::move(h));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::vector<double> exponential_bounds(double first, double factor,
+                                       std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+ScopedTimerUs::ScopedTimerUs(Histogram& histogram)
+    : histogram_(histogram), start_ns_(monotonic_now_ns()) {}
+
+ScopedTimerUs::~ScopedTimerUs() {
+  histogram_.observe(
+      static_cast<double>(monotonic_now_ns() - start_ns_) / 1000.0);
+}
+
+}  // namespace magus::obs

@@ -1,0 +1,187 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms for
+// the planner/evaluator/executor hot paths.
+//
+// Hot-path writes are lock-free: every counter and histogram is sharded
+// across kMetricShards cache-line-padded atomic slots, indexed by a small
+// dense per-thread id, so the evaluator worker threads never contend on
+// one cache line. snapshot() merges the shards into plain numbers (a
+// consistent-enough view: each shard is read atomically, concurrent
+// updates may or may not be included). Metric registration takes a mutex
+// and returns a reference that stays valid for the registry's lifetime —
+// instrumentation sites look metrics up once (static local) and then only
+// pay the relaxed atomic add.
+//
+// Naming convention (see DESIGN.md §9): dot-separated
+// "subsystem.object.metric", counters are monotonic event totals,
+// histograms carry a unit suffix ("_us", "_s", "_bytes").
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <mutex>
+
+#include "util/json.h"
+
+namespace magus::obs {
+
+/// Shards per metric; a power of two so the thread-id fold is a mask.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Small dense id of the calling thread (0 = first thread that asked),
+/// folded into [0, kMetricShards) for shard selection. Also used by the
+/// trace layer, so spans and metrics agree on worker identity.
+[[nodiscard]] std::size_t this_thread_metric_slot();
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[this_thread_metric_slot()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum of all shards (exact once writers are quiescent).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Last-write-wins scalar (not sharded: gauges record state, not events).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges in
+/// ascending order; one implicit overflow bucket catches everything above
+/// the last edge. observe() is a branch-free-ish binary search plus three
+/// relaxed atomic updates on the caller's shard.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  ///< bounds+1
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Merged, plain-value view of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< upper edges (ascending)
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Bucket-interpolated quantile, q in [0, 1]. The overflow bucket has no
+  /// upper edge, so values there report the last finite edge.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Point-in-time merge of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Value of a counter, 0 when absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {bounds,
+  /// buckets, count, sum, mean, p50, p95, p99}}}.
+  [[nodiscard]] util::JsonObject to_json() const;
+
+  /// Human-readable fixed-width table (one section per metric kind).
+  [[nodiscard]] std::string to_table() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Looks up or creates the named metric. References stay valid for the
+  /// registry's lifetime (metrics are never deleted). Requesting an
+  /// existing name with a different kind (or different histogram bounds)
+  /// throws std::invalid_argument.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::span<const double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// The process-wide registry every instrumentation site records into.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  ///< insertion order
+
+  [[nodiscard]] Entry* find(const std::string& name);
+};
+
+/// Exponential bucket edges: `first, first*factor, ...` (`count` edges).
+/// The canonical bounds for the latency histograms.
+[[nodiscard]] std::vector<double> exponential_bounds(double first,
+                                                     double factor,
+                                                     std::size_t count);
+
+/// RAII timer: observes the elapsed microseconds into `histogram` on
+/// destruction. Wrap a scope to get a latency distribution for free.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram& histogram);
+  ~ScopedTimerUs();
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::uint64_t start_ns_;
+};
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch.
+[[nodiscard]] std::uint64_t monotonic_now_ns();
+
+}  // namespace magus::obs

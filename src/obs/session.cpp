@@ -1,0 +1,46 @@
+#include "obs/session.h"
+
+#include <exception>
+#include <iostream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace magus::obs {
+
+ObsSession::ObsSession(const util::ArgParser& args)
+    : ObsSession(args.get_string("metrics"), args.get_string("trace")) {}
+
+ObsSession::ObsSession(std::string metrics_path, std::string trace_path)
+    : metrics_path_(std::move(metrics_path)),
+      trace_path_(std::move(trace_path)) {
+  if (!trace_path_.empty()) {
+    TraceCollector::global().start();
+  }
+}
+
+ObsSession::~ObsSession() {
+  try {
+    finish();
+  } catch (const std::exception& error) {
+    std::cerr << "ObsSession: " << error.what() << '\n';
+  }
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!metrics_path_.empty()) {
+    MetricsRegistry::global().snapshot().to_json().write_file(metrics_path_);
+    std::cout << "metrics snapshot written to " << metrics_path_ << '\n';
+  }
+  if (!trace_path_.empty()) {
+    TraceCollector& collector = TraceCollector::global();
+    collector.stop();
+    collector.write_file(trace_path_);
+    std::cout << "trace written to " << trace_path_ << '\n';
+  }
+}
+
+}  // namespace magus::obs

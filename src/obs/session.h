@@ -1,0 +1,41 @@
+// ObsSession: the shared --metrics / --trace wiring for benches and
+// examples.
+//
+// Construct it right after ArgParser::parse (the flags come from
+// util::add_obs_flags). A non-empty --trace starts the global
+// TraceCollector for the run; finish() — called automatically from the
+// destructor — writes the metrics snapshot and the Chrome trace-event
+// file, turning every bench/example run into machine-readable artifacts.
+#pragma once
+
+#include <string>
+
+#include "util/args.h"
+
+namespace magus::obs {
+
+class ObsSession {
+ public:
+  /// Reads the --metrics/--trace values; starts tracing when --trace is
+  /// set.
+  explicit ObsSession(const util::ArgParser& args);
+
+  /// Explicit paths (empty = disabled); same semantics as the flag form.
+  ObsSession(std::string metrics_path, std::string trace_path);
+
+  /// Best-effort finish(); errors are reported to stderr, not thrown.
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Writes the requested artifacts (idempotent; throws on I/O failure).
+  void finish();
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool finished_ = false;
+};
+
+}  // namespace magus::obs

@@ -6,9 +6,32 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace magus::pathloss {
 
 namespace {
+
+struct DbMetrics {
+  obs::Counter& loads;
+  obs::Counter& load_bytes;
+  obs::Counter& load_failures;
+  obs::Counter& rebuilds;
+  obs::Counter& resaves;
+
+  [[nodiscard]] static DbMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static DbMetrics metrics{
+        registry.counter("pathloss.db.loads"),
+        registry.counter("pathloss.db.load_bytes"),
+        registry.counter("pathloss.db.load_failures"),
+        registry.counter("pathloss.db.rebuilds"),
+        registry.counter("pathloss.db.resaves"),
+    };
+    return metrics;
+  }
+};
 constexpr std::uint64_t kMagic = 0x4D41475553504C31ULL;  // "MAGUSPL1"
 constexpr std::uint32_t kVersion = 2;  // v2 adds per-entry checksums
 
@@ -107,8 +130,14 @@ void PathLossDatabase::save(const std::string& path) const {
 }
 
 PathLossDatabase PathLossDatabase::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  MAGUS_TRACE_SPAN("pathloss.db_load", "pathloss");
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("PathLossDatabase: cannot open " + path);
+  DbMetrics::get().loads.add(1);
+  if (const std::streamoff size = in.tellg(); size > 0) {
+    DbMetrics::get().load_bytes.add(static_cast<std::uint64_t>(size));
+  }
+  in.seekg(0, std::ios::beg);
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
   read_pod(in, magic, "truncated header in " + path);
@@ -204,6 +233,7 @@ PathLossDatabase PathLossDatabase::load_or_rebuild(
     const std::string& path, PathLossProvider& fallback,
     std::span<const net::SectorId> sectors,
     std::span<const radio::TiltIndex> tilts, LoadReport* report) {
+  MAGUS_TRACE_SPAN("pathloss.db_load_or_rebuild", "pathloss");
   LoadReport local;
   LoadReport& out = report != nullptr ? *report : local;
   out = LoadReport{};
@@ -226,7 +256,10 @@ PathLossDatabase PathLossDatabase::load_or_rebuild(
   } catch (const std::runtime_error& error) {
     out.rebuilt = true;
     out.error = error.what();
+    DbMetrics::get().load_failures.add(1);
   }
+  MAGUS_TRACE_SPAN("pathloss.db_rebuild", "pathloss");
+  DbMetrics::get().rebuilds.add(1);
   PathLossDatabase db{fallback.grid()};
   for (const net::SectorId sector : sectors) {
     for (const radio::TiltIndex tilt : tilts) {
@@ -236,6 +269,7 @@ PathLossDatabase PathLossDatabase::load_or_rebuild(
   try {
     db.save(path);
     out.resaved = true;
+    DbMetrics::get().resaves.add(1);
   } catch (const std::runtime_error&) {
     out.resaved = false;  // a read-only location is fine; stay in memory
   }

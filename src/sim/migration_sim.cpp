@@ -3,7 +3,35 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace magus::sim {
+
+namespace {
+
+struct SimMetrics {
+  obs::Counter& runs;
+  obs::Counter& transitions;
+  obs::Gauge& last_handover_ues;
+  obs::Gauge& last_outage_ue_seconds;
+  obs::Histogram& step_handover_ues;
+
+  [[nodiscard]] static SimMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static SimMetrics metrics{
+        registry.counter("sim.migration.runs"),
+        registry.counter("sim.migration.transitions"),
+        registry.gauge("sim.migration.last_handover_ues"),
+        registry.gauge("sim.migration.last_outage_ue_seconds"),
+        registry.histogram("sim.migration.step_handover_ues",
+                           obs::exponential_bounds(1.0, 4.0, 10)),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 MigrationSimulator::MigrationSimulator(HandoverTimings timings)
     : procedure_(timings) {}
@@ -14,6 +42,9 @@ MigrationSimResult MigrationSimulator::simulate(
   if (snapshots.empty()) {
     throw std::invalid_argument("MigrationSimulator: no snapshots");
   }
+  MAGUS_TRACE_SPAN("sim.migrate", "sim");
+  SimMetrics& metrics = SimMetrics::get();
+  metrics.runs.add(1);
   MigrationSimResult result;
   EventQueue queue;
   SignalingCounters counters;
@@ -86,6 +117,7 @@ MigrationSimResult MigrationSimulator::simulate(
     result.max_simultaneous_ues =
         std::max(result.max_simultaneous_ues, step.simultaneous_ues);
     seamless_total += step.seamless_ues;
+    metrics.step_handover_ues.observe(step.simultaneous_ues);
   }
   result.seamless_fraction = result.total_handover_ues > 0.0
                                  ? seamless_total / result.total_handover_ues
@@ -93,6 +125,9 @@ MigrationSimResult MigrationSimulator::simulate(
   for (const auto& outcome : outcomes) {
     result.total_outage_ue_seconds += outcome.ue_weight * outcome.outage_s;
   }
+  metrics.transitions.add(result.steps.size());
+  metrics.last_handover_ues.set(result.total_handover_ues);
+  metrics.last_outage_ue_seconds.set(result.total_outage_ue_seconds);
   return result;
 }
 

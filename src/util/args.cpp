@@ -105,6 +105,14 @@ std::size_t threads_from(const ArgParser& parser) {
   return resolve_thread_count(raw > 0 ? static_cast<std::size_t>(raw) : 0);
 }
 
+void add_obs_flags(ArgParser& parser) {
+  parser.add_flag("metrics", "",
+                  "write a metrics snapshot (JSON) to this path on exit");
+  parser.add_flag("trace", "",
+                  "collect a Chrome trace-event file (JSON) at this path; "
+                  "view in chrome://tracing or Perfetto");
+}
+
 const ArgParser::Flag& ArgParser::find(const std::string& name) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) {

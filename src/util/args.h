@@ -53,4 +53,9 @@ void add_threads_flag(ArgParser& parser);
 /// concurrency; always returns >= 1.
 [[nodiscard]] std::size_t threads_from(const ArgParser& parser);
 
+/// Registers the standard "--metrics <path>" / "--trace <path>" pair
+/// (empty = disabled). Pair with obs::ObsSession, which reads them and
+/// writes the artifacts.
+void add_obs_flags(ArgParser& parser);
+
 }  // namespace magus::util

@@ -33,8 +33,12 @@ void append_escaped(std::ostream& out, const std::string& s) {
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
+          // Escape remaining control characters; the cast matters — a
+          // plain (signed) char would sign-extend through %x and emit
+          // "￿ff8" garbage instead of four hex digits.
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out << buf;
         } else {
           out << c;
@@ -44,37 +48,105 @@ void append_escaped(std::ostream& out, const std::string& s) {
   out << '"';
 }
 
+void append_number(std::ostream& out, double value) {
+  if (std::isfinite(value)) {
+    std::ostringstream num;
+    num.precision(std::numeric_limits<double>::max_digits10);
+    num << value;
+    out << num.str();
+  } else {
+    out << "null";
+  }
+}
+
 }  // namespace
 
-JsonObject& JsonObject::set(const std::string& key, double value) {
-  Value v;
-  v.kind = Value::Kind::kNumber;
+namespace detail {
+
+JsonValue JsonValue::from(double value) {
+  JsonValue v;
+  v.kind = Kind::kNumber;
   v.number = value;
-  members_.emplace_back(key, std::move(v));
+  return v;
+}
+
+JsonValue JsonValue::from(std::int64_t value) {
+  JsonValue v;
+  v.kind = Kind::kInteger;
+  v.integer = value;
+  return v;
+}
+
+JsonValue JsonValue::from(bool value) {
+  JsonValue v;
+  v.kind = Kind::kBool;
+  v.boolean = value;
+  return v;
+}
+
+JsonValue JsonValue::from(std::string value) {
+  JsonValue v;
+  v.kind = Kind::kString;
+  v.string = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::from(JsonObject value) {
+  JsonValue v;
+  v.kind = Kind::kObject;
+  v.object = std::make_shared<JsonObject>(std::move(value));
+  return v;
+}
+
+JsonValue JsonValue::from(JsonArray value) {
+  JsonValue v;
+  v.kind = Kind::kArray;
+  v.array = std::make_shared<JsonArray>(std::move(value));
+  return v;
+}
+
+void JsonValue::append(std::ostream& out, int indent) const {
+  switch (kind) {
+    case Kind::kNumber:
+      append_number(out, number);
+      break;
+    case Kind::kInteger:
+      out << integer;
+      break;
+    case Kind::kBool:
+      out << (boolean ? "true" : "false");
+      break;
+    case Kind::kString:
+      append_escaped(out, string);
+      break;
+    case Kind::kObject:
+      object->append(out, indent);
+      break;
+    case Kind::kArray:
+      array->append(out, indent);
+      break;
+  }
+}
+
+}  // namespace detail
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  members_.emplace_back(key, detail::JsonValue::from(value));
   return *this;
 }
 
 JsonObject& JsonObject::set(const std::string& key, std::int64_t value) {
-  Value v;
-  v.kind = Value::Kind::kInteger;
-  v.integer = value;
-  members_.emplace_back(key, std::move(v));
+  members_.emplace_back(key, detail::JsonValue::from(value));
   return *this;
 }
 
 JsonObject& JsonObject::set(const std::string& key, bool value) {
-  Value v;
-  v.kind = Value::Kind::kBool;
-  v.boolean = value;
-  members_.emplace_back(key, std::move(v));
+  members_.emplace_back(key, detail::JsonValue::from(value));
   return *this;
 }
 
 JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
-  Value v;
-  v.kind = Value::Kind::kString;
-  v.string = value;
-  members_.emplace_back(key, std::move(v));
+  members_.emplace_back(key, detail::JsonValue::from(value));
   return *this;
 }
 
@@ -83,10 +155,12 @@ JsonObject& JsonObject::set(const std::string& key, const char* value) {
 }
 
 JsonObject& JsonObject::set(const std::string& key, JsonObject value) {
-  Value v;
-  v.kind = Value::Kind::kObject;
-  v.object = std::make_shared<JsonObject>(std::move(value));
-  members_.emplace_back(key, std::move(v));
+  members_.emplace_back(key, detail::JsonValue::from(std::move(value)));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, JsonArray value) {
+  members_.emplace_back(key, detail::JsonValue::from(std::move(value)));
   return *this;
 }
 
@@ -102,30 +176,7 @@ void JsonObject::append(std::ostream& out, int indent) const {
     out << pad;
     append_escaped(out, key);
     out << ": ";
-    switch (value.kind) {
-      case Value::Kind::kNumber:
-        if (std::isfinite(value.number)) {
-          std::ostringstream num;
-          num.precision(std::numeric_limits<double>::max_digits10);
-          num << value.number;
-          out << num.str();
-        } else {
-          out << "null";
-        }
-        break;
-      case Value::Kind::kInteger:
-        out << value.integer;
-        break;
-      case Value::Kind::kBool:
-        out << (value.boolean ? "true" : "false");
-        break;
-      case Value::Kind::kString:
-        append_escaped(out, value.string);
-        break;
-      case Value::Kind::kObject:
-        value.object->append(out, indent + 2);
-        break;
-    }
+    value.append(out, indent + 2);
     out << (i + 1 < members_.size() ? ",\n" : "\n");
   }
   out << std::string(static_cast<std::size_t>(indent), ' ') << '}';
@@ -147,6 +198,62 @@ void JsonObject::write_file(const std::string& path) const {
   if (!out) {
     throw std::runtime_error("JsonObject: write failed for " + path);
   }
+}
+
+JsonArray& JsonArray::push_back(double value) {
+  items_.push_back(detail::JsonValue::from(value));
+  return *this;
+}
+
+JsonArray& JsonArray::push_back(std::int64_t value) {
+  items_.push_back(detail::JsonValue::from(value));
+  return *this;
+}
+
+JsonArray& JsonArray::push_back(bool value) {
+  items_.push_back(detail::JsonValue::from(value));
+  return *this;
+}
+
+JsonArray& JsonArray::push_back(const std::string& value) {
+  items_.push_back(detail::JsonValue::from(value));
+  return *this;
+}
+
+JsonArray& JsonArray::push_back(const char* value) {
+  return push_back(std::string{value});
+}
+
+JsonArray& JsonArray::push_back(JsonObject value) {
+  items_.push_back(detail::JsonValue::from(std::move(value)));
+  return *this;
+}
+
+JsonArray& JsonArray::push_back(JsonArray value) {
+  items_.push_back(detail::JsonValue::from(std::move(value)));
+  return *this;
+}
+
+void JsonArray::append(std::ostream& out, int indent) const {
+  if (items_.empty()) {
+    out << "[]";
+    return;
+  }
+  const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+  out << "[\n";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    out << pad;
+    items_[i].append(out, indent + 2);
+    out << (i + 1 < items_.size() ? ",\n" : "\n");
+  }
+  out << std::string(static_cast<std::size_t>(indent), ' ') << ']';
+}
+
+std::string JsonArray::dump() const {
+  std::ostringstream out;
+  append(out, 0);
+  out << '\n';
+  return out.str();
 }
 
 }  // namespace magus::util

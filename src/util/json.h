@@ -1,8 +1,9 @@
 // Minimal JSON writer for machine-readable bench output.
 //
 // Emits one object with insertion-ordered keys; values are numbers,
-// booleans, strings or nested objects. Write-only on purpose: the benches
-// need a well-formed, stable artifact for scripts to consume, not a parser.
+// booleans, strings, nested objects or arrays. Write-only on purpose: the
+// benches need a well-formed, stable artifact for scripts to consume, not a
+// parser.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +15,40 @@
 
 namespace magus::util {
 
+class JsonArray;
+class JsonObject;
+
+namespace detail {
+
+/// One JSON value; shared by objects (keyed) and arrays (indexed).
+struct JsonValue {
+  enum class Kind {
+    kNumber,
+    kInteger,
+    kBool,
+    kString,
+    kObject,
+    kArray
+  } kind = Kind::kInteger;
+  double number = 0.0;
+  std::int64_t integer = 0;
+  bool boolean = false;
+  std::string string;
+  std::shared_ptr<JsonObject> object;  ///< shared: JsonValue must be copyable
+  std::shared_ptr<JsonArray> array;
+
+  void append(std::ostream& out, int indent) const;
+
+  [[nodiscard]] static JsonValue from(double value);
+  [[nodiscard]] static JsonValue from(std::int64_t value);
+  [[nodiscard]] static JsonValue from(bool value);
+  [[nodiscard]] static JsonValue from(std::string value);
+  [[nodiscard]] static JsonValue from(JsonObject value);
+  [[nodiscard]] static JsonValue from(JsonArray value);
+};
+
+}  // namespace detail
+
 class JsonObject {
  public:
   JsonObject() = default;
@@ -24,6 +59,7 @@ class JsonObject {
   JsonObject& set(const std::string& key, const std::string& value);
   JsonObject& set(const std::string& key, const char* value);
   JsonObject& set(const std::string& key, JsonObject value);
+  JsonObject& set(const std::string& key, JsonArray value);
 
   /// Serializes with 2-space indentation and a trailing newline. Doubles
   /// round-trip (max_digits10); NaN/inf become null (JSON has no literals
@@ -35,18 +71,40 @@ class JsonObject {
   void write_file(const std::string& path) const;
 
  private:
-  struct Value {
-    enum class Kind { kNumber, kInteger, kBool, kString, kObject } kind;
-    double number = 0.0;
-    std::int64_t integer = 0;
-    bool boolean = false;
-    std::string string;
-    std::shared_ptr<JsonObject> object;  ///< shared: Value must be copyable
-  };
+  friend struct detail::JsonValue;
 
   void append(std::ostream& out, int indent) const;
 
-  std::vector<std::pair<std::string, Value>> members_;
+  std::vector<std::pair<std::string, detail::JsonValue>> members_;
+};
+
+/// Ordered JSON array of heterogeneous values (same value kinds as
+/// JsonObject members). Needed by the trace/metrics exporters, whose
+/// payloads are event and bucket lists rather than fixed-key records.
+class JsonArray {
+ public:
+  JsonArray() = default;
+
+  JsonArray& push_back(double value);
+  JsonArray& push_back(std::int64_t value);
+  JsonArray& push_back(bool value);
+  JsonArray& push_back(const std::string& value);
+  JsonArray& push_back(const char* value);
+  JsonArray& push_back(JsonObject value);
+  JsonArray& push_back(JsonArray value);
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// Serializes the array alone (same formatting rules as JsonObject).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  friend struct detail::JsonValue;
+
+  void append(std::ostream& out, int indent) const;
+
+  std::vector<detail::JsonValue> items_;
 };
 
 }  // namespace magus::util

@@ -1,11 +1,15 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace magus::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_thread_ids{false};
+std::mutex g_write_mutex;
 
 [[nodiscard]] const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,15 +24,44 @@ LogLevel g_level = LogLevel::kWarn;
   }
   return "?";
 }
+
+[[nodiscard]] int this_thread_log_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_thread_ids(bool enabled) {
+  g_thread_ids.store(enabled, std::memory_order_relaxed);
+}
+
+bool log_thread_ids() { return g_thread_ids.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  // Format the whole line first, then emit it under the mutex in one write:
+  // concurrent callers may interleave *lines* but never characters.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  if (log_thread_ids()) {
+    line += "[t";
+    line += std::to_string(this_thread_log_id());
+    line += "] ";
+  }
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::cerr << line;
 }
 
 }  // namespace magus::util

@@ -1,8 +1,10 @@
 // Lightweight leveled logging to stderr.
 //
 // The library itself logs sparingly (search progress at Debug level); the
-// bench harnesses raise the level for timing visibility. Not thread-safe
-// beyond what stderr provides; the library is single-threaded by design.
+// bench harnesses raise the level for timing visibility. Thread-safe: each
+// line is formatted off-lock and emitted as a single mutex-guarded write,
+// so lines from the evaluator worker threads never interleave. Enable
+// set_log_thread_ids(true) to tag every line with a small per-thread id.
 #pragma once
 
 #include <sstream>
@@ -16,7 +18,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one line: "[LEVEL] message".
+/// When enabled, every line carries a "[t<N>]" tag, where N is a small
+/// dense id assigned to each logging thread on first use (0 = the first
+/// thread that logged, typically main).
+void set_log_thread_ids(bool enabled);
+[[nodiscard]] bool log_thread_ids();
+
+/// Emits one line: "[LEVEL] message" (plus the thread tag when enabled).
+/// One guarded write per call; safe to call from any thread.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

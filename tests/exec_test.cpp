@@ -409,11 +409,62 @@ TEST(RecoveryNames, AreStable) {
                "contingency");
   EXPECT_STREQ(recovery_action_name(RecoveryAction::kReplan), "replan");
   EXPECT_STREQ(recovery_action_name(RecoveryAction::kRollback), "rollback");
+  EXPECT_STREQ(step_status_name(StepStatus::kApplied), "applied");
+  EXPECT_STREQ(step_status_name(StepStatus::kRecovered), "recovered");
+  EXPECT_STREQ(step_status_name(StepStatus::kReplanned), "replanned");
+  EXPECT_STREQ(step_status_name(StepStatus::kRolledBack), "rolled_back");
   EXPECT_STREQ(fault_kind_name(FaultKind::kSectorOutage), "sector-outage");
   EXPECT_STREQ(fault_kind_name(FaultKind::kHandoverFailure),
                "handover-failure");
   EXPECT_STREQ(fault_kind_name(FaultKind::kConfigPushReject),
                "config-push-reject");
+}
+
+TEST_F(ExecTest, TraceJsonExportsFullRecoveryStory) {
+  const std::vector<std::vector<net::SectorId>> outages = {{mid_}};
+  const auto table = core::ContingencyTable::build(*planner_, outages);
+  const core::MitigationPlan plan = plan_east();
+  const net::SectorId targets[] = {world_.east};
+
+  ScriptedFaultInjector injector;
+  injector.add(FaultEvent{FaultKind::kSectorOutage, mid_step(plan.gradual),
+                          mid_});
+
+  ExecutorOptions options;
+  options.utility_tolerance = 0.01;
+  const MigrationExecutor executor{evaluator_.get(), options};
+  const ExecutionTrace trace = executor.execute(
+      plan.gradual, targets, /*seed=*/11, &injector, &table);
+
+  const std::string json = trace.to_json().dump();
+  // Window-level outcome and counters.
+  EXPECT_NE(json.find("\"completed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"rolled_back\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"contingency_applies\": " +
+                      std::to_string(trace.contingency_applies)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"recovery_action_count\": " +
+                      std::to_string(trace.recovery_action_count())),
+            std::string::npos);
+  // The flattened fault list names the scripted outage and its sector.
+  EXPECT_NE(json.find("\"kind\": \"sector-outage\""), std::string::npos);
+  EXPECT_NE(json.find("\"sector\": " + std::to_string(mid_)),
+            std::string::npos);
+  // Per-step records carry the status names and the ladder actions.
+  EXPECT_NE(json.find("\"status\": \"applied\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"recovered\""), std::string::npos);
+  EXPECT_NE(json.find("\"contingency\""), std::string::npos);
+  // Signaling totals come along.
+  EXPECT_NE(json.find("\"signaling\""), std::string::npos);
+  EXPECT_NE(json.find("\"handover_requests\""), std::string::npos);
+  // One JSON step record per executed step.
+  std::size_t step_records = 0;
+  for (std::size_t pos = json.find("\"planned_utility\"");
+       pos != std::string::npos;
+       pos = json.find("\"planned_utility\"", pos + 1)) {
+    ++step_records;
+  }
+  EXPECT_EQ(step_records, trace.steps.size());
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+// Concurrency tests for the obs metrics/trace layer, in the parallel test
+// binary so the ThreadSanitizer pass (scripts/verify.sh) covers the sharded
+// counters, the CAS-looped histogram sums, and the trace buffer merge.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace magus::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 20'000;
+
+TEST(ObsParallel, CounterSumsAcrossThreads) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("par.counter");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kOpsPerThread; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(ObsParallel, HistogramCountAndSumAcrossThreads) {
+  MetricsRegistry registry;
+  Histogram& hist =
+      registry.histogram("par.hist", exponential_bounds(1.0, 2.0, 10));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        hist.observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot h = registry.snapshot().histograms.front().second;
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count);
+  // Each thread contributes sum(0..99) * (ops/100).
+  const double expected_sum =
+      static_cast<double>(kThreads) * (kOpsPerThread / 100) * 4950.0;
+  EXPECT_DOUBLE_EQ(h.sum, expected_sum);
+}
+
+TEST(ObsParallel, GaugeAddIsAtomic) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("par.gauge");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kOpsPerThread; ++i) gauge.add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge.value(),
+                   static_cast<double>(kThreads) * kOpsPerThread);
+}
+
+TEST(ObsParallel, ConcurrentRegistrationAndSnapshot) {
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  // Reader thread keeps merging while writers register and update.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = registry.snapshot();
+      for (const auto& [name, value] : snap.counters) {
+        EXPECT_FALSE(name.empty());
+        (void)value;
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry, t] {
+      // Half the names collide across threads, half are private.
+      Counter& shared = registry.counter("par.reg.shared");
+      Counter& mine = registry.counter("par.reg." + std::to_string(t));
+      for (int i = 0; i < 2'000; ++i) {
+        shared.add(1);
+        mine.add(1);
+        (void)registry.gauge("par.reg.gauge." + std::to_string(i % 8));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("par.reg.shared"),
+            static_cast<std::uint64_t>(kThreads) * 2'000);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counter_value("par.reg." + std::to_string(t)), 2'000u);
+  }
+}
+
+TEST(ObsParallel, TraceSpansFromManyThreads) {
+#if MAGUS_TRACE
+  TraceCollector& collector = TraceCollector::global();
+  collector.clear();
+  collector.start();
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        MAGUS_TRACE_SPAN("outer", "par");
+        MAGUS_TRACE_SPAN("inner", "par");
+      }
+    });
+  }
+  // Merge concurrently with the writers: events() must be safe mid-run.
+  for (int merges = 0; merges < 10; ++merges) {
+    (void)collector.events();
+  }
+  for (std::thread& t : threads) t.join();
+  collector.stop();
+
+  const std::vector<TraceEvent> events = collector.events();
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+  for (const TraceEvent& event : events) {
+    EXPECT_TRUE(event.depth == 0 || event.depth == 1);
+  }
+  collector.clear();
+#endif
+}
+
+}  // namespace
+}  // namespace magus::obs

@@ -267,6 +267,54 @@ TEST(Json, EscapesStringsAndNestsObjects) {
   EXPECT_NE(text.find("\"inner\": {"), std::string::npos);
 }
 
+TEST(Json, ArraysHoldMixedValuesAndNest) {
+  JsonArray inner;
+  inner.push_back(std::int64_t{1}).push_back(2.5).push_back(true);
+  inner.push_back("text");
+  JsonObject element;
+  element.set("k", std::int64_t{9});
+  JsonArray outer;
+  outer.push_back(std::move(inner));
+  outer.push_back(std::move(element));
+  EXPECT_EQ(outer.size(), 2u);
+  EXPECT_FALSE(outer.empty());
+  EXPECT_EQ(outer.dump(),
+            "[\n"
+            "  [\n"
+            "    1,\n"
+            "    2.5,\n"
+            "    true,\n"
+            "    \"text\"\n"
+            "  ],\n"
+            "  {\n"
+            "    \"k\": 9\n"
+            "  }\n"
+            "]\n");
+
+  JsonObject object;
+  JsonArray values;
+  values.push_back(std::int64_t{3});
+  object.set("values", std::move(values));
+  object.set("empty", JsonArray{});
+  const std::string text = object.dump();
+  EXPECT_NE(text.find("\"values\": [\n    3\n  ]"), std::string::npos);
+  EXPECT_NE(text.find("\"empty\": []"), std::string::npos);
+}
+
+TEST(Json, ControlCharactersEscapeAsUnicode) {
+  JsonObject object;
+  object.set("ctl", std::string("a\x01" "b\x1f" "\t\r\b\f"));
+  const std::string text = object.dump();
+  EXPECT_NE(text.find("a\\u0001b\\u001f\\t\\r\\u0008\\u000c"),
+            std::string::npos);
+  // Bytes above 0x7f are passed through untouched (UTF-8 payloads), never
+  // sign-extended into bogus \uffXX escapes.
+  JsonObject utf8;
+  utf8.set("s", "caf\xc3\xa9");
+  EXPECT_NE(utf8.dump().find("caf\xc3\xa9"), std::string::npos);
+  EXPECT_EQ(utf8.dump().find("\\uff"), std::string::npos);
+}
+
 TEST(Json, WriteFileRoundTripAndFailure) {
   JsonObject object;
   object.set("value", std::int64_t{42});
