@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_rural_limits.dir/bench_fig10_rural_limits.cpp.o"
+  "CMakeFiles/bench_fig10_rural_limits.dir/bench_fig10_rural_limits.cpp.o.d"
+  "bench_fig10_rural_limits"
+  "bench_fig10_rural_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rural_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_gradual_tuning.dir/bench_fig11_gradual_tuning.cpp.o"
+  "CMakeFiles/bench_fig11_gradual_tuning.dir/bench_fig11_gradual_tuning.cpp.o.d"
+  "bench_fig11_gradual_tuning"
+  "bench_fig11_gradual_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_gradual_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

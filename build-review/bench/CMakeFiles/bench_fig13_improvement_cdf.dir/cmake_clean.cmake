@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_improvement_cdf.dir/bench_fig13_improvement_cdf.cpp.o"
+  "CMakeFiles/bench_fig13_improvement_cdf.dir/bench_fig13_improvement_cdf.cpp.o.d"
+  "bench_fig13_improvement_cdf"
+  "bench_fig13_improvement_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_improvement_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

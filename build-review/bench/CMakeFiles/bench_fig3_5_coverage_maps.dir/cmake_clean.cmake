@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_5_coverage_maps.dir/bench_fig3_5_coverage_maps.cpp.o"
+  "CMakeFiles/bench_fig3_5_coverage_maps.dir/bench_fig3_5_coverage_maps.cpp.o.d"
+  "bench_fig3_5_coverage_maps"
+  "bench_fig3_5_coverage_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_5_coverage_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_5_coverage_maps.
+# This may be replaced when dependencies are built.

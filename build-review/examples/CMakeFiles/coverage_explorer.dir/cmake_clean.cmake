@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_explorer.dir/coverage_explorer.cpp.o"
+  "CMakeFiles/coverage_explorer.dir/coverage_explorer.cpp.o.d"
+  "coverage_explorer"
+  "coverage_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

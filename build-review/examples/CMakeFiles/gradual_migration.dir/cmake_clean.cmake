@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradual_migration.dir/gradual_migration.cpp.o"
+  "CMakeFiles/gradual_migration.dir/gradual_migration.cpp.o.d"
+  "gradual_migration"
+  "gradual_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradual_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

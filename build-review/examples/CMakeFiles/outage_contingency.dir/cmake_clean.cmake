@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_contingency.dir/outage_contingency.cpp.o"
+  "CMakeFiles/outage_contingency.dir/outage_contingency.cpp.o.d"
+  "outage_contingency"
+  "outage_contingency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_contingency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for outage_contingency.
+# This may be replaced when dependencies are built.

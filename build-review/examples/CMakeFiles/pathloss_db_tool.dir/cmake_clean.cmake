@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathloss_db_tool.dir/pathloss_db_tool.cpp.o"
+  "CMakeFiles/pathloss_db_tool.dir/pathloss_db_tool.cpp.o.d"
+  "pathloss_db_tool"
+  "pathloss_db_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathloss_db_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_campaign.dir/upgrade_campaign.cpp.o"
+  "CMakeFiles/upgrade_campaign.dir/upgrade_campaign.cpp.o.d"
+  "upgrade_campaign"
+  "upgrade_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_window.dir/upgrade_window.cpp.o"
+  "CMakeFiles/upgrade_window.dir/upgrade_window.cpp.o.d"
+  "upgrade_window"
+  "upgrade_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cpp" "src/CMakeFiles/magus.dir/core/brute_force.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/brute_force.cpp.o.d"
+  "/root/repo/src/core/contingency.cpp" "src/CMakeFiles/magus.dir/core/contingency.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/contingency.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/magus.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/gradual.cpp" "src/CMakeFiles/magus.dir/core/gradual.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/gradual.cpp.o.d"
+  "/root/repo/src/core/joint_search.cpp" "src/CMakeFiles/magus.dir/core/joint_search.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/joint_search.cpp.o.d"
+  "/root/repo/src/core/naive_search.cpp" "src/CMakeFiles/magus.dir/core/naive_search.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/naive_search.cpp.o.d"
+  "/root/repo/src/core/parallel_evaluator.cpp" "src/CMakeFiles/magus.dir/core/parallel_evaluator.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/parallel_evaluator.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/magus.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/power_search.cpp" "src/CMakeFiles/magus.dir/core/power_search.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/power_search.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/magus.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/core/search_types.cpp" "src/CMakeFiles/magus.dir/core/search_types.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/search_types.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/CMakeFiles/magus.dir/core/strategies.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/strategies.cpp.o.d"
+  "/root/repo/src/core/tilt_search.cpp" "src/CMakeFiles/magus.dir/core/tilt_search.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/tilt_search.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/CMakeFiles/magus.dir/core/utility.cpp.o" "gcc" "src/CMakeFiles/magus.dir/core/utility.cpp.o.d"
+  "/root/repo/src/data/experiment.cpp" "src/CMakeFiles/magus.dir/data/experiment.cpp.o" "gcc" "src/CMakeFiles/magus.dir/data/experiment.cpp.o.d"
+  "/root/repo/src/data/market_generator.cpp" "src/CMakeFiles/magus.dir/data/market_generator.cpp.o" "gcc" "src/CMakeFiles/magus.dir/data/market_generator.cpp.o.d"
+  "/root/repo/src/data/plan_export.cpp" "src/CMakeFiles/magus.dir/data/plan_export.cpp.o" "gcc" "src/CMakeFiles/magus.dir/data/plan_export.cpp.o.d"
+  "/root/repo/src/data/render.cpp" "src/CMakeFiles/magus.dir/data/render.cpp.o" "gcc" "src/CMakeFiles/magus.dir/data/render.cpp.o.d"
+  "/root/repo/src/data/upgrade_scenarios.cpp" "src/CMakeFiles/magus.dir/data/upgrade_scenarios.cpp.o" "gcc" "src/CMakeFiles/magus.dir/data/upgrade_scenarios.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/magus.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/magus.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/fault_injector.cpp" "src/CMakeFiles/magus.dir/exec/fault_injector.cpp.o" "gcc" "src/CMakeFiles/magus.dir/exec/fault_injector.cpp.o.d"
+  "/root/repo/src/geo/grid_map.cpp" "src/CMakeFiles/magus.dir/geo/grid_map.cpp.o" "gcc" "src/CMakeFiles/magus.dir/geo/grid_map.cpp.o.d"
+  "/root/repo/src/lte/amc.cpp" "src/CMakeFiles/magus.dir/lte/amc.cpp.o" "gcc" "src/CMakeFiles/magus.dir/lte/amc.cpp.o.d"
+  "/root/repo/src/lte/bandwidth.cpp" "src/CMakeFiles/magus.dir/lte/bandwidth.cpp.o" "gcc" "src/CMakeFiles/magus.dir/lte/bandwidth.cpp.o.d"
+  "/root/repo/src/lte/scheduler.cpp" "src/CMakeFiles/magus.dir/lte/scheduler.cpp.o" "gcc" "src/CMakeFiles/magus.dir/lte/scheduler.cpp.o.d"
+  "/root/repo/src/model/analysis_model.cpp" "src/CMakeFiles/magus.dir/model/analysis_model.cpp.o" "gcc" "src/CMakeFiles/magus.dir/model/analysis_model.cpp.o.d"
+  "/root/repo/src/model/coverage_map.cpp" "src/CMakeFiles/magus.dir/model/coverage_map.cpp.o" "gcc" "src/CMakeFiles/magus.dir/model/coverage_map.cpp.o.d"
+  "/root/repo/src/model/eval_context.cpp" "src/CMakeFiles/magus.dir/model/eval_context.cpp.o" "gcc" "src/CMakeFiles/magus.dir/model/eval_context.cpp.o.d"
+  "/root/repo/src/model/grid_state.cpp" "src/CMakeFiles/magus.dir/model/grid_state.cpp.o" "gcc" "src/CMakeFiles/magus.dir/model/grid_state.cpp.o.d"
+  "/root/repo/src/model/handover_delta.cpp" "src/CMakeFiles/magus.dir/model/handover_delta.cpp.o" "gcc" "src/CMakeFiles/magus.dir/model/handover_delta.cpp.o.d"
+  "/root/repo/src/model/market_context.cpp" "src/CMakeFiles/magus.dir/model/market_context.cpp.o" "gcc" "src/CMakeFiles/magus.dir/model/market_context.cpp.o.d"
+  "/root/repo/src/model/uplink.cpp" "src/CMakeFiles/magus.dir/model/uplink.cpp.o" "gcc" "src/CMakeFiles/magus.dir/model/uplink.cpp.o.d"
+  "/root/repo/src/net/configuration.cpp" "src/CMakeFiles/magus.dir/net/configuration.cpp.o" "gcc" "src/CMakeFiles/magus.dir/net/configuration.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/magus.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/magus.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/sector.cpp" "src/CMakeFiles/magus.dir/net/sector.cpp.o" "gcc" "src/CMakeFiles/magus.dir/net/sector.cpp.o.d"
+  "/root/repo/src/net/ue_distribution.cpp" "src/CMakeFiles/magus.dir/net/ue_distribution.cpp.o" "gcc" "src/CMakeFiles/magus.dir/net/ue_distribution.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/magus.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/magus.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/session.cpp" "src/CMakeFiles/magus.dir/obs/session.cpp.o" "gcc" "src/CMakeFiles/magus.dir/obs/session.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/magus.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/magus.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/pathloss/builder.cpp" "src/CMakeFiles/magus.dir/pathloss/builder.cpp.o" "gcc" "src/CMakeFiles/magus.dir/pathloss/builder.cpp.o.d"
+  "/root/repo/src/pathloss/database.cpp" "src/CMakeFiles/magus.dir/pathloss/database.cpp.o" "gcc" "src/CMakeFiles/magus.dir/pathloss/database.cpp.o.d"
+  "/root/repo/src/pathloss/footprint.cpp" "src/CMakeFiles/magus.dir/pathloss/footprint.cpp.o" "gcc" "src/CMakeFiles/magus.dir/pathloss/footprint.cpp.o.d"
+  "/root/repo/src/pathloss/tilt_delta.cpp" "src/CMakeFiles/magus.dir/pathloss/tilt_delta.cpp.o" "gcc" "src/CMakeFiles/magus.dir/pathloss/tilt_delta.cpp.o.d"
+  "/root/repo/src/radio/antenna.cpp" "src/CMakeFiles/magus.dir/radio/antenna.cpp.o" "gcc" "src/CMakeFiles/magus.dir/radio/antenna.cpp.o.d"
+  "/root/repo/src/radio/noise_floor.cpp" "src/CMakeFiles/magus.dir/radio/noise_floor.cpp.o" "gcc" "src/CMakeFiles/magus.dir/radio/noise_floor.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/CMakeFiles/magus.dir/radio/propagation.cpp.o" "gcc" "src/CMakeFiles/magus.dir/radio/propagation.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/magus.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/magus.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/handover_fsm.cpp" "src/CMakeFiles/magus.dir/sim/handover_fsm.cpp.o" "gcc" "src/CMakeFiles/magus.dir/sim/handover_fsm.cpp.o.d"
+  "/root/repo/src/sim/migration_sim.cpp" "src/CMakeFiles/magus.dir/sim/migration_sim.cpp.o" "gcc" "src/CMakeFiles/magus.dir/sim/migration_sim.cpp.o.d"
+  "/root/repo/src/terrain/noise.cpp" "src/CMakeFiles/magus.dir/terrain/noise.cpp.o" "gcc" "src/CMakeFiles/magus.dir/terrain/noise.cpp.o.d"
+  "/root/repo/src/terrain/terrain.cpp" "src/CMakeFiles/magus.dir/terrain/terrain.cpp.o" "gcc" "src/CMakeFiles/magus.dir/terrain/terrain.cpp.o.d"
+  "/root/repo/src/testbed/indoor_propagation.cpp" "src/CMakeFiles/magus.dir/testbed/indoor_propagation.cpp.o" "gcc" "src/CMakeFiles/magus.dir/testbed/indoor_propagation.cpp.o.d"
+  "/root/repo/src/testbed/scenarios.cpp" "src/CMakeFiles/magus.dir/testbed/scenarios.cpp.o" "gcc" "src/CMakeFiles/magus.dir/testbed/scenarios.cpp.o.d"
+  "/root/repo/src/testbed/testbed.cpp" "src/CMakeFiles/magus.dir/testbed/testbed.cpp.o" "gcc" "src/CMakeFiles/magus.dir/testbed/testbed.cpp.o.d"
+  "/root/repo/src/traffic/campaign.cpp" "src/CMakeFiles/magus.dir/traffic/campaign.cpp.o" "gcc" "src/CMakeFiles/magus.dir/traffic/campaign.cpp.o.d"
+  "/root/repo/src/traffic/profile.cpp" "src/CMakeFiles/magus.dir/traffic/profile.cpp.o" "gcc" "src/CMakeFiles/magus.dir/traffic/profile.cpp.o.d"
+  "/root/repo/src/traffic/window_planner.cpp" "src/CMakeFiles/magus.dir/traffic/window_planner.cpp.o" "gcc" "src/CMakeFiles/magus.dir/traffic/window_planner.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/magus.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/backoff.cpp" "src/CMakeFiles/magus.dir/util/backoff.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/backoff.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/magus.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/magus.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/magus.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/magus.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/magus.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/magus.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/magus.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/magus.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/magus.dir/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_integration_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/magus_integration_tests.dir/integration_test.cpp.o.d"
+  "magus_integration_tests"
+  "magus_integration_tests.pdb"
+  "magus_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magus_parallel_tests.dir/core_parallel_test.cpp.o"
+  "CMakeFiles/magus_parallel_tests.dir/core_parallel_test.cpp.o.d"
+  "CMakeFiles/magus_parallel_tests.dir/obs_parallel_test.cpp.o"
+  "CMakeFiles/magus_parallel_tests.dir/obs_parallel_test.cpp.o.d"
+  "CMakeFiles/magus_parallel_tests.dir/util_thread_pool_test.cpp.o"
+  "CMakeFiles/magus_parallel_tests.dir/util_thread_pool_test.cpp.o.d"
+  "magus_parallel_tests"
+  "magus_parallel_tests.pdb"
+  "magus_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magus_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_contingency_test.cpp" "tests/CMakeFiles/magus_tests.dir/core_contingency_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/core_contingency_test.cpp.o.d"
+  "/root/repo/tests/core_gradual_test.cpp" "tests/CMakeFiles/magus_tests.dir/core_gradual_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/core_gradual_test.cpp.o.d"
+  "/root/repo/tests/core_planner_test.cpp" "tests/CMakeFiles/magus_tests.dir/core_planner_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/core_planner_test.cpp.o.d"
+  "/root/repo/tests/core_search_test.cpp" "tests/CMakeFiles/magus_tests.dir/core_search_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/core_search_test.cpp.o.d"
+  "/root/repo/tests/core_strategies_test.cpp" "tests/CMakeFiles/magus_tests.dir/core_strategies_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/core_strategies_test.cpp.o.d"
+  "/root/repo/tests/core_utility_test.cpp" "tests/CMakeFiles/magus_tests.dir/core_utility_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/core_utility_test.cpp.o.d"
+  "/root/repo/tests/data_export_test.cpp" "tests/CMakeFiles/magus_tests.dir/data_export_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/data_export_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/magus_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/exec_test.cpp" "tests/CMakeFiles/magus_tests.dir/exec_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/exec_test.cpp.o.d"
+  "/root/repo/tests/geo_test.cpp" "tests/CMakeFiles/magus_tests.dir/geo_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/geo_test.cpp.o.d"
+  "/root/repo/tests/lte_test.cpp" "tests/CMakeFiles/magus_tests.dir/lte_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/lte_test.cpp.o.d"
+  "/root/repo/tests/misc_coverage_test.cpp" "tests/CMakeFiles/magus_tests.dir/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/model_equivalence_test.cpp" "tests/CMakeFiles/magus_tests.dir/model_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/model_equivalence_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/magus_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/model_uplink_test.cpp" "tests/CMakeFiles/magus_tests.dir/model_uplink_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/model_uplink_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/magus_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/magus_tests.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/obs_test.cpp.o.d"
+  "/root/repo/tests/pathloss_test.cpp" "tests/CMakeFiles/magus_tests.dir/pathloss_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/pathloss_test.cpp.o.d"
+  "/root/repo/tests/radio_test.cpp" "tests/CMakeFiles/magus_tests.dir/radio_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/radio_test.cpp.o.d"
+  "/root/repo/tests/sim_properties_test.cpp" "tests/CMakeFiles/magus_tests.dir/sim_properties_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/sim_properties_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/magus_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/terrain_test.cpp" "tests/CMakeFiles/magus_tests.dir/terrain_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/terrain_test.cpp.o.d"
+  "/root/repo/tests/testbed_properties_test.cpp" "tests/CMakeFiles/magus_tests.dir/testbed_properties_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/testbed_properties_test.cpp.o.d"
+  "/root/repo/tests/testbed_test.cpp" "tests/CMakeFiles/magus_tests.dir/testbed_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/testbed_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/magus_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/magus_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/magus_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/magus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
