@@ -6,9 +6,12 @@
 // Beyond the google-benchmark flags, the binary accepts:
 //   --threads N   worker threads for the parallel-scoring benchmarks
 //                 (0 = hardware concurrency; peeled before benchmark init)
+//   --no-index    run the model benchmarks on the legacy all-sectors scan
+//                 instead of the grid-major coverage index (baselines)
 //   --json PATH   write a machine-readable summary of the batch-scoring
 //                 throughput (evaluations/sec, wall time, speedup vs 1
-//                 thread) to PATH
+//                 thread) plus the index-vs-legacy speedups on the
+//                 demotion/rebuild workload to PATH
 //   --metrics PATH  write the metrics-registry snapshot (JSON) to PATH
 //   --trace PATH    record spans and write a Chrome trace-event file
 #include <benchmark/benchmark.h>
@@ -35,6 +38,7 @@ namespace {
 using namespace magus;
 
 std::size_t g_threads = 1;  ///< --threads (resolved)
+bool g_use_index = true;    ///< --no-index flips this off
 
 [[nodiscard]] std::size_t micro_threads() { return g_threads; }
 
@@ -53,6 +57,18 @@ data::Experiment& shared_experiment() {
   return experiment;
 }
 
+/// The shared model, bound to the coverage index unless --no-index.
+model::AnalysisModel& shared_model() {
+  model::AnalysisModel& model = shared_experiment().model();
+  if (g_use_index) {
+    model.market_context().ensure_coverage_index();
+    model.set_use_coverage_index(true);
+  } else {
+    model.set_use_coverage_index(false);
+  }
+  return model;
+}
+
 void BM_FootprintBuild(benchmark::State& state) {
   data::Experiment& experiment = shared_experiment();
   const terrain::TerrainGridCache cache{experiment.terrain(),
@@ -68,8 +84,7 @@ void BM_FootprintBuild(benchmark::State& state) {
 BENCHMARK(BM_FootprintBuild)->Unit(benchmark::kMillisecond);
 
 void BM_FullRebuild(benchmark::State& state) {
-  data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
+  model::AnalysisModel& model = shared_model();
   const net::Configuration config = model.network().default_configuration();
   for (auto _ : state) {
     model.set_configuration(config);
@@ -78,8 +93,7 @@ void BM_FullRebuild(benchmark::State& state) {
 BENCHMARK(BM_FullRebuild)->Unit(benchmark::kMillisecond);
 
 void BM_IncrementalPowerUp(benchmark::State& state) {
-  data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
+  model::AnalysisModel& model = shared_model();
   model.set_configuration(model.network().default_configuration());
   double power = 46.0;
   for (auto _ : state) {
@@ -90,8 +104,7 @@ void BM_IncrementalPowerUp(benchmark::State& state) {
 BENCHMARK(BM_IncrementalPowerUp)->Unit(benchmark::kMillisecond);
 
 void BM_TiltSwap(benchmark::State& state) {
-  data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
+  model::AnalysisModel& model = shared_model();
   model.set_configuration(model.network().default_configuration());
   int tilt = 0;
   for (auto _ : state) {
@@ -102,8 +115,7 @@ void BM_TiltSwap(benchmark::State& state) {
 BENCHMARK(BM_TiltSwap)->Unit(benchmark::kMillisecond);
 
 void BM_SnapshotRestore(benchmark::State& state) {
-  data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
+  model::AnalysisModel& model = shared_model();
   model.set_configuration(model.network().default_configuration());
   const auto snapshot = model.snapshot();
   for (auto _ : state) {
@@ -113,8 +125,7 @@ void BM_SnapshotRestore(benchmark::State& state) {
 BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMillisecond);
 
 void BM_UtilityEvaluation(benchmark::State& state) {
-  data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
+  model::AnalysisModel& model = shared_model();
   model.set_configuration(model.network().default_configuration());
   model.freeze_uniform_ue_density();
   core::Evaluator evaluator{&model, core::Utility::performance()};
@@ -125,8 +136,7 @@ void BM_UtilityEvaluation(benchmark::State& state) {
 BENCHMARK(BM_UtilityEvaluation)->Unit(benchmark::kMillisecond);
 
 void BM_ImprovesRateProbe(benchmark::State& state) {
-  data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
+  model::AnalysisModel& model = shared_model();
   model.set_configuration(model.network().default_configuration());
   geo::GridIndex g = 0;
   for (auto _ : state) {
@@ -138,9 +148,9 @@ BENCHMARK(BM_ImprovesRateProbe);
 
 void BM_PowerSearchFull(benchmark::State& state) {
   data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
+  model::AnalysisModel& model = shared_model();
   core::ParallelEvaluator evaluator{&model, core::Utility::performance(),
-                                    micro_threads()};
+                                    micro_threads(), g_use_index};
   const auto targets = data::upgrade_targets(
       experiment.market(), data::UpgradeScenario::kSingleSector);
   for (auto _ : state) {
@@ -159,15 +169,14 @@ void BM_PowerSearchFull(benchmark::State& state) {
 BENCHMARK(BM_PowerSearchFull)->Unit(benchmark::kMillisecond);
 
 void BM_BatchScore(benchmark::State& state) {
-  data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
+  model::AnalysisModel& model = shared_model();
   model.set_configuration(model.network().default_configuration());
   model.freeze_uniform_ue_density();
   core::ParallelEvaluator evaluator{
       &model, core::Utility::performance(),
-      static_cast<std::size_t>(state.range(0))};
+      static_cast<std::size_t>(state.range(0)), g_use_index};
   core::CandidateBatch batch;
-  for (int s = 0; s < model.network().sector_count(); ++s) {
+  for (std::size_t s = 0; s < model.network().sector_count(); ++s) {
     batch.push_back(core::Candidate::single(core::Mutation::power(
         static_cast<net::SectorId>(s),
         model.configuration()[static_cast<net::SectorId>(s)].power_dbm +
@@ -182,17 +191,91 @@ void BM_BatchScore(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchScore)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// The sector whose outage demotes the most cells: the market's busiest
+/// server. Upgrades target loaded sectors, and demoting one forces a
+/// top-2 recompute in every cell it served or backed up — the
+/// recompute_top2-dominated workload the coverage index exists for
+/// (an edge sector that serves almost nothing would measure only the
+/// unavoidable mW sweep, which the index shares with the legacy path).
+net::SectorId busiest_sector(const model::AnalysisModel& model) {
+  std::vector<int> served(
+      static_cast<std::size_t>(model.network().sector_count()), 0);
+  for (geo::GridIndex g = 0; g < model.cell_count(); ++g) {
+    const net::SectorId s = model.serving_sector(g);
+    if (s != net::kInvalidSector) ++served[static_cast<std::size_t>(s)];
+  }
+  net::SectorId best = 0;
+  for (std::size_t s = 1; s < served.size(); ++s) {
+    if (served[s] > served[static_cast<std::size_t>(best)]) {
+      best = static_cast<net::SectorId>(s);
+    }
+  }
+  return best;
+}
+
+/// The recompute_top2-dominated workload: taking the busiest sector
+/// off-air demotes every cell it served (or backed up), forcing a top-2
+/// recompute per affected cell; the reactivation restores the base state.
+void BM_DemotionRebuild(benchmark::State& state) {
+  model::AnalysisModel& model = shared_model();
+  model.set_configuration(model.network().default_configuration());
+  const net::SectorId target = busiest_sector(model);
+  for (auto _ : state) {
+    model.set_active(target, false);
+    model.set_active(target, true);
+  }
+}
+BENCHMARK(BM_DemotionRebuild)->Unit(benchmark::kMillisecond);
+
 /// Timed batch-scoring sweep for the --json artifact: same work at 1 thread
-/// and at --threads, reporting throughput and the measured speedup.
+/// and at --threads, reporting throughput and the measured speedup, plus
+/// the index-vs-legacy comparison on the demotion/rebuild workload (both
+/// paths measured in this run, whatever --no-index says, so one artifact
+/// carries the whole story).
 void write_json_summary(const std::string& path) {
   using Clock = std::chrono::steady_clock;
-  data::Experiment& experiment = shared_experiment();
-  model::AnalysisModel& model = experiment.model();
-  model.set_configuration(model.network().default_configuration());
+  model::AnalysisModel& model = shared_experiment().model();
+  model.market_context().ensure_coverage_index();
+  const net::Configuration defaults = model.network().default_configuration();
+
+  // Index-vs-legacy on the demotion (set_active off/on of the busiest
+  // sector) and full-rebuild workloads. Identical mutation sequences;
+  // only the scan paths differ.
+  constexpr int kModelRounds = 40;
+  model.set_configuration(defaults);
+  const net::SectorId demotion_target = busiest_sector(model);
+  const auto timed_demotion = [&](bool use_index) {
+    model.set_use_coverage_index(use_index);
+    model.set_configuration(defaults);
+    model.set_active(demotion_target, false);  // warm up
+    model.set_active(demotion_target, true);
+    const auto start = Clock::now();
+    for (int round = 0; round < kModelRounds; ++round) {
+      model.set_active(demotion_target, false);
+      model.set_active(demotion_target, true);
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  const auto timed_rebuild = [&](bool use_index) {
+    model.set_use_coverage_index(use_index);
+    model.set_configuration(defaults);  // warm up
+    const auto start = Clock::now();
+    for (int round = 0; round < kModelRounds; ++round) {
+      model.set_configuration(defaults);
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  const double demotion_legacy_s = timed_demotion(false);
+  const double demotion_index_s = timed_demotion(true);
+  const double rebuild_legacy_s = timed_rebuild(false);
+  const double rebuild_index_s = timed_rebuild(true);
+
+  model.set_use_coverage_index(g_use_index);
+  model.set_configuration(defaults);
   model.freeze_uniform_ue_density();
 
   core::CandidateBatch batch;
-  for (int s = 0; s < model.network().sector_count(); ++s) {
+  for (std::size_t s = 0; s < model.network().sector_count(); ++s) {
     batch.push_back(core::Candidate::single(core::Mutation::power(
         static_cast<net::SectorId>(s),
         model.configuration()[static_cast<net::SectorId>(s)].power_dbm +
@@ -201,7 +284,7 @@ void write_json_summary(const std::string& path) {
   constexpr int kRounds = 20;
   const auto timed_run = [&](std::size_t threads) {
     core::ParallelEvaluator evaluator{&model, core::Utility::performance(),
-                                      threads};
+                                      threads, g_use_index};
     (void)evaluator.score(batch);  // warm up worker clones
     const auto start = Clock::now();
     for (int round = 0; round < kRounds; ++round) {
@@ -219,11 +302,20 @@ void write_json_summary(const std::string& path) {
       .set("batch_size", static_cast<std::int64_t>(batch.size()))
       .set("rounds", static_cast<std::int64_t>(kRounds))
       .set("threads", static_cast<std::int64_t>(g_threads))
+      .set("use_coverage_index", g_use_index)
       .set("wall_s_1_thread", serial_s)
       .set("wall_s", parallel_s)
       .set("evals_per_sec_1_thread", evals / serial_s)
       .set("evals_per_sec", evals / parallel_s)
-      .set("speedup_vs_1_thread", serial_s / parallel_s);
+      .set("speedup_vs_1_thread", serial_s / parallel_s)
+      .set("index_bytes",
+           static_cast<std::int64_t>(model.market_context().index_bytes()))
+      .set("demotion_ms_legacy", 1e3 * demotion_legacy_s / kModelRounds)
+      .set("demotion_ms_index", 1e3 * demotion_index_s / kModelRounds)
+      .set("demotion_speedup", demotion_legacy_s / demotion_index_s)
+      .set("rebuild_ms_legacy", 1e3 * rebuild_legacy_s / kModelRounds)
+      .set("rebuild_ms_index", 1e3 * rebuild_index_s / kModelRounds)
+      .set("rebuild_speedup", rebuild_legacy_s / rebuild_index_s);
   summary.write_file(path);
   std::cout << "wrote " << path << '\n';
 }
@@ -245,7 +337,9 @@ int main(int argc, char** argv) {
       if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
       return nullptr;
     };
-    if (const char* v = take_value("--threads")) {
+    if (std::strcmp(argv[i], "--no-index") == 0) {
+      g_use_index = false;
+    } else if (const char* v = take_value("--threads")) {
       g_threads = util::resolve_thread_count(
           static_cast<std::size_t>(std::max(0L, std::strtol(v, nullptr, 10))));
     } else if (const char* v = take_value("--json")) {

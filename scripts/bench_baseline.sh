@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Records the model-kernel performance baseline as committed JSON artifacts.
+#
+# Runs the micro-model benchmark (which measures the coverage-index vs
+# legacy demotion/rebuild workloads internally and reports both) and the
+# Figure 12 convergence bench twice — with the coverage index and with
+# --no-index — so BENCH_model.json and the two convergence summaries
+# together capture the before/after picture for the current commit.
+#
+# Usage: scripts/bench_baseline.sh [build-dir] (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+for bin in bench_micro_model bench_fig12_convergence; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+echo "== micro-model kernels (index + legacy, one artifact) =="
+"$BUILD_DIR/bench/bench_micro_model" \
+  --benchmark_filter='BM_DemotionRebuild|BM_FullRebuild|BM_UtilityEvaluation' \
+  --json BENCH_model.json
+
+echo "== fig12 convergence, coverage index =="
+"$BUILD_DIR/bench/bench_fig12_convergence" \
+  --json BENCH_fig12_index.json >/dev/null
+
+echo "== fig12 convergence, legacy scan (--no-index) =="
+"$BUILD_DIR/bench/bench_fig12_convergence" --no-index \
+  --json BENCH_fig12_noindex.json >/dev/null
+
+echo
+echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json"
+python3 - <<'PY' 2>/dev/null || true
+import json
+m = json.load(open('BENCH_model.json'))
+print(f"demotion speedup (index vs legacy): {m['demotion_speedup']:.2f}x")
+print(f"rebuild  speedup (index vs legacy): {m['rebuild_speedup']:.2f}x")
+print(f"index bytes: {m['index_bytes']}")
+PY

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Full verification: regular build + tests, the same suite under ASan+UBSan
-# (the Sanitize build type / "sanitize" CMake preset), and the thread-pool /
-# parallel-evaluation tests under ThreadSanitizer (the Tsan build type /
-# "tsan" preset; TSan cannot be combined with ASan, hence its own tree).
+# Full verification: regular build + tests, a perf smoke of the coverage
+# index against the legacy scan (fails if the index is slower), the same
+# test suite under ASan+UBSan (the Sanitize build type / "sanitize" CMake
+# preset), and the thread-pool / parallel-evaluation tests under
+# ThreadSanitizer (the Tsan build type / "tsan" preset; TSan cannot be
+# combined with ASan, hence its own tree).
 #
 #   scripts/verify.sh            # all three passes
 #   scripts/verify.sh --fast     # regular pass only
@@ -39,6 +41,21 @@ cats = {e["cat"] for e in events}
 assert {"planner", "evaluator", "model"} <= cats, f"missing subsystems: {cats}"
 print(f"artifacts OK: {len(events)} trace events, "
       f"{len(metrics['counters'])} counters")
+EOF
+
+echo "==> Perf smoke: coverage index vs legacy demotion workload"
+./build/bench/bench_micro_model \
+  --benchmark_filter='PerfSmokeSummaryOnly' \
+  --json "$artifacts/model.json" >/dev/null
+python3 - "$artifacts" <<'EOF'
+import json, sys
+m = json.load(open(f"{sys.argv[1]}/model.json"))
+speedup = m["demotion_speedup"]
+assert speedup >= 1.0, (
+    f"coverage index slower than legacy scan: {speedup:.2f}x demotion")
+print(f"perf smoke OK: demotion {speedup:.2f}x, "
+      f"rebuild {m['rebuild_speedup']:.2f}x, "
+      f"index {m['index_bytes']} bytes")
 EOF
 
 if [[ "${1:-}" == "--fast" ]]; then

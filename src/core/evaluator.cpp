@@ -1,8 +1,10 @@
 #include "core/evaluator.h"
 
+#include <array>
 #include <stdexcept>
 
 #include "lte/amc.h"
+#include "model/kernels.h"
 
 namespace magus::core {
 
@@ -14,28 +16,30 @@ double evaluate_utility(const model::EvalContext& context,
   const auto bandwidth = context.network().carrier().bandwidth;
   const auto& scheduler = context.options().scheduler;
 
-  scratch.cqi.assign(cells, 0);
-  scratch.load.assign(sectors, 0.0);
+  scratch.cqi.resize(cells);
+  scratch.load.resize(sectors);
 
-  // Pass 1: per-grid CQI and per-sector attached-UE loads (Formula 3).
-  for (std::size_t i = 0; i < cells; ++i) {
-    const auto g = static_cast<geo::GridIndex>(i);
-    const lte::Cqi cqi = context.cqi(g);
-    scratch.cqi[i] = static_cast<std::int8_t>(cqi);
-    if (cqi > 0 && ue[i] > 0.0) {
-      const net::SectorId s = context.serving_sector(g);
-      scratch.load[static_cast<std::size_t>(s)] += ue[i];
-    }
+  // Pass 1: per-grid CQI and per-sector attached-UE loads (Formula 3),
+  // fused into one kernel sweep over the GridState SoA spans.
+  model::cqi_and_loads_kernel(context.state(), ue, context.noise_mw(),
+                              context.options().min_service_sinr_db,
+                              scratch.cqi, scratch.load);
+
+  // Pass 2: UE-weighted utility with shared rates (Formula 4). The
+  // CQI -> peak-rate mapping only has 16 values, so it is hoisted into a
+  // table and the per-cell work is a lookup plus the scheduler share.
+  std::array<double, lte::kCqiLevels + 1> rate_for_cqi{};
+  for (lte::Cqi cqi = 1; cqi <= lte::kCqiLevels; ++cqi) {
+    rate_for_cqi[static_cast<std::size_t>(cqi)] =
+        lte::max_rate_bps_for_cqi(cqi, bandwidth);
   }
-
-  // Pass 2: UE-weighted utility with shared rates (Formula 4).
+  const model::GridState& state = context.state();
   double total = 0.0;
   for (std::size_t i = 0; i < cells; ++i) {
     if (scratch.cqi[i] <= 0 || ue[i] <= 0.0) continue;
-    const auto g = static_cast<geo::GridIndex>(i);
-    const net::SectorId s = context.serving_sector(g);
+    const net::SectorId s = state.best[i];
     const double max_rate =
-        lte::max_rate_bps_for_cqi(scratch.cqi[i], bandwidth);
+        rate_for_cqi[static_cast<std::size_t>(scratch.cqi[i])];
     const double rate = scheduler.shared_rate_bps(
         max_rate, scratch.load[static_cast<std::size_t>(s)]);
     if (rate > 0.0) total += ue[i] * utility.per_ue(rate);

@@ -38,10 +38,18 @@ struct EvaluatorMetrics {
 }  // namespace
 
 ParallelEvaluator::ParallelEvaluator(model::AnalysisModel* model,
-                                     Utility utility, std::size_t threads)
+                                     Utility utility, std::size_t threads,
+                                     bool use_coverage_index)
     : model_(model), utility_(std::move(utility)), pool_(threads) {
   if (model_ == nullptr) {
     throw std::invalid_argument("ParallelEvaluator: model must not be null");
+  }
+  if (use_coverage_index) {
+    // Build + bind on the driver thread, before any worker clone is made:
+    // clones copy the binding, and the index itself is immutable from here
+    // on, so the workers share it without synchronization.
+    model_->market_context().ensure_coverage_index();
+    model_->set_use_coverage_index(true);
   }
   workers_.resize(pool_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {

@@ -34,8 +34,14 @@ class ParallelEvaluator {
  public:
   /// `model` must outlive the evaluator. `threads == 0` resolves to the
   /// hardware concurrency; 1 gives the exact serial path.
+  ///
+  /// `use_coverage_index` (the default) builds the market's grid-major
+  /// coverage index if absent and binds the driver model to it before any
+  /// worker clone exists, so every evaluation runs the CSR fast paths
+  /// (bit-identical results — see model/coverage_index.h). Pass false to
+  /// stay on the legacy all-sectors scan (benchmark baselines).
   ParallelEvaluator(model::AnalysisModel* model, Utility utility,
-                    std::size_t threads = 1);
+                    std::size_t threads = 1, bool use_coverage_index = true);
 
   [[nodiscard]] model::AnalysisModel& model() const { return *model_; }
   [[nodiscard]] const Utility& utility() const { return utility_; }

@@ -54,7 +54,8 @@ MagusPlanner::MagusPlanner(Evaluator* evaluator, PlannerOptions options)
     throw std::invalid_argument("MagusPlanner: evaluator must not be null");
   }
   parallel_ = std::make_unique<ParallelEvaluator>(
-      &evaluator_->model(), evaluator_->utility(), options_.threads);
+      &evaluator_->model(), evaluator_->utility(), options_.threads,
+      options_.use_coverage_index);
 }
 
 SearchResult MagusPlanner::run_search(

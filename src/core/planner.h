@@ -31,6 +31,10 @@ struct PlannerOptions {
   /// concurrency). The search results are bit-identical for any value —
   /// see core/parallel_evaluator.h — so this is purely a speed knob.
   std::size_t threads = 0;
+  /// Run the model's CSR coverage-index fast paths (bit-identical; see
+  /// model/coverage_index.h). Off is only interesting for benchmarking
+  /// the legacy scan.
+  bool use_coverage_index = true;
   /// Locally optimize the neighborhood's powers *before* planning (the
   /// paper's premise: "radio network planners attempt to maximize coverage
   /// and minimize interference" — C_before is a planned configuration, not

@@ -1,0 +1,212 @@
+#include "model/coverage_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace magus::model {
+
+namespace {
+
+[[nodiscard]] float quiet_nan() {
+  return std::numeric_limits<float>::quiet_NaN();
+}
+
+}  // namespace
+
+CoverageIndex CoverageIndex::build(const net::Network& network,
+                                   pathloss::PathLossProvider& provider,
+                                   const CoverageIndexOptions& options) {
+  MAGUS_TRACE_SPAN("model.index.build", "model");
+  const std::uint64_t start_ns = obs::monotonic_now_ns();
+  if (options.tilt_radius < 0) {
+    throw std::invalid_argument("CoverageIndex: tilt_radius must be >= 0");
+  }
+
+  CoverageIndex index;
+  const auto cells =
+      static_cast<std::size_t>(provider.grid().cell_count());
+  const std::size_t sector_count = network.sector_count();
+  const net::Configuration defaults = network.default_configuration();
+
+  // Which (sector, tilt) planes to materialize: every tilt within
+  // tilt_radius of the sector's default tilt, clamped to its antenna
+  // range. The union of these ranges fixes the global plane span.
+  struct SectorTilts {
+    int lo = 0;
+    int hi = -1;  ///< empty range until resolved
+  };
+  std::vector<SectorTilts> tilts(sector_count);
+  int global_lo = std::numeric_limits<int>::max();
+  int global_hi = std::numeric_limits<int>::min();
+  for (const net::Sector& sector : network.sectors()) {
+    const int base = defaults[sector.id].tilt;
+    SectorTilts& t = tilts[static_cast<std::size_t>(sector.id)];
+    t.lo = sector.clamp_tilt(base - options.tilt_radius);
+    t.hi = sector.clamp_tilt(base + options.tilt_radius);
+    global_lo = std::min(global_lo, t.lo);
+    global_hi = std::max(global_hi, t.hi);
+  }
+  if (sector_count == 0) {
+    global_lo = 0;
+    global_hi = -1;
+  }
+  index.tilt_lo_ = global_lo;
+  const int planes = global_hi - global_lo + 1;
+  if (planes > 64) {
+    // sector_planes_ is a 64-bit mask per sector; radius would have to
+    // exceed every real antenna's tilt range to get here.
+    throw std::invalid_argument("CoverageIndex: > 64 tilt planes");
+  }
+
+  // Pass 1: per-cell cover counts. A cell's span holds each covering
+  // sector once, regardless of how many indexed tilts reach it, so counts
+  // use a per-cell "seen this sector" stamp.
+  std::vector<std::uint32_t> count(cells, 0);
+  std::vector<std::int32_t> stamp(cells, -1);
+  for (const net::Sector& sector : network.sectors()) {
+    const SectorTilts& t = tilts[static_cast<std::size_t>(sector.id)];
+    for (int tilt = t.lo; tilt <= t.hi; ++tilt) {
+      const pathloss::SectorFootprint& fp =
+          provider.footprint(sector.id, tilt);
+      for (std::int32_t r = 0; r < fp.window_rows(); ++r) {
+        const std::span<const float> line = fp.window_row(r);
+        const auto base = static_cast<std::size_t>(fp.row_first_cell(r));
+        for (std::size_t c = 0; c < line.size(); ++c) {
+          if (std::isnan(line[c])) continue;
+          if (stamp[base + c] != sector.id) {
+            stamp[base + c] = sector.id;
+            ++count[base + c];
+          }
+        }
+      }
+    }
+  }
+
+  index.row_start_.resize(cells + 1);
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    index.row_start_[i] = total;
+    total += count[i];
+  }
+  index.row_start_[cells] = total;
+
+  // Pass 2: fill. The outer loop runs sectors in ascending id order and
+  // each cell's cursor only moves forward, so every row's sector ids come
+  // out ascending — the property the bit-identity argument needs. A
+  // sector covering a cell at several indexed tilts claims one entry the
+  // first time and records its slot in entry_at so later tilt planes
+  // write their gain into the same column.
+  index.entry_sector_.assign(total, net::kInvalidSector);
+  index.plane_gain_.assign(static_cast<std::size_t>(planes),
+                           std::vector<float>());
+  for (auto& plane : index.plane_gain_) plane.assign(total, quiet_nan());
+  index.plane_mw_.assign(static_cast<std::size_t>(planes),
+                         std::vector<float>());
+  for (auto& plane : index.plane_mw_) plane.assign(total, 0.0f);
+  index.sector_planes_.assign(sector_count, 0);
+
+  std::vector<std::uint32_t> cursor(index.row_start_.begin(),
+                                    index.row_start_.end() - 1);
+  std::vector<std::uint32_t> entry_at(cells, 0);
+  std::fill(stamp.begin(), stamp.end(), -1);
+  for (const net::Sector& sector : network.sectors()) {
+    const SectorTilts& t = tilts[static_cast<std::size_t>(sector.id)];
+    for (int tilt = t.lo; tilt <= t.hi; ++tilt) {
+      const int p = tilt - global_lo;
+      index.sector_planes_[static_cast<std::size_t>(sector.id)] |=
+          std::uint64_t{1} << p;
+      std::vector<float>& plane =
+          index.plane_gain_[static_cast<std::size_t>(p)];
+      std::vector<float>& plane_mw =
+          index.plane_mw_[static_cast<std::size_t>(p)];
+      provider.footprint(sector.id, tilt)
+          .for_each_covered_linear(
+              [&](geo::GridIndex g, float gain, float linear) {
+                const auto i = static_cast<std::size_t>(g);
+                if (stamp[i] != sector.id) {
+                  stamp[i] = sector.id;
+                  entry_at[i] = cursor[i]++;
+                  index.entry_sector_[entry_at[i]] = sector.id;
+                }
+                plane[entry_at[i]] = gain;
+                plane_mw[entry_at[i]] = linear;
+              });
+    }
+  }
+
+  index.plane_ptr_.resize(static_cast<std::size_t>(planes));
+  index.plane_mw_ptr_.resize(static_cast<std::size_t>(planes));
+  for (std::size_t p = 0; p < index.plane_gain_.size(); ++p) {
+    index.plane_ptr_[p] = index.plane_gain_[p].data();
+    index.plane_mw_ptr_[p] = index.plane_mw_[p].data();
+  }
+
+  // Ranked layout: each row's entries reordered by descending bound (the
+  // sector's best gain at the cell over its built planes), sector id
+  // ascending on ties. The bound is what lets a top-2 scan stop early:
+  // power_cap + bound majorizes every received power the entry can offer.
+  index.ranked_sector_.assign(total, net::kInvalidSector);
+  index.ranked_col_.assign(total, 0);
+  index.ranked_bound_.assign(total, 0.0f);
+  {
+    std::vector<std::uint32_t> order;
+    std::vector<float> bound(total, -std::numeric_limits<float>::infinity());
+    for (std::uint32_t e = 0; e < total; ++e) {
+      for (int p = 0; p < planes; ++p) {
+        const float g = index.plane_gain_[static_cast<std::size_t>(p)][e];
+        if (!std::isnan(g)) bound[e] = std::max(bound[e], g);
+      }
+    }
+    for (std::size_t i = 0; i < cells; ++i) {
+      const std::uint32_t first = index.row_start_[i];
+      const std::uint32_t size = index.row_start_[i + 1] - first;
+      order.resize(size);
+      for (std::uint32_t k = 0; k < size; ++k) order[k] = first + k;
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (bound[a] != bound[b]) return bound[a] > bound[b];
+                  return index.entry_sector_[a] < index.entry_sector_[b];
+                });
+      for (std::uint32_t k = 0; k < size; ++k) {
+        index.ranked_sector_[first + k] = index.entry_sector_[order[k]];
+        index.ranked_col_[first + k] = order[k];
+        index.ranked_bound_[first + k] = bound[order[k]];
+      }
+    }
+  }
+
+  index.bytes_ = index.row_start_.capacity() * sizeof(std::uint32_t) +
+                 index.entry_sector_.capacity() * sizeof(std::int32_t) +
+                 index.sector_planes_.capacity() * sizeof(std::uint64_t) +
+                 index.plane_ptr_.capacity() * sizeof(const float*) +
+                 index.plane_mw_ptr_.capacity() * sizeof(const float*) +
+                 index.ranked_sector_.capacity() * sizeof(std::int32_t) +
+                 index.ranked_col_.capacity() * sizeof(std::uint32_t) +
+                 index.ranked_bound_.capacity() * sizeof(float);
+  for (const auto& plane : index.plane_gain_) {
+    index.bytes_ += plane.capacity() * sizeof(float);
+  }
+  for (const auto& plane : index.plane_mw_) {
+    index.bytes_ += plane.capacity() * sizeof(float);
+  }
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& builds = registry.counter("model.index.builds");
+  static obs::Histogram& build_us = registry.histogram(
+      "model.index.build_us", obs::exponential_bounds(10.0, 4.0, 12));
+  builds.add(1);
+  build_us.observe(
+      static_cast<double>(obs::monotonic_now_ns() - start_ns) / 1000.0);
+  registry.gauge("model.index.bytes")
+      .set(static_cast<double>(index.bytes_));
+  registry.gauge("model.index.entries")
+      .set(static_cast<double>(index.entry_count()));
+  registry.gauge("model.index.planes").set(static_cast<double>(planes));
+  return index;
+}
+
+}  // namespace magus::model

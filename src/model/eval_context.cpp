@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "lte/amc.h"
 #include "lte/bandwidth.h"
+#include "model/coverage_index.h"
+#include "model/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/units.h"
@@ -28,8 +31,58 @@ EvalContext::EvalContext(const MarketContext* market) : market_(market) {
   if (market_ == nullptr) {
     throw std::invalid_argument("EvalContext: market must not be null");
   }
+  // Exact-capacity reservation up front: every later reset() in a full
+  // rebuild then reuses the same allocations.
+  state_.reserve(static_cast<std::size_t>(market_->cell_count()));
   config_ = network().default_configuration();
   rebuild();
+}
+
+void EvalContext::set_use_coverage_index(bool enabled) {
+  if (!enabled) {
+    index_ = nullptr;
+    off_index_active_ = 0;
+    return;
+  }
+  index_ = market_->coverage_index();
+  if (index_ == nullptr) {
+    throw std::logic_error(
+        "EvalContext::set_use_coverage_index: build the market's coverage "
+        "index first (MarketContext::ensure_coverage_index)");
+  }
+  sync_index_bookkeeping();
+}
+
+void EvalContext::sync_index_bookkeeping() {
+  if (index_ == nullptr) {
+    off_index_active_ = 0;
+    return;
+  }
+  // Refresh the flat per-sector mirrors in the same pass. O(sectors) is
+  // noise next to the O(cells) state copies on every code path that calls
+  // this, and it keeps the span scans free of Configuration/index gathers.
+  const std::size_t sector_count = network().sector_count();
+  active_plane_.assign(sector_count, nullptr);
+  active_plane_mw_.assign(sector_count, nullptr);
+  sector_power_.resize(sector_count);
+  double cap = -std::numeric_limits<double>::infinity();
+  int off = 0;
+  for (const auto& sector : network().sectors()) {
+    const auto& setting = config_[sector.id];
+    const auto s = static_cast<std::size_t>(sector.id);
+    sector_power_[s] = setting.power_dbm;
+    if (!setting.active) continue;
+    const float* gains = index_->plane_gains(sector.id, setting.tilt);
+    if (gains == nullptr) {
+      ++off;
+    } else {
+      active_plane_[s] = gains;
+      active_plane_mw_[s] = index_->plane_linear(sector.id, setting.tilt);
+      cap = std::max(cap, setting.power_dbm);
+    }
+  }
+  power_cap_ = cap;
+  off_index_active_ = off;
 }
 
 void EvalContext::set_configuration(const net::Configuration& config) {
@@ -52,24 +105,112 @@ void EvalContext::rebuild() {
   state_.reset(static_cast<std::size_t>(cell_count()));
   current_footprint_.assign(network().sector_count(), nullptr);
   for (const auto& sector : network().sectors()) {
-    const auto& setting = config_[sector.id];
     current_footprint_[static_cast<std::size_t>(sector.id)] =
-        &market_->provider().footprint(sector.id, setting.tilt);
-    if (setting.active) {
-      add_contribution(sector.id, footprint_of(sector.id), setting.power_dbm);
+        &market_->provider().footprint(sector.id, config_[sector.id].tilt);
+  }
+  // Re-fetch the market's index: a configuration reset is the safe point
+  // to pick up an index the market rebuilt since this context bound it.
+  if (index_ != nullptr) index_ = market_->coverage_index();
+  sync_index_bookkeeping();
+  if (index_ != nullptr && off_index_active_ == 0) {
+    static obs::Counter& sweeps =
+        obs::MetricsRegistry::global().counter("model.rebuild.index_sweeps");
+    sweeps.add(1);
+    rebuild_index_sweep();
+  } else {
+    if (index_ != nullptr) {
+      // Index bound but an active sector sits at an unindexed tilt:
+      // sector-major fallback. Tracked so perf work can spot a market
+      // whose searches keep leaving the indexed tilt planes.
+      static obs::Counter& legacy =
+          obs::MetricsRegistry::global().counter("model.rebuild.legacy");
+      legacy.add(1);
+    }
+    for (const auto& sector : network().sectors()) {
+      const auto& setting = config_[sector.id];
+      if (setting.active) {
+        add_contribution(sector.id, footprint_of(sector.id),
+                         setting.power_dbm);
+      }
     }
   }
   invalidate_loads();
 }
 
+void EvalContext::rebuild_index_sweep() {
+  // Grid-major CSR sweep: one pass over the cells, each accumulating its
+  // total and top-2 from its contiguous cover span. Entries come out in
+  // ascending sector-id order — the same per-cell visit order as the
+  // sector-major add_contribution loop — so both the float top-2 stream
+  // and the double total_mw accumulation are bit-identical to the legacy
+  // path.
+  // rebuild() ran sync_index_bookkeeping just before dispatching here, so
+  // the per-sector mirrors are current. The 10^(P/10) factors are hoisted
+  // here rather than mirrored: only this sweep needs them all, and one
+  // pow per sector per full rebuild matches the legacy path's cost.
+  const std::size_t sector_count = network().sector_count();
+  std::vector<double> plin_store(sector_count, 0.0);
+  for (std::size_t s = 0; s < sector_count; ++s) {
+    if (active_plane_[s] != nullptr) {
+      plin_store[s] = util::dbm_to_mw(sector_power_[s]);
+    }
+  }
+  const float* const* plane = active_plane_.data();
+  const float* const* plane_mw = active_plane_mw_.data();
+  const double* power = sector_power_.data();
+  const double* plin = plin_store.data();
+  const std::int32_t cells = cell_count();
+  for (geo::GridIndex g = 0; g < cells; ++g) {
+    const CoverageIndex::Row row = index_->row(g);
+    double total = 0.0;
+    net::SectorId best = net::kInvalidSector;
+    float best_rp = kNoSignalDbm;
+    double best_mw = 0.0;
+    net::SectorId second = net::kInvalidSector;
+    float second_rp = kNoSignalDbm;
+    for (std::uint32_t k = 0; k < row.size; ++k) {
+      const net::SectorId s = row.sectors[k];
+      const float* gains = plane[static_cast<std::size_t>(s)];
+      if (gains == nullptr) continue;  // inactive
+      const float gain = gains[row.first + k];
+      if (std::isnan(gain)) continue;  // uncovered at the current tilt
+      const auto rp =
+          static_cast<float>(power[static_cast<std::size_t>(s)] + gain);
+      const double mw = plin[static_cast<std::size_t>(s)] *
+                        static_cast<double>(
+                            plane_mw[static_cast<std::size_t>(s)]
+                                    [row.first + k]);
+      total += mw;
+      if (beats(rp, s, best_rp, best)) {
+        second = best;
+        second_rp = best_rp;
+        best = s;
+        best_rp = rp;
+        best_mw = mw;
+      } else if (beats(rp, s, second_rp, second)) {
+        second = s;
+        second_rp = rp;
+      }
+    }
+    const auto i = static_cast<std::size_t>(g);
+    state_.total_mw[i] = total;
+    state_.best[i] = best;
+    state_.best_rp_dbm[i] = best_rp;
+    state_.best_mw[i] = best_mw;
+    state_.second[i] = second;
+    state_.second_rp_dbm[i] = second_rp;
+  }
+}
+
 void EvalContext::offer_candidate(geo::GridIndex g, net::SectorId sector,
-                                  float rp_dbm) {
+                                  float rp_dbm, double mw) {
   const auto i = static_cast<std::size_t>(g);
   if (beats(rp_dbm, sector, state_.best_rp_dbm[i], state_.best[i])) {
     state_.second[i] = state_.best[i];
     state_.second_rp_dbm[i] = state_.best_rp_dbm[i];
     state_.best[i] = sector;
     state_.best_rp_dbm[i] = rp_dbm;
+    state_.best_mw[i] = mw;
   } else if (beats(rp_dbm, sector, state_.second_rp_dbm[i],
                    state_.second[i])) {
     state_.second[i] = sector;
@@ -80,44 +221,139 @@ void EvalContext::offer_candidate(geo::GridIndex g, net::SectorId sector,
 void EvalContext::add_contribution(
     net::SectorId sector, const pathloss::SectorFootprint& footprint,
     double power_dbm) {
-  footprint.for_each_covered([&](geo::GridIndex g, float gain) {
-    const auto i = static_cast<std::size_t>(g);
-    const auto rp = static_cast<float>(power_dbm + gain);
-    state_.total_mw[i] += util::dbm_to_mw(rp);
-    offer_candidate(g, sector, rp);
-  });
+  // One hoisted dBm->mW conversion per sweep: cell contribution in mW is
+  // 10^(P/10) * 10^(gain/10), with the second factor precomputed in the
+  // footprint's linear window. remove_contribution and the index sweep
+  // form the identical product, so contributions cancel exactly.
+  const double p_lin = util::dbm_to_mw(power_dbm);
+  footprint.for_each_covered_linear(
+      [&](geo::GridIndex g, float gain, float linear) {
+        const auto i = static_cast<std::size_t>(g);
+        const auto rp = static_cast<float>(power_dbm + gain);
+        const double mw = p_lin * static_cast<double>(linear);
+        state_.total_mw[i] += mw;
+        offer_candidate(g, sector, rp, mw);
+      });
   invalidate_loads();
 }
 
 void EvalContext::remove_contribution(
     net::SectorId sector, const pathloss::SectorFootprint& footprint,
     double power_dbm) {
-  footprint.for_each_covered([&](geo::GridIndex g, float gain) {
-    const auto i = static_cast<std::size_t>(g);
-    const auto rp = static_cast<float>(power_dbm + gain);
-    state_.total_mw[i] =
-        std::max(0.0, state_.total_mw[i] - util::dbm_to_mw(rp));
-    if (state_.best[i] == sector || state_.second[i] == sector) {
-      recompute_top2(g);
-    }
-  });
+  const double p_lin = util::dbm_to_mw(power_dbm);
+  footprint.for_each_covered_linear(
+      [&](geo::GridIndex g, float /*gain*/, float linear) {
+        const auto i = static_cast<std::size_t>(g);
+        state_.total_mw[i] = std::max(
+            0.0, state_.total_mw[i] - p_lin * static_cast<double>(linear));
+        if (state_.best[i] == sector || state_.second[i] == sector) {
+          recompute_top2(g);
+        }
+      });
   invalidate_loads();
 }
 
 void EvalContext::recompute_top2(geo::GridIndex g) {
-  const auto i = static_cast<std::size_t>(g);
-  state_.best[i] = net::kInvalidSector;
-  state_.best_rp_dbm[i] = kNoSignalDbm;
-  state_.second[i] = net::kInvalidSector;
-  state_.second_rp_dbm[i] = kNoSignalDbm;
-  for (const auto& sector : network().sectors()) {
-    const auto& setting = config_[sector.id];
-    if (!setting.active) continue;
-    const auto& fp = footprint_of(sector.id);
-    if (!fp.covers(g)) continue;
-    const auto rp = static_cast<float>(setting.power_dbm + fp.gain_db(g));
-    offer_candidate(g, sector.id, rp);
+  // Top-2 selection under beats() is a strict total order, so the result
+  // is independent of enumeration order: the CSR span scan, its off-index
+  // fallback pass, and the legacy all-sectors probe all produce the same
+  // (best, second) bit-for-bit.
+  // kFootprintCol marks a winner offered from a footprint probe (fallback
+  // or legacy path) rather than an index entry; the mW factor then comes
+  // from the footprint's linear window instead of the plane array.
+  constexpr std::uint32_t kFootprintCol =
+      std::numeric_limits<std::uint32_t>::max();
+  net::SectorId best = net::kInvalidSector;
+  float best_rp = kNoSignalDbm;
+  std::uint32_t best_col = kFootprintCol;
+  net::SectorId second = net::kInvalidSector;
+  float second_rp = kNoSignalDbm;
+  const auto offer = [&](net::SectorId s, float rp, std::uint32_t col) {
+    if (beats(rp, s, best_rp, best)) {
+      second = best;
+      second_rp = best_rp;
+      best = s;
+      best_rp = rp;
+      best_col = col;
+    } else if (beats(rp, s, second_rp, second)) {
+      second = s;
+      second_rp = rp;
+    }
+  };
+  if (index_ != nullptr) {
+    // Ranked scan with early exit: entries arrive in descending gain-bound
+    // order, and power_cap_ + bounds[k] majorizes every received power
+    // from entry k on. Once that bound falls strictly below the current
+    // runner-up nothing later can enter the top-2, so the scan stops —
+    // typically after a handful of entries. float rounding is monotone, so
+    // comparing the float-rounded bound keeps the exit exact: any later
+    // rp rounds to at most the rounded bound, which is < second_rp.
+    // active_plane_[s] == nullptr folds "inactive" and "off-index" into
+    // one branch; the fallback pass below covers the off-index sectors.
+    const CoverageIndex::RankedRow row = index_->ranked_row(g);
+    const float* const* plane = active_plane_.data();
+    const double* power = sector_power_.data();
+    const double cap = power_cap_;
+    for (std::uint32_t k = 0; k < row.size; ++k) {
+      if (static_cast<float>(cap + row.bounds[k]) < second_rp) break;
+      const net::SectorId s = row.sectors[k];
+      const float* gains = plane[static_cast<std::size_t>(s)];
+      if (gains == nullptr) continue;
+      const float gain = gains[row.cols[k]];
+      if (std::isnan(gain)) continue;  // uncovered at the current tilt
+      offer(s, static_cast<float>(power[static_cast<std::size_t>(s)] + gain),
+            row.cols[k]);
+    }
+    if (off_index_active_ > 0) {
+      // Sectors at unindexed tilts are invisible to the span scan; probe
+      // their footprints directly. The counter may briefly over-count
+      // mid-mutation (harmless: the loop re-checks every predicate), but
+      // it never under-counts while recompute can run.
+      for (const auto& sector : network().sectors()) {
+        const auto& setting = config_[sector.id];
+        if (!setting.active ||
+            index_->sector_tilt_indexed(sector.id, setting.tilt)) {
+          continue;
+        }
+        const auto& fp = footprint_of(sector.id);
+        if (!fp.covers(g)) continue;
+        offer(sector.id,
+              static_cast<float>(setting.power_dbm + fp.gain_db(g)),
+              kFootprintCol);
+      }
+    }
+  } else {
+    for (const auto& sector : network().sectors()) {
+      const auto& setting = config_[sector.id];
+      if (!setting.active) continue;
+      const auto& fp = footprint_of(sector.id);
+      if (!fp.covers(g)) continue;
+      offer(sector.id,
+            static_cast<float>(setting.power_dbm + fp.gain_db(g)),
+            kFootprintCol);
+    }
   }
+  const auto i = static_cast<std::size_t>(g);
+  // Re-form the winner's exact contribution: dbm_to_mw is deterministic
+  // and the linear factor is the same stored float the accumulation used,
+  // so this product is bit-identical to what total_mw absorbed.
+  double best_mw = 0.0;
+  if (best != net::kInvalidSector) {
+    const auto b = static_cast<std::size_t>(best);
+    const double p_lin = util::dbm_to_mw(
+        index_ != nullptr ? sector_power_[b] : config_[best].power_dbm);
+    const double lin =
+        best_col != kFootprintCol
+            ? static_cast<double>(
+                  active_plane_mw_[b][best_col])
+            : static_cast<double>(footprint_of(best).linear_gain(g));
+    best_mw = p_lin * lin;
+  }
+  state_.best[i] = best;
+  state_.best_rp_dbm[i] = best_rp;
+  state_.best_mw[i] = best_mw;
+  state_.second[i] = second;
+  state_.second_rp_dbm[i] = second_rp;
 }
 
 void EvalContext::set_power(net::SectorId sector, double power_dbm) {
@@ -127,23 +363,36 @@ void EvalContext::set_power(net::SectorId sector, double power_dbm) {
   const double old_power = setting.power_dbm;
   if (clamped == old_power) return;
   setting.power_dbm = clamped;
+  if (index_ != nullptr) {
+    // Keep the power mirrors current before the sweep: recompute_top2
+    // reads them for the changed sector's new received power. The cap only
+    // ratchets up here — after a decrease it is conservatively stale-high
+    // (fewer early exits, same results) until the next full sync.
+    sector_power_[static_cast<std::size_t>(sector)] = clamped;
+    power_cap_ = std::max(power_cap_, clamped);
+  }
   if (!setting.active) return;  // config changed; no radio contribution
 
   const auto& fp = footprint_of(sector);
   const bool decreasing = clamped < old_power;
+  const double old_plin = util::dbm_to_mw(old_power);
+  const double new_plin = util::dbm_to_mw(clamped);
   // Both received powers are formed as float(power + gain) — the exact
   // expression rebuild()/add_contribution use — so the stored per-grid rp
   // values stay bit-identical to a from-scratch rebuild at the new
-  // configuration (the equivalence tests rely on this).
-  fp.for_each_covered([&](geo::GridIndex g, float gain) {
+  // configuration (the equivalence tests rely on this). The mW delta uses
+  // the same hoisted 10^(P/10) * linear products as add/remove, so the
+  // old contribution cancels exactly.
+  fp.for_each_covered_linear([&](geo::GridIndex g, float gain, float linear) {
     const auto i = static_cast<std::size_t>(g);
-    const auto old_rp = static_cast<float>(old_power + gain);
     const auto new_rp = static_cast<float>(clamped + gain);
-    state_.total_mw[i] = std::max(
-        0.0, state_.total_mw[i] + util::dbm_to_mw(new_rp) -
-                 util::dbm_to_mw(old_rp));
+    const auto lin = static_cast<double>(linear);
+    const double new_mw = new_plin * lin;
+    state_.total_mw[i] =
+        std::max(0.0, state_.total_mw[i] + new_mw - old_plin * lin);
     if (state_.best[i] == sector) {
       state_.best_rp_dbm[i] = new_rp;
+      state_.best_mw[i] = new_mw;
       if (decreasing && beats(state_.second_rp_dbm[i], state_.second[i],
                               new_rp, sector)) {
         recompute_top2(g);
@@ -157,9 +406,10 @@ void EvalContext::set_power(net::SectorId sector, double power_dbm) {
                        state_.best[i])) {
         std::swap(state_.best[i], state_.second[i]);
         std::swap(state_.best_rp_dbm[i], state_.second_rp_dbm[i]);
+        state_.best_mw[i] = new_mw;
       }
     } else {
-      offer_candidate(g, sector, new_rp);
+      offer_candidate(g, sector, new_rp, new_mw);
     }
   });
   invalidate_loads();
@@ -169,6 +419,9 @@ void EvalContext::set_active(net::SectorId sector, bool active) {
   auto& setting = config_[sector];
   if (setting.active == active) return;
   setting.active = active;
+  // Mirrors must reflect the flip before the sweep: remove_contribution's
+  // recompute_top2 calls read active_plane_ to skip the demoted sector.
+  sync_index_bookkeeping();
   const auto& fp = footprint_of(sector);
   if (active) {
     add_contribution(sector, fp, setting.power_dbm);
@@ -190,6 +443,7 @@ void EvalContext::set_tilt(net::SectorId sector, int tilt_index) {
   const bool was_active = setting.active;
   if (was_active) {
     setting.active = false;
+    sync_index_bookkeeping();  // hide the sector from recompute's span scan
     remove_contribution(sector, old_fp, setting.power_dbm);
   }
   setting.tilt = clamped;
@@ -198,6 +452,7 @@ void EvalContext::set_tilt(net::SectorId sector, int tilt_index) {
     setting.active = true;
     add_contribution(sector, new_fp, setting.power_dbm);
   }
+  sync_index_bookkeeping();
 }
 
 void EvalContext::restore(const Snapshot& snapshot) {
@@ -214,6 +469,7 @@ void EvalContext::restore(const Snapshot& snapshot) {
     }
   }
   config_ = snapshot.config;
+  sync_index_bookkeeping();
   invalidate_loads();
 }
 
@@ -227,7 +483,10 @@ double EvalContext::sinr_db(geo::GridIndex g) const {
   const auto i = static_cast<std::size_t>(g);
   const double rp_dbm = state_.best_rp_dbm[i];
   if (state_.best[i] == net::kInvalidSector) return rp_dbm;  // -inf
-  return sinr_from(rp_dbm, util::dbm_to_mw(rp_dbm), state_.total_mw[i]);
+  // best_mw is the exact product accumulated into total_mw, so the
+  // interference subtraction inside sinr_from cancels exactly — no
+  // per-call pow and no float-rounding residue near the noise floor.
+  return sinr_from(rp_dbm, state_.best_mw[i], state_.total_mw[i]);
 }
 
 lte::Cqi EvalContext::cqi(geo::GridIndex g) const {
@@ -262,15 +521,9 @@ std::vector<net::SectorId> EvalContext::service_map() const {
 
 const std::vector<double>& EvalContext::sector_loads() const {
   if (!loads_valid_) {
-    const auto ue_density = market_->ue_density();
-    sector_loads_.assign(network().sector_count(), 0.0);
-    for (geo::GridIndex g = 0; g < cell_count(); ++g) {
-      const auto i = static_cast<std::size_t>(g);
-      const net::SectorId s = state_.best[i];
-      if (s == net::kInvalidSector || ue_density[i] <= 0.0) continue;
-      if (!in_service(g)) continue;
-      sector_loads_[static_cast<std::size_t>(s)] += ue_density[i];
-    }
+    sector_loads_.resize(network().sector_count());
+    loads_kernel(state_, market_->ue_density(), market_->noise_mw(),
+                 options().min_service_sinr_db, sector_loads_);
     loads_valid_ = true;
   }
   return sector_loads_;
@@ -324,11 +577,13 @@ bool EvalContext::power_delta_improves_rate(net::SectorId b, double delta_db,
   const double new_power = meta.clamp_power(setting.power_dbm + delta_db);
   if (new_power == setting.power_dbm) return false;  // clamped away
 
-  const double old_rp = setting.power_dbm + fp.gain_db(g);
   const double new_rp = new_power + fp.gain_db(g);
+  // Same hoisted-linear products the mutation sweeps apply, so the probed
+  // total matches what set_power would actually store.
+  const double lin = fp.linear_gain(g);
   const double new_total = std::max(
-      0.0,
-      state_.total_mw[i] - util::dbm_to_mw(old_rp) + util::dbm_to_mw(new_rp));
+      0.0, state_.total_mw[i] - util::dbm_to_mw(setting.power_dbm) * lin +
+               util::dbm_to_mw(new_power) * lin);
 
   return probe_rate_bps(b, new_rp, new_total, g) >
          rate_bps(g) * (1.0 + 1e-9);
@@ -345,14 +600,11 @@ bool EvalContext::tilt_improves_rate(net::SectorId b, int tilt,
 
   const auto& old_fp = footprint_of(b);
   const auto& new_fp = market_->provider().footprint(b, clamped);
-  const double old_rp_or_ninf =
-      setting.power_dbm + old_fp.gain_or_ninf_db(g);
   const double new_rp_or_ninf =
       setting.power_dbm + new_fp.gain_or_ninf_db(g);
-  const double old_mw =
-      std::isfinite(old_rp_or_ninf) ? util::dbm_to_mw(old_rp_or_ninf) : 0.0;
-  const double new_mw =
-      std::isfinite(new_rp_or_ninf) ? util::dbm_to_mw(new_rp_or_ninf) : 0.0;
+  const double p_lin = util::dbm_to_mw(setting.power_dbm);
+  const double old_mw = p_lin * old_fp.linear_or_zero(g);
+  const double new_mw = p_lin * new_fp.linear_or_zero(g);
   const double new_total = std::max(0.0, state_.total_mw[i] - old_mw + new_mw);
 
   return probe_rate_bps(b, new_rp_or_ninf, new_total, g) >

@@ -111,6 +111,20 @@ class EvalContext {
   [[nodiscard]] const GridState& state() const { return state_; }
   [[nodiscard]] double noise_mw() const { return market_->noise_mw(); }
 
+  // ---- Coverage-index fast path ----
+
+  /// Binds (or unbinds) the market's grid-major coverage index. When
+  /// bound, recompute_top2 scans the cell's CSR cover span instead of
+  /// probing every sector, and full rebuilds run as one grid-major sweep;
+  /// results are bit-identical either way. The market's index must be
+  /// built first (MarketContext::ensure_coverage_index); sectors sitting
+  /// at tilts outside the indexed planes fall back to direct footprint
+  /// probes automatically. Clones inherit the binding.
+  void set_use_coverage_index(bool enabled);
+  [[nodiscard]] bool use_coverage_index() const {
+    return index_ != nullptr;
+  }
+
   // ---- Candidate probing (Algorithm 1 line 4) ----
 
   /// Would changing sector b's power by delta_db improve grid g's *actual*
@@ -134,6 +148,12 @@ class EvalContext {
 
  private:
   void rebuild();
+  /// Grid-major CSR rebuild (requires every active sector on-index).
+  void rebuild_index_sweep();
+  /// Recounts active sectors whose tilt has no index plane; they force
+  /// recompute_top2 onto the footprint-probe fallback and full rebuilds
+  /// onto the legacy sector-major path.
+  void sync_index_bookkeeping();
   /// Approximate post-change actual rate of grid g when sector `changed`
   /// would be received at `changed_rp` and the cell's total received power
   /// becomes `new_total_mw` (shared probe core for power/tilt candidates).
@@ -149,7 +169,11 @@ class EvalContext {
   /// Re-ranks the top-2 servers of one grid by scanning active sectors.
   void recompute_top2(geo::GridIndex g);
   /// Offers (sector, rp) as a candidate server for g; O(1) promotion.
-  void offer_candidate(geo::GridIndex g, net::SectorId sector, float rp_dbm);
+  /// `mw` is the sector's exact mW contribution (the same 10^(P/10) *
+  /// linear product added to total_mw) — stored as best_mw if the
+  /// candidate wins so interference subtraction cancels exactly.
+  void offer_candidate(geo::GridIndex g, net::SectorId sector, float rp_dbm,
+                       double mw);
   [[nodiscard]] double sinr_from(double rp_dbm, double rp_mw,
                                  double total_mw) const;
   [[nodiscard]] const pathloss::SectorFootprint& footprint_of(
@@ -163,6 +187,26 @@ class EvalContext {
   /// Footprint in effect per sector (at its current tilt); points into the
   /// provider's caches, which stay valid for the provider's lifetime.
   std::vector<const pathloss::SectorFootprint*> current_footprint_;
+  /// The market's shared coverage index, or nullptr when the legacy scan
+  /// paths are in effect (see set_use_coverage_index).
+  const CoverageIndex* index_ = nullptr;
+  /// Active sectors whose current tilt has no index plane (0 on the pure
+  /// fast path; maintained by sync_index_bookkeeping).
+  int off_index_active_ = 0;
+  /// Per-sector mirrors so the span scans touch flat arrays instead of
+  /// gathering from Configuration + index lookups per entry:
+  /// active_plane_[s] is the dB gain plane of s's current tilt when s is
+  /// active and on-index, nullptr otherwise (one branch folds the active
+  /// check, the tilt lookup and the off-index case); active_plane_mw_[s]
+  /// is its linear twin; sector_power_[s] mirrors config_[s].power_dbm.
+  /// power_cap_ bounds every active on-index sector's power
+  /// (conservatively stale-high after a power decrease) —
+  /// recompute_top2's ranked early exit relies on it. All kept in sync by
+  /// sync_index_bookkeeping + the set_power fast update.
+  std::vector<const float*> active_plane_;
+  std::vector<const float*> active_plane_mw_;
+  std::vector<double> sector_power_;
+  double power_cap_ = 0.0;
 
   mutable std::vector<double> sector_loads_;
   mutable bool loads_valid_ = false;

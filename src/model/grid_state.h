@@ -23,6 +23,12 @@ struct GridState {
   /// Strongest server per cell (kInvalidSector = none).
   std::vector<net::SectorId> best;
   std::vector<float> best_rp_dbm;
+  /// The best server's exact mW contribution to total_mw (0 = no server).
+  /// Interference is total_mw - best_mw: subtracting the identical product
+  /// that was accumulated cancels exactly, which matters because the
+  /// difference sits near the noise floor where any conversion mismatch
+  /// would swamp it.
+  std::vector<double> best_mw;
   /// Runner-up per cell (kInvalidSector = none).
   std::vector<net::SectorId> second;
   std::vector<float> second_rp_dbm;
@@ -30,10 +36,23 @@ struct GridState {
   GridState() = default;
   explicit GridState(std::size_t cells) { reset(cells); }
 
+  /// Pre-allocates exact capacity for `cells` without initializing. Called
+  /// once at context construction so the reset() in every subsequent full
+  /// rebuild reuses the same allocations (no churn on large markets).
+  void reserve(std::size_t cells) {
+    total_mw.reserve(cells);
+    best.reserve(cells);
+    best_rp_dbm.reserve(cells);
+    best_mw.reserve(cells);
+    second.reserve(cells);
+    second_rp_dbm.reserve(cells);
+  }
+
   void reset(std::size_t cells) {
     total_mw.assign(cells, 0.0);
     best.assign(cells, net::kInvalidSector);
     best_rp_dbm.assign(cells, kNoSignalDbm);
+    best_mw.assign(cells, 0.0);
     second.assign(cells, net::kInvalidSector);
     second_rp_dbm.assign(cells, kNoSignalDbm);
   }

@@ -1,0 +1,68 @@
+#include "model/kernels.h"
+
+#include <algorithm>
+
+#include "util/units.h"
+
+namespace magus::model {
+
+lte::Cqi cell_cqi(net::SectorId best, float best_rp_dbm, double best_mw,
+                  double total_mw, double noise_mw,
+                  double min_service_sinr_db) {
+  // Mirrors EvalContext::sinr_db + ::cqi exactly: rp promoted to double,
+  // interference floored at zero, and the no-server case flowing through
+  // as -inf SINR (below every service threshold).
+  const double rp_dbm = best_rp_dbm;
+  double sinr = rp_dbm;
+  if (best != net::kInvalidSector) {
+    const double interference_mw = std::max(0.0, total_mw - best_mw);
+    sinr = rp_dbm - util::mw_to_dbm(noise_mw + interference_mw);
+  }
+  if (sinr < min_service_sinr_db) return 0;
+  return lte::sinr_to_cqi(sinr);
+}
+
+void cqi_and_loads_kernel(const GridState& state,
+                          std::span<const double> ue_density, double noise_mw,
+                          double min_service_sinr_db,
+                          std::span<std::int8_t> cqi_out,
+                          std::span<double> loads_out) {
+  std::fill(loads_out.begin(), loads_out.end(), 0.0);
+  const std::size_t cells = state.cells();
+  const double* total_mw = state.total_mw.data();
+  const net::SectorId* best = state.best.data();
+  const float* best_rp = state.best_rp_dbm.data();
+  const double* best_mw = state.best_mw.data();
+  for (std::size_t i = 0; i < cells; ++i) {
+    const lte::Cqi cqi = cell_cqi(best[i], best_rp[i], best_mw[i],
+                                  total_mw[i], noise_mw,
+                                  min_service_sinr_db);
+    cqi_out[i] = static_cast<std::int8_t>(cqi);
+    if (cqi > 0 && ue_density[i] > 0.0) {
+      loads_out[static_cast<std::size_t>(best[i])] += ue_density[i];
+    }
+  }
+}
+
+void loads_kernel(const GridState& state, std::span<const double> ue_density,
+                  double noise_mw, double min_service_sinr_db,
+                  std::span<double> loads_out) {
+  std::fill(loads_out.begin(), loads_out.end(), 0.0);
+  const std::size_t cells = state.cells();
+  const double* total_mw = state.total_mw.data();
+  const net::SectorId* best = state.best.data();
+  const float* best_rp = state.best_rp_dbm.data();
+  const double* best_mw = state.best_mw.data();
+  for (std::size_t i = 0; i < cells; ++i) {
+    // Skipping no-UE cells first keeps the SINR math off empty territory;
+    // the load sum is unaffected (those cells contribute nothing either
+    // way), so this stays equivalent to the fused variant.
+    if (ue_density[i] <= 0.0 || best[i] == net::kInvalidSector) continue;
+    if (cell_cqi(best[i], best_rp[i], best_mw[i], total_mw[i], noise_mw,
+                 min_service_sinr_db) > 0) {
+      loads_out[static_cast<std::size_t>(best[i])] += ue_density[i];
+    }
+  }
+}
+
+}  // namespace magus::model

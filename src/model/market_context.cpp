@@ -25,4 +25,14 @@ void MarketContext::set_ue_density(std::vector<double> density) {
   ue_density_ = std::move(density);
 }
 
+void MarketContext::build_coverage_index(
+    const CoverageIndexOptions& options) {
+  index_ = std::make_unique<CoverageIndex>(
+      CoverageIndex::build(*network_, *provider_, options));
+}
+
+void MarketContext::ensure_coverage_index() {
+  if (!index_) build_coverage_index();
+}
+
 }  // namespace magus::model

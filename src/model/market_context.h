@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "lte/amc.h"
 #include "lte/scheduler.h"
+#include "model/coverage_index.h"
 #include "net/network.h"
 #include "pathloss/database.h"
 
@@ -58,12 +60,32 @@ class MarketContext {
   /// Driver-thread only; must not race with parallel evaluation.
   void set_ue_density(std::vector<double> density);
 
+  // ---- Grid-major inverted coverage index (see coverage_index.h) ----
+
+  /// Builds (or rebuilds, e.g. with a wider tilt radius) the coverage
+  /// index. Driver-thread only; must not race with parallel evaluation —
+  /// EvalContexts hold raw pointers into the index, so rebuild only while
+  /// no context has it bound (ParallelEvaluator builds it up front).
+  void build_coverage_index(const CoverageIndexOptions& options = {});
+  /// Builds the index with default options iff it does not exist yet.
+  void ensure_coverage_index();
+  /// The shared index, or nullptr before the first build.
+  [[nodiscard]] const CoverageIndex* coverage_index() const {
+    return index_.get();
+  }
+  /// Heap bytes held by the index (0 before the first build); surfaced in
+  /// the model.index.bytes gauge of --metrics snapshots.
+  [[nodiscard]] std::size_t index_bytes() const {
+    return index_ ? index_->index_bytes() : 0;
+  }
+
  private:
   const net::Network* network_;
   pathloss::PathLossProvider* provider_;
   ModelOptions options_;
   std::vector<double> ue_density_;
   double noise_mw_ = 0.0;
+  std::unique_ptr<CoverageIndex> index_;
 };
 
 }  // namespace magus::model

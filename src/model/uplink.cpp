@@ -94,12 +94,45 @@ double UplinkModel::rate_bps(geo::GridIndex g) const {
 }
 
 double UplinkModel::performance_utility() const {
+  // Batched form of the per-cell chain rate_bps -> sinr_db ->
+  // interference_plus_noise_mw: the interference-plus-noise term (and its
+  // dBm form) depends only on the serving sector, so it is hoisted into
+  // per-sector tables once instead of recomputing the O(#sectors) load
+  // average for every cell. Per-cell math is unchanged — same operations
+  // on the same hoisted values — so the result is bit-identical to the
+  // accessor path.
   const auto ue = downlink_->ue_density();
+  const auto& loads = downlink_->sector_loads();
+  const std::size_t sector_count = loads.size();
+  std::vector<double> ipn_dbm(sector_count);
+  for (std::size_t s = 0; s < sector_count; ++s) {
+    ipn_dbm[s] = util::mw_to_dbm(
+        interference_plus_noise_mw(static_cast<net::SectorId>(s)));
+  }
+  const double min_sinr = downlink_->options().min_service_sinr_db;
+  const auto bandwidth = downlink_->network().carrier().bandwidth;
+  const auto& scheduler = downlink_->options().scheduler;
+  const auto& config = downlink_->configuration();
+  const model::GridState& state = downlink_->state();
+
   double total = 0.0;
-  for (geo::GridIndex g = 0; g < downlink_->cell_count(); ++g) {
-    const double ues = ue[static_cast<std::size_t>(g)];
+  const auto cells = static_cast<std::size_t>(downlink_->cell_count());
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double ues = ue[i];
     if (ues <= 0.0) continue;
-    const double rate = rate_bps(g);
+    const net::SectorId s = state.best[i];
+    if (s == net::kInvalidSector) continue;
+    const double pl =
+        config[s].power_dbm - static_cast<double>(state.best_rp_dbm[i]);
+    const double tx =
+        std::min(params_.ue_max_power_dbm, params_.p0_dbm + params_.alpha * pl);
+    const double sinr =
+        (tx - pl) - ipn_dbm[static_cast<std::size_t>(s)];
+    if (sinr < min_sinr) continue;
+    const double peak = lte::max_rate_bps(sinr, bandwidth);
+    if (peak <= 0.0) continue;
+    const double rate =
+        scheduler.shared_rate_bps(peak, loads[static_cast<std::size_t>(s)]);
     if (rate > 0.0) total += ues * std::log(rate);
   }
   return total;

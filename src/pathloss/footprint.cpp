@@ -75,9 +75,17 @@ SectorFootprint::SectorFootprint(std::int32_t grid_cols,
 void SectorFootprint::apply_floor_and_count() {
   const auto nan = std::numeric_limits<float>::quiet_NaN();
   covered_count_ = 0;
-  for (auto& v : window_) {
+  linear_.assign(window_.size(), 0.0f);
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    float& v = window_[i];
     if (!std::isnan(v) && v <= kFloorDb) v = nan;
-    if (!std::isnan(v)) ++covered_count_;
+    if (!std::isnan(v)) {
+      ++covered_count_;
+      // Same expression as util::dbm_to_mw, hoisted to construction time:
+      // one pow here saves one per rebuild/mutation sweep forever after.
+      linear_[i] = static_cast<float>(
+          std::pow(10.0, static_cast<double>(v) / 10.0));
+    }
   }
 }
 

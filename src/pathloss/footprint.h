@@ -88,7 +88,55 @@ class SectorFootprint {
     }
   }
 
+  /// Calls f(grid_index, gain_db, linear_gain) for every covered cell,
+  /// where linear_gain = 10^(gain/10) comes from the precomputed linear
+  /// window. Received power in mW is then one multiply
+  /// (10^(P/10) * linear_gain) instead of one pow per cell — the hoisted
+  /// dBm->mW conversion the model's contribution sweeps run on.
+  template <typename F>
+  void for_each_covered_linear(F&& f) const {
+    for (std::int32_t row = 0; row < window_rows_; ++row) {
+      const geo::GridIndex base = (row0_ + row) * grid_cols_ + col0_;
+      const std::size_t off = static_cast<std::size_t>(row) * window_cols_;
+      const float* line = window_.data() + off;
+      const float* lin = linear_.data() + off;
+      for (std::int32_t col = 0; col < window_cols_; ++col) {
+        if (!std::isnan(line[col])) f(base + col, line[col], lin[col]);
+      }
+    }
+  }
+
+  /// Linear-domain gain 10^(gain/10) at g. Requires covers(g).
+  [[nodiscard]] float linear_gain(geo::GridIndex g) const {
+    const std::int32_t col = g % grid_cols_ - col0_;
+    const std::int32_t row = g / grid_cols_ - row0_;
+    return linear_[static_cast<std::size_t>(row) * window_cols_ + col];
+  }
+  /// Linear-domain gain, or 0 when uncovered (zero received power).
+  [[nodiscard]] double linear_or_zero(geo::GridIndex g) const {
+    if (!covers(g)) return 0.0;
+    return linear_gain(g);
+  }
+
   [[nodiscard]] std::size_t covered_count() const { return covered_count_; }
+
+  /// One window row as a raw span (NaN = uncovered) plus the grid index of
+  /// its first cell: the grid-major export the coverage-index builder
+  /// sweeps, equivalent to for_each_covered but without the per-cell
+  /// callback. Rows ascend in grid order, so consumers that scan rows
+  /// 0..window_rows() visit covered cells in ascending grid index.
+  [[nodiscard]] std::span<const float> window_row(std::int32_t row) const {
+    return {window_.data() + static_cast<std::size_t>(row) * window_cols_,
+            static_cast<std::size_t>(window_cols_)};
+  }
+  /// Linear twin of window_row (0 = uncovered), aligned cell-for-cell.
+  [[nodiscard]] std::span<const float> linear_row(std::int32_t row) const {
+    return {linear_.data() + static_cast<std::size_t>(row) * window_cols_,
+            static_cast<std::size_t>(window_cols_)};
+  }
+  [[nodiscard]] geo::GridIndex row_first_cell(std::int32_t row) const {
+    return (row0_ + row) * grid_cols_ + col0_;
+  }
 
   /// Strongest gain in the footprint, or -infinity if empty.
   [[nodiscard]] double peak_gain_db() const;
@@ -113,6 +161,9 @@ class SectorFootprint {
   std::int32_t window_rows_ = 0;
   std::size_t covered_count_ = 0;
   std::vector<float> window_;
+  /// 10^(gain/10) per window cell (0 where uncovered), built once at
+  /// construction so every mW sweep replaces pow with a multiply.
+  std::vector<float> linear_;
 };
 
 }  // namespace magus::pathloss

@@ -1,0 +1,326 @@
+// Coverage-index correctness: the CSR inverted index must be an exact
+// transposition of the per-sector footprints (entry-for-entry, every
+// indexed tilt plane), the ranked layout an exact permutation of each
+// row, and the index-backed eval paths bit-identical to the legacy
+// all-sector probes on arbitrary mutation sequences — including the
+// off-index tilt fallback and cells no sector covers at all.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "model/analysis_model.h"
+#include "model/coverage_index.h"
+#include "model/eval_context.h"
+#include "test_helpers.h"
+
+namespace magus::model {
+namespace {
+
+using magus::testing::FakeProvider;
+using magus::testing::LineWorld;
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+/// Index-vs-legacy comparisons are exact: both paths form every float and
+/// double with the same expressions in the same order, so any mismatch is
+/// a divergence bug, not tolerance.
+void expect_states_bitwise_equal(const EvalContext& indexed,
+                                 const EvalContext& legacy,
+                                 const std::string& label) {
+  const GridState& a = indexed.state();
+  const GridState& b = legacy.state();
+  ASSERT_EQ(a.cells(), b.cells()) << label;
+  for (std::size_t i = 0; i < a.cells(); ++i) {
+    EXPECT_EQ(a.best[i], b.best[i]) << label << " cell " << i;
+    EXPECT_EQ(a.best_rp_dbm[i], b.best_rp_dbm[i]) << label << " cell " << i;
+    EXPECT_EQ(a.best_mw[i], b.best_mw[i]) << label << " cell " << i;
+    EXPECT_EQ(a.second[i], b.second[i]) << label << " cell " << i;
+    EXPECT_EQ(a.second_rp_dbm[i], b.second_rp_dbm[i])
+        << label << " cell " << i;
+    EXPECT_EQ(a.total_mw[i], b.total_mw[i]) << label << " cell " << i;
+  }
+}
+
+TEST(CoverageIndex, CsrMatchesFootprintsEntryForEntry) {
+  LineWorld world{12, 8.0};
+  const CoverageIndex index = CoverageIndex::build(
+      world.network, *world.provider, CoverageIndexOptions{.tilt_radius = 1});
+
+  ASSERT_EQ(index.cell_count(), 12);
+  EXPECT_GT(index.entry_count(), 0u);
+  EXPECT_GT(index.index_bytes(), 0u);
+  EXPECT_LE(index.tilt_lo(), -1);
+  EXPECT_GE(index.tilt_hi(), 1);
+
+  // Every row lists its covering sectors in strictly ascending id order
+  // (the property the bit-identity argument rests on).
+  for (geo::GridIndex g = 0; g < index.cell_count(); ++g) {
+    const CoverageIndex::Row row = index.row(g);
+    for (std::uint32_t k = 1; k < row.size; ++k) {
+      EXPECT_LT(row.sectors[k - 1], row.sectors[k]) << "cell " << g;
+    }
+  }
+
+  for (const net::SectorId s : {world.west, world.east}) {
+    for (int tilt = index.tilt_lo(); tilt <= index.tilt_hi(); ++tilt) {
+      if (!index.sector_tilt_indexed(s, tilt)) continue;
+      const float* gains = index.plane_gains(s, tilt);
+      const float* linear = index.plane_linear(s, tilt);
+      ASSERT_NE(gains, nullptr);
+      ASSERT_NE(linear, nullptr);
+      const auto& fp = world.provider->footprint(
+          s, static_cast<radio::TiltIndex>(tilt));
+
+      // Forward: every covered cell of the footprint appears in the
+      // cell's span with the exact same dB and linear values.
+      fp.for_each_covered_linear([&](geo::GridIndex g, float gain_db,
+                                     float gain_linear) {
+        const CoverageIndex::Row row = index.row(g);
+        const auto* end = row.sectors + row.size;
+        const auto* it = std::lower_bound(row.sectors, end, s);
+        ASSERT_TRUE(it != end && *it == s)
+            << "sector " << s << " missing from cell " << g;
+        const auto e = row.first + static_cast<std::uint32_t>(it - row.sectors);
+        EXPECT_EQ(gains[e], gain_db) << "cell " << g << " tilt " << tilt;
+        EXPECT_EQ(linear[e], gain_linear) << "cell " << g << " tilt " << tilt;
+      });
+
+      // Converse: every non-NaN plane entry for this sector is a cell the
+      // footprint really covers, with the same gain; NaN entries are
+      // covered at some other tilt but not this one.
+      for (geo::GridIndex g = 0; g < index.cell_count(); ++g) {
+        const CoverageIndex::Row row = index.row(g);
+        for (std::uint32_t k = 0; k < row.size; ++k) {
+          if (row.sectors[k] != s) continue;
+          const float v = gains[row.first + k];
+          if (std::isnan(v)) {
+            EXPECT_FALSE(fp.covers(g)) << "cell " << g << " tilt " << tilt;
+          } else {
+            ASSERT_TRUE(fp.covers(g)) << "cell " << g << " tilt " << tilt;
+            EXPECT_EQ(v, fp.gain_db(g));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CoverageIndex, RankedRowsArePermutationsInDescendingBoundOrder) {
+  LineWorld world{12, 8.0};
+  const CoverageIndex index = CoverageIndex::build(
+      world.network, *world.provider, CoverageIndexOptions{.tilt_radius = 1});
+
+  for (geo::GridIndex g = 0; g < index.cell_count(); ++g) {
+    const CoverageIndex::Row row = index.row(g);
+    const CoverageIndex::RankedRow ranked = index.ranked_row(g);
+    ASSERT_EQ(ranked.size, row.size);
+
+    std::vector<net::SectorId> csr(row.sectors, row.sectors + row.size);
+    std::vector<net::SectorId> perm(ranked.sectors,
+                                    ranked.sectors + ranked.size);
+    std::sort(perm.begin(), perm.end());
+    EXPECT_EQ(perm, csr) << "cell " << g << ": not a permutation";
+
+    for (std::uint32_t k = 0; k < ranked.size; ++k) {
+      // cols[k] is the global entry offset of the same sector's CSR slot.
+      ASSERT_GE(ranked.cols[k], row.first);
+      ASSERT_LT(ranked.cols[k], row.first + row.size);
+      EXPECT_EQ(row.sectors[ranked.cols[k] - row.first], ranked.sectors[k]);
+
+      // bounds[k] is the sector's strongest gain across its built planes.
+      float expect_bound = -std::numeric_limits<float>::infinity();
+      for (int tilt = index.tilt_lo(); tilt <= index.tilt_hi(); ++tilt) {
+        const float* gains = index.plane_gains(ranked.sectors[k], tilt);
+        if (gains == nullptr) continue;
+        const float v = gains[ranked.cols[k]];
+        if (!std::isnan(v)) expect_bound = std::max(expect_bound, v);
+      }
+      EXPECT_EQ(ranked.bounds[k], expect_bound) << "cell " << g;
+
+      if (k > 0) {
+        // Descending bound; ascending sector id on exact ties.
+        EXPECT_GE(ranked.bounds[k - 1], ranked.bounds[k]) << "cell " << g;
+        if (ranked.bounds[k - 1] == ranked.bounds[k]) {
+          EXPECT_LT(ranked.sectors[k - 1], ranked.sectors[k]) << "cell " << g;
+        }
+      }
+    }
+  }
+}
+
+void run_randomized_index_vs_legacy(int tilt_radius) {
+  for (const std::uint64_t seed : {11ull, 123ull, 777ull}) {
+    LineWorld world{12, 8.0};
+    AnalysisModel model{&world.network, world.provider.get()};
+    model.market_context().build_coverage_index(
+        CoverageIndexOptions{.tilt_radius = tilt_radius});
+
+    EvalContext indexed{&model.market_context()};
+    indexed.set_use_coverage_index(true);
+    EvalContext legacy{&model.market_context()};
+    ASSERT_TRUE(indexed.use_coverage_index());
+    ASSERT_FALSE(legacy.use_coverage_index());
+
+    std::mt19937_64 rng{seed};
+    std::uniform_int_distribution<int> op_dist{0, 3};
+    std::uniform_int_distribution<int> sector_dist{0, 1};
+    std::uniform_real_distribution<double> power_dist{18.0, 48.0};
+    std::uniform_int_distribution<int> tilt_dist{-2, 2};
+
+    const std::string tag =
+        "radius " + std::to_string(tilt_radius) + " seed " +
+        std::to_string(seed);
+    for (int step = 0; step < 80; ++step) {
+      const auto sector = static_cast<net::SectorId>(sector_dist(rng));
+      switch (op_dist(rng)) {
+        case 0: {
+          const double p = power_dist(rng);
+          indexed.set_power(sector, p);
+          legacy.set_power(sector, p);
+          break;
+        }
+        case 1: {
+          const int t = tilt_dist(rng);
+          indexed.set_tilt(sector, t);
+          legacy.set_tilt(sector, t);
+          break;
+        }
+        case 2: {
+          const bool active = !indexed.configuration()[sector].active;
+          indexed.set_active(sector, active);
+          legacy.set_active(sector, active);
+          break;
+        }
+        default: {
+          // Full reset exercises the grid-major rebuild sweep against the
+          // sector-major one at a randomized mid-sequence configuration.
+          const net::Configuration snapshot = indexed.configuration();
+          indexed.set_configuration(snapshot);
+          legacy.set_configuration(snapshot);
+          break;
+        }
+      }
+      expect_states_bitwise_equal(
+          indexed, legacy, tag + " step " + std::to_string(step));
+    }
+  }
+}
+
+TEST(CoverageIndex, RandomizedMutationsMatchLegacyBitForBit) {
+  // Radius 1: tilt swaps stay on indexed planes (pure span-scan paths).
+  run_randomized_index_vs_legacy(1);
+}
+
+TEST(CoverageIndex, OffIndexTiltsFallBackToFootprintsBitForBit) {
+  // Radius 0: only the default tilt is indexed, so every tilt mutation
+  // pushes a sector off-index and recompute must merge the span scan with
+  // direct footprint probes.
+  run_randomized_index_vs_legacy(0);
+}
+
+/// Two sectors on a 6-cell strip with a dead cell in the middle and
+/// coverage touching both grid edges: cell 2 is covered by nobody, cell 0
+/// and cell 5 only by one sector each.
+struct GappyWorld {
+  net::Network network;
+  std::unique_ptr<FakeProvider> provider;
+  net::SectorId west = 0;
+  net::SectorId east = 1;
+
+  GappyWorld() {
+    geo::GridMap grid{geo::Rect{{0.0, 0.0}, {600.0, 100.0}}, 100.0};
+    provider = std::make_unique<FakeProvider>(grid);
+
+    net::Sector sector;
+    sector.site = 0;
+    sector.position = {0.0, 50.0};
+    sector.default_power_dbm = 40.0;
+    sector.min_power_dbm = 20.0;
+    sector.max_power_dbm = 46.0;
+    sector.antenna.min_tilt_index = 0;
+    sector.antenna.max_tilt_index = 0;
+    west = network.add_sector(sector);
+    sector.site = 1;
+    sector.position = {600.0, 50.0};
+    east = network.add_sector(sector);
+
+    provider->set_footprint(west, 0,
+                            {-70.0f, -80.0f, kNaN, kNaN, kNaN, kNaN});
+    provider->set_footprint(east, 0,
+                            {kNaN, kNaN, kNaN, -85.0f, -75.0f, -65.0f});
+    network.set_subscribers(west, 10.0);
+    network.set_subscribers(east, 10.0);
+  }
+};
+
+TEST(CoverageIndex, EmptyCoverageAndEdgeOfGridCells) {
+  GappyWorld world;
+  AnalysisModel model{&world.network, world.provider.get()};
+  model.market_context().ensure_coverage_index();
+  const CoverageIndex& index = *model.market_context().coverage_index();
+
+  // The dead cell has an empty span; the edge cells list exactly their
+  // single covering sector.
+  EXPECT_EQ(index.row(2).size, 0u);
+  EXPECT_EQ(index.ranked_row(2).size, 0u);
+  ASSERT_EQ(index.row(0).size, 1u);
+  EXPECT_EQ(index.row(0).sectors[0], world.west);
+  ASSERT_EQ(index.row(5).size, 1u);
+  EXPECT_EQ(index.row(5).sectors[0], world.east);
+
+  EvalContext indexed{&model.market_context()};
+  indexed.set_use_coverage_index(true);
+  EvalContext legacy{&model.market_context()};
+
+  EXPECT_EQ(indexed.serving_sector(2), net::kInvalidSector);
+  EXPECT_EQ(indexed.state().best_rp_dbm[2], kNoSignalDbm);
+  expect_states_bitwise_equal(indexed, legacy, "initial");
+
+  // Demoting the only server of the edge cells drives their recompute
+  // through an all-miss span scan; the cells must end up serverless, and
+  // still bit-identical to the legacy probe.
+  indexed.set_active(world.west, false);
+  legacy.set_active(world.west, false);
+  EXPECT_EQ(indexed.serving_sector(0), net::kInvalidSector);
+  EXPECT_EQ(indexed.state().best_mw[0], 0.0);
+  expect_states_bitwise_equal(indexed, legacy, "west down");
+
+  indexed.set_active(world.west, true);
+  legacy.set_active(world.west, true);
+  expect_states_bitwise_equal(indexed, legacy, "west back up");
+}
+
+TEST(CoverageIndex, GeneratedMarketDemotionsMatchLegacy) {
+  // A realistic multi-sector market: take the busiest sectors down and
+  // back up, the exact workload the ranked early-exit scan optimizes.
+  data::Experiment experiment{magus::testing::small_market_params()};
+  AnalysisModel& model = experiment.model();
+  model.freeze_uniform_ue_density();
+  model.market_context().ensure_coverage_index();
+  EXPECT_GT(model.market_context().index_bytes(), 0u);
+
+  EvalContext indexed{&model.market_context()};
+  indexed.set_use_coverage_index(true);
+  EvalContext legacy{&model.market_context()};
+
+  const auto targets = experiment.network().nearest_sectors(
+      experiment.study_area().center(), 3);
+  for (const net::SectorId s : targets) {
+    indexed.set_active(s, false);
+    legacy.set_active(s, false);
+    expect_states_bitwise_equal(indexed, legacy,
+                                "down " + std::to_string(s));
+    indexed.set_active(s, true);
+    legacy.set_active(s, true);
+    expect_states_bitwise_equal(indexed, legacy,
+                                "up " + std::to_string(s));
+  }
+}
+
+}  // namespace
+}  // namespace magus::model
