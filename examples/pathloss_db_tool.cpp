@@ -8,11 +8,16 @@
 //   info:     print a database's inventory,
 //   verify:   reload a database and check it against a freshly built one.
 //
-//   $ pathloss_db_tool --mode generate --db market.mpl [--tilts 2]
+// generate fans the per-sector builds across --threads workers and
+// save/load run the chunked parallel (de)serialization; the resulting
+// file is byte-identical for any thread count.
+//
+//   $ pathloss_db_tool --mode generate --db market.mpl [--tilts 2] [--threads 8]
 //   $ pathloss_db_tool --mode info --db market.mpl
 //   $ pathloss_db_tool --mode verify --db market.mpl
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "data/experiment.h"
 #include "obs/session.h"
@@ -31,15 +36,21 @@ magus::data::MarketParams tool_params(const magus::util::ArgParser& args) {
   return params;
 }
 
-/// Builds the database for every sector at tilts [-tilts, +tilts].
+/// Builds the database for every sector at tilts [-tilts, +tilts],
+/// pre-warming the provider across `threads` workers first so the copies
+/// below are pure cache reads.
 magus::pathloss::PathLossDatabase build_database(
-    magus::data::Experiment& experiment, int tilts) {
+    magus::data::Experiment& experiment, int tilts, std::size_t threads) {
+  std::vector<magus::radio::TiltIndex> tilt_set;
+  for (int tilt = -tilts; tilt <= tilts; ++tilt) {
+    tilt_set.push_back(static_cast<magus::radio::TiltIndex>(tilt));
+  }
+  experiment.prebuild_footprints(tilt_set, threads);
   magus::pathloss::PathLossDatabase db{experiment.grid()};
   for (const auto& sector : experiment.network().sectors()) {
-    for (int tilt = -tilts; tilt <= tilts; ++tilt) {
-      db.insert(sector.id, static_cast<magus::radio::TiltIndex>(tilt),
-                experiment.provider().footprint(
-                    sector.id, static_cast<magus::radio::TiltIndex>(tilt)));
+    for (const magus::radio::TiltIndex tilt : tilt_set) {
+      db.insert(sector.id, tilt,
+                experiment.provider().footprint(sector.id, tilt));
     }
   }
   return db;
@@ -56,6 +67,7 @@ int main(int argc, char** argv) {
   args.add_flag("seed", "17", "market generation seed");
   args.add_flag("region-km", "9", "analysis region edge in km");
   args.add_flag("tilts", "1", "tilt settings on each side of 0");
+  util::add_threads_flag(args);
   util::add_obs_flags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
@@ -67,6 +79,7 @@ int main(int argc, char** argv) {
   const std::string mode = args.get_string("mode");
   const std::string path = args.get_string("db");
   const int tilts = static_cast<int>(args.get_int("tilts"));
+  const std::size_t threads = util::threads_from(args);
 
   try {
     if (mode == "generate") {
@@ -74,15 +87,15 @@ int main(int argc, char** argv) {
       std::cout << "Building matrices for "
                 << experiment.network().sector_count() << " sectors x "
                 << (2 * tilts + 1) << " tilts...\n";
-      const auto db = build_database(experiment, tilts);
-      db.save(path);
+      const auto db = build_database(experiment, tilts, threads);
+      db.save(path, threads);
       std::cout << "Saved " << db.entry_count() << " matrices to " << path
                 << '\n';
       return 0;
     }
 
     if (mode == "info") {
-      const auto db = pathloss::PathLossDatabase::load(path);
+      const auto db = pathloss::PathLossDatabase::load(path, threads);
       std::cout << "Database " << path << ":\n"
                 << "  grid: " << db.grid().cols() << " x " << db.grid().rows()
                 << " cells of " << db.grid().cell_size_m() << " m\n"
@@ -91,7 +104,7 @@ int main(int argc, char** argv) {
     }
 
     if (mode == "verify") {
-      auto db = pathloss::PathLossDatabase::load(path);
+      auto db = pathloss::PathLossDatabase::load(path, threads);
       data::Experiment experiment{tool_params(args)};
       long checked = 0;
       long mismatches = 0;

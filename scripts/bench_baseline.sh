@@ -2,10 +2,12 @@
 # Records the model-kernel performance baseline as committed JSON artifacts.
 #
 # Runs the micro-model benchmark (which measures the coverage-index vs
-# legacy demotion/rebuild workloads internally and reports both) and the
+# legacy demotion/rebuild workloads internally and reports both), the
 # Figure 12 convergence bench twice — with the coverage index and with
-# --no-index — so BENCH_model.json and the two convergence summaries
-# together capture the before/after picture for the current commit.
+# --no-index — and the path-loss build bench (legacy per-cell kernel vs
+# batched serial vs batched parallel at 8 threads), so BENCH_model.json,
+# the two convergence summaries and BENCH_pathloss.json together capture
+# the before/after picture for the current commit.
 #
 # Usage: scripts/bench_baseline.sh [build-dir] (default: build)
 set -euo pipefail
@@ -13,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-for bin in bench_micro_model bench_fig12_convergence; do
+for bin in bench_micro_model bench_fig12_convergence bench_pathloss_build; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -33,12 +35,20 @@ echo "== fig12 convergence, legacy scan (--no-index) =="
 "$BUILD_DIR/bench/bench_fig12_convergence" --no-index \
   --json BENCH_fig12_noindex.json >/dev/null
 
+echo "== path-loss build pipeline (legacy vs batched, 8 threads) =="
+"$BUILD_DIR/bench/bench_pathloss_build" --threads 8 \
+  --json BENCH_pathloss.json
+
 echo
-echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json"
+echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json BENCH_pathloss.json"
 python3 - <<'PY' 2>/dev/null || true
 import json
 m = json.load(open('BENCH_model.json'))
 print(f"demotion speedup (index vs legacy): {m['demotion_speedup']:.2f}x")
 print(f"rebuild  speedup (index vs legacy): {m['rebuild_speedup']:.2f}x")
 print(f"index bytes: {m['index_bytes']}")
+p = json.load(open('BENCH_pathloss.json'))
+print(f"path-loss build speedup (parallel vs legacy): "
+      f"{p['speedup_parallel_vs_legacy']:.2f}x "
+      f"(identical: {p['entries_identical'] and p['files_identical']})")
 PY

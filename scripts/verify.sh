@@ -58,6 +58,26 @@ print(f"perf smoke OK: demotion {speedup:.2f}x, "
       f"index {m['index_bytes']} bytes")
 EOF
 
+echo "==> Perf smoke: path-loss build pipeline vs legacy kernel"
+./build/bench/bench_pathloss_build --region-km 6 --study-km 3 --threads 4 \
+  --json "$artifacts/pathloss.json" \
+  --metrics "$artifacts/pathloss_metrics.json" >/dev/null
+python3 - "$artifacts" <<'EOF'
+import json, sys
+p = json.load(open(f"{sys.argv[1]}/pathloss.json"))
+speedup = p["speedup_parallel_vs_legacy"]
+assert speedup >= 1.0, (
+    f"parallel path-loss build slower than legacy serial: {speedup:.2f}x")
+assert p["entries_identical"], "serial/parallel footprints differ bitwise"
+assert p["files_identical"], "serial/parallel saved databases differ"
+assert p["load_round_trip_ok"], "parallel load round trip failed"
+m = json.load(open(f"{sys.argv[1]}/pathloss_metrics.json"))
+assert m["counters"]["pathloss.build.matrices"] > 0, "no build metrics"
+print(f"perf smoke OK: path-loss build {speedup:.2f}x vs legacy, "
+      f"{p['matrices']} matrices, "
+      f"{m['counters']['pathloss.build.matrices']} counted")
+EOF
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> Skipping sanitizer pass (--fast)"
   exit 0

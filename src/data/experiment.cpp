@@ -1,5 +1,7 @@
 #include "data/experiment.h"
 
+#include <vector>
+
 #include "model/coverage_map.h"
 
 namespace magus::data {
@@ -29,6 +31,16 @@ Experiment::Experiment(const MarketParams& params,
                 pathloss::FootprintBuilder{&propagation_, &terrain_cache_,
                                            resolve_range(params, options)}),
       model_(&market_.network, &provider_, options.model) {}
+
+void Experiment::prebuild_footprints(std::span<const radio::TiltIndex> tilts,
+                                     std::size_t threads) {
+  std::vector<net::SectorId> sectors;
+  sectors.reserve(market_.network.sectors().size());
+  for (const auto& sector : market_.network.sectors()) {
+    sectors.push_back(sector.id);
+  }
+  provider_.prebuild(sectors, tilts, threads);
+}
 
 int Experiment::study_interferer_count() {
   return model::interfering_sector_count(provider_, market_.network,

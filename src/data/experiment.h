@@ -4,6 +4,8 @@
 // examples and integration tests instantiate.
 #pragma once
 
+#include <span>
+
 #include "data/market_generator.h"
 #include "model/analysis_model.h"
 #include "pathloss/database.h"
@@ -36,8 +38,25 @@ class Experiment {
     return terrain_cache_.grid();
   }
   [[nodiscard]] const terrain::Terrain& terrain() const { return terrain_; }
+  [[nodiscard]] const terrain::TerrainGridCache& terrain_cache() const {
+    return terrain_cache_;
+  }
+  [[nodiscard]] const radio::PropagationModel& propagation() const {
+    return propagation_;
+  }
   [[nodiscard]] pathloss::PathLossProvider& provider() { return provider_; }
+  [[nodiscard]] pathloss::BuildingProvider& building_provider() {
+    return provider_;
+  }
   [[nodiscard]] model::AnalysisModel& model() { return model_; }
+
+  /// Warms the path-loss cache: builds every sector's footprint for the
+  /// given tilts across `threads` workers (0 = hardware concurrency), so
+  /// later provider lookups — e.g. the model's lazy configuration apply —
+  /// are pure reads. The matrices are bitwise identical to the ones lazy
+  /// construction would have built.
+  void prebuild_footprints(std::span<const radio::TiltIndex> tilts,
+                           std::size_t threads = 0);
 
   /// Sectors whose signal reaches the study area above the noise floor at
   /// the default configuration (the paper's Figure 8 statistic).

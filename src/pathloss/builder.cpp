@@ -3,9 +3,32 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "radio/antenna.h"
 
 namespace magus::pathloss {
+
+namespace {
+
+struct BuildMetrics {
+  obs::Counter& matrices;
+  obs::Counter& rows;
+  obs::Counter& cells;
+  obs::Counter& profile_samples;
+
+  [[nodiscard]] static BuildMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static BuildMetrics metrics{
+        registry.counter("pathloss.build.matrices"),
+        registry.counter("pathloss.build.rows"),
+        registry.counter("pathloss.build.cells"),
+        registry.counter("pathloss.build.profile_samples"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 FootprintBuilder::FootprintBuilder(const radio::PropagationModel* model,
                                    const terrain::TerrainGridCache* cache,
@@ -22,6 +45,91 @@ FootprintBuilder::FootprintBuilder(const radio::PropagationModel* model,
 
 SectorFootprint FootprintBuilder::build(const net::Sector& sector,
                                         radio::TiltIndex tilt) const {
+  const radio::TiltIndex tilts[] = {tilt};
+  auto results = build_tilts(sector, tilts);
+  return std::move(results.front());
+}
+
+std::vector<SectorFootprint> FootprintBuilder::build_tilts(
+    const net::Sector& sector, std::span<const radio::TiltIndex> tilts,
+    Scratch* scratch) const {
+  const geo::GridMap& map = grid();
+  const auto cell_count = static_cast<std::size_t>(map.cell_count());
+
+  Scratch local;
+  Scratch& s = scratch != nullptr ? *scratch : local;
+
+  // Cell selection is delegated to the same cells_within query the legacy
+  // kernel used, then chunked into maximal consecutive same-row runs — the
+  // batched kernel visits exactly the legacy cell set, in the same
+  // (row-major ascending) order.
+  const auto cells = map.cells_within(sector.position, max_range_m_);
+  s.runs.clear();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const geo::GridIndex g = cells[i];
+    if (!s.runs.empty() &&
+        g == s.runs.back().first + s.runs.back().second &&
+        map.col_of(g) != 0) {
+      ++s.runs.back().second;
+    } else {
+      s.runs.emplace_back(g, 1);
+    }
+  }
+
+  const radio::TransmitterSite site{sector.position, sector.height_m,
+                                    sector.azimuth_deg};
+  const radio::SiteContext ctx = model_->site_context(site, *cache_);
+  s.profiles.build(ctx, max_range_m_, *cache_,
+                   model_->params().profile_step_m);
+
+  s.iso_db.resize(cell_count);
+  s.azimuth_off_deg.resize(cell_count);
+  s.elevation_deg.resize(cell_count);
+  s.total_db.resize(cell_count);
+  for (const auto& [first, count] : s.runs) {
+    const auto off = static_cast<std::size_t>(first);
+    const auto len = static_cast<std::size_t>(count);
+    model_->isotropic_row_cached(
+        ctx, first, count, *cache_, s.profiles,
+        std::span<float>{s.iso_db.data() + off, len},
+        std::span<float>{s.azimuth_off_deg.data() + off, len},
+        std::span<float>{s.elevation_deg.data() + off, len});
+  }
+
+  const radio::AntennaPattern pattern{sector.antenna};
+  const auto nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<SectorFootprint> results;
+  results.reserve(tilts.size());
+  for (const radio::TiltIndex tilt : tilts) {
+    std::vector<float> gains(cell_count, nan);
+    for (const auto& [first, count] : s.runs) {
+      const auto off = static_cast<std::size_t>(first);
+      const auto len = static_cast<std::size_t>(count);
+      model_->apply_antenna_row(
+          pattern, tilt,
+          std::span<const float>{s.iso_db.data() + off, len},
+          std::span<const float>{s.azimuth_off_deg.data() + off, len},
+          std::span<const float>{s.elevation_deg.data() + off, len}, count,
+          std::span<float>{s.total_db.data() + off, len});
+      for (std::size_t i = off; i < off + len; ++i) {
+        if (s.total_db[i] > SectorFootprint::kFloorDb) {
+          gains[i] = s.total_db[i];
+        }
+      }
+    }
+    results.emplace_back(std::move(gains), map.cols(), map.rows());
+  }
+
+  auto& metrics = BuildMetrics::get();
+  metrics.matrices.add(tilts.size());
+  metrics.rows.add(s.runs.size() * tilts.size());
+  metrics.cells.add(cells.size() * tilts.size());
+  metrics.profile_samples.add(s.profiles.sample_count());
+  return results;
+}
+
+SectorFootprint FootprintBuilder::build_reference(const net::Sector& sector,
+                                                  radio::TiltIndex tilt) const {
   const geo::GridMap& map = grid();
   const auto nan = std::numeric_limits<float>::quiet_NaN();
   std::vector<float> gains(static_cast<std::size_t>(map.cell_count()), nan);

@@ -1,6 +1,20 @@
 // Builds per-sector footprints from the propagation model — the synthetic
 // stand-in for the Atoll path-loss feed.
+//
+// Construction runs on the batched row pipeline (radio::SiteContext +
+// RadialProfileTable + isotropic_row_cached / apply_antenna_row): per-site
+// constants are hoisted once, terrain diffraction profiles are sampled once
+// per radial ray instead of once per cell, and the per-cell work splits
+// into a tilt-invariant isotropic pass plus a cheap per-tilt antenna pass,
+// so build_tilts() amortizes everything but the antenna arithmetic across
+// a sector's whole tilt matrix. The legacy per-cell kernel is kept as
+// build_reference(): the measured serial baseline and the exactness
+// reference the batched path is tested against.
 #pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "geo/grid_map.h"
 #include "net/sector.h"
@@ -12,6 +26,20 @@ namespace magus::pathloss {
 
 class FootprintBuilder {
  public:
+  /// Reusable per-thread scratch for the batched pipeline: the radial
+  /// diffraction profiles plus the full-grid isotropic / geometry / gain
+  /// planes. One instance per worker thread avoids reallocating ~5 planes
+  /// per matrix; contents are overwritten by every build.
+  struct Scratch {
+    radio::RadialProfileTable profiles;
+    std::vector<float> iso_db;
+    std::vector<float> azimuth_off_deg;
+    std::vector<float> elevation_deg;
+    std::vector<float> total_db;
+    /// In-range cells chunked into maximal same-row runs (first, count).
+    std::vector<std::pair<geo::GridIndex, std::int32_t>> runs;
+  };
+
   /// `model` and `cache` must outlive the builder; the cache's grid defines
   /// the analysis grid. `max_range_m` bounds each sector's reach: cells
   /// farther than that from the site are skipped outright (their loss is
@@ -24,9 +52,27 @@ class FootprintBuilder {
   [[nodiscard]] double max_range_m() const { return max_range_m_; }
 
   /// Evaluates the propagation model at every in-range grid cell for this
-  /// sector and tilt.
+  /// sector and tilt, on the batched kernel. Equivalent to
+  /// build_tilts(sector, {tilt})[0].
   [[nodiscard]] SectorFootprint build(const net::Sector& sector,
                                       radio::TiltIndex tilt) const;
+
+  /// Builds one footprint per requested tilt, sharing the sector's radial
+  /// profiles and isotropic/geometry planes across all of them — the
+  /// per-tilt marginal cost is just the antenna pass. Results are bitwise
+  /// identical to calling build() per tilt. `scratch` may be null (a local
+  /// one is used); passing a per-thread instance avoids reallocation.
+  /// Deterministic and safe to call concurrently with distinct scratch.
+  [[nodiscard]] std::vector<SectorFootprint> build_tilts(
+      const net::Sector& sector, std::span<const radio::TiltIndex> tilts,
+      Scratch* scratch = nullptr) const;
+
+  /// The pre-batching kernel: one virtual path_gain_db_cached call per cell,
+  /// resampling the terrain diffraction profile each time. Kept as the
+  /// serial baseline benches measure against and as the exactness reference
+  /// for the batched kernel's tests; not used in production paths.
+  [[nodiscard]] SectorFootprint build_reference(const net::Sector& sector,
+                                                radio::TiltIndex tilt) const;
 
  private:
   const radio::PropagationModel* model_;

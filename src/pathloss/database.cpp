@@ -1,6 +1,7 @@
 #include "pathloss/database.h"
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace magus::pathloss {
 
@@ -32,6 +34,23 @@ struct DbMetrics {
     return metrics;
   }
 };
+
+struct CacheMetrics {
+  obs::Counter& lookups;
+  obs::Counter& builds;
+  obs::Counter& shard_waits;
+
+  [[nodiscard]] static CacheMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static CacheMetrics metrics{
+        registry.counter("pathloss.cache.lookups"),
+        registry.counter("pathloss.cache.builds"),
+        registry.counter("pathloss.cache.shard_waits"),
+    };
+    return metrics;
+  }
+};
+
 constexpr std::uint64_t kMagic = 0x4D41475553504C31ULL;  // "MAGUSPL1"
 constexpr std::uint32_t kVersion = 2;  // v2 adds per-entry checksums
 
@@ -41,10 +60,29 @@ void write_pod(std::ofstream& out, const T& value) {
 }
 
 template <typename T>
-void read_pod(std::ifstream& in, T& value, const std::string& context) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("PathLossDatabase: " + context);
+void append_pod(std::vector<char>& out, const T& value) {
+  const auto* p = reinterpret_cast<const char*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
 }
+
+/// In-memory cursor over a fully read file. Mirrors the stream read_pod's
+/// error contract so the parallel loader's messages match the serial ones.
+struct ByteReader {
+  const char* data = nullptr;
+  std::size_t size = 0;
+  std::size_t off = 0;
+
+  [[nodiscard]] std::size_t remaining() const { return size - off; }
+
+  template <typename T>
+  void read(T& value, const std::string& context) {
+    if (remaining() < sizeof(T)) {
+      throw std::runtime_error("PathLossDatabase: " + context);
+    }
+    std::memcpy(&value, data + off, sizeof(T));
+    off += sizeof(T);
+  }
+};
 
 /// FNV-1a over a byte range, chainable via `hash`.
 [[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,
@@ -103,7 +141,8 @@ const SectorFootprint& PathLossDatabase::footprint(net::SectorId sector,
   return it->second;
 }
 
-void PathLossDatabase::save(const std::string& path) const {
+void PathLossDatabase::save(const std::string& path,
+                            std::size_t threads) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("PathLossDatabase: cannot open " + path);
   write_pod(out, kMagic);
@@ -114,34 +153,62 @@ void PathLossDatabase::save(const std::string& path) const {
   write_pod(out, grid_.cols());
   write_pod(out, grid_.rows());
   write_pod(out, static_cast<std::uint64_t>(entries_.size()));
-  for (const auto& [key, footprint] : entries_) {
-    write_pod(out, key.first);
-    write_pod(out, key.second);
-    write_pod(out, footprint.col0());
-    write_pod(out, footprint.row0());
-    write_pod(out, footprint.window_cols());
-    write_pod(out, footprint.window_rows());
-    write_pod(out, entry_checksum(key.first, key.second, footprint));
+
+  // Serialize entries into independent per-entry buffers (the checksum is
+  // the expensive part), then write the buffers in key order — the file's
+  // bytes are identical for any thread count.
+  std::vector<const std::pair<const Key, SectorFootprint>*> items;
+  items.reserve(entries_.size());
+  for (const auto& item : entries_) items.push_back(&item);
+  std::vector<std::vector<char>> buffers(items.size());
+  util::ThreadPool pool{threads};
+  pool.run(items.size(), [&](std::size_t /*worker*/, std::size_t i) {
+    const auto& [key, footprint] = *items[i];
     const auto window = footprint.window();
-    out.write(reinterpret_cast<const char*>(window.data()),
-              static_cast<std::streamsize>(window.size() * sizeof(float)));
+    std::vector<char>& buf = buffers[i];
+    buf.reserve(6 * sizeof(std::int32_t) + sizeof(std::uint64_t) +
+                window.size() * sizeof(float));
+    append_pod(buf, key.first);
+    append_pod(buf, key.second);
+    append_pod(buf, footprint.col0());
+    append_pod(buf, footprint.row0());
+    append_pod(buf, footprint.window_cols());
+    append_pod(buf, footprint.window_rows());
+    append_pod(buf, entry_checksum(key.first, key.second, footprint));
+    const auto* p = reinterpret_cast<const char*>(window.data());
+    buf.insert(buf.end(), p, p + window.size() * sizeof(float));
+  });
+  for (const auto& buf : buffers) {
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   }
   if (!out) throw std::runtime_error("PathLossDatabase: write failed");
 }
 
-PathLossDatabase PathLossDatabase::load(const std::string& path) {
+PathLossDatabase PathLossDatabase::load(const std::string& path,
+                                        std::size_t threads) {
   MAGUS_TRACE_SPAN("pathloss.db_load", "pathloss");
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("PathLossDatabase: cannot open " + path);
   DbMetrics::get().loads.add(1);
-  if (const std::streamoff size = in.tellg(); size > 0) {
-    DbMetrics::get().load_bytes.add(static_cast<std::uint64_t>(size));
+  const std::streamoff file_size = in.tellg();
+  if (file_size > 0) {
+    DbMetrics::get().load_bytes.add(static_cast<std::uint64_t>(file_size));
   }
+  std::vector<char> bytes(file_size > 0 ? static_cast<std::size_t>(file_size)
+                                        : 0);
   in.seekg(0, std::ios::beg);
+  if (!bytes.empty()) {
+    in.read(bytes.data(), file_size);
+    if (!in) {
+      throw std::runtime_error("PathLossDatabase: read failed in " + path);
+    }
+  }
+  ByteReader reader{bytes.data(), bytes.size()};
+
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
-  read_pod(in, magic, "truncated header in " + path);
-  read_pod(in, version, "truncated header in " + path);
+  reader.read(magic, "truncated header in " + path);
+  reader.read(version, "truncated header in " + path);
   if (magic != kMagic) {
     throw std::runtime_error("PathLossDatabase: bad magic in " + path);
   }
@@ -155,11 +222,11 @@ PathLossDatabase PathLossDatabase::load(const std::string& path) {
   double cell = 0.0;
   std::int32_t cols = 0;
   std::int32_t rows = 0;
-  read_pod(in, min_x, "truncated header in " + path);
-  read_pod(in, min_y, "truncated header in " + path);
-  read_pod(in, cell, "truncated header in " + path);
-  read_pod(in, cols, "truncated header in " + path);
-  read_pod(in, rows, "truncated header in " + path);
+  reader.read(min_x, "truncated header in " + path);
+  reader.read(min_y, "truncated header in " + path);
+  reader.read(cell, "truncated header in " + path);
+  reader.read(cols, "truncated header in " + path);
+  reader.read(rows, "truncated header in " + path);
   if (!(cell > 0.0) || cols <= 0 || rows <= 0) {
     throw std::runtime_error("PathLossDatabase: invalid grid geometry in " +
                              path);
@@ -168,63 +235,104 @@ PathLossDatabase PathLossDatabase::load(const std::string& path) {
                        {min_x + cols * cell, min_y + rows * cell}};
   PathLossDatabase db{geo::GridMap{area, cell}};
   std::uint64_t entry_count = 0;
-  read_pod(in, entry_count, "truncated header in " + path);
-  for (std::uint64_t e = 0; e < entry_count; ++e) {
-    const std::string entry_context =
-        "entry " + std::to_string(e) + " of " + std::to_string(entry_count);
+  reader.read(entry_count, "truncated header in " + path);
+
+  // Phase 1, sequential: structural scan. Geometry bounds and truncation
+  // are position-dependent (a bad size field shifts every later entry), so
+  // they are validated front to back, with the same per-entry check order
+  // and messages as the historical streaming loader: oversized window
+  // before allocation, then truncation.
+  struct PendingEntry {
     std::int32_t sector = 0;
     std::int32_t tilt = 0;
     std::int32_t col0 = 0;
     std::int32_t row0 = 0;
     std::int32_t window_cols = 0;
     std::int32_t window_rows = 0;
-    std::uint64_t stored_checksum = 0;
-    read_pod(in, sector, "truncated " + entry_context + " in " + path);
-    read_pod(in, tilt, "truncated " + entry_context + " in " + path);
-    read_pod(in, col0, "truncated " + entry_context + " in " + path);
-    read_pod(in, row0, "truncated " + entry_context + " in " + path);
-    read_pod(in, window_cols, "truncated " + entry_context + " in " + path);
-    read_pod(in, window_rows, "truncated " + entry_context + " in " + path);
-    read_pod(in, stored_checksum,
-             "truncated " + entry_context + " in " + path);
+    std::uint64_t checksum = 0;
+    std::size_t data_off = 0;  ///< window bytes within the file buffer
+  };
+  std::vector<PendingEntry> pending;
+  pending.reserve(entry_count < 1024 ? static_cast<std::size_t>(entry_count)
+                                     : 1024);
+  for (std::uint64_t e = 0; e < entry_count; ++e) {
+    const std::string entry_context =
+        "entry " + std::to_string(e) + " of " + std::to_string(entry_count);
+    PendingEntry p;
+    reader.read(p.sector, "truncated " + entry_context + " in " + path);
+    reader.read(p.tilt, "truncated " + entry_context + " in " + path);
+    reader.read(p.col0, "truncated " + entry_context + " in " + path);
+    reader.read(p.row0, "truncated " + entry_context + " in " + path);
+    reader.read(p.window_cols, "truncated " + entry_context + " in " + path);
+    reader.read(p.window_rows, "truncated " + entry_context + " in " + path);
+    reader.read(p.checksum, "truncated " + entry_context + " in " + path);
     // Bound the window before allocating: a corrupted size field must not
     // turn into a multi-gigabyte allocation or a silent overlap.
-    if (window_cols < 0 || window_rows < 0 || window_cols > cols ||
-        window_rows > rows) {
+    if (p.window_cols < 0 || p.window_rows < 0 || p.window_cols > cols ||
+        p.window_rows > rows) {
       throw std::runtime_error("PathLossDatabase: oversized window (" +
                                entry_context + ") in " + path);
     }
-    std::vector<float> window(static_cast<std::size_t>(window_cols) *
-                              static_cast<std::size_t>(window_rows));
-    in.read(reinterpret_cast<char*>(window.data()),
-            static_cast<std::streamsize>(window.size() * sizeof(float)));
-    if (!in) {
+    const std::size_t window_bytes = static_cast<std::size_t>(p.window_cols) *
+                                     static_cast<std::size_t>(p.window_rows) *
+                                     sizeof(float);
+    if (reader.remaining() < window_bytes) {
       throw std::runtime_error("PathLossDatabase: truncated " + entry_context +
                                " in " + path);
     }
-    SectorFootprint footprint;
-    try {
-      footprint = SectorFootprint{cols,        rows,        col0,
-                                  row0,        window_cols, window_rows,
-                                  std::move(window)};
-    } catch (const std::invalid_argument&) {
-      throw std::runtime_error("PathLossDatabase: " + entry_context +
-                               " does not fit the grid in " + path);
-    }
-    if (entry_checksum(sector, tilt, footprint) != stored_checksum) {
-      throw std::runtime_error(
-          "PathLossDatabase: checksum mismatch (" + entry_context +
-          ", sector " + std::to_string(sector) + " tilt " +
-          std::to_string(tilt) + ") in " + path);
-    }
-    db.entries_.insert_or_assign(Key{sector, tilt}, std::move(footprint));
+    p.data_off = reader.off;
+    reader.off += window_bytes;
+    pending.push_back(p);
   }
   // The header promised exactly entry_count entries; anything further is
   // corruption (e.g. a concatenated or doubly-written file).
-  if (in.peek() != std::ifstream::traits_type::eof()) {
+  if (reader.remaining() != 0) {
     throw std::runtime_error("PathLossDatabase: trailing bytes after " +
                              std::to_string(entry_count) + " entries in " +
                              path);
+  }
+
+  // Phase 2, parallel: per-entry fit check, checksum validation and
+  // footprint construction (which precomputes the linear-gain twin) are
+  // independent thanks to the per-entry checksums. Failures are captured
+  // per entry and the lowest-index one is reported, matching the serial
+  // front-to-back scan for any thread count.
+  std::vector<SectorFootprint> built(pending.size());
+  std::vector<std::string> entry_errors(pending.size());
+  util::ThreadPool pool{threads};
+  pool.run(pending.size(), [&](std::size_t /*worker*/, std::size_t i) {
+    const PendingEntry& p = pending[i];
+    const std::string entry_context =
+        "entry " + std::to_string(i) + " of " + std::to_string(entry_count);
+    std::vector<float> window(static_cast<std::size_t>(p.window_cols) *
+                              static_cast<std::size_t>(p.window_rows));
+    std::memcpy(window.data(), bytes.data() + p.data_off,
+                window.size() * sizeof(float));
+    SectorFootprint footprint;
+    try {
+      footprint = SectorFootprint{cols,          rows,          p.col0,
+                                  p.row0,        p.window_cols, p.window_rows,
+                                  std::move(window)};
+    } catch (const std::invalid_argument&) {
+      entry_errors[i] = "PathLossDatabase: " + entry_context +
+                        " does not fit the grid in " + path;
+      return;
+    }
+    if (entry_checksum(p.sector, p.tilt, footprint) != p.checksum) {
+      entry_errors[i] = "PathLossDatabase: checksum mismatch (" +
+                        entry_context + ", sector " +
+                        std::to_string(p.sector) + " tilt " +
+                        std::to_string(p.tilt) + ") in " + path;
+      return;
+    }
+    built[i] = std::move(footprint);
+  });
+  for (const std::string& error : entry_errors) {
+    if (!error.empty()) throw std::runtime_error(error);
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    db.entries_.insert_or_assign(Key{pending[i].sector, pending[i].tilt},
+                                 std::move(built[i]));
   }
   return db;
 }
@@ -232,13 +340,14 @@ PathLossDatabase PathLossDatabase::load(const std::string& path) {
 PathLossDatabase PathLossDatabase::load_or_rebuild(
     const std::string& path, PathLossProvider& fallback,
     std::span<const net::SectorId> sectors,
-    std::span<const radio::TiltIndex> tilts, LoadReport* report) {
+    std::span<const radio::TiltIndex> tilts, LoadReport* report,
+    std::size_t threads) {
   MAGUS_TRACE_SPAN("pathloss.db_load_or_rebuild", "pathloss");
   LoadReport local;
   LoadReport& out = report != nullptr ? *report : local;
   out = LoadReport{};
   try {
-    PathLossDatabase db = load(path);
+    PathLossDatabase db = load(path, threads);
     const geo::GridMap& expected = fallback.grid();
     if (db.grid_.cols() != expected.cols() ||
         db.grid_.rows() != expected.rows() ||
@@ -261,13 +370,23 @@ PathLossDatabase PathLossDatabase::load_or_rebuild(
   MAGUS_TRACE_SPAN("pathloss.db_rebuild", "pathloss");
   DbMetrics::get().rebuilds.add(1);
   PathLossDatabase db{fallback.grid()};
-  for (const net::SectorId sector : sectors) {
-    for (const radio::TiltIndex tilt : tilts) {
-      db.insert(sector, tilt, fallback.footprint(sector, tilt));
-    }
+  // Fan the footprint fetches out (the provider contract requires
+  // concurrency-safe footprint()), then insert in deterministic
+  // (sector, tilt) order so the rebuilt database matches the serial one.
+  const std::size_t jobs = sectors.size() * tilts.size();
+  std::vector<const SectorFootprint*> rebuilt(jobs, nullptr);
+  util::ThreadPool pool{threads};
+  pool.run(jobs, [&](std::size_t /*worker*/, std::size_t i) {
+    const net::SectorId sector = sectors[i / tilts.size()];
+    const radio::TiltIndex tilt = tilts[i % tilts.size()];
+    rebuilt[i] = &fallback.footprint(sector, tilt);
+  });
+  for (std::size_t i = 0; i < jobs; ++i) {
+    db.insert(sectors[i / tilts.size()], tilts[i % tilts.size()],
+              *rebuilt[i]);
   }
   try {
-    db.save(path);
+    db.save(path, threads);
     out.resaved = true;
     DbMetrics::get().resaves.add(1);
   } catch (const std::runtime_error&) {
@@ -284,19 +403,60 @@ BuildingProvider::BuildingProvider(const net::Network* network,
   }
 }
 
+BuildingProvider::Entry& BuildingProvider::entry_for(net::SectorId sector,
+                                                     radio::TiltIndex tilt) {
+  const std::pair<std::int32_t, std::int32_t> key{sector, tilt};
+  // Mix both key halves so co-sited tilts spread across shards.
+  const auto hash = static_cast<std::size_t>(sector) * 31u +
+                    static_cast<std::size_t>(tilt + 64);
+  Shard& shard = shards_[hash % kShardCount];
+  std::unique_lock lock{shard.mutex, std::try_to_lock};
+  if (!lock.owns_lock()) {
+    CacheMetrics::get().shard_waits.add(1);
+    lock.lock();
+  }
+  return shard.map[key];  // std::map nodes are address-stable
+}
+
 const SectorFootprint& BuildingProvider::footprint(net::SectorId sector,
                                                    radio::TiltIndex tilt) {
-  // Serializes concurrent callers (worker threads share this provider).
-  // A miss builds the matrix while holding the lock: footprints for a
-  // given (sector, tilt) are deterministic, so which thread builds one
-  // does not matter, only that it is built exactly once.
-  const std::lock_guard lock{mutex_};
-  const std::pair<std::int32_t, std::int32_t> key{sector, tilt};
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  auto [inserted, _] =
-      cache_.emplace(key, builder_.build(network_->sector(sector), tilt));
-  return inserted->second;
+  CacheMetrics::get().lookups.add(1);
+  Entry& entry = entry_for(sector, tilt);
+  // The build runs outside every shard lock: footprints for a given
+  // (sector, tilt) are deterministic, so which thread builds one does not
+  // matter, only that it is built exactly once — the entry's once_flag
+  // guarantees that, and a failed build resets it so a later call retries.
+  std::call_once(entry.once, [&] {
+    if (build_hook_) build_hook_(sector, tilt);
+    entry.footprint = builder_.build(network_->sector(sector), tilt);
+    built_count_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().builds.add(1);
+  });
+  return entry.footprint;
+}
+
+void BuildingProvider::prebuild(std::span<const net::SectorId> sectors,
+                                std::span<const radio::TiltIndex> tilts,
+                                std::size_t threads) {
+  MAGUS_TRACE_SPAN("pathloss.cache_prebuild", "pathloss");
+  util::ThreadPool pool{threads};
+  std::vector<FootprintBuilder::Scratch> scratch(pool.size());
+  pool.run(sectors.size(), [&](std::size_t worker, std::size_t i) {
+    const net::SectorId sector = sectors[i];
+    auto footprints = builder_.build_tilts(network_->sector(sector), tilts,
+                                           &scratch[worker]);
+    for (std::size_t t = 0; t < tilts.size(); ++t) {
+      Entry& entry = entry_for(sector, tilts[t]);
+      // A lazily built entry wins the race; the values are identical
+      // either way, so dropping the fresh copy is fine.
+      std::call_once(entry.once, [&] {
+        if (build_hook_) build_hook_(sector, tilts[t]);
+        entry.footprint = std::move(footprints[t]);
+        built_count_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().builds.add(1);
+      });
+    }
+  });
 }
 
 ApproxTiltProvider::ApproxTiltProvider(PathLossProvider* inner,
@@ -313,7 +473,7 @@ const SectorFootprint& ApproxTiltProvider::footprint(net::SectorId sector,
                                                      radio::TiltIndex tilt) {
   if (tilt == 0) return inner_->footprint(sector, 0);
   // Serializes concurrent cache access; the inner provider has its own
-  // lock, taken strictly after this one (no cycle).
+  // locking, taken strictly after this one (no cycle).
   const std::lock_guard lock{mutex_};
   const std::pair<std::int32_t, std::int32_t> key{sector, tilt};
   const auto it = cache_.find(key);

@@ -5,7 +5,10 @@
 // tilt-delta approximation).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <span>
@@ -62,8 +65,18 @@ class PathLossDatabase final : public PathLossProvider {
   /// "unsupported version", "oversized window", "checksum mismatch",
   /// "entry does not fit the grid", "truncated entry", "trailing bytes")
   /// instead of being silently mis-read into the model.
-  void save(const std::string& path) const;
-  [[nodiscard]] static PathLossDatabase load(const std::string& path);
+  ///
+  /// `threads` parallelizes the per-entry work — checksum computation on
+  /// save; checksum validation plus footprint construction (the 10^(g/10)
+  /// precompute) on load — across a util::ThreadPool (0 = hardware
+  /// concurrency). The per-entry checksums make entries independently
+  /// verifiable, so validation fans out naturally. Saved bytes and loaded
+  /// databases are identical for any thread count; when several entries
+  /// are corrupted, the reported error is the lowest-index one, matching
+  /// the serial scan.
+  void save(const std::string& path, std::size_t threads = 1) const;
+  [[nodiscard]] static PathLossDatabase load(const std::string& path,
+                                             std::size_t threads = 1);
 
   /// Outcome report for load_or_rebuild.
   struct LoadReport {
@@ -77,11 +90,15 @@ class PathLossDatabase final : public PathLossProvider {
   /// BuildingProvider over the propagation model) and best-effort re-saves
   /// the repaired database to `path`. A loaded file whose grid disagrees
   /// with `fallback.grid()` counts as mismatched and triggers the rebuild
-  /// too. `report`, when non-null, says what happened.
+  /// too. `report`, when non-null, says what happened. `threads` applies to
+  /// the load, the rebuild (fallback.footprint is required to be
+  /// concurrency-safe, per the provider contract) and the re-save; the
+  /// resulting database is identical for any thread count.
   [[nodiscard]] static PathLossDatabase load_or_rebuild(
       const std::string& path, PathLossProvider& fallback,
       std::span<const net::SectorId> sectors,
-      std::span<const radio::TiltIndex> tilts, LoadReport* report = nullptr);
+      std::span<const radio::TiltIndex> tilts, LoadReport* report = nullptr,
+      std::size_t threads = 1);
 
  private:
   using Key = std::pair<std::int32_t, std::int32_t>;
@@ -92,6 +109,13 @@ class PathLossDatabase final : public PathLossProvider {
 
 /// Computes matrices on demand from the propagation model and caches them.
 /// Faithful tilt handling: each (sector, tilt) gets a full rebuild.
+//
+/// The cache is sharded by key with per-entry build-once semantics: a
+/// lookup takes its shard's mutex only long enough to pin the entry node
+/// (std::map nodes are address-stable), then builds outside any lock under
+/// the entry's std::once_flag. Concurrent fetches of *different* keys
+/// never serialize behind one build — a cache miss on one sector used to
+/// stall every evaluation worker behind a single global mutex.
 class BuildingProvider final : public PathLossProvider {
  public:
   /// `network` must outlive the provider; `builder` is copied.
@@ -103,16 +127,52 @@ class BuildingProvider final : public PathLossProvider {
     return builder_.grid();
   }
 
+  /// Builds every (sector, tilt) matrix up front across `threads` workers
+  /// (0 = hardware concurrency) and installs them in the cache, so later
+  /// footprint() calls are pure lookups. Per-sector jobs share radial
+  /// profiles and isotropic planes across tilts (FootprintBuilder::
+  /// build_tilts); entries some thread already built lazily are kept —
+  /// both paths produce bitwise-identical matrices.
+  void prebuild(std::span<const net::SectorId> sectors,
+                std::span<const radio::TiltIndex> tilts,
+                std::size_t threads = 0);
+
   /// Number of matrices built so far (for the ablation bench's cost story).
-  [[nodiscard]] std::size_t built_count() const { return cache_.size(); }
+  [[nodiscard]] std::size_t built_count() const {
+    return built_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook, called at the start of every cache-miss build — outside
+  /// all shard locks, before any work. Lets tests stall one key's build
+  /// and verify other keys stay servable. Set before sharing the provider
+  /// across threads; not synchronized itself.
+  void set_build_hook(
+      std::function<void(net::SectorId, radio::TiltIndex)> hook) {
+    build_hook_ = std::move(hook);
+  }
 
  private:
+  struct Entry {
+    std::once_flag once;
+    SectorFootprint footprint;
+  };
+  /// Cache-line-padded so concurrent lookups on different shards never
+  /// false-share the mutexes.
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::map<std::pair<std::int32_t, std::int32_t>, Entry> map;
+  };
+  static constexpr std::size_t kShardCount = 16;
+
+  /// Pins the (stable) cache node for a key, creating it if needed. Holds
+  /// the shard mutex only for the map operation, never across a build.
+  [[nodiscard]] Entry& entry_for(net::SectorId sector, radio::TiltIndex tilt);
+
   const net::Network* network_;
   FootprintBuilder builder_;
-  /// Guards cache_; std::map node stability keeps returned references
-  /// valid across later insertions.
-  std::mutex mutex_;
-  std::map<std::pair<std::int32_t, std::int32_t>, SectorFootprint> cache_;
+  std::function<void(net::SectorId, radio::TiltIndex)> build_hook_;
+  std::atomic<std::size_t> built_count_{0};
+  std::array<Shard, kShardCount> shards_;
 };
 
 /// Paper-mode tilt approximation: tilt 0 comes from the inner provider;

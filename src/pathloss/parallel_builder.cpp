@@ -1,0 +1,53 @@
+#include "pathloss/parallel_builder.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace magus::pathloss {
+
+ParallelFootprintBuilder::ParallelFootprintBuilder(FootprintBuilder builder,
+                                                   std::size_t threads)
+    : builder_(std::move(builder)), pool_(threads) {}
+
+PathLossDatabase ParallelFootprintBuilder::build_database(
+    const net::Network& network, std::span<const net::SectorId> sectors,
+    std::span<const radio::TiltIndex> tilts) {
+  MAGUS_TRACE_SPAN("pathloss.parallel_build", "pathloss");
+  static auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& rows_counter =
+      registry.counter("pathloss.build.rows");
+  static obs::Gauge& rows_per_sec =
+      registry.gauge("pathloss.build.rows_per_sec");
+
+  const std::uint64_t rows_before = rows_counter.value();
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::vector<SectorFootprint>> results(sectors.size());
+  std::vector<FootprintBuilder::Scratch> scratch(pool_.size());
+  pool_.run(sectors.size(), [&](std::size_t worker, std::size_t i) {
+    results[i] = builder_.build_tilts(network.sector(sectors[i]), tilts,
+                                      &scratch[worker]);
+  });
+
+  PathLossDatabase db{builder_.grid()};
+  for (std::size_t i = 0; i < sectors.size(); ++i) {
+    for (std::size_t t = 0; t < tilts.size(); ++t) {
+      db.insert(sectors[i], tilts[t], std::move(results[i][t]));
+    }
+  }
+
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (elapsed_s > 0.0) {
+    rows_per_sec.set(
+        static_cast<double>(rows_counter.value() - rows_before) / elapsed_s);
+  }
+  return db;
+}
+
+}  // namespace magus::pathloss

@@ -1,0 +1,44 @@
+// Fans per-sector footprint construction across a thread pool.
+//
+// One job per sector builds that sector's whole tilt matrix via
+// FootprintBuilder::build_tilts (radial profiles and isotropic planes are
+// shared across the tilts, so sector granularity amortizes the most work),
+// against per-worker reusable scratch. Results land in per-job slots and
+// are inserted into the database in deterministic (sector, tilt) order, so
+// the output is bitwise identical to a serial build for any thread count —
+// the same discipline the parallel evaluator established.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "net/network.h"
+#include "pathloss/builder.h"
+#include "pathloss/database.h"
+#include "util/thread_pool.h"
+
+namespace magus::pathloss {
+
+class ParallelFootprintBuilder {
+ public:
+  /// `builder` is copied; `threads` == 0 resolves to the hardware
+  /// concurrency. The pool is built once and reused across build calls.
+  ParallelFootprintBuilder(FootprintBuilder builder, std::size_t threads = 0);
+
+  [[nodiscard]] std::size_t thread_count() const { return pool_.size(); }
+  [[nodiscard]] const FootprintBuilder& builder() const { return builder_; }
+
+  /// Builds the matrix for every (sector, tilt) pair and returns them as a
+  /// database over the builder's grid. Bitwise identical to inserting
+  /// serial FootprintBuilder::build results, for any thread count. Updates
+  /// the pathloss.build.* metrics, including the rows/sec throughput gauge.
+  [[nodiscard]] PathLossDatabase build_database(
+      const net::Network& network, std::span<const net::SectorId> sectors,
+      std::span<const radio::TiltIndex> tilts);
+
+ private:
+  FootprintBuilder builder_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace magus::pathloss

@@ -6,6 +6,73 @@
 #include <stdexcept>
 
 namespace magus::radio {
+namespace {
+
+/// Knife-edge loss from the worst obstruction height (m) above the direct
+/// ray. One formula shared by the per-cell reference sampler and the
+/// radial-profile table so the two paths can only differ in *where* they
+/// sample the terrain, never in how an obstruction converts to dB.
+double knife_edge_db(double worst_obstruction_m) {
+  if (worst_obstruction_m <= 0.0) return 0.0;
+  const double loss = 6.0 + 8.0 * std::log2(1.0 + worst_obstruction_m / 10.0);
+  return std::min(loss, 30.0);
+}
+
+}  // namespace
+
+void RadialProfileTable::build(const SiteContext& site, double range_m,
+                               const terrain::TerrainGridCache& cache,
+                               double step_m) {
+  if (step_m <= 0.0) step_m = 400.0;
+  range_m = std::max(range_m, 0.0);
+  tx_total_m_ = site.tx_total_m;
+  step_m_ = step_m;
+
+  // One ray per boundary cell: angular step <= cell_size / range radians,
+  // so two adjacent rays are never farther apart than one cell width even
+  // at maximum range.
+  const double cell = cache.grid().cell_size_m();
+  const double circumference = 2.0 * std::numbers::pi * range_m;
+  ray_count_ = std::max<std::size_t>(
+      16, static_cast<std::size_t>(std::ceil(circumference / cell)));
+  step_deg_ = 360.0 / static_cast<double>(ray_count_);
+
+  // Interior samples strictly inside (0, range): k-th sample at (k+1)*step.
+  samples_per_ray_ = static_cast<std::size_t>(
+      std::max(0.0, std::ceil(range_m / step_m) - 1.0));
+
+  heights_.resize(ray_count_ * samples_per_ray_);
+  for (std::size_t ray = 0; ray < ray_count_; ++ray) {
+    cache.sample_ray_elevations(
+        site.tx.position, static_cast<double>(ray) * step_deg_, step_m,
+        std::span<float>{heights_.data() + ray * samples_per_ray_,
+                         samples_per_ray_});
+  }
+}
+
+double RadialProfileTable::diffraction_db(double bearing_deg,
+                                          double distance_m,
+                                          double rx_total_m) const {
+  if (distance_m < 1.0 || samples_per_ray_ == 0) return 0.0;
+  const std::size_t ray =
+      static_cast<std::size_t>(std::llround(bearing_deg / step_deg_)) %
+      ray_count_;
+  // Samples strictly between the endpoints: s_k = (k+1)*step < distance.
+  const std::size_t prefix = std::min(
+      samples_per_ray_,
+      static_cast<std::size_t>(
+          std::max(0.0, std::ceil(distance_m / step_m_) - 1.0)));
+  const float* h = heights_.data() + ray * samples_per_ray_;
+  const double slope = (rx_total_m - tx_total_m_) / distance_m;
+  double worst_obstruction_m = 0.0;
+  double s = step_m_;
+  for (std::size_t k = 0; k < prefix; ++k, s += step_m_) {
+    const double ray_height = tx_total_m_ + slope * s;
+    worst_obstruction_m =
+        std::max(worst_obstruction_m, static_cast<double>(h[k]) - ray_height);
+  }
+  return knife_edge_db(worst_obstruction_m);
+}
 
 PropagationModel::PropagationModel(const terrain::Terrain* terrain,
                                    SpmParams params)
@@ -95,9 +162,7 @@ double PropagationModel::diffraction_from_profile(
     const double obstruction = cache.elevation_at(p) - ray_height;
     worst_obstruction_m = std::max(worst_obstruction_m, obstruction);
   }
-  if (worst_obstruction_m <= 0.0) return 0.0;
-  const double loss = 6.0 + 8.0 * std::log2(1.0 + worst_obstruction_m / 10.0);
-  return std::min(loss, 30.0);
+  return knife_edge_db(worst_obstruction_m);
 }
 
 double PropagationModel::path_gain_db_cached(
@@ -116,6 +181,80 @@ double PropagationModel::path_gain_db_cached(
 
   return isotropic_gain_from(tx, tx_ground, rx, env) +
          pattern_gain_dbi(tx, tx_ground, antenna, tilt, rx, env.elevation_m);
+}
+
+SiteContext PropagationModel::site_context(
+    const TransmitterSite& tx, const terrain::TerrainGridCache& cache) const {
+  SiteContext ctx;
+  ctx.tx = tx;
+  ctx.tx_ground_m = cache.elevation_at(tx.position);
+  ctx.tx_total_m = ctx.tx_ground_m + tx.height_m;
+  return ctx;
+}
+
+void PropagationModel::isotropic_row_cached(
+    const SiteContext& site, geo::GridIndex first, std::int32_t count,
+    const terrain::TerrainGridCache& cache, const RadialProfileTable& profiles,
+    std::span<float> iso_db, std::span<float> azimuth_off_deg,
+    std::span<float> elevation_deg) const {
+  const geo::GridMap& grid = cache.grid();
+  // All cells of the run share one row: y, and therefore dy, is constant.
+  const geo::Point first_center = grid.center_of(first);
+  const double cell = grid.cell_size_m();
+  const double dy = first_center.y_m - site.tx.position.y_m;
+  const double dy2 = dy * dy;
+  const double deg_per_rad = 180.0 / std::numbers::pi;
+
+  // Constant pieces of the SPM sum, folded once per run instead of per cell:
+  //   loss = max(k1 + k6 h_rx + (k2 + k5 log_h) log_d + k3 log_h + k4 D,
+  //              32.45 + 20 log10(2100) + 20 log_d) + clutter - shadowing.
+  const double spm_const = params_.k1 + params_.k6 * params_.rx_height_m;
+  const double floor_const = 32.45 + 20.0 * std::log10(2100.0);
+
+  for (std::int32_t i = 0; i < count; ++i) {
+    const geo::GridIndex g = first + i;
+    const double dx = (first_center.x_m + static_cast<double>(i) * cell) -
+                      site.tx.position.x_m;
+    const double raw_d = std::sqrt(dx * dx + dy2);
+    const double distance_m = std::max(raw_d, params_.min_distance_m);
+    double bearing = std::atan2(dx, dy) * deg_per_rad;
+    if (bearing < 0.0) bearing += 360.0;
+
+    const double rx_elev = cache.elevation_of(g);
+    const double rx_total = rx_elev + params_.rx_height_m;
+    const double diffraction =
+        profiles.diffraction_db(bearing, raw_d, rx_total);
+
+    const double log_d = std::log10(distance_m / 1000.0);
+    const double h_eff =
+        std::max(5.0, site.tx.height_m + site.tx_ground_m - rx_elev);
+    const double log_h = std::log10(h_eff);
+    const double spm_loss = spm_const + params_.k2 * log_d +
+                            params_.k3 * log_h + params_.k4 * diffraction +
+                            params_.k5 * log_d * log_h;
+    const double floor_loss = floor_const + 20.0 * log_d;
+    const double loss = std::max(spm_loss, floor_loss) +
+                        cache.clutter_loss_of(g) - cache.shadowing_of(g);
+
+    iso_db[static_cast<std::size_t>(i)] = static_cast<float>(-loss);
+    azimuth_off_deg[static_cast<std::size_t>(i)] = static_cast<float>(
+        geo::wrap_angle_deg(bearing - site.tx.azimuth_deg));
+    elevation_deg[static_cast<std::size_t>(i)] = static_cast<float>(
+        std::atan2(rx_total - site.tx_total_m, distance_m) * deg_per_rad);
+  }
+}
+
+void PropagationModel::apply_antenna_row(
+    const AntennaPattern& antenna, TiltIndex tilt,
+    std::span<const float> iso_db, std::span<const float> azimuth_off_deg,
+    std::span<const float> elevation_deg, std::int32_t count,
+    std::span<float> out_gain_db) const {
+  for (std::int32_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(i);
+    out_gain_db[j] = static_cast<float>(
+        static_cast<double>(iso_db[j]) +
+        antenna.gain_dbi(azimuth_off_deg[j], elevation_deg[j], tilt));
+  }
 }
 
 }  // namespace magus::radio

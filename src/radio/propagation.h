@@ -14,11 +14,26 @@
 // paper Formula 1), so typical values run from about -60 near the site to
 // -200 at 30 km, matching the paper's reported range.
 //
-// Two evaluation paths exist: a direct one querying the terrain noise
-// fields per call (exact, used in tests and one-off queries), and a cached
-// one fed by a TerrainGridCache (used by the footprint builder, where the
-// per-call noise evaluation would dominate construction time).
+// Three evaluation paths exist:
+//   - a direct one querying the terrain noise fields per call (exact, used
+//     in tests and one-off queries),
+//   - a cached per-cell one fed by a TerrainGridCache (the bit-exact
+//     reference for matrix construction, kept as the baseline the batched
+//     kernels are benchmarked and tested against),
+//   - a batched row pipeline (site_context / RadialProfileTable /
+//     isotropic_row_cached / apply_antenna_row) that hoists per-site
+//     constants out of the per-cell loop, samples each terrain diffraction
+//     profile once per radial ray instead of once per cell, and splits the
+//     evaluation into a tilt-invariant isotropic pass plus a cheap
+//     per-tilt antenna pass. This is what FootprintBuilder uses; it is
+//     deterministic (bitwise identical for any thread count) and agrees
+//     with the per-cell reference up to documented sampling differences
+//     (sqrt vs hypot distances; ray-quantized diffraction profiles).
 #pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
 
 #include "geo/grid_map.h"
 #include "geo/point.h"
@@ -40,6 +55,9 @@ struct SpmParams {
   double rx_height_m = 1.5;
   double min_distance_m = 25.0;  ///< clamp to avoid the near-field singularity
   int max_diffraction_samples = 16;
+  /// Radial spacing of the shared diffraction-profile samples used by the
+  /// batched kernel (matches the reference sampler's near-range spacing).
+  double profile_step_m = 400.0;
 };
 
 /// Transmitter-side description needed by the propagation model.
@@ -47,6 +65,61 @@ struct TransmitterSite {
   geo::Point position;
   double height_m = 30.0;    ///< antenna height above ground
   double azimuth_deg = 0.0;  ///< boresight compass bearing
+};
+
+/// Per-transmitter constants hoisted out of the per-cell loops: the site
+/// terrain elevation costs a bilinear interpolation, which the reference
+/// kernel re-pays for every cell.
+struct SiteContext {
+  TransmitterSite tx;
+  double tx_ground_m = 0.0;  ///< terrain elevation at the site
+  double tx_total_m = 0.0;   ///< tx_ground_m + tx.height_m
+};
+
+/// Shared terrain diffraction profiles for one transmitter.
+//
+/// The reference kernel resamples the terrain elevation profile between the
+/// site and every receiver cell (up to max_diffraction_samples bilinear
+/// lookups per cell). At footprint scale most of those samples coincide:
+/// cells at the same bearing share one ray. This table casts one ray per
+/// boundary cell (angular step <= one cell width at max range, so the
+/// lateral quantization error stays below the grid's own discretization),
+/// samples each ray's elevations once at a fixed radial step, and then
+/// answers per-cell knife-edge queries with a cheap prefix scan over the
+/// stored heights — terrain is sampled once per ray instead of once per
+/// cell. build() may be called repeatedly to re-aim the table at another
+/// site; storage is reused.
+class RadialProfileTable {
+ public:
+  /// Samples the rays for `site` out to `range_m` on `cache`'s terrain.
+  /// `step_m` <= 0 falls back to 400 m spacing.
+  void build(const SiteContext& site, double range_m,
+             const terrain::TerrainGridCache& cache, double step_m);
+
+  /// Knife-edge diffraction loss (dB, >= 0) toward a receiver at the given
+  /// compass bearing / straight-line distance whose antenna tops out at
+  /// `rx_total_m`. Identical formula to the reference kernel; only the
+  /// profile sampling differs as documented above.
+  [[nodiscard]] double diffraction_db(double bearing_deg, double distance_m,
+                                      double rx_total_m) const;
+
+  [[nodiscard]] std::size_t ray_count() const { return ray_count_; }
+  [[nodiscard]] std::size_t samples_per_ray() const {
+    return samples_per_ray_;
+  }
+  /// Total terrain samples taken by the last build() (the cost the table
+  /// amortizes across cells; exported as pathloss.build.profile_samples).
+  [[nodiscard]] std::size_t sample_count() const {
+    return ray_count_ * samples_per_ray_;
+  }
+
+ private:
+  std::size_t ray_count_ = 0;
+  std::size_t samples_per_ray_ = 0;
+  double step_m_ = 0.0;
+  double step_deg_ = 0.0;
+  double tx_total_m_ = 0.0;
+  std::vector<float> heights_;  ///< [ray][sample], sample k at (k+1)*step_m
 };
 
 class PropagationModel {
@@ -63,8 +136,9 @@ class PropagationModel {
                                     const AntennaPattern& antenna,
                                     TiltIndex tilt, geo::Point rx) const;
 
-  /// Same quantity for a grid cell, served from the cache (fast path for
-  /// footprint construction). The cache must cover the cell's grid.
+  /// Same quantity for a grid cell, served from the cache. This is the
+  /// bit-exact per-cell reference the batched row kernel is validated
+  /// against; bulk construction goes through the batched pipeline below.
   [[nodiscard]] double path_gain_db_cached(
       const TransmitterSite& tx, const AntennaPattern& antenna, TiltIndex tilt,
       geo::GridIndex g, const terrain::TerrainGridCache& cache) const;
@@ -73,6 +147,35 @@ class PropagationModel {
   /// diffraction + shadowing. Exposed for testing and for omni antennas.
   [[nodiscard]] double isotropic_path_gain_db(const TransmitterSite& tx,
                                               geo::Point rx) const;
+
+  /// Hoists the per-site constants (one bilinear terrain lookup) for the
+  /// batched kernels.
+  [[nodiscard]] SiteContext site_context(
+      const TransmitterSite& tx, const terrain::TerrainGridCache& cache) const;
+
+  /// Batched isotropic pass over `count` consecutive cells of one grid row
+  /// starting at cell `first` (all in the same row). Writes, per cell, the
+  /// isotropic gain (SPM + clutter + shadowing + profile-table diffraction)
+  /// and the geometry the antenna pass needs (azimuth off boresight,
+  /// elevation angle). These planes are tilt-invariant: one isotropic pass
+  /// per sector serves every tilt's footprint. Deterministic; safe to call
+  /// concurrently with distinct output spans.
+  void isotropic_row_cached(const SiteContext& site, geo::GridIndex first,
+                            std::int32_t count,
+                            const terrain::TerrainGridCache& cache,
+                            const RadialProfileTable& profiles,
+                            std::span<float> iso_db,
+                            std::span<float> azimuth_off_deg,
+                            std::span<float> elevation_deg) const;
+
+  /// Per-tilt pass: total gain = iso + antenna.gain_dbi(azimuth, elevation,
+  /// tilt) for each of the `count` cells. The only tilt-dependent work —
+  /// pure arithmetic, no terrain or transcendental-heavy geometry.
+  void apply_antenna_row(const AntennaPattern& antenna, TiltIndex tilt,
+                         std::span<const float> iso_db,
+                         std::span<const float> azimuth_off_deg,
+                         std::span<const float> elevation_deg,
+                         std::int32_t count, std::span<float> out_gain_db) const;
 
   [[nodiscard]] const SpmParams& params() const { return params_; }
 
@@ -93,7 +196,8 @@ class PropagationModel {
                                         const AntennaPattern& antenna,
                                         TiltIndex tilt, geo::Point rx,
                                         double rx_ground_m) const;
-  /// Knife-edge diffraction from a sampled elevation profile.
+  /// Knife-edge diffraction from a per-cell sampled elevation profile (the
+  /// reference path; the batched kernel asks the RadialProfileTable).
   [[nodiscard]] double diffraction_from_profile(
       geo::Point a, double elev_a_m, geo::Point b, double elev_b_m,
       const terrain::TerrainGridCache& cache) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 
 #include "util/rng.h"
 
@@ -159,6 +160,21 @@ double TerrainGridCache::elevation_at(geo::Point p) const {
   const double top = at(c0, r1) * (1.0 - tx) + at(c1, r1) * tx;
   const double bottom = at(c0, r0) * (1.0 - tx) + at(c1, r0) * tx;
   return bottom * (1.0 - ty) + top * ty;
+}
+
+void TerrainGridCache::sample_ray_elevations(geo::Point origin,
+                                             double bearing_deg, double step_m,
+                                             std::span<float> out) const {
+  const double rad = bearing_deg * std::numbers::pi / 180.0;
+  const double dx = std::sin(rad) * step_m;  // compass bearing: 0 = north
+  const double dy = std::cos(rad) * step_m;
+  double x = origin.x_m;
+  double y = origin.y_m;
+  for (float& v : out) {
+    x += dx;
+    y += dy;
+    v = static_cast<float>(elevation_at({x, y}));
+  }
 }
 
 }  // namespace magus::terrain

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -106,6 +107,14 @@ class TerrainGridCache {
 
   /// Bilinear elevation at an arbitrary point, clamped to the grid.
   [[nodiscard]] double elevation_at(geo::Point p) const;
+
+  /// Bilinear elevations along the compass ray leaving `origin` at
+  /// `bearing_deg`: out[k] = elevation_at(origin + (k+1)*step_m toward the
+  /// bearing), i.e. the first sample sits one step from the origin. The
+  /// batched footprint kernel fills whole diffraction rays through this
+  /// instead of resampling the profile per receiver cell.
+  void sample_ray_elevations(geo::Point origin, double bearing_deg,
+                             double step_m, std::span<float> out) const;
 
  private:
   geo::GridMap grid_;

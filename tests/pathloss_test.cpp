@@ -11,6 +11,7 @@
 #include "pathloss/builder.h"
 #include "pathloss/database.h"
 #include "pathloss/footprint.h"
+#include "pathloss/parallel_builder.h"
 #include "pathloss/tilt_delta.h"
 #include "test_helpers.h"
 #include "util/rng.h"
@@ -232,6 +233,179 @@ TEST_F(BuilderTest, ApproxTiltMatchesExactDirection) {
   EXPECT_NEAR(approx_up.gain_db(far), exact_up.gain_db(far), 2.5);
 }
 
+void expect_bitwise_equal(const SectorFootprint& a, const SectorFootprint& b) {
+  ASSERT_EQ(a.grid_cols(), b.grid_cols());
+  ASSERT_EQ(a.grid_rows(), b.grid_rows());
+  ASSERT_EQ(a.col0(), b.col0());
+  ASSERT_EQ(a.row0(), b.row0());
+  ASSERT_EQ(a.window_cols(), b.window_cols());
+  ASSERT_EQ(a.window_rows(), b.window_rows());
+  const auto wa = a.window();
+  const auto wb = b.window();
+  ASSERT_EQ(wa.size(), wb.size());
+  // memcmp instead of element compares: NaN (uncovered) must match too.
+  EXPECT_EQ(std::memcmp(wa.data(), wb.data(), wa.size() * sizeof(float)), 0);
+}
+
+[[nodiscard]] std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+}
+
+TEST_F(BuilderTest, BatchedMatchesReferenceOnFlatTerrain) {
+  // Flat terrain has no diffraction, so the batched kernel and the legacy
+  // per-cell reference share every input; only float rounding of the
+  // staged isotropic plane and sqrt-vs-hypot distances separate them.
+  const net::Sector sector = make_sector();
+  for (const radio::TiltIndex tilt : {-2, 0, 3}) {
+    const auto reference = builder_.build_reference(sector, tilt);
+    const auto batched = builder_.build(sector, tilt);
+    ASSERT_EQ(batched.covered_count(), reference.covered_count());
+    reference.for_each_covered([&](geo::GridIndex g, float gain) {
+      ASSERT_TRUE(batched.covers(g)) << "cell " << g;
+      EXPECT_NEAR(batched.gain_db(g), gain, 0.01) << "cell " << g;
+    });
+  }
+}
+
+TEST_F(BuilderTest, BuildTiltsMatchesSingleBuilds) {
+  const net::Sector sector = make_sector();
+  const std::vector<radio::TiltIndex> tilts = {-2, 0, 1, 4};
+  const auto batch = builder_.build_tilts(sector, tilts);
+  ASSERT_EQ(batch.size(), tilts.size());
+  for (std::size_t t = 0; t < tilts.size(); ++t) {
+    const auto single = builder_.build(sector, tilts[t]);
+    expect_bitwise_equal(batch[t], single);
+  }
+}
+
+// The batched kernel's radial diffraction profiles quantize the ray
+// bearing (one ray per boundary cell) and sample at a fixed radial step,
+// so on rough terrain individual cells near an obstruction edge may
+// disagree with the per-cell reference sampler. The disagreement must stay
+// bounded: small on average, rare in the tail, and with near-identical
+// coverage.
+class HillyBuilderTest : public ::testing::Test {
+ protected:
+  HillyBuilderTest()
+      : terrain_(11, hilly()),
+        grid_(geo::Rect{{0, 0}, {6000, 6000}}, 100.0),
+        cache_(terrain_, grid_),
+        propagation_(&terrain_, radio::SpmParams{}),
+        builder_(&propagation_, &cache_, 2500.0) {}
+
+  static terrain::TerrainParams hilly() {
+    terrain::TerrainParams params;  // default 120 m relief, 6 dB shadowing
+    return params;
+  }
+
+  terrain::Terrain terrain_;
+  geo::GridMap grid_;
+  terrain::TerrainGridCache cache_;
+  radio::PropagationModel propagation_;
+  FootprintBuilder builder_;
+};
+
+TEST_F(HillyBuilderTest, BatchedCloseToReferenceOnRoughTerrain) {
+  net::Sector sector;
+  sector.id = 0;
+  sector.position = {2600.0, 3100.0};
+  sector.azimuth_deg = 120.0;
+  sector.height_m = 30.0;
+  const auto reference = builder_.build_reference(sector, 0);
+  const auto batched = builder_.build(sector, 0);
+
+  std::size_t both = 0;
+  std::size_t disagree_coverage = 0;
+  std::size_t over_3db = 0;
+  double sum_abs = 0.0;
+  for (geo::GridIndex g = 0; g < grid_.cell_count(); ++g) {
+    const bool in_ref = reference.covers(g);
+    const bool in_batched = batched.covers(g);
+    if (in_ref != in_batched) {
+      ++disagree_coverage;
+      continue;
+    }
+    if (!in_ref) continue;
+    ++both;
+    const double diff = std::fabs(reference.gain_db(g) - batched.gain_db(g));
+    sum_abs += diff;
+    if (diff > 3.0) ++over_3db;
+    // The knife-edge term is capped at 30 dB, bounding any single cell.
+    EXPECT_LE(diff, 30.0 * propagation_.params().k4 + 0.01) << "cell " << g;
+  }
+  ASSERT_GT(both, 500u);
+  EXPECT_LT(static_cast<double>(disagree_coverage) /
+                static_cast<double>(both + disagree_coverage),
+            0.10);
+  EXPECT_LT(sum_abs / static_cast<double>(both), 1.0);
+  EXPECT_LT(static_cast<double>(over_3db) / static_cast<double>(both), 0.08);
+}
+
+TEST_F(BuilderTest, ParallelBuilderBitwiseIdenticalAcrossThreadCounts) {
+  net::Network network;
+  std::vector<net::SectorId> sectors;
+  for (std::int32_t i = 0; i < 4; ++i) {
+    net::Sector sector = make_sector();
+    sector.id = i;
+    sector.site = i / 2;
+    sector.position = {1200.0 + 600.0 * i, 900.0 + 500.0 * i};
+    sector.azimuth_deg = 90.0 * i;
+    network.add_sector(sector);
+    sectors.push_back(i);
+  }
+  const std::vector<radio::TiltIndex> tilts = {-2, 0, 2};
+
+  // Serial ground truth: one FootprintBuilder::build per (sector, tilt).
+  PathLossDatabase serial{grid_};
+  for (const net::SectorId s : sectors) {
+    for (const radio::TiltIndex t : tilts) {
+      serial.insert(s, t, builder_.build(network.sector(s), t));
+    }
+  }
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ParallelFootprintBuilder parallel{builder_, threads};
+    PathLossDatabase db = parallel.build_database(network, sectors, tilts);
+    ASSERT_EQ(db.entry_count(), serial.entry_count()) << threads;
+    for (const net::SectorId s : sectors) {
+      for (const radio::TiltIndex t : tilts) {
+        expect_bitwise_equal(db.footprint(s, t), serial.footprint(s, t));
+      }
+    }
+    // Byte-identical on disk too (save order is key order, not build order).
+    const std::string serial_path =
+        ::testing::TempDir() + "/magus_pl_serial.bin";
+    const std::string parallel_path =
+        ::testing::TempDir() + "/magus_pl_par.bin";
+    serial.save(serial_path, 1);
+    db.save(parallel_path, threads);
+    EXPECT_EQ(file_bytes(serial_path), file_bytes(parallel_path)) << threads;
+    std::remove(serial_path.c_str());
+    std::remove(parallel_path.c_str());
+  }
+}
+
+TEST_F(BuilderTest, ParallelLoadMatchesSerialLoad) {
+  const net::Sector sector = make_sector();
+  PathLossDatabase db{grid_};
+  for (const radio::TiltIndex tilt : {-3, -1, 0, 2, 5}) {
+    db.insert(0, tilt, builder_.build(sector, tilt));
+  }
+  const std::string path = ::testing::TempDir() + "/magus_pl_parload.bin";
+  db.save(path, 4);
+  PathLossDatabase serial = PathLossDatabase::load(path, 1);
+  PathLossDatabase parallel = PathLossDatabase::load(path, 4);
+  std::remove(path.c_str());
+  ASSERT_EQ(serial.entry_count(), 5u);
+  ASSERT_EQ(parallel.entry_count(), 5u);
+  for (const radio::TiltIndex tilt : {-3, -1, 0, 2, 5}) {
+    expect_bitwise_equal(parallel.footprint(0, tilt),
+                         serial.footprint(0, tilt));
+  }
+}
+
 TEST(Database, InsertValidatesGrid) {
   const geo::GridMap grid{geo::Rect{{0, 0}, {500, 500}}, 100.0};
   PathLossDatabase db{grid};
@@ -376,6 +550,65 @@ TEST_F(DatabaseCorruption, LoadOrRebuildRepairsCorruptFile) {
   // The repaired file on disk loads cleanly now.
   const PathLossDatabase reloaded = PathLossDatabase::load(path_);
   EXPECT_EQ(reloaded.entry_count(), 2u);
+}
+
+TEST_F(DatabaseCorruption, ParallelLoadReportsSameErrors) {
+  // The parallel loader must report the same specific message as the
+  // serial scan for every corruption class, for any thread count.
+  std::string bytes = read_file();
+  bytes[bytes.size() - 3] =
+      static_cast<char>(bytes[bytes.size() - 3] ^ 0x10);
+  write_file(bytes);
+  for (const std::size_t threads : {1u, 3u}) {
+    try {
+      (void)PathLossDatabase::load(path_, threads);
+      ADD_FAILURE() << "load unexpectedly succeeded at threads " << threads;
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string{error.what()}.find(
+                    "checksum mismatch (entry 1 of 2"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST_F(DatabaseCorruption, LoadOrRebuildParallelMatchesSerial) {
+  // A corrupted entry forces the rebuild path; rebuilding across threads
+  // must produce a database (and a re-saved file) identical to the serial
+  // rebuild.
+  const std::string corrupted = [&] {
+    std::string bytes = read_file();
+    bytes[bytes.size() - 3] =
+        static_cast<char>(bytes[bytes.size() - 3] ^ 0x10);
+    return bytes;
+  }();
+  const std::vector<net::SectorId> sectors = {0};
+  const std::vector<radio::TiltIndex> tilts = {0, 1};
+
+  write_file(corrupted);
+  PathLossDatabase::LoadReport serial_report;
+  PathLossDatabase serial = PathLossDatabase::load_or_rebuild(
+      path_, provider_, sectors, tilts, &serial_report, 1);
+  const std::string serial_file = read_file();
+
+  write_file(corrupted);
+  PathLossDatabase::LoadReport parallel_report;
+  PathLossDatabase parallel = PathLossDatabase::load_or_rebuild(
+      path_, provider_, sectors, tilts, &parallel_report, 3);
+
+  EXPECT_TRUE(serial_report.rebuilt);
+  EXPECT_TRUE(parallel_report.rebuilt);
+  EXPECT_EQ(serial_report.error, parallel_report.error);
+  ASSERT_EQ(parallel.entry_count(), serial.entry_count());
+  for (const radio::TiltIndex tilt : tilts) {
+    const auto& a = serial.footprint(0, tilt);
+    const auto& b = parallel.footprint(0, tilt);
+    ASSERT_EQ(a.window().size(), b.window().size());
+    EXPECT_EQ(std::memcmp(a.window().data(), b.window().data(),
+                          a.window().size() * sizeof(float)),
+              0);
+  }
+  EXPECT_EQ(read_file(), serial_file);  // re-saved bytes identical too
 }
 
 TEST_F(DatabaseCorruption, LoadOrRebuildDetectsGridMismatch) {
