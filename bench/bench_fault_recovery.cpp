@@ -8,13 +8,22 @@
 // reactive feedback pays a live trial-and-measure window per probe while
 // the coverage hole persists. Reported per strategy: recovery time,
 // lost-service UE-seconds, and the final utility of the window.
+// With --json, additionally runs a campaign-level crash/resume scenario
+// (write-ahead journal, mid-campaign kill, resume, quarantine breaker,
+// deadline watchdog) and writes the CampaignResult summary — the committed
+// BENCH_recovery.json baseline.
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "bench_common.h"
 #include "core/contingency.h"
 #include "core/strategies.h"
+#include "exec/campaign_runner.h"
 #include "exec/executor.h"
 #include "exec/fault_injector.h"
+#include "exec/journal.h"
+#include "traffic/campaign.h"
 #include "util/csv.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -56,6 +65,8 @@ int main(int argc, char** argv) {
   args.add_flag("csv", "", "optional CSV output path");
   args.add_flag("exec-json", "",
                 "optional path for the structured ExecutionTrace JSON");
+  args.add_flag("json", "",
+                "optional path for the campaign-level crash/resume summary");
   try {
     if (!args.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
@@ -221,6 +232,144 @@ int main(int argc, char** argv) {
     exec_json.set("runs", std::move(exec_runs));
     exec_json.write_file(exec_json_path);
     std::cout << "ExecutionTrace JSON written to " << exec_json_path << "\n\n";
+  }
+
+  // ---- Campaign-level crash/resume summary (--json) ----------------------
+  // A three-upgrade campaign on market 0 with a flapping neighbor: the
+  // same sector drops during the first two upgrades, tripping the
+  // quarantine breaker; an expensive retry rung plus a tight window budget
+  // forces a deadline skip; and the whole campaign is killed at its
+  // journal midpoint and resumed — the summary reports windows completed,
+  // resumes, quarantine events, deadline skips, and whether the resumed
+  // traces match the uninterrupted baseline bit for bit.
+  if (const std::string json_path = args.get_string("json");
+      !json_path.empty()) {
+    data::Experiment experiment{bench::market_params(
+        data::Morphology::kSuburban, 0, scale, seed)};
+    core::Evaluator evaluator{&experiment.model(),
+                              core::Utility::performance()};
+    core::PlannerOptions popts;
+    popts.mode = core::TuningMode::kPower;
+    const core::MagusPlanner planner{&evaluator, popts};
+    experiment.model().freeze_uniform_ue_density();
+
+    const auto primary_targets = data::upgrade_targets(
+        experiment.market(), data::UpgradeScenario::kSingleSector);
+    const auto primary_involved = planner.involved_sectors(primary_targets);
+    if (primary_involved.size() < 3) {
+      std::cerr << "campaign summary skipped: market too small\n";
+      return 0;
+    }
+    const net::SectorId flapping =
+        worst_neighbor(evaluator, primary_involved);
+
+    std::vector<traffic::PlannedUpgrade> upgrades;
+    {
+      traffic::PlannedUpgrade first;
+      first.targets.assign(primary_targets.begin(), primary_targets.end());
+      first.involved = primary_involved;
+      upgrades.push_back(std::move(first));
+    }
+    for (const net::SectorId s : primary_involved) {
+      if (upgrades.size() >= 3) break;
+      if (s == flapping ||
+          std::find(primary_targets.begin(), primary_targets.end(), s) !=
+              primary_targets.end()) {
+        continue;
+      }
+      traffic::PlannedUpgrade next;
+      next.targets = {s};
+      const net::SectorId one[] = {s};
+      next.involved = planner.involved_sectors(one);
+      upgrades.push_back(std::move(next));
+    }
+    const traffic::CampaignSchedule schedule =
+        traffic::schedule_campaign(upgrades);
+
+    const std::vector<std::vector<net::SectorId>> outages = {{flapping}};
+    const auto contingencies =
+        core::ContingencyTable::build(planner, outages);
+
+    exec::CampaignOptions copts;
+    copts.executor.utility_tolerance = 1e-6;
+    // Retry is deliberately unaffordable (worst case 6000 s vs a 1800 s
+    // usable window) so the watchdog records a skip and the ladder falls
+    // through to the contingency push.
+    copts.executor.push_backoff.initial_delay_s = 2'000.0;
+    copts.executor.push_backoff.max_delay_s = 2'000.0;
+    copts.quarantine.fault_threshold = 2;
+    copts.window_utilization = 0.1;
+    copts.seed = seed;
+    const exec::CampaignRunner runner{&evaluator, &planner, copts};
+
+    const auto make_env = [&](exec::Journal* journal) {
+      exec::CampaignEnv env;
+      env.contingencies = &contingencies;
+      env.journal = journal;
+      env.injector_factory =
+          [flapping](std::size_t upgrade) -> std::unique_ptr<exec::FaultInjector> {
+        auto injector = std::make_unique<exec::ScriptedFaultInjector>();
+        if (upgrade < 2) {
+          injector->add(exec::FaultEvent{exec::FaultKind::kSectorOutage,
+                                         /*step=*/2, flapping});
+        }
+        return injector;
+      };
+      return env;
+    };
+
+    const std::string wal_path = json_path + ".wal";
+    exec::CampaignResult baseline;
+    std::uint64_t records_written = 0;
+    {
+      exec::Journal journal{wal_path, exec::Journal::Mode::kTruncate};
+      baseline = runner.run(upgrades, schedule, make_env(&journal));
+      records_written = journal.records_written();
+    }
+    const std::uint64_t crash_record = records_written / 2;
+    {
+      exec::Journal journal{wal_path, exec::Journal::Mode::kTruncate};
+      journal.set_crash_after(crash_record);
+      try {
+        (void)runner.run(upgrades, schedule, make_env(&journal));
+        std::cerr << "campaign crash point never fired\n";
+        return 1;
+      } catch (const exec::JournalCrash&) {
+      }
+    }
+    exec::Journal journal{wal_path, exec::Journal::Mode::kContinue};
+    const exec::Journal::Replay replay = exec::Journal::replay(wal_path);
+    exec::CampaignEnv env = make_env(&journal);
+    env.recovered = replay.records;
+    const exec::CampaignResult resumed =
+        runner.run(upgrades, schedule, env);
+
+    bool resume_matches = resumed.upgrades.size() == baseline.upgrades.size();
+    for (std::size_t i = 0; resume_matches && i < resumed.upgrades.size();
+         ++i) {
+      resume_matches =
+          resumed.upgrades[i].outcome == baseline.upgrades[i].outcome &&
+          resumed.upgrades[i].trace.to_json().dump() ==
+              baseline.upgrades[i].trace.to_json().dump();
+    }
+
+    util::JsonObject out;
+    out.set("bench", "fault_recovery_campaign");
+    out.set("upgrades", static_cast<std::int64_t>(upgrades.size()));
+    out.set("records_written", static_cast<std::int64_t>(records_written));
+    out.set("crash_record", static_cast<std::int64_t>(crash_record));
+    out.set("resume_matches_baseline", resume_matches);
+    out.set("campaign", resumed.to_json());
+    out.write_file(json_path);
+    std::remove(wal_path.c_str());
+    std::cout << "Campaign crash/resume summary written to " << json_path
+              << "\n  windows " << resumed.windows_completed << "/"
+              << resumed.windows_total << ", resumes " << resumed.resumes
+              << ", quarantine events " << resumed.quarantine_events
+              << ", deadline skips " << resumed.deadline_skips
+              << ", resume matches baseline: "
+              << (resume_matches ? "yes" : "no") << "\n\n";
+    if (!resume_matches) return 1;
   }
 
   std::cout << "Mid-migration neighbor outage: recovery by strategy\n"

@@ -3,12 +3,26 @@
 // export the per-site recommendations as CSV.
 //
 //   $ upgrade_campaign [--seed N] [--mode joint] [--csv campaign.csv]
+//
+// With --execute the planned upgrades are scheduled into conflict-free
+// windows and *played* through the crash-safe campaign runner: every step
+// is written ahead to --journal, random faults strike mid-window, and
+// flapping sectors get quarantined. Kill the process at any point and run
+// the same command again with --resume: the campaign continues from the
+// last confirmed step instead of re-pushing completed work.
+//
+//   $ upgrade_campaign --execute --journal campaign.wal
+//   $ upgrade_campaign --execute --journal campaign.wal --resume
 #include <iostream>
 #include <memory>
 
 #include "core/planner.h"
 #include "data/experiment.h"
+#include "exec/campaign_runner.h"
+#include "exec/fault_injector.h"
+#include "exec/journal.h"
 #include "obs/session.h"
+#include "traffic/campaign.h"
 #include "util/args.h"
 #include "util/csv.h"
 #include "util/stats.h"
@@ -33,6 +47,14 @@ int main(int argc, char** argv) {
   args.add_flag("mode", "joint", "power | tilt | joint | naive");
   args.add_flag("csv", "", "optional path for CSV export");
   args.add_flag("max-sites", "6", "cap on the number of sites planned");
+  args.add_flag("execute", "false",
+                "play the campaign through the crash-safe runner");
+  args.add_flag("journal", "campaign.wal",
+                "write-ahead journal path (with --execute)");
+  args.add_flag("resume", "false",
+                "continue from the journal's last confirmed step");
+  args.add_flag("fault-rate", "0.15",
+                "per-step neighbor-outage probability (with --execute)");
   util::add_threads_flag(args);
   util::add_obs_flags(args);
   try {
@@ -84,10 +106,15 @@ int main(int argc, char** argv) {
                     "seamless_fraction"});
   }
 
+  std::vector<traffic::PlannedUpgrade> upgrades;
   for (const net::SiteId site : sites) {
     const auto targets = network.sectors_at_site(site);
     const core::MitigationPlan plan = planner.plan_upgrade(targets);
     recoveries.push_back(plan.recovery);
+    traffic::PlannedUpgrade upgrade;
+    upgrade.targets.assign(targets.begin(), targets.end());
+    upgrade.involved = plan.involved;
+    upgrades.push_back(std::move(upgrade));
 
     const auto tuned = static_cast<long long>(
         network.default_configuration().diff(plan.search.config).size() -
@@ -118,5 +145,70 @@ int main(int argc, char** argv) {
   std::cout << "\nrecovery across sites: " << util::summarize(recoveries)
             << '\n';
   if (csv) std::cout << "CSV written to " << args.get_string("csv") << '\n';
+
+  if (!args.get_bool("execute")) return 0;
+
+  // ---- Crash-safe execution ----------------------------------------------
+  const traffic::CampaignSchedule schedule =
+      traffic::schedule_campaign(upgrades);
+  experiment.model().freeze_uniform_ue_density();
+
+  const std::string journal_path = args.get_string("journal");
+  const bool resume = args.get_bool("resume");
+  exec::Journal journal{journal_path, resume
+                                          ? exec::Journal::Mode::kContinue
+                                          : exec::Journal::Mode::kTruncate};
+  const exec::Journal::Replay recovered =
+      resume ? exec::Journal::replay(journal_path) : exec::Journal::Replay{};
+  if (resume) {
+    std::cout << "\nresuming from " << journal_path << ": "
+              << recovered.records.size() << " journal records"
+              << (recovered.torn_tail ? " (torn tail discarded)" : "")
+              << '\n';
+  }
+
+  exec::CampaignOptions copts;
+  copts.seed = params.seed;
+  copts.quarantine.fault_threshold = 2;
+  const exec::CampaignRunner runner{&evaluator, &planner, copts};
+
+  exec::CampaignEnv env;
+  env.journal = &journal;
+  env.recovered = recovered.records;
+  // Seeded per-upgrade fault stream: each window risks losing one of its
+  // tuned neighbors. Deterministic per upgrade index, so a resumed run
+  // replays the exact faults the crashed one saw.
+  const double fault_rate = args.get_double("fault-rate");
+  env.injector_factory =
+      [&](std::size_t upgrade) -> std::unique_ptr<exec::FaultInjector> {
+    exec::RandomFaultOptions fopts;
+    fopts.outage_probability_per_step = fault_rate;
+    fopts.outage_candidates = upgrades[upgrade].involved;
+    return std::make_unique<exec::RandomFaultInjector>(
+        exec::upgrade_seed(copts.seed, upgrade), fopts);
+  };
+
+  const exec::CampaignResult result =
+      runner.run(upgrades, schedule, env);
+
+  std::cout << "\nCampaign execution ("
+            << (result.completed ? "completed" : "aborted") << "): windows "
+            << result.windows_completed << "/" << result.windows_total
+            << ", resumes " << result.resumes << ", quarantine events "
+            << result.quarantine_events << ", deadline skips "
+            << result.deadline_skips << '\n';
+  util::TablePrinter exec_table(
+      {"upgrade", "window", "outcome", "steps", "recovery actions"});
+  for (const auto& upgrade : result.upgrades) {
+    exec_table.add_row(
+        {std::to_string(upgrade.upgrade), std::to_string(upgrade.window),
+         exec::upgrade_outcome_name(upgrade.outcome),
+         std::to_string(upgrade.trace.steps.size()),
+         std::to_string(upgrade.trace.recovery_action_count())});
+  }
+  exec_table.print(std::cout);
+  std::cout << "\njournal: " << journal_path << " ("
+            << journal.records_written()
+            << " records). Re-run with --resume to continue after a crash.\n";
   return 0;
 }

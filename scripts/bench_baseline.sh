@@ -15,7 +15,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-for bin in bench_micro_model bench_fig12_convergence bench_pathloss_build; do
+for bin in bench_micro_model bench_fig12_convergence bench_pathloss_build \
+           bench_fault_recovery; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -39,8 +40,12 @@ echo "== path-loss build pipeline (legacy vs batched, 8 threads) =="
 "$BUILD_DIR/bench/bench_pathloss_build" --threads 8 \
   --json BENCH_pathloss.json
 
+echo "== crash-safe campaign execution (journal, resume, quarantine) =="
+"$BUILD_DIR/bench/bench_fault_recovery" \
+  --json BENCH_recovery.json >/dev/null
+
 echo
-echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json BENCH_pathloss.json"
+echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json BENCH_pathloss.json BENCH_recovery.json"
 python3 - <<'PY' 2>/dev/null || true
 import json
 m = json.load(open('BENCH_model.json'))
@@ -51,4 +56,11 @@ p = json.load(open('BENCH_pathloss.json'))
 print(f"path-loss build speedup (parallel vs legacy): "
       f"{p['speedup_parallel_vs_legacy']:.2f}x "
       f"(identical: {p['entries_identical'] and p['files_identical']})")
+r = json.load(open('BENCH_recovery.json'))
+c = r['campaign']
+print(f"campaign crash/resume: windows {c['windows_completed']}/"
+      f"{c['windows_total']}, resumes {c['resumes']}, "
+      f"quarantines {c['quarantine_events']}, "
+      f"deadline skips {c['deadline_skips']}, "
+      f"resume matches baseline: {r['resume_matches_baseline']}")
 PY

@@ -90,7 +90,20 @@ ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
   ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
 
+echo "==> Crash-injection harness under ASan + UBSan"
+# The crash-safety oracle: kill the executor / campaign runner at every
+# journal record boundary, resume from the write-ahead log, and fail on
+# any divergence from the uninterrupted run (trace, final configuration,
+# or a re-pushed confirmed step). The journal fuzz (truncation at every
+# byte offset) rides along in the same filter.
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  ./build-sanitize/tests/magus_tests \
+    --gtest_filter='RecoveryTest.*:CampaignTest.*:JournalTest.*'
+
 echo "==> ThreadSanitizer build + parallel tests (TSan)"
+# magus_parallel_tests includes exec_recovery_parallel_test: the campaign
+# runner's crash/resume path on a multi-threaded planner pool.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan >/dev/null
 cmake --build build-tsan -j "$jobs" --target magus_parallel_tests
 TSAN_OPTIONS="halt_on_error=1" \

@@ -43,10 +43,26 @@ const MitigationPlan* ContingencyTable::lookup(
 }
 
 ContingencyTable::NearestMatch ContingencyTable::lookup_nearest(
-    std::span<const net::SectorId> failed) const {
+    std::span<const net::SectorId> failed,
+    std::span<const net::SectorId> excluded) const {
   const Key wanted = key_of(failed);
+  const Key vetoed = key_of(excluded);
+  // An entry "references" an excluded sector when its outage key names one
+  // (the plan was built for that sector's failure) or its tuned involved
+  // set leans on one (the stored C_after reconfigures fenced equipment).
+  const auto references_excluded = [&](const Key& key,
+                                       const MitigationPlan& plan) {
+    if (vetoed.empty()) return false;
+    const auto hit = [&](net::SectorId s) {
+      return std::binary_search(vetoed.begin(), vetoed.end(), s);
+    };
+    return std::any_of(key.begin(), key.end(), hit) ||
+           std::any_of(plan.involved.begin(), plan.involved.end(), hit);
+  };
+
   NearestMatch match;
-  if (const auto it = plans_.find(wanted); it != plans_.end()) {
+  if (const auto it = plans_.find(wanted);
+      it != plans_.end() && !references_excluded(it->first, it->second)) {
     match.plan = &it->second;
     match.covered = wanted;
     return match;
@@ -58,6 +74,7 @@ ContingencyTable::NearestMatch ContingencyTable::lookup_nearest(
     if (!std::includes(wanted.begin(), wanted.end(), key.begin(), key.end())) {
       continue;
     }
+    if (references_excluded(key, plan)) continue;
     if (match.plan == nullptr || key.size() > best_key->size() ||
         (key.size() == best_key->size() &&
          plan.recovery > match.plan->recovery)) {
@@ -77,19 +94,28 @@ ContingencyTable::NearestMatch ContingencyTable::lookup_nearest(
 
 bool ContingencyTable::apply(model::AnalysisModel& model,
                              std::span<const net::SectorId> failed,
-                             bool allow_nearest) const {
+                             bool allow_nearest,
+                             std::span<const net::SectorId> excluded) const {
+  const auto push = [&](const MitigationPlan& plan,
+                        std::span<const net::SectorId> uncovered) {
+    net::Configuration config = plan.search.config;
+    // Quarantined sectors are pinned: the push must not reconfigure them.
+    const net::Configuration& live = model.configuration();
+    for (const net::SectorId q : excluded) config[q] = live[q];
+    // The stored plan only knows about its own outage set; the rest of the
+    // failure still has to come off-air.
+    for (const net::SectorId s : uncovered) config[s].active = false;
+    model.set_configuration(config);
+  };
   if (!allow_nearest) {
-    const MitigationPlan* plan = lookup(failed);
-    if (plan == nullptr) return false;
-    model.set_configuration(plan->search.config);
+    const NearestMatch match = lookup_nearest(failed, excluded);
+    if (!match.exact()) return false;
+    push(*match.plan, {});
     return true;
   }
-  const NearestMatch match = lookup_nearest(failed);
+  const NearestMatch match = lookup_nearest(failed, excluded);
   if (match.plan == nullptr) return false;
-  model.set_configuration(match.plan->search.config);
-  // The stored plan only knows about its own outage set; the rest of the
-  // failure still has to come off-air.
-  for (const net::SectorId s : match.uncovered) model.set_active(s, false);
+  push(*match.plan, match.uncovered);
   return true;
 }
 

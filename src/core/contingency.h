@@ -57,17 +57,28 @@ class ContingencyTable {
   /// must still take the `uncovered` sectors off-air itself (apply() with
   /// allow_nearest does exactly that). plan == nullptr only when no stored
   /// outage set is a subset of `failed`.
+  ///
+  /// `excluded` (typically the executor's quarantined-sector set) vetoes
+  /// any stored entry that *references* an excluded sector — in its outage
+  /// key or in its tuned `involved` set — so a contingency never leans on
+  /// fenced-off equipment; the next-best subset is chosen instead (the
+  /// exact match is vetoed the same way).
   [[nodiscard]] NearestMatch lookup_nearest(
-      std::span<const net::SectorId> failed) const;
+      std::span<const net::SectorId> failed,
+      std::span<const net::SectorId> excluded = {}) const;
 
   /// Applies a stored contingency: takes the failed sectors off-air and
   /// pushes the precomputed C_after onto the model. With `allow_nearest`,
   /// falls back to lookup_nearest() and additionally forces the uncovered
-  /// failed sectors off-air on top of the stored configuration. Returns
-  /// false (model untouched) when nothing matches.
+  /// failed sectors off-air on top of the stored configuration. Sectors in
+  /// `excluded` are never reconfigured: their current settings are pinned
+  /// through the push (and entries relying on them are vetoed, as in
+  /// lookup_nearest). Returns false (model untouched) when nothing
+  /// matches.
   bool apply(model::AnalysisModel& model,
              std::span<const net::SectorId> failed,
-             bool allow_nearest = false) const;
+             bool allow_nearest = false,
+             std::span<const net::SectorId> excluded = {}) const;
 
   /// Worst/average predicted recovery over all stored contingencies —
   /// planning-time risk metrics for the operator.

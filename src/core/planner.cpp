@@ -104,10 +104,18 @@ void MagusPlanner::polish(MitigationPlan& plan) const {
 }
 
 std::vector<net::SectorId> MagusPlanner::involved_sectors(
-    std::span<const net::SectorId> targets) const {
+    std::span<const net::SectorId> targets,
+    std::span<const net::SectorId> excluded) const {
   const net::Network& network = evaluator_->model().network();
   std::vector<net::SectorId> involved =
       network.neighbors_of(targets, options_.neighbor_radius_m);
+  if (!excluded.empty()) {
+    std::vector<net::SectorId> vetoed(excluded.begin(), excluded.end());
+    std::sort(vetoed.begin(), vetoed.end());
+    std::erase_if(involved, [&](net::SectorId s) {
+      return std::binary_search(vetoed.begin(), vetoed.end(), s);
+    });
+  }
 
   // Order nearest-first (minimum distance to any target's site); the tilt
   // and naive greedy passes visit sectors in this order.
@@ -130,9 +138,16 @@ std::vector<net::SectorId> MagusPlanner::involved_sectors(
 }
 
 MitigationPlan MagusPlanner::plan_upgrade(
-    std::span<const net::SectorId> targets) const {
+    std::span<const net::SectorId> targets,
+    std::span<const net::SectorId> excluded) const {
   if (targets.empty()) {
     throw std::invalid_argument("MagusPlanner: no target sectors");
+  }
+  for (const net::SectorId t : targets) {
+    if (std::find(excluded.begin(), excluded.end(), t) != excluded.end()) {
+      throw std::invalid_argument(
+          "MagusPlanner: target sector is excluded (quarantined)");
+    }
   }
   MAGUS_TRACE_SPAN("planner.plan_upgrade", "planner");
   PlannerMetrics& metrics = PlannerMetrics::get();
@@ -142,7 +157,7 @@ MitigationPlan MagusPlanner::plan_upgrade(
 
   MitigationPlan plan;
   plan.targets.assign(targets.begin(), targets.end());
-  plan.involved = involved_sectors(targets);
+  plan.involved = involved_sectors(targets, excluded);
 
   // C_before: the *planned* configuration. Starting from the deployment
   // defaults, locally optimize the neighborhood (targets included — the
@@ -191,7 +206,8 @@ MitigationPlan MagusPlanner::plan_upgrade(
 
 MitigationPlan MagusPlanner::replan_from_current(
     std::span<const net::SectorId> targets,
-    std::span<const double> baseline_rates) const {
+    std::span<const double> baseline_rates,
+    std::span<const net::SectorId> excluded) const {
   if (targets.empty()) {
     throw std::invalid_argument("MagusPlanner: no target sectors");
   }
@@ -201,7 +217,7 @@ MitigationPlan MagusPlanner::replan_from_current(
 
   MitigationPlan plan;
   plan.targets.assign(targets.begin(), targets.end());
-  plan.involved = involved_sectors(targets);
+  plan.involved = involved_sectors(targets, excluded);
   plan.c_before = model.configuration();
   plan.f_before = evaluator_->evaluate();
 

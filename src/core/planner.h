@@ -83,8 +83,15 @@ class MagusPlanner {
   /// be in any configuration; the planner resets it to the network default
   /// (C_before), freezes the UE density there, and leaves the model at the
   /// final (C_after) state with the plan's gradual schedule computed.
+  ///
+  /// `excluded` is the reduced-set entry point for degraded campaigns:
+  /// sectors in it (typically the executor's quarantine list) are removed
+  /// from the involved-neighbor tuning set before the search runs, so the
+  /// plan never leans on fenced-off equipment. Targets may not be
+  /// excluded.
   [[nodiscard]] MitigationPlan plan_upgrade(
-      std::span<const net::SectorId> targets) const;
+      std::span<const net::SectorId> targets,
+      std::span<const net::SectorId> excluded = {}) const;
 
   /// Emergency re-plan from the model's *current* (possibly faulted)
   /// state, the entry point the fault-aware executor escalates to when an
@@ -102,12 +109,15 @@ class MagusPlanner {
   /// re-planned configuration.
   [[nodiscard]] MitigationPlan replan_from_current(
       std::span<const net::SectorId> targets,
-      std::span<const double> baseline_rates = {}) const;
+      std::span<const double> baseline_rates = {},
+      std::span<const net::SectorId> excluded = {}) const;
 
   /// Neighbor selection used by plan_upgrade, exposed for benches that
-  /// drive the searches directly.
+  /// drive the searches directly. Sectors in `excluded` never enter the
+  /// involved set (they also don't count against max_neighbors).
   [[nodiscard]] std::vector<net::SectorId> involved_sectors(
-      std::span<const net::SectorId> targets) const;
+      std::span<const net::SectorId> targets,
+      std::span<const net::SectorId> excluded = {}) const;
 
   /// The batch evaluator the search drivers run on; exposed so callers
   /// (benches) can read the aggregated evaluation count.

@@ -22,6 +22,8 @@ struct ExecMetrics {
   obs::Counter& rollbacks;
   obs::Counter& fault_injections;
   obs::Counter& floor_violations;
+  obs::Counter& deadline_skips;
+  obs::Counter& resumed_windows;
   obs::Histogram& step_duration_s;  ///< simulated wall-clock per step
   obs::Histogram& push_attempts;
 
@@ -36,6 +38,8 @@ struct ExecMetrics {
         registry.counter("exec.rollbacks"),
         registry.counter("exec.fault_injections"),
         registry.counter("exec.floor_violations"),
+        registry.counter("exec.deadline_skips"),
+        registry.counter("exec.resumed_windows"),
         registry.histogram("exec.step_duration_s",
                            obs::exponential_bounds(1.0, 2.0, 12)),
         registry.histogram("exec.push_attempts",
@@ -95,6 +99,102 @@ void sort_unique(std::vector<net::SectorId>& ids) {
   return out;
 }
 
+// ---- Journal payload codecs ----------------------------------------------
+
+void encode_fault(PayloadWriter& w, const FaultEvent& event) {
+  w.u8(static_cast<std::uint8_t>(event.kind));
+  w.i32(event.step);
+  w.i32(event.sector);
+  w.f64(event.handover_failure_probability);
+  w.i32(event.reject_attempts);
+}
+
+[[nodiscard]] FaultEvent decode_fault(PayloadReader& r) {
+  FaultEvent event;
+  event.kind = static_cast<FaultKind>(r.u8());
+  event.step = r.i32();
+  event.sector = r.i32();
+  event.handover_failure_probability = r.f64();
+  event.reject_attempts = r.i32();
+  return event;
+}
+
+void encode_step_record(PayloadWriter& w, const StepRecord& rec) {
+  w.i32(rec.step);
+  w.u8(static_cast<std::uint8_t>(rec.status));
+  w.u32(static_cast<std::uint32_t>(rec.faults.size()));
+  for (const FaultEvent& event : rec.faults) encode_fault(w, event);
+  w.u32(static_cast<std::uint32_t>(rec.actions.size()));
+  for (const RecoveryAction action : rec.actions) {
+    w.u8(static_cast<std::uint8_t>(action));
+  }
+  w.f64(rec.planned_utility);
+  w.f64(rec.realized_utility);
+  w.f64(rec.utility_after_recovery);
+  w.b(rec.floor_violated);
+  w.i32(rec.push_attempts);
+  w.f64(rec.backoff_wait_s);
+  w.f64(rec.seamless_ues);
+  w.f64(rec.hard_ues);
+  w.f64(rec.lost_service_ues);
+  w.f64(rec.handover_failures);
+  w.f64(rec.handover_retries);
+  w.f64(rec.lost_service_ue_seconds);
+}
+
+[[nodiscard]] StepRecord decode_step_record(PayloadReader& r) {
+  StepRecord rec;
+  rec.step = r.i32();
+  rec.status = static_cast<StepStatus>(r.u8());
+  const std::uint32_t fault_count = r.u32();
+  rec.faults.reserve(fault_count);
+  for (std::uint32_t i = 0; i < fault_count; ++i) {
+    rec.faults.push_back(decode_fault(r));
+  }
+  const std::uint32_t action_count = r.u32();
+  rec.actions.reserve(action_count);
+  for (std::uint32_t i = 0; i < action_count; ++i) {
+    rec.actions.push_back(static_cast<RecoveryAction>(r.u8()));
+  }
+  rec.planned_utility = r.f64();
+  rec.realized_utility = r.f64();
+  rec.utility_after_recovery = r.f64();
+  rec.floor_violated = r.b();
+  rec.push_attempts = r.i32();
+  rec.backoff_wait_s = r.f64();
+  rec.seamless_ues = r.f64();
+  rec.hard_ues = r.f64();
+  rec.lost_service_ues = r.f64();
+  rec.handover_failures = r.f64();
+  rec.handover_retries = r.f64();
+  rec.lost_service_ue_seconds = r.f64();
+  return rec;
+}
+
+void encode_signaling(PayloadWriter& w, const sim::SignalingCounters& c) {
+  w.f64(c.measurement_reports);
+  w.f64(c.handover_requests);
+  w.f64(c.handover_acks);
+  w.f64(c.rrc_messages);
+  w.f64(c.path_switches);
+  w.f64(c.reattach_attempts);
+  w.f64(c.failed_procedures);
+  w.f64(c.retried_procedures);
+}
+
+[[nodiscard]] sim::SignalingCounters decode_signaling(PayloadReader& r) {
+  sim::SignalingCounters c;
+  c.measurement_reports = r.f64();
+  c.handover_requests = r.f64();
+  c.handover_acks = r.f64();
+  c.rrc_messages = r.f64();
+  c.path_switches = r.f64();
+  c.reattach_attempts = r.f64();
+  c.failed_procedures = r.f64();
+  c.retried_procedures = r.f64();
+  return c;
+}
+
 }  // namespace
 
 const char* recovery_action_name(RecoveryAction action) {
@@ -107,6 +207,8 @@ const char* recovery_action_name(RecoveryAction action) {
       return "replan";
     case RecoveryAction::kRollback:
       return "rollback";
+    case RecoveryAction::kDeadlineSkip:
+      return "deadline_skip";
   }
   return "?";
 }
@@ -138,6 +240,7 @@ util::JsonObject ExecutionTrace::to_json() const {
   out.set("replans", static_cast<std::int64_t>(replans));
   out.set("rollbacks", static_cast<std::int64_t>(rollbacks));
   out.set("floor_violations", static_cast<std::int64_t>(floor_violations));
+  out.set("deadline_skips", static_cast<std::int64_t>(deadline_skips));
   out.set("recovery_action_count",
           static_cast<std::int64_t>(recovery_action_count()));
 
@@ -146,6 +249,12 @@ util::JsonObject ExecutionTrace::to_json() const {
     failed.push_back(static_cast<std::int64_t>(s));
   }
   out.set("failed_sectors", std::move(failed));
+
+  util::JsonArray quarantined;
+  for (const net::SectorId s : quarantined_sectors) {
+    quarantined.push_back(static_cast<std::int64_t>(s));
+  }
+  out.set("quarantined_sectors", std::move(quarantined));
 
   util::JsonArray faults;
   for (const FaultEvent& event : fault_events) {
@@ -188,6 +297,45 @@ util::JsonObject ExecutionTrace::to_json() const {
   return out;
 }
 
+WindowResumeState recover_window_state(
+    std::span<const JournalRecord> records) {
+  WindowResumeState state;
+  for (const JournalRecord& record : records) {
+    // Only confirms carry state. The intent/fault/recovery records of an
+    // unconfirmed step are deliberately skipped: that step re-executes
+    // deterministically from the previous confirm's checkpoint.
+    if (record.type != JournalRecordType::kStepConfirm) continue;
+    PayloadReader r{record.payload};
+    StepRecord rec = decode_step_record(r);
+    for (const FaultEvent& event : rec.faults) {
+      state.fault_events.push_back(event);
+    }
+    state.steps.push_back(std::move(rec));
+    state.failed = r.sectors();
+    state.live_config = r.config();
+    state.last_safe = r.config();
+    state.rng_state = r.rng_state();
+    state.clock_s = r.f64();
+    state.effective_floor = r.f64();
+    state.finish_mode = r.b();
+    state.aborted = r.b();
+    state.replanned = r.b();
+    state.next_k = r.u64();
+    state.signaling = decode_signaling(r);
+    state.retries = r.i32();
+    state.contingency_applies = r.i32();
+    state.replans = r.i32();
+    state.rollbacks = r.i32();
+    state.floor_violations = r.i32();
+    state.deadline_skips = r.i32();
+    if (!r.done()) {
+      throw std::runtime_error("recover_window_state: trailing bytes");
+    }
+    state.has_progress = true;
+  }
+  return state;
+}
+
 MigrationExecutor::MigrationExecutor(core::Evaluator* evaluator,
                                      ExecutorOptions options)
     : evaluator_(evaluator), options_(options) {
@@ -200,6 +348,9 @@ MigrationExecutor::MigrationExecutor(core::Evaluator* evaluator,
   if (options_.step_interval_s <= 0.0) {
     throw std::invalid_argument("MigrationExecutor: step interval must be > 0");
   }
+  if (options_.contingency_cost_s < 0.0 || options_.replan_cost_s < 0.0) {
+    throw std::invalid_argument("MigrationExecutor: negative rung cost");
+  }
 }
 
 ExecutionTrace MigrationExecutor::execute(
@@ -207,6 +358,17 @@ ExecutionTrace MigrationExecutor::execute(
     std::uint64_t seed, FaultInjector* injector,
     const core::ContingencyTable* contingencies,
     const core::MagusPlanner* replanner) const {
+  ExecutionEnv env;
+  env.injector = injector;
+  env.contingencies = contingencies;
+  env.replanner = replanner;
+  return execute(plan, targets, seed, env);
+}
+
+ExecutionTrace MigrationExecutor::execute(const core::GradualPlan& plan,
+                                          std::span<const net::SectorId> targets,
+                                          std::uint64_t seed,
+                                          const ExecutionEnv& env) const {
   if (plan.steps.empty()) {
     throw std::invalid_argument("MigrationExecutor: empty plan");
   }
@@ -218,12 +380,17 @@ ExecutionTrace MigrationExecutor::execute(
 
   ExecutionTrace trace;
   trace.floor_utility = plan.floor_utility;
+  trace.quarantined_sectors.assign(env.quarantined.begin(),
+                                   env.quarantined.end());
+  sort_unique(trace.quarantined_sectors);
 
   // Entry state: the plan's C_before. The planner leaves the model at
-  // C_after, so re-arm it explicitly; the UE density stays as frozen.
+  // C_after, so re-arm it explicitly; the UE density stays as frozen. The
+  // baseline rates are captured here even when resuming — they are a
+  // function of the entry configuration, so re-deriving them beats
+  // journaling them.
   model.set_configuration(plan.steps.front().config);
   const std::vector<double> baseline_rates = core::capture_rates(model);
-  std::vector<net::SectorId> prev_service = model.service_map();
   net::Configuration last_safe = plan.steps.front().config;
 
   util::Xoshiro256ss rng{seed};
@@ -237,9 +404,76 @@ ExecutionTrace MigrationExecutor::execute(
   double effective_floor = plan.floor_utility;
   bool aborted = false;
   bool replanned = false;
-
   const std::size_t n = plan.steps.size();
-  for (std::size_t k = 1; k < n && !aborted && !replanned; ++k) {
+  std::size_t k = 1;
+
+  if (env.resume != nullptr && env.resume->has_progress) {
+    // Re-enter exactly where the last confirmed step left the window. The
+    // journal's checkpoint carries everything downstream of the entry
+    // state; a confirmed configuration is restored, never re-pushed.
+    const WindowResumeState& rs = *env.resume;
+    metrics.resumed_windows.add(1);
+    trace.steps = rs.steps;
+    trace.fault_events = rs.fault_events;
+    trace.signaling = rs.signaling;
+    trace.retries = rs.retries;
+    trace.contingency_applies = rs.contingency_applies;
+    trace.replans = rs.replans;
+    trace.rollbacks = rs.rollbacks;
+    trace.floor_violations = rs.floor_violations;
+    trace.deadline_skips = rs.deadline_skips;
+    trace.resumed_steps = static_cast<int>(rs.steps.size());
+    failed = rs.failed;
+    clock_s = rs.clock_s;
+    effective_floor = rs.effective_floor;
+    finish_mode = rs.finish_mode;
+    aborted = rs.aborted;
+    replanned = rs.replanned;
+    k = rs.next_k;
+    model.set_configuration(rs.live_config);
+    last_safe = rs.last_safe;
+    rng.set_state(rs.rng_state);
+    // Positional injectors (RandomFaultInjector draws one batch per poll)
+    // must be wound forward through the confirmed steps so the next poll
+    // lands where the original run's would have.
+    if (env.injector != nullptr) {
+      for (const StepRecord& rec : rs.steps) {
+        (void)env.injector->faults_for_step(rec.step);
+      }
+    }
+  }
+
+  std::vector<net::SectorId> prev_service = model.service_map();
+
+  // Quarantined sectors are pinned: every push holds their live settings.
+  // Migration targets are exempt — a quarantined target is the campaign
+  // layer's problem (it skips the upgrade), not a pinning concern.
+  std::vector<net::SectorId> pinned(env.quarantined.begin(),
+                                    env.quarantined.end());
+  {
+    std::vector<net::SectorId> sorted_targets(targets.begin(), targets.end());
+    std::sort(sorted_targets.begin(), sorted_targets.end());
+    std::erase_if(pinned, [&](net::SectorId s) {
+      return std::binary_search(sorted_targets.begin(), sorted_targets.end(),
+                                s);
+    });
+  }
+  sort_unique(pinned);
+  const auto pin_quarantined = [&](net::Configuration config) {
+    const net::Configuration& live = model.configuration();
+    for (const net::SectorId q : pinned) config[q] = live[q];
+    return config;
+  };
+
+  // Deadline watchdog: a ladder rung only runs when its worst-case cost
+  // still fits the remaining simulated budget. Rollback is the safety rung
+  // and is never gated.
+  const double budget = env.time_budget_s;
+  const auto rung_fits = [&](double worst_cost) {
+    return budget <= 0.0 || clock_s + worst_cost <= budget;
+  };
+
+  while (k < n && !aborted && !replanned) {
     MAGUS_TRACE_SPAN("exec.step", "exec");
     metrics.steps.add(1);
     const double step_clock_start = clock_s;
@@ -247,14 +481,47 @@ ExecutionTrace MigrationExecutor::execute(
     rec.step = static_cast<int>(k);
     rec.planned_utility = plan.steps[k].utility;
 
+    if (env.journal != nullptr) {
+      PayloadWriter w;
+      w.i32(rec.step);
+      w.b(finish_mode);
+      w.f64(clock_s);
+      env.journal->append(JournalRecordType::kStepIntent, w.take());
+    }
+    const auto journal_recovery = [&](RecoveryAction action) {
+      if (env.journal == nullptr) return;
+      PayloadWriter w;
+      w.i32(rec.step);
+      w.u8(static_cast<std::uint8_t>(action));
+      env.journal->append(JournalRecordType::kRecovery, w.take());
+    };
+    const auto skip_rung = [&](RecoveryAction rung, double worst_cost) {
+      rec.actions.push_back(RecoveryAction::kDeadlineSkip);
+      ++trace.deadline_skips;
+      metrics.deadline_skips.add(1);
+      if (env.journal != nullptr) {
+        PayloadWriter w;
+        w.i32(rec.step);
+        w.u8(static_cast<std::uint8_t>(rung));
+        w.f64(worst_cost);
+        w.f64(budget - clock_s);
+        env.journal->append(JournalRecordType::kDeadlineSkip, w.take());
+      }
+    };
+
     // ---- Faults striking this step ----
     double storm_probability = 0.0;
     int rejects_remaining = 0;
-    if (injector != nullptr) {
+    if (env.injector != nullptr) {
       for (const FaultEvent& event :
-           injector->faults_for_step(static_cast<int>(k))) {
+           env.injector->faults_for_step(static_cast<int>(k))) {
         rec.faults.push_back(event);
         trace.fault_events.push_back(event);
+        if (env.journal != nullptr) {
+          PayloadWriter w;
+          encode_fault(w, event);
+          env.journal->append(JournalRecordType::kFault, w.take());
+        }
         switch (event.kind) {
           case FaultKind::kSectorOutage:
             if (event.sector != net::kInvalidSector &&
@@ -286,7 +553,7 @@ ExecutionTrace MigrationExecutor::execute(
       for (const net::SectorId t : targets) intended[t].active = false;
       intended = masked(std::move(intended), failed);
     } else {
-      intended = masked(plan.steps[k].config, failed);
+      intended = masked(pin_quarantined(plan.steps[k].config), failed);
     }
     bool pushed = false;
     for (int attempt = 0; attempt < options_.push_backoff.max_attempts;
@@ -307,6 +574,7 @@ ExecutionTrace MigrationExecutor::execute(
     if (rec.push_attempts > 1) {
       // The backoff loop itself is the first ladder rung in action.
       rec.actions.push_back(RecoveryAction::kRetry);
+      journal_recovery(RecoveryAction::kRetry);
       ++trace.retries;
     }
 
@@ -351,6 +619,7 @@ ExecutionTrace MigrationExecutor::execute(
           rec.actions.back() != RecoveryAction::kRetry) {
         rec.actions.push_back(RecoveryAction::kRetry);
       }
+      journal_recovery(RecoveryAction::kRetry);
       ++trace.retries;
     }
     trace.signaling += counters;
@@ -376,80 +645,105 @@ ExecutionTrace MigrationExecutor::execute(
     // off-air in a faulted network, and no precomputed expectation covers
     // that state. Only a failed push (or, when a re-planner is armed, a
     // result below the rebased floor) counts as divergence there.
-    bool diverged = finish_mode
-                        ? (!pushed || (options_.allow_replan &&
-                                       replanner != nullptr && realized < bar))
-                        : (!pushed || realized < bar);
+    const bool diverged =
+        finish_mode ? (!pushed || (options_.allow_replan &&
+                                   env.replanner != nullptr && realized < bar))
+                    : (!pushed || realized < bar);
     bool recovered = !diverged;
 
     if (diverged && options_.allow_retry && !recovered) {
       // Rung 1: one more push of the intended configuration. Cheap, and
-      // the only rung transient faults need.
-      const double wait = options_.push_backoff.delay_before_attempt_s(1);
-      rec.backoff_wait_s += wait;
-      clock_s += wait;
-      ++rec.push_attempts;
-      if (rejects_remaining > 0) {
-        --rejects_remaining;
+      // the only rung transient faults need. Worst case per the watchdog:
+      // the policy's full capped backoff schedule.
+      const double retry_worst =
+          options_.push_backoff.worst_case_total_delay_s();
+      if (!rung_fits(retry_worst)) {
+        skip_rung(RecoveryAction::kRetry, retry_worst);
       } else {
-        model.set_configuration(intended);
-        pushed = true;
+        const double wait = options_.push_backoff.delay_before_attempt_s(1);
+        rec.backoff_wait_s += wait;
+        clock_s += wait;
+        ++rec.push_attempts;
+        if (rejects_remaining > 0) {
+          --rejects_remaining;
+        } else {
+          model.set_configuration(intended);
+          pushed = true;
+        }
+        rec.actions.push_back(RecoveryAction::kRetry);
+        journal_recovery(RecoveryAction::kRetry);
+        ++trace.retries;
+        realized = evaluator_->evaluate();
+        recovered = pushed && realized >= bar;
       }
-      rec.actions.push_back(RecoveryAction::kRetry);
-      ++trace.retries;
-      realized = evaluator_->evaluate();
-      recovered = pushed && realized >= bar;
     }
 
     if (diverged && !recovered && !finish_mode && options_.allow_contingency &&
-        contingencies != nullptr && structural) {
-      // Rung 2: precomputed contingency, exact or nearest-match.
-      const core::ContingencyTable::NearestMatch match =
-          contingencies->lookup_nearest(failed);
-      if (match.plan != nullptr &&
-          contingencies->apply(model, failed, /*allow_nearest=*/true)) {
-        rec.actions.push_back(RecoveryAction::kContingency);
-        ++trace.contingency_applies;
-        realized = evaluator_->evaluate();
-        const double promised = match.plan->f_after;
-        if (realized >= promised - band(promised, tol) || realized >= bar) {
-          recovered = true;
-          finish_mode = true;
-          completion_pending = true;
-          effective_floor = std::min(effective_floor, realized);
-          pushed = true;
+        env.contingencies != nullptr && structural) {
+      if (!rung_fits(options_.contingency_cost_s)) {
+        skip_rung(RecoveryAction::kContingency, options_.contingency_cost_s);
+      } else {
+        // Rung 2: precomputed contingency, exact or nearest-match.
+        // Quarantined sectors veto entries that reference them and are
+        // pinned through the push.
+        const core::ContingencyTable::NearestMatch match =
+            env.contingencies->lookup_nearest(failed, pinned);
+        if (match.plan != nullptr &&
+            env.contingencies->apply(model, failed, /*allow_nearest=*/true,
+                                     pinned)) {
+          clock_s += options_.contingency_cost_s;
+          rec.actions.push_back(RecoveryAction::kContingency);
+          journal_recovery(RecoveryAction::kContingency);
+          ++trace.contingency_applies;
+          realized = evaluator_->evaluate();
+          const double promised = match.plan->f_after;
+          if (realized >= promised - band(promised, tol) || realized >= bar) {
+            recovered = true;
+            finish_mode = true;
+            completion_pending = true;
+            effective_floor = std::min(effective_floor, realized);
+            pushed = true;
+          }
         }
       }
     }
 
     if (diverged && !recovered && options_.allow_replan &&
-        replanner != nullptr) {
-      // Rung 3: bounded local re-plan from the faulted state. Completes
-      // the migration in one emergency push (targets and failures off).
-      std::vector<net::SectorId> replan_targets(targets.begin(),
-                                                targets.end());
-      replan_targets.insert(replan_targets.end(), failed.begin(),
-                            failed.end());
-      sort_unique(replan_targets);
-      const core::MitigationPlan rplan =
-          replanner->replan_from_current(replan_targets, baseline_rates);
-      rec.actions.push_back(RecoveryAction::kReplan);
-      ++trace.replans;
-      realized = evaluator_->evaluate();
-      // Accept unless the re-plan somehow made things worse than doing
-      // nothing from the faulted state.
-      if (realized >= rplan.f_upgrade - band(rplan.f_upgrade, tol)) {
-        recovered = true;
-        replanned = true;
-        pushed = true;
+        env.replanner != nullptr) {
+      if (!rung_fits(options_.replan_cost_s)) {
+        skip_rung(RecoveryAction::kReplan, options_.replan_cost_s);
+      } else {
+        // Rung 3: bounded local re-plan from the faulted state. Completes
+        // the migration in one emergency push (targets and failures off).
+        std::vector<net::SectorId> replan_targets(targets.begin(),
+                                                  targets.end());
+        replan_targets.insert(replan_targets.end(), failed.begin(),
+                              failed.end());
+        sort_unique(replan_targets);
+        const core::MitigationPlan rplan = env.replanner->replan_from_current(
+            replan_targets, baseline_rates, pinned);
+        clock_s += options_.replan_cost_s;
+        rec.actions.push_back(RecoveryAction::kReplan);
+        journal_recovery(RecoveryAction::kReplan);
+        ++trace.replans;
+        realized = evaluator_->evaluate();
+        // Accept unless the re-plan somehow made things worse than doing
+        // nothing from the faulted state.
+        if (realized >= rplan.f_upgrade - band(rplan.f_upgrade, tol)) {
+          recovered = true;
+          replanned = true;
+          pushed = true;
+        }
       }
     }
 
     if (diverged && !recovered) {
       // Rung 4: roll back to the last configuration that was in
-      // tolerance and abort the window.
+      // tolerance and abort the window. The safety rung — never gated by
+      // the deadline watchdog.
       model.set_configuration(masked(last_safe, failed));
       rec.actions.push_back(RecoveryAction::kRollback);
+      journal_recovery(RecoveryAction::kRollback);
       ++trace.rollbacks;
       realized = evaluator_->evaluate();
       aborted = true;
@@ -472,14 +766,42 @@ ExecutionTrace MigrationExecutor::execute(
     prev_service = model.service_map();
     metrics.step_duration_s.observe(clock_s - step_clock_start);
     metrics.push_attempts.observe(rec.push_attempts);
-    trace.steps.push_back(std::move(rec));
 
-    // A stale ramp is not worth walking: the next iteration (re-)runs the
-    // final step index as the completion push, then the loop exits.
+    // A stale ramp is not worth walking: after a successful contingency
+    // the final step index re-runs as the completion push, then the loop
+    // exits.
+    std::size_t next_k = k + 1;
     if (completion_pending && !aborted && !replanned) {
       completion_pending = false;
-      k = n - 2;
+      next_k = n - 1;
     }
+
+    if (env.journal != nullptr) {
+      // The confirm is the checkpoint: this step's record plus the full
+      // cumulative state a resume needs to continue from next_k.
+      PayloadWriter w;
+      encode_step_record(w, rec);
+      w.sectors(failed);
+      w.config(model.configuration());
+      w.config(last_safe);
+      w.rng_state(rng.state());
+      w.f64(clock_s);
+      w.f64(effective_floor);
+      w.b(finish_mode);
+      w.b(aborted);
+      w.b(replanned);
+      w.u64(next_k);
+      encode_signaling(w, trace.signaling);
+      w.i32(trace.retries);
+      w.i32(trace.contingency_applies);
+      w.i32(trace.replans);
+      w.i32(trace.rollbacks);
+      w.i32(trace.floor_violations);
+      w.i32(trace.deadline_skips);
+      env.journal->append(JournalRecordType::kStepConfirm, w.take());
+    }
+    trace.steps.push_back(std::move(rec));
+    k = next_k;
   }
 
   trace.failed_sectors = failed;

@@ -24,12 +24,37 @@
 //   4. rollback    — restore the last configuration that was within
 //                    tolerance (C_before if none) and abort the window.
 //
+// Two cross-cutting policies gate the ladder:
+//
+//   deadline watchdog — each window carries a simulated time budget
+//   (ExecutionEnv::time_budget_s, from traffic::window_time_budget_s);
+//   before entering a rung the executor checks the rung's worst-case cost
+//   (backoff total wait, contingency push, replan bound) against the
+//   remaining budget and skips rungs that no longer fit, recording
+//   kDeadlineSkip. Rollback is the safety rung and always runs.
+//
+//   quarantine — sectors fenced off by the campaign's circuit breaker
+//   (ExecutionEnv::quarantined) are pinned: every push holds their live
+//   settings, contingency entries referencing them are vetoed, and
+//   re-planning excludes them from the tuned set.
+//
+// When an exec::Journal is attached, every externally visible action is
+// written ahead: a kStepIntent before each push, kFault / kRecovery /
+// kDeadlineSkip as they happen, and a kStepConfirm carrying the complete
+// post-step state (step record, live + last-safe configurations, RNG
+// state, cumulative counters, next step index). recover_window_state()
+// rebuilds a WindowResumeState from a replayed journal; execute() with
+// ExecutionEnv::resume continues idempotently from the first unconfirmed
+// step — a confirmed configuration is never pushed again, and the final
+// trace is bit-identical to an uninterrupted run.
+//
 // Everything is recorded in a structured ExecutionTrace (per-step outcome,
 // fault events, recovery actions, utility-floor violations, signaling and
 // lost-service accounting) which bench_fault_recovery consumes to extend
 // the paper's Table 1 story to faults *during* the migration window.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -39,13 +64,20 @@
 #include "core/gradual.h"
 #include "core/planner.h"
 #include "exec/fault_injector.h"
+#include "exec/journal.h"
 #include "sim/handover_fsm.h"
 #include "util/backoff.h"
 #include "util/json.h"
 
 namespace magus::exec {
 
-enum class RecoveryAction { kRetry, kContingency, kReplan, kRollback };
+enum class RecoveryAction {
+  kRetry,
+  kContingency,
+  kReplan,
+  kRollback,
+  kDeadlineSkip,  ///< a rung the deadline watchdog refused to enter
+};
 
 [[nodiscard]] const char* recovery_action_name(RecoveryAction action);
 
@@ -81,18 +113,24 @@ struct ExecutionTrace {
   std::vector<StepRecord> steps;
   std::vector<FaultEvent> fault_events;  ///< all faults, flattened
   std::vector<net::SectorId> failed_sectors;  ///< unplanned outages (sorted)
+  std::vector<net::SectorId> quarantined_sectors;  ///< pinned this window
   sim::SignalingCounters signaling;
   int retries = 0;
   int contingency_applies = 0;
   int replans = 0;
   int rollbacks = 0;
   int floor_violations = 0;
+  int deadline_skips = 0;  ///< ladder rungs skipped by the watchdog
   bool completed = false;    ///< the targets ended off-air as intended
   bool rolled_back = false;  ///< the window was aborted
   double floor_utility = 0.0;  ///< the plan's guaranteed floor f(C_after)
   double final_utility = 0.0;
   double total_lost_service_ue_seconds = 0.0;
   double makespan_s = 0.0;
+  /// Steps replayed from a journal rather than executed (resume
+  /// bookkeeping; deliberately *not* exported by to_json so a resumed
+  /// window serializes identically to an uninterrupted one).
+  int resumed_steps = 0;
 
   [[nodiscard]] int recovery_action_count() const {
     return retries + contingency_applies + replans + rollbacks;
@@ -117,6 +155,61 @@ struct ExecutorOptions {
   bool allow_retry = true;
   bool allow_contingency = true;
   bool allow_replan = true;
+  /// Simulated cost the deadline watchdog charges a contingency push and a
+  /// bounded re-plan (the replan bound covers the emergency local search).
+  double contingency_cost_s = 1.0;
+  double replan_cost_s = 30.0;
+};
+
+/// Checkpoint decoded from a journal's kStepConfirm records: everything
+/// execute() needs to continue a window as if it never stopped.
+struct WindowResumeState {
+  bool has_progress = false;  ///< at least one step was confirmed
+  std::size_t next_k = 1;     ///< first unconfirmed plan step
+  std::vector<StepRecord> steps;
+  std::vector<FaultEvent> fault_events;
+  std::vector<net::SectorId> failed;
+  net::Configuration live_config;
+  net::Configuration last_safe;
+  std::array<std::uint64_t, 4> rng_state{};
+  double clock_s = 0.0;
+  double effective_floor = 0.0;
+  bool finish_mode = false;
+  bool aborted = false;
+  bool replanned = false;
+  sim::SignalingCounters signaling;
+  int retries = 0;
+  int contingency_applies = 0;
+  int replans = 0;
+  int rollbacks = 0;
+  int floor_violations = 0;
+  int deadline_skips = 0;
+};
+
+/// Rebuilds the checkpoint from a replayed record span (one window's
+/// records, in order). Only kStepConfirm records carry state; the
+/// intent/fault/recovery records of an unconfirmed step are ignored — that
+/// step re-executes deterministically from the previous confirm. Records
+/// of other types (campaign layer) are skipped. Throws std::runtime_error
+/// only on a record that replay() validated but this version cannot decode
+/// (an encoder/decoder mismatch, not a torn file).
+[[nodiscard]] WindowResumeState recover_window_state(
+    std::span<const JournalRecord> records);
+
+/// Execution-time dependencies of one window. Everything is optional: a
+/// null injector runs fault-free, null contingencies/replanner disarm
+/// ladder rungs 2 and 3 (as do the allow_* options), a null journal runs
+/// without write-ahead logging, time_budget_s <= 0 disables the deadline
+/// watchdog, an empty quarantined span pins nothing, and a null resume
+/// starts the window from the plan's first step.
+struct ExecutionEnv {
+  FaultInjector* injector = nullptr;
+  const core::ContingencyTable* contingencies = nullptr;
+  const core::MagusPlanner* replanner = nullptr;
+  Journal* journal = nullptr;
+  double time_budget_s = 0.0;  ///< simulated budget; <= 0 means unlimited
+  std::span<const net::SectorId> quarantined;  ///< sorted; pinned sectors
+  const WindowResumeState* resume = nullptr;
 };
 
 class MigrationExecutor {
@@ -128,12 +221,18 @@ class MigrationExecutor {
 
   /// Plays `plan` (targets ramping down toward off-air) on the live
   /// model. The model is reset to the plan's first-step configuration on
-  /// entry; the UE density must already be frozen (plan_upgrade leaves it
-  /// so). `seed` drives all stochastic fault outcomes (handover failures)
-  /// deterministically. `injector` may be null for a fault-free run;
-  /// `contingencies` and `replanner` arm ladder rungs 2 and 3 — a null
-  /// pointer (or the corresponding allow_* option) disables the rung and
-  /// the ladder skips to the next one.
+  /// entry (or the resume checkpoint's live configuration); the UE density
+  /// must already be frozen (plan_upgrade leaves it so). `seed` drives all
+  /// stochastic fault outcomes (handover failures) deterministically and
+  /// must match the original run when resuming. Propagates JournalCrash
+  /// from an armed crash point — the model is then mid-flight and must be
+  /// reconstructed via resume.
+  [[nodiscard]] ExecutionTrace execute(const core::GradualPlan& plan,
+                                       std::span<const net::SectorId> targets,
+                                       std::uint64_t seed,
+                                       const ExecutionEnv& env) const;
+
+  /// Legacy convenience overload (no journal, watchdog, or quarantine).
   [[nodiscard]] ExecutionTrace execute(
       const core::GradualPlan& plan, std::span<const net::SectorId> targets,
       std::uint64_t seed, FaultInjector* injector = nullptr,

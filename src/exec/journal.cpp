@@ -1,0 +1,284 @@
+#include "exec/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "util/checksum.h"
+
+namespace magus::exec {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4D41475553574C31ULL;  // "MAGUSWL1"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeaderBytes = sizeof(kMagic) + sizeof(kVersion);
+// Record header: payload_size + type + sequence; trailer: checksum.
+constexpr std::uint64_t kRecordHeaderBytes = 4 + 4 + 8;
+constexpr std::uint64_t kRecordTrailerBytes = 8;
+// Far above any real payload (configs of a few hundred sectors are ~KB);
+// bounds memory when a torn length field reads as garbage.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;
+
+struct JournalMetrics {
+  obs::Counter& appends;
+  obs::Counter& append_bytes;
+  obs::Counter& replays;
+  obs::Counter& replayed_records;
+  obs::Counter& torn_tails;
+
+  [[nodiscard]] static JournalMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static JournalMetrics metrics{
+        registry.counter("exec.journal.appends"),
+        registry.counter("exec.journal.append_bytes"),
+        registry.counter("exec.journal.replays"),
+        registry.counter("exec.journal.replayed_records"),
+        registry.counter("exec.journal.torn_tails"),
+    };
+    return metrics;
+  }
+};
+
+[[nodiscard]] std::uint64_t record_checksum(std::uint32_t payload_size,
+                                            std::uint32_t type,
+                                            std::uint64_t sequence,
+                                            std::span<const char> payload) {
+  const std::uint32_t header32[] = {payload_size, type};
+  std::uint64_t hash = util::fnv1a(header32, sizeof(header32));
+  hash = util::fnv1a(&sequence, sizeof(sequence), hash);
+  return util::fnv1a(payload.data(), payload.size(), hash);
+}
+
+}  // namespace
+
+const char* journal_record_type_name(JournalRecordType type) {
+  switch (type) {
+    case JournalRecordType::kCampaignStart:
+      return "campaign-start";
+    case JournalRecordType::kUpgradeStart:
+      return "upgrade-start";
+    case JournalRecordType::kStepIntent:
+      return "step-intent";
+    case JournalRecordType::kFault:
+      return "fault";
+    case JournalRecordType::kRecovery:
+      return "recovery";
+    case JournalRecordType::kDeadlineSkip:
+      return "deadline-skip";
+    case JournalRecordType::kStepConfirm:
+      return "step-confirm";
+    case JournalRecordType::kQuarantine:
+      return "quarantine";
+    case JournalRecordType::kUpgradeEnd:
+      return "upgrade-end";
+    case JournalRecordType::kWindowEnd:
+      return "window-end";
+    case JournalRecordType::kCampaignEnd:
+      return "campaign-end";
+  }
+  return "?";
+}
+
+Journal::Journal(std::string path, Mode mode) : path_(std::move(path)) {
+  if (mode == Mode::kTruncate) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("Journal: cannot create " + path_);
+    }
+    out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("Journal: cannot write header to " + path_);
+    }
+    return;
+  }
+  // kContinue: keep the longest valid prefix, chop any torn tail so the
+  // next append starts at a record boundary.
+  const Replay recovered = replay(path_);
+  if (recovered.valid_bytes == 0) {
+    // Missing or headerless file: start fresh.
+    *this = Journal{path_, Mode::kTruncate};
+    return;
+  }
+  if (recovered.file_bytes > recovered.valid_bytes) {
+    std::filesystem::resize_file(path_, recovered.valid_bytes);
+  }
+  sequence_ = recovered.records.size();
+}
+
+void Journal::append(JournalRecordType type, std::vector<char> payload) {
+  if (sequence_ >= crash_after_) {
+    throw JournalCrash{sequence_};
+  }
+  if (payload.size() > kMaxPayloadBytes) {
+    throw std::runtime_error("Journal: payload too large");
+  }
+  const auto payload_size = static_cast<std::uint32_t>(payload.size());
+  const auto type_raw = static_cast<std::uint32_t>(type);
+  const std::uint64_t checksum =
+      record_checksum(payload_size, type_raw, sequence_, payload);
+
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) {
+    throw std::runtime_error("Journal: cannot open " + path_ +
+                             " for append");
+  }
+  out.write(reinterpret_cast<const char*>(&payload_size),
+            sizeof(payload_size));
+  out.write(reinterpret_cast<const char*>(&type_raw), sizeof(type_raw));
+  out.write(reinterpret_cast<const char*>(&sequence_), sizeof(sequence_));
+  out.write(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("Journal: write failed on " + path_);
+  }
+  ++sequence_;
+  JournalMetrics& metrics = JournalMetrics::get();
+  metrics.appends.add(1);
+  metrics.append_bytes.add(kRecordHeaderBytes + payload.size() +
+                           kRecordTrailerBytes);
+}
+
+Journal::Replay Journal::replay(const std::string& path) {
+  JournalMetrics& metrics = JournalMetrics::get();
+  metrics.replays.add(1);
+  Replay result;
+
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    result.error = "journal missing or unreadable";
+    return result;
+  }
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  result.file_bytes = size;
+  in.seekg(0);
+  std::vector<char> bytes(size);
+  if (size > 0) in.read(bytes.data(), static_cast<std::streamsize>(size));
+  if (!in) {
+    result.error = "journal read failed";
+    return result;
+  }
+
+  const auto tear = [&](const char* why) {
+    result.torn_tail = true;
+    result.error = why;
+    metrics.torn_tails.add(1);
+  };
+
+  if (size < kHeaderBytes) {
+    if (size > 0) tear("short header");
+    return result;
+  }
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::copy_n(bytes.data(), sizeof(magic), reinterpret_cast<char*>(&magic));
+  std::copy_n(bytes.data() + sizeof(magic), sizeof(version),
+              reinterpret_cast<char*>(&version));
+  if (magic != kMagic || version != kVersion) {
+    result.error = "bad journal magic or version";
+    return result;
+  }
+
+  std::uint64_t off = kHeaderBytes;
+  result.valid_bytes = off;
+  while (off < size) {
+    if (size - off < kRecordHeaderBytes) {
+      tear("short record header");
+      break;
+    }
+    std::uint32_t payload_size = 0;
+    std::uint32_t type_raw = 0;
+    std::uint64_t sequence = 0;
+    std::copy_n(bytes.data() + off, sizeof(payload_size),
+                reinterpret_cast<char*>(&payload_size));
+    std::copy_n(bytes.data() + off + 4, sizeof(type_raw),
+                reinterpret_cast<char*>(&type_raw));
+    std::copy_n(bytes.data() + off + 8, sizeof(sequence),
+                reinterpret_cast<char*>(&sequence));
+    if (payload_size > kMaxPayloadBytes ||
+        size - off - kRecordHeaderBytes <
+            payload_size + kRecordTrailerBytes) {
+      tear("short record body");
+      break;
+    }
+    const std::span<const char> payload{
+        bytes.data() + off + kRecordHeaderBytes, payload_size};
+    std::uint64_t stored_checksum = 0;
+    std::copy_n(bytes.data() + off + kRecordHeaderBytes + payload_size,
+                sizeof(stored_checksum),
+                reinterpret_cast<char*>(&stored_checksum));
+    if (stored_checksum !=
+        record_checksum(payload_size, type_raw, sequence, payload)) {
+      tear("record checksum mismatch");
+      break;
+    }
+    if (sequence != result.records.size()) {
+      tear("record sequence gap");
+      break;
+    }
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(type_raw);
+    record.sequence = sequence;
+    record.payload.assign(payload.begin(), payload.end());
+    result.records.push_back(std::move(record));
+    off += kRecordHeaderBytes + payload_size + kRecordTrailerBytes;
+    result.valid_bytes = off;
+  }
+  metrics.replayed_records.add(result.records.size());
+  return result;
+}
+
+// ---- Payload encoding ----------------------------------------------------
+
+void PayloadWriter::sectors(std::span<const net::SectorId> ids) {
+  u32(static_cast<std::uint32_t>(ids.size()));
+  for (const net::SectorId id : ids) i32(id);
+}
+
+void PayloadWriter::config(const net::Configuration& config) {
+  u32(static_cast<std::uint32_t>(config.size()));
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const net::SectorSetting& s = config[static_cast<net::SectorId>(i)];
+    f64(s.power_dbm);
+    i32(s.tilt);
+    b(s.active);
+  }
+}
+
+void PayloadWriter::rng_state(const std::array<std::uint64_t, 4>& state) {
+  for (const std::uint64_t word : state) u64(word);
+}
+
+std::vector<net::SectorId> PayloadReader::sectors() {
+  const std::uint32_t count = u32();
+  std::vector<net::SectorId> ids;
+  ids.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) ids.push_back(i32());
+  return ids;
+}
+
+net::Configuration PayloadReader::config() {
+  const std::uint32_t count = u32();
+  net::Configuration config{count};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    net::SectorSetting& s = config[static_cast<net::SectorId>(i)];
+    s.power_dbm = f64();
+    s.tilt = static_cast<radio::TiltIndex>(i32());
+    s.active = b();
+  }
+  return config;
+}
+
+std::array<std::uint64_t, 4> PayloadReader::rng_state() {
+  std::array<std::uint64_t, 4> state{};
+  for (std::uint64_t& word : state) word = u64();
+  return state;
+}
+
+}  // namespace magus::exec

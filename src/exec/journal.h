@@ -1,0 +1,185 @@
+// Write-ahead journal for crash-safe campaign execution.
+//
+// An append-only, per-record-checksummed log (the DB-v2 FNV-1a scheme from
+// src/pathloss/database.cpp, hoisted into util/checksum.h) that the
+// migration executor and campaign runner write *before and after* every
+// externally visible action: step intents, configuration-push confirms,
+// fault events, recovery-ladder actions, deadline skips, quarantine
+// decisions, window boundaries. A process crash at any point loses at most
+// the record being written; recovery replays the longest valid prefix —
+// torn or truncated tails are detected by the checksum (or a short read)
+// and discarded, never replayed partially.
+//
+// On-disk layout:
+//
+//   header: u64 magic "MAGUSWL1" | u32 version
+//   record: u32 payload_size | u32 type | u64 sequence
+//           | payload bytes | u64 checksum
+//
+// The checksum covers the record header fields and the payload, so a
+// flipped bit anywhere in a record invalidates exactly that record and
+// everything after it (sequences are dense, 0-based: a valid-looking
+// record with the wrong sequence is also a torn tail). Payloads are
+// encoded with PayloadWriter / PayloadReader — plain little-endian PODs,
+// length-prefixed vectors — by the layer that owns the record type.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/configuration.h"
+
+namespace magus::exec {
+
+enum class JournalRecordType : std::uint32_t {
+  kCampaignStart = 1,
+  kUpgradeStart = 2,
+  kStepIntent = 3,     ///< written before the step's configuration push
+  kFault = 4,          ///< one injected fault event
+  kRecovery = 5,       ///< one recovery-ladder action taken
+  kDeadlineSkip = 6,   ///< a ladder rung skipped by the deadline watchdog
+  kStepConfirm = 7,    ///< written after the step completes (full state)
+  kQuarantine = 8,     ///< a sector entered quarantine
+  kUpgradeEnd = 9,
+  kWindowEnd = 10,
+  kCampaignEnd = 11,
+};
+
+[[nodiscard]] const char* journal_record_type_name(JournalRecordType type);
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kStepIntent;
+  std::uint64_t sequence = 0;
+  std::vector<char> payload;
+};
+
+/// Thrown by Journal::append when a crash point armed via set_crash_after
+/// fires — the crash-injection harness's stand-in for SIGKILL at a record
+/// boundary. Nothing is written for the crashing append.
+struct JournalCrash : std::runtime_error {
+  explicit JournalCrash(std::uint64_t after_records)
+      : std::runtime_error("injected crash after " +
+                           std::to_string(after_records) +
+                           " journal records") {}
+};
+
+class Journal {
+ public:
+  enum class Mode {
+    kTruncate,  ///< start a fresh journal (existing file discarded)
+    kContinue,  ///< resume: keep the longest valid prefix, drop torn tail
+  };
+
+  Journal(std::string path, Mode mode);
+
+  /// Appends one checksummed record and flushes it to the OS. Throws
+  /// JournalCrash when an armed crash point fires, std::runtime_error on
+  /// I/O failure.
+  void append(JournalRecordType type, std::vector<char> payload);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t records_written() const { return sequence_; }
+
+  /// Arms the crash-injection harness: the (n+1)-th append from *now*
+  /// (counting every append over the journal's lifetime, including records
+  /// recovered by kContinue) throws JournalCrash without writing. Pass
+  /// from the test harness only.
+  void set_crash_after(std::uint64_t total_records) {
+    crash_after_ = total_records;
+  }
+
+  struct Replay {
+    std::vector<JournalRecord> records;
+    std::uint64_t valid_bytes = 0;  ///< header + longest valid record prefix
+    std::uint64_t file_bytes = 0;
+    bool torn_tail = false;  ///< trailing bytes were discarded
+    std::string error;       ///< why the tail (or whole file) was rejected
+  };
+
+  /// Replays the longest valid prefix of `path`. Never throws on torn,
+  /// truncated, or corrupted files — a missing or empty file yields zero
+  /// records, a damaged one yields every record up to the damage. A partial
+  /// record is never surfaced.
+  [[nodiscard]] static Replay replay(const std::string& path);
+
+ private:
+  std::string path_;
+  std::uint64_t sequence_ = 0;  ///< next sequence to write
+  std::uint64_t crash_after_ = ~std::uint64_t{0};
+};
+
+// ---- Payload encoding ----------------------------------------------------
+
+/// Little-endian POD accumulator for record payloads.
+class PayloadWriter {
+ public:
+  template <typename T>
+  void pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t off = bytes_.size();
+    bytes_.resize(off + sizeof(T));
+    std::memcpy(bytes_.data() + off, &value, sizeof(T));
+  }
+
+  void u8(std::uint8_t v) { pod(v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) { pod(v); }
+  void i32(std::int32_t v) { pod(v); }
+  void u64(std::uint64_t v) { pod(v); }
+  void f64(double v) { pod(v); }
+
+  void sectors(std::span<const net::SectorId> ids);
+  void config(const net::Configuration& config);
+  void rng_state(const std::array<std::uint64_t, 4>& state);
+
+  [[nodiscard]] std::vector<char> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<char> bytes_;
+};
+
+/// Cursor over a record payload. Throws std::runtime_error on overrun —
+/// which recovery treats as a torn record (checksummed payloads only
+/// overrun when a decoder and encoder disagree).
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const char> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  [[nodiscard]] T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (bytes_.size() - off_ < sizeof(T)) {
+      throw std::runtime_error("Journal payload: truncated field");
+    }
+    T value;
+    std::copy_n(bytes_.data() + off_, sizeof(T),
+                reinterpret_cast<char*>(&value));
+    off_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] std::uint8_t u8() { return pod<std::uint8_t>(); }
+  [[nodiscard]] bool b() { return u8() != 0; }
+  [[nodiscard]] std::uint32_t u32() { return pod<std::uint32_t>(); }
+  [[nodiscard]] std::int32_t i32() { return pod<std::int32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return pod<std::uint64_t>(); }
+  [[nodiscard]] double f64() { return pod<double>(); }
+
+  [[nodiscard]] std::vector<net::SectorId> sectors();
+  [[nodiscard]] net::Configuration config();
+  [[nodiscard]] std::array<std::uint64_t, 4> rng_state();
+
+  [[nodiscard]] bool done() const { return off_ == bytes_.size(); }
+
+ private:
+  std::span<const char> bytes_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace magus::exec

@@ -1,0 +1,80 @@
+#include "exec/quarantine.h"
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace magus::exec {
+
+namespace {
+
+struct QuarantineMetrics {
+  obs::Counter& faults_recorded;
+  obs::Counter& quarantines;
+
+  [[nodiscard]] static QuarantineMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static QuarantineMetrics metrics{
+        registry.counter("exec.quarantine.faults_recorded"),
+        registry.counter("exec.quarantine.quarantines"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+SectorQuarantine::SectorQuarantine(QuarantineOptions options)
+    : options_(options) {
+  if (options_.fault_threshold < 1) {
+    throw std::invalid_argument("SectorQuarantine: threshold must be >= 1");
+  }
+}
+
+bool SectorQuarantine::record_faults(net::SectorId sector, int count,
+                                     std::size_t window) {
+  if (count <= 0 || sector == net::kInvalidSector) return false;
+  QuarantineMetrics::get().faults_recorded.add(
+      static_cast<std::uint64_t>(count));
+  State& state = sectors_[sector];
+  if (state.quarantined && window <= state.until_window) {
+    return false;  // already fenced off; don't extend from its own faults
+  }
+  state.fault_count += count;
+  if (state.fault_count < options_.fault_threshold) return false;
+  state.quarantined = true;
+  state.ever = true;
+  state.until_window = window + options_.cooloff_windows;
+  state.fault_count = 0;  // clean slate when the cool-off expires
+  ++quarantine_events_;
+  QuarantineMetrics::get().quarantines.add(1);
+  return true;
+}
+
+bool SectorQuarantine::is_quarantined(net::SectorId sector,
+                                      std::size_t window) const {
+  const auto it = sectors_.find(sector);
+  return it != sectors_.end() && it->second.quarantined &&
+         window <= it->second.until_window;
+}
+
+std::vector<net::SectorId> SectorQuarantine::active(
+    std::size_t window) const {
+  std::vector<net::SectorId> out;
+  for (const auto& [sector, state] : sectors_) {
+    if (state.quarantined && window <= state.until_window) {
+      out.push_back(sector);
+    }
+  }
+  return out;  // map iteration order is already ascending
+}
+
+std::vector<net::SectorId> SectorQuarantine::ever_quarantined() const {
+  std::vector<net::SectorId> out;
+  for (const auto& [sector, state] : sectors_) {
+    if (state.ever) out.push_back(sector);
+  }
+  return out;
+}
+
+}  // namespace magus::exec

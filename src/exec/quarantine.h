@@ -1,0 +1,70 @@
+// Sector circuit breaker: quarantine repeatedly-faulting equipment.
+//
+// A sector that keeps faulting across steps and windows (flapping
+// transport, failing power amplifier) would otherwise burn every window's
+// retry budget: each window re-tunes it, re-pushes to it, and re-escalates
+// when it falls over again. The campaign layer instead counts faults per
+// sector and, past a threshold, *quarantines* the sector for a cool-off
+// span of windows: it is excluded from PlannedUpgrade::involved tuning
+// sets, pinned against configuration pushes, and contingency entries that
+// rely on it are passed over (ContingencyTable::lookup_nearest's excluded
+// set) — graceful degradation on a reduced sector set instead of rollback.
+// After the cool-off the sector re-enters service with a clean slate.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "net/sector.h"
+
+namespace magus::exec {
+
+struct QuarantineOptions {
+  /// Fault events attributed to one sector before it is quarantined.
+  int fault_threshold = 2;
+  /// Windows the quarantine lasts, counted from the window *after* the one
+  /// that tripped the breaker.
+  std::size_t cooloff_windows = 2;
+};
+
+class SectorQuarantine {
+ public:
+  explicit SectorQuarantine(QuarantineOptions options = {});
+
+  /// Attributes `count` fault events to `sector` during `window`. Returns
+  /// true when this call tripped the breaker (the sector just entered
+  /// quarantine, lasting through window + cooloff_windows).
+  bool record_faults(net::SectorId sector, int count, std::size_t window);
+
+  [[nodiscard]] bool is_quarantined(net::SectorId sector,
+                                    std::size_t window) const;
+
+  /// Sectors quarantined during `window`, sorted ascending.
+  [[nodiscard]] std::vector<net::SectorId> active(std::size_t window) const;
+
+  /// Every sector that has ever been quarantined, sorted ascending.
+  [[nodiscard]] std::vector<net::SectorId> ever_quarantined() const;
+
+  /// Total breaker trips so far.
+  [[nodiscard]] int quarantine_events() const { return quarantine_events_; }
+
+  [[nodiscard]] const QuarantineOptions& options() const { return options_; }
+
+ private:
+  struct State {
+    int fault_count = 0;
+    /// Quarantined through this window inclusive; below any real window
+    /// index when not quarantined.
+    std::size_t until_window = 0;
+    bool quarantined = false;
+    bool ever = false;
+  };
+
+  QuarantineOptions options_;
+  std::map<net::SectorId, State> sectors_;
+  int quarantine_events_ = 0;
+};
+
+}  // namespace magus::exec

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/checksum.h"
 #include "util/thread_pool.h"
 
 namespace magus::pathloss {
@@ -84,16 +85,7 @@ struct ByteReader {
   }
 };
 
-/// FNV-1a over a byte range, chainable via `hash`.
-[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,
-                                  std::uint64_t hash = 0xCBF29CE484222325ULL) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    hash ^= p[i];
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
-}
+using util::fnv1a;
 
 /// Checksum of one database entry: geometry ints then raw gain bytes, so a
 /// flipped bit anywhere in the entry is caught.

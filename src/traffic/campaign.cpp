@@ -14,6 +14,21 @@ bool upgrades_conflict(const PlannedUpgrade& a, const PlannedUpgrade& b) {
          std::any_of(b.involved.begin(), b.involved.end(), touches);
 }
 
+PlannedUpgrade without_quarantined(
+    PlannedUpgrade upgrade, std::span<const net::SectorId> quarantined) {
+  const std::set<net::SectorId> fenced(quarantined.begin(), quarantined.end());
+  std::erase_if(upgrade.involved,
+                [&](net::SectorId s) { return fenced.contains(s); });
+  return upgrade;
+}
+
+bool targets_quarantined(const PlannedUpgrade& upgrade,
+                         std::span<const net::SectorId> quarantined) {
+  const std::set<net::SectorId> fenced(quarantined.begin(), quarantined.end());
+  return std::any_of(upgrade.targets.begin(), upgrade.targets.end(),
+                     [&](net::SectorId s) { return fenced.contains(s); });
+}
+
 CampaignSchedule schedule_campaign(std::span<const PlannedUpgrade> upgrades,
                                    std::size_t max_windows) {
   const std::size_t n = upgrades.size();

@@ -37,6 +37,20 @@ struct CampaignSchedule {
 [[nodiscard]] bool upgrades_conflict(const PlannedUpgrade& a,
                                      const PlannedUpgrade& b);
 
+/// A copy of `upgrade` with every quarantined sector removed from the
+/// `involved` tuning set — the campaign runner's graceful-degradation
+/// input to the planner (the plan is recomputed on the reduced set; a
+/// fenced-off neighbor is never tuned). Targets are left untouched: a
+/// quarantined *target* makes the upgrade unexecutable this window, which
+/// the caller must detect (targets_quarantined) and skip.
+[[nodiscard]] PlannedUpgrade without_quarantined(
+    PlannedUpgrade upgrade, std::span<const net::SectorId> quarantined);
+
+/// True when any of the upgrade's targets is currently quarantined.
+[[nodiscard]] bool targets_quarantined(
+    const PlannedUpgrade& upgrade,
+    std::span<const net::SectorId> quarantined);
+
 /// Greedy conflict-free assignment. Every upgrade lands in exactly one
 /// window; upgrades that conflict never share a window. The number of
 /// windows is determined by the conflict structure (max_windows = 0 means

@@ -4,6 +4,17 @@
 
 namespace magus::traffic {
 
+double window_time_budget_s(int duration_hours, double utilization) {
+  if (duration_hours <= 0) {
+    throw std::invalid_argument("window_time_budget_s: non-positive duration");
+  }
+  if (utilization <= 0.0 || utilization > 1.0) {
+    throw std::invalid_argument(
+        "window_time_budget_s: utilization outside (0, 1]");
+  }
+  return static_cast<double>(duration_hours) * 3600.0 * utilization;
+}
+
 WindowPlanner::WindowPlanner(TrafficProfile profile)
     : profile_(std::move(profile)) {}
 

@@ -41,6 +41,16 @@ struct WindowPlan {
   WindowAssessment worst_window;
 };
 
+/// Simulated execution-time budget of one maintenance window: the window's
+/// wall-clock span scaled by the fraction usable for configuration work
+/// (the rest is vendor hands-on time — racking, cabling, software load —
+/// during which no pushes happen). The campaign runner hands this to the
+/// executor's deadline watchdog, which skips recovery-ladder rungs whose
+/// worst-case cost no longer fits. Throws on non-positive hours or a
+/// utilization outside (0, 1].
+[[nodiscard]] double window_time_budget_s(int duration_hours,
+                                          double utilization = 0.25);
+
 class WindowPlanner {
  public:
   explicit WindowPlanner(TrafficProfile profile);

@@ -16,10 +16,20 @@ double BackoffPolicy::delay_before_attempt_s(int attempt) const {
   return std::clamp(raw, 0.0, max_delay_s);
 }
 
+double BackoffPolicy::delay_before_attempt_s(int attempt,
+                                             Xoshiro256ss& rng) const {
+  if (jitter_fraction < 0.0 || jitter_fraction > 1.0) {
+    throw std::invalid_argument("BackoffPolicy: jitter_fraction outside [0,1]");
+  }
+  const double base = delay_before_attempt_s(attempt);
+  if (jitter_fraction == 0.0 || base == 0.0) return base;
+  return base * (1.0 + jitter_fraction * (rng.uniform() - 0.5));
+}
+
 double BackoffPolicy::worst_case_total_delay_s() const {
   double total = 0.0;
   for (int a = 0; a < max_attempts; ++a) total += delay_before_attempt_s(a);
-  return total;
+  return total * (1.0 + 0.5 * std::max(0.0, jitter_fraction));
 }
 
 }  // namespace magus::util

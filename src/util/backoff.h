@@ -3,10 +3,18 @@
 // Shared by every retry loop in the execution layer (OSS configuration
 // pushes, handover-procedure re-attempts): attempt 0 runs immediately,
 // attempt k waits initial_delay_s * multiplier^(k-1), capped at
-// max_delay_s, until max_attempts attempts have been spent. Purely
-// deterministic — jitter, where needed, is the caller's responsibility so
-// that all randomness keeps flowing from explicit seeds.
+// max_delay_s, until max_attempts attempts have been spent.
+//
+// The base schedule is purely deterministic. Optional *seeded* jitter
+// decorrelates concurrent retry loops (so many executors retrying against
+// the same OSS don't synchronize into thundering herds) while keeping all
+// randomness flowing from explicit util::rng streams: the caller supplies
+// the stream, the policy only scales the delay. jitter_fraction = 0 (the
+// default) reproduces the legacy bit-identical schedule and consumes
+// nothing from the stream.
 #pragma once
+
+#include "util/rng.h"
 
 namespace magus::util {
 
@@ -15,10 +23,24 @@ struct BackoffPolicy {
   double multiplier = 2.0;
   double max_delay_s = 8.0;
   int max_attempts = 4;  ///< total attempts, including the first
+  /// Symmetric jitter band as a fraction of the deterministic delay: the
+  /// jittered delay is d * (1 + jitter_fraction * (u - 0.5)) with u drawn
+  /// uniformly from the caller's stream. 0 disables jitter entirely (no
+  /// stream draw), keeping legacy traces bit-identical.
+  double jitter_fraction = 0.0;
 
   /// Delay to wait *before* the given attempt (0-based). Attempt 0 is
-  /// immediate; later attempts grow geometrically up to the cap.
+  /// immediate; later attempts grow geometrically up to the cap. The
+  /// deterministic, jitter-free schedule.
   [[nodiscard]] double delay_before_attempt_s(int attempt) const;
+
+  /// Jittered delay: the deterministic delay scaled by the seeded jitter
+  /// band. Draws exactly one value from `rng` when jitter_fraction > 0 and
+  /// the base delay is non-zero; otherwise identical to the deterministic
+  /// overload (and consumes nothing, so arming jitter_fraction = 0 keeps
+  /// existing streams unperturbed).
+  [[nodiscard]] double delay_before_attempt_s(int attempt,
+                                              Xoshiro256ss& rng) const;
 
   /// True when `attempts_made` attempts have been spent and no further
   /// retry is allowed.
@@ -27,7 +49,9 @@ struct BackoffPolicy {
   }
 
   /// Total wait accumulated by a full run through all attempts — the
-  /// worst-case latency a retry loop adds before giving up.
+  /// worst-case latency a retry loop adds before giving up. Includes the
+  /// worst-case jitter inflation (the deadline watchdog budgets against
+  /// this bound).
   [[nodiscard]] double worst_case_total_delay_s() const;
 };
 

@@ -1,0 +1,14 @@
+#include "util/checksum.h"
+
+namespace magus::util {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t hash) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+}  // namespace magus::util

@@ -1,0 +1,21 @@
+// FNV-1a checksumming, shared by every durable on-disk format.
+//
+// Originally private to the path-loss database (DB v2's per-entry
+// checksums); hoisted so the execution journal's per-record checksums use
+// the exact same scheme. Chainable: pass the previous hash to checksum a
+// logical record spread over several buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace magus::util {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+/// FNV-1a over a byte range, chainable via `hash`.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                                  std::uint64_t hash = kFnv1aOffsetBasis);
+
+}  // namespace magus::util

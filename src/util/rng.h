@@ -64,6 +64,13 @@ class Xoshiro256ss {
   /// Creates an independent generator for a named sub-stream.
   [[nodiscard]] Xoshiro256ss fork(std::uint64_t stream_id) const;
 
+  /// The raw 256-bit state, for durable checkpointing (the execution
+  /// journal records it so a resumed run replays the exact same stream).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -142,5 +142,114 @@ TEST_F(ContingencyTest, RecoveryRiskMetrics) {
   EXPECT_LE(table.mean_recovery(), 1.0 + 1e-9);
 }
 
+/// Three-sector line (west — mid — east, 600 m apart) with a *local*
+/// neighbor radius, so involved sets differ per outage: the quarantine
+/// veto can knock out one entry while a subset entry survives.
+class QuarantineContingencyTest : public ::testing::Test {
+ protected:
+  QuarantineContingencyTest() : world_(12, 7.0) {
+    net::Sector mid = world_.network.sector(world_.west);
+    mid.site = 2;
+    mid.position = {600.0, 50.0};
+    mid_ = world_.network.add_sector(mid);
+    for (const int tilt : {-1, 0, 1}) {
+      std::vector<float> dense(12);
+      for (int c = 0; c < 12; ++c) {
+        const double distance = std::abs((c + 0.5) - 6.0);
+        dense[static_cast<std::size_t>(c)] =
+            static_cast<float>(-55.0 - 20.0 * distance);
+      }
+      world_.provider->set_footprint(mid_, static_cast<radio::TiltIndex>(tilt),
+                                     std::move(dense));
+    }
+    model_ = std::make_unique<model::AnalysisModel>(&world_.network,
+                                                    world_.provider.get());
+    model_->freeze_uniform_ue_density();
+    evaluator_ = std::make_unique<Evaluator>(model_.get(),
+                                             Utility::performance());
+    PlannerOptions options;
+    options.mode = TuningMode::kPower;
+    // 650 m: west's only neighbor is mid; mid neighbors both ends.
+    options.neighbor_radius_m = 650.0;
+    planner_ = std::make_unique<MagusPlanner>(evaluator_.get(), options);
+  }
+
+  LineWorld world_;
+  net::SectorId mid_ = net::kInvalidSector;
+  std::unique_ptr<model::AnalysisModel> model_;
+  std::unique_ptr<Evaluator> evaluator_;
+  std::unique_ptr<MagusPlanner> planner_;
+};
+
+TEST_F(QuarantineContingencyTest, ExcludedSectorVetoesEntriesReferencingIt) {
+  const std::vector<std::vector<net::SectorId>> outages = {
+      {world_.west, mid_},
+      {world_.west},
+  };
+  const auto table = ContingencyTable::build(*planner_, outages);
+  ASSERT_EQ(table.size(), 2u);
+  // Sanity: the joint entry leans on east (mid's neighbor), the single
+  // entry does not (west only reaches mid).
+  const net::SectorId joint[] = {world_.west, mid_};
+  const net::SectorId single[] = {world_.west};
+  const auto involves = [](const MitigationPlan* plan, net::SectorId s) {
+    return std::find(plan->involved.begin(), plan->involved.end(), s) !=
+           plan->involved.end();
+  };
+  ASSERT_TRUE(involves(table.lookup(joint), world_.east));
+  ASSERT_FALSE(involves(table.lookup(single), world_.east));
+
+  // Unquarantined: the double outage matches exactly.
+  const auto exact = table.lookup_nearest(joint);
+  ASSERT_NE(exact.plan, nullptr);
+  EXPECT_TRUE(exact.exact());
+
+  // With east fenced off, the exact entry is vetoed (its tuned set would
+  // reconfigure quarantined equipment) and the lookup degrades to the
+  // largest surviving subset — covering west, leaving mid uncovered.
+  const net::SectorId fenced[] = {world_.east};
+  const auto degraded = table.lookup_nearest(joint, fenced);
+  ASSERT_NE(degraded.plan, nullptr);
+  EXPECT_FALSE(degraded.exact());
+  EXPECT_EQ(degraded.plan, table.lookup(single));
+  EXPECT_EQ(degraded.covered, (std::vector<net::SectorId>{world_.west}));
+  EXPECT_EQ(degraded.uncovered, (std::vector<net::SectorId>{mid_}));
+
+  // An irrelevant exclusion vetoes nothing.
+  const net::SectorId stranger[] = {net::SectorId{99}};
+  EXPECT_TRUE(table.lookup_nearest(joint, stranger).exact());
+}
+
+TEST_F(QuarantineContingencyTest, ExcludedKeyVetoesExactMatchEntirely) {
+  const std::vector<std::vector<net::SectorId>> outages = {{mid_}};
+  const auto table = ContingencyTable::build(*planner_, outages);
+  const net::SectorId failed[] = {mid_};
+  ASSERT_TRUE(table.lookup_nearest(failed).exact());
+  // Quarantining the failed sector itself leaves no usable entry: the
+  // only plan is keyed on fenced equipment.
+  const net::SectorId fenced[] = {mid_};
+  EXPECT_EQ(table.lookup_nearest(failed, fenced).plan, nullptr);
+}
+
+TEST_F(QuarantineContingencyTest, ApplyPinsExcludedSectorsThroughThePush) {
+  const std::vector<std::vector<net::SectorId>> outages = {
+      {world_.west, mid_},
+      {world_.west},
+  };
+  const auto table = ContingencyTable::build(*planner_, outages);
+  // Give east a recognizable non-default setting; the nearest-match apply
+  // must hold it while pushing the partial plan and forcing the uncovered
+  // sector off.
+  net::Configuration live = model_->configuration();
+  live[world_.east].power_dbm = 33.0;
+  model_->set_configuration(live);
+  const net::SectorId failed[] = {world_.west, mid_};
+  const net::SectorId fenced[] = {world_.east};
+  ASSERT_TRUE(table.apply(*model_, failed, /*allow_nearest=*/true, fenced));
+  EXPECT_FALSE(model_->configuration()[world_.west].active);
+  EXPECT_FALSE(model_->configuration()[mid_].active);
+  EXPECT_DOUBLE_EQ(model_->configuration()[world_.east].power_dbm, 33.0);
+}
+
 }  // namespace
 }  // namespace magus::core

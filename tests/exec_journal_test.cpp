@@ -1,0 +1,350 @@
+// Write-ahead journal: round-trip, torn-tail recovery, crash injection,
+// and the exhaustive byte-offset truncation fuzz. The journal is the
+// foundation of crash-safe campaign execution, so recovery must never
+// crash, never surface a partial record, and always report exactly how
+// much of the log survived.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exec/journal.h"
+#include "net/configuration.h"
+
+namespace magus::exec {
+namespace {
+
+[[nodiscard]] std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+[[nodiscard]] std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<char> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes,
+                 std::size_t count) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(count));
+}
+
+/// A small journal with varied payloads (empty, PODs, sectors, a config,
+/// an RNG state) — enough shape diversity for the damage tests.
+[[nodiscard]] std::vector<JournalRecord> write_sample(Journal& journal) {
+  std::vector<JournalRecord> written;
+  const auto add = [&](JournalRecordType type, std::vector<char> payload) {
+    written.push_back(JournalRecord{type, journal.records_written(), payload});
+    journal.append(type, std::move(payload));
+  };
+
+  add(JournalRecordType::kCampaignStart, {});
+  {
+    PayloadWriter w;
+    w.u64(42);
+    w.i32(-7);
+    w.f64(2.5);
+    w.b(true);
+    add(JournalRecordType::kUpgradeStart, w.take());
+  }
+  {
+    PayloadWriter w;
+    const net::SectorId ids[] = {3, 1, 4, 1, 5};
+    w.sectors(ids);
+    add(JournalRecordType::kFault, w.take());
+  }
+  {
+    PayloadWriter w;
+    net::Configuration config{3};
+    config[0] = {43.0, -1, true};
+    config[1] = {40.5, 0, false};
+    config[2] = {37.0, 1, true};
+    w.config(config);
+    add(JournalRecordType::kStepConfirm, w.take());
+  }
+  {
+    PayloadWriter w;
+    w.rng_state({1, 2, 3, 4});
+    add(JournalRecordType::kCampaignEnd, w.take());
+  }
+  return written;
+}
+
+TEST(JournalTest, MissingFileReplaysToNothing) {
+  const Journal::Replay replay = Journal::replay(temp_path("magus_wal_none"));
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.valid_bytes, 0u);
+  EXPECT_EQ(replay.file_bytes, 0u);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_FALSE(replay.error.empty());
+}
+
+TEST(JournalTest, RoundTripPreservesEveryRecord) {
+  const std::string path = temp_path("magus_wal_roundtrip.bin");
+  std::vector<JournalRecord> written;
+  {
+    Journal journal{path, Journal::Mode::kTruncate};
+    written = write_sample(journal);
+    EXPECT_EQ(journal.records_written(), written.size());
+  }
+  const Journal::Replay replay = Journal::replay(path);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_TRUE(replay.error.empty()) << replay.error;
+  EXPECT_EQ(replay.valid_bytes, replay.file_bytes);
+  ASSERT_EQ(replay.records.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replay.records[i].type, written[i].type);
+    EXPECT_EQ(replay.records[i].sequence, i);
+    EXPECT_EQ(replay.records[i].payload, written[i].payload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, PayloadCodecRoundTrips) {
+  PayloadWriter w;
+  w.u8(200);
+  w.b(false);
+  w.u32(123456789u);
+  w.i32(-123);
+  w.u64(~std::uint64_t{0});
+  w.f64(-0.125);
+  const net::SectorId ids[] = {9, 2};
+  w.sectors(ids);
+  net::Configuration config{2};
+  config[0] = {46.0, 2, true};
+  config[1] = {30.0, -2, false};
+  w.config(config);
+  w.rng_state({10, 20, 30, 40});
+  const std::vector<char> bytes = w.take();
+
+  PayloadReader r{bytes};
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.u32(), 123456789u);
+  EXPECT_EQ(r.i32(), -123);
+  EXPECT_EQ(r.u64(), ~std::uint64_t{0});
+  EXPECT_DOUBLE_EQ(r.f64(), -0.125);
+  const std::vector<net::SectorId> got_ids = r.sectors();
+  ASSERT_EQ(got_ids.size(), 2u);
+  EXPECT_EQ(got_ids[0], 9);
+  EXPECT_EQ(got_ids[1], 2);
+  const net::Configuration got = r.config();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0].power_dbm, 46.0);
+  EXPECT_EQ(got[0].tilt, 2);
+  EXPECT_TRUE(got[0].active);
+  EXPECT_FALSE(got[1].active);
+  const std::array<std::uint64_t, 4> state = r.rng_state();
+  EXPECT_EQ(state[3], 40u);
+  EXPECT_TRUE(r.done());
+  // Reading past the end is a decode error, not memory corruption.
+  EXPECT_THROW((void)r.u8(), std::runtime_error);
+}
+
+TEST(JournalTest, ContinueModeResumesSequenceAfterCleanShutdown) {
+  const std::string path = temp_path("magus_wal_continue.bin");
+  std::size_t first_batch = 0;
+  {
+    Journal journal{path, Journal::Mode::kTruncate};
+    first_batch = write_sample(journal).size();
+  }
+  {
+    Journal journal{path, Journal::Mode::kContinue};
+    EXPECT_EQ(journal.records_written(), first_batch);
+    PayloadWriter w;
+    w.u32(99);
+    journal.append(JournalRecordType::kWindowEnd, w.take());
+  }
+  const Journal::Replay replay = Journal::replay(path);
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), first_batch + 1);
+  EXPECT_EQ(replay.records.back().type, JournalRecordType::kWindowEnd);
+  EXPECT_EQ(replay.records.back().sequence, first_batch);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, ContinueModeChopsTornTailAndAppendsCleanly) {
+  const std::string path = temp_path("magus_wal_torn.bin");
+  std::size_t full_records = 0;
+  {
+    Journal journal{path, Journal::Mode::kTruncate};
+    full_records = write_sample(journal).size();
+  }
+  // Simulate a crash mid-write: drop the last 5 bytes of the final record.
+  const std::vector<char> bytes = file_bytes(path);
+  write_bytes(path, bytes, bytes.size() - 5);
+  {
+    const Journal::Replay damaged = Journal::replay(path);
+    EXPECT_TRUE(damaged.torn_tail);
+    EXPECT_EQ(damaged.records.size(), full_records - 1);
+    EXPECT_LT(damaged.valid_bytes, damaged.file_bytes);
+  }
+  {
+    Journal journal{path, Journal::Mode::kContinue};
+    EXPECT_EQ(journal.records_written(), full_records - 1);
+    journal.append(JournalRecordType::kCampaignEnd, {});
+  }
+  const Journal::Replay repaired = Journal::replay(path);
+  EXPECT_FALSE(repaired.torn_tail);
+  EXPECT_TRUE(repaired.error.empty()) << repaired.error;
+  ASSERT_EQ(repaired.records.size(), full_records);
+  EXPECT_EQ(repaired.records.back().type, JournalRecordType::kCampaignEnd);
+  EXPECT_EQ(repaired.records.back().sequence, full_records - 1);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, FlippedBitInvalidatesRecordAndSuffix) {
+  const std::string path = temp_path("magus_wal_flip.bin");
+  {
+    Journal journal{path, Journal::Mode::kTruncate};
+    (void)write_sample(journal);
+  }
+  const Journal::Replay clean = Journal::replay(path);
+  ASSERT_GE(clean.records.size(), 3u);
+  std::vector<char> bytes = file_bytes(path);
+  // Flip a byte roughly in the middle of the file: some prefix survives,
+  // the damaged record and everything after are discarded.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x5A);
+  write_bytes(path, bytes, bytes.size());
+  const Journal::Replay damaged = Journal::replay(path);
+  EXPECT_TRUE(damaged.torn_tail);
+  EXPECT_FALSE(damaged.error.empty());
+  EXPECT_LT(damaged.records.size(), clean.records.size());
+  for (std::size_t i = 0; i < damaged.records.size(); ++i) {
+    EXPECT_EQ(damaged.records[i].payload, clean.records[i].payload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, BadMagicRejectsWholeFile) {
+  const std::string path = temp_path("magus_wal_magic.bin");
+  {
+    Journal journal{path, Journal::Mode::kTruncate};
+    (void)write_sample(journal);
+  }
+  std::vector<char> bytes = file_bytes(path);
+  bytes[0] = static_cast<char>(bytes[0] ^ 0xFF);
+  write_bytes(path, bytes, bytes.size());
+  const Journal::Replay replay = Journal::replay(path);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.valid_bytes, 0u);
+  EXPECT_FALSE(replay.error.empty());
+  // kContinue on an unrecognizable file starts a fresh journal.
+  Journal journal{path, Journal::Mode::kContinue};
+  EXPECT_EQ(journal.records_written(), 0u);
+  journal.append(JournalRecordType::kCampaignStart, {});
+  EXPECT_EQ(Journal::replay(path).records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, CrashPointFiresBeforeWriting) {
+  const std::string path = temp_path("magus_wal_crash.bin");
+  Journal journal{path, Journal::Mode::kTruncate};
+  journal.set_crash_after(2);
+  journal.append(JournalRecordType::kCampaignStart, {});
+  journal.append(JournalRecordType::kUpgradeStart, {});
+  EXPECT_THROW(journal.append(JournalRecordType::kStepIntent, {}),
+               JournalCrash);
+  // Nothing was written for the crashing append, and the crash repeats
+  // until the point is disarmed — a crashed process can't limp on.
+  EXPECT_THROW(journal.append(JournalRecordType::kStepIntent, {}),
+               JournalCrash);
+  const Journal::Replay replay = Journal::replay(path);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.records.size(), 2u);
+  std::remove(path.c_str());
+}
+
+// The satellite fuzz: truncate a valid journal at EVERY byte offset.
+// Recovery must never crash, never surface a partial record, and must
+// report exactly the longest valid prefix (monotone in the cut point).
+TEST(JournalTest, TruncationAtEveryByteOffsetRecoversLongestValidPrefix) {
+  const std::string path = temp_path("magus_wal_fuzz_src.bin");
+  // Record the file size after the header and after each append — the
+  // ground-truth record boundaries the fuzz checks against.
+  std::vector<std::uint64_t> boundaries;
+  {
+    Journal journal{path, Journal::Mode::kTruncate};
+    boundaries.push_back(Journal::replay(path).file_bytes);  // header only
+    std::vector<JournalRecord> written = write_sample(journal);
+    // A couple more records so the fuzz covers a longer tail.
+    PayloadWriter w;
+    w.u64(7);
+    journal.append(JournalRecordType::kWindowEnd, w.take());
+    journal.append(JournalRecordType::kCampaignEnd, {});
+    written.clear();
+    // Re-walk the file after the fact: boundary i+1 is where record i ends.
+    const Journal::Replay full = Journal::replay(path);
+    ASSERT_FALSE(full.torn_tail);
+    for (std::size_t i = 1; i <= full.records.size(); ++i) {
+      boundaries.push_back(0);  // filled below from prefix replays
+    }
+  }
+  const std::vector<char> bytes = file_bytes(path);
+  const Journal::Replay full = Journal::replay(path);
+  const std::size_t record_count = full.records.size();
+  ASSERT_GE(record_count, 7u);
+  ASSERT_EQ(full.valid_bytes, bytes.size());
+
+  const std::string cut_path = temp_path("magus_wal_fuzz_cut.bin");
+  std::size_t prev_records = 0;
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    write_bytes(cut_path, bytes, cut);
+    Journal::Replay replay;
+    ASSERT_NO_THROW(replay = Journal::replay(cut_path)) << "cut=" << cut;
+    ASSERT_EQ(replay.file_bytes, cut);
+    // Never a partial record: every replayed record matches the clean run
+    // byte for byte.
+    ASSERT_LE(replay.records.size(), record_count) << "cut=" << cut;
+    for (std::size_t i = 0; i < replay.records.size(); ++i) {
+      ASSERT_EQ(replay.records[i].type, full.records[i].type);
+      ASSERT_EQ(replay.records[i].payload, full.records[i].payload);
+    }
+    // The replayed-prefix report is exact: valid_bytes covers the full
+    // records kept, and everything beyond it was declared torn.
+    ASSERT_LE(replay.valid_bytes, cut) << "cut=" << cut;
+    if (replay.valid_bytes > 0 && cut > replay.valid_bytes) {
+      ASSERT_TRUE(replay.torn_tail) << "cut=" << cut;
+      ASSERT_FALSE(replay.error.empty()) << "cut=" << cut;
+    }
+    if (!replay.torn_tail && replay.valid_bytes > 0) {
+      ASSERT_EQ(replay.valid_bytes, cut) << "cut=" << cut;
+    }
+    // Monotonicity: a longer prefix never yields fewer records.
+    ASSERT_GE(replay.records.size(), prev_records) << "cut=" << cut;
+    prev_records = replay.records.size();
+    // Boundary bookkeeping: record i's end offset is the valid_bytes of
+    // the first cut that yields i records.
+    if (boundaries[replay.records.size()] == 0 &&
+        replay.records.size() > 0) {
+      boundaries[replay.records.size()] = replay.valid_bytes;
+    }
+
+    // And recovery-for-append works at every cut: kContinue must leave a
+    // file whose replay is clean.
+    {
+      Journal continued{cut_path, Journal::Mode::kContinue};
+      ASSERT_EQ(continued.records_written(), replay.records.size())
+          << "cut=" << cut;
+    }
+    const Journal::Replay chopped = Journal::replay(cut_path);
+    ASSERT_FALSE(chopped.torn_tail) << "cut=" << cut;
+    ASSERT_EQ(chopped.records.size(), replay.records.size()) << "cut=" << cut;
+  }
+  EXPECT_EQ(prev_records, record_count);
+  // Every record boundary was hit by some cut, strictly increasing.
+  for (std::size_t i = 1; i < boundaries.size(); ++i) {
+    EXPECT_GT(boundaries[i], 0u) << i;
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+}  // namespace
+}  // namespace magus::exec

@@ -1,0 +1,98 @@
+// Campaign execution under a multi-threaded planner: the crash-safe
+// runner drives plan_upgrade / replan_from_current through the
+// ParallelEvaluator's worker pool, so a campaign with journaling and
+// resume exercises the shared scoring state across threads. Built into
+// the TSan suite (magus_parallel_tests) to prove the recovery layer adds
+// no data races on top of the pool.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/contingency.h"
+#include "core/planner.h"
+#include "exec/campaign_runner.h"
+#include "exec/fault_injector.h"
+#include "exec/journal.h"
+#include "test_helpers.h"
+#include "traffic/campaign.h"
+
+namespace magus::exec {
+namespace {
+
+using magus::testing::LineWorld;
+
+TEST(ExecRecoveryParallel, CampaignResumeMatchesUnderThreadedPlanner) {
+  LineWorld world{12, 7.0};
+  model::AnalysisModel model{&world.network, world.provider.get()};
+  model.freeze_uniform_ue_density();
+  core::Evaluator evaluator{&model, core::Utility::performance()};
+  core::PlannerOptions planner_options;
+  planner_options.mode = core::TuningMode::kPower;
+  planner_options.neighbor_radius_m = 2'000.0;
+  planner_options.threads = 4;  // candidate scoring fans out to the pool
+  const core::MagusPlanner planner{&evaluator, planner_options};
+
+  traffic::PlannedUpgrade upgrade;
+  upgrade.targets = {world.east};
+  upgrade.involved = {world.east, world.west};
+  const std::vector<traffic::PlannedUpgrade> upgrades = {upgrade};
+  traffic::CampaignSchedule schedule;
+  schedule.windows = {{0}};
+  const std::vector<std::vector<net::SectorId>> outages = {{world.west}};
+  const auto table = core::ContingencyTable::build(planner, outages);
+
+  CampaignOptions options;
+  options.executor.utility_tolerance = 0.01;
+  options.seed = 9;
+  const CampaignRunner runner{&evaluator, &planner, options};
+  const auto make_env = [&](Journal* journal) {
+    CampaignEnv env;
+    env.contingencies = &table;
+    env.journal = journal;
+    env.injector_factory = [&world](std::size_t) {
+      auto injector = std::make_unique<ScriptedFaultInjector>();
+      injector->add(
+          FaultEvent{FaultKind::kSectorOutage, 1, world.west});
+      return injector;
+    };
+    return env;
+  };
+
+  const std::string path =
+      ::testing::TempDir() + "/magus_parallel_campaign.wal";
+  CampaignResult reference;
+  std::uint64_t record_count = 0;
+  {
+    Journal journal{path, Journal::Mode::kTruncate};
+    reference = runner.run(upgrades, schedule, make_env(&journal));
+    record_count = journal.records_written();
+  }
+  ASSERT_TRUE(reference.completed);
+  ASSERT_GT(record_count, 2u);
+  const net::Configuration reference_config = model.configuration();
+
+  // Crash mid-campaign, then resume — both legs run planning on the pool.
+  {
+    Journal journal{path, Journal::Mode::kTruncate};
+    journal.set_crash_after(record_count / 2);
+    EXPECT_THROW((void)runner.run(upgrades, schedule, make_env(&journal)),
+                 JournalCrash);
+  }
+  Journal journal{path, Journal::Mode::kContinue};
+  const Journal::Replay replay = Journal::replay(path);
+  CampaignEnv env = make_env(&journal);
+  env.recovered = replay.records;
+  const CampaignResult resumed = runner.run(upgrades, schedule, env);
+
+  EXPECT_TRUE(resumed.completed);
+  ASSERT_EQ(resumed.upgrades.size(), reference.upgrades.size());
+  EXPECT_EQ(resumed.upgrades[0].trace.to_json().dump(),
+            reference.upgrades[0].trace.to_json().dump());
+  EXPECT_EQ(model.configuration(), reference_config);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace magus::exec

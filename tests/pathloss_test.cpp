@@ -430,7 +430,12 @@ class DatabaseCorruption : public ::testing::Test {
       dense[1 * 4 + 2] = -90.0f - tilt;
       provider_.set_footprint(0, static_cast<radio::TiltIndex>(tilt), dense);
     }
-    path_ = ::testing::TempDir() + "/magus_pl_corrupt.bin";
+    // One file per test: under `ctest -j` each TEST_F runs as its own
+    // process, so a shared name would let two corruption tests clobber
+    // each other's bytes mid-run.
+    path_ = ::testing::TempDir() + "/magus_pl_corrupt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
     PathLossDatabase db{grid_};
     db.insert(0, 0, provider_.footprint(0, 0));
     db.insert(0, 1, provider_.footprint(0, 1));

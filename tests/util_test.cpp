@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/args.h"
+#include "util/backoff.h"
 #include "util/csv.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -326,6 +327,69 @@ TEST(Json, WriteFileRoundTripAndFailure) {
   EXPECT_EQ(buffer.str(), object.dump());
   std::remove(path.c_str());
   EXPECT_THROW(object.write_file("no_such_dir/x.json"), std::runtime_error);
+}
+
+TEST(Backoff, DeterministicScheduleGrowsToCap) {
+  BackoffPolicy policy;
+  policy.initial_delay_s = 0.5;
+  policy.multiplier = 2.0;
+  policy.max_delay_s = 1.5;
+  policy.max_attempts = 4;
+  EXPECT_DOUBLE_EQ(policy.delay_before_attempt_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.delay_before_attempt_s(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.delay_before_attempt_s(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.delay_before_attempt_s(3), 1.5);  // capped
+  EXPECT_THROW((void)policy.delay_before_attempt_s(-1), std::invalid_argument);
+  EXPECT_FALSE(policy.exhausted(3));
+  EXPECT_TRUE(policy.exhausted(4));
+  EXPECT_DOUBLE_EQ(policy.worst_case_total_delay_s(), 3.0);
+}
+
+TEST(Backoff, ZeroJitterIsBitIdenticalAndConsumesNothing) {
+  BackoffPolicy policy;  // jitter_fraction defaults to 0
+  Xoshiro256ss rng{123};
+  const auto before = rng.state();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    EXPECT_EQ(policy.delay_before_attempt_s(attempt, rng),
+              policy.delay_before_attempt_s(attempt));
+  }
+  // The stream was never touched: legacy traces stay bit-identical.
+  EXPECT_EQ(rng.state(), before);
+}
+
+TEST(Backoff, SeededJitterIsBandedAndReproducible) {
+  BackoffPolicy policy;
+  policy.jitter_fraction = 0.5;
+  Xoshiro256ss rng_a{7};
+  Xoshiro256ss rng_b{7};
+  bool saw_jitter = false;
+  for (int attempt = 1; attempt < 8; ++attempt) {
+    const double base = policy.delay_before_attempt_s(attempt);
+    const double jittered = policy.delay_before_attempt_s(attempt, rng_a);
+    EXPECT_GE(jittered, base * 0.75);
+    EXPECT_LE(jittered, base * 1.25);
+    if (jittered != base) saw_jitter = true;
+    // Same seed, same schedule.
+    EXPECT_DOUBLE_EQ(policy.delay_before_attempt_s(attempt, rng_b), jittered);
+  }
+  EXPECT_TRUE(saw_jitter);
+  // Attempt 0 stays immediate and consumes nothing even with jitter armed.
+  const auto state = rng_a.state();
+  EXPECT_DOUBLE_EQ(policy.delay_before_attempt_s(0, rng_a), 0.0);
+  EXPECT_EQ(rng_a.state(), state);
+}
+
+TEST(Backoff, JitterInflatesWorstCaseAndValidatesRange) {
+  BackoffPolicy plain;
+  BackoffPolicy jittered = plain;
+  jittered.jitter_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(jittered.worst_case_total_delay_s(),
+                   plain.worst_case_total_delay_s() * 1.25);
+  BackoffPolicy bad;
+  bad.jitter_fraction = 1.5;
+  Xoshiro256ss rng{1};
+  EXPECT_THROW((void)bad.delay_before_attempt_s(1, rng),
+               std::invalid_argument);
 }
 
 }  // namespace
