@@ -282,9 +282,15 @@ void write_json_summary(const std::string& path) {
             2.0)));
   }
   constexpr int kRounds = 20;
-  const auto timed_run = [&](std::size_t threads) {
+  // Report the worker count each pass *actually* ran with (the evaluator's
+  // pool size), not the requested flag value — they differ when --threads
+  // is 0 (hardware concurrency) or absent.
+  std::size_t serial_workers = 0;
+  std::size_t parallel_workers = 0;
+  const auto timed_run = [&](std::size_t threads, std::size_t& workers) {
     core::ParallelEvaluator evaluator{&model, core::Utility::performance(),
                                       threads, g_use_index};
+    workers = evaluator.thread_count();
     (void)evaluator.score(batch);  // warm up worker clones
     const auto start = Clock::now();
     for (int round = 0; round < kRounds; ++round) {
@@ -293,15 +299,16 @@ void write_json_summary(const std::string& path) {
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
 
-  const double serial_s = timed_run(1);
-  const double parallel_s = timed_run(g_threads);
+  const double serial_s = timed_run(1, serial_workers);
+  const double parallel_s = timed_run(g_threads, parallel_workers);
   const auto evals = static_cast<double>(batch.size()) * kRounds;
 
   util::JsonObject summary;
   summary.set("bench", "bench_micro_model")
       .set("batch_size", static_cast<std::int64_t>(batch.size()))
       .set("rounds", static_cast<std::int64_t>(kRounds))
-      .set("threads", static_cast<std::int64_t>(g_threads))
+      .set("threads", static_cast<std::int64_t>(parallel_workers))
+      .set("threads_serial_pass", static_cast<std::int64_t>(serial_workers))
       .set("use_coverage_index", g_use_index)
       .set("wall_s_1_thread", serial_s)
       .set("wall_s", parallel_s)

@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 for bin in bench_micro_model bench_fig12_convergence bench_pathloss_build \
-           bench_fault_recovery; do
+           bench_fault_recovery bench_fleet_campaign; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -24,7 +24,7 @@ for bin in bench_micro_model bench_fig12_convergence bench_pathloss_build \
 done
 
 echo "== micro-model kernels (index + legacy, one artifact) =="
-"$BUILD_DIR/bench/bench_micro_model" \
+"$BUILD_DIR/bench/bench_micro_model" --threads 0 \
   --benchmark_filter='BM_DemotionRebuild|BM_FullRebuild|BM_UtilityEvaluation' \
   --json BENCH_model.json
 
@@ -44,8 +44,14 @@ echo "== crash-safe campaign execution (journal, resume, quarantine) =="
 "$BUILD_DIR/bench/bench_fault_recovery" \
   --json BENCH_recovery.json >/dev/null
 
+echo "== fleet campaign (100 markets through the byte-budgeted store) =="
+fleet_db=$(mktemp -d)
+trap 'rm -rf "$fleet_db"' EXIT
+"$BUILD_DIR/bench/bench_fleet_campaign" --db-dir "$fleet_db" \
+  --json BENCH_fleet.json >/dev/null
+
 echo
-echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json BENCH_pathloss.json BENCH_recovery.json"
+echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json BENCH_pathloss.json BENCH_recovery.json BENCH_fleet.json"
 python3 - <<'PY' 2>/dev/null || true
 import json
 m = json.load(open('BENCH_model.json'))
@@ -63,4 +69,10 @@ print(f"campaign crash/resume: windows {c['windows_completed']}/"
       f"quarantines {c['quarantine_events']}, "
       f"deadline skips {c['deadline_skips']}, "
       f"resume matches baseline: {r['resume_matches_baseline']}")
+f = json.load(open('BENCH_fleet.json'))
+print(f"fleet: {f['markets']} markets / {f['sectors_total']} sectors, "
+      f"{f['markets_per_second']:.2f} markets/s, "
+      f"{f['store_capped']['evictions']} evictions, "
+      f"identical under eviction: {f['plans_identical_under_eviction']}, "
+      f"matches single-market: {f['plans_match_single_market']}")
 PY

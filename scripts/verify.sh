@@ -7,16 +7,22 @@
 # combined with ASan, hence its own tree).
 #
 #   scripts/verify.sh            # all three passes
-#   scripts/verify.sh --fast     # regular pass only
+#   scripts/verify.sh --fast     # regular pass only, skipping `slow`-labeled
+#                                # tests (crash-injection harness, journal
+#                                # byte-offset fuzz, integration suites)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
 
 echo "==> Regular build + tests (RelWithDebInfo)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure -j "$jobs"
+ctest_args=()
+(( fast )) && ctest_args+=(-LE slow)
+ctest --test-dir build --output-on-failure -j "$jobs" "${ctest_args[@]}"
 
 echo "==> Observability artifacts (--json --metrics --trace)"
 artifacts=$(mktemp -d)
@@ -78,7 +84,30 @@ print(f"perf smoke OK: path-loss build {speedup:.2f}x vs legacy, "
       f"{m['counters']['pathloss.build.matrices']} counted")
 EOF
 
-if [[ "${1:-}" == "--fast" ]]; then
+echo "==> Fleet smoke: byte-budgeted multi-market planning"
+# A small fleet through the MarketStore + WavePlanner stack: the byte
+# budget must actually evict, and neither eviction/reload nor the store
+# path itself may change any market's plan (fingerprint identity against
+# the unconstrained run and the standalone single-market planner).
+./build/bench/bench_fleet_campaign --markets 12 --region-km 3 --study-km 2 \
+  --replan 4 --samples 2 --db-dir "$artifacts/fleet_db" \
+  --json "$artifacts/fleet.json" \
+  --metrics "$artifacts/fleet_metrics.json" >/dev/null
+python3 - "$artifacts" <<'EOF'
+import json, sys
+f = json.load(open(f"{sys.argv[1]}/fleet.json"))
+assert f["store_capped"]["evictions"] > 0, "byte budget never evicted"
+assert f["plans_identical_under_eviction"], "eviction changed a market's plan"
+assert f["plans_match_single_market"], \
+    "fleet path diverged from the single-market planner"
+m = json.load(open(f"{sys.argv[1]}/fleet_metrics.json"))
+assert m["counters"]["fleet.store.evictions"] > 0, "no store metrics"
+print(f"fleet smoke OK: {f['markets']} markets / {f['sectors_total']} "
+      f"sectors, {f['store_capped']['evictions']} evictions, "
+      f"plans identical under eviction")
+EOF
+
+if (( fast )); then
   echo "==> Skipping sanitizer pass (--fast)"
   exit 0
 fi

@@ -40,7 +40,24 @@ struct EvaluatorMetrics {
 ParallelEvaluator::ParallelEvaluator(model::AnalysisModel* model,
                                      Utility utility, std::size_t threads,
                                      bool use_coverage_index)
-    : model_(model), utility_(std::move(utility)), pool_(threads) {
+    : model_(model),
+      utility_(std::move(utility)),
+      owned_pool_(std::make_unique<util::ThreadPool>(threads)),
+      pool_(owned_pool_.get()) {
+  init(use_coverage_index);
+}
+
+ParallelEvaluator::ParallelEvaluator(model::AnalysisModel* model,
+                                     Utility utility, util::ThreadPool* pool,
+                                     bool use_coverage_index)
+    : model_(model), utility_(std::move(utility)), pool_(pool) {
+  if (pool_ == nullptr) {
+    throw std::invalid_argument("ParallelEvaluator: pool must not be null");
+  }
+  init(use_coverage_index);
+}
+
+void ParallelEvaluator::init(bool use_coverage_index) {
   if (model_ == nullptr) {
     throw std::invalid_argument("ParallelEvaluator: model must not be null");
   }
@@ -51,7 +68,7 @@ ParallelEvaluator::ParallelEvaluator(model::AnalysisModel* model,
     model_->market_context().ensure_coverage_index();
     model_->set_use_coverage_index(true);
   }
-  workers_.resize(pool_.size());
+  workers_.resize(pool_->size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     workers_[i].evals = &obs::MetricsRegistry::global().counter(
         "evaluator.worker." + std::to_string(i) + ".evals");
@@ -77,7 +94,7 @@ std::vector<double> ParallelEvaluator::score(std::span<const Candidate> batch) {
   const std::uint64_t batch_start_ns = obs::monotonic_now_ns();
 
   const model::EvalContext::Snapshot base = model_->snapshot();
-  pool_.run(batch.size(), [&](std::size_t worker, std::size_t task) {
+  pool_->run(batch.size(), [&](std::size_t worker, std::size_t task) {
     Worker& w = workers_[worker];
     if (!w.measured_wait) {
       // First task of this worker in the batch: how long the worker slot

@@ -43,9 +43,18 @@ class ParallelEvaluator {
   ParallelEvaluator(model::AnalysisModel* model, Utility utility,
                     std::size_t threads = 1, bool use_coverage_index = true);
 
+  /// Shares an externally owned worker pool instead of spawning one. The
+  /// fleet WavePlanner plans hundreds of markets with one pool: a fresh
+  /// per-market pool would pay thread spawn/join per market and oversubscribe
+  /// nothing in return. `pool` must outlive the evaluator; batches still run
+  /// one at a time (ThreadPool::run is not reentrant), which the sequential
+  /// per-market planning loop guarantees.
+  ParallelEvaluator(model::AnalysisModel* model, Utility utility,
+                    util::ThreadPool* pool, bool use_coverage_index = true);
+
   [[nodiscard]] model::AnalysisModel& model() const { return *model_; }
   [[nodiscard]] const Utility& utility() const { return utility_; }
-  [[nodiscard]] std::size_t thread_count() const { return pool_.size(); }
+  [[nodiscard]] std::size_t thread_count() const { return pool_->size(); }
 
   /// f of the driver model's current state (serial, on the calling
   /// thread). Counts as one evaluation.
@@ -75,9 +84,13 @@ class ParallelEvaluator {
     bool measured_wait = false;  ///< first-task queue wait taken this batch
   };
 
+  /// Shared tail of both constructors: index binding + worker slots.
+  void init(bool use_coverage_index);
+
   model::AnalysisModel* model_;
   Utility utility_;
-  util::ThreadPool pool_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;  ///< null when shared
+  util::ThreadPool* pool_;
   std::vector<Worker> workers_;
   EvalScratch scratch_;  ///< for the serial evaluate()
   std::atomic<long> evaluations_{0};

@@ -53,9 +53,14 @@ MagusPlanner::MagusPlanner(Evaluator* evaluator, PlannerOptions options)
   if (evaluator_ == nullptr) {
     throw std::invalid_argument("MagusPlanner: evaluator must not be null");
   }
-  parallel_ = std::make_unique<ParallelEvaluator>(
-      &evaluator_->model(), evaluator_->utility(), options_.threads,
-      options_.use_coverage_index);
+  parallel_ =
+      options_.shared_pool != nullptr
+          ? std::make_unique<ParallelEvaluator>(
+                &evaluator_->model(), evaluator_->utility(),
+                options_.shared_pool, options_.use_coverage_index)
+          : std::make_unique<ParallelEvaluator>(
+                &evaluator_->model(), evaluator_->utility(), options_.threads,
+                options_.use_coverage_index);
 }
 
 SearchResult MagusPlanner::run_search(

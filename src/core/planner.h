@@ -31,6 +31,11 @@ struct PlannerOptions {
   /// concurrency). The search results are bit-identical for any value —
   /// see core/parallel_evaluator.h — so this is purely a speed knob.
   std::size_t threads = 0;
+  /// When non-null, candidate batches are scored on this externally owned
+  /// pool instead of a per-planner one and `threads` is ignored. The pool
+  /// must outlive the planner. This is how the fleet WavePlanner shares
+  /// one worker pool across hundreds of per-market planners.
+  util::ThreadPool* shared_pool = nullptr;
   /// Run the model's CSR coverage-index fast paths (bit-identical; see
   /// model/coverage_index.h). Off is only interesting for benchmarking
   /// the legacy scan.

@@ -42,6 +42,18 @@ void Experiment::prebuild_footprints(std::span<const radio::TiltIndex> tilts,
   provider_.prebuild(sectors, tilts, threads);
 }
 
+pathloss::PathLossDatabase Experiment::open_footprint_db(
+    const std::string& path, std::span<const radio::TiltIndex> tilts,
+    std::size_t threads, pathloss::PathLossDatabase::LoadReport* report) {
+  std::vector<net::SectorId> sectors;
+  sectors.reserve(market_.network.sectors().size());
+  for (const auto& sector : market_.network.sectors()) {
+    sectors.push_back(sector.id);
+  }
+  return pathloss::PathLossDatabase::load_or_rebuild(path, provider_, sectors,
+                                                     tilts, report, threads);
+}
+
 int Experiment::study_interferer_count() {
   return model::interfering_sector_count(provider_, market_.network,
                                          market_.network.default_configuration(),

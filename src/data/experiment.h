@@ -62,6 +62,20 @@ class Experiment {
   /// the default configuration (the paper's Figure 8 statistic).
   [[nodiscard]] int study_interferer_count();
 
+  /// Opens this market's on-disk path-loss database: loads `path` when it
+  /// is a valid database for this grid, otherwise builds every
+  /// (sector × tilt) matrix from this experiment's propagation stack
+  /// across `threads` workers and best-effort re-saves it. Either way the
+  /// returned database is bitwise identical to what lazy construction
+  /// would serve (PR-5 guarantee), which is what lets the fleet
+  /// MarketStore evict a market and reload it bit-identically later
+  /// without keeping the terrain/propagation stack alive. `report`, when
+  /// non-null, says whether a rebuild happened.
+  [[nodiscard]] pathloss::PathLossDatabase open_footprint_db(
+      const std::string& path, std::span<const radio::TiltIndex> tilts,
+      std::size_t threads = 0,
+      pathloss::PathLossDatabase::LoadReport* report = nullptr);
+
  private:
   [[nodiscard]] static double resolve_range(const MarketParams& params,
                                             const ExperimentOptions& options);

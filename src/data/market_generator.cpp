@@ -155,6 +155,32 @@ Market generate_market(const MarketParams& raw_params) {
   return market;
 }
 
+std::vector<MarketParams> generate_fleet(const FleetParams& params) {
+  if (params.urban_fraction < 0.0 || params.suburban_fraction < 0.0 ||
+      params.urban_fraction + params.suburban_fraction > 1.0 + 1e-12) {
+    throw std::invalid_argument(
+        "generate_fleet: morphology fractions must be non-negative and sum "
+        "to at most 1");
+  }
+  std::vector<MarketParams> fleet;
+  fleet.reserve(params.markets);
+  for (std::size_t i = 0; i < params.markets; ++i) {
+    MarketParams market = params.base;
+    // Per-market streams depend only on (fleet seed, index): market i is
+    // the same whether the fleet has 10 markets or 10'000.
+    market.seed = util::mix64(params.seed ^ (0x464C4545544D4Bull + i));
+    util::Xoshiro256ss rng{util::mix64(market.seed ^ 0x4D4F525048ull)};
+    const double draw = rng.uniform();
+    market.morphology = draw < params.urban_fraction ? Morphology::kUrban
+                        : draw < params.urban_fraction +
+                                     params.suburban_fraction
+                            ? Morphology::kSuburban
+                            : Morphology::kRural;
+    fleet.push_back(market);
+  }
+  return fleet;
+}
+
 terrain::Terrain make_market_terrain(const MarketParams& raw_params) {
   const MarketParams params = raw_params.resolved();
   terrain::TerrainParams tp;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "geo/grid_map.h"
 #include "net/network.h"
@@ -74,6 +75,32 @@ struct Market {
 /// Terrain matching the market's morphology (urban core in the study
 /// center for urban/suburban markets).
 [[nodiscard]] terrain::Terrain make_market_terrain(const MarketParams& params);
+
+/// Seeded multi-market generation: the fleet-scale stand-in for a
+/// carrier's national footprint. Every market derives its own generation
+/// seed from the fleet seed and its index, and draws a morphology from the
+/// configured mix — so a fleet is fully reproducible from (seed, markets,
+/// mix, base) and any single market can be regenerated in isolation
+/// (which is what lets the fleet MarketStore evict and rematerialize
+/// markets bit-identically).
+struct FleetParams {
+  std::uint64_t seed = 1;
+  std::size_t markets = 100;
+  /// Morphology mix; fractions in [0, 1] with urban + suburban <= 1, the
+  /// remainder is rural. The draw is seeded, not a fixed split, so small
+  /// fleets still look like samples of a footprint.
+  double urban_fraction = 0.4;
+  double suburban_fraction = 0.4;
+  /// Template for every market: region/study/cell sizes and deployment
+  /// overrides. `morphology` and `seed` are overwritten per market.
+  MarketParams base;
+};
+
+/// Per-market generation parameters for the fleet (deterministic in
+/// params.seed). Market i of a fleet is identical regardless of how many
+/// markets the fleet has.
+[[nodiscard]] std::vector<MarketParams> generate_fleet(
+    const FleetParams& params);
 
 /// The planner's power rule used when default_power_dbm is 0: transmit
 /// power (dBm, clamped to [min, max]) that reaches `target_edge_rp_dbm`

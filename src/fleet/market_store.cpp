@@ -1,0 +1,193 @@
+#include "fleet/market_store.h"
+
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace magus::fleet {
+
+namespace {
+
+struct StoreMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& resident_bytes;
+  obs::Histogram& load_latency_us;
+
+  [[nodiscard]] static StoreMetrics& get() {
+    static auto& registry = obs::MetricsRegistry::global();
+    static StoreMetrics metrics{
+        registry.counter("fleet.store.hits"),
+        registry.counter("fleet.store.misses"),
+        registry.counter("fleet.store.evictions"),
+        registry.gauge("fleet.store.resident_bytes"),
+        registry.histogram("fleet.store.load_latency_us",
+                           obs::exponential_bounds(1'000.0, 4.0, 12)),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::vector<MarketSpec> specs_from_fleet(const data::FleetParams& params) {
+  const std::vector<data::MarketParams> fleet = data::generate_fleet(params);
+  std::vector<MarketSpec> specs;
+  specs.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    specs.push_back({static_cast<MarketId>(i), fleet[i]});
+  }
+  return specs;
+}
+
+MarketHandle::MarketHandle(const MarketSpec& spec, const StoreOptions& options,
+                           std::string db_path)
+    : spec_(spec),
+      market_(data::generate_market(spec.params)),
+      db_path_(std::move(db_path)) {
+  // Fast path: a structurally sound file that covers this market loads
+  // without ever touching terrain or the propagation model.
+  const auto is_complete = [&](pathloss::PathLossDatabase& db) {
+    const geo::GridMap expected{market_.region, market_.params.cell_size_m};
+    if (db.grid().cols() != expected.cols() ||
+        db.grid().rows() != expected.rows() ||
+        db.grid().cell_size_m() != expected.cell_size_m()) {
+      return false;
+    }
+    for (const auto& sector : market_.network.sectors()) {
+      for (const radio::TiltIndex tilt : options.tilts) {
+        if (!db.contains(sector.id, tilt)) return false;
+      }
+    }
+    return true;
+  };
+
+  const auto probe = pathloss::PathLossDatabase::probe(db_path_);
+  if (probe.ok) {
+    try {
+      auto db = pathloss::PathLossDatabase::load(db_path_, options.threads);
+      if (is_complete(db)) {
+        db_ = std::make_unique<pathloss::PathLossDatabase>(std::move(db));
+      } else {
+        load_error_ = "database incomplete for this market";
+      }
+    } catch (const std::runtime_error& e) {
+      load_error_ = e.what();
+    }
+  } else {
+    load_error_ = probe.error;
+  }
+
+  if (db_ == nullptr) {
+    // Slow path: materialize the full stack once; open_footprint_db
+    // rebuilds every (sector x tilt) matrix and best-effort re-saves, so
+    // the next acquire takes the fast path.
+    data::Experiment experiment{spec_.params, options.experiment};
+    pathloss::PathLossDatabase::LoadReport report;
+    db_ = std::make_unique<pathloss::PathLossDatabase>(
+        experiment.open_footprint_db(db_path_, options.tilts, options.threads,
+                                     &report));
+    rebuilt_ = true;
+    if (load_error_.empty()) load_error_ = report.error;
+  }
+  model_ = std::make_unique<model::AnalysisModel>(&market_.network, db_.get(),
+                                                  options.experiment.model);
+}
+
+std::size_t MarketHandle::resident_bytes() const {
+  return db_->resident_bytes() + model_->market_context().resident_bytes();
+}
+
+MarketStore::MarketStore(std::vector<MarketSpec> specs, StoreOptions options)
+    : specs_(std::move(specs)), options_(std::move(options)) {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (!spec_index_.emplace(specs_[i].id, i).second) {
+      throw std::invalid_argument("MarketStore: duplicate market id " +
+                                  std::to_string(specs_[i].id));
+    }
+  }
+  if (!options_.db_dir.empty()) {
+    std::filesystem::create_directories(options_.db_dir);
+  }
+}
+
+const MarketSpec& MarketStore::spec(MarketId id) const {
+  const auto it = spec_index_.find(id);
+  if (it == spec_index_.end()) {
+    throw std::out_of_range("MarketStore: unknown market " +
+                            std::to_string(id));
+  }
+  return specs_[it->second];
+}
+
+std::string MarketStore::db_path(MarketId id) const {
+  return (std::filesystem::path{options_.db_dir} /
+          ("market_" + std::to_string(id) + ".pldb"))
+      .string();
+}
+
+void MarketStore::resample(Resident& entry) {
+  const std::size_t now = entry.handle->resident_bytes();
+  charged_ += now - entry.charged;
+  entry.charged = now;
+}
+
+void MarketStore::evict_to_fit(MarketId keep) {
+  if (options_.byte_budget == 0) return;
+  while (charged_ > options_.byte_budget && lru_.size() > 1) {
+    const MarketId victim = lru_.back();
+    if (victim == keep) break;  // never evict the working market
+    const auto it = resident_.find(victim);
+    charged_ -= it->second.charged;
+    lru_.erase(it->second.lru_it);
+    resident_.erase(it);
+    ++evictions_;
+    StoreMetrics::get().evictions.add(1);
+  }
+}
+
+std::shared_ptr<MarketHandle> MarketStore::acquire(MarketId id) {
+  StoreMetrics& metrics = StoreMetrics::get();
+  if (const auto it = resident_.find(id); it != resident_.end()) {
+    ++hits_;
+    metrics.hits.add(1);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    // The handle may have grown since last seen (coverage index builds
+    // lazily); keep the charge honest and re-enforce the budget.
+    resample(it->second);
+    peak_ = std::max(peak_, charged_);
+    evict_to_fit(id);
+    metrics.resident_bytes.set(static_cast<double>(charged_));
+    return it->second.handle;
+  }
+
+  const MarketSpec& market_spec = spec(id);  // throws on unknown id
+  ++misses_;
+  metrics.misses.add(1);
+  std::shared_ptr<MarketHandle> handle;
+  {
+    const obs::ScopedTimerUs timer{metrics.load_latency_us};
+    handle =
+        std::make_shared<MarketHandle>(market_spec, options_, db_path(id));
+  }
+  lru_.push_front(id);
+  Resident entry{handle, lru_.begin(), handle->resident_bytes()};
+  charged_ += entry.charged;
+  resident_.emplace(id, std::move(entry));
+  peak_ = std::max(peak_, charged_);
+  evict_to_fit(id);
+  metrics.resident_bytes.set(static_cast<double>(charged_));
+  return handle;
+}
+
+void MarketStore::clear() {
+  resident_.clear();
+  lru_.clear();
+  charged_ = 0;
+  StoreMetrics::get().resident_bytes.set(0.0);
+}
+
+}  // namespace magus::fleet

@@ -79,6 +79,14 @@ class MarketContext {
     return index_ ? index_->index_bytes() : 0;
   }
 
+  /// Heap bytes held by the context itself (frozen UE density + coverage
+  /// index). The path-loss provider's footprints are accounted separately
+  /// by their owner; the fleet MarketStore adds both when charging a
+  /// resident market against its byte budget.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return ue_density_.capacity() * sizeof(double) + index_bytes();
+  }
+
  private:
   const net::Network* network_;
   pathloss::PathLossProvider* provider_;

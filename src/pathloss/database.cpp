@@ -133,6 +133,96 @@ const SectorFootprint& PathLossDatabase::footprint(net::SectorId sector,
   return it->second;
 }
 
+std::size_t PathLossDatabase::resident_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, footprint] : entries_) {
+    bytes += footprint.resident_bytes();
+  }
+  return bytes;
+}
+
+PathLossDatabase::Probe PathLossDatabase::probe(const std::string& path) {
+  Probe result;
+  try {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      throw std::runtime_error("PathLossDatabase: cannot open " + path);
+    }
+    const std::streamoff file_size = in.tellg();
+    result.file_bytes = file_size > 0 ? static_cast<std::size_t>(file_size) : 0;
+    in.seekg(0, std::ios::beg);
+
+    const auto read_pod = [&](auto& value, const std::string& context) {
+      in.read(reinterpret_cast<char*>(&value), sizeof(value));
+      if (!in) throw std::runtime_error("PathLossDatabase: " + context);
+    };
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    read_pod(magic, "truncated header in " + path);
+    read_pod(version, "truncated header in " + path);
+    if (magic != kMagic) {
+      throw std::runtime_error("PathLossDatabase: bad magic in " + path);
+    }
+    if (version != kVersion) {
+      throw std::runtime_error("PathLossDatabase: unsupported version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kVersion) + ") in " + path);
+    }
+    double min_x = 0.0;
+    double min_y = 0.0;
+    read_pod(min_x, "truncated header in " + path);
+    read_pod(min_y, "truncated header in " + path);
+    read_pod(result.cell_size_m, "truncated header in " + path);
+    read_pod(result.cols, "truncated header in " + path);
+    read_pod(result.rows, "truncated header in " + path);
+    if (!(result.cell_size_m > 0.0) || result.cols <= 0 || result.rows <= 0) {
+      throw std::runtime_error("PathLossDatabase: invalid grid geometry in " +
+                               path);
+    }
+    read_pod(result.entry_count, "truncated header in " + path);
+
+    // Structural scan only: entry geometry is read, gain bytes are seeked
+    // over. Mirrors load()'s front-to-back validation order and messages.
+    for (std::uint64_t e = 0; e < result.entry_count; ++e) {
+      const std::string entry_context = "entry " + std::to_string(e) + " of " +
+                                        std::to_string(result.entry_count);
+      std::int32_t geometry[6] = {};  // sector, tilt, col0, row0, wcols, wrows
+      std::uint64_t checksum = 0;
+      for (std::int32_t& field : geometry) {
+        read_pod(field, "truncated " + entry_context + " in " + path);
+      }
+      read_pod(checksum, "truncated " + entry_context + " in " + path);
+      const std::int32_t window_cols = geometry[4];
+      const std::int32_t window_rows = geometry[5];
+      if (window_cols < 0 || window_rows < 0 || window_cols > result.cols ||
+          window_rows > result.rows) {
+        throw std::runtime_error("PathLossDatabase: oversized window (" +
+                                 entry_context + ") in " + path);
+      }
+      const std::size_t window_bytes = static_cast<std::size_t>(window_cols) *
+                                       static_cast<std::size_t>(window_rows) *
+                                       sizeof(float);
+      in.seekg(static_cast<std::streamoff>(window_bytes), std::ios::cur);
+      if (!in || static_cast<std::streamoff>(in.tellg()) > file_size) {
+        throw std::runtime_error("PathLossDatabase: truncated " +
+                                 entry_context + " in " + path);
+      }
+      // Window + the linear twin SectorFootprint precomputes on load.
+      result.resident_bytes_estimate += 2 * window_bytes;
+    }
+    if (static_cast<std::streamoff>(in.tellg()) != file_size) {
+      throw std::runtime_error("PathLossDatabase: trailing bytes after " +
+                               std::to_string(result.entry_count) +
+                               " entries in " + path);
+    }
+    result.ok = true;
+  } catch (const std::runtime_error& error) {
+    result.ok = false;
+    result.error = error.what();
+  }
+  return result;
+}
+
 void PathLossDatabase::save(const std::string& path,
                             std::size_t threads) const {
   std::ofstream out(path, std::ios::binary);

@@ -51,6 +51,11 @@ class PathLossDatabase final : public PathLossProvider {
                               radio::TiltIndex tilt) const;
   [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
 
+  /// Heap bytes resident across all entries (gain windows + linear twins).
+  /// This is what the fleet MarketStore accounts against its byte budget —
+  /// a whole-fleet footprint never has to be resident at once.
+  [[nodiscard]] std::size_t resident_bytes() const;
+
   /// Throws std::out_of_range when the matrix is missing.
   [[nodiscard]] const SectorFootprint& footprint(
       net::SectorId sector, radio::TiltIndex tilt) override;
@@ -77,6 +82,26 @@ class PathLossDatabase final : public PathLossProvider {
   void save(const std::string& path, std::size_t threads = 1) const;
   [[nodiscard]] static PathLossDatabase load(const std::string& path,
                                              std::size_t threads = 1);
+
+  /// Header-and-geometry summary of a database file, read without loading
+  /// (or checksumming) any gain bytes. The fleet MarketStore's cheap
+  /// "open" entry point: it sizes a market's resident footprint before
+  /// deciding to load, and a probe that fails structurally predicts that
+  /// load() would throw too (checksum corruption is only caught by the
+  /// real load).
+  struct Probe {
+    bool ok = false;
+    std::string error;        ///< load()'s message, when !ok
+    std::int32_t cols = 0;
+    std::int32_t rows = 0;
+    double cell_size_m = 0.0;
+    std::uint64_t entry_count = 0;
+    std::size_t file_bytes = 0;
+    /// Sum of window bytes, doubled for the in-memory linear twins — what
+    /// resident_bytes() of the loaded database will roughly be.
+    std::size_t resident_bytes_estimate = 0;
+  };
+  [[nodiscard]] static Probe probe(const std::string& path);
 
   /// Outcome report for load_or_rebuild.
   struct LoadReport {

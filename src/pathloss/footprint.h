@@ -120,6 +120,12 @@ class SectorFootprint {
 
   [[nodiscard]] std::size_t covered_count() const { return covered_count_; }
 
+  /// Heap bytes held by this footprint (gain window + linear twin) — the
+  /// unit the fleet MarketStore charges against its byte budget.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return (window_.capacity() + linear_.capacity()) * sizeof(float);
+  }
+
   /// One window row as a raw span (NaN = uncovered) plus the grid index of
   /// its first cell: the grid-major export the coverage-index builder
   /// sweeps, equivalent to for_each_covered but without the per-cell

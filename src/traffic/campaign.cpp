@@ -46,13 +46,26 @@ CampaignSchedule schedule_campaign(std::span<const PlannedUpgrade> upgrades,
     }
   }
 
-  // Largest-degree-first greedy coloring (ties by index: deterministic).
+  // Largest-degree-first greedy coloring. Ties break on upgrade *content*
+  // (sorted targets, then sorted involved), not input index, so the window
+  // assignment is invariant under permutation of the upgrade list — two
+  // schedules of the same campaign differ only in index relabeling. Input
+  // index is the final tie-break for byte-identical duplicates.
+  std::vector<std::pair<std::vector<net::SectorId>, std::vector<net::SectorId>>>
+      content(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    content[i].first = upgrades[i].targets;
+    content[i].second = upgrades[i].involved;
+    std::sort(content[i].first.begin(), content[i].first.end());
+    std::sort(content[i].second.begin(), content[i].second.end());
+  }
   std::vector<std::size_t> order(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (adjacency[a].size() != adjacency[b].size()) {
       return adjacency[a].size() > adjacency[b].size();
     }
+    if (content[a] != content[b]) return content[a] < content[b];
     return a < b;
   });
 

@@ -1,0 +1,51 @@
+#include "traffic/wave.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace magus::traffic {
+
+WavePlan compose_wave(std::span<const MarketWaveInput> markets,
+                      std::size_t crew_cap) {
+  if (crew_cap == 0) {
+    throw std::invalid_argument("compose_wave: crew_cap must be positive");
+  }
+  struct Chain {
+    std::int32_t market;
+    std::size_t remaining;
+    std::size_t next_window;
+  };
+  std::vector<Chain> chains;
+  chains.reserve(markets.size());
+  for (const MarketWaveInput& input : markets) {
+    if (input.window_count == 0) continue;
+    chains.push_back({input.market, input.window_count, 0});
+  }
+  // Deterministic base order; the per-slot sort below only reorders by
+  // remaining length, so equal-length chains keep this market-key order.
+  std::sort(chains.begin(), chains.end(),
+            [](const Chain& a, const Chain& b) { return a.market < b.market; });
+
+  WavePlan plan;
+  plan.crew_cap = crew_cap;
+  while (!chains.empty()) {
+    // Longest remaining chain first: stable_sort keeps the market-key tie
+    // order, so composition is deterministic in the input set.
+    std::stable_sort(chains.begin(), chains.end(),
+                     [](const Chain& a, const Chain& b) {
+                       return a.remaining > b.remaining;
+                     });
+    WaveSlot slot;
+    const std::size_t staffed = std::min(crew_cap, chains.size());
+    for (std::size_t i = 0; i < staffed; ++i) {
+      slot.assignments.emplace_back(chains[i].market, chains[i].next_window);
+      ++chains[i].next_window;
+      --chains[i].remaining;
+    }
+    std::erase_if(chains, [](const Chain& c) { return c.remaining == 0; });
+    plan.slots.push_back(std::move(slot));
+  }
+  return plan;
+}
+
+}  // namespace magus::traffic

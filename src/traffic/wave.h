@@ -1,0 +1,48 @@
+// Wave composition: merging many markets' campaign schedules into one
+// fleet-wide sequence of shared maintenance windows.
+//
+// Each market's campaign is a chain — its windows must run in order, one
+// per shared window at most (the market has one local crew shift per
+// night). The fleet constraint is crew concurrency: the carrier can staff
+// at most `crew_cap` markets in any shared window. Composing a wave is
+// therefore scheduling unit-task chains on `crew_cap` machines; the
+// longest-remaining-chain-first greedy used here is optimal for that
+// structure: the makespan always equals
+//   max(ceil(total_windows / crew_cap), longest_chain).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace magus::traffic {
+
+struct MarketWaveInput {
+  /// Caller-chosen market key (the fleet layer passes its MarketId).
+  std::int32_t market = 0;
+  /// Windows in this market's campaign schedule (its chain length).
+  std::size_t window_count = 0;
+};
+
+struct WaveSlot {
+  /// (market, market-local window index) pairs staffed in this shared
+  /// window; at most crew_cap entries, at most one per market.
+  std::vector<std::pair<std::int32_t, std::size_t>> assignments;
+};
+
+struct WavePlan {
+  std::vector<WaveSlot> slots;  ///< fleet windows, in execution order
+  std::size_t crew_cap = 0;
+
+  [[nodiscard]] std::size_t makespan() const { return slots.size(); }
+};
+
+/// Deterministic composition (ties by market key): every market's windows
+/// appear in order, no slot exceeds crew_cap, and the makespan meets the
+/// lower bound above. Throws std::invalid_argument when crew_cap is 0.
+[[nodiscard]] WavePlan compose_wave(std::span<const MarketWaveInput> markets,
+                                    std::size_t crew_cap);
+
+}  // namespace magus::traffic

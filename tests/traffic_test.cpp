@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <span>
+
 #include "test_helpers.h"
 #include "traffic/campaign.h"
 #include "traffic/profile.h"
+#include "traffic/wave.h"
 #include "traffic/window_planner.h"
 
 namespace magus::traffic {
@@ -180,6 +186,135 @@ TEST(Campaign, EmptyInput) {
   const CampaignSchedule schedule = schedule_campaign({});
   EXPECT_EQ(schedule.window_count(), 0u);
   EXPECT_TRUE(schedule.conflicts.empty());
+}
+
+/// Canonical window structure: each window as the sorted set of its
+/// upgrades' (sorted targets, sorted involved) contents, windows sorted.
+/// Two schedules of the same campaign must agree on this regardless of
+/// input order.
+using UpgradeKey = std::pair<std::vector<net::SectorId>,
+                             std::vector<net::SectorId>>;
+[[nodiscard]] std::vector<std::vector<UpgradeKey>> canonical_windows(
+    std::span<const PlannedUpgrade> upgrades,
+    const CampaignSchedule& schedule) {
+  std::vector<std::vector<UpgradeKey>> windows;
+  for (const auto& window : schedule.windows) {
+    std::vector<UpgradeKey> keys;
+    for (const std::size_t u : window) {
+      UpgradeKey key{upgrades[u].targets, upgrades[u].involved};
+      std::sort(key.first.begin(), key.first.end());
+      std::sort(key.second.begin(), key.second.end());
+      keys.push_back(std::move(key));
+    }
+    std::sort(keys.begin(), keys.end());
+    windows.push_back(std::move(keys));
+  }
+  std::sort(windows.begin(), windows.end());
+  return windows;
+}
+
+TEST(Campaign, ScheduleInvariantUnderInputPermutation) {
+  // A mix of chains, a triangle and independents with distinct contents —
+  // several equal-degree ties, which is where index-based tie-breaking
+  // would leak input order into the window assignment.
+  const std::vector<PlannedUpgrade> upgrades = {
+      {{0}, {1, 2}, 5},  {{3}, {2, 4}, 5},  {{5}, {4, 6}, 5},
+      {{7}, {6, 8}, 5},  {{10}, {11}, 5},   {{12}, {13}, 5},
+      {{20}, {21}, 5},   {{21}, {22}, 5},   {{22}, {20}, 5},
+  };
+  const auto reference = canonical_windows(upgrades, schedule_campaign(upgrades));
+
+  std::vector<std::size_t> perm(upgrades.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  // A handful of deterministic permutations, including reversal.
+  for (int round = 0; round < 6; ++round) {
+    std::next_permutation(perm.begin(), perm.end());
+    std::reverse(perm.begin(), perm.end());
+    std::vector<PlannedUpgrade> shuffled;
+    for (const std::size_t i : perm) shuffled.push_back(upgrades[i]);
+    const auto windows =
+        canonical_windows(shuffled, schedule_campaign(shuffled));
+    EXPECT_EQ(windows, reference) << "round " << round;
+  }
+}
+
+TEST(Campaign, MaxWindowsBoundaryOnClique) {
+  // K5: every pair conflicts via shared sector 99, so exactly 5 windows.
+  std::vector<PlannedUpgrade> upgrades;
+  for (int i = 0; i < 5; ++i) {
+    upgrades.push_back({{i * 2}, {99}, 4});
+  }
+  const CampaignSchedule schedule = schedule_campaign(upgrades);
+  EXPECT_EQ(schedule.window_count(), 5u);
+  EXPECT_NO_THROW((void)schedule_campaign(upgrades, 5));
+  EXPECT_THROW((void)schedule_campaign(upgrades, 4), std::runtime_error);
+  EXPECT_THROW((void)schedule_campaign(upgrades, 1), std::runtime_error);
+  // max_windows = 0 means unbounded, never a zero-window cap.
+  EXPECT_NO_THROW((void)schedule_campaign(upgrades, 0));
+}
+
+TEST(Campaign, WithoutQuarantinedFullyFencedInvolvedSet) {
+  const PlannedUpgrade upgrade{{0, 1}, {2, 3, 4}, 5};
+  const std::vector<net::SectorId> fenced = {2, 3, 4};
+  const PlannedUpgrade reduced = without_quarantined(upgrade, fenced);
+  // The tuning set empties out; the targets are never touched.
+  EXPECT_TRUE(reduced.involved.empty());
+  EXPECT_EQ(reduced.targets, upgrade.targets);
+  EXPECT_EQ(reduced.duration_hours, upgrade.duration_hours);
+  EXPECT_FALSE(targets_quarantined(reduced, fenced));
+
+  // A fully-fenced upgrade still schedules (it conflicts with nothing
+  // through its involved set anymore).
+  const std::vector<PlannedUpgrade> upgrades = {reduced, {{9}, {2}, 5}};
+  const CampaignSchedule schedule = schedule_campaign(upgrades);
+  EXPECT_EQ(schedule.window_count(), 1u);
+}
+
+TEST(Wave, ComposesChainsUnderCrewCap) {
+  const std::vector<MarketWaveInput> markets = {
+      {0, 3}, {1, 2}, {2, 2}, {3, 1}};
+  const WavePlan plan = compose_wave(markets, 2);
+  // Lower bound: max(ceil(8 / 2), 3) = 4 — the greedy must reach it.
+  EXPECT_EQ(plan.makespan(), 4u);
+
+  std::map<std::int32_t, std::size_t> next_window;
+  for (const WaveSlot& slot : plan.slots) {
+    EXPECT_LE(slot.assignments.size(), 2u);
+    std::set<std::int32_t> staffed;
+    for (const auto& [market, window] : slot.assignments) {
+      EXPECT_TRUE(staffed.insert(market).second);  // one crew per market
+      EXPECT_EQ(window, next_window[market]);      // windows in order
+      ++next_window[market];
+    }
+  }
+  EXPECT_EQ(next_window[0], 3u);
+  EXPECT_EQ(next_window[1], 2u);
+  EXPECT_EQ(next_window[2], 2u);
+  EXPECT_EQ(next_window[3], 1u);
+}
+
+TEST(Wave, LongChainDominatesMakespan) {
+  const std::vector<MarketWaveInput> markets = {{0, 10}, {1, 1}, {2, 1}};
+  const WavePlan plan = compose_wave(markets, 3);
+  EXPECT_EQ(plan.makespan(), 10u);  // max chain, not ceil(12/3)
+}
+
+TEST(Wave, EmptyAndInvalidInputs) {
+  EXPECT_EQ(compose_wave({}, 4).makespan(), 0u);
+  const std::vector<MarketWaveInput> markets = {{0, 0}, {1, 0}};
+  EXPECT_EQ(compose_wave(markets, 4).makespan(), 0u);  // empty chains skipped
+  EXPECT_THROW((void)compose_wave(markets, 0), std::invalid_argument);
+}
+
+TEST(Wave, DeterministicInMarketKeys) {
+  const std::vector<MarketWaveInput> a = {{3, 2}, {1, 2}, {2, 2}};
+  const std::vector<MarketWaveInput> b = {{1, 2}, {2, 2}, {3, 2}};
+  const WavePlan pa = compose_wave(a, 2);
+  const WavePlan pb = compose_wave(b, 2);
+  ASSERT_EQ(pa.makespan(), pb.makespan());
+  for (std::size_t i = 0; i < pa.slots.size(); ++i) {
+    EXPECT_EQ(pa.slots[i].assignments, pb.slots[i].assignments);
+  }
 }
 
 }  // namespace
