@@ -23,6 +23,7 @@
 #include "exec/executor.h"
 #include "exec/fault_injector.h"
 #include "exec/journal.h"
+#include "obs/profiler.h"
 #include "traffic/campaign.h"
 #include "util/csv.h"
 #include "util/json.h"
@@ -228,6 +229,7 @@ int main(int argc, char** argv) {
 
   if (!exec_json_path.empty()) {
     util::JsonObject exec_json;
+    exec_json.set("meta", obs::run_metadata_json());
     exec_json.set("bench", "fault_recovery");
     exec_json.set("runs", std::move(exec_runs));
     exec_json.write_file(exec_json_path);
@@ -354,6 +356,7 @@ int main(int argc, char** argv) {
     }
 
     util::JsonObject out;
+    out.set("meta", obs::run_metadata_json());
     out.set("bench", "fault_recovery_campaign");
     out.set("upgrades", static_cast<std::int64_t>(upgrades.size()));
     out.set("records_written", static_cast<std::int64_t>(records_written));

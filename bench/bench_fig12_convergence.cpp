@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "core/strategies.h"
+#include "obs/profiler.h"
 #include "util/csv.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
         reference.plan.search.utility == outcome.plan.search.utility &&
         reference.candidate_evaluations == outcome.candidate_evaluations;
     util::JsonObject summary;
+    summary.set("meta", obs::run_metadata_json());
     summary.set("bench", "fig12_convergence");
     summary.set("threads", static_cast<std::int64_t>(threads));
     summary.set("use_coverage_index", use_index);

@@ -25,6 +25,7 @@
 
 #include "bench_common.h"
 #include "fleet/wave_planner.h"
+#include "obs/profiler.h"
 #include "util/checksum.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -210,6 +211,7 @@ int main(int argc, char** argv) {
   if (const std::string json_path = args.get_string("json");
       !json_path.empty()) {
     util::JsonObject out;
+    out.set("meta", obs::run_metadata_json());
     out.set("bench", "fleet_campaign");
     out.set("markets", static_cast<std::int64_t>(markets));
     out.set("sectors_total", static_cast<std::int64_t>(sectors_total));

@@ -29,6 +29,7 @@
 #include "core/power_search.h"
 #include "data/experiment.h"
 #include "data/upgrade_scenarios.h"
+#include "obs/profiler.h"
 #include "obs/session.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -304,7 +305,8 @@ void write_json_summary(const std::string& path) {
   const auto evals = static_cast<double>(batch.size()) * kRounds;
 
   util::JsonObject summary;
-  summary.set("bench", "bench_micro_model")
+  summary.set("meta", obs::run_metadata_json())
+      .set("bench", "bench_micro_model")
       .set("batch_size", static_cast<std::int64_t>(batch.size()))
       .set("rounds", static_cast<std::int64_t>(kRounds))
       .set("threads", static_cast<std::int64_t>(parallel_workers))
@@ -334,6 +336,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string profile_path;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -355,11 +358,13 @@ int main(int argc, char** argv) {
       metrics_path = v;
     } else if (const char* v = take_value("--trace")) {
       trace_path = v;
+    } else if (const char* v = take_value("--profile")) {
+      profile_path = v;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  obs::ObsSession obs_session{metrics_path, trace_path};
+  obs::ObsSession obs_session{metrics_path, trace_path, profile_path};
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc,

@@ -22,6 +22,7 @@
 #include "pathloss/builder.h"
 #include "pathloss/database.h"
 #include "pathloss/parallel_builder.h"
+#include "obs/profiler.h"
 #include "util/json.h"
 #include "util/table.h"
 
@@ -209,6 +210,7 @@ int main(int argc, char** argv) {
   if (const std::string json_path = args.get_string("json");
       !json_path.empty()) {
     util::JsonObject summary;
+    summary.set("meta", obs::run_metadata_json());
     summary.set("bench", "pathloss_build");
     summary.set("threads", static_cast<std::int64_t>(threads));
     summary.set("sectors", static_cast<std::int64_t>(sectors.size()));

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Full verification: regular build + tests, a perf smoke of the coverage
-# index against the legacy scan (fails if the index is slower), the same
-# test suite under ASan+UBSan (the Sanitize build type / "sanitize" CMake
-# preset), and the thread-pool / parallel-evaluation tests under
+# index against the legacy scan (fails if the index is slower), the
+# profiler attribution smoke (--profile report invariants), the bench
+# regression gate (bench_regress.py self-test, plus a full re-run diffed
+# against the committed BENCH_*.json baselines in the non-fast pass), the
+# same test suite under ASan+UBSan (the Sanitize build type / "sanitize"
+# CMake preset), and the thread-pool / parallel-evaluation tests under
 # ThreadSanitizer (the Tsan build type / "tsan" preset; TSan cannot be
 # combined with ASan, hence its own tree).
 #
@@ -107,10 +110,61 @@ print(f"fleet smoke OK: {f['markets']} markets / {f['sectors_total']} "
       f"plans identical under eviction")
 EOF
 
+echo "==> Profiler smoke: --profile attribution report"
+# The profile run reuses the micro-model summary workload (serial +
+# 8-thread batch-scoring sweep). The report must parse, every worker's
+# buckets must sum to its wall span within 1%, the critical path must
+# cover the root phase's makespan within 5%, and on worker threads the
+# top sink must be a wait state, not compute (one core timeshared across
+# 8 workers cannot be compute-bound on all of them).
+./build/bench/bench_micro_model --threads 8 \
+  --benchmark_filter='PerfSmokeSummaryOnly' \
+  --json "$artifacts/profile_model.json" \
+  --profile "$artifacts/profile.json" >/dev/null
+python3 - "$artifacts" <<'EOF'
+import json, sys
+d = sys.argv[1]
+r = json.load(open(f"{d}/profile.json"))
+assert r["thread_count"] >= 8, f"expected >=8 threads, got {r['thread_count']}"
+assert r["span_count"] > 0, "empty profile"
+for w in r["workers"]:
+    total = sum(w["bucket_us"].values())
+    wall = w["wall_us"]
+    assert abs(total - wall) <= 0.01 * max(wall, 1e-9), (
+        f"t{w['thread']}: buckets sum {total:.1f}us vs wall {wall:.1f}us")
+assert r["makespan_us"] > 0, "no root phase"
+assert abs(r["critical_path_us"] - r["makespan_us"]) <= 0.05 * r["makespan_us"], (
+    f"critical path {r['critical_path_us']:.0f}us vs "
+    f"makespan {r['makespan_us']:.0f}us")
+assert r["critical_path"], "empty critical path"
+assert r["top_time_sink"] in {"queue_wait", "barrier", "lock_wait", "db_io"}, (
+    f"top sink should be a wait state here, got {r['top_time_sink']}")
+assert r["meta"]["timestamp_utc"].endswith("Z"), "missing run metadata"
+folded = open(f"{d}/profile.json.folded").read().splitlines()
+assert folded, "empty folded stacks"
+for line in folded:
+    stack, count = line.rsplit(" ", 1)
+    assert stack.startswith("t") and int(count) > 0, f"bad folded line: {line}"
+summary = json.load(open(f"{d}/profile_model.json"))
+assert summary["meta"]["git_sha"], "bench summary missing run metadata"
+print(f"profiler OK: {r['thread_count']} threads, "
+      f"{r['span_count']} spans, top sink {r['top_time_sink']}, "
+      f"critical path {len(r['critical_path'])} steps "
+      f"({100 * r['critical_path_us'] / r['makespan_us']:.1f}% of makespan), "
+      f"{len(folded)} folded stacks")
+EOF
+
+echo "==> Bench regression gate: self-test"
+python3 scripts/bench_regress.py --self-test >/dev/null
+echo "regression gate self-test OK"
+
 if (( fast )); then
-  echo "==> Skipping sanitizer pass (--fast)"
+  echo "==> Skipping bench regression check + sanitizer pass (--fast)"
   exit 0
 fi
+
+echo "==> Bench regression check against committed baselines"
+scripts/bench_baseline.sh --check build
 
 echo "==> Sanitizer build + tests (ASan + UBSan)"
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize >/dev/null

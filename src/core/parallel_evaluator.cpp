@@ -95,6 +95,9 @@ std::vector<double> ParallelEvaluator::score(std::span<const Candidate> batch) {
 
   const model::EvalContext::Snapshot base = model_->snapshot();
   pool_->run(batch.size(), [&](std::size_t worker, std::size_t task) {
+    // Profile-mode only (one span per candidate): the per-worker compute
+    // time the profiler attributes against the pool's wait spans.
+    MAGUS_TRACE_SPAN_FINE("evaluator.task", "evaluator");
     Worker& w = workers_[worker];
     if (!w.measured_wait) {
       // First task of this worker in the batch: how long the worker slot

@@ -2,6 +2,9 @@
 
 #include <optional>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace magus::exec {
 
@@ -24,6 +27,8 @@ CampaignResult FleetRunner::run_market(const MarketCampaignRefs& refs,
     throw std::invalid_argument(
         "FleetRunner: schedule, evaluator and planner must not be null");
   }
+  const obs::DynamicSpan market_span{
+      "exec.run_market." + std::to_string(refs.market_key), "exec"};
   CampaignOptions options = base_;
   options.seed = market_campaign_seed(base_.seed, refs.market_key);
   const CampaignRunner runner{refs.evaluator, refs.planner, options};

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/checksum.h"
 
 namespace magus::exec {
@@ -111,6 +112,7 @@ Journal::Journal(std::string path, Mode mode) : path_(std::move(path)) {
 }
 
 void Journal::append(JournalRecordType type, std::vector<char> payload) {
+  MAGUS_TRACE_SPAN("journal.append", "io.journal");
   if (sequence_ >= crash_after_) {
     throw JournalCrash{sequence_};
   }

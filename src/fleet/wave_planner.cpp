@@ -97,6 +97,10 @@ MarketPlan WavePlanner::plan_market(const MarketUpgradeRequest& request) {
   WaveMetrics& metrics = WaveMetrics::get();
   const obs::ScopedTimerUs timer{metrics.market_plan_latency_us};
   MAGUS_TRACE_SPAN("fleet.plan_market", "fleet");
+  // Nested per-market span: the profile timeline shows which market each
+  // planning slice belonged to.
+  const obs::DynamicSpan market_span{
+      "fleet.plan_market." + std::to_string(request.market), "fleet"};
 
   const std::shared_ptr<MarketHandle> handle = store_->acquire(request.market);
   core::Evaluator evaluator{&handle->model(), options_.utility};
@@ -175,6 +179,8 @@ FleetExecutionResult WavePlanner::execute(const FleetWavePlan& plan,
         std::find_if(plan.markets.begin(), plan.markets.end(),
                      [&](const MarketPlan& m) { return m.market == market; });
     if (it == plan.markets.end() || it->upgrades.empty()) continue;
+    const obs::DynamicSpan market_span{
+        "fleet.exec_market." + std::to_string(market), "fleet"};
 
     const std::shared_ptr<MarketHandle> handle = store_->acquire(market);
     core::Evaluator evaluator{&handle->model(), options_.utility};

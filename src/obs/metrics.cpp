@@ -4,7 +4,9 @@
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "obs/profiler.h"
 #include "util/table.h"
 
 namespace magus::obs {
@@ -75,7 +77,12 @@ void Histogram::observe(double value) noexcept {
 }
 
 double HistogramSnapshot::quantile(double q) const {
-  if (count == 0) return 0.0;
+  return quantile_with_overflow(q).value;
+}
+
+HistogramSnapshot::QuantileValue HistogramSnapshot::quantile_with_overflow(
+    double q) const {
+  if (count == 0 || bounds.empty()) return {0.0, false};
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count);
   std::uint64_t cumulative = 0;
@@ -84,17 +91,29 @@ double HistogramSnapshot::quantile(double q) const {
     if (in_bucket == 0) continue;
     const double reached = static_cast<double>(cumulative + in_bucket);
     if (reached >= target) {
-      if (b >= bounds.size()) return bounds.back();  // overflow bucket
+      if (b >= bounds.size()) {
+        // Overflow bucket: no upper edge to interpolate against, so the
+        // last finite edge is reported as a saturated lower bound.
+        return {bounds.back(), true};
+      }
       const double upper = bounds[b];
       const double lower = b == 0 ? std::min(0.0, upper) : bounds[b - 1];
       const double fraction =
           (target - static_cast<double>(cumulative)) /
           static_cast<double>(in_bucket);
-      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+      return {lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0),
+              false};
     }
     cumulative += in_bucket;
   }
-  return bounds.back();
+  return {bounds.back(), true};
+}
+
+std::string HistogramSnapshot::quantile_label(double q) const {
+  const QuantileValue v = quantile_with_overflow(q);
+  std::string label = util::TablePrinter::num(v.value, 3);
+  if (v.saturated) label += '+';
+  return label;
 }
 
 std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
@@ -126,14 +145,22 @@ util::JsonObject MetricsSnapshot::to_json() const {
         .set("buckets", std::move(buckets))
         .set("count", static_cast<std::int64_t>(h.count))
         .set("sum", h.sum)
-        .set("mean", h.mean())
-        .set("p50", h.quantile(0.50))
-        .set("p95", h.quantile(0.95))
-        .set("p99", h.quantile(0.99));
+        .set("mean", h.mean());
+    constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}};
+    for (const auto& [key, q] : kQuantiles) {
+      const HistogramSnapshot::QuantileValue v = h.quantile_with_overflow(q);
+      entry.set(key, v.value);
+      // Saturated quantiles are lower bounds (the mass sits in the
+      // unbounded overflow bucket); consumers must not read them as
+      // point estimates.
+      entry.set(std::string(key) + "_saturated", v.saturated);
+    }
     histograms_json.set(name, std::move(entry));
   }
   util::JsonObject out;
-  out.set("counters", std::move(counters_json))
+  out.set("meta", run_metadata_json())
+      .set("counters", std::move(counters_json))
       .set("gauges", std::move(gauges_json))
       .set("histograms", std::move(histograms_json));
   return out;
@@ -163,9 +190,8 @@ std::string MetricsSnapshot::to_table() const {
     for (const auto& [name, h] : histograms) {
       table.add_row({name, std::to_string(h.count),
                      util::TablePrinter::num(h.mean(), 3),
-                     util::TablePrinter::num(h.quantile(0.50), 3),
-                     util::TablePrinter::num(h.quantile(0.95), 3),
-                     util::TablePrinter::num(h.quantile(0.99), 3)});
+                     h.quantile_label(0.50), h.quantile_label(0.95),
+                     h.quantile_label(0.99)});
     }
     table.print(out);
   }

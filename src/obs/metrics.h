@@ -109,6 +109,20 @@ struct HistogramSnapshot {
   /// Bucket-interpolated quantile, q in [0, 1]. The overflow bucket has no
   /// upper edge, so values there report the last finite edge.
   [[nodiscard]] double quantile(double q) const;
+
+  /// quantile() plus whether the quantile landed in the overflow bucket.
+  /// A saturated value is a lower bound, not an estimate — interpolating
+  /// inside the unbounded bucket would fabricate a midpoint; reports must
+  /// mark it instead (see quantile_label).
+  struct QuantileValue {
+    double value = 0.0;
+    bool saturated = false;
+  };
+  [[nodiscard]] QuantileValue quantile_with_overflow(double q) const;
+
+  /// Display form: "12.5", or "250+" when the quantile saturated into the
+  /// overflow bucket. Used by to_table and by callers printing quantiles.
+  [[nodiscard]] std::string quantile_label(double q) const;
 };
 
 /// Point-in-time merge of every registered metric, sorted by name.

@@ -1,0 +1,524 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+// Build provenance, stamped by src/CMakeLists.txt; the fallbacks keep
+// out-of-tree builds (tests compiling this file directly) working.
+#ifndef MAGUS_BUILD_TYPE
+#define MAGUS_BUILD_TYPE "unknown"
+#endif
+#ifndef MAGUS_GIT_SHA
+#define MAGUS_GIT_SHA "unknown"
+#endif
+
+namespace magus::obs {
+
+namespace {
+
+/// Containment tolerance for timestamps that were computed from the same
+/// clock but through different float paths (hook ns conversion vs now_us).
+constexpr double kEpsUs = 1e-9;
+
+constexpr std::size_t kIdleIndex =
+    static_cast<std::size_t>(TimeBucket::kIdle);
+
+/// Busy (root-span-covered) time of one thread inside [begin, end). The
+/// intervals are the thread's root spans: disjoint and sorted, so both
+/// starts and ends are monotonic and the first overlap candidate is the
+/// first interval ending after `begin`.
+double busy_within(const std::vector<std::pair<double, double>>& intervals,
+                   double begin, double end) {
+  auto it = std::lower_bound(
+      intervals.begin(), intervals.end(), begin,
+      [](const std::pair<double, double>& iv, double t) {
+        return iv.second <= t;
+      });
+  double busy = 0.0;
+  for (; it != intervals.end() && it->first < end; ++it) {
+    busy += std::max(0.0, std::min(it->second, end) -
+                              std::max(it->first, begin));
+  }
+  return busy;
+}
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (written > 0) out.append(buffer, std::min<std::size_t>(
+                                  static_cast<std::size_t>(written),
+                                  sizeof(buffer) - 1));
+}
+
+}  // namespace
+
+const char* time_bucket_name(TimeBucket bucket) {
+  switch (bucket) {
+    case TimeBucket::kCompute: return "compute";
+    case TimeBucket::kQueueWait: return "queue_wait";
+    case TimeBucket::kBarrier: return "barrier";
+    case TimeBucket::kLockWait: return "lock_wait";
+    case TimeBucket::kDbIo: return "db_io";
+    case TimeBucket::kIdle: return "idle";
+  }
+  return "unknown";
+}
+
+TimeBucket bucket_for_category(std::string_view category) {
+  if (category.rfind("wait.queue", 0) == 0) return TimeBucket::kQueueWait;
+  if (category.rfind("wait.barrier", 0) == 0) return TimeBucket::kBarrier;
+  if (category.rfind("wait.lock", 0) == 0) return TimeBucket::kLockWait;
+  if (category.rfind("io", 0) == 0) return TimeBucket::kDbIo;
+  return TimeBucket::kCompute;
+}
+
+Profiler::Profiler(std::vector<TraceEvent> events)
+    : events_(std::move(events)) {
+  // TraceCollector::events() is already ordered, but hand-built event
+  // lists (tests) need not be: (ts, dur desc, depth) puts parents before
+  // their children on each thread.
+  std::sort(events_.begin(), events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              return a.depth < b.depth;
+            });
+}
+
+ProfileReport Profiler::analyze() const {
+  ProfileReport report;
+
+  std::vector<const TraceEvent*> spans;
+  spans.reserve(events_.size());
+  for (const TraceEvent& event : events_) {
+    if (event.phase == 'X') spans.push_back(&event);
+  }
+  report.event_count = spans.size();
+  if (spans.empty()) return report;
+
+  std::map<int, std::vector<int>> by_thread;  // global order preserved
+  for (int i = 0; i < static_cast<int>(spans.size()); ++i) {
+    by_thread[spans[i]->thread_id].push_back(i);
+  }
+
+  // --- Per-thread stack sweep: self times, buckets, folded stacks,
+  // parent/child links, root intervals. A span's self time is its
+  // duration minus its direct children's durations, so summing self over
+  // a thread telescopes to the summed root durations — which makes
+  // buckets + idle equal the thread's wall span identically.
+  std::vector<std::vector<int>> children(spans.size());
+  std::vector<std::pair<double, double>> root_spans_sorted;  // filled below
+  std::vector<int> root_indices;  // ts-sorted (global order)
+  std::map<int, std::vector<std::pair<double, double>>> roots_by_thread;
+  std::unordered_map<std::string, double> folded;
+
+  struct OpenFrame {
+    int idx;
+    double end_us;
+    double child_us;
+    std::string stack;
+  };
+
+  for (const auto& [thread_id, indices] : by_thread) {
+    WorkerProfile worker;
+    worker.thread_id = thread_id;
+    worker.first_us = spans[indices.front()]->ts_us;
+    worker.span_count = indices.size();
+
+    const std::string thread_prefix = "t" + std::to_string(thread_id) + ";";
+    std::vector<OpenFrame> open;
+    double last_us = worker.first_us;
+    double root_total_us = 0.0;
+
+    const auto finalize = [&](const OpenFrame& frame) {
+      const TraceEvent& event = *spans[frame.idx];
+      const double self = event.dur_us - frame.child_us;
+      worker.bucket_us[static_cast<std::size_t>(
+          bucket_for_category(event.category))] += self;
+      folded[thread_prefix + frame.stack] += self;
+    };
+
+    for (const int i : indices) {
+      const TraceEvent& event = *spans[i];
+      const double end_us = event.ts_us + event.dur_us;
+      last_us = std::max(last_us, end_us);
+      while (!open.empty() && open.back().end_us <= event.ts_us + kEpsUs) {
+        finalize(open.back());
+        open.pop_back();
+      }
+      if (!open.empty()) {
+        OpenFrame& parent = open.back();
+        parent.child_us += event.dur_us;
+        children[parent.idx].push_back(i);
+        open.push_back({i, end_us, 0.0, parent.stack + ";" + event.name});
+      } else {
+        root_total_us += event.dur_us;
+        root_indices.push_back(i);
+        roots_by_thread[thread_id].emplace_back(event.ts_us, end_us);
+        open.push_back({i, end_us, 0.0, event.name});
+      }
+    }
+    while (!open.empty()) {
+      finalize(open.back());
+      open.pop_back();
+    }
+
+    worker.last_us = last_us;
+    worker.wall_us = last_us - worker.first_us;
+    worker.bucket_us[kIdleIndex] = worker.wall_us - root_total_us;
+    report.workers.push_back(worker);
+  }
+  // root_indices was filled thread by thread; restore global ts order for
+  // the containment scans below.
+  std::sort(root_indices.begin(), root_indices.end(),
+            [&](int a, int b) { return spans[a]->ts_us < spans[b]->ts_us; });
+
+  report.thread_count = static_cast<int>(report.workers.size());
+  for (const WorkerProfile& worker : report.workers) {
+    for (std::size_t b = 0; b < kTimeBucketCount; ++b) {
+      report.total_bucket_us[b] += worker.bucket_us[b];
+    }
+  }
+
+  // --- Folded stacks, heaviest first.
+  report.folded.reserve(folded.size());
+  for (auto& [stack, self_us] : folded) {
+    report.folded.push_back({stack, self_us});
+  }
+  std::sort(report.folded.begin(), report.folded.end(),
+            [](const FoldedStack& a, const FoldedStack& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.stack < b.stack;
+            });
+
+  // --- Overall root: the longest root span anywhere defines the analyzed
+  // phase and its makespan.
+  int overall_root = root_indices.front();
+  for (const int r : root_indices) {
+    if (spans[r]->dur_us > spans[overall_root]->dur_us) overall_root = r;
+  }
+  report.root_name = spans[overall_root]->name;
+  report.makespan_us = spans[overall_root]->dur_us;
+
+  // --- Top time sink: largest attributed bucket, idle excluded (idle is
+  // a residual, not a mechanism someone can fix). Ranked over the worker
+  // threads only — the driver is busy by definition (it dispatches the
+  // work), so its serial compute would mask the worker-side waits that
+  // actually explain a speedup gap. Single-threaded traces fall back to
+  // the lone thread.
+  std::array<double, kTimeBucketCount> sink_us{};
+  bool have_worker_threads = false;
+  for (const WorkerProfile& worker : report.workers) {
+    if (worker.thread_id == spans[overall_root]->thread_id) continue;
+    have_worker_threads = true;
+    for (std::size_t b = 0; b < kTimeBucketCount; ++b) {
+      sink_us[b] += worker.bucket_us[b];
+    }
+  }
+  if (!have_worker_threads) sink_us = report.total_bucket_us;
+  std::size_t top = 0;
+  for (std::size_t b = 1; b < kIdleIndex; ++b) {
+    if (sink_us[b] > sink_us[top]) top = b;
+  }
+  report.top_time_sink = time_bucket_name(static_cast<TimeBucket>(top));
+  report.top_time_sink_us = sink_us[top];
+
+  // --- Phase utilization: driver-thread root spans, grouped by name;
+  // busy time = root-span coverage of every observed thread inside each
+  // instance window.
+  const int driver_thread = spans[overall_root]->thread_id;
+  std::map<std::string, PhaseUtilization> phases;
+  for (const int r : root_indices) {
+    const TraceEvent& event = *spans[r];
+    if (event.thread_id != driver_thread) continue;
+    PhaseUtilization& phase = phases[event.name];
+    phase.name = event.name;
+    ++phase.instances;
+    phase.wall_us += event.dur_us;
+    for (const auto& [tid, intervals] : roots_by_thread) {
+      phase.busy_us += busy_within(intervals, event.ts_us,
+                                   event.ts_us + event.dur_us);
+    }
+  }
+  for (auto& [name, phase] : phases) {
+    phase.utilization =
+        phase.wall_us > 0.0
+            ? phase.busy_us / (phase.wall_us * report.thread_count)
+            : 0.0;
+    report.phases.push_back(std::move(phase));
+  }
+  std::sort(report.phases.begin(), report.phases.end(),
+            [](const PhaseUtilization& a, const PhaseUtilization& b) {
+              return a.wall_us > b.wall_us;
+            });
+
+  // --- Critical path: from the overall root, repeatedly descend into the
+  // child that ends last — same-thread direct children plus root spans of
+  // other threads contained in the current span (a worker task is a child
+  // of the batch that dispatched it). The parent's tail after the chosen
+  // child is its contribution; the chain plus the leaf's start lead-in
+  // telescopes to the root duration exactly.
+  const auto contained_other_thread_roots = [&](int s) {
+    std::vector<int> out;
+    const TraceEvent& parent = *spans[s];
+    const double parent_end = parent.ts_us + parent.dur_us;
+    auto it = std::lower_bound(
+        root_indices.begin(), root_indices.end(), parent.ts_us - kEpsUs,
+        [&](int idx, double t) { return spans[idx]->ts_us < t; });
+    for (; it != root_indices.end() && spans[*it]->ts_us <= parent_end;
+         ++it) {
+      const TraceEvent& root = *spans[*it];
+      if (root.thread_id == parent.thread_id) continue;
+      if (root.ts_us + root.dur_us <= parent_end + kEpsUs) {
+        out.push_back(*it);
+      }
+    }
+    return out;
+  };
+
+  int current = overall_root;
+  double slack_of_current = 0.0;  // the root has no competing sibling
+  while (true) {
+    const TraceEvent& event = *spans[current];
+    const double current_end = event.ts_us + event.dur_us;
+
+    std::vector<int> kids = children[current];
+    const std::vector<int> remote = contained_other_thread_roots(current);
+    kids.insert(kids.end(), remote.begin(), remote.end());
+
+    CriticalPathStep step;
+    step.name = event.name;
+    step.category = event.category;
+    step.thread_id = event.thread_id;
+    step.ts_us = event.ts_us;
+    step.dur_us = event.dur_us;
+    step.slack_us = slack_of_current;
+
+    if (kids.empty()) {
+      step.contribution_us = event.dur_us;  // the leaf is pure self time
+      report.critical_path.push_back(std::move(step));
+      break;
+    }
+
+    int chosen = kids.front();
+    double chosen_end =
+        spans[chosen]->ts_us + spans[chosen]->dur_us;
+    double runner_up_end = event.ts_us;  // fallback: no other sibling
+    for (std::size_t k = 1; k < kids.size(); ++k) {
+      const double end = spans[kids[k]]->ts_us + spans[kids[k]]->dur_us;
+      if (end > chosen_end) {
+        runner_up_end = chosen_end;
+        chosen = kids[k];
+        chosen_end = end;
+      } else if (end > runner_up_end) {
+        runner_up_end = end;
+      }
+    }
+
+    step.contribution_us = current_end - chosen_end;
+    report.critical_path.push_back(std::move(step));
+    slack_of_current = chosen_end - runner_up_end;
+    current = chosen;
+  }
+
+  const CriticalPathStep& leaf = report.critical_path.back();
+  report.lead_in_us = leaf.ts_us - spans[overall_root]->ts_us;
+  double contributions = 0.0;
+  for (const CriticalPathStep& step : report.critical_path) {
+    contributions += step.contribution_us;
+  }
+  report.critical_path_us = contributions + report.lead_in_us;
+
+  return report;
+}
+
+util::JsonObject ProfileReport::to_json() const {
+  util::JsonObject out;
+  out.set("meta", run_metadata_json());
+  out.set("thread_count", static_cast<std::int64_t>(thread_count));
+  out.set("span_count", static_cast<std::int64_t>(event_count));
+  out.set("root_name", root_name);
+  out.set("makespan_us", makespan_us);
+  out.set("critical_path_us", critical_path_us);
+  out.set("lead_in_us", lead_in_us);
+  out.set("top_time_sink", top_time_sink);
+  out.set("top_time_sink_us", top_time_sink_us);
+
+  util::JsonObject totals;
+  for (std::size_t b = 0; b < kTimeBucketCount; ++b) {
+    totals.set(time_bucket_name(static_cast<TimeBucket>(b)),
+               total_bucket_us[b]);
+  }
+  out.set("total_bucket_us", std::move(totals));
+
+  util::JsonArray worker_array;
+  for (const WorkerProfile& worker : workers) {
+    util::JsonObject w;
+    w.set("thread", static_cast<std::int64_t>(worker.thread_id));
+    w.set("first_us", worker.first_us);
+    w.set("last_us", worker.last_us);
+    w.set("wall_us", worker.wall_us);
+    w.set("busy_us", worker.busy_us());
+    w.set("span_count", static_cast<std::int64_t>(worker.span_count));
+    util::JsonObject buckets;
+    for (std::size_t b = 0; b < kTimeBucketCount; ++b) {
+      buckets.set(time_bucket_name(static_cast<TimeBucket>(b)),
+                  worker.bucket_us[b]);
+    }
+    w.set("bucket_us", std::move(buckets));
+    worker_array.push_back(std::move(w));
+  }
+  out.set("workers", std::move(worker_array));
+
+  util::JsonArray phase_array;
+  for (const PhaseUtilization& phase : phases) {
+    util::JsonObject p;
+    p.set("name", phase.name);
+    p.set("instances", static_cast<std::int64_t>(phase.instances));
+    p.set("wall_us", phase.wall_us);
+    p.set("busy_us", phase.busy_us);
+    p.set("utilization", phase.utilization);
+    phase_array.push_back(std::move(p));
+  }
+  out.set("phases", std::move(phase_array));
+
+  util::JsonArray path_array;
+  for (const CriticalPathStep& step : critical_path) {
+    util::JsonObject s;
+    s.set("name", step.name);
+    s.set("category", step.category);
+    s.set("thread", static_cast<std::int64_t>(step.thread_id));
+    s.set("ts_us", step.ts_us);
+    s.set("dur_us", step.dur_us);
+    s.set("contribution_us", step.contribution_us);
+    s.set("slack_us", step.slack_us);
+    path_array.push_back(std::move(s));
+  }
+  out.set("critical_path", std::move(path_array));
+
+  util::JsonArray folded_array;
+  for (const FoldedStack& line : folded) {
+    util::JsonObject f;
+    f.set("stack", line.stack);
+    f.set("self_us", line.self_us);
+    folded_array.push_back(std::move(f));
+  }
+  out.set("folded", std::move(folded_array));
+  return out;
+}
+
+std::string ProfileReport::to_table() const {
+  std::string out;
+  append_fmt(out, "== worker time attribution (ms) ==\n");
+  append_fmt(out,
+             "%-8s %10s %10s %11s %9s %10s %8s %9s %6s\n", "thread",
+             "wall", "compute", "queue_wait", "barrier", "lock_wait",
+             "db_io", "idle", "busy%");
+  for (const WorkerProfile& worker : workers) {
+    const double busy_pct =
+        worker.wall_us > 0.0 ? 100.0 * worker.busy_us() / worker.wall_us
+                             : 0.0;
+    append_fmt(
+        out, "t%-7d %10.2f %10.2f %11.2f %9.2f %10.2f %8.2f %9.2f %6.1f\n",
+        worker.thread_id, worker.wall_us / 1000.0,
+        worker.bucket_us[0] / 1000.0, worker.bucket_us[1] / 1000.0,
+        worker.bucket_us[2] / 1000.0, worker.bucket_us[3] / 1000.0,
+        worker.bucket_us[4] / 1000.0, worker.bucket_us[5] / 1000.0,
+        busy_pct);
+  }
+
+  append_fmt(out, "\n== phase utilization (%d threads) ==\n", thread_count);
+  append_fmt(out, "%-36s %8s %12s %6s\n", "phase", "n", "wall_ms", "util%");
+  for (const PhaseUtilization& phase : phases) {
+    append_fmt(out, "%-36.36s %8llu %12.2f %6.1f\n", phase.name.c_str(),
+               static_cast<unsigned long long>(phase.instances),
+               phase.wall_us / 1000.0, 100.0 * phase.utilization);
+  }
+
+  append_fmt(out, "\n== critical path (root %s, makespan %.2f ms) ==\n",
+             root_name.c_str(), makespan_us / 1000.0);
+  append_fmt(out, "%3s %-7s %-36s %10s %11s %9s\n", "#", "thread", "span",
+             "dur_ms", "contrib_ms", "slack_ms");
+  for (std::size_t i = 0; i < critical_path.size(); ++i) {
+    const CriticalPathStep& step = critical_path[i];
+    append_fmt(out, "%3zu t%-6d %-36.36s %10.2f %11.2f %9.2f\n", i,
+               step.thread_id, step.name.c_str(), step.dur_us / 1000.0,
+               step.contribution_us / 1000.0, step.slack_us / 1000.0);
+  }
+  append_fmt(out,
+             "lead-in %.2f ms; critical path total %.2f ms (%.1f%% of "
+             "makespan)\n",
+             lead_in_us / 1000.0, critical_path_us / 1000.0,
+             makespan_us > 0.0 ? 100.0 * critical_path_us / makespan_us
+                               : 0.0);
+  append_fmt(out, "top time sink (worker threads): %s (%.2f ms)\n",
+             top_time_sink.c_str(), top_time_sink_us / 1000.0);
+  return out;
+}
+
+std::string ProfileReport::to_folded() const {
+  std::string out;
+  for (const FoldedStack& line : folded) {
+    const long long count = std::llround(line.self_us);
+    if (count <= 0) continue;  // flamegraph counts are positive integers
+    out += line.stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+util::JsonObject run_metadata_json() {
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char timestamp[32];
+  std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+
+  util::JsonObject meta;
+  meta.set("timestamp_utc", timestamp);
+  meta.set("hardware_threads",
+           static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  meta.set("build_type", MAGUS_BUILD_TYPE);
+  meta.set("git_sha", MAGUS_GIT_SHA);
+  return meta;
+}
+
+void install_pool_wait_instrumentation() {
+  util::ThreadPool::set_wait_hook([](util::ThreadPool::WaitKind kind,
+                                     std::uint64_t start_ns,
+                                     std::uint64_t end_ns) {
+    TraceCollector& collector = TraceCollector::global();
+    if (!collector.active() || end_ns <= start_ns) return;
+    TraceEvent event;
+    const bool task_wait = kind == util::ThreadPool::WaitKind::kTaskWait;
+    event.name = task_wait ? "pool.task_wait" : "pool.join";
+    event.category = task_wait ? "wait.queue" : "wait.barrier";
+    event.phase = 'X';
+    event.ts_us = collector.us_since_epoch(start_ns);
+    event.dur_us = static_cast<double>(end_ns - start_ns) / 1000.0;
+    event.thread_id = trace_thread_id();
+    event.depth = current_span_depth();
+    collector.record(std::move(event));
+  });
+}
+
+}  // namespace magus::obs

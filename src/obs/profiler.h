@@ -1,0 +1,173 @@
+// Post-hoc time-attribution profiler over the TraceCollector span stream.
+//
+// The tracer answers "what happened"; this answers "what dominated". From
+// one merged event stream the Profiler derives, per worker thread:
+//
+//   * self-time attribution into wait-state buckets — compute, queue wait
+//     (pool task-dequeue waits, evaluator hand-off), barrier/join wait,
+//     shard-lock wait, DB/journal I/O — plus an `idle` residual for wall
+//     time no span covers. The buckets partition the worker's wall span
+//     exactly: sum(buckets) == last_span_end - first_span_start.
+//   * per-phase utilization: for every root-span name on the driver
+//     thread, how many of the observed threads were busy while it ran.
+//   * the critical path: starting from the longest root span, repeatedly
+//     descend into the child (same-thread direct child or a contained
+//     other-thread root) that *ends last* — the chain that bounds the
+//     phase makespan. Each step carries its contribution (the tail of the
+//     parent after the chosen child ends; the leaf contributes its whole
+//     duration) and its slack (how much earlier the step could end before
+//     a sibling becomes critical). Contributions plus the lead-in gap sum
+//     to the root duration by construction.
+//   * folded stacks ("t0;parent;child self_us") for flamegraph tooling.
+//
+// Buckets are keyed by span *category* prefix, so new instrumentation
+// joins the taxonomy by picking the right category string — no profiler
+// change needed:
+//
+//   "wait.queue"   -> queue_wait     "wait.barrier" -> barrier
+//   "wait.lock"    -> lock_wait      "io*"          -> db_io
+//   anything else  -> compute
+//
+// The ObsSession --profile flag wires this up for every bench/example:
+// it enables detail-mode tracing (per-candidate compute spans), and on
+// exit writes the JSON report, a .folded sibling, and the text table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace magus::obs {
+
+enum class TimeBucket {
+  kCompute = 0,
+  kQueueWait,
+  kBarrier,
+  kLockWait,
+  kDbIo,
+  kIdle,
+};
+inline constexpr std::size_t kTimeBucketCount = 6;
+
+/// Stable snake_case label ("queue_wait", ...), used in reports and JSON.
+[[nodiscard]] const char* time_bucket_name(TimeBucket bucket);
+
+/// Category-prefix mapping described above. kIdle is never returned — it
+/// exists only as the uncovered-wall residual.
+[[nodiscard]] TimeBucket bucket_for_category(std::string_view category);
+
+/// One worker thread's wall-time decomposition over its active window
+/// (first span start to last span end).
+struct WorkerProfile {
+  int thread_id = 0;
+  double first_us = 0.0;
+  double last_us = 0.0;
+  double wall_us = 0.0;  ///< last_us - first_us
+  /// Self time per bucket, kIdle last; sums to wall_us exactly.
+  std::array<double, kTimeBucketCount> bucket_us{};
+  std::uint64_t span_count = 0;
+
+  [[nodiscard]] double busy_us() const {
+    return wall_us - bucket_us[static_cast<std::size_t>(TimeBucket::kIdle)];
+  }
+};
+
+/// Busy-worker utilization while instances of one driver-thread root span
+/// name were running.
+struct PhaseUtilization {
+  std::string name;
+  std::uint64_t instances = 0;
+  double wall_us = 0.0;  ///< summed instance durations
+  double busy_us = 0.0;  ///< summed busy time across all threads inside them
+  /// busy_us / (wall_us * thread_count): 1.0 = every observed thread busy
+  /// for the phase's whole duration.
+  double utilization = 0.0;
+};
+
+struct CriticalPathStep {
+  std::string name;
+  std::string category;
+  int thread_id = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  /// Share of the makespan this step explains: parent tail after its
+  /// critical child ends; the leaf contributes its full duration.
+  double contribution_us = 0.0;
+  /// How much earlier this span could have ended before the runner-up
+  /// sibling (or the parent's start, if it has no sibling) became the
+  /// binding chain instead.
+  double slack_us = 0.0;
+};
+
+/// One aggregated folded-stack line: "t<thread>;outer;inner" -> self µs.
+struct FoldedStack {
+  std::string stack;
+  double self_us = 0.0;
+};
+
+struct ProfileReport {
+  std::vector<WorkerProfile> workers;
+  std::vector<PhaseUtilization> phases;
+
+  std::string root_name;        ///< longest root span = the analyzed phase
+  double makespan_us = 0.0;     ///< its duration
+  std::vector<CriticalPathStep> critical_path;
+  double critical_path_us = 0.0;  ///< lead_in + contributions == makespan
+  double lead_in_us = 0.0;        ///< root start to leaf start, uncovered
+
+  /// Largest attributed bucket totalled across the non-driver threads
+  /// (all threads when the trace is single-threaded), idle excluded (idle
+  /// names no mechanism) — the driver dispatches the work, so its serial
+  /// compute is not a parallelism sink. This is the ranked answer to
+  /// "where does the speedup go": queue_wait / barrier / lock_wait /
+  /// db_io / compute.
+  std::string top_time_sink;
+  double top_time_sink_us = 0.0;
+  /// All five attributed buckets plus idle, totalled across workers.
+  std::array<double, kTimeBucketCount> total_bucket_us{};
+
+  int thread_count = 0;
+  std::uint64_t event_count = 0;
+  std::vector<FoldedStack> folded;  ///< sorted by self time, descending
+
+  /// {"meta": run_metadata_json(), "workers": [...], "phases": [...],
+  ///  "critical_path": [...], "makespan_us", "top_time_sink", ...}.
+  [[nodiscard]] util::JsonObject to_json() const;
+  /// Fixed-width tables: worker attribution, phase utilization, critical
+  /// path. The walkthrough artifact for humans.
+  [[nodiscard]] std::string to_table() const;
+  /// flamegraph.pl-compatible folded stacks, one line per stack, integer
+  /// microsecond counts.
+  [[nodiscard]] std::string to_folded() const;
+};
+
+class Profiler {
+ public:
+  /// `events` is a merged span stream, e.g. TraceCollector::events().
+  /// Instant events are ignored; only complete ('X') spans attribute time.
+  explicit Profiler(std::vector<TraceEvent> events);
+
+  [[nodiscard]] ProfileReport analyze() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Run provenance for self-describing artifacts: ISO-8601 UTC timestamp,
+/// hardware thread count, build type and git SHA (compile-time stamped,
+/// "unknown" when unavailable). Every metrics snapshot, BENCH_*.json and
+/// profile report embeds this under a "meta" key.
+[[nodiscard]] util::JsonObject run_metadata_json();
+
+/// Installs the util::ThreadPool wait hook that turns task-dequeue waits
+/// into "pool.task_wait" (wait.queue) spans and run()'s join wait into
+/// "pool.join" (wait.barrier) spans whenever the collector is active.
+/// Idempotent; ObsSession calls it when tracing or profiling is on.
+void install_pool_wait_instrumentation();
+
+}  // namespace magus::obs

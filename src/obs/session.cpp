@@ -1,22 +1,36 @@
 #include "obs/session.h"
 
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace magus::obs {
 
 ObsSession::ObsSession(const util::ArgParser& args)
-    : ObsSession(args.get_string("metrics"), args.get_string("trace")) {}
+    : ObsSession(args.get_string("metrics"), args.get_string("trace"),
+                 args.get_string("profile")) {}
 
-ObsSession::ObsSession(std::string metrics_path, std::string trace_path)
+ObsSession::ObsSession(std::string metrics_path, std::string trace_path,
+                       std::string profile_path)
     : metrics_path_(std::move(metrics_path)),
-      trace_path_(std::move(trace_path)) {
-  if (!trace_path_.empty()) {
-    TraceCollector::global().start();
+      trace_path_(std::move(trace_path)),
+      profile_path_(std::move(profile_path)) {
+  if (!trace_path_.empty() || !profile_path_.empty()) {
+    TraceCollector& collector = TraceCollector::global();
+    collector.start();
+    if (!profile_path_.empty()) {
+      // Attribution needs the high-volume per-task spans and the pool
+      // wait intervals; a plain --trace stays per-batch sized without
+      // them.
+      collector.set_detail(true);
+      install_pool_wait_instrumentation();
+    }
   }
 }
 
@@ -35,11 +49,27 @@ void ObsSession::finish() {
     MetricsRegistry::global().snapshot().to_json().write_file(metrics_path_);
     std::cout << "metrics snapshot written to " << metrics_path_ << '\n';
   }
+  if (trace_path_.empty() && profile_path_.empty()) return;
+
+  TraceCollector& collector = TraceCollector::global();
+  collector.stop();
+  collector.set_detail(false);
   if (!trace_path_.empty()) {
-    TraceCollector& collector = TraceCollector::global();
-    collector.stop();
     collector.write_file(trace_path_);
     std::cout << "trace written to " << trace_path_ << '\n';
+  }
+  if (!profile_path_.empty()) {
+    const ProfileReport report = Profiler(collector.events()).analyze();
+    report.to_json().write_file(profile_path_);
+    const std::string folded_path = profile_path_ + ".folded";
+    std::ofstream folded(folded_path);
+    folded << report.to_folded();
+    if (!folded) {
+      throw std::runtime_error("ObsSession: cannot write " + folded_path);
+    }
+    std::cout << report.to_table();
+    std::cout << "profile report written to " << profile_path_
+              << " (folded stacks: " << folded_path << ")\n";
   }
 }
 

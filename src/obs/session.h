@@ -1,11 +1,14 @@
-// ObsSession: the shared --metrics / --trace wiring for benches and
-// examples.
+// ObsSession: the shared --metrics / --trace / --profile wiring for
+// benches and examples.
 //
 // Construct it right after ArgParser::parse (the flags come from
 // util::add_obs_flags). A non-empty --trace starts the global
-// TraceCollector for the run; finish() — called automatically from the
-// destructor — writes the metrics snapshot and the Chrome trace-event
-// file, turning every bench/example run into machine-readable artifacts.
+// TraceCollector for the run; --profile additionally enables detail-mode
+// spans (per-task compute attribution) and the thread-pool wait hook.
+// finish() — called automatically from the destructor — writes the
+// metrics snapshot, the Chrome trace-event file, and the profiler
+// artifacts (JSON report, <path>.folded stacks, summary table on stdout),
+// turning every bench/example run into machine-readable artifacts.
 #pragma once
 
 #include <string>
@@ -16,12 +19,13 @@ namespace magus::obs {
 
 class ObsSession {
  public:
-  /// Reads the --metrics/--trace values; starts tracing when --trace is
-  /// set.
+  /// Reads the --metrics/--trace/--profile values; starts collection when
+  /// either of the latter two is set.
   explicit ObsSession(const util::ArgParser& args);
 
   /// Explicit paths (empty = disabled); same semantics as the flag form.
-  ObsSession(std::string metrics_path, std::string trace_path);
+  ObsSession(std::string metrics_path, std::string trace_path,
+             std::string profile_path = "");
 
   /// Best-effort finish(); errors are reported to stderr, not thrown.
   ~ObsSession();
@@ -35,6 +39,7 @@ class ObsSession {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string profile_path_;
   bool finished_ = false;
 };
 

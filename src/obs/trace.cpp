@@ -26,6 +26,8 @@ thread_local int t_span_depth = 0;
 
 int current_span_depth() { return t_span_depth; }
 
+int trace_thread_id() { return this_thread_trace_id(); }
+
 TraceCollector::TraceCollector() : epoch_ns_(monotonic_now_ns()) {}
 
 void TraceCollector::start() {
@@ -115,6 +117,12 @@ double TraceCollector::now_us() const {
   return static_cast<double>(monotonic_now_ns() - epoch_ns_) / 1000.0;
 }
 
+double TraceCollector::us_since_epoch(std::uint64_t monotonic_ns) const {
+  return (static_cast<double>(monotonic_ns) -
+          static_cast<double>(epoch_ns_)) /
+         1000.0;
+}
+
 TraceCollector& TraceCollector::global() {
   static TraceCollector* collector = new TraceCollector();  // never destroyed
   return *collector;
@@ -135,6 +143,54 @@ ScopedSpan::~ScopedSpan() {
   TraceCollector& collector = TraceCollector::global();
   TraceEvent event;
   event.name = name_;
+  event.category = category_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  event.dur_us = collector.now_us() - start_us_;
+  event.thread_id = this_thread_trace_id();
+  event.depth = depth_;
+  collector.record(std::move(event));
+}
+
+FineScopedSpan::FineScopedSpan(const char* name, const char* category)
+    : name_(name),
+      category_(category),
+      active_(TraceCollector::global().detail_active()) {
+  if (!active_) return;
+  depth_ = t_span_depth++;
+  start_us_ = TraceCollector::global().now_us();
+}
+
+FineScopedSpan::~FineScopedSpan() {
+  if (!active_) return;
+  --t_span_depth;
+  TraceCollector& collector = TraceCollector::global();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  event.dur_us = collector.now_us() - start_us_;
+  event.thread_id = this_thread_trace_id();
+  event.depth = depth_;
+  collector.record(std::move(event));
+}
+
+DynamicSpan::DynamicSpan(std::string name, const char* category)
+    : name_(std::move(name)),
+      category_(category),
+      active_(TraceCollector::global().active()) {
+  if (!active_) return;
+  depth_ = t_span_depth++;
+  start_us_ = TraceCollector::global().now_us();
+}
+
+DynamicSpan::~DynamicSpan() {
+  if (!active_) return;
+  --t_span_depth;
+  TraceCollector& collector = TraceCollector::global();
+  TraceEvent event;
+  event.name = std::move(name_);
   event.category = category_;
   event.phase = 'X';
   event.ts_us = start_us_;

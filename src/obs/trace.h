@@ -60,6 +60,17 @@ class TraceCollector {
   }
   void clear();
 
+  /// Detail mode gates the high-volume instrumentation sites (per-candidate
+  /// evaluation spans — MAGUS_TRACE_SPAN_FINE). --trace leaves it off so
+  /// trace artifacts stay per-batch sized; --profile turns it on because
+  /// self-time attribution needs the per-task compute spans.
+  void set_detail(bool detail) {
+    detail_.store(detail, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool detail_active() const {
+    return active() && detail_.load(std::memory_order_relaxed);
+  }
+
   /// Appends one event to the calling thread's buffer. Callers normally go
   /// through ScopedSpan / trace_instant, which check active() first.
   void record(TraceEvent event);
@@ -77,6 +88,11 @@ class TraceCollector {
   /// µs since the collector's epoch (process start, effectively).
   [[nodiscard]] double now_us() const;
 
+  /// Converts a monotonic_now_ns() timestamp to epoch-relative µs, so
+  /// instrumentation that measured an interval with raw clock reads (the
+  /// thread-pool wait hook) can emit events on the span timeline.
+  [[nodiscard]] double us_since_epoch(std::uint64_t monotonic_ns) const;
+
   [[nodiscard]] static TraceCollector& global();
 
  private:
@@ -88,6 +104,7 @@ class TraceCollector {
   [[nodiscard]] Buffer& local_buffer();
 
   std::atomic<bool> active_{false};
+  std::atomic<bool> detail_{false};
   std::uint64_t epoch_ns_;
   mutable std::mutex mutex_;  ///< guards buffers_
   std::vector<std::shared_ptr<Buffer>> buffers_;
@@ -96,6 +113,10 @@ class TraceCollector {
 /// Depth of the innermost open span on this thread (0 = none). Exposed for
 /// the nesting tests.
 [[nodiscard]] int current_span_depth();
+
+/// The calling thread's dense trace id (shared numbering with the metrics
+/// shards). For instrumentation that records TraceEvents directly.
+[[nodiscard]] int trace_thread_id();
 
 class ScopedSpan {
  public:
@@ -108,6 +129,42 @@ class ScopedSpan {
 
  private:
   const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+  int depth_ = 0;
+  bool active_;
+};
+
+/// ScopedSpan gated on detail_active(): the span is only recorded in
+/// profile mode. For high-volume sites (one span per candidate evaluation)
+/// where a plain --trace artifact would balloon.
+class FineScopedSpan {
+ public:
+  FineScopedSpan(const char* name, const char* category);
+  ~FineScopedSpan();
+  FineScopedSpan(const FineScopedSpan&) = delete;
+  FineScopedSpan& operator=(const FineScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+  int depth_ = 0;
+  bool active_;
+};
+
+/// ScopedSpan with a runtime-built name (per-market timelines and other
+/// low-volume sites where the label carries an id). The name is copied, so
+/// it need not outlive the span; use the literal-name classes on hot paths.
+class DynamicSpan {
+ public:
+  DynamicSpan(std::string name, const char* category);
+  ~DynamicSpan();
+  DynamicSpan(const DynamicSpan&) = delete;
+  DynamicSpan& operator=(const DynamicSpan&) = delete;
+
+ private:
+  std::string name_;
   const char* category_;
   double start_us_ = 0.0;
   int depth_ = 0;
@@ -130,9 +187,15 @@ void trace_instant(const char* name, const char* category);
                                               __COUNTER__) {     \
     (name), (category)                                           \
   }
+#define MAGUS_TRACE_SPAN_FINE(name, category)                        \
+  ::magus::obs::FineScopedSpan MAGUS_TRACE_CONCAT(magus_trace_fine_, \
+                                                  __COUNTER__) {     \
+    (name), (category)                                               \
+  }
 #define MAGUS_TRACE_INSTANT(name, category) \
   ::magus::obs::trace_instant((name), (category))
 #else
 #define MAGUS_TRACE_SPAN(name, category) ((void)0)
+#define MAGUS_TRACE_SPAN_FINE(name, category) ((void)0)
 #define MAGUS_TRACE_INSTANT(name, category) ((void)0)
 #endif

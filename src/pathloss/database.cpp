@@ -225,6 +225,7 @@ PathLossDatabase::Probe PathLossDatabase::probe(const std::string& path) {
 
 void PathLossDatabase::save(const std::string& path,
                             std::size_t threads) const {
+  MAGUS_TRACE_SPAN("pathloss.db_save", "io.db");
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("PathLossDatabase: cannot open " + path);
   write_pod(out, kMagic);
@@ -268,7 +269,8 @@ void PathLossDatabase::save(const std::string& path,
 
 PathLossDatabase PathLossDatabase::load(const std::string& path,
                                         std::size_t threads) {
-  MAGUS_TRACE_SPAN("pathloss.db_load", "pathloss");
+  // io.db: the profiler buckets this span as DB I/O (see obs/profiler.h).
+  MAGUS_TRACE_SPAN("pathloss.db_load", "io.db");
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("PathLossDatabase: cannot open " + path);
   DbMetrics::get().loads.add(1);
@@ -495,6 +497,10 @@ BuildingProvider::Entry& BuildingProvider::entry_for(net::SectorId sector,
   std::unique_lock lock{shard.mutex, std::try_to_lock};
   if (!lock.owns_lock()) {
     CacheMetrics::get().shard_waits.add(1);
+    // Contended path only: the span times how long this thread blocked on
+    // the shard, and its wait.lock category routes it to the profiler's
+    // lock_wait bucket.
+    MAGUS_TRACE_SPAN("pathloss.shard_lock", "wait.lock");
     lock.lock();
   }
   return shard.map[key];  // std::map nodes are address-stable

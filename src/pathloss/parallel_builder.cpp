@@ -29,6 +29,9 @@ PathLossDatabase ParallelFootprintBuilder::build_database(
   std::vector<std::vector<SectorFootprint>> results(sectors.size());
   std::vector<FootprintBuilder::Scratch> scratch(pool_.size());
   pool_.run(sectors.size(), [&](std::size_t worker, std::size_t i) {
+    // Profile-mode per-sector compute span (pairs with the pool's
+    // wait.queue/wait.barrier spans for attribution).
+    MAGUS_TRACE_SPAN_FINE("pathloss.build_sector", "pathloss");
     results[i] = builder_.build_tilts(network.sector(sectors[i]), tilts,
                                       &scratch[worker]);
   });

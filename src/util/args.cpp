@@ -111,6 +111,10 @@ void add_obs_flags(ArgParser& parser) {
   parser.add_flag("trace", "",
                   "collect a Chrome trace-event file (JSON) at this path; "
                   "view in chrome://tracing or Perfetto");
+  parser.add_flag("profile", "",
+                  "profile the run: write a time-attribution report (JSON) "
+                  "to this path, folded flamegraph stacks to <path>.folded, "
+                  "and print the summary table on exit");
 }
 
 const ArgParser::Flag& ArgParser::find(const std::string& name) const {

@@ -1,8 +1,26 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace magus::util {
+
+namespace {
+
+std::atomic<ThreadPool::WaitHook> g_wait_hook{nullptr};
+
+[[nodiscard]] std::uint64_t wait_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void ThreadPool::set_wait_hook(WaitHook hook) {
+  g_wait_hook.store(hook, std::memory_order_relaxed);
+}
 
 std::size_t resolve_thread_count(std::size_t threads) {
   if (threads != 0) return threads;
@@ -62,8 +80,11 @@ void ThreadPool::run(std::size_t count, const Task& fn) {
   }
   start_cv_.notify_all();
   drain(0, fn, count);
+  const WaitHook hook = g_wait_hook.load(std::memory_order_relaxed);
+  const std::uint64_t join_start_ns = hook ? wait_clock_ns() : 0;
   std::unique_lock lock{mutex_};
   done_cv_.wait(lock, [this] { return active_ == 0; });
+  if (hook) hook(WaitKind::kJoin, join_start_ns, wait_clock_ns());
   job_ = nullptr;
   if (error_) {
     std::exception_ptr error = error_;
@@ -78,6 +99,8 @@ void ThreadPool::worker_loop(std::size_t worker) {
   while (true) {
     const Task* job = nullptr;
     std::size_t count = 0;
+    const WaitHook hook = g_wait_hook.load(std::memory_order_relaxed);
+    const std::uint64_t wait_start_ns = hook ? wait_clock_ns() : 0;
     {
       std::unique_lock lock{mutex_};
       start_cv_.wait(lock, [&] {
@@ -88,6 +111,9 @@ void ThreadPool::worker_loop(std::size_t worker) {
       job = job_;
       count = job_count_;
     }
+    // Reported only when a job arrived: the final stop_ wait is shutdown,
+    // not queue wait, and would dwarf every real interval.
+    if (hook) hook(WaitKind::kTaskWait, wait_start_ns, wait_clock_ns());
     drain(worker, *job, count);
     {
       const std::lock_guard lock{mutex_};

@@ -27,6 +27,23 @@ class ThreadPool {
   /// fn(worker, task): `worker` in [0, size()), `task` in [0, count).
   using Task = std::function<void(std::size_t worker, std::size_t task)>;
 
+  /// Wait intervals the pool can report to an observer: a spawned worker
+  /// blocking until a job arrives (kTaskWait — queue wait), and the run()
+  /// caller blocking on the stragglers after draining its own share
+  /// (kJoin — barrier wait).
+  enum class WaitKind { kTaskWait, kJoin };
+
+  /// Process-wide wait observer, called on the waiting thread with the
+  /// interval in monotonic (steady_clock) nanoseconds. util sits below the
+  /// obs layer, so the profiler installs itself through this hook instead
+  /// of the pool recording spans directly. Null (the default) disables all
+  /// timing; installation is sticky and must happen before heavy use
+  /// (ObsSession does it at startup). The hook must be thread-safe and
+  /// cheap — it runs once per job per worker.
+  using WaitHook = void (*)(WaitKind kind, std::uint64_t start_ns,
+                            std::uint64_t end_ns);
+  static void set_wait_hook(WaitHook hook);
+
   /// Spawns size()-1 threads; the caller of run() is worker 0.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();

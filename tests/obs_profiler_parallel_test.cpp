@@ -1,0 +1,109 @@
+// Concurrency coverage for the profiler pipeline, in the parallel binary
+// so the ThreadSanitizer pass (scripts/verify.sh) runs it: live span
+// emission from pool workers (including the wait hook and detail-mode
+// FineScopedSpans) racing against events() merges and full analyze()
+// passes, exactly what ObsSession does for a --profile run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace magus::obs {
+namespace {
+
+#if MAGUS_TRACE
+
+TEST(ProfilerParallel, LivePoolRunAttributesWallTime) {
+  TraceCollector& collector = TraceCollector::global();
+  collector.clear();
+  collector.set_detail(true);
+  collector.start();
+  install_pool_wait_instrumentation();
+
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kTasks = 256;
+  std::atomic<std::uint64_t> sink{0};
+  {
+    util::ThreadPool pool{kWorkers};
+    for (int batch = 0; batch < 3; ++batch) {
+      MAGUS_TRACE_SPAN("batch", "evaluator");
+      pool.run(kTasks, [&sink](std::size_t, std::size_t task) {
+        MAGUS_TRACE_SPAN_FINE("task", "evaluator");
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < 2000; ++i) acc += i * (task + 1);
+        sink.fetch_add(acc, std::memory_order_relaxed);
+      });
+      // Merge + analyze mid-run, racing the pool workers' span emission
+      // and the wait hook. The partial report just has to be well-formed.
+      const ProfileReport partial = Profiler(collector.events()).analyze();
+      EXPECT_GE(partial.thread_count, 1);
+    }
+  }  // pool join runs the kJoin hook before the collector stops
+
+  collector.stop();
+  collector.set_detail(false);
+  const ProfileReport report = Profiler(collector.events()).analyze();
+  collector.clear();
+
+  EXPECT_GE(report.thread_count, 1);
+  EXPECT_GT(report.event_count, 3u);  // batches + fine task spans
+  // The longest root is either a batch or a worker's inter-batch queue
+  // wait (the mid-run analyze above can stretch one).
+  EXPECT_TRUE(report.root_name == "batch" ||
+              report.root_name == "pool.task_wait")
+      << report.root_name;
+  // The partition identity must survive a real interleaved trace.
+  for (const WorkerProfile& worker : report.workers) {
+    double total = 0.0;
+    for (const double b : worker.bucket_us) total += b;
+    EXPECT_NEAR(total, worker.wall_us, 1e-6 * (worker.wall_us + 1.0))
+        << "t" << worker.thread_id;
+  }
+  EXPECT_FALSE(report.critical_path.empty());
+  EXPECT_NEAR(report.critical_path_us, report.makespan_us,
+              1e-6 * (report.makespan_us + 1.0));
+  EXPECT_GT(sink.load(), 0u);
+}
+
+TEST(ProfilerParallel, ConcurrentAnalyzeWhileSpansStream) {
+  TraceCollector& collector = TraceCollector::global();
+  collector.clear();
+  collector.start();
+
+  std::atomic<bool> stop{false};
+  std::thread analyzer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ProfileReport report = Profiler(collector.events()).analyze();
+      EXPECT_GE(report.thread_count, 0);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < 2000; ++i) {
+        MAGUS_TRACE_SPAN("outer", "planner");
+        MAGUS_TRACE_SPAN("inner", "wait.queue");
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  analyzer.join();
+
+  collector.stop();
+  const ProfileReport report = Profiler(collector.events()).analyze();
+  collector.clear();
+  EXPECT_EQ(report.event_count, 4u * 2000u * 2u);
+}
+
+#endif  // MAGUS_TRACE
+
+}  // namespace
+}  // namespace magus::obs

@@ -1,0 +1,302 @@
+// Unit tests for obs::Profiler on hand-built trace streams, where every
+// self time, bucket total, critical-path contribution and slack value can
+// be computed by hand. The live-trace path (real ThreadPool + spans) is
+// covered by obs_profiler_parallel_test.cpp in the TSan binary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace magus::obs {
+namespace {
+
+TraceEvent span(const char* name, const char* category, int thread_id,
+                double ts_us, double dur_us, int depth = 0) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.thread_id = thread_id;
+  event.depth = depth;
+  return event;
+}
+
+double bucket(const WorkerProfile& worker, TimeBucket b) {
+  return worker.bucket_us[static_cast<std::size_t>(b)];
+}
+
+// One thread, nested spans:
+//   phase[0,100] (planner)
+//     compute[10,40] (evaluator)
+//       inner[15,25] (io.db)
+//     wait[50,70] (wait.queue)
+// Self times: phase 50, compute 20, inner 10, wait 20.
+std::vector<TraceEvent> nested_trace() {
+  return {
+      span("phase", "planner", 0, 0.0, 100.0, 0),
+      span("compute", "evaluator", 0, 10.0, 30.0, 1),
+      span("inner", "io.db", 0, 15.0, 10.0, 2),
+      span("wait", "wait.queue", 0, 50.0, 20.0, 1),
+  };
+}
+
+TEST(Profiler, BucketForCategoryMapsByPrefix) {
+  EXPECT_EQ(bucket_for_category("wait.queue"), TimeBucket::kQueueWait);
+  EXPECT_EQ(bucket_for_category("wait.barrier"), TimeBucket::kBarrier);
+  EXPECT_EQ(bucket_for_category("wait.lock"), TimeBucket::kLockWait);
+  EXPECT_EQ(bucket_for_category("io.db"), TimeBucket::kDbIo);
+  EXPECT_EQ(bucket_for_category("io.journal"), TimeBucket::kDbIo);
+  // Everything else — including unknown wait.* flavors — is compute.
+  EXPECT_EQ(bucket_for_category("evaluator"), TimeBucket::kCompute);
+  EXPECT_EQ(bucket_for_category("planner"), TimeBucket::kCompute);
+  EXPECT_EQ(bucket_for_category("wait.unknown"), TimeBucket::kCompute);
+  EXPECT_EQ(bucket_for_category(""), TimeBucket::kCompute);
+}
+
+TEST(Profiler, NestedSelfTimeAttribution) {
+  const ProfileReport report = Profiler(nested_trace()).analyze();
+
+  ASSERT_EQ(report.workers.size(), 1u);
+  const WorkerProfile& worker = report.workers.front();
+  EXPECT_EQ(worker.thread_id, 0);
+  EXPECT_DOUBLE_EQ(worker.first_us, 0.0);
+  EXPECT_DOUBLE_EQ(worker.last_us, 100.0);
+  EXPECT_DOUBLE_EQ(worker.wall_us, 100.0);
+  EXPECT_EQ(worker.span_count, 4u);
+
+  // phase self (50) + compute self (20) land in compute; inner (10) is
+  // io.db; wait (20) is wait.queue; the root covers the whole window so
+  // idle is zero.
+  EXPECT_DOUBLE_EQ(bucket(worker, TimeBucket::kCompute), 70.0);
+  EXPECT_DOUBLE_EQ(bucket(worker, TimeBucket::kQueueWait), 20.0);
+  EXPECT_DOUBLE_EQ(bucket(worker, TimeBucket::kBarrier), 0.0);
+  EXPECT_DOUBLE_EQ(bucket(worker, TimeBucket::kLockWait), 0.0);
+  EXPECT_DOUBLE_EQ(bucket(worker, TimeBucket::kDbIo), 10.0);
+  EXPECT_DOUBLE_EQ(bucket(worker, TimeBucket::kIdle), 0.0);
+  EXPECT_DOUBLE_EQ(worker.busy_us(), 100.0);
+
+  // The partition identity the --profile verify step asserts at 1%: exact
+  // here by construction.
+  double total = 0.0;
+  for (const double b : worker.bucket_us) total += b;
+  EXPECT_DOUBLE_EQ(total, worker.wall_us);
+}
+
+TEST(Profiler, CriticalPathWithKnownSlack) {
+  const ProfileReport report = Profiler(nested_trace()).analyze();
+
+  EXPECT_EQ(report.root_name, "phase");
+  EXPECT_DOUBLE_EQ(report.makespan_us, 100.0);
+
+  // phase's children end at 40 (compute) and 70 (wait): the path descends
+  // into wait. phase contributes its tail after wait (100-70=30); wait is
+  // the leaf and contributes its duration (20); the lead-in is wait's
+  // start offset inside phase (50). 30+20+50 == makespan.
+  ASSERT_EQ(report.critical_path.size(), 2u);
+  const CriticalPathStep& root = report.critical_path[0];
+  EXPECT_EQ(root.name, "phase");
+  EXPECT_DOUBLE_EQ(root.contribution_us, 30.0);
+  EXPECT_DOUBLE_EQ(root.slack_us, 0.0);  // the root competes with nothing
+
+  const CriticalPathStep& leaf = report.critical_path[1];
+  EXPECT_EQ(leaf.name, "wait");
+  EXPECT_EQ(leaf.category, "wait.queue");
+  EXPECT_DOUBLE_EQ(leaf.contribution_us, 20.0);
+  // wait could end 30us earlier before compute (end 40) becomes critical.
+  EXPECT_DOUBLE_EQ(leaf.slack_us, 30.0);
+
+  EXPECT_DOUBLE_EQ(report.lead_in_us, 50.0);
+  EXPECT_DOUBLE_EQ(report.critical_path_us, report.makespan_us);
+}
+
+TEST(Profiler, MultiThreadCrossThreadCriticalPathAndIdle) {
+  // Driver t0 runs batch[0,100]; worker t1 waits [0,10], runs task[10,50],
+  // idles [50,70], runs task[70,100].
+  std::vector<TraceEvent> events = {
+      span("batch", "evaluator", 0, 0.0, 100.0),
+      span("pool.task_wait", "wait.queue", 1, 0.0, 10.0),
+      span("task", "evaluator", 1, 10.0, 40.0),
+      span("task", "evaluator", 1, 70.0, 30.0),
+  };
+  const ProfileReport report = Profiler(std::move(events)).analyze();
+
+  ASSERT_EQ(report.workers.size(), 2u);
+  EXPECT_EQ(report.thread_count, 2);
+  const WorkerProfile& t1 = report.workers[1];
+  EXPECT_EQ(t1.thread_id, 1);
+  EXPECT_DOUBLE_EQ(t1.wall_us, 100.0);
+  EXPECT_DOUBLE_EQ(bucket(t1, TimeBucket::kCompute), 70.0);
+  EXPECT_DOUBLE_EQ(bucket(t1, TimeBucket::kQueueWait), 10.0);
+  EXPECT_DOUBLE_EQ(bucket(t1, TimeBucket::kIdle), 20.0);  // the [50,70] gap
+
+  // The critical path crosses threads: batch's children are the contained
+  // t1 roots; the second task ends last (100), the first ends at 50.
+  EXPECT_EQ(report.root_name, "batch");
+  ASSERT_EQ(report.critical_path.size(), 2u);
+  EXPECT_EQ(report.critical_path[0].name, "batch");
+  EXPECT_DOUBLE_EQ(report.critical_path[0].contribution_us, 0.0);
+  EXPECT_EQ(report.critical_path[1].name, "task");
+  EXPECT_EQ(report.critical_path[1].thread_id, 1);
+  EXPECT_DOUBLE_EQ(report.critical_path[1].contribution_us, 30.0);
+  EXPECT_DOUBLE_EQ(report.critical_path[1].slack_us, 50.0);  // 100 - 50
+  EXPECT_DOUBLE_EQ(report.lead_in_us, 70.0);
+  EXPECT_DOUBLE_EQ(report.critical_path_us, report.makespan_us);
+
+  // Phase utilization for "batch": t0 covered 100, t1 covered 80 of a
+  // 100us window across 2 threads -> 0.9.
+  ASSERT_FALSE(report.phases.empty());
+  EXPECT_EQ(report.phases.front().name, "batch");
+  EXPECT_DOUBLE_EQ(report.phases.front().busy_us, 180.0);
+  EXPECT_DOUBLE_EQ(report.phases.front().utilization, 0.9);
+}
+
+TEST(Profiler, TopTimeSinkExcludesDriverCompute) {
+  // The driver's serial compute dwarfs everything; the lone worker spends
+  // 6x longer waiting on the queue than computing. Ranked across all
+  // threads the top bucket would be compute (1100us) — the report must
+  // instead surface the worker-side wait.
+  std::vector<TraceEvent> events = {
+      span("serial", "evaluator", 0, 0.0, 1000.0),
+      span("pool.task_wait", "wait.queue", 1, 0.0, 600.0),
+      span("task", "evaluator", 1, 600.0, 100.0),
+  };
+  const ProfileReport report = Profiler(std::move(events)).analyze();
+  EXPECT_EQ(report.top_time_sink, "queue_wait");
+  EXPECT_DOUBLE_EQ(report.top_time_sink_us, 600.0);
+
+  // Single-threaded traces fall back to the lone thread's buckets.
+  const ProfileReport solo =
+      Profiler({span("serial", "evaluator", 0, 0.0, 1000.0)}).analyze();
+  EXPECT_EQ(solo.top_time_sink, "compute");
+  EXPECT_DOUBLE_EQ(solo.top_time_sink_us, 1000.0);
+}
+
+TEST(Profiler, OverlappingThreadsBucketsPartitionWall) {
+  // Three threads with overlapping, gapped, and nested spans; the
+  // bucket-partition identity must hold per worker regardless of shape.
+  std::vector<TraceEvent> events = {
+      span("a", "planner", 0, 0.0, 50.0),
+      span("a1", "evaluator", 0, 5.0, 20.0, 1),
+      span("b", "planner", 0, 60.0, 30.0),
+      span("r1", "evaluator", 1, 10.0, 60.0),
+      span("w", "wait.lock", 1, 20.0, 20.0, 1),
+      span("r2", "io.db", 2, 30.0, 50.0),
+  };
+  const ProfileReport report = Profiler(std::move(events)).analyze();
+
+  ASSERT_EQ(report.workers.size(), 3u);
+  for (const WorkerProfile& worker : report.workers) {
+    double total = 0.0;
+    for (const double b : worker.bucket_us) total += b;
+    EXPECT_NEAR(total, worker.wall_us, 1e-9)
+        << "partition broken on t" << worker.thread_id;
+  }
+  EXPECT_DOUBLE_EQ(bucket(report.workers[0], TimeBucket::kIdle), 10.0);
+  EXPECT_DOUBLE_EQ(bucket(report.workers[1], TimeBucket::kLockWait), 20.0);
+  EXPECT_DOUBLE_EQ(bucket(report.workers[2], TimeBucket::kDbIo), 50.0);
+
+  // Longest root is r1 on t1 (60us); r2/b spill past its end, so the path
+  // stays on-thread: r1 -> w, lead-in 10, 30+20+10 == 60.
+  EXPECT_EQ(report.root_name, "r1");
+  EXPECT_DOUBLE_EQ(report.makespan_us, 60.0);
+  EXPECT_DOUBLE_EQ(report.critical_path_us, 60.0);
+}
+
+TEST(Profiler, FoldedStacksRoundTrip) {
+  const ProfileReport report = Profiler(nested_trace()).analyze();
+
+  // The aggregated folded vector carries exact self times...
+  std::map<std::string, double> expected = {
+      {"t0;phase", 50.0},
+      {"t0;phase;compute", 20.0},
+      {"t0;phase;compute;inner", 10.0},
+      {"t0;phase;wait", 20.0},
+  };
+  ASSERT_EQ(report.folded.size(), expected.size());
+  for (const FoldedStack& line : report.folded) {
+    ASSERT_TRUE(expected.count(line.stack)) << line.stack;
+    EXPECT_DOUBLE_EQ(line.self_us, expected[line.stack]) << line.stack;
+  }
+  // ...sorted heaviest-first.
+  EXPECT_EQ(report.folded.front().stack, "t0;phase");
+
+  // ...and the flamegraph.pl text round-trips to the same map.
+  std::map<std::string, double> parsed;
+  std::istringstream text(report.to_folded());
+  std::string line;
+  while (std::getline(text, line)) {
+    const std::size_t split = line.rfind(' ');
+    ASSERT_NE(split, std::string::npos) << line;
+    parsed[line.substr(0, split)] = std::stod(line.substr(split + 1));
+  }
+  EXPECT_EQ(parsed.size(), expected.size());
+  for (const auto& [stack, self_us] : expected) {
+    EXPECT_DOUBLE_EQ(parsed[stack], self_us) << stack;
+  }
+}
+
+TEST(Profiler, ReportSerializesAndStampsMetadata) {
+  const ProfileReport report = Profiler(nested_trace()).analyze();
+  const std::string json = report.to_json().dump();
+  for (const char* key :
+       {"\"meta\"", "\"timestamp_utc\"", "\"git_sha\"", "\"workers\"",
+        "\"phases\"", "\"critical_path\"", "\"folded\"", "\"makespan_us\"",
+        "\"top_time_sink\"", "\"bucket_us\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("worker time attribution"), std::string::npos);
+  EXPECT_NE(table.find("phase utilization"), std::string::npos);
+  EXPECT_NE(table.find("critical path"), std::string::npos);
+  EXPECT_NE(table.find("top time sink"), std::string::npos);
+}
+
+TEST(Profiler, EmptyAndInstantOnlyStreamsAreHarmless) {
+  const ProfileReport empty = Profiler({}).analyze();
+  EXPECT_TRUE(empty.workers.empty());
+  EXPECT_TRUE(empty.critical_path.empty());
+  EXPECT_EQ(empty.event_count, 0u);
+  EXPECT_DOUBLE_EQ(empty.makespan_us, 0.0);
+
+  TraceEvent instant;
+  instant.name = "marker";
+  instant.category = "planner";
+  instant.phase = 'i';
+  const ProfileReport instants = Profiler({instant}).analyze();
+  EXPECT_TRUE(instants.workers.empty());
+  EXPECT_EQ(instants.event_count, 0u);
+}
+
+TEST(Profiler, UnsortedInputIsResorted) {
+  // Hand the events over in scrambled order: the constructor's
+  // (ts, dur desc, depth) sort must restore parents-before-children.
+  std::vector<TraceEvent> events = nested_trace();
+  std::swap(events[0], events[3]);
+  std::swap(events[1], events[2]);
+  const ProfileReport report = Profiler(std::move(events)).analyze();
+  ASSERT_EQ(report.workers.size(), 1u);
+  EXPECT_DOUBLE_EQ(bucket(report.workers[0], TimeBucket::kCompute), 70.0);
+  EXPECT_DOUBLE_EQ(bucket(report.workers[0], TimeBucket::kDbIo), 10.0);
+  EXPECT_EQ(report.root_name, "phase");
+}
+
+TEST(Profiler, RunMetadataHasProvenanceFields) {
+  const std::string meta = run_metadata_json().dump();
+  for (const char* key : {"\"timestamp_utc\"", "\"hardware_threads\"",
+                          "\"build_type\"", "\"git_sha\""}) {
+    EXPECT_NE(meta.find(key), std::string::npos) << key;
+  }
+  // ISO-8601 UTC: ...T...Z.
+  EXPECT_NE(meta.find("Z\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magus::obs

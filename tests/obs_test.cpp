@@ -299,6 +299,56 @@ TEST(Metrics, QuantileOverflowBucketReportsLastEdge) {
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
 }
 
+// Pins the overflow contract: a quantile that lands in the unbounded
+// overflow bucket is the last finite edge reported as a *saturated lower
+// bound* — never an interpolated midpoint — and the display form carries
+// a "+" marker so nobody reads it as a point estimate.
+TEST(Metrics, QuantileOverflowSaturationIsMarked) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("h", std::vector<double>{10.0, 20.0});
+  hist.observe(5.0);     // (0, 10]
+  hist.observe(15.0);    // (10, 20]
+  hist.observe(1000.0);  // overflow
+  hist.observe(2000.0);  // overflow
+  const HistogramSnapshot h =
+      registry.snapshot().histograms.front().second;
+
+  const auto p25 = h.quantile_with_overflow(0.25);
+  EXPECT_FALSE(p25.saturated);
+  EXPECT_LE(p25.value, 10.0);
+
+  // p99 falls in the overflow bucket: value clamps to the last edge (not
+  // some midpoint above it) and is flagged saturated.
+  const auto p99 = h.quantile_with_overflow(0.99);
+  EXPECT_TRUE(p99.saturated);
+  EXPECT_DOUBLE_EQ(p99.value, 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 20.0);
+
+  EXPECT_EQ(h.quantile_label(0.99), "20.000+");
+  EXPECT_EQ(h.quantile_label(0.25).find('+'), std::string::npos);
+
+  // The saturation flag round-trips into the JSON artifact.
+  MetricsRegistry flagged;
+  flagged.histogram("sat", std::vector<double>{1.0}).observe(9.0);
+  const std::string json = flagged.snapshot().to_json().dump();
+  EXPECT_NE(json.find("\"p99_saturated\": true"), std::string::npos);
+
+  // And into the table.
+  const std::string table = flagged.snapshot().to_table();
+  EXPECT_NE(table.find("1.000+"), std::string::npos);
+}
+
+TEST(Metrics, SnapshotJsonCarriesRunMetadata) {
+  MetricsRegistry registry;
+  registry.counter("c").add(1);
+  const std::string json = registry.snapshot().to_json().dump();
+  EXPECT_NE(json.find("\"meta\""), std::string::npos);
+  EXPECT_NE(json.find("\"timestamp_utc\""), std::string::npos);
+  EXPECT_NE(json.find("\"hardware_threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\""), std::string::npos);
+}
+
 TEST(Metrics, EmptyHistogramQuantileIsZero) {
   HistogramSnapshot h;
   h.bounds = {1.0, 2.0};
