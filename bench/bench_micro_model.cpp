@@ -12,6 +12,9 @@
 //                 throughput (evaluations/sec, wall time, speedup vs 1
 //                 thread) plus the index-vs-legacy speedups on the
 //                 demotion/rebuild workload to PATH
+//   --scaling     add a thread-scaling sweep to the --json artifact: the
+//                 batch-scoring pass at 1/2/4/8 workers, one keyed row
+//                 each under "scaling" (t1/t2/t4/t8)
 //   --metrics PATH  write the metrics-registry snapshot (JSON) to PATH
 //   --trace PATH    record spans and write a Chrome trace-event file
 #include <benchmark/benchmark.h>
@@ -32,6 +35,7 @@
 #include "obs/profiler.h"
 #include "obs/session.h"
 #include "util/json.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -40,6 +44,7 @@ using namespace magus;
 
 std::size_t g_threads = 1;  ///< --threads (resolved)
 bool g_use_index = true;    ///< --no-index flips this off
+bool g_scaling = false;     ///< --scaling adds the thread sweep to --json
 
 [[nodiscard]] std::size_t micro_threads() { return g_threads; }
 
@@ -306,6 +311,7 @@ void write_json_summary(const std::string& path) {
 
   util::JsonObject summary;
   summary.set("meta", obs::run_metadata_json())
+      .set("simd", util::simd::kBackendName)
       .set("bench", "bench_micro_model")
       .set("batch_size", static_cast<std::int64_t>(batch.size()))
       .set("rounds", static_cast<std::int64_t>(kRounds))
@@ -325,6 +331,29 @@ void write_json_summary(const std::string& path) {
       .set("rebuild_ms_legacy", 1e3 * rebuild_legacy_s / kModelRounds)
       .set("rebuild_ms_index", 1e3 * rebuild_index_s / kModelRounds)
       .set("rebuild_speedup", rebuild_legacy_s / rebuild_index_s);
+
+  if (g_scaling) {
+    // Thread-scaling sweep: the same batch-scoring pass at 1/2/4/8
+    // requested workers, keyed "t<requested>" (the regression gate
+    // addresses nested keys by path, so rows are an object, not an
+    // array). Each row reports the worker count the evaluator actually
+    // resolved — on small machines t8 may run with fewer.
+    util::JsonObject scaling;
+    double base_s = 0.0;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      std::size_t workers = 0;
+      const double wall = timed_run(threads, workers);
+      if (threads == 1) base_s = wall;
+      util::JsonObject row;
+      row.set("threads", static_cast<std::int64_t>(workers))
+          .set("wall_s", wall)
+          .set("evals_per_sec", evals / wall)
+          .set("speedup_vs_1_thread", base_s / wall);
+      scaling.set("t" + std::to_string(threads), std::move(row));
+    }
+    summary.set("scaling", std::move(scaling));
+  }
+
   summary.write_file(path);
   std::cout << "wrote " << path << '\n';
 }
@@ -349,6 +378,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--no-index") == 0) {
       g_use_index = false;
+    } else if (std::strcmp(argv[i], "--scaling") == 0) {
+      g_scaling = true;
     } else if (const char* v = take_value("--threads")) {
       g_threads = util::resolve_thread_count(
           static_cast<std::size_t>(std::max(0L, std::strtol(v, nullptr, 10))));

@@ -49,8 +49,8 @@ if (( check )); then
   echo "== check mode: fresh artifacts in $out_dir, diffed against ./BENCH_*.json =="
 fi
 
-echo "== micro-model kernels (index + legacy, one artifact) =="
-"$BUILD_DIR/bench/bench_micro_model" --threads 8 \
+echo "== micro-model kernels (index + legacy + thread scaling, one artifact) =="
+"$BUILD_DIR/bench/bench_micro_model" --threads 8 --scaling \
   --benchmark_filter='BM_DemotionRebuild|BM_FullRebuild|BM_UtilityEvaluation' \
   --json "$out_dir/BENCH_model.json"
 
@@ -86,8 +86,12 @@ echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.jso
 python3 - <<'PY' 2>/dev/null || true
 import json
 m = json.load(open('BENCH_model.json'))
+print(f"simd backend: {m.get('simd', 'unknown')}")
 print(f"parallel pass threads: {m['threads']} "
       f"(speedup vs 1 thread: {m['speedup_vs_1_thread']:.2f}x)")
+for key, row in sorted(m.get('scaling', {}).items()):
+    print(f"  scaling {key}: {row['evals_per_sec']:.1f} evals/s "
+          f"({row['speedup_vs_1_thread']:.2f}x)")
 print(f"demotion speedup (index vs legacy): {m['demotion_speedup']:.2f}x")
 print(f"rebuild  speedup (index vs legacy): {m['rebuild_speedup']:.2f}x")
 print(f"index bytes: {m['index_bytes']}")

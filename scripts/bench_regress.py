@@ -38,6 +38,10 @@ CLOSE_REL = 1e-9
 # rule is a kind string, or (kind, ratio) to override the default band.
 SPECS = {
     "BENCH_model.json": {
+        # The SIMD backend is part of the baseline's identity: comparing a
+        # scalar run against an AVX2 baseline (or vice versa) would turn
+        # real codegen differences into phantom regressions.
+        "simd": "eq",
         "batch_size": "eq",
         "rounds": "eq",
         "threads": "eq",
@@ -55,6 +59,20 @@ SPECS = {
         "rebuild_ms_legacy": "time",
         "rebuild_ms_index": "time",
         "rebuild_speedup": "rate",
+        # --scaling sweep (keyed rows, not an array: lookup() is path
+        # based). Worker counts are deterministic; walls/rates get the
+        # usual noise bands. t8 speedup is not gated — on a single-core
+        # CI box oversubscription keeps it near 1.0 by design.
+        "scaling/t1/threads": "eq",
+        "scaling/t1/wall_s": "time",
+        "scaling/t1/evals_per_sec": "rate",
+        "scaling/t2/wall_s": "time",
+        "scaling/t2/evals_per_sec": "rate",
+        "scaling/t4/wall_s": "time",
+        "scaling/t4/evals_per_sec": "rate",
+        "scaling/t8/threads": "eq",
+        "scaling/t8/wall_s": "time",
+        "scaling/t8/evals_per_sec": "rate",
     },
     "BENCH_fig12_index.json": {
         "candidate_evaluations": "eq",
@@ -226,6 +244,7 @@ def run_self_test():
     baseline = {
         "BENCH_model.json": {
             "meta": {"git_sha": "abc"},
+            "simd": "avx2",
             "batch_size": 60, "rounds": 20, "threads": 8,
             "threads_serial_pass": 1, "use_coverage_index": True,
             "index_bytes": 1000, "wall_s_1_thread": 1.0, "wall_s": 0.5,
@@ -234,6 +253,14 @@ def run_self_test():
             "demotion_ms_index": 0.2, "demotion_speedup": 5.0,
             "rebuild_ms_legacy": 2.0, "rebuild_ms_index": 1.9,
             "rebuild_speedup": 1.05,
+            "scaling": {
+                "t1": {"threads": 1, "wall_s": 1.0,
+                       "evals_per_sec": 100.0,
+                       "speedup_vs_1_thread": 1.0},
+                "t8": {"threads": 8, "wall_s": 0.5,
+                       "evals_per_sec": 200.0,
+                       "speedup_vs_1_thread": 2.0},
+            },
         },
         "BENCH_pathloss.json": {
             "sectors": 9, "tilts": 5, "matrices": 45, "grid_cells": 100,
@@ -275,6 +302,8 @@ def run_self_test():
         regressed = copy.deepcopy(baseline)
         regressed["BENCH_model.json"]["wall_s"] = 5.0          # 10x slower
         regressed["BENCH_model.json"]["demotion_speedup"] = 1.0  # collapsed
+        regressed["BENCH_model.json"]["simd"] = "scalar"  # backend mismatch
+        regressed["BENCH_model.json"]["scaling"]["t1"]["wall_s"] = 9.0
         regressed["BENCH_pathloss.json"]["files_identical"] = False
         regressed["BENCH_pathloss.json"]["matrices"] = 44
         for name, doc in regressed.items():

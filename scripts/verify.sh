@@ -4,6 +4,8 @@
 # profiler attribution smoke (--profile report invariants), the bench
 # regression gate (bench_regress.py self-test, plus a full re-run diffed
 # against the committed BENCH_*.json baselines in the non-fast pass), the
+# SIMD matrix leg (a MAGUS_SIMD=OFF build running the same suite on the
+# scalar backend — the bit-identity contract's other lane width), the
 # same test suite under ASan+UBSan (the Sanitize build type / "sanitize"
 # CMake preset), and the thread-pool / parallel-evaluation tests under
 # ThreadSanitizer (the Tsan build type / "tsan" preset; TSan cannot be
@@ -165,6 +167,16 @@ fi
 
 echo "==> Bench regression check against committed baselines"
 scripts/bench_baseline.sh --check build
+
+echo "==> SIMD matrix: MAGUS_SIMD=OFF build + tests (scalar backend)"
+# The SIMD layer promises bitwise-identical results at every lane width.
+# One leg of that promise is checked here: the whole suite (identity tests
+# included) must pass with the vector backends compiled out. The other leg
+# — the best native backend — is the regular build above; the sanitizer
+# pass below re-runs the identity tests under ASan+UBSan on that backend.
+cmake -B build-simd-off -S . -DMAGUS_SIMD=OFF >/dev/null
+cmake --build build-simd-off -j "$jobs"
+ctest --test-dir build-simd-off --output-on-failure -j "$jobs" -LE slow
 
 echo "==> Sanitizer build + tests (ASan + UBSan)"
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize >/dev/null

@@ -101,12 +101,19 @@ CoverageIndex CoverageIndex::build(const net::Network& network,
   // first time and records its slot in entry_at so later tilt planes
   // write their gain into the same column.
   index.entry_sector_.assign(total, net::kInvalidSector);
-  index.plane_gain_.assign(static_cast<std::size_t>(planes),
-                           std::vector<float>());
-  for (auto& plane : index.plane_gain_) plane.assign(total, quiet_nan());
-  index.plane_mw_.assign(static_cast<std::size_t>(planes),
-                         std::vector<float>());
-  for (auto& plane : index.plane_mw_) plane.assign(total, 0.0f);
+  // One flat slab per domain (dB / linear) so the SIMD sweeps can gather
+  // any plane entry with a single int32 index: plane p starts at
+  // p * plane_stride_. The int32 offset arithmetic needs the whole slab
+  // under 2^31 entries.
+  index.plane_stride_ = total;
+  const std::size_t slab_size = static_cast<std::size_t>(planes) * total;
+  if (slab_size > static_cast<std::size_t>(
+                      std::numeric_limits<std::int32_t>::max())) {
+    throw std::invalid_argument(
+        "CoverageIndex: plane slab exceeds int32 indexing");
+  }
+  index.slab_gain_.assign(slab_size, quiet_nan());
+  index.slab_mw_.assign(slab_size, 0.0f);
   index.sector_planes_.assign(sector_count, 0);
 
   std::vector<std::uint32_t> cursor(index.row_start_.begin(),
@@ -119,10 +126,10 @@ CoverageIndex CoverageIndex::build(const net::Network& network,
       const int p = tilt - global_lo;
       index.sector_planes_[static_cast<std::size_t>(sector.id)] |=
           std::uint64_t{1} << p;
-      std::vector<float>& plane =
-          index.plane_gain_[static_cast<std::size_t>(p)];
-      std::vector<float>& plane_mw =
-          index.plane_mw_[static_cast<std::size_t>(p)];
+      float* plane =
+          index.slab_gain_.data() + static_cast<std::size_t>(p) * total;
+      float* plane_mw =
+          index.slab_mw_.data() + static_cast<std::size_t>(p) * total;
       provider.footprint(sector.id, tilt)
           .for_each_covered_linear(
               [&](geo::GridIndex g, float gain, float linear) {
@@ -140,9 +147,12 @@ CoverageIndex CoverageIndex::build(const net::Network& network,
 
   index.plane_ptr_.resize(static_cast<std::size_t>(planes));
   index.plane_mw_ptr_.resize(static_cast<std::size_t>(planes));
-  for (std::size_t p = 0; p < index.plane_gain_.size(); ++p) {
-    index.plane_ptr_[p] = index.plane_gain_[p].data();
-    index.plane_mw_ptr_[p] = index.plane_mw_[p].data();
+  for (int p = 0; p < planes; ++p) {
+    const std::size_t off = static_cast<std::size_t>(p) * total;
+    index.plane_ptr_[static_cast<std::size_t>(p)] =
+        index.slab_gain_.data() + off;
+    index.plane_mw_ptr_[static_cast<std::size_t>(p)] =
+        index.slab_mw_.data() + off;
   }
 
   // Ranked layout: each row's entries reordered by descending bound (the
@@ -157,7 +167,8 @@ CoverageIndex CoverageIndex::build(const net::Network& network,
     std::vector<float> bound(total, -std::numeric_limits<float>::infinity());
     for (std::uint32_t e = 0; e < total; ++e) {
       for (int p = 0; p < planes; ++p) {
-        const float g = index.plane_gain_[static_cast<std::size_t>(p)][e];
+        const float g =
+            index.slab_gain_[static_cast<std::size_t>(p) * total + e];
         if (!std::isnan(g)) bound[e] = std::max(bound[e], g);
       }
     }
@@ -186,13 +197,9 @@ CoverageIndex CoverageIndex::build(const net::Network& network,
                  index.plane_mw_ptr_.capacity() * sizeof(const float*) +
                  index.ranked_sector_.capacity() * sizeof(std::int32_t) +
                  index.ranked_col_.capacity() * sizeof(std::uint32_t) +
-                 index.ranked_bound_.capacity() * sizeof(float);
-  for (const auto& plane : index.plane_gain_) {
-    index.bytes_ += plane.capacity() * sizeof(float);
-  }
-  for (const auto& plane : index.plane_mw_) {
-    index.bytes_ += plane.capacity() * sizeof(float);
-  }
+                 index.ranked_bound_.capacity() * sizeof(float) +
+                 index.slab_gain_.capacity() * sizeof(float) +
+                 index.slab_mw_.capacity() * sizeof(float);
 
   auto& registry = obs::MetricsRegistry::global();
   static obs::Counter& builds = registry.counter("model.index.builds");

@@ -130,6 +130,32 @@ class CoverageIndex {
     return plane_mw_ptr_[static_cast<std::size_t>(p)];
   }
 
+  /// The gain planes as one contiguous slab: plane p occupies
+  /// [p * plane_stride(), (p+1) * plane_stride()), indexed by global entry
+  /// offset within the plane. The SIMD sweeps gather from these with a
+  /// single int32 index (plane_slab_offset(sector, tilt) + entry), which is
+  /// why the planes are flattened instead of separately allocated.
+  [[nodiscard]] const float* slab_gains() const { return slab_gain_.data(); }
+  /// Linear twin of slab_gains (same layout, 10^(gain/10), 0 where NaN).
+  [[nodiscard]] const float* slab_linear() const { return slab_mw_.data(); }
+  [[nodiscard]] std::size_t plane_stride() const { return plane_stride_; }
+
+  /// Offset of (sector, tilt)'s plane into the slabs — add the global entry
+  /// offset to index slab_gains()/slab_linear() — or -1 when that
+  /// combination is not indexed. Fits int32 by construction (build()
+  /// rejects slabs past 2^31 entries).
+  [[nodiscard]] std::int32_t plane_slab_offset(net::SectorId sector,
+                                               int tilt) const {
+    const int p = tilt - tilt_lo_;
+    if (p < 0 || p >= plane_count() ||
+        ((sector_planes_[static_cast<std::size_t>(sector)] >> p) & 1u) ==
+            0) {
+      return -1;
+    }
+    return static_cast<std::int32_t>(static_cast<std::size_t>(p) *
+                                     plane_stride_);
+  }
+
   /// The cover span of one cell reordered by descending gain bound: entry
   /// k's bound is the sector's strongest gain at this cell across its
   /// built planes, so power_cap + bounds[k] bounds every received power
@@ -152,6 +178,25 @@ class CoverageIndex {
             ranked_bound_.data() + first, row_start_[i + 1] - first};
   }
 
+  /// Raw CSR / ranked arrays for the SIMD sweeps' gathers. All row offsets
+  /// and entry counts fit int32 (the slab guard bounds total entries), so
+  /// the uint32 arrays may be reinterpreted as int32 lanes.
+  [[nodiscard]] const std::uint32_t* row_starts() const {
+    return row_start_.data();
+  }
+  [[nodiscard]] const std::int32_t* entry_sectors() const {
+    return entry_sector_.data();
+  }
+  [[nodiscard]] const std::int32_t* ranked_sectors() const {
+    return ranked_sector_.data();
+  }
+  [[nodiscard]] const std::uint32_t* ranked_cols() const {
+    return ranked_col_.data();
+  }
+  [[nodiscard]] const float* ranked_bounds() const {
+    return ranked_bound_.data();
+  }
+
   /// Heap bytes held by the index (reported as the model.index.bytes
   /// gauge and by MarketContext::index_bytes()).
   [[nodiscard]] std::size_t index_bytes() const { return bytes_; }
@@ -161,10 +206,11 @@ class CoverageIndex {
 
   std::vector<std::uint32_t> row_start_;    ///< cells + 1
   std::vector<std::int32_t> entry_sector_;  ///< ascending per row
-  std::vector<std::vector<float>> plane_gain_;  ///< [plane][entry], dB
-  std::vector<std::vector<float>> plane_mw_;  ///< [plane][entry], linear
-  std::vector<const float*> plane_ptr_;     ///< dB plane data
-  std::vector<const float*> plane_mw_ptr_;  ///< linear plane data
+  std::vector<float> slab_gain_;  ///< [plane * stride + entry], dB
+  std::vector<float> slab_mw_;    ///< [plane * stride + entry], linear
+  std::size_t plane_stride_ = 0;  ///< entries per plane (== entry_count())
+  std::vector<const float*> plane_ptr_;     ///< dB plane data (into slab)
+  std::vector<const float*> plane_mw_ptr_;  ///< linear plane data (into slab)
   std::vector<std::uint64_t> sector_planes_;  ///< built-plane bitmask
   // Ranked layout (see ranked_row): per-row permutation of the CSR span by
   // descending max-plane gain, sector id ascending on ties.

@@ -9,8 +9,10 @@
 #include "lte/bandwidth.h"
 #include "model/coverage_index.h"
 #include "model/kernels.h"
+#include "model/simd_sweeps.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 #include "util/units.h"
 
 namespace magus::model {
@@ -34,6 +36,9 @@ EvalContext::EvalContext(const MarketContext* market) : market_(market) {
   // Exact-capacity reservation up front: every later reset() in a full
   // rebuild then reuses the same allocations.
   state_.reserve(static_cast<std::size_t>(market_->cell_count()));
+  obs::MetricsRegistry::global()
+      .gauge("model.kernel.simd_lanes")
+      .set(static_cast<double>(util::simd::kWidth));
   config_ = network().default_configuration();
   rebuild();
 }
@@ -64,13 +69,25 @@ void EvalContext::sync_index_bookkeeping() {
   const std::size_t sector_count = network().sector_count();
   active_plane_.assign(sector_count, nullptr);
   active_plane_mw_.assign(sector_count, nullptr);
-  sector_power_.resize(sector_count);
+  active_plane_off_.assign(sector_count, -1);
+  if (sector_power_.size() != sector_count) {
+    // NaN sentinel compares unequal to every real power, forcing the first
+    // plin fill below.
+    sector_power_.assign(sector_count,
+                         std::numeric_limits<double>::quiet_NaN());
+    sector_plin_.assign(sector_count, 0.0);
+  }
   double cap = -std::numeric_limits<double>::infinity();
   int off = 0;
   for (const auto& sector : network().sectors()) {
     const auto& setting = config_[sector.id];
     const auto s = static_cast<std::size_t>(sector.id);
-    sector_power_[s] = setting.power_dbm;
+    if (sector_power_[s] != setting.power_dbm) {
+      // Lazy pow: restore()/set_tilt() resync every mutation, but a
+      // sector's power rarely changes between syncs.
+      sector_power_[s] = setting.power_dbm;
+      sector_plin_[s] = util::dbm_to_mw(setting.power_dbm);
+    }
     if (!setting.active) continue;
     const float* gains = index_->plane_gains(sector.id, setting.tilt);
     if (gains == nullptr) {
@@ -78,6 +95,8 @@ void EvalContext::sync_index_bookkeeping() {
     } else {
       active_plane_[s] = gains;
       active_plane_mw_[s] = index_->plane_linear(sector.id, setting.tilt);
+      active_plane_off_[s] =
+          index_->plane_slab_offset(sector.id, setting.tilt);
       cap = std::max(cap, setting.power_dbm);
     }
   }
@@ -138,29 +157,92 @@ void EvalContext::rebuild() {
 }
 
 void EvalContext::rebuild_index_sweep() {
-  // Grid-major CSR sweep: one pass over the cells, each accumulating its
-  // total and top-2 from its contiguous cover span. Entries come out in
-  // ascending sector-id order — the same per-cell visit order as the
-  // sector-major add_contribution loop — so both the float top-2 stream
-  // and the double total_mw accumulation are bit-identical to the legacy
-  // path.
+  // Grid-major CSR sweep, vectorized across cells: lane j accumulates cell
+  // g+j's total and top-2 from its contiguous cover span via masked
+  // gathers. Entries come out in ascending sector-id order — the same
+  // per-cell visit order as the sector-major add_contribution loop — and
+  // each lane runs exactly the scalar per-cell operation sequence, so both
+  // the float top-2 stream and the double total_mw accumulation are
+  // bit-identical to the legacy path at every lane width (DESIGN.md §15).
   // rebuild() ran sync_index_bookkeeping just before dispatching here, so
-  // the per-sector mirrors are current. The 10^(P/10) factors are hoisted
-  // here rather than mirrored: only this sweep needs them all, and one
-  // pow per sector per full rebuild matches the legacy path's cost.
-  const std::size_t sector_count = network().sector_count();
-  std::vector<double> plin_store(sector_count, 0.0);
-  for (std::size_t s = 0; s < sector_count; ++s) {
-    if (active_plane_[s] != nullptr) {
-      plin_store[s] = util::dbm_to_mw(sector_power_[s]);
+  // the per-sector mirrors (power, 10^(P/10), slab offsets) are current.
+  namespace vx = util::simd;
+  constexpr std::int32_t K = vx::kWidth;
+  const auto* row_start =
+      reinterpret_cast<const std::int32_t*>(index_->row_starts());
+  const std::int32_t* entry_sector = index_->entry_sectors();
+  const float* slab_gain = index_->slab_gains();
+  const float* slab_lin = index_->slab_linear();
+  const std::int32_t* poff = active_plane_off_.data();
+  const double* power = sector_power_.data();
+  const double* plin = sector_plin_.data();
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  const std::int32_t cells = cell_count();
+  const sweeps::StateView v = sweeps::view_of(state_);
+  geo::GridIndex g = 0;
+  for (; g + K <= cells; g += K) {
+    const vx::vint vfirst = vx::loadu_i(row_start + g);
+    const vx::vint vnext = vx::loadu_i(row_start + g + 1);
+    const vx::vint vsize = vx::sub_i(vnext, vfirst);
+    std::int32_t max_size = 0;
+    for (std::int32_t j = 0; j < K; ++j) {
+      max_size = std::max(max_size, vx::extract_i(vsize, j));
     }
+    vx::vdouble total = vx::set1_d(0.0);
+    vx::vint bid = vx::set1_i(net::kInvalidSector);
+    vx::vfloat brp = vx::set1_f(kNoSignalDbm);
+    vx::vdouble bmw = vx::set1_d(0.0);
+    vx::vint sid = vx::set1_i(net::kInvalidSector);
+    vx::vfloat srp = vx::set1_f(kNoSignalDbm);
+    for (std::int32_t k = 0; k < max_size; ++k) {
+      const vx::fmask in_row = vx::cmp_gt_i(vsize, vx::set1_i(k));
+      const vx::vint e = vx::add_i(vfirst, vx::set1_i(k));
+      const vx::vint s = vx::gather_i(entry_sector, e, in_row, 0);
+      const vx::vint off = vx::gather_i(poff, s, in_row, -1);
+      // "has" folds row membership, sector activity and tilt-plane
+      // presence into one mask (the scalar gains == nullptr branch); NaN
+      // gains (covered at another indexed tilt only) fall out
+      // arithmetically below, like the scalar isnan continue.
+      const vx::fmask has =
+          vx::m_and(in_row, vx::cmp_gt_i(off, vx::set1_i(-1)));
+      const vx::vint sl = vx::add_i(off, e);
+      const vx::vfloat gain = vx::gather_f(slab_gain, sl, has, qnan);
+      const vx::vdouble pw = vx::gather_d(power, s, vx::widen(has), 0.0);
+      const vx::vfloat rp =
+          vx::to_float(vx::add_d(pw, vx::to_double(gain)));
+      // Skipped lanes contribute exactly +0.0 mW (linear gathers fill 0,
+      // and the slab stores 0 where the dB plane is NaN) and a NaN rp
+      // loses every ordered compare, so the accumulation and the top-2
+      // blends run maskless.
+      const vx::vdouble mw =
+          vx::mul_d(vx::gather_d(plin, s, vx::widen(has), 0.0),
+                    vx::to_double(vx::gather_f(slab_lin, sl, has, 0.0f)));
+      total = vx::add_d(total, mw);
+      const vx::fmask bb =
+          vx::m_or(vx::cmp_gt_f(rp, brp),
+                   vx::m_and(vx::cmp_eq_f(rp, brp), vx::cmp_gt_i(bid, s)));
+      const vx::fmask bs = vx::m_and(
+          vx::m_not(bb),
+          vx::m_or(vx::cmp_gt_f(rp, srp),
+                   vx::m_and(vx::cmp_eq_f(rp, srp), vx::cmp_gt_i(sid, s))));
+      sid = vx::blend_i(bb, bid, vx::blend_i(bs, s, sid));
+      srp = vx::blend_f(bb, brp, vx::blend_f(bs, rp, srp));
+      bid = vx::blend_i(bb, s, bid);
+      brp = vx::blend_f(bb, rp, brp);
+      bmw = vx::blend_d(vx::widen(bb), mw, bmw);
+    }
+    const auto i = static_cast<std::size_t>(g);
+    vx::storeu_d(v.total_mw + i, total);
+    vx::storeu_i(v.best + i, bid);
+    vx::storeu_f(v.best_rp_dbm + i, brp);
+    vx::storeu_d(v.best_mw + i, bmw);
+    vx::storeu_i(v.second + i, sid);
+    vx::storeu_f(v.second_rp_dbm + i, srp);
   }
+  // Scalar tail: the legacy per-cell loop over the remaining < K cells.
   const float* const* plane = active_plane_.data();
   const float* const* plane_mw = active_plane_mw_.data();
-  const double* power = sector_power_.data();
-  const double* plin = plin_store.data();
-  const std::int32_t cells = cell_count();
-  for (geo::GridIndex g = 0; g < cells; ++g) {
+  for (; g < cells; ++g) {
     const CoverageIndex::Row row = index_->row(g);
     double total = 0.0;
     net::SectorId best = net::kInvalidSector;
@@ -224,16 +306,25 @@ void EvalContext::add_contribution(
   // One hoisted dBm->mW conversion per sweep: cell contribution in mW is
   // 10^(P/10) * 10^(gain/10), with the second factor precomputed in the
   // footprint's linear window. remove_contribution and the index sweep
-  // form the identical product, so contributions cancel exactly.
+  // form the identical product, so contributions cancel exactly. The
+  // per-cell work runs in the SIMD row sweep — bit-identical to the old
+  // for_each_covered_linear loop (see simd_sweeps.h).
   const double p_lin = util::dbm_to_mw(power_dbm);
-  footprint.for_each_covered_linear(
-      [&](geo::GridIndex g, float gain, float linear) {
-        const auto i = static_cast<std::size_t>(g);
-        const auto rp = static_cast<float>(power_dbm + gain);
-        const double mw = p_lin * static_cast<double>(linear);
-        state_.total_mw[i] += mw;
-        offer_candidate(g, sector, rp, mw);
-      });
+  const sweeps::StateView view = sweeps::view_of(state_);
+  static obs::Counter& cells_swept =
+      obs::MetricsRegistry::global().counter("model.kernel.add_cells");
+  std::size_t swept = 0;
+  for (std::int32_t r = 0; r < footprint.window_rows(); ++r) {
+    const std::span<const float> line = footprint.window_row(r);
+    const std::span<const float> lin = footprint.linear_row(r);
+    sweeps::add_row(view,
+                    static_cast<std::size_t>(footprint.row_first_cell(r)),
+                    line.data(), lin.data(),
+                    static_cast<std::int32_t>(line.size()), sector,
+                    power_dbm, p_lin);
+    swept += line.size();
+  }
+  cells_swept.add(swept);
   invalidate_loads();
 }
 
@@ -241,15 +332,34 @@ void EvalContext::remove_contribution(
     net::SectorId sector, const pathloss::SectorFootprint& footprint,
     double power_dbm) {
   const double p_lin = util::dbm_to_mw(power_dbm);
-  footprint.for_each_covered_linear(
-      [&](geo::GridIndex g, float /*gain*/, float linear) {
-        const auto i = static_cast<std::size_t>(g);
-        state_.total_mw[i] = std::max(
-            0.0, state_.total_mw[i] - p_lin * static_cast<double>(linear));
-        if (state_.best[i] == sector || state_.second[i] == sector) {
-          recompute_top2(g);
-        }
-      });
+  const sweeps::StateView view = sweeps::view_of(state_);
+  static obs::Counter& cells_swept =
+      obs::MetricsRegistry::global().counter("model.kernel.remove_cells");
+  std::vector<geo::GridIndex>& demoted = recompute_scratch_;
+  demoted.clear();
+  std::size_t swept = 0;
+  for (std::int32_t r = 0; r < footprint.window_rows(); ++r) {
+    const std::span<const float> line = footprint.window_row(r);
+    const std::span<const float> lin = footprint.linear_row(r);
+    const geo::GridIndex first = footprint.row_first_cell(r);
+    sweeps::remove_row(view, static_cast<std::size_t>(first), line.data(),
+                       lin.data(), static_cast<std::int32_t>(line.size()),
+                       sector, p_lin, first, demoted);
+    swept += line.size();
+  }
+  cells_swept.add(swept);
+  // Re-rank the demoted cells after the sweep. Deferring is
+  // order-equivalent to the interleaved scalar loop: recompute_top2 reads
+  // only immutable index/config data plus the cell's own state and writes
+  // only that cell's top-2 fields, and the sweep visits each cell once.
+  static obs::Counter& recomputes =
+      obs::MetricsRegistry::global().counter("model.kernel.recompute_cells");
+  recomputes.add(demoted.size());
+  if (index_ != nullptr && off_index_active_ == 0) {
+    recompute_top2_batch(demoted);
+  } else {
+    for (const geo::GridIndex g : demoted) recompute_top2(g);
+  }
   invalidate_loads();
 }
 
@@ -340,8 +450,11 @@ void EvalContext::recompute_top2(geo::GridIndex g) {
   double best_mw = 0.0;
   if (best != net::kInvalidSector) {
     const auto b = static_cast<std::size_t>(best);
-    const double p_lin = util::dbm_to_mw(
-        index_ != nullptr ? sector_power_[b] : config_[best].power_dbm);
+    // sector_plin_ caches exactly dbm_to_mw(sector_power_[b]), so reading
+    // the mirror instead of re-running pow keeps the product bit-equal.
+    const double p_lin = index_ != nullptr
+                             ? sector_plin_[b]
+                             : util::dbm_to_mw(config_[best].power_dbm);
     const double lin =
         best_col != kFootprintCol
             ? static_cast<double>(
@@ -354,6 +467,100 @@ void EvalContext::recompute_top2(geo::GridIndex g) {
   state_.best_mw[i] = best_mw;
   state_.second[i] = second;
   state_.second_rp_dbm[i] = second_rp;
+}
+
+void EvalContext::recompute_top2_batch(
+    const std::vector<geo::GridIndex>& cells) {
+  // Vector twin of recompute_top2's ranked scan: lane j re-ranks
+  // cells[idx + j]. The early exit stays exact per lane — bounds descend
+  // within a row and the runner-up only strengthens, so
+  // float(cap + bound) < second_rp is monotone in k and the live mask
+  // recomputed each step never readmits an exited lane. Callers guarantee
+  // the pure index fast path (index_ bound, off_index_active_ == 0), so
+  // the footprint fallback pass never applies here.
+  namespace vx = util::simd;
+  constexpr std::int32_t K = vx::kWidth;
+  const auto m = static_cast<std::int32_t>(cells.size());
+  const auto* row_start =
+      reinterpret_cast<const std::int32_t*>(index_->row_starts());
+  const std::int32_t* rsec = index_->ranked_sectors();
+  const auto* rcol =
+      reinterpret_cast<const std::int32_t*>(index_->ranked_cols());
+  const float* rbound = index_->ranked_bounds();
+  const float* slab_gain = index_->slab_gains();
+  const float* slab_lin = index_->slab_linear();
+  const std::int32_t* poff = active_plane_off_.data();
+  const double* power = sector_power_.data();
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  const vx::vdouble vcap = vx::set1_d(power_cap_);
+  std::int32_t idx = 0;
+  for (; idx + K <= m; idx += K) {
+    const vx::vint vg = vx::loadu_i(cells.data() + idx);
+    const vx::fmask all = vx::cmp_eq_i(vg, vg);
+    const vx::vint vfirst = vx::gather_i(row_start, vg, all, 0);
+    const vx::vint vnext =
+        vx::gather_i(row_start, vx::add_i(vg, vx::set1_i(1)), all, 0);
+    const vx::vint vsize = vx::sub_i(vnext, vfirst);
+    vx::vint bid = vx::set1_i(net::kInvalidSector);
+    vx::vfloat brp = vx::set1_f(kNoSignalDbm);
+    vx::vfloat blin = vx::set1_f(0.0f);
+    vx::vint sid = vx::set1_i(net::kInvalidSector);
+    vx::vfloat srp = vx::set1_f(kNoSignalDbm);
+    for (std::int32_t k = 0;; ++k) {
+      const vx::fmask in_row = vx::cmp_gt_i(vsize, vx::set1_i(k));
+      if (!vx::any(in_row)) break;
+      const vx::vint e = vx::add_i(vfirst, vx::set1_i(k));
+      const vx::vfloat bound = vx::gather_f(rbound, e, in_row, kNoSignalDbm);
+      const vx::vfloat capb =
+          vx::to_float(vx::add_d(vcap, vx::to_double(bound)));
+      const vx::fmask live =
+          vx::m_and(in_row, vx::m_not(vx::cmp_lt_f(capb, srp)));
+      if (!vx::any(live)) break;
+      const vx::vint s = vx::gather_i(rsec, e, live, 0);
+      const vx::vint col = vx::gather_i(rcol, e, live, 0);
+      const vx::vint off = vx::gather_i(poff, s, live, -1);
+      const vx::fmask has =
+          vx::m_and(live, vx::cmp_gt_i(off, vx::set1_i(-1)));
+      const vx::vint sl = vx::add_i(off, col);
+      const vx::vfloat gain = vx::gather_f(slab_gain, sl, has, qnan);
+      const vx::vdouble pw = vx::gather_d(power, s, vx::widen(has), 0.0);
+      const vx::vfloat rp =
+          vx::to_float(vx::add_d(pw, vx::to_double(gain)));
+      const vx::vfloat linf = vx::gather_f(slab_lin, sl, has, 0.0f);
+      const vx::fmask bb =
+          vx::m_or(vx::cmp_gt_f(rp, brp),
+                   vx::m_and(vx::cmp_eq_f(rp, brp), vx::cmp_gt_i(bid, s)));
+      const vx::fmask bs = vx::m_and(
+          vx::m_not(bb),
+          vx::m_or(vx::cmp_gt_f(rp, srp),
+                   vx::m_and(vx::cmp_eq_f(rp, srp), vx::cmp_gt_i(sid, s))));
+      sid = vx::blend_i(bb, bid, vx::blend_i(bs, s, sid));
+      srp = vx::blend_f(bb, brp, vx::blend_f(bs, rp, srp));
+      bid = vx::blend_i(bb, s, bid);
+      brp = vx::blend_f(bb, rp, brp);
+      blin = vx::blend_f(bb, linf, blin);
+    }
+    for (std::int32_t j = 0; j < K; ++j) {
+      const auto i = static_cast<std::size_t>(
+          cells[static_cast<std::size_t>(idx + j)]);
+      const net::SectorId b = vx::extract_i(bid, j);
+      // Re-form the winner's exact contribution from the plin mirror and
+      // the same slab float the accumulation used (see recompute_top2).
+      double best_mw = 0.0;
+      if (b != net::kInvalidSector) {
+        best_mw = sector_plin_[static_cast<std::size_t>(b)] *
+                  static_cast<double>(vx::extract_f(blin, j));
+      }
+      state_.best[i] = b;
+      state_.best_rp_dbm[i] = vx::extract_f(brp, j);
+      state_.best_mw[i] = best_mw;
+      state_.second[i] = vx::extract_i(sid, j);
+      state_.second_rp_dbm[i] = vx::extract_f(srp, j);
+    }
+  }
+  for (; idx < m; ++idx) {
+    recompute_top2(cells[static_cast<std::size_t>(idx)]);
+  }
 }
 
 void EvalContext::set_power(net::SectorId sector, double power_dbm) {
@@ -369,6 +576,7 @@ void EvalContext::set_power(net::SectorId sector, double power_dbm) {
     // ratchets up here — after a decrease it is conservatively stale-high
     // (fewer early exits, same results) until the next full sync.
     sector_power_[static_cast<std::size_t>(sector)] = clamped;
+    sector_plin_[static_cast<std::size_t>(sector)] = util::dbm_to_mw(clamped);
     power_cap_ = std::max(power_cap_, clamped);
   }
   if (!setting.active) return;  // config changed; no radio contribution

@@ -168,6 +168,10 @@ class EvalContext {
                            double power_dbm);
   /// Re-ranks the top-2 servers of one grid by scanning active sectors.
   void recompute_top2(geo::GridIndex g);
+  /// Vectorized recompute_top2 over a batch of cells (K lanes at a time);
+  /// requires the pure index fast path (index_ bound, off_index_active_
+  /// == 0). Bit-identical to calling recompute_top2 per cell.
+  void recompute_top2_batch(const std::vector<geo::GridIndex>& cells);
   /// Offers (sector, rp) as a candidate server for g; O(1) promotion.
   /// `mw` is the sector's exact mW contribution (the same 10^(P/10) *
   /// linear product added to total_mw) — stored as best_mw if the
@@ -206,7 +210,20 @@ class EvalContext {
   std::vector<const float*> active_plane_;
   std::vector<const float*> active_plane_mw_;
   std::vector<double> sector_power_;
+  /// dbm_to_mw(sector_power_[s]) cached per sector so the hot sweeps
+  /// multiply instead of calling pow. Refreshed lazily by
+  /// sync_index_bookkeeping (only for sectors whose mirrored power
+  /// changed) and by set_power; dbm_to_mw is deterministic, so the cached
+  /// product is bit-identical to recomputing it.
+  std::vector<double> sector_plin_;
+  /// Slab offset of s's active gain/linear plane
+  /// (CoverageIndex::plane_slab_offset), or -1 when active_plane_[s] is
+  /// nullptr — the int32 the SIMD sweeps gather instead of the pointer.
+  std::vector<std::int32_t> active_plane_off_;
   double power_cap_ = 0.0;
+  /// Reusable demoted-cell list for remove_contribution (avoids a heap
+  /// allocation per incremental mutation).
+  std::vector<geo::GridIndex> recompute_scratch_;
 
   mutable std::vector<double> sector_loads_;
   mutable bool loads_valid_ = false;

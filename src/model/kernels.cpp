@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "lte/amc.h"
+#include "util/simd.h"
 #include "util/units.h"
 
 namespace magus::model {
+
+namespace vx = util::simd;
 
 lte::Cqi cell_cqi(net::SectorId best, float best_rp_dbm, double best_mw,
                   double total_mw, double noise_mw,
@@ -22,6 +26,50 @@ lte::Cqi cell_cqi(net::SectorId best, float best_rp_dbm, double best_mw,
   return lte::sinr_to_cqi(sinr);
 }
 
+namespace {
+
+/// One K-lane chunk of per-cell CQI, bit-identical to cell_cqi per lane:
+/// the interference floor and SINR subtraction run in vector lanes (exactly
+/// rounded IEEE ops, so scalar-equal), the log10 inside mw_to_dbm stays in
+/// scalar libm (transcendentals are not lane-reproducible), and
+/// sinr_to_cqi's ascending-threshold loop becomes a count of thresholds
+/// <= sinr. Lanes with no server use db == 0.0, making sinr = rp - 0.0
+/// == rp bitwise (so -inf flows through below every threshold, like the
+/// scalar early-out).
+inline vx::vint cqi_chunk(const double* total_mw, const double* best_mw,
+                          const net::SectorId* best, const float* best_rp,
+                          std::size_t i, vx::vdouble vnoise,
+                          vx::vdouble vzero, vx::vdouble vmin) {
+  constexpr int K = vx::kWidth;
+  // denom = noise + max(0, total - best_mw); max_d's "b wins on equal"
+  // rule reproduces std::max(0.0, x) exactly (+0.0 for x == ±0.0).
+  const vx::vdouble denom = vx::add_d(
+      vnoise, vx::max_d(vx::sub_d(vx::loadu_d(total_mw + i),
+                                  vx::loadu_d(best_mw + i)),
+                        vzero));
+  double db[static_cast<std::size_t>(K)];
+  for (int j = 0; j < K; ++j) {
+    db[j] = best[i + static_cast<std::size_t>(j)] != net::kInvalidSector
+                ? util::mw_to_dbm(vx::extract_d(denom, j))
+                : 0.0;
+  }
+  const vx::vdouble sinr = vx::sub_d(
+      vx::to_double(vx::loadu_f(best_rp + i)), vx::loadu_d(db));
+  const auto& thresholds = lte::cqi_sinr_thresholds_db();
+  vx::vint cqi = vx::set1_i(0);
+  for (const double thr : thresholds) {
+    // Each satisfied (ascending) threshold contributes +1 — the count is
+    // exactly sinr_to_cqi's "last threshold <= sinr" index.
+    cqi = vx::sub_i(cqi, vx::mask_i(vx::narrow(
+                             vx::cmp_ge_d(sinr, vx::set1_d(thr)))));
+  }
+  // Below the service floor the scalar path returns 0 before the table.
+  return vx::blend_i(vx::narrow(vx::cmp_lt_d(sinr, vmin)), vx::set1_i(0),
+                     cqi);
+}
+
+}  // namespace
+
 void cqi_and_loads_kernel(const GridState& state,
                           std::span<const double> ue_density, double noise_mw,
                           double min_service_sinr_db,
@@ -33,7 +81,25 @@ void cqi_and_loads_kernel(const GridState& state,
   const net::SectorId* best = state.best.data();
   const float* best_rp = state.best_rp_dbm.data();
   const double* best_mw = state.best_mw.data();
-  for (std::size_t i = 0; i < cells; ++i) {
+  constexpr std::size_t K = vx::kWidth;
+  const vx::vdouble vnoise = vx::set1_d(noise_mw);
+  const vx::vdouble vzero = vx::set1_d(0.0);
+  const vx::vdouble vmin = vx::set1_d(min_service_sinr_db);
+  std::size_t i = 0;
+  for (; i + K <= cells; i += K) {
+    const vx::vint cqi = cqi_chunk(total_mw, best_mw, best, best_rp, i,
+                                   vnoise, vzero, vmin);
+    for (int j = 0; j < static_cast<int>(K); ++j) {
+      const std::size_t c = i + static_cast<std::size_t>(j);
+      const std::int32_t q = vx::extract_i(cqi, j);
+      cqi_out[c] = static_cast<std::int8_t>(q);
+      // Scatter-add stays scalar: two loads may hit the same sector.
+      if (q > 0 && ue_density[c] > 0.0) {
+        loads_out[static_cast<std::size_t>(best[c])] += ue_density[c];
+      }
+    }
+  }
+  for (; i < cells; ++i) {
     const lte::Cqi cqi = cell_cqi(best[i], best_rp[i], best_mw[i],
                                   total_mw[i], noise_mw,
                                   min_service_sinr_db);
@@ -53,10 +119,31 @@ void loads_kernel(const GridState& state, std::span<const double> ue_density,
   const net::SectorId* best = state.best.data();
   const float* best_rp = state.best_rp_dbm.data();
   const double* best_mw = state.best_mw.data();
-  for (std::size_t i = 0; i < cells; ++i) {
-    // Skipping no-UE cells first keeps the SINR math off empty territory;
-    // the load sum is unaffected (those cells contribute nothing either
-    // way), so this stays equivalent to the fused variant.
+  constexpr std::size_t K = vx::kWidth;
+  const vx::vdouble vnoise = vx::set1_d(noise_mw);
+  const vx::vdouble vzero = vx::set1_d(0.0);
+  const vx::vdouble vmin = vx::set1_d(min_service_sinr_db);
+  std::size_t i = 0;
+  for (; i + K <= cells; i += K) {
+    // Skipping no-UE / no-server chunks keeps the SINR math off empty
+    // territory; the load sum is unaffected (those cells contribute
+    // nothing either way), so this stays equivalent to the fused variant.
+    bool any = false;
+    for (std::size_t j = 0; j < K; ++j) {
+      any |= ue_density[i + j] > 0.0 && best[i + j] != net::kInvalidSector;
+    }
+    if (!any) continue;
+    const vx::vint cqi = cqi_chunk(total_mw, best_mw, best, best_rp, i,
+                                   vnoise, vzero, vmin);
+    for (int j = 0; j < static_cast<int>(K); ++j) {
+      const std::size_t c = i + static_cast<std::size_t>(j);
+      if (ue_density[c] > 0.0 && best[c] != net::kInvalidSector &&
+          vx::extract_i(cqi, j) > 0) {
+        loads_out[static_cast<std::size_t>(best[c])] += ue_density[c];
+      }
+    }
+  }
+  for (; i < cells; ++i) {
     if (ue_density[i] <= 0.0 || best[i] == net::kInvalidSector) continue;
     if (cell_cqi(best[i], best_rp[i], best_mw[i], total_mw[i], noise_mw,
                  min_service_sinr_db) > 0) {

@@ -1,0 +1,189 @@
+#include "model/simd_sweeps.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/simd.h"
+
+namespace magus::model::sweeps {
+
+namespace vx = util::simd;
+
+namespace {
+
+/// One cell of the add sweep — the exact legacy per-cell body
+/// (add_contribution + offer_candidate), shared by the reference loop and
+/// the vector sweep's tail.
+inline void add_cell(const StateView& v, std::size_t i, float gain,
+                     float linear, net::SectorId sector, double power_dbm,
+                     double p_lin) {
+  if (std::isnan(gain)) return;
+  const auto rp = static_cast<float>(power_dbm + gain);
+  const double mw = p_lin * static_cast<double>(linear);
+  v.total_mw[i] += mw;
+  const float best_rp = v.best_rp_dbm[i];
+  const net::SectorId best = v.best[i];
+  const bool beats_best = rp != best_rp ? rp > best_rp : sector < best;
+  if (beats_best) {
+    v.second[i] = best;
+    v.second_rp_dbm[i] = best_rp;
+    v.best[i] = sector;
+    v.best_rp_dbm[i] = rp;
+    v.best_mw[i] = mw;
+  } else {
+    const float second_rp = v.second_rp_dbm[i];
+    const bool beats_second =
+        rp != second_rp ? rp > second_rp : sector < v.second[i];
+    if (beats_second) {
+      v.second[i] = sector;
+      v.second_rp_dbm[i] = rp;
+    }
+  }
+}
+
+inline void remove_cell(const StateView& v, std::size_t i, float gain,
+                        float linear, net::SectorId sector, double p_lin,
+                        geo::GridIndex g,
+                        std::vector<geo::GridIndex>& recompute) {
+  if (std::isnan(gain)) return;
+  v.total_mw[i] =
+      std::max(0.0, v.total_mw[i] - p_lin * static_cast<double>(linear));
+  if (v.best[i] == sector || v.second[i] == sector) recompute.push_back(g);
+}
+
+}  // namespace
+
+void add_row_reference(const StateView& view, std::size_t base,
+                       const float* gains, const float* linear,
+                       std::int32_t n, net::SectorId sector, double power_dbm,
+                       double p_lin) {
+  for (std::int32_t c = 0; c < n; ++c) {
+    add_cell(view, base + static_cast<std::size_t>(c), gains[c], linear[c],
+             sector, power_dbm, p_lin);
+  }
+}
+
+void add_row(const StateView& view, std::size_t base, const float* gains,
+             const float* linear, std::int32_t n, net::SectorId sector,
+             double power_dbm, double p_lin) {
+  constexpr std::int32_t K = vx::kWidth;
+  const vx::vdouble vpow = vx::set1_d(power_dbm);
+  const vx::vdouble vplin = vx::set1_d(p_lin);
+  const vx::vint vsec = vx::set1_i(sector);
+  std::int32_t c = 0;
+  for (; c + K <= n; c += K) {
+    const std::size_t i = base + static_cast<std::size_t>(c);
+    const vx::vfloat gain = vx::loadu_f(gains + c);
+    // A fully uncovered block would add +0.0 everywhere and win no
+    // compares — memory stays bit-identical — so skip it outright.
+    // Footprint windows are sparse at the corners; this turns those cells
+    // into one load + one mask test.
+    if (!vx::any(vx::m_not(vx::isnan_f(gain)))) continue;
+    // rp = float(power + gain): NaN for uncovered cells, so every ordered
+    // compare below is false and those lanes keep their old top-2 state.
+    const vx::vfloat rp =
+        vx::to_float(vx::add_d(vpow, vx::to_double(gain)));
+    // mw = p_lin * double(linear): exactly +0.0 for uncovered cells
+    // (linear == 0), and total_mw >= +0.0, so += mw needs no mask.
+    const vx::vdouble mw =
+        vx::mul_d(vplin, vx::to_double(vx::loadu_f(linear + c)));
+    vx::storeu_d(view.total_mw + i,
+                 vx::add_d(vx::loadu_d(view.total_mw + i), mw));
+
+    vx::vfloat srp = vx::loadu_f(view.second_rp_dbm + i);
+    // Promotion screen: rp < second_rp <= best_rp makes both beats()
+    // checks false in every lane (NaN rp included), so the block's top-2
+    // state is provably untouched and the remaining loads/blends/stores
+    // can be skipped. >= is conservative for the equal-rp tie-break.
+    if (!vx::any(vx::cmp_ge_f(rp, srp))) continue;
+
+    vx::vint bid = vx::loadu_i(view.best + i);
+    vx::vfloat brp = vx::loadu_f(view.best_rp_dbm + i);
+    vx::vint sid = vx::loadu_i(view.second + i);
+    // beats(rp, sector, brp, bid): strictly stronger, or equal with the
+    // lower sector id.
+    const vx::fmask bb =
+        vx::m_or(vx::cmp_gt_f(rp, brp),
+                 vx::m_and(vx::cmp_eq_f(rp, brp), vx::cmp_gt_i(bid, vsec)));
+    const vx::fmask bs = vx::m_and(
+        vx::m_not(bb),
+        vx::m_or(vx::cmp_gt_f(rp, srp),
+                 vx::m_and(vx::cmp_eq_f(rp, srp), vx::cmp_gt_i(sid, vsec))));
+    // Demote the old best into second where the new signal wins; otherwise
+    // maybe replace second. Order matters: second reads the pre-update
+    // best.
+    sid = vx::blend_i(bb, bid, vx::blend_i(bs, vsec, sid));
+    srp = vx::blend_f(bb, brp, vx::blend_f(bs, rp, srp));
+    bid = vx::blend_i(bb, vsec, bid);
+    brp = vx::blend_f(bb, rp, brp);
+    const vx::vdouble bmw =
+        vx::blend_d(vx::widen(bb), mw, vx::loadu_d(view.best_mw + i));
+
+    vx::storeu_i(view.best + i, bid);
+    vx::storeu_f(view.best_rp_dbm + i, brp);
+    vx::storeu_d(view.best_mw + i, bmw);
+    vx::storeu_i(view.second + i, sid);
+    vx::storeu_f(view.second_rp_dbm + i, srp);
+  }
+  for (; c < n; ++c) {
+    add_cell(view, base + static_cast<std::size_t>(c), gains[c], linear[c],
+             sector, power_dbm, p_lin);
+  }
+}
+
+void remove_row_reference(const StateView& view, std::size_t base,
+                          const float* gains, const float* linear,
+                          std::int32_t n, net::SectorId sector, double p_lin,
+                          geo::GridIndex row_first,
+                          std::vector<geo::GridIndex>& recompute) {
+  for (std::int32_t c = 0; c < n; ++c) {
+    remove_cell(view, base + static_cast<std::size_t>(c), gains[c], linear[c],
+                sector, p_lin, row_first + c, recompute);
+  }
+}
+
+void remove_row(const StateView& view, std::size_t base, const float* gains,
+                const float* linear, std::int32_t n, net::SectorId sector,
+                double p_lin, geo::GridIndex row_first,
+                std::vector<geo::GridIndex>& recompute) {
+  constexpr std::int32_t K = vx::kWidth;
+  const vx::vdouble vplin = vx::set1_d(p_lin);
+  const vx::vdouble vzero = vx::set1_d(0.0);
+  const vx::vint vsec = vx::set1_i(sector);
+  std::int32_t c = 0;
+  for (; c + K <= n; c += K) {
+    const std::size_t i = base + static_cast<std::size_t>(c);
+    const vx::fmask covered = vx::m_not(vx::isnan_f(vx::loadu_f(gains + c)));
+    // Fully uncovered block: total_mw would clamp back to itself
+    // (max(0, t - 0) == t for t >= +0.0) and nothing can enqueue, so skip.
+    if (!vx::any(covered)) continue;
+    // Covered-or-not, cells subtract +0.0 when uncovered and clamp against
+    // a value >= +0.0: bit-unchanged, so the arithmetic runs maskless.
+    // max_d's "b wins on equality" rule reproduces std::max(0.0, x)
+    // exactly (+0.0 out for x == ±0.0).
+    const vx::vdouble mw =
+        vx::mul_d(vplin, vx::to_double(vx::loadu_f(linear + c)));
+    vx::storeu_d(
+        view.total_mw + i,
+        vx::max_d(vx::sub_d(vx::loadu_d(view.total_mw + i), mw), vzero));
+    // Only *covered* cells may enqueue a recompute (the scalar loop never
+    // visits uncovered ones), hence the NaN mask here.
+    const vx::fmask hit = vx::m_and(
+        covered,
+        vx::m_or(vx::cmp_eq_i(vx::loadu_i(view.best + i), vsec),
+                 vx::cmp_eq_i(vx::loadu_i(view.second + i), vsec)));
+    unsigned bits = vx::to_bits(hit);
+    while (bits != 0) {
+      const int lane = std::countr_zero(bits);
+      bits &= bits - 1;
+      recompute.push_back(row_first + c + lane);
+    }
+  }
+  for (; c < n; ++c) {
+    remove_cell(view, base + static_cast<std::size_t>(c), gains[c], linear[c],
+                sector, p_lin, row_first + c, recompute);
+  }
+}
+
+}  // namespace magus::model::sweeps

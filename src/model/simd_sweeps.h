@@ -1,0 +1,72 @@
+// SIMD row sweeps for the EvalContext contribution paths.
+//
+// Each sweep vectorizes *across cells* of one contiguous footprint window
+// row: lane j executes exactly the per-cell operation sequence of the
+// scalar loop for cell base+j, and cells are independent, so the result is
+// bitwise-identical to the scalar code at every lane width (DESIGN.md §15).
+// Uncovered cells (NaN gain / zero linear gain) need no masking in the
+// arithmetic: their mW contribution is +0.0 (total_mw >= +0.0 stays
+// bit-unchanged under += 0.0) and their received power is NaN (every
+// ordered compare is false, so the top-2 blend keeps the old state).
+//
+// The *_reference twins are the pre-SIMD per-cell loops, kept as the
+// oracle for the identity tests (and as readable documentation of the
+// semantics).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/grid_map.h"
+#include "model/grid_state.h"
+#include "net/sector.h"
+
+namespace magus::model::sweeps {
+
+/// Raw pointers into a GridState's SoA arrays (valid while the state's
+/// vectors are not resized).
+struct StateView {
+  double* total_mw = nullptr;
+  net::SectorId* best = nullptr;
+  float* best_rp_dbm = nullptr;
+  double* best_mw = nullptr;
+  net::SectorId* second = nullptr;
+  float* second_rp_dbm = nullptr;
+};
+
+[[nodiscard]] inline StateView view_of(GridState& state) {
+  return {state.total_mw.data(),      state.best.data(),
+          state.best_rp_dbm.data(),   state.best_mw.data(),
+          state.second.data(),        state.second_rp_dbm.data()};
+}
+
+/// Adds sector's contribution over one window row: for each covered cell
+/// base+c (gains[c] not NaN), rp = float(power_dbm + gains[c]),
+/// mw = p_lin * double(linear[c]), total_mw += mw, then the beats() top-2
+/// promotion. `n` is the row width in cells.
+void add_row(const StateView& view, std::size_t base, const float* gains,
+             const float* linear, std::int32_t n, net::SectorId sector,
+             double power_dbm, double p_lin);
+void add_row_reference(const StateView& view, std::size_t base,
+                       const float* gains, const float* linear,
+                       std::int32_t n, net::SectorId sector, double power_dbm,
+                       double p_lin);
+
+/// Removes sector's contribution over one window row:
+/// total_mw = max(0.0, total_mw - p_lin * double(linear[c])) per covered
+/// cell, and appends the grid index of every covered cell whose best or
+/// second server is `sector` to `recompute` (the caller re-ranks them
+/// afterwards — recompute_top2 touches only per-cell top-2 state, so
+/// deferring it out of the sweep is order-equivalent to the interleaved
+/// scalar loop). `row_first` is the grid index of cell base+0.
+void remove_row(const StateView& view, std::size_t base, const float* gains,
+                const float* linear, std::int32_t n, net::SectorId sector,
+                double p_lin, geo::GridIndex row_first,
+                std::vector<geo::GridIndex>& recompute);
+void remove_row_reference(const StateView& view, std::size_t base,
+                          const float* gains, const float* linear,
+                          std::int32_t n, net::SectorId sector, double p_lin,
+                          geo::GridIndex row_first,
+                          std::vector<geo::GridIndex>& recompute);
+
+}  // namespace magus::model::sweeps

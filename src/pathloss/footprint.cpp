@@ -1,7 +1,10 @@
 #include "pathloss/footprint.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
+
+#include "util/simd.h"
 
 namespace magus::pathloss {
 
@@ -73,16 +76,39 @@ SectorFootprint::SectorFootprint(std::int32_t grid_cols,
 }
 
 void SectorFootprint::apply_floor_and_count() {
+  namespace vx = util::simd;
   const auto nan = std::numeric_limits<float>::quiet_NaN();
   covered_count_ = 0;
   linear_.assign(window_.size(), 0.0f);
-  for (std::size_t i = 0; i < window_.size(); ++i) {
+  constexpr std::size_t K = vx::kWidth;
+  const vx::vfloat vfloor = vx::set1_f(kFloorDb);
+  const vx::vfloat vnan = vx::set1_f(nan);
+  std::size_t i = 0;
+  for (; i + K <= window_.size(); i += K) {
+    // v <= kFloorDb is an ordered compare — false for NaN lanes — so the
+    // scalar !isnan(v) guard is already implied by the mask.
+    const vx::vfloat v = vx::loadu_f(window_.data() + i);
+    const vx::vfloat floored =
+        vx::blend_f(vx::cmp_le_f(v, vfloor), vnan, v);
+    vx::storeu_f(window_.data() + i, floored);
+    unsigned bits = vx::to_bits(vx::m_not(vx::isnan_f(floored)));
+    covered_count_ += std::popcount(bits);
+    // The dB -> linear pow stays scalar (libm transcendental), one call
+    // per covered lane. Same expression as util::dbm_to_mw, hoisted to
+    // construction time: one pow here saves one per rebuild/mutation
+    // sweep forever after.
+    while (bits != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      linear_[i + lane] = static_cast<float>(
+          std::pow(10.0, static_cast<double>(window_[i + lane]) / 10.0));
+    }
+  }
+  for (; i < window_.size(); ++i) {
     float& v = window_[i];
     if (!std::isnan(v) && v <= kFloorDb) v = nan;
     if (!std::isnan(v)) {
       ++covered_count_;
-      // Same expression as util::dbm_to_mw, hoisted to construction time:
-      // one pow here saves one per rebuild/mutation sweep forever after.
       linear_[i] = static_cast<float>(
           std::pow(10.0, static_cast<double>(v) / 10.0));
     }

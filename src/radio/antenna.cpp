@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/simd.h"
+
 namespace magus::radio {
 
 AntennaPattern::AntennaPattern(AntennaParams params) : params_(params) {
@@ -39,6 +41,49 @@ double AntennaPattern::gain_dbi(double azimuth_off_boresight_deg,
   const double total_loss =
       std::min(horizontal_loss + vertical_loss, params_.front_back_ratio_db);
   return params_.boresight_gain_dbi - total_loss;
+}
+
+void AntennaPattern::gain_row(std::span<const float> iso_db,
+                              std::span<const float> azimuth_off_boresight_deg,
+                              std::span<const float> elevation_deg,
+                              TiltIndex tilt, std::int32_t count,
+                              std::span<float> out_gain_db) const {
+  namespace vx = util::simd;
+  constexpr std::int32_t K = vx::kWidth;
+  // Lane arithmetic mirrors gain_dbi term by term (same association, no
+  // FMA contraction); min_d's "b wins on equal" matches std::min exactly
+  // for the finite, non-±0 values here.
+  const vx::vdouble vhb = vx::set1_d(params_.horizontal_beamwidth_deg);
+  const vx::vdouble vvb = vx::set1_d(params_.vertical_beamwidth_deg);
+  const vx::vdouble vfb = vx::set1_d(params_.front_back_ratio_db);
+  const vx::vdouble vsla = vx::set1_d(params_.side_lobe_limit_db);
+  const vx::vdouble vtilt = vx::set1_d(downtilt_deg(tilt));
+  const vx::vdouble vbore = vx::set1_d(params_.boresight_gain_dbi);
+  const vx::vdouble v12 = vx::set1_d(12.0);
+  std::int32_t i = 0;
+  for (; i + K <= count; i += K) {
+    const auto j = static_cast<std::size_t>(i);
+    const vx::vdouble phi = vx::to_double(
+        vx::loadu_f(azimuth_off_boresight_deg.data() + j));
+    const vx::vdouble ph = vx::div_d(phi, vhb);
+    const vx::vdouble hl = vx::min_d(vx::mul_d(vx::mul_d(v12, ph), ph), vfb);
+    const vx::vdouble theta = vx::add_d(
+        vx::to_double(vx::loadu_f(elevation_deg.data() + j)), vtilt);
+    const vx::vdouble th = vx::div_d(theta, vvb);
+    const vx::vdouble vl =
+        vx::min_d(vx::mul_d(vx::mul_d(v12, th), th), vsla);
+    const vx::vdouble total = vx::min_d(vx::add_d(hl, vl), vfb);
+    const vx::vdouble gain = vx::add_d(
+        vx::to_double(vx::loadu_f(iso_db.data() + j)),
+        vx::sub_d(vbore, total));
+    vx::storeu_f(out_gain_db.data() + j, vx::to_float(gain));
+  }
+  for (; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(i);
+    out_gain_db[j] = static_cast<float>(
+        static_cast<double>(iso_db[j]) +
+        gain_dbi(azimuth_off_boresight_deg[j], elevation_deg[j], tilt));
+  }
 }
 
 }  // namespace magus::radio

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace magus::radio {
 
@@ -45,6 +46,16 @@ class AntennaPattern {
   /// ground UE), with electrical tilt `tilt`.
   [[nodiscard]] double gain_dbi(double azimuth_off_boresight_deg,
                                 double elevation_deg, TiltIndex tilt) const;
+
+  /// Row variant of gain_dbi, SIMD-vectorized across cells:
+  /// out_gain_db[i] = float(double(iso_db[i]) + gain_dbi(azimuth[i],
+  /// elevation[i], tilt)) for i in [0, count) — bit-identical to the
+  /// per-cell loop (the pattern formula is pure mul/div/add/min, all
+  /// exactly rounded IEEE ops).
+  void gain_row(std::span<const float> iso_db,
+                std::span<const float> azimuth_off_boresight_deg,
+                std::span<const float> elevation_deg, TiltIndex tilt,
+                std::int32_t count, std::span<float> out_gain_db) const;
 
   /// Effective downtilt angle (degrees below horizon) at a tilt setting.
   [[nodiscard]] double downtilt_deg(TiltIndex tilt) const;

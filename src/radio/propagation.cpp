@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "util/simd.h"
+
 namespace magus::radio {
 namespace {
 
@@ -192,7 +194,7 @@ SiteContext PropagationModel::site_context(
   return ctx;
 }
 
-void PropagationModel::isotropic_row_cached(
+void PropagationModel::isotropic_row_reference(
     const SiteContext& site, geo::GridIndex first, std::int32_t count,
     const terrain::TerrainGridCache& cache, const RadialProfileTable& profiles,
     std::span<float> iso_db, std::span<float> azimuth_off_deg,
@@ -244,17 +246,152 @@ void PropagationModel::isotropic_row_cached(
   }
 }
 
+void PropagationModel::isotropic_row_cached(
+    const SiteContext& site, geo::GridIndex first, std::int32_t count,
+    const terrain::TerrainGridCache& cache, const RadialProfileTable& profiles,
+    std::span<float> iso_db, std::span<float> azimuth_off_deg,
+    std::span<float> elevation_deg) const {
+  namespace vx = util::simd;
+  constexpr std::int32_t K = vx::kWidth;
+  // The row splits into three passes over fixed-size chunks: a vector
+  // geometry pass (dx / distance), a scalar pass for the libm-bound middle
+  // (atan2 bearing, diffraction probe, log10s — transcendentals are not
+  // lane-reproducible, so they stay scalar by design), and a vector SPM
+  // combine. Every lane op mirrors the reference loop's term order and
+  // association exactly (note k5*log_d*log_h associates as
+  // (k5*log_d)*log_h), so the outputs are bit-identical to
+  // isotropic_row_reference at any lane width.
+  constexpr std::int32_t kChunk = 128;
+  static_assert(kChunk % vx::kWidth == 0);
+
+  const geo::GridMap& grid = cache.grid();
+  const geo::Point first_center = grid.center_of(first);
+  const double cell = grid.cell_size_m();
+  const double dy = first_center.y_m - site.tx.position.y_m;
+  const double dy2 = dy * dy;
+  const double deg_per_rad = 180.0 / std::numbers::pi;
+  const double spm_const = params_.k1 + params_.k6 * params_.rx_height_m;
+  const double floor_const = 32.45 + 20.0 * std::log10(2100.0);
+  const float* clutter = cache.clutter_loss_data();
+  const float* shadow = cache.shadowing_data();
+
+  const vx::vdouble vcell = vx::set1_d(cell);
+  const vx::vdouble vfcx = vx::set1_d(first_center.x_m);
+  const vx::vdouble vtxx = vx::set1_d(site.tx.position.x_m);
+  const vx::vdouble vdy2 = vx::set1_d(dy2);
+  const vx::vdouble vmind = vx::set1_d(params_.min_distance_m);
+  const vx::vdouble vk2 = vx::set1_d(params_.k2);
+  const vx::vdouble vk3 = vx::set1_d(params_.k3);
+  const vx::vdouble vk4 = vx::set1_d(params_.k4);
+  const vx::vdouble vk5 = vx::set1_d(params_.k5);
+  const vx::vdouble vspmc = vx::set1_d(spm_const);
+  const vx::vdouble vfloorc = vx::set1_d(floor_const);
+  const vx::vdouble v20 = vx::set1_d(20.0);
+  const vx::vdouble viota = vx::iota_d();
+
+  double dxs[kChunk];
+  double raws[kChunk];
+  double dists[kChunk];
+  double logds[kChunk];
+  double loghs[kChunk];
+  double diffs[kChunk];
+
+  for (std::int32_t base = 0; base < count; base += kChunk) {
+    const std::int32_t n = std::min(kChunk, count - base);
+
+    // Pass 1 (vector): dx = (x0 + i*cell) - tx.x in exactly that order
+    // (folding x0 - tx.x into one constant would change the rounding),
+    // raw = sqrt(dx^2 + dy^2), dist = max(raw, min_distance). max_d's
+    // "b wins on equal" matches std::max(raw, min) bitwise here (positive
+    // operands).
+    std::int32_t c = 0;
+    for (; c + K <= n; c += K) {
+      const vx::vdouble vi =
+          vx::add_d(vx::set1_d(static_cast<double>(base + c)), viota);
+      const vx::vdouble dx =
+          vx::sub_d(vx::add_d(vfcx, vx::mul_d(vi, vcell)), vtxx);
+      const vx::vdouble raw =
+          vx::sqrt_d(vx::add_d(vx::mul_d(dx, dx), vdy2));
+      vx::storeu_d(dxs + c, dx);
+      vx::storeu_d(raws + c, raw);
+      vx::storeu_d(dists + c, vx::max_d(raw, vmind));
+    }
+    for (; c < n; ++c) {
+      const double dx =
+          (first_center.x_m + static_cast<double>(base + c) * cell) -
+          site.tx.position.x_m;
+      dxs[c] = dx;
+      raws[c] = std::sqrt(dx * dx + dy2);
+      dists[c] = std::max(raws[c], params_.min_distance_m);
+    }
+
+    // Pass 2 (scalar): bearing/azimuth/elevation geometry, the diffraction
+    // prefix scan, and both log10s.
+    for (std::int32_t k = 0; k < n; ++k) {
+      const std::int32_t i = base + k;
+      const geo::GridIndex g = first + i;
+      double bearing = std::atan2(dxs[k], dy) * deg_per_rad;
+      if (bearing < 0.0) bearing += 360.0;
+      const double rx_elev = cache.elevation_of(g);
+      const double rx_total = rx_elev + params_.rx_height_m;
+      diffs[k] = profiles.diffraction_db(bearing, raws[k], rx_total);
+      logds[k] = std::log10(dists[k] / 1000.0);
+      const double h_eff =
+          std::max(5.0, site.tx.height_m + site.tx_ground_m - rx_elev);
+      loghs[k] = std::log10(h_eff);
+      azimuth_off_deg[static_cast<std::size_t>(i)] = static_cast<float>(
+          geo::wrap_angle_deg(bearing - site.tx.azimuth_deg));
+      elevation_deg[static_cast<std::size_t>(i)] = static_cast<float>(
+          std::atan2(rx_total - site.tx_total_m, dists[k]) * deg_per_rad);
+    }
+
+    // Pass 3 (vector): the SPM combine, term by term in reference order:
+    //   spm  = (((spm_const + k2*log_d) + k3*log_h) + k4*diff)
+    //          + (k5*log_d)*log_h
+    //   loss = (max(spm, floor_const + 20*log_d) + clutter) - shadowing
+    //   iso  = float(-loss)
+    // std::max picks a (first arg) on equality, max_d picks b — bit-equal
+    // for equal finite losses. Clutter/shadowing load as float and widen,
+    // matching the scalar accessors' float -> double promotion.
+    c = 0;
+    for (; c + K <= n; c += K) {
+      const std::size_t i = static_cast<std::size_t>(base + c);
+      const vx::vdouble log_d = vx::loadu_d(logds + c);
+      const vx::vdouble log_h = vx::loadu_d(loghs + c);
+      vx::vdouble spm = vx::add_d(vspmc, vx::mul_d(vk2, log_d));
+      spm = vx::add_d(spm, vx::mul_d(vk3, log_h));
+      spm = vx::add_d(spm, vx::mul_d(vk4, vx::loadu_d(diffs + c)));
+      spm = vx::add_d(spm, vx::mul_d(vx::mul_d(vk5, log_d), log_h));
+      const vx::vdouble floor_loss =
+          vx::add_d(vfloorc, vx::mul_d(v20, log_d));
+      const vx::vdouble loss = vx::sub_d(
+          vx::add_d(
+              vx::max_d(spm, floor_loss),
+              vx::to_double(vx::loadu_f(clutter + first + i))),
+          vx::to_double(vx::loadu_f(shadow + first + i)));
+      vx::storeu_f(iso_db.data() + i, vx::to_float(vx::neg_d(loss)));
+    }
+    for (; c < n; ++c) {
+      const std::size_t i = static_cast<std::size_t>(base + c);
+      const geo::GridIndex g = first + static_cast<std::int32_t>(i);
+      const double spm_loss = spm_const + params_.k2 * logds[c] +
+                              params_.k3 * loghs[c] + params_.k4 * diffs[c] +
+                              params_.k5 * logds[c] * loghs[c];
+      const double floor_loss = floor_const + 20.0 * logds[c];
+      const double loss = std::max(spm_loss, floor_loss) +
+                          cache.clutter_loss_of(g) - cache.shadowing_of(g);
+      iso_db[i] = static_cast<float>(-loss);
+    }
+  }
+}
+
 void PropagationModel::apply_antenna_row(
     const AntennaPattern& antenna, TiltIndex tilt,
     std::span<const float> iso_db, std::span<const float> azimuth_off_deg,
     std::span<const float> elevation_deg, std::int32_t count,
     std::span<float> out_gain_db) const {
-  for (std::int32_t i = 0; i < count; ++i) {
-    const auto j = static_cast<std::size_t>(i);
-    out_gain_db[j] = static_cast<float>(
-        static_cast<double>(iso_db[j]) +
-        antenna.gain_dbi(azimuth_off_deg[j], elevation_deg[j], tilt));
-  }
+  antenna.gain_row(iso_db, azimuth_off_deg, elevation_deg, tilt, count,
+                   out_gain_db);
 }
 
 }  // namespace magus::radio

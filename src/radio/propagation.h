@@ -168,6 +168,17 @@ class PropagationModel {
                             std::span<float> azimuth_off_deg,
                             std::span<float> elevation_deg) const;
 
+  /// Scalar per-cell twin of isotropic_row_cached, kept verbatim as the
+  /// bit-identity oracle for the SIMD row pass (the identity tests compare
+  /// the two across tail residues and lane widths).
+  void isotropic_row_reference(const SiteContext& site, geo::GridIndex first,
+                               std::int32_t count,
+                               const terrain::TerrainGridCache& cache,
+                               const RadialProfileTable& profiles,
+                               std::span<float> iso_db,
+                               std::span<float> azimuth_off_deg,
+                               std::span<float> elevation_deg) const;
+
   /// Per-tilt pass: total gain = iso + antenna.gain_dbi(azimuth, elevation,
   /// tilt) for each of the `count` cells. The only tilt-dependent work —
   /// pure arithmetic, no terrain or transcendental-heavy geometry.

@@ -105,6 +105,17 @@ class TerrainGridCache {
     return shadowing_[static_cast<std::size_t>(g)];
   }
 
+  /// Raw per-cell arrays (grid-indexed, contiguous, float like the
+  /// members) for the SIMD row passes, which read runs of consecutive
+  /// cells with vector loads and widen to double per lane — matching the
+  /// scalar accessors' float -> double promotion exactly.
+  [[nodiscard]] const float* clutter_loss_data() const {
+    return clutter_loss_.data();
+  }
+  [[nodiscard]] const float* shadowing_data() const {
+    return shadowing_.data();
+  }
+
   /// Bilinear elevation at an arbitrary point, clamped to the grid.
   [[nodiscard]] double elevation_at(geo::Point p) const;
 
