@@ -33,7 +33,7 @@ fi
 BUILD_DIR="${1:-build}"
 
 for bin in bench_micro_model bench_fig12_convergence bench_pathloss_build \
-           bench_fault_recovery bench_fleet_campaign; do
+           bench_pathloss_open bench_fault_recovery bench_fleet_campaign; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -66,6 +66,11 @@ echo "== path-loss build pipeline (legacy vs batched, 8 threads) =="
 "$BUILD_DIR/bench/bench_pathloss_build" --threads 8 \
   --json "$out_dir/BENCH_pathloss.json"
 
+echo "== cold-open streaming (v2 eager vs v3 mmap, budget sweep) =="
+streaming_db="$scratch/streaming_db"
+"$BUILD_DIR/bench/bench_pathloss_open" --threads 8 --db-dir "$streaming_db" \
+  --json "$out_dir/BENCH_streaming.json"
+
 echo "== crash-safe campaign execution (journal, resume, quarantine) =="
 "$BUILD_DIR/bench/bench_fault_recovery" \
   --json "$out_dir/BENCH_recovery.json" >/dev/null
@@ -82,7 +87,7 @@ if (( check )); then
 fi
 
 echo
-echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json BENCH_pathloss.json BENCH_recovery.json BENCH_fleet.json"
+echo "Artifacts: BENCH_model.json BENCH_fig12_index.json BENCH_fig12_noindex.json BENCH_pathloss.json BENCH_streaming.json BENCH_recovery.json BENCH_fleet.json"
 python3 - <<'PY' 2>/dev/null || true
 import json
 m = json.load(open('BENCH_model.json'))
@@ -99,6 +104,11 @@ p = json.load(open('BENCH_pathloss.json'))
 print(f"path-loss build speedup (parallel vs legacy): "
       f"{p['speedup_parallel_vs_legacy']:.2f}x "
       f"(identical: {p['entries_identical'] and p['files_identical']})")
+s = json.load(open('BENCH_streaming.json'))
+print(f"cold open speedup (v3 mmap vs v2 eager): "
+      f"{s['speedup_cold_open']:.0f}x (>=5x: {s['cold_open_speedup_ge_5x']}), "
+      f"budget sweep identical: {s['plans_identical_across_budgets']}, "
+      f"under budget: {s['under_budget_all']}")
 r = json.load(open('BENCH_recovery.json'))
 c = r['campaign']
 print(f"campaign crash/resume: windows {c['windows_completed']}/"

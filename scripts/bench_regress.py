@@ -120,6 +120,42 @@ SPECS = {
         "campaign/upgrades_completed": "eq",
         "campaign/upgrades_rolled_back": "eq",
     },
+    "BENCH_streaming.json": {
+        "sectors": "eq",
+        "tilts": "eq",
+        "matrices": "eq",
+        # File sizes are deterministic for fixed geometry; v3 grows over
+        # v2 only by page alignment + the directory.
+        "file_bytes_v2": "eq",
+        "file_bytes_v3": "eq",
+        "wall_s_load_v2": "time",
+        "wall_s_open_mapped": "time",
+        "wall_s_first_touch_all": "time",
+        # The headline: a mapped open reads header + directory, never the
+        # planes, so it beats the eager v2 load by orders of magnitude.
+        # The wide rate band absorbs machine noise; the hard >= 5x floor
+        # is the bool below (also the bench's own exit code).
+        "speedup_cold_open": "rate",
+        "cold_open_speedup_ge_5x": "true",
+        "mapped_equals_eager": "true",
+        "identical_after_release": "true",
+        "heap_bytes_full": "eq",
+        "mapped_bytes": "eq",
+        "fleet_markets": "eq",
+        "fleet_fingerprint": "eq",
+        "plans_identical_across_budgets": "true",
+        "under_budget": "true",
+        "floor_below_peak": "true",
+        "plan_seconds_unbounded": "time",
+        "plan_seconds_floor": "time",
+        "plan_seconds_budgeted": "time",
+        # Budget enforcement must keep streaming (rung-1 releases) in
+        # play — zero releases would mean the budgeted passes fell
+        # straight through to whole-market eviction.
+        "releases_total": "eq",
+        "fleet_peak_bytes": ("time", 1.5),
+        "enforcement_floor_bytes": ("time", 1.5),
+    },
     "BENCH_fleet.json": {
         "markets": "eq",
         "sectors_total": "eq",

@@ -112,6 +112,49 @@ print(f"fleet smoke OK: {f['markets']} markets / {f['sectors_total']} "
       f"plans identical under eviction")
 EOF
 
+echo "==> Streaming smoke: v3 mmap cold open + footprint-granular residency"
+# The zero-copy path's contract, end to end: a v3 mapped open must beat
+# the v2 eager load >= 5x cold, mapped windows must be bit-identical to
+# the eager load (including across a release/re-touch cycle), and a
+# budget-capped fleet sweep must keep the enforced resident peak at or
+# under the budget line while planning to the exact unbounded
+# fingerprints. The second run pins MAGUS_NO_MMAP=1 — the positioned-read
+# fallback must deliver the same invariants and the same fleet
+# fingerprint, so the portability lane never drifts from the mmap lane.
+streaming_args=(--region-km 6 --study-km 3 --tilts 3 --reps 2
+                --fleet-markets 3 --threads 4)
+./build/bench/bench_pathloss_open "${streaming_args[@]}" \
+  --db-dir "$artifacts/streaming_db" \
+  --json "$artifacts/streaming.json" >/dev/null
+MAGUS_NO_MMAP=1 ./build/bench/bench_pathloss_open "${streaming_args[@]}" \
+  --db-dir "$artifacts/streaming_db_nommap" \
+  --json "$artifacts/streaming_nommap.json" >/dev/null
+python3 - "$artifacts" <<'EOF'
+import json, sys
+d = sys.argv[1]
+s = json.load(open(f"{d}/streaming.json"))
+n = json.load(open(f"{d}/streaming_nommap.json"))
+assert s["using_mmap"], "mmap leg fell back to positioned reads"
+assert not n["using_mmap"], "MAGUS_NO_MMAP=1 leg still mmap'd"
+for name, run in (("mmap", s), ("no-mmap", n)):
+    assert run["cold_open_speedup_ge_5x"], (
+        f"{name}: cold open only {run['speedup_cold_open']:.1f}x vs v2 load")
+    assert run["mapped_equals_eager"], f"{name}: windows differ from eager"
+    assert run["identical_after_release"], (
+        f"{name}: release/re-touch changed a window")
+    assert run["plans_identical_across_budgets"], (
+        f"{name}: budget changed a market's plan")
+    assert run["under_budget"], f"{name}: enforced peak exceeded the budget"
+    assert run["releases_total"] > 0, f"{name}: no footprint releases"
+assert s["fleet_fingerprint"] == n["fleet_fingerprint"], (
+    "mmap and positioned-read providers planned different fleets")
+print(f"streaming smoke OK: cold open {s['speedup_cold_open']:.0f}x "
+      f"(no-mmap {n['speedup_cold_open']:.0f}x), "
+      f"{s['releases_total']} releases, enforced peak "
+      f"{s['enforced_peak_budgeted'] / 2**20:.1f} MiB <= budget "
+      f"{s['budget_bytes'] / 2**20:.1f} MiB, fingerprints match")
+EOF
+
 echo "==> Profiler smoke: --profile attribution report"
 # The profile run reuses the micro-model summary workload (serial +
 # 8-thread batch-scoring sweep). The report must parse, every worker's

@@ -14,6 +14,7 @@ struct StoreMetrics {
   obs::Counter& hits;
   obs::Counter& misses;
   obs::Counter& evictions;
+  obs::Counter& releases;
   obs::Gauge& resident_bytes;
   obs::Histogram& load_latency_us;
 
@@ -23,6 +24,7 @@ struct StoreMetrics {
         registry.counter("fleet.store.hits"),
         registry.counter("fleet.store.misses"),
         registry.counter("fleet.store.evictions"),
+        registry.counter("fleet.store.releases"),
         registry.gauge("fleet.store.resident_bytes"),
         registry.histogram("fleet.store.load_latency_us",
                            obs::exponential_bounds(1'000.0, 4.0, 12)),
@@ -48,10 +50,11 @@ MarketHandle::MarketHandle(const MarketSpec& spec, const StoreOptions& options,
     : spec_(spec),
       market_(data::generate_market(spec.params)),
       db_path_(std::move(db_path)) {
-  // Fast path: a structurally sound file that covers this market loads
-  // without ever touching terrain or the propagation model.
-  const auto is_complete = [&](pathloss::PathLossDatabase& db) {
-    const geo::GridMap expected{market_.region, market_.params.cell_size_m};
+  // A usable database must sit on this market's grid and cover every
+  // (sector x tilt) the store promises. Checked against whichever
+  // provider kind opened the file.
+  const geo::GridMap expected{market_.region, market_.params.cell_size_m};
+  const auto is_complete = [&](const auto& db) {
     if (db.grid().cols() != expected.cols() ||
         db.grid().rows() != expected.rows() ||
         db.grid().cell_size_m() != expected.cell_size_m()) {
@@ -64,13 +67,54 @@ MarketHandle::MarketHandle(const MarketSpec& spec, const StoreOptions& options,
     }
     return true;
   };
+  // Best-effort streaming open of a v3 file; leaves mapped_db_ unset (and
+  // load_error_ explaining why) when the file is unusable.
+  const auto try_open_mapped = [&] {
+    try {
+      auto mapped = std::make_unique<pathloss::MappedPathLossDatabase>(
+          db_path_);
+      if (is_complete(*mapped)) {
+        mapped_db_ = std::move(mapped);
+      } else {
+        load_error_ = "database incomplete for this market";
+      }
+    } catch (const std::runtime_error& e) {
+      load_error_ = e.what();
+    }
+  };
 
   const auto probe = pathloss::PathLossDatabase::probe(db_path_);
-  if (probe.ok) {
+  if (probe.ok && probe.version == pathloss::format::kVersionMapped &&
+      options.prefer_mapped) {
+    // Fast path, streaming flavor: open the directory, map the planes,
+    // materialize nothing.
+    try_open_mapped();
+  } else if (probe.ok) {
+    // Fast path, eager flavor: a structurally sound file that covers this
+    // market loads without ever touching terrain or the propagation
+    // model. A v2 file under prefer_mapped is migrated in place
+    // (best-effort) and reopened through the mapping so every later
+    // acquire of this market streams.
     try {
       auto db = pathloss::PathLossDatabase::load(db_path_, options.threads);
       if (is_complete(db)) {
-        db_ = std::make_unique<pathloss::PathLossDatabase>(std::move(db));
+        if (options.prefer_mapped) {
+          try {
+            db.save_v3(db_path_, options.threads);
+            try_open_mapped();
+            if (mapped_db_ != nullptr) {
+              migrated_ = true;
+              obs::MetricsRegistry::global()
+                  .counter("pathloss.db.migrations")
+                  .add(1);
+            }
+          } catch (const std::runtime_error&) {
+            // Unwritable db_dir: keep the eager database, stay on v2.
+          }
+        }
+        if (mapped_db_ == nullptr) {
+          db_ = std::make_unique<pathloss::PathLossDatabase>(std::move(db));
+        }
       } else {
         load_error_ = "database incomplete for this market";
       }
@@ -81,10 +125,11 @@ MarketHandle::MarketHandle(const MarketSpec& spec, const StoreOptions& options,
     load_error_ = probe.error;
   }
 
-  if (db_ == nullptr) {
+  if (mapped_db_ == nullptr && db_ == nullptr) {
     // Slow path: materialize the full stack once; open_footprint_db
-    // rebuilds every (sector x tilt) matrix and best-effort re-saves, so
-    // the next acquire takes the fast path.
+    // rebuilds every (sector x tilt) matrix and best-effort re-saves (as
+    // v3), so the next acquire takes the fast path. When the re-save
+    // landed and streaming is wanted, reopen through the mapping.
     data::Experiment experiment{spec_.params, options.experiment};
     pathloss::PathLossDatabase::LoadReport report;
     db_ = std::make_unique<pathloss::PathLossDatabase>(
@@ -92,13 +137,47 @@ MarketHandle::MarketHandle(const MarketSpec& spec, const StoreOptions& options,
                                      &report));
     rebuilt_ = true;
     if (load_error_.empty()) load_error_ = report.error;
+    if (options.prefer_mapped && report.resaved) {
+      const std::string rebuild_error = load_error_;
+      try_open_mapped();
+      load_error_ = rebuild_error;  // keep the *rebuild* cause
+      if (mapped_db_ != nullptr) db_.reset();
+    }
   }
-  model_ = std::make_unique<model::AnalysisModel>(&market_.network, db_.get(),
-                                                  options.experiment.model);
+  model_ = std::make_unique<model::AnalysisModel>(
+      &market_.network, &provider(), options.experiment.model);
+}
+
+pathloss::PathLossProvider& MarketHandle::provider() {
+  if (mapped_db_ != nullptr) return *mapped_db_;
+  return *db_;
+}
+
+std::size_t MarketHandle::db_entry_count() const {
+  return mapped_db_ != nullptr ? mapped_db_->entry_count()
+                               : db_->entry_count();
+}
+
+std::size_t MarketHandle::db_resident_bytes() const {
+  return mapped_db_ != nullptr ? mapped_db_->resident_bytes()
+                               : db_->resident_bytes();
 }
 
 std::size_t MarketHandle::resident_bytes() const {
-  return db_->resident_bytes() + model_->market_context().resident_bytes();
+  return db_resident_bytes() + model_->market_context().resident_bytes();
+}
+
+std::size_t MarketHandle::release_db_residency() {
+  if (mapped_db_ == nullptr) return 0;
+  const std::size_t freed = mapped_db_->release_residency();
+  if (freed > 0) stale_ = true;
+  return freed;
+}
+
+void MarketHandle::refresh() {
+  if (!stale_) return;
+  model_->retouch_footprints();
+  stale_ = false;
 }
 
 MarketStore::MarketStore(std::vector<MarketSpec> specs, StoreOptions options)
@@ -135,8 +214,32 @@ void MarketStore::resample(Resident& entry) {
   entry.charged = now;
 }
 
+void MarketStore::resample_all() {
+  for (auto& [id, entry] : resident_) resample(entry);
+}
+
 void MarketStore::evict_to_fit(MarketId keep) {
-  if (options_.byte_budget == 0) return;
+  if (options_.byte_budget == 0) {
+    // Unbounded: nothing to enforce, but the settled charge is still the
+    // post-enforcement peak (== peak_resident_bytes here).
+    enforced_peak_ = std::max(enforced_peak_, charged_);
+    return;
+  }
+  // Rung 1: strip cold streaming markets down to their mapped planes +
+  // model half, coldest first. The market stays resident and warm — a
+  // later acquire re-touches its footprints bit-identically — so this is
+  // much cheaper to undo than an eviction.
+  for (auto it = lru_.rbegin();
+       it != lru_.rend() && charged_ > options_.byte_budget; ++it) {
+    if (*it == keep) continue;
+    Resident& entry = resident_.find(*it)->second;
+    const std::size_t freed = entry.handle->release_db_residency();
+    if (freed == 0) continue;  // eager, or nothing materialized
+    resample(entry);
+    ++releases_;
+    StoreMetrics::get().releases.add(1);
+  }
+  // Rung 2: whole-market eviction, LRU-back first (never `keep`).
   while (charged_ > options_.byte_budget && lru_.size() > 1) {
     const MarketId victim = lru_.back();
     if (victim == keep) break;  // never evict the working market
@@ -147,6 +250,15 @@ void MarketStore::evict_to_fit(MarketId keep) {
     ++evictions_;
     StoreMetrics::get().evictions.add(1);
   }
+  enforced_peak_ = std::max(enforced_peak_, charged_);
+}
+
+void MarketStore::enforce_budget() {
+  resample_all();
+  peak_ = std::max(peak_, charged_);
+  const MarketId keep = lru_.empty() ? MarketId{-1} : lru_.front();
+  evict_to_fit(keep);
+  StoreMetrics::get().resident_bytes.set(static_cast<double>(charged_));
 }
 
 std::shared_ptr<MarketHandle> MarketStore::acquire(MarketId id) {
@@ -155,9 +267,13 @@ std::shared_ptr<MarketHandle> MarketStore::acquire(MarketId id) {
     ++hits_;
     metrics.hits.add(1);
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    // The handle may have grown since last seen (coverage index builds
-    // lazily); keep the charge honest and re-enforce the budget.
-    resample(it->second);
+    // A rung-1 release may have stripped this market's footprints since
+    // last acquire; re-touch them before handing the model out.
+    it->second.handle->refresh();
+    // Residents grow between acquires (coverage index builds lazily,
+    // touches materialize footprints) and shrink under rung-1 releases;
+    // keep every charge honest and re-enforce the budget.
+    resample_all();
     peak_ = std::max(peak_, charged_);
     evict_to_fit(id);
     metrics.resident_bytes.set(static_cast<double>(charged_));
@@ -177,6 +293,7 @@ std::shared_ptr<MarketHandle> MarketStore::acquire(MarketId id) {
   Resident entry{handle, lru_.begin(), handle->resident_bytes()};
   charged_ += entry.charged;
   resident_.emplace(id, std::move(entry));
+  resample_all();
   peak_ = std::max(peak_, charged_);
   evict_to_fit(id);
   metrics.resident_bytes.set(static_cast<double>(charged_));

@@ -1,23 +1,38 @@
 // MarketStore: the fleet's lazy, byte-budgeted cache of materialized
-// markets.
+// markets, with footprint-granular residency.
 //
 // A fleet has hundreds of markets but the driver only ever works on a few
 // at a time, and one market's resident footprint (path-loss windows +
 // linear twins + coverage index) runs to tens of megabytes. The store owns
 // the per-market path-loss database *paths* and materializes a market —
-// topology regenerated from its seed, database loaded from disk (or built
-// once from the full propagation stack and saved), analysis model bound on
-// top — only when acquired, behind an LRU cache charged against a
-// configurable byte budget.
+// topology regenerated from its seed, database opened zero-copy from a v3
+// file (or loaded/migrated from v2, or built once from the full
+// propagation stack and saved as v3), analysis model bound on top — only
+// when acquired, behind an LRU cache charged against a configurable byte
+// budget.
 //
-// Eviction is safe because materialization is deterministic: the market
-// topology regenerates bit-identically from its seed, and the PR-5
-// database format guarantees save/load round-trips bit-identically for
-// any thread count — so an evicted market that is re-acquired later
-// produces byte-identical footprints, and therefore identical plans, to
-// the first materialization. Handles are handed out as shared_ptr: an
-// eviction drops the cache's reference, but a handle the caller still
-// holds stays fully usable until released.
+// The accounting unit is the *footprint* (sector x tilt), not the market:
+// a streaming market (MappedPathLossDatabase) charges only the heap its
+// touched footprints pin — linear twins plus the model's market half —
+// while the dB gain planes stay file-backed in the mapping, and the
+// budget has two enforcement rungs. Rung 1 releases the path-loss heap of
+// cold streaming markets (release_db_residency), which keeps the market's
+// topology, model and coverage index warm; a later acquire re-touches the
+// released planes bit-identically at their stable addresses (refresh()).
+// Rung 2 evicts whole markets LRU-first, as before. A market bigger than
+// the whole budget can therefore still plan under it: only the footprints
+// a plan actually touches are ever heap-resident at once.
+//
+// Eviction at either rung is safe because materialization is
+// deterministic: the topology regenerates bit-identically from its seed,
+// the database formats round-trip bit-identically for any thread count,
+// and the mapped provider rematerializes released entries bit-identically
+// at the same address — so re-acquired markets produce byte-identical
+// footprints, and therefore identical plans, to the first
+// materialization. Handles are handed out as shared_ptr: an eviction
+// drops the cache's reference, but a handle the caller still holds stays
+// fully usable until released (after a rung-1 release, usable again once
+// refresh() runs — acquire() does this automatically).
 //
 // Thread-safety: driver-thread only. The store is not internally
 // synchronized — the fleet WavePlanner acquires markets sequentially and
@@ -33,6 +48,7 @@
 #include <vector>
 
 #include "data/experiment.h"
+#include "pathloss/mapped_database.h"
 
 namespace magus::fleet {
 
@@ -64,14 +80,23 @@ struct StoreOptions {
   /// only reads tilt 0 (the deployment default), which keeps fleet-scale
   /// databases small.
   std::vector<radio::TiltIndex> tilts = {0};
+  /// Open markets through the zero-copy streaming provider
+  /// (pathloss::MappedPathLossDatabase) when possible: a v3 file maps
+  /// directly; a sound v2 file is eagerly loaded once, migrated to v3 in
+  /// place (best-effort) and reopened mapped. false forces the eager
+  /// PathLossDatabase everywhere (plans are bit-identical either way —
+  /// the fleet tests assert it).
+  bool prefer_mapped = true;
   /// Model/propagation options used when a database must be rebuilt and
   /// when binding the analysis model.
   data::ExperimentOptions experiment;
 };
 
-/// One materialized market: regenerated topology, loaded (or rebuilt)
-/// path-loss database, and an analysis model bound over both. Non-movable:
-/// the model holds pointers into the network and database.
+/// One materialized market: regenerated topology, a path-loss provider
+/// (zero-copy streaming MappedPathLossDatabase when the file is v3 and
+/// StoreOptions::prefer_mapped holds, eager PathLossDatabase otherwise),
+/// and an analysis model bound over both. Non-movable: the model holds
+/// pointers into the network and provider.
 class MarketHandle {
  public:
   MarketHandle(const MarketSpec& spec, const StoreOptions& options,
@@ -85,29 +110,57 @@ class MarketHandle {
   [[nodiscard]] const net::Network& network() const {
     return market_.network;
   }
-  [[nodiscard]] pathloss::PathLossDatabase& db() { return *db_; }
+  /// The bound path-loss provider (mapped or eager — see streaming()).
+  [[nodiscard]] pathloss::PathLossProvider& provider();
   [[nodiscard]] model::AnalysisModel& model() { return *model_; }
+
+  /// True when this market runs on the zero-copy streaming provider.
+  [[nodiscard]] bool streaming() const { return mapped_db_ != nullptr; }
+  /// Entries in the bound database (either provider kind).
+  [[nodiscard]] std::size_t db_entry_count() const;
+  /// Heap bytes the bound database currently pins. For a streaming market
+  /// this is only the touched footprints' linear twins — the dB planes
+  /// live in the file mapping and never count.
+  [[nodiscard]] std::size_t db_resident_bytes() const;
 
   /// True when the database file was unusable (missing, corrupt, wrong
   /// grid, or incomplete for this market's sectors/tilts) and had to be
   /// rebuilt from the propagation stack.
   [[nodiscard]] bool rebuilt() const { return rebuilt_; }
+  /// True when a sound v2 file was re-saved as v3 (and reopened mapped)
+  /// during materialization.
+  [[nodiscard]] bool migrated() const { return migrated_; }
   /// The load failure that forced the rebuild, empty otherwise.
   [[nodiscard]] const std::string& load_error() const { return load_error_; }
 
-  /// Heap bytes this market pins while resident: database footprints plus
-  /// the model's market half (frozen UE density + coverage index). Grows
-  /// after a parallel evaluator builds the coverage index, so the store
+  /// Heap bytes this market pins while resident: database heap (see
+  /// db_resident_bytes) plus the model's market half (frozen UE density +
+  /// coverage index). Grows after a parallel evaluator builds the
+  /// coverage index or a touch materializes a footprint, so the store
   /// re-samples it on every acquire.
   [[nodiscard]] std::size_t resident_bytes() const;
+
+  /// Rung-1 residency release: frees the streaming provider's touched
+  /// heap (linear twins) and marks the handle stale; returns bytes freed
+  /// (0 for eager markets — their footprints are their storage). The
+  /// model must not be used again until refresh() runs.
+  std::size_t release_db_residency();
+  /// Rematerializes released footprints (bit-identically, at their stable
+  /// addresses) by re-touching every sector's current-tilt plane through
+  /// the model. No-op unless a release happened since the last refresh.
+  void refresh();
 
  private:
   MarketSpec spec_;
   data::Market market_;
   std::string db_path_;
   bool rebuilt_ = false;
+  bool migrated_ = false;
+  bool stale_ = false;  ///< released since last refresh()
   std::string load_error_;
+  /// Exactly one of these is set; provider() returns it.
   std::unique_ptr<pathloss::PathLossDatabase> db_;
+  std::unique_ptr<pathloss::MappedPathLossDatabase> mapped_db_;
   std::unique_ptr<model::AnalysisModel> model_;
 };
 
@@ -137,10 +190,27 @@ class MarketStore {
   /// Largest value resident_bytes() has reached — what an unbounded run
   /// would need, and the natural reference for choosing a budget.
   [[nodiscard]] std::size_t peak_resident_bytes() const { return peak_; }
+  /// Largest charge left standing *after* budget enforcement — what the
+  /// run actually held. Under a budget this stays at (or near) it even
+  /// when peak_resident_bytes() reports the transient pre-enforcement
+  /// spike; the streaming acceptance gate asserts on this one.
+  [[nodiscard]] std::size_t enforced_peak_bytes() const {
+    return enforced_peak_;
+  }
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  /// Rung-1 enforcement actions: cold streaming markets whose path-loss
+  /// heap was released without evicting the market.
+  [[nodiscard]] std::uint64_t releases() const { return releases_; }
+
+  /// Re-samples every resident's bytes and re-enforces the budget. The
+  /// fleet WavePlanner calls this after planning each market: the
+  /// coverage index built and footprints touched *during* planning grow a
+  /// market past what acquire() charged, and waiting for the next acquire
+  /// would let the overshoot linger across a whole market's planning.
+  void enforce_budget();
 
   [[nodiscard]] const std::vector<MarketSpec>& specs() const {
     return specs_;
@@ -159,8 +229,13 @@ class MarketStore {
 
   /// Re-samples one resident's bytes and updates the charge accounting.
   void resample(Resident& entry);
-  /// Evicts least-recently-used residents (never `keep`) until the charge
-  /// fits the budget or nothing else is evictable.
+  /// Re-samples every resident (footprint touches and index builds grow
+  /// markets between acquires; rung-1 releases shrink them).
+  void resample_all();
+  /// Two-rung budget enforcement, never touching `keep`: releases the
+  /// path-loss heap of cold streaming markets LRU-back-first (rung 1),
+  /// then evicts whole markets LRU-back-first (rung 2) until the charge
+  /// fits or nothing else is actionable. Updates enforced_peak_.
   void evict_to_fit(MarketId keep);
 
   std::vector<MarketSpec> specs_;
@@ -171,9 +246,11 @@ class MarketStore {
   std::map<MarketId, Resident> resident_;
   std::size_t charged_ = 0;
   std::size_t peak_ = 0;
+  std::size_t enforced_peak_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t releases_ = 0;
 };
 
 }  // namespace magus::fleet

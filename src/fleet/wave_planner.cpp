@@ -136,6 +136,11 @@ MarketPlan WavePlanner::plan_market(const MarketUpgradeRequest& request) {
   plan.schedule =
       traffic::schedule_campaign(plan.upgrades, options_.max_windows_per_market);
   metrics.markets_planned.add(1);
+  // Planning grew this market well past what acquire() charged (coverage
+  // index built, footprints touched); settle the store's accounting and
+  // budget now, not at the next acquire — this is what keeps the enforced
+  // peak at the budget line during a fleet sweep.
+  store_->enforce_budget();
   return plan;
 }
 
@@ -218,6 +223,7 @@ FleetExecutionResult WavePlanner::execute(const FleetWavePlan& plan,
     }
     result.quarantine_events += exec_entry.result.quarantine_events;
     result.markets.push_back(std::move(exec_entry));
+    store_->enforce_budget();  // same settling as after planning
   }
   result.completed = true;
   return result;

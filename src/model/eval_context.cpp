@@ -663,6 +663,13 @@ void EvalContext::set_tilt(net::SectorId sector, int tilt_index) {
   sync_index_bookkeeping();
 }
 
+void EvalContext::retouch_footprints() {
+  for (const auto& sector : network().sectors()) {
+    current_footprint_[static_cast<std::size_t>(sector.id)] =
+        &market_->provider().footprint(sector.id, config_[sector.id].tilt);
+  }
+}
+
 void EvalContext::restore(const Snapshot& snapshot) {
   state_ = snapshot.state;
   // Footprint pointers depend on per-sector tilt; refresh only the sectors

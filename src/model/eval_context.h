@@ -57,6 +57,16 @@ class EvalContext {
   /// Replaces the whole configuration (full rebuild).
   void set_configuration(const net::Configuration& config);
 
+  /// Re-touches every sector's current-tilt footprint through the market's
+  /// provider, re-fetching the current-footprint handles in place. The
+  /// fleet MarketStore calls this after a streaming provider released its
+  /// heap residency (MappedPathLossDatabase::release_residency): each
+  /// touch rematerializes the plane bit-identically at its stable address,
+  /// so the grid state and index bindings need no rebuild — only the
+  /// touch. A no-op for providers that never release (their cached
+  /// references stayed valid throughout).
+  void retouch_footprints();
+
   // ---- Incremental mutations (keep configuration() in sync) ----
 
   /// Sets sector transmit power (clamped to the sector's range).

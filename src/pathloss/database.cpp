@@ -1,5 +1,6 @@
 #include "pathloss/database.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -9,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pathloss/format.h"
 #include "util/checksum.h"
 #include "util/thread_pool.h"
 
@@ -22,6 +24,7 @@ struct DbMetrics {
   obs::Counter& load_failures;
   obs::Counter& rebuilds;
   obs::Counter& resaves;
+  obs::Counter& migrations;
 
   [[nodiscard]] static DbMetrics& get() {
     static auto& registry = obs::MetricsRegistry::global();
@@ -31,6 +34,7 @@ struct DbMetrics {
         registry.counter("pathloss.db.load_failures"),
         registry.counter("pathloss.db.rebuilds"),
         registry.counter("pathloss.db.resaves"),
+        registry.counter("pathloss.db.migrations"),
     };
     return metrics;
   }
@@ -52,8 +56,32 @@ struct CacheMetrics {
   }
 };
 
-constexpr std::uint64_t kMagic = 0x4D41475553504C31ULL;  // "MAGUSPL1"
-constexpr std::uint32_t kVersion = 2;  // v2 adds per-entry checksums
+constexpr std::uint64_t kMagic = format::kMagic;
+constexpr std::uint32_t kVersion = format::kVersionEager;  // save() default
+
+/// The pool's wake/handoff overhead beats the per-entry checksum work at
+/// small entry counts — BENCH_pathloss.json's 495-entry DB parallel-loaded
+/// ~18% slower than serial — so load() stays serial below this many
+/// entries. (Measured crossover on the bench box; results are identical
+/// either way, only the wall clock moves.)
+constexpr std::size_t kSerialLoadCutoff =
+    PathLossDatabase::kParallelLoadThreshold;
+
+[[nodiscard]] std::size_t load_threads(std::size_t entries,
+                                       std::size_t threads) {
+  return entries < kSerialLoadCutoff ? 1 : threads;
+}
+
+/// The file's format version, or 0 when unreadable / not a magus db.
+[[nodiscard]] std::uint32_t sniff_version(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || magic != format::kMagic) return 0;
+  return version;
+}
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
@@ -92,15 +120,11 @@ using util::fnv1a;
 [[nodiscard]] std::uint64_t entry_checksum(std::int32_t sector,
                                            std::int32_t tilt,
                                            const SectorFootprint& footprint) {
-  const std::int32_t geometry[] = {sector,
-                                   tilt,
-                                   footprint.col0(),
-                                   footprint.row0(),
-                                   footprint.window_cols(),
-                                   footprint.window_rows()};
-  std::uint64_t hash = fnv1a(geometry, sizeof(geometry));
   const auto window = footprint.window();
-  return fnv1a(window.data(), window.size() * sizeof(float), hash);
+  return format::entry_checksum_raw(
+      sector, tilt, footprint.col0(), footprint.row0(),
+      footprint.window_cols(), footprint.window_rows(), window.data(),
+      window.size() * sizeof(float));
 }
 }  // namespace
 
@@ -163,11 +187,60 @@ PathLossDatabase::Probe PathLossDatabase::probe(const std::string& path) {
     if (magic != kMagic) {
       throw std::runtime_error("PathLossDatabase: bad magic in " + path);
     }
-    if (version != kVersion) {
+    if (version != kVersion && version != format::kVersionMapped) {
       throw std::runtime_error("PathLossDatabase: unsupported version " +
                                std::to_string(version) + " (expected " +
-                               std::to_string(kVersion) + ") in " + path);
+                               std::to_string(kVersion) + " or " +
+                               std::to_string(format::kVersionMapped) +
+                               ") in " + path);
     }
+    if (version == format::kVersionMapped) {
+      // v3: the header + directory alone size the file — no payload scan,
+      // the same O(directory) work a mapped open does.
+      const auto fsize = static_cast<std::uint64_t>(result.file_bytes);
+      std::vector<char> front(
+          static_cast<std::size_t>(std::min<std::uint64_t>(
+              fsize, format::kHeaderBytesV3)));
+      in.seekg(0, std::ios::beg);
+      in.read(front.data(), static_cast<std::streamsize>(front.size()));
+      if (!in) {
+        throw std::runtime_error("PathLossDatabase: read failed in " + path);
+      }
+      if (front.size() >= format::kHeaderBytesV3) {
+        // Peek the entry count to size the directory read; a nonsensical
+        // count is left for parse_v3 to reject as a truncated directory.
+        std::uint64_t count = 0;
+        std::memcpy(&count, front.data() + 44, sizeof(count));
+        if (count <= (fsize - front.size()) / format::kDirEntryBytes) {
+          const std::size_t dir_bytes =
+              static_cast<std::size_t>(count) * format::kDirEntryBytes;
+          const std::size_t head = front.size();
+          front.resize(head + dir_bytes);
+          in.read(front.data() + head,
+                  static_cast<std::streamsize>(dir_bytes));
+          if (!in) {
+            throw std::runtime_error("PathLossDatabase: read failed in " +
+                                     path);
+          }
+        }
+      }
+      const format::V3Directory dir =
+          format::parse_v3(front.data(), front.size(), fsize, path);
+      result.version = format::kVersionMapped;
+      result.cols = dir.cols;
+      result.rows = dir.rows;
+      result.cell_size_m = dir.cell_size_m;
+      result.entry_count = dir.entry_count;
+      for (const format::V3Entry& entry : dir.entries) {
+        result.mapped_bytes_estimate += entry.window_bytes;  // dB planes
+        result.heap_bytes_estimate += entry.window_bytes;    // linear twins
+      }
+      result.resident_bytes_estimate =
+          result.mapped_bytes_estimate + result.heap_bytes_estimate;
+      result.ok = true;
+      return result;
+    }
+    result.version = kVersion;
     double min_x = 0.0;
     double min_y = 0.0;
     read_pod(min_x, "truncated header in " + path);
@@ -215,6 +288,9 @@ PathLossDatabase::Probe PathLossDatabase::probe(const std::string& path) {
                                std::to_string(result.entry_count) +
                                " entries in " + path);
     }
+    // An eager v2 load copies every window into the heap alongside its
+    // linear twin; nothing is served from a mapping.
+    result.heap_bytes_estimate = result.resident_bytes_estimate;
     result.ok = true;
   } catch (const std::runtime_error& error) {
     result.ok = false;
@@ -267,6 +343,87 @@ void PathLossDatabase::save(const std::string& path,
   if (!out) throw std::runtime_error("PathLossDatabase: write failed");
 }
 
+void PathLossDatabase::save_v3(const std::string& path,
+                               std::size_t threads) const {
+  MAGUS_TRACE_SPAN("pathloss.db_save", "io.db");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("PathLossDatabase: cannot open " + path);
+
+  std::vector<const std::pair<const Key, SectorFootprint>*> items;
+  items.reserve(entries_.size());
+  for (const auto& item : entries_) items.push_back(&item);
+
+  // Plane layout in key order: each non-empty gain plane starts on the
+  // next page boundary after the previous one (empty windows get no plane
+  // and offset 0). Pure arithmetic, so the layout — like the checksums
+  // below — is identical for any thread count.
+  const std::uint64_t dir_end =
+      format::kHeaderBytesV3 + items.size() * format::kDirEntryBytes;
+  std::vector<std::uint64_t> offsets(items.size(), 0);
+  std::uint64_t payload_end = dir_end;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::size_t window_bytes =
+        items[i]->second.window().size() * sizeof(float);
+    if (window_bytes == 0) continue;
+    offsets[i] = format::align_up_page(payload_end);
+    payload_end = offsets[i] + window_bytes;
+  }
+
+  // The checksums are the expensive part; fan them out per entry.
+  std::vector<std::uint64_t> checksums(items.size(), 0);
+  util::ThreadPool pool{threads};
+  pool.run(items.size(), [&](std::size_t /*worker*/, std::size_t i) {
+    const auto& [key, footprint] = *items[i];
+    checksums[i] = entry_checksum(key.first, key.second, footprint);
+  });
+
+  std::vector<char> directory;
+  directory.reserve(items.size() * format::kDirEntryBytes);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& [key, footprint] = *items[i];
+    append_pod(directory, key.first);
+    append_pod(directory, key.second);
+    append_pod(directory, footprint.col0());
+    append_pod(directory, footprint.row0());
+    append_pod(directory, footprint.window_cols());
+    append_pod(directory, footprint.window_rows());
+    append_pod(directory, offsets[i]);
+    append_pod(directory, checksums[i]);
+  }
+  const std::uint64_t directory_checksum =
+      fnv1a(directory.data(), directory.size());
+
+  write_pod(out, kMagic);
+  write_pod(out, format::kVersionMapped);
+  write_pod(out, grid_.area().min.x_m);
+  write_pod(out, grid_.area().min.y_m);
+  write_pod(out, grid_.cell_size_m());
+  write_pod(out, grid_.cols());
+  write_pod(out, grid_.rows());
+  write_pod(out, static_cast<std::uint64_t>(items.size()));
+  write_pod(out, directory_checksum);
+  write_pod(out, payload_end);
+  out.write(directory.data(), static_cast<std::streamsize>(directory.size()));
+
+  const std::vector<char> zeros(format::kPageBytes, 0);
+  std::uint64_t written = dir_end;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto window = items[i]->second.window();
+    if (window.empty()) continue;
+    std::uint64_t pad = offsets[i] - written;
+    while (pad > 0) {
+      const auto chunk = static_cast<std::streamsize>(
+          std::min<std::uint64_t>(pad, zeros.size()));
+      out.write(zeros.data(), chunk);
+      pad -= static_cast<std::uint64_t>(chunk);
+    }
+    out.write(reinterpret_cast<const char*>(window.data()),
+              static_cast<std::streamsize>(window.size() * sizeof(float)));
+    written = offsets[i] + window.size() * sizeof(float);
+  }
+  if (!out) throw std::runtime_error("PathLossDatabase: write failed");
+}
+
 PathLossDatabase PathLossDatabase::load(const std::string& path,
                                         std::size_t threads) {
   // io.db: the profiler buckets this span as DB I/O (see obs/profiler.h).
@@ -296,10 +453,63 @@ PathLossDatabase PathLossDatabase::load(const std::string& path,
   if (magic != kMagic) {
     throw std::runtime_error("PathLossDatabase: bad magic in " + path);
   }
-  if (version != kVersion) {
+  if (version != kVersion && version != format::kVersionMapped) {
     throw std::runtime_error("PathLossDatabase: unsupported version " +
                              std::to_string(version) + " (expected " +
-                             std::to_string(kVersion) + ") in " + path);
+                             std::to_string(kVersion) + " or " +
+                             std::to_string(format::kVersionMapped) +
+                             ") in " + path);
+  }
+  if (version == format::kVersionMapped) {
+    // Eager v3 load: directory-driven instead of a streaming scan, same
+    // first-touch semantics as the mapped provider (raw-byte checksum,
+    // then construction), same fully-owned result as a v2 load.
+    const format::V3Directory dir =
+        format::parse_v3(bytes.data(), bytes.size(), bytes.size(), path);
+    const geo::Rect v3_area{
+        {dir.min_x, dir.min_y},
+        {dir.min_x + dir.cols * dir.cell_size_m,
+         dir.min_y + dir.rows * dir.cell_size_m}};
+    PathLossDatabase db{geo::GridMap{v3_area, dir.cell_size_m}};
+    const std::size_t n = dir.entries.size();
+    std::vector<SectorFootprint> built(n);
+    std::vector<std::string> entry_errors(n);
+    util::ThreadPool pool{load_threads(n, threads)};
+    pool.run(n, [&](std::size_t /*worker*/, std::size_t i) {
+      const format::V3Entry& e = dir.entries[i];
+      const std::string entry_context =
+          "entry " + std::to_string(i) + " of " + std::to_string(n);
+      if (format::entry_checksum_raw(e.sector, e.tilt, e.col0, e.row0,
+                                     e.window_cols, e.window_rows,
+                                     bytes.data() + e.data_offset,
+                                     e.window_bytes) != e.checksum) {
+        entry_errors[i] = "PathLossDatabase: checksum mismatch (" +
+                          entry_context + ", sector " +
+                          std::to_string(e.sector) + " tilt " +
+                          std::to_string(e.tilt) + ") in " + path;
+        return;
+      }
+      std::vector<float> window(e.window_bytes / sizeof(float));
+      std::memcpy(window.data(), bytes.data() + e.data_offset,
+                  e.window_bytes);
+      try {
+        built[i] = SectorFootprint{dir.cols,      dir.rows,      e.col0,
+                                   e.row0,        e.window_cols, e.window_rows,
+                                   std::move(window)};
+      } catch (const std::invalid_argument&) {
+        entry_errors[i] = "PathLossDatabase: " + entry_context +
+                          " does not fit the grid in " + path;
+      }
+    });
+    for (const std::string& error : entry_errors) {
+      if (!error.empty()) throw std::runtime_error(error);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      db.entries_.insert_or_assign(
+          Key{dir.entries[i].sector, dir.entries[i].tilt},
+          std::move(built[i]));
+    }
+    return db;
   }
   double min_x = 0.0;
   double min_y = 0.0;
@@ -383,7 +593,7 @@ PathLossDatabase PathLossDatabase::load(const std::string& path,
   // front-to-back scan for any thread count.
   std::vector<SectorFootprint> built(pending.size());
   std::vector<std::string> entry_errors(pending.size());
-  util::ThreadPool pool{threads};
+  util::ThreadPool pool{load_threads(pending.size(), threads)};
   pool.run(pending.size(), [&](std::size_t /*worker*/, std::size_t i) {
     const PendingEntry& p = pending[i];
     const std::string entry_context =
@@ -445,6 +655,17 @@ PathLossDatabase PathLossDatabase::load_or_rebuild(
           std::to_string(expected.rows()) + " @ " +
           std::to_string(expected.cell_size_m()) + " m) in " + path);
     }
+    if (sniff_version(path) == kVersion) {
+      // v2 read compat + forward migration: re-save the pristine file in
+      // place as v3 so the next open can be mapped. Best-effort — a
+      // read-only location simply stays v2.
+      try {
+        db.save_v3(path, threads);
+        out.migrated = true;
+        DbMetrics::get().migrations.add(1);
+      } catch (const std::runtime_error&) {
+      }
+    }
     return db;
   } catch (const std::runtime_error& error) {
     out.rebuilt = true;
@@ -470,7 +691,7 @@ PathLossDatabase PathLossDatabase::load_or_rebuild(
               *rebuilt[i]);
   }
   try {
-    db.save(path, threads);
+    db.save_v3(path, threads);  // repaired files are written mappable
     out.resaved = true;
     DbMetrics::get().resaves.add(1);
   } catch (const std::runtime_error&) {

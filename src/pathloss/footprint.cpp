@@ -49,6 +49,7 @@ SectorFootprint::SectorFootprint(std::vector<float> full_dense,
     std::copy(src, src + window_cols_,
               window_.begin() + static_cast<std::size_t>(row) * window_cols_);
   }
+  view_ = window_.data();
   apply_floor_and_count();
 }
 
@@ -72,7 +73,55 @@ SectorFootprint::SectorFootprint(std::int32_t grid_cols,
       row0_ + window_rows_ > grid_rows_) {
     throw std::invalid_argument("SectorFootprint: window outside grid");
   }
+  view_ = window_.data();
   apply_floor_and_count();
+}
+
+SectorFootprint::SectorFootprint(std::int32_t grid_cols,
+                                 std::int32_t grid_rows, std::int32_t col0,
+                                 std::int32_t row0, std::int32_t window_cols,
+                                 std::int32_t window_rows,
+                                 const float* borrowed_window)
+    : grid_cols_(grid_cols),
+      grid_rows_(grid_rows),
+      col0_(col0),
+      row0_(row0),
+      window_cols_(window_cols),
+      window_rows_(window_rows),
+      borrowed_(true),
+      view_(borrowed_window) {
+  if (window_cols_ < 0 || window_rows_ < 0) {
+    throw std::invalid_argument("SectorFootprint: window size mismatch");
+  }
+  if (col0_ < 0 || row0_ < 0 || col0_ + window_cols_ > grid_cols_ ||
+      row0_ + window_rows_ > grid_rows_) {
+    throw std::invalid_argument("SectorFootprint: window outside grid");
+  }
+  if (view_ == nullptr &&
+      static_cast<std::size_t>(window_cols_) * window_rows_ != 0) {
+    throw std::invalid_argument("SectorFootprint: null borrowed window");
+  }
+  count_borrowed_and_build_linear();
+}
+
+SectorFootprint::SectorFootprint(const SectorFootprint& other)
+    : grid_cols_(other.grid_cols_),
+      grid_rows_(other.grid_rows_),
+      col0_(other.col0_),
+      row0_(other.row0_),
+      window_cols_(other.window_cols_),
+      window_rows_(other.window_rows_),
+      covered_count_(other.covered_count_),
+      borrowed_(other.borrowed_),
+      window_(other.window_),
+      view_(other.borrowed_ ? other.view_ : window_.data()),
+      linear_(other.linear_) {
+  if (!borrowed_ && window_.empty()) view_ = nullptr;
+}
+
+SectorFootprint& SectorFootprint::operator=(const SectorFootprint& other) {
+  if (this != &other) *this = SectorFootprint{other};  // copy, then move
+  return *this;
 }
 
 void SectorFootprint::apply_floor_and_count() {
@@ -107,6 +156,50 @@ void SectorFootprint::apply_floor_and_count() {
   for (; i < window_.size(); ++i) {
     float& v = window_[i];
     if (!std::isnan(v) && v <= kFloorDb) v = nan;
+    if (!std::isnan(v)) {
+      ++covered_count_;
+      linear_[i] = static_cast<float>(
+          std::pow(10.0, static_cast<double>(v) / 10.0));
+    }
+  }
+}
+
+void SectorFootprint::count_borrowed_and_build_linear() {
+  namespace vx = util::simd;
+  const std::size_t total = static_cast<std::size_t>(window_cols_) *
+                            static_cast<std::size_t>(window_rows_);
+  covered_count_ = 0;
+  linear_.assign(total, 0.0f);
+  // Same covered-count + linear-twin pass as apply_floor_and_count, minus
+  // the floor store: the borrowed window is read-only (it aliases a
+  // PROT_READ mapping). A lane where v <= kFloorDb is an ordered compare —
+  // a *finite* sub-floor gain — which the owning constructors would have
+  // floored to NaN in place; its presence means the bytes were not written
+  // by save(), so reject rather than silently diverge from the eager load.
+  constexpr std::size_t K = vx::kWidth;
+  const vx::vfloat vfloor = vx::set1_f(kFloorDb);
+  std::size_t i = 0;
+  for (; i + K <= total; i += K) {
+    const vx::vfloat v = vx::loadu_f(view_ + i);
+    if (vx::to_bits(vx::cmp_le_f(v, vfloor)) != 0) {
+      throw std::invalid_argument(
+          "SectorFootprint: non-canonical borrowed window (unfloored gain)");
+    }
+    unsigned bits = vx::to_bits(vx::m_not(vx::isnan_f(v)));
+    covered_count_ += std::popcount(bits);
+    while (bits != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      linear_[i + lane] = static_cast<float>(
+          std::pow(10.0, static_cast<double>(view_[i + lane]) / 10.0));
+    }
+  }
+  for (; i < total; ++i) {
+    const float v = view_[i];
+    if (!std::isnan(v) && v <= kFloorDb) {
+      throw std::invalid_argument(
+          "SectorFootprint: non-canonical borrowed window (unfloored gain)");
+    }
     if (!std::isnan(v)) {
       ++covered_count_;
       linear_[i] = static_cast<float>(

@@ -45,6 +45,31 @@ class SectorFootprint {
                   std::int32_t window_cols, std::int32_t window_rows,
                   std::vector<float> window);
 
+  /// Zero-copy deserialization constructor: the gain window is *borrowed*
+  /// from caller-owned memory (an mmap'd v3 database page) that must
+  /// outlive the footprint, and is never written to — only the 10^(g/10)
+  /// linear twin is computed into the heap. The borrowed window must be
+  /// canonical (uncovered cells already NaN): a finite value at or below
+  /// kFloorDb would have been floored in place by the owning constructors,
+  /// which a read-only mapping cannot do, so it is rejected with
+  /// std::invalid_argument instead.
+  SectorFootprint(std::int32_t grid_cols, std::int32_t grid_rows,
+                  std::int32_t col0, std::int32_t row0,
+                  std::int32_t window_cols, std::int32_t window_rows,
+                  const float* borrowed_window);
+
+  // The window view must track the owned storage across copies (a copy
+  // gets its own storage; a borrowed copy keeps aliasing the caller's
+  // memory). Moves transfer the heap buffer, so the view stays valid.
+  SectorFootprint(const SectorFootprint& other);
+  SectorFootprint& operator=(const SectorFootprint& other);
+  SectorFootprint(SectorFootprint&&) noexcept = default;
+  SectorFootprint& operator=(SectorFootprint&&) noexcept = default;
+  ~SectorFootprint() = default;
+
+  /// True when the gain window aliases caller-owned (e.g. mapped) memory.
+  [[nodiscard]] bool borrowed() const { return borrowed_; }
+
   /// Total cells of the underlying grid (not the window).
   [[nodiscard]] std::size_t cell_count() const {
     return static_cast<std::size_t>(grid_cols_) *
@@ -57,15 +82,15 @@ class SectorFootprint {
     if (col < 0 || col >= window_cols_ || row < 0 || row >= window_rows_) {
       return false;
     }
-    return !std::isnan(window_[static_cast<std::size_t>(row) * window_cols_ +
-                               col]);
+    return !std::isnan(view_[static_cast<std::size_t>(row) * window_cols_ +
+                             col]);
   }
 
   /// Path gain (negative dB). Requires covers(g).
   [[nodiscard]] float gain_db(geo::GridIndex g) const {
     const std::int32_t col = g % grid_cols_ - col0_;
     const std::int32_t row = g / grid_cols_ - row0_;
-    return window_[static_cast<std::size_t>(row) * window_cols_ + col];
+    return view_[static_cast<std::size_t>(row) * window_cols_ + col];
   }
 
   /// Gain, or -infinity when uncovered (convenient for max comparisons).
@@ -80,8 +105,7 @@ class SectorFootprint {
   void for_each_covered(F&& f) const {
     for (std::int32_t row = 0; row < window_rows_; ++row) {
       const geo::GridIndex base = (row0_ + row) * grid_cols_ + col0_;
-      const float* line =
-          window_.data() + static_cast<std::size_t>(row) * window_cols_;
+      const float* line = view_ + static_cast<std::size_t>(row) * window_cols_;
       for (std::int32_t col = 0; col < window_cols_; ++col) {
         if (!std::isnan(line[col])) f(base + col, line[col]);
       }
@@ -98,7 +122,7 @@ class SectorFootprint {
     for (std::int32_t row = 0; row < window_rows_; ++row) {
       const geo::GridIndex base = (row0_ + row) * grid_cols_ + col0_;
       const std::size_t off = static_cast<std::size_t>(row) * window_cols_;
-      const float* line = window_.data() + off;
+      const float* line = view_ + off;
       const float* lin = linear_.data() + off;
       for (std::int32_t col = 0; col < window_cols_; ++col) {
         if (!std::isnan(line[col])) f(base + col, line[col], lin[col]);
@@ -120,8 +144,10 @@ class SectorFootprint {
 
   [[nodiscard]] std::size_t covered_count() const { return covered_count_; }
 
-  /// Heap bytes held by this footprint (gain window + linear twin) — the
-  /// unit the fleet MarketStore charges against its byte budget.
+  /// Heap bytes held by this footprint — the unit the fleet MarketStore
+  /// charges against its byte budget. An owned footprint holds the gain
+  /// window plus its linear twin; a borrowed one holds only the linear
+  /// twin (the dB window lives in the file mapping, reclaimable by the OS).
   [[nodiscard]] std::size_t resident_bytes() const {
     return (window_.capacity() + linear_.capacity()) * sizeof(float);
   }
@@ -132,7 +158,7 @@ class SectorFootprint {
   /// callback. Rows ascend in grid order, so consumers that scan rows
   /// 0..window_rows() visit covered cells in ascending grid index.
   [[nodiscard]] std::span<const float> window_row(std::int32_t row) const {
-    return {window_.data() + static_cast<std::size_t>(row) * window_cols_,
+    return {view_ + static_cast<std::size_t>(row) * window_cols_,
             static_cast<std::size_t>(window_cols_)};
   }
   /// Linear twin of window_row (0 = uncovered), aligned cell-for-cell.
@@ -154,10 +180,14 @@ class SectorFootprint {
   [[nodiscard]] std::int32_t row0() const { return row0_; }
   [[nodiscard]] std::int32_t window_cols() const { return window_cols_; }
   [[nodiscard]] std::int32_t window_rows() const { return window_rows_; }
-  [[nodiscard]] std::span<const float> window() const { return window_; }
+  [[nodiscard]] std::span<const float> window() const {
+    return {view_, static_cast<std::size_t>(window_cols_) *
+                       static_cast<std::size_t>(window_rows_)};
+  }
 
  private:
   void apply_floor_and_count();
+  void count_borrowed_and_build_linear();
 
   std::int32_t grid_cols_ = 0;
   std::int32_t grid_rows_ = 0;
@@ -166,7 +196,12 @@ class SectorFootprint {
   std::int32_t window_cols_ = 0;
   std::int32_t window_rows_ = 0;
   std::size_t covered_count_ = 0;
+  bool borrowed_ = false;
+  /// Owned gain storage; empty in borrowed mode.
   std::vector<float> window_;
+  /// The window all accessors read: window_.data() when owned, the
+  /// caller's (mapped) memory when borrowed, nullptr when empty.
+  const float* view_ = nullptr;
   /// 10^(gain/10) per window cell (0 where uncovered), built once at
   /// construction so every mW sweep replaces pow with a multiply.
   std::vector<float> linear_;

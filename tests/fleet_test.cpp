@@ -101,15 +101,15 @@ TEST(MarketStore, MissBuildsThenHitsThenReloadsAcrossStores) {
   const auto again = store.acquire(0);
   EXPECT_EQ(again.get(), first.get());
   EXPECT_EQ(store.hits(), 1u);
-  const std::size_t first_bytes = first->db().resident_bytes();
+  const std::size_t first_bytes = first->db_resident_bytes();
 
   // A brand-new store over the same directory loads from disk — no
   // rebuild — and the loaded database is byte-for-byte the saved one.
   MarketStore reopened{specs, options};
   const auto loaded = reopened.acquire(0);
   EXPECT_FALSE(loaded->rebuilt()) << loaded->load_error();
-  EXPECT_EQ(loaded->db().resident_bytes(), first_bytes);
-  EXPECT_EQ(loaded->db().entry_count(), first->db().entry_count());
+  EXPECT_EQ(loaded->db_resident_bytes(), first_bytes);
+  EXPECT_EQ(loaded->db_entry_count(), first->db_entry_count());
 }
 
 TEST(MarketStore, EvictsLruUnderByteBudgetAndRematerializes) {
@@ -117,6 +117,9 @@ TEST(MarketStore, EvictsLruUnderByteBudgetAndRematerializes) {
   StoreOptions options;
   options.db_dir = dir;
   options.threads = 1;
+  // Force the eager provider: this test pins the rung-2 (whole-market
+  // eviction) semantics; streaming rung-1 releases are covered separately.
+  options.prefer_mapped = false;
   const std::vector<MarketSpec> specs = specs_from_fleet(tiny_fleet(3));
 
   // Measure one market's footprint, then budget for roughly one market.
@@ -137,11 +140,90 @@ TEST(MarketStore, EvictsLruUnderByteBudgetAndRematerializes) {
   // Market 0 was evicted (LRU); its handle we still hold stays usable and
   // a re-acquire rematerializes from disk, not from the terrain stack.
   EXPECT_FALSE(store.resident(0));
-  EXPECT_GT(h0->db().entry_count(), 0u);
+  EXPECT_GT(h0->db_entry_count(), 0u);
   const auto h0_again = store.acquire(0);
   EXPECT_FALSE(h0_again->rebuilt()) << h0_again->load_error();
   EXPECT_NE(h0_again.get(), h0.get());
-  EXPECT_EQ(h0_again->db().resident_bytes(), h0->db().resident_bytes());
+  EXPECT_EQ(h0_again->db_resident_bytes(), h0->db_resident_bytes());
+}
+
+TEST(MarketStore, StreamingReleasesFootprintsBeforeEvicting) {
+  const std::string dir = fresh_dir("fleet_store_stream");
+  StoreOptions options = store_options(dir);
+  const std::vector<MarketSpec> specs = specs_from_fleet(tiny_fleet(2));
+
+  // Warm pass: rebuilds save v3 and reopen through the mapping, so both
+  // handles stream; measure full residency for the budget arithmetic.
+  std::size_t full0 = 0;
+  std::size_t full1 = 0;
+  std::size_t db0 = 0;
+  {
+    MarketStore warm{specs, options};
+    const auto h0 = warm.acquire(0);
+    EXPECT_TRUE(h0->rebuilt());
+    EXPECT_TRUE(h0->streaming()) << h0->load_error();
+    const auto h1 = warm.acquire(1);
+    full0 = h0->resident_bytes();
+    full1 = h1->resident_bytes();
+    db0 = h0->db_resident_bytes();
+    ASSERT_GT(db0, 0u);
+  }
+
+  // A budget both full markets bust but one full + one stripped fits:
+  // rung 1 must strip the cold market's footprint heap and rung 2 must
+  // never fire — partial residency instead of eviction.
+  options.byte_budget = full0 + full1 - db0 / 2;
+  MarketStore store{specs, options};
+  const auto h0 = store.acquire(0);
+  EXPECT_FALSE(h0->rebuilt()) << h0->load_error();
+  EXPECT_TRUE(h0->streaming());
+  (void)store.acquire(1);
+  EXPECT_GT(store.releases(), 0u);
+  EXPECT_EQ(store.evictions(), 0u);
+  EXPECT_TRUE(store.resident(0));
+  EXPECT_TRUE(store.resident(1));
+  EXPECT_LE(store.resident_bytes(), options.byte_budget);
+  EXPECT_LE(store.enforced_peak_bytes(), options.byte_budget);
+  EXPECT_EQ(h0->db_resident_bytes(), 0u);  // stripped to the mapping
+
+  // Re-acquiring the stripped market is a hit that re-touches its
+  // footprints bit-identically at their stable addresses.
+  const auto h0_again = store.acquire(0);
+  EXPECT_EQ(h0_again.get(), h0.get());
+  EXPECT_EQ(h0_again->db_resident_bytes(), db0);
+}
+
+TEST(MarketStore, MigratesV2FilesToV3OnAcquire) {
+  const std::string dir = fresh_dir("fleet_store_migrate");
+  StoreOptions options = store_options(dir);
+  const std::vector<MarketSpec> specs = specs_from_fleet(tiny_fleet(1));
+  {
+    MarketStore seed_store{specs, options};
+    (void)seed_store.acquire(0);  // rebuild, v3 resave
+  }
+  const std::string path = MarketStore{specs, options}.db_path(0);
+  // Downgrade the file to v2 — the pre-upgrade fleet state.
+  pathloss::PathLossDatabase::load(path).save(path);
+  ASSERT_EQ(pathloss::PathLossDatabase::probe(path).version,
+            pathloss::format::kVersionEager);
+
+  MarketStore store{specs, options};
+  const auto handle = store.acquire(0);
+  EXPECT_FALSE(handle->rebuilt()) << handle->load_error();
+  EXPECT_TRUE(handle->migrated());
+  EXPECT_TRUE(handle->streaming());
+  EXPECT_EQ(pathloss::PathLossDatabase::probe(path).version,
+            pathloss::format::kVersionMapped);
+
+  // With streaming opted out the same v3 file loads eagerly; the eager
+  // database holds windows + twins where the mapped one heaps only twins.
+  options.prefer_mapped = false;
+  MarketStore eager_store{specs, options};
+  const auto eager = eager_store.acquire(0);
+  EXPECT_FALSE(eager->rebuilt()) << eager->load_error();
+  EXPECT_FALSE(eager->streaming());
+  EXPECT_FALSE(eager->migrated());
+  EXPECT_GT(eager->db_resident_bytes(), handle->db_resident_bytes());
 }
 
 TEST(MarketStore, UnknownMarketThrows) {
@@ -211,7 +293,10 @@ TEST(WavePlanner, EvictionNeverChangesPlans) {
   MarketStore capped{specs, store_options(dir, budget)};
   WavePlanner planner_b{&capped, test_planner_options()};
   const FleetWavePlan plan_b = planner_b.plan(requests);
-  EXPECT_GT(capped.evictions(), 0u);
+  // The budget forced enforcement: rung-1 footprint releases on streaming
+  // markets and/or rung-2 whole-market evictions. Either way the plans
+  // must not change.
+  EXPECT_GT(capped.evictions() + capped.releases(), 0u);
   EXPECT_EQ(plan_a.fleet_fingerprint(), plan_b.fleet_fingerprint());
 
   // Re-planning a long-evicted market reproduces its fingerprint exactly.

@@ -20,6 +20,7 @@
 #include "net/network.h"
 #include "pathloss/builder.h"
 #include "pathloss/database.h"
+#include "pathloss/mapped_database.h"
 #include "pathloss/parallel_builder.h"
 #include "terrain/terrain.h"
 
@@ -223,6 +224,107 @@ TEST_F(PathLossParallelTest, ParallelSaveLoadRoundTripUnderThreads) {
   }
   std::remove(serial_path.c_str());
   std::remove(parallel_path.c_str());
+}
+
+TEST_F(PathLossParallelTest, MappedProviderConcurrentFirstTouches) {
+  const std::vector<radio::TiltIndex> tilts = {-1, 0, 1};
+  ParallelFootprintBuilder parallel{builder_, 4};
+  PathLossDatabase db = parallel.build_database(network_, sectors_, tilts);
+  const std::string path = ::testing::TempDir() + "/magus_plp_mapped.bin";
+  // v3 writes are byte-identical for any thread count, like v2 saves.
+  const std::string serial_path = path + ".serial";
+  db.save_v3(serial_path, 1);
+  db.save_v3(path, 4);
+  const auto read_all = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  };
+  EXPECT_EQ(read_all(serial_path), read_all(path));
+  std::remove(serial_path.c_str());
+
+  // Every thread races first-touch materialization of every entry; all
+  // must observe one stable footprint address per key, and the bytes must
+  // match the eager in-memory database.
+  MappedPathLossDatabase mapped{path};
+  constexpr int kThreads = 8;
+  std::vector<std::vector<const SectorFootprint*>> seen(
+      kThreads, std::vector<const SectorFootprint*>(sectors_.size() *
+                                                    tilts.size()));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 3; ++rep) {
+        for (std::size_t s = 0; s < sectors_.size(); ++s) {
+          for (std::size_t k = 0; k < tilts.size(); ++k) {
+            seen[t][s * tilts.size() + k] =
+                &mapped.footprint(sectors_[s], tilts[k]);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]) << "thread " << t;
+  }
+  EXPECT_EQ(mapped.touched_count(), sectors_.size() * tilts.size());
+  for (const net::SectorId s : sectors_) {
+    for (const radio::TiltIndex t : tilts) {
+      const SectorFootprint& a = db.footprint(s, t);
+      const SectorFootprint& b = mapped.footprint(s, t);
+      ASSERT_EQ(a.window().size(), b.window().size());
+      EXPECT_EQ(std::memcmp(a.window().data(), b.window().data(),
+                            a.window().size() * sizeof(float)),
+                0)
+          << "sector " << s << " tilt " << t;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(PathLossParallelTest, MappedReleaseThenConcurrentRetouchIsIdentical) {
+  const std::vector<radio::TiltIndex> tilts = {0, 1};
+  ParallelFootprintBuilder parallel{builder_, 4};
+  PathLossDatabase db = parallel.build_database(network_, sectors_, tilts);
+  const std::string path = ::testing::TempDir() + "/magus_plp_release.bin";
+  db.save_v3(path, 4);
+
+  MappedPathLossDatabase mapped{path};
+  const auto touch_all = [&] {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (const net::SectorId s : sectors_) {
+          for (const radio::TiltIndex k : tilts) {
+            (void)mapped.footprint(s, k);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  };
+
+  touch_all();
+  const std::size_t full_bytes = mapped.resident_bytes();
+  const SectorFootprint* before = &mapped.footprint(sectors_[0], 0);
+  ASSERT_GT(full_bytes, 0u);
+
+  // Quiesce (threads joined), release on the driver thread, then race the
+  // re-materialization: same addresses, same bytes, same charge — the
+  // re-armed double-checked path must be as safe as the first touch.
+  EXPECT_EQ(mapped.release_residency(), full_bytes);
+  EXPECT_EQ(mapped.resident_bytes(), 0u);
+  touch_all();
+  EXPECT_EQ(mapped.resident_bytes(), full_bytes);
+  const SectorFootprint* after = &mapped.footprint(sectors_[0], 0);
+  EXPECT_EQ(before, after);
+  const SectorFootprint& truth = db.footprint(sectors_[0], 0);
+  EXPECT_EQ(std::memcmp(truth.window().data(), after->window().data(),
+                        truth.window().size() * sizeof(float)),
+            0);
+  std::remove(path.c_str());
 }
 
 }  // namespace

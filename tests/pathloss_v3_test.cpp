@@ -1,0 +1,302 @@
+// The v3 page-aligned path-loss format and its zero-copy streaming
+// provider: v2<->v3 round-trip bit-identity, the probe's mapped/heap
+// residency split, structural corruption caught at open (truncated
+// directory, torn last page, trailing bytes), payload corruption caught
+// on first touch (bit-flipped gain plane), forward migration, the
+// MAGUS_NO_MMAP fallback, and release/retouch bit-identity.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "pathloss/format.h"
+#include "pathloss/mapped_database.h"
+#include "test_helpers.h"
+
+namespace magus::pathloss {
+namespace {
+
+/// Bitwise equality of two footprints: geometry, coverage and the raw
+/// gain window (NaN-safe — memcmp, not float compare).
+void expect_bit_identical(const SectorFootprint& a, const SectorFootprint& b) {
+  ASSERT_EQ(a.window().size(), b.window().size());
+  EXPECT_EQ(a.covered_count(), b.covered_count());
+  EXPECT_EQ(0, std::memcmp(a.window().data(), b.window().data(),
+                           a.window().size() * sizeof(float)));
+}
+
+class V3Format : public ::testing::Test {
+ protected:
+  V3Format() : grid_(geo::Rect{{0, 0}, {400, 300}}, 100.0), provider_(grid_) {
+    const auto nan = std::numeric_limits<float>::quiet_NaN();
+    for (const int tilt : {0, 1}) {
+      std::vector<float> dense(12, nan);
+      dense[1 * 4 + 1] = -80.0f - static_cast<float>(tilt);
+      dense[1 * 4 + 2] = -90.0f - static_cast<float>(tilt);
+      provider_.set_footprint(0, static_cast<radio::TiltIndex>(tilt), dense);
+    }
+    path_ = ::testing::TempDir() + "/magus_pl_v3_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    PathLossDatabase db{grid_};
+    db.insert(0, 0, provider_.footprint(0, 0));
+    db.insert(0, 1, provider_.footprint(0, 1));
+    db.save_v3(path_);
+  }
+
+  ~V3Format() override { std::remove(path_.c_str()); }
+
+  [[nodiscard]] std::string read_file() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  }
+
+  void write_file(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Both readers must reject the file the same way; returns the eager
+  /// loader's message.
+  [[nodiscard]] std::string open_error() const {
+    EXPECT_THROW((void)MappedPathLossDatabase{path_}, std::runtime_error);
+    try {
+      (void)PathLossDatabase::load(path_);
+    } catch (const std::runtime_error& error) {
+      return error.what();
+    }
+    ADD_FAILURE() << "load unexpectedly succeeded";
+    return {};
+  }
+
+  geo::GridMap grid_;
+  magus::testing::FakeProvider provider_;
+  std::string path_;
+};
+
+TEST_F(V3Format, EagerLoadRoundTripsBitIdenticallyWithV2) {
+  const std::string v2_path = path_ + ".v2";
+  {
+    PathLossDatabase db{grid_};
+    db.insert(0, 0, provider_.footprint(0, 0));
+    db.insert(0, 1, provider_.footprint(0, 1));
+    db.save(v2_path);
+  }
+  PathLossDatabase from_v2 = PathLossDatabase::load(v2_path);
+  PathLossDatabase from_v3 = PathLossDatabase::load(path_);
+  std::remove(v2_path.c_str());
+
+  ASSERT_EQ(from_v2.entry_count(), from_v3.entry_count());
+  EXPECT_EQ(from_v2.resident_bytes(), from_v3.resident_bytes());
+  for (const int tilt : {0, 1}) {
+    expect_bit_identical(from_v2.footprint(0, tilt),
+                         from_v3.footprint(0, tilt));
+  }
+}
+
+TEST_F(V3Format, MappedMatchesEagerLoad) {
+  PathLossDatabase eager = PathLossDatabase::load(path_);
+  MappedPathLossDatabase mapped{path_};
+  ASSERT_EQ(mapped.entry_count(), 2u);
+  EXPECT_EQ(mapped.touched_count(), 0u);
+  EXPECT_EQ(mapped.resident_bytes(), 0u);
+  EXPECT_EQ(mapped.grid().cell_count(), eager.grid().cell_count());
+  EXPECT_TRUE(mapped.contains(0, 0));
+  EXPECT_FALSE(mapped.contains(1, 0));
+  for (const int tilt : {0, 1}) {
+    expect_bit_identical(eager.footprint(0, tilt), mapped.footprint(0, tilt));
+  }
+  EXPECT_EQ(mapped.touched_count(), 2u);
+  // The dB planes stay in the mapping: the mapped provider's heap is only
+  // the linear twins, strictly less than the eager database's windows +
+  // twins.
+  if (mapped.using_mmap()) {
+    EXPECT_LT(mapped.resident_bytes(), eager.resident_bytes());
+    EXPECT_GT(mapped.mapped_bytes(), 0u);
+  }
+  EXPECT_THROW((void)mapped.footprint(5, 0), std::out_of_range);
+}
+
+TEST_F(V3Format, ProbeSplitsMappedVsHeapResidency) {
+  const auto v3 = PathLossDatabase::probe(path_);
+  ASSERT_TRUE(v3.ok) << v3.error;
+  EXPECT_EQ(v3.version, format::kVersionMapped);
+  EXPECT_EQ(v3.entry_count, 2u);
+  EXPECT_GT(v3.mapped_bytes_estimate, 0u);
+  EXPECT_GT(v3.heap_bytes_estimate, 0u);
+  EXPECT_EQ(v3.resident_bytes_estimate,
+            v3.mapped_bytes_estimate + v3.heap_bytes_estimate);
+
+  const std::string v2_path = path_ + ".v2";
+  {
+    PathLossDatabase db{grid_};
+    db.insert(0, 0, provider_.footprint(0, 0));
+    db.insert(0, 1, provider_.footprint(0, 1));
+    db.save(v2_path);
+  }
+  const auto v2 = PathLossDatabase::probe(v2_path);
+  std::remove(v2_path.c_str());
+  ASSERT_TRUE(v2.ok) << v2.error;
+  EXPECT_EQ(v2.version, format::kVersionEager);
+  EXPECT_EQ(v2.mapped_bytes_estimate, 0u);
+  EXPECT_EQ(v2.heap_bytes_estimate, v2.resident_bytes_estimate);
+  // Same database, same full-residency estimate either way.
+  EXPECT_EQ(v2.resident_bytes_estimate, v3.resident_bytes_estimate);
+}
+
+TEST_F(V3Format, TruncatedDirectoryRejectedAtOpen) {
+  const std::string bytes = read_file();
+  // Cut mid-directory: past the header, short of the first plane.
+  write_file(bytes.substr(0, format::kHeaderBytesV3 + 10));
+  EXPECT_NE(open_error().find("truncated directory"), std::string::npos);
+}
+
+TEST_F(V3Format, TornLastPageRejectedAtOpen) {
+  const std::string bytes = read_file();
+  // Drop the tail of the last gain plane's page — the crash-mid-write
+  // shape. The directory is intact, so only the payload_end check can
+  // catch this, and it must catch it at open (a mapped read past EOF
+  // would SIGBUS).
+  write_file(bytes.substr(0, bytes.size() - 100));
+  EXPECT_NE(open_error().find("torn payload"), std::string::npos);
+}
+
+TEST_F(V3Format, TrailingBytesRejected) {
+  write_file(read_file() + "garbage");
+  EXPECT_NE(open_error().find("trailing bytes"), std::string::npos);
+}
+
+TEST_F(V3Format, BitFlipInPlaneCaughtOnFirstTouchNotOpen) {
+  // Find entry (0, 1)'s plane through the real directory, then flip one
+  // payload byte.
+  std::string bytes = read_file();
+  const format::V3Directory dir = format::parse_v3(
+      bytes.data(), bytes.size(), bytes.size(), path_);
+  const format::V3Entry* victim = nullptr;
+  for (const format::V3Entry& entry : dir.entries) {
+    if (entry.sector == 0 && entry.tilt == 1) victim = &entry;
+  }
+  ASSERT_NE(victim, nullptr);
+  bytes[victim->data_offset + 3] ^= 0x40;
+  write_file(bytes);
+
+  // The eager loader checksums everything up front and rejects.
+  try {
+    (void)PathLossDatabase::load(path_);
+    ADD_FAILURE() << "eager load unexpectedly succeeded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string{error.what()}.find("checksum mismatch"),
+              std::string::npos);
+  }
+
+  // The streaming provider opens fine (structure is sound), serves the
+  // clean entry, and fails exactly the corrupted one — on every touch,
+  // since a failed materialization must not be cached.
+  MappedPathLossDatabase mapped{path_};
+  expect_bit_identical(provider_.footprint(0, 0), mapped.footprint(0, 0));
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      (void)mapped.footprint(0, 1);
+      ADD_FAILURE() << "touch of corrupted entry succeeded";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string{error.what()}.find("checksum mismatch"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(mapped.touched_count(), 1u);
+}
+
+TEST_F(V3Format, LoadOrRebuildMigratesPristineV2InPlace) {
+  // Rewrite the fixture file as v2, then load_or_rebuild: the load must
+  // succeed without a rebuild and the file must come back v3.
+  {
+    PathLossDatabase db{grid_};
+    db.insert(0, 0, provider_.footprint(0, 0));
+    db.insert(0, 1, provider_.footprint(0, 1));
+    db.save(path_);
+  }
+  ASSERT_EQ(PathLossDatabase::probe(path_).version, format::kVersionEager);
+
+  const std::vector<net::SectorId> sectors = {0};
+  const std::vector<radio::TiltIndex> tilts = {0, 1};
+  PathLossDatabase::LoadReport report;
+  PathLossDatabase db = PathLossDatabase::load_or_rebuild(
+      path_, provider_, sectors, tilts, &report);
+  EXPECT_FALSE(report.rebuilt);
+  EXPECT_TRUE(report.migrated);
+  EXPECT_EQ(PathLossDatabase::probe(path_).version, format::kVersionMapped);
+
+  // The migrated file is the same database — mappable and bit-identical.
+  MappedPathLossDatabase mapped{path_};
+  for (const int tilt : {0, 1}) {
+    expect_bit_identical(db.footprint(0, tilt), mapped.footprint(0, tilt));
+  }
+
+  // A second pass finds v3 already in place: no rebuild, no migration.
+  PathLossDatabase::LoadReport again;
+  (void)PathLossDatabase::load_or_rebuild(path_, provider_, sectors, tilts,
+                                          &again);
+  EXPECT_FALSE(again.rebuilt);
+  EXPECT_FALSE(again.migrated);
+}
+
+TEST_F(V3Format, NoMmapFallbackServesIdenticalFootprints) {
+  MappedPathLossDatabase mapped{path_};
+  ::setenv("MAGUS_NO_MMAP", "1", 1);
+  try {
+    MappedPathLossDatabase fallback{path_};
+    EXPECT_FALSE(fallback.using_mmap());
+    EXPECT_EQ(fallback.mapped_bytes(), 0u);
+    for (const int tilt : {0, 1}) {
+      expect_bit_identical(mapped.footprint(0, tilt),
+                           fallback.footprint(0, tilt));
+    }
+    // On the fallback the dB plane copies count as heap.
+    EXPECT_GT(fallback.resident_bytes(), mapped.resident_bytes());
+  } catch (...) {
+    ::unsetenv("MAGUS_NO_MMAP");
+    throw;
+  }
+  ::unsetenv("MAGUS_NO_MMAP");
+}
+
+TEST_F(V3Format, ReleaseResidencyRematerializesBitIdentically) {
+  MappedPathLossDatabase mapped{path_};
+  const SectorFootprint* fp0 = &mapped.footprint(0, 0);
+  const SectorFootprint* fp1 = &mapped.footprint(0, 1);
+  const std::size_t full_bytes = mapped.resident_bytes();
+  std::vector<float> gains(fp0->window().begin(), fp0->window().end());
+  ASSERT_GT(full_bytes, 0u);
+
+  const std::size_t freed = mapped.release_residency();
+  EXPECT_EQ(freed, full_bytes);
+  EXPECT_EQ(mapped.resident_bytes(), 0u);
+  EXPECT_EQ(mapped.touched_count(), 0u);
+  // Releasing twice is a no-op.
+  EXPECT_EQ(mapped.release_residency(), 0u);
+
+  // Re-touch: same address (the MarketStore's cached pointers depend on
+  // it), same bytes, same heap charge.
+  const SectorFootprint* again0 = &mapped.footprint(0, 0);
+  EXPECT_EQ(again0, fp0);
+  EXPECT_EQ(&mapped.footprint(0, 1), fp1);
+  EXPECT_EQ(mapped.resident_bytes(), full_bytes);
+  EXPECT_EQ(0, std::memcmp(gains.data(), again0->window().data(),
+                           gains.size() * sizeof(float)));
+}
+
+TEST_F(V3Format, SerialFallbackThresholdDocumentsCrossover) {
+  // The measured crossover lives in one place; both loaders' phase-2
+  // fan-out consults it. 495 entries (the pathloss bench DB) must stay
+  // serial, and the constant must stay a power-of-two-ish sane bound.
+  EXPECT_GT(PathLossDatabase::kParallelLoadThreshold, 495u);
+  EXPECT_LE(PathLossDatabase::kParallelLoadThreshold, 16384u);
+}
+
+}  // namespace
+}  // namespace magus::pathloss
